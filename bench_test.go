@@ -1,0 +1,160 @@
+package clperf
+
+// One benchmark per paper artifact: BenchmarkTable1..BenchmarkTable5 and
+// BenchmarkFig1..BenchmarkFig11 each regenerate the corresponding table or
+// figure through internal/experiments, so
+//
+//	go test -bench=Fig6 -benchmem
+//
+// reproduces (and times) exactly what `oclbench -e fig6` prints. The
+// Benchmark*Model functions below additionally microbenchmark the
+// simulation substrate itself.
+
+import (
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/cache"
+	"clperf/internal/cpu"
+	"clperf/internal/experiments"
+	"clperf/internal/gpu"
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(harness.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 && len(rep.Figures) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// Tables I-V.
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Figures 1-11.
+
+func BenchmarkFig1(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Extensions and ablations beyond the paper's artifacts.
+
+func BenchmarkExtAffinity(b *testing.B) { benchExperiment(b, "ext-affinity") }
+func BenchmarkExtHetero(b *testing.B)   { benchExperiment(b, "ext-hetero") }
+func BenchmarkExtScaling(b *testing.B)  { benchExperiment(b, "ext-scaling") }
+func BenchmarkExtSIMD(b *testing.B)     { benchExperiment(b, "ext-simd") }
+func BenchmarkExtRoofline(b *testing.B) { benchExperiment(b, "ext-roofline") }
+func BenchmarkAblation(b *testing.B)    { benchExperiment(b, "ablation") }
+
+// Substrate microbenchmarks: how fast the simulator itself is.
+
+// BenchmarkModelCPUEstimate measures one static CPU launch estimate
+// (profile + vectorization + scheduling model).
+func BenchmarkModelCPUEstimate(b *testing.B) {
+	d := cpu.New(arch.XeonE5645())
+	app := kernels.BlackScholes()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Estimate(app.Kernel, args, nd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelGPUEstimate measures one static GPU launch estimate.
+func BenchmarkModelGPUEstimate(b *testing.B) {
+	d := gpu.New(arch.GTX580())
+	app := kernels.BlackScholes()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Estimate(app.Kernel, args, nd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter measures functional lockstep execution throughput
+// (workitems per second), the cost of every correctness check in the repo.
+func BenchmarkInterpreter(b *testing.B) {
+	app := kernels.VectorAdd()
+	nd := ir.Range1D(1<<16, 256)
+	args := app.Make(nd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(nd.GlobalItems()) * 12)
+}
+
+// BenchmarkInterpreterBarriers measures lockstep execution with barriers
+// and local memory (the reduction kernel).
+func BenchmarkInterpreterBarriers(b *testing.B) {
+	app := kernels.Reduction()
+	nd := ir.Range1D(1<<15, 256)
+	args := app.Make(nd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHierarchy measures the cache simulator's access rate.
+func BenchmarkCacheHierarchy(b *testing.B) {
+	h := cache.NewHierarchy(arch.XeonE5645())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i%12, int64(i*64)&0xFFFFFF, 4, i%4 == 0)
+	}
+}
+
+// BenchmarkProfile measures static kernel profiling.
+func BenchmarkProfile(b *testing.B) {
+	a := arch.XeonE5645()
+	app := kernels.MatrixMul()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.ProfileKernel(app.Kernel, args, nd, a.Lat, ir.MaxBranch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

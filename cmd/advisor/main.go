@@ -1,0 +1,113 @@
+// Command advisor runs the clperf performance advisor (internal/core) on a
+// named benchmark kernel at a chosen launch configuration, printing the
+// time breakdown, the paper's findings, and — with -tune — the best launch
+// parameters the model can find.
+//
+// Usage:
+//
+//	advisor -list
+//	advisor -app Square -global 100000
+//	advisor -app Matrixmul -local 4x4 -tune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"clperf/internal/core"
+	"clperf/internal/kernels"
+	"clperf/internal/trace"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "Square", "benchmark name from Table II")
+		global   = flag.String("global", "", "global size, e.g. 100000 or 1280x1280 (default: app's first config)")
+		local    = flag.String("local", "", "local size, e.g. 256 or 16x16 (default: app's config, or NULL)")
+		tune     = flag.Bool("tune", false, "search workgroup size and coarsening for the best configuration")
+		timeline = flag.Bool("timeline", false, "render the workgroup schedule as an ASCII Gantt chart")
+		list     = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range kernels.Registry() {
+			fmt.Printf("%-16s kernel %-16s default %v\n", a.Name, a.Kernel.Name, a.DefaultConfig())
+		}
+		return
+	}
+
+	app, err := kernels.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	nd := app.DefaultConfig()
+	if *global != "" {
+		dims, err := parseSize(*global)
+		if err != nil {
+			fatal(err)
+		}
+		nd.Global = dims
+	}
+	if *local != "" {
+		dims, err := parseSize(*local)
+		if err != nil {
+			fatal(err)
+		}
+		nd.Local = dims
+	}
+
+	args := app.Make(nd)
+	ad := core.NewAdvisor(nil)
+	rep, err := ad.Analyze(app.Kernel, args, nd)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Render())
+
+	if *timeline {
+		tl, err := trace.CPU(ad.Dev, app.Kernel, args, nd)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		tl.Render(os.Stdout, 100)
+	}
+
+	if *tune {
+		tr, err := ad.Tune(app.Kernel, args, nd)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntuned: %s, coarsening x%d -> %v (%.2fx over baseline %v)\n",
+			tr.ND, tr.Coarsen, tr.Time, tr.Gain(), tr.Baseline)
+	}
+}
+
+func parseSize(s string) ([3]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	var dims [3]int
+	if len(parts) > 3 {
+		return dims, fmt.Errorf("size %q has more than 3 dimensions", s)
+	}
+	dims = [3]int{1, 1, 1}
+	if len(parts) == 1 {
+		dims[1], dims[2] = 1, 1
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return dims, fmt.Errorf("size %q: %v", s, err)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advisor:", err)
+	os.Exit(1)
+}

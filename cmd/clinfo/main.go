@@ -1,0 +1,37 @@
+// Command clinfo prints the simulated OpenCL platforms and devices — the
+// repository's equivalent of the paper's Table I environment listing.
+package main
+
+import (
+	"fmt"
+
+	"clperf/internal/cl"
+)
+
+func main() {
+	for _, p := range cl.Platforms() {
+		fmt.Printf("Platform: %s (%s)\n", p.Name, p.Vendor)
+		for _, d := range p.Devices {
+			fmt.Printf("  Device: %s\n", d.Name())
+			fmt.Printf("    Type:               %s\n", d.Type)
+			fmt.Printf("    Max compute units:  %d\n", d.ComputeUnits())
+			fmt.Printf("    FP peak:            %v\n", d.PeakFlops())
+			switch d.Type {
+			case cl.DeviceCPU:
+				a := d.CPU.A
+				fmt.Printf("    Clock:              %v\n", a.Clock)
+				fmt.Printf("    SIMD:               %s (%d lanes)\n", a.SIMDName, a.SIMDWidth)
+				fmt.Printf("    Caches L1D/L2/L3:   %v/%v/%v\n", a.L1D.Size, a.L2.Size, a.L3.Size)
+				fmt.Printf("    Memory bandwidth:   %v\n", a.MemBandwidth)
+			case cl.DeviceGPU:
+				a := d.GPU.A
+				fmt.Printf("    Shader clock:       %v\n", a.Clock)
+				fmt.Printf("    SMs x lanes:        %d x %d\n", a.SMs, a.LanesPerSM)
+				fmt.Printf("    Shared mem per SM:  %v\n", a.SharedMemPerSM)
+				fmt.Printf("    Memory bandwidth:   %v\n", a.MemBandwidth)
+				fmt.Printf("    PCIe bandwidth:     %v (pinned %v)\n", a.PCIeBandwidth, a.PinnedBandwidth)
+			}
+		}
+		fmt.Println()
+	}
+}

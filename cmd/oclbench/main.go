@@ -1,0 +1,66 @@
+// Command oclbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	oclbench -e fig1          # one experiment
+//	oclbench -e all           # every table and figure, in paper order
+//	oclbench -list            # list experiment ids
+//	oclbench -e fig3 -csv     # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clperf/internal/experiments"
+	"clperf/internal/harness"
+)
+
+func main() {
+	var (
+		id      = flag.String("e", "all", "experiment id (table1..table5, fig1..fig11, all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csv     = flag.Bool("csv", false, "emit CSV tables")
+		verbose = flag.Bool("v", false, "verbose reports")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []harness.Experiment
+	if *id == "all" {
+		exps = experiments.All()
+	} else {
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	opts := harness.Options{Verbose: *verbose}
+	for _, e := range exps {
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oclbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			for _, t := range rep.Tables {
+				t.RenderCSV(os.Stdout)
+			}
+			for _, f := range rep.Figures {
+				f.Table().RenderCSV(os.Stdout)
+			}
+			continue
+		}
+		rep.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,12 @@
+// Package clperf reproduces "OpenCL Performance Evaluation on Modern Multi
+// Core CPUs" (Lee, Patel, Nigania, Kim, Kim — IPPS 2013) as a
+// self-contained Go library: an OpenCL-shaped runtime over simulated CPU
+// and GPU device models, an OpenMP-style comparison runtime, the paper's
+// benchmark suite, and a harness that regenerates every table and figure
+// of the evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// modeling substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level benchmarks (bench_test.go) regenerate each artifact under
+// `go test -bench`.
+package clperf

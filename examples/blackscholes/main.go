@@ -1,0 +1,127 @@
+// Blackscholes: a complete option-pricing application on both simulated
+// devices, exercising the decisions the paper's evaluation covers — where
+// to run, how to move the data, and what the workgroup size should be.
+//
+// It prices a grid of European options on the CPU and the GPU, compares
+// Equation (1) application throughput (kernel + transfer) for the copy and
+// map transfer APIs, and validates the results against the host-side
+// Black-Scholes formula.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clperf/internal/cl"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/units"
+)
+
+func main() {
+	app := kernels.BlackScholes()
+	nd := app.Configs[0] // 1280x1280 options, 16x16 workgroups
+	n := nd.GlobalItems()
+	args := app.Make(nd)
+	flops := 40.0 * float64(n) // ballpark per-option flop count for reporting
+
+	fmt.Printf("pricing %d options (%s)\n\n", n, nd)
+	for _, dev := range []*cl.Device{cl.CPUDevice(), cl.GPUDevice()} {
+		for _, api := range []string{"copy", "map"} {
+			kernelT, transferT, err := run(dev, app, args, nd, api)
+			if err != nil {
+				log.Fatal(err)
+			}
+			appThr := units.ThroughputOf(flops, kernelT+transferT)
+			fmt.Printf("%-28s %-5s kernel %-10v transfer %-10v app throughput %v\n",
+				dev.Name(), api, kernelT, transferT, appThr)
+		}
+	}
+
+	// Validate once, functionally, against the reference formula.
+	if err := ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{Parallel: 8}); err != nil {
+		log.Fatal(err)
+	}
+	if err := app.Check(args, nd); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nresults validated against the host-side Black-Scholes formula")
+}
+
+// run executes the app once on dev with the chosen transfer API, returning
+// kernel and transfer times.
+func run(dev *cl.Device, app *kernels.App, args *ir.Args, nd ir.NDRange, api string) (kernel, transfer units.Duration, err error) {
+	ctx := cl.NewContext(dev)
+	q := cl.NewQueue(ctx)
+	q.SetFunctional(false) // timing model only; validation happens separately
+
+	k, err := ctx.CreateKernel(app.Kernel)
+	if err != nil {
+		return 0, 0, err
+	}
+	inputs := []string{"price", "strike", "years"}
+	outputs := []string{"call", "put"}
+
+	bufs := map[string]*cl.Buffer{}
+	for _, name := range append(append([]string{}, inputs...), outputs...) {
+		flags := cl.MemReadOnly
+		if name == "call" || name == "put" {
+			flags = cl.MemWriteOnly
+		}
+		b, err := ctx.CreateBuffer(flags, ir.F32, args.Buffers[name].Len())
+		if err != nil {
+			return 0, 0, err
+		}
+		bufs[name] = b
+		if err := k.SetBufferArg(name, b); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	for _, name := range inputs {
+		src := args.Buffers[name].Data
+		if api == "copy" {
+			if _, err := q.EnqueueWriteBuffer(bufs[name], src); err != nil {
+				return 0, 0, err
+			}
+			continue
+		}
+		view, _, err := q.EnqueueMapBuffer(bufs[name], cl.MapWrite)
+		if err != nil {
+			return 0, 0, err
+		}
+		copy(view, src)
+		if _, err := q.EnqueueUnmapBuffer(bufs[name]); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	ke, err := q.EnqueueNDRangeKernel(k, nd)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	for _, name := range outputs {
+		dst := make([]float64, bufs[name].Len())
+		if api == "copy" {
+			if _, err := q.EnqueueReadBuffer(bufs[name], dst); err != nil {
+				return 0, 0, err
+			}
+			continue
+		}
+		if _, _, err := q.EnqueueMapBuffer(bufs[name], cl.MapRead); err != nil {
+			return 0, 0, err
+		}
+		if _, err := q.EnqueueUnmapBuffer(bufs[name]); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	kernel = ke.Time()
+	for _, ev := range q.Events() {
+		if ev.Command != "clEnqueueNDRangeKernel:"+app.Kernel.Name {
+			transfer += ev.Duration()
+		}
+	}
+	return kernel, transfer, nil
+}

@@ -1,0 +1,115 @@
+// Pipeline: a multi-kernel application on one command queue — square the
+// input, then reduce it to a sum — showing how clperf's event timestamps
+// profile each stage exactly as CL_QUEUE_PROFILING_ENABLE would, and how a
+// dependent pipeline keeps intermediate data on the device with no
+// transfers between stages.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"clperf/internal/cl"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func main() {
+	const (
+		n     = 1 << 20
+		local = 256
+	)
+	dev := cl.CPUDevice()
+	ctx := cl.NewContext(dev)
+	q := cl.NewQueue(ctx)
+
+	square, err := ctx.CreateKernel(kernels.SquareKernel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	reduce, err := ctx.CreateKernel(kernels.ReductionKernel())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in, err := ctx.CreateBuffer(cl.MemReadOnly, ir.F32, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	squared, err := ctx.CreateBuffer(cl.MemReadWrite, ir.F32, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial, err := ctx.CreateBuffer(cl.MemWriteOnly, ir.F32, n/local)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 0: initialize the input through a mapping.
+	view, _, err := q.EnqueueMapBuffer(in, cl.MapWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wantSum float64
+	for i := range view {
+		view[i] = float64(i%100) * 0.01
+		x := float32(view[i])
+		wantSum += float64(x * x)
+	}
+	if _, err := q.EnqueueUnmapBuffer(in); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1: squared = in^2.
+	if err := square.SetBufferArg("in", in); err != nil {
+		log.Fatal(err)
+	}
+	if err := square.SetBufferArg("out", squared); err != nil {
+		log.Fatal(err)
+	}
+	ev1, err := q.EnqueueNDRangeKernel(square, ir.Range1D(n, local))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 2: per-workgroup tree reduction of the squares.
+	if err := reduce.SetBufferArg("in", squared); err != nil {
+		log.Fatal(err)
+	}
+	if err := reduce.SetBufferArg("partial", partial); err != nil {
+		log.Fatal(err)
+	}
+	if err := reduce.SetScalarArg("levels", 8); err != nil { // log2(256)
+		log.Fatal(err)
+	}
+	ev2, err := q.EnqueueNDRangeKernel(reduce, ir.Range1D(n, local))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Final partial sum on the host, through a mapping.
+	parts, _, err := q.EnqueueMapBuffer(partial, cl.MapRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range parts {
+		sum += p
+	}
+	if _, err := q.EnqueueUnmapBuffer(partial); err != nil {
+		log.Fatal(err)
+	}
+
+	if math.Abs(sum-wantSum) > 1e-6*wantSum {
+		log.Fatalf("sum = %v, want %v", sum, wantSum)
+	}
+	fmt.Printf("sum of squares over %d elements = %.4f (validated)\n", n, sum)
+	fmt.Printf("stage timings: square %v, reduce %v, whole queue %v\n",
+		ev1.Time(), ev2.Time(), q.Now())
+	fmt.Println("\nevent log:")
+	for _, ev := range q.Events() {
+		fmt.Printf("  %-40s start %-10v end %-10v (%v)\n",
+			ev.Command, ev.Start, ev.End, ev.Duration())
+	}
+}

@@ -1,0 +1,50 @@
+// Tuning: use the clperf advisor (the paper's guidelines as a library) to
+// diagnose and fix a naive launch configuration.
+//
+// The starting point is the worst case from the paper's Figure 3: a large
+// NDRange with one-workitem workgroups. The advisor quantifies the
+// scheduling overhead, recommends a workgroup size, and Tune searches
+// workgroup size and workitem coarsening jointly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clperf/internal/core"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func main() {
+	app := kernels.Square()
+	nd := ir.Range1D(1_000_000, 1) // one workitem per workgroup: Figure 3's case_1
+	args := app.Make(nd)
+
+	ad := core.NewAdvisor(nil)
+
+	fmt.Println("--- naive launch ---")
+	rep, err := ad.Analyze(app.Kernel, args, nd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+
+	fmt.Println("\n--- tuned launch ---")
+	tr, err := ad.Tune(app.Kernel, args, nd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chosen geometry: %s, coarsening x%d\n", tr.ND, tr.Coarsen)
+	fmt.Printf("estimated time: %v -> %v (%.1fx)\n", tr.Baseline, tr.Time, tr.Gain())
+
+	tuned, err := ad.Analyze(tr.Kernel, args, tr.ND)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tuned.Render())
+
+	// Guideline 4: transfers should map, not copy.
+	fmt.Println("\n--- transfer advice ---")
+	fmt.Println(ad.TransferAdvice(int64(args.Buffers["in"].Bytes())))
+}

@@ -1,0 +1,3 @@
+module clperf
+
+go 1.22

@@ -1,0 +1,283 @@
+// Package arch describes the simulated hardware: the parameters of the CPU
+// and GPU timing models and presets matching the paper's Table I
+// experimental environment (a dual-socket Intel Xeon E5645 system and an
+// NVIDIA GeForce GTX 580).
+//
+// Every number here is a model parameter, not a measurement: the presets
+// are calibrated so the *shapes* of the paper's figures reproduce, with
+// absolute magnitudes in the right order of magnitude for the 2012-era
+// hardware.
+package arch
+
+import (
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// CacheGeom describes one cache level.
+type CacheGeom struct {
+	Size     units.ByteSize
+	LineSize int64
+	Assoc    int
+	// Latency is the access (hit) latency in core cycles.
+	Latency float64
+}
+
+// Sets returns the number of sets.
+func (g CacheGeom) Sets() int64 {
+	if g.LineSize == 0 || g.Assoc == 0 {
+		return 0
+	}
+	return int64(g.Size) / (g.LineSize * int64(g.Assoc))
+}
+
+// CPU parameterizes the out-of-order multicore CPU model.
+type CPU struct {
+	Name    string
+	Sockets int
+	// CoresPerSocket is the number of physical cores per socket.
+	CoresPerSocket int
+	// SMTWays is the number of logical threads per physical core.
+	SMTWays int
+	Clock   units.Frequency
+
+	// IssueWidth is the maximum micro-ops issued per cycle per core.
+	IssueWidth float64
+	// FPPipes is the number of floating-point operations issued per cycle
+	// per core (vector units count one vector op).
+	FPPipes float64
+	// MemPipes is the number of load/store operations issued per cycle.
+	MemPipes float64
+	// SIMDWidth is the number of single-precision lanes per vector register.
+	SIMDWidth int
+	SIMDName  string
+	// OoOWindow approximates the out-of-order instruction window in
+	// micro-ops; it bounds how much of adjacent workitems' work the core can
+	// overlap to hide a dependence chain.
+	OoOWindow float64
+	// SMTYield is the per-thread issue share when both SMT siblings of a
+	// core are busy (two threads at 0.62 ≈ the familiar ~1.25x SMT gain).
+	SMTYield float64
+
+	// Lat prices each op class in core cycles.
+	Lat ir.LatencyTable
+
+	L1D, L2, L3 CacheGeom
+	// MemLatency is the DRAM access latency in cycles.
+	MemLatency float64
+	// MemBandwidth is the aggregate DRAM bandwidth of the machine.
+	MemBandwidth units.Bandwidth
+	// L3Bandwidth is the aggregate bandwidth of the shared last-level
+	// cache, used when a kernel's working set is L3-resident (the paper
+	// iterates kernels for 90 seconds, so steady-state data is cached).
+	L3Bandwidth units.Bandwidth
+
+	// Runtime (OpenCL-on-CPU implementation) parameters.
+
+	// GroupDispatch is the per-workgroup scheduling cost: enqueueing the
+	// group as a task, waking a worker, and the associated context switch.
+	GroupDispatch units.Duration
+	// ItemOverhead is the per-workitem bookkeeping in the runtime's workitem
+	// loop, in cycles. Vectorized kernels pay it once per vector packet,
+	// which is part of why implicit vectorization helps on CPUs.
+	ItemOverhead float64
+	// BarrierCost is the fixed per-barrier, per-workgroup cost in cycles
+	// (loop fission in the workitem loop).
+	BarrierCost float64
+	// BarrierItemCost is the additional per-workitem cost of carrying state
+	// across a barrier, in cycles.
+	BarrierItemCost float64
+	// BarrierContext is the per-workitem live state preserved across a
+	// barrier, in bytes. When items*BarrierContext plus the local-memory
+	// footprint exceeds a cache level, crossings get more expensive — the
+	// mechanism behind the CPU's smaller optimal Matrixmul workgroup.
+	BarrierContext int64
+	// LaunchOverhead is the fixed host-side cost of one
+	// clEnqueueNDRangeKernel, independent of geometry.
+	LaunchOverhead units.Duration
+
+	// Host-side transfer parameters (CPU device: host and device share DRAM).
+
+	// CopyBandwidth is effective memcpy bandwidth for buffer copies.
+	CopyBandwidth units.Bandwidth
+	// CopyOverhead is the fixed cost of a copy command (allocation of the
+	// runtime-side object, command processing).
+	CopyOverhead units.Duration
+	// MapOverhead is the cost of clEnqueueMapBuffer: returning a pointer.
+	MapOverhead units.Duration
+}
+
+// PhysicalCores returns the machine's physical core count.
+func (c *CPU) PhysicalCores() int { return c.Sockets * c.CoresPerSocket }
+
+// LogicalCores returns the number of hardware threads (OpenCL compute
+// units on the Intel CPU platform).
+func (c *CPU) LogicalCores() int { return c.PhysicalCores() * c.SMTWays }
+
+// PeakFlops returns peak single-precision throughput: every core issuing
+// FPPipes vector ops of SIMDWidth lanes per cycle.
+func (c *CPU) PeakFlops() units.Throughput {
+	return units.Throughput(float64(c.PhysicalCores()) * c.FPPipes *
+		float64(c.SIMDWidth) * float64(c.Clock))
+}
+
+// XeonE5645 returns the paper's CPU: a dual-socket Intel Xeon E5645
+// (Westmere-EP, 6 cores + HyperThreading per socket, SSE 4.2, 2.40 GHz,
+// L1D/L2/L3 64K/256K/12M, 230.4 GFlop/s peak single precision).
+func XeonE5645() *CPU {
+	var lat ir.LatencyTable
+	lat[ir.OpFAdd] = 3
+	lat[ir.OpFMul] = 5
+	lat[ir.OpFDiv] = 22
+	lat[ir.OpFMA] = 8 // no FMA unit: priced as dependent mul+add
+	lat[ir.OpSpecial] = 22
+	lat[ir.OpInt] = 1
+	lat[ir.OpCmp] = 1
+	lat[ir.OpSelect] = 2
+	lat[ir.OpLoad] = 4 // L1 hit; misses are priced by the memory model
+	lat[ir.OpStore] = 1
+	lat[ir.OpLocalLoad] = 4
+	lat[ir.OpLocalStore] = 1
+	lat[ir.OpAtomic] = 22
+	lat[ir.OpBarrier] = 0
+	lat[ir.OpLibm] = 140 // scalar exp/log/sin/cos through libm
+
+	return &CPU{
+		Name:           "Intel(R) Xeon(R) CPU E5645",
+		Sockets:        2,
+		CoresPerSocket: 6,
+		SMTWays:        2,
+		Clock:          2.40 * units.Gigahertz,
+		IssueWidth:     4,
+		FPPipes:        2, // separate multiply and add ports
+		MemPipes:       1,
+		SIMDWidth:      4,
+		SIMDName:       "SSE 4.2",
+		OoOWindow:      64,
+		SMTYield:       0.62,
+		Lat:            lat,
+		L1D:            CacheGeom{Size: 64 * units.Kibibyte, LineSize: 64, Assoc: 8, Latency: 4},
+		L2:             CacheGeom{Size: 256 * units.Kibibyte, LineSize: 64, Assoc: 8, Latency: 10},
+		L3:             CacheGeom{Size: 12 * units.Mebibyte, LineSize: 64, Assoc: 16, Latency: 40},
+		MemLatency:     200,
+		MemBandwidth:   65 * units.GBPerSecond,
+		L3Bandwidth:    130 * units.GBPerSecond,
+
+		GroupDispatch:   0.045 * units.Microsecond,
+		ItemOverhead:    40,
+		BarrierCost:     150,
+		BarrierItemCost: 4,
+		BarrierContext:  288,
+		LaunchOverhead:  1.2 * units.Microsecond,
+
+		CopyBandwidth: 9 * units.GBPerSecond,
+		CopyOverhead:  4 * units.Microsecond,
+		MapOverhead:   1.5 * units.Microsecond,
+	}
+}
+
+// SandyBridge returns the 8-wide-AVX CPU the paper's introduction mentions
+// as the heterogeneous trend-setter: a single-socket Core i7-2600-class
+// part. Against the Westmere preset it isolates the effect of SIMD width
+// (and of having no second socket).
+func SandyBridge() *CPU {
+	c := XeonE5645()
+	c.Name = "Intel(R) Core(TM) i7-2600 (Sandy Bridge)"
+	c.Sockets = 1
+	c.CoresPerSocket = 4
+	c.Clock = 3.4 * units.Gigahertz
+	c.SIMDWidth = 8
+	c.SIMDName = "AVX"
+	c.L3 = CacheGeom{Size: 8 * units.Mebibyte, LineSize: 64, Assoc: 16, Latency: 36}
+	c.MemBandwidth = 21 * units.GBPerSecond
+	c.L3Bandwidth = 80 * units.GBPerSecond
+	return c
+}
+
+// GPU parameterizes the SM/warp occupancy timing model.
+type GPU struct {
+	Name     string
+	SMs      int
+	WarpSize int
+	// LanesPerSM is the number of scalar cores (lanes) per SM.
+	LanesPerSM int
+	// MaxWarpsPerSM caps resident warps per SM (occupancy).
+	MaxWarpsPerSM int
+	// MaxGroupsPerSM caps resident workgroups per SM.
+	MaxGroupsPerSM int
+	// SharedMemPerSM is the scratchpad (__local) capacity per SM.
+	SharedMemPerSM units.ByteSize
+	Clock          units.Frequency // shader clock
+
+	// Lat prices each op class in shader cycles (the dominant entries are
+	// the long global-memory and pipeline latencies warps must hide).
+	Lat ir.LatencyTable
+
+	MemBandwidth units.Bandwidth
+	// MemLatency is the global-memory round trip in shader cycles; with
+	// MLPPerWarp it bounds achievable bandwidth by Little's law when few
+	// warps are resident.
+	MemLatency float64
+	// MLPPerWarp is the number of cache lines a warp keeps outstanding.
+	MLPPerWarp float64
+	// LineSize is the memory transaction size in bytes.
+	LineSize int64
+
+	// PCIe transfer model for host<->device buffers.
+	PCIeBandwidth units.Bandwidth
+	// PinnedBandwidth applies to buffers created with AllocHostPtr.
+	PinnedBandwidth units.Bandwidth
+	PCIeLatency     units.Duration
+	// MapOverhead prices clEnqueueMapBuffer of a pinned buffer.
+	MapOverhead units.Duration
+
+	// KernelLaunch is the fixed host-side launch cost.
+	KernelLaunch units.Duration
+}
+
+// PeakFlops returns peak throughput with every lane doing an FMA each cycle.
+func (g *GPU) PeakFlops() units.Throughput {
+	return units.Throughput(float64(g.SMs*g.LanesPerSM) * 2 * float64(g.Clock))
+}
+
+// GTX580 returns the paper's GPU: an NVIDIA GeForce GTX 580 (Fermi GF110,
+// 16 SMs, 1544 MHz shader clock, 16KB L1 / 768KB L2, 1.56 TFlop/s).
+func GTX580() *GPU {
+	var lat ir.LatencyTable
+	lat[ir.OpFAdd] = 18
+	lat[ir.OpFMul] = 18
+	lat[ir.OpFDiv] = 40
+	lat[ir.OpFMA] = 18
+	lat[ir.OpSpecial] = 44
+	lat[ir.OpInt] = 18
+	lat[ir.OpCmp] = 18
+	lat[ir.OpSelect] = 18
+	lat[ir.OpLoad] = 40 // issue-to-use slack; DRAM latency lives in MemLatency
+	lat[ir.OpStore] = 18
+	lat[ir.OpLocalLoad] = 30 // shared memory
+	lat[ir.OpLocalStore] = 30
+	lat[ir.OpAtomic] = 60
+	lat[ir.OpBarrier] = 20
+	lat[ir.OpLibm] = 44 // SFU-backed transcendentals
+
+	return &GPU{
+		Name:            "NVIDIA GeForce GTX 580",
+		SMs:             16,
+		WarpSize:        32,
+		LanesPerSM:      32,
+		MaxWarpsPerSM:   48,
+		MaxGroupsPerSM:  8,
+		SharedMemPerSM:  48 * units.Kibibyte,
+		Clock:           1544 * units.Megahertz,
+		Lat:             lat,
+		MemBandwidth:    192 * units.GBPerSecond,
+		MemLatency:      440,
+		MLPPerWarp:      4,
+		LineSize:        128,
+		PCIeBandwidth:   5.2 * units.GBPerSecond,
+		PinnedBandwidth: 6.2 * units.GBPerSecond,
+		PCIeLatency:     12 * units.Microsecond,
+		MapOverhead:     3 * units.Microsecond,
+		KernelLaunch:    8 * units.Microsecond,
+	}
+}

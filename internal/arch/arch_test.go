@@ -1,0 +1,72 @@
+package arch
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+func TestXeonE5645MatchesTableI(t *testing.T) {
+	c := XeonE5645()
+	// Table I: 230.4 GFlop/s single-precision peak.
+	if got := c.PeakFlops(); got != 230.4*units.GFlops {
+		t.Errorf("PeakFlops = %v, want 230.4 GFlop/s", got)
+	}
+	if c.Clock != 2.40*units.Gigahertz {
+		t.Errorf("Clock = %v, want 2.4GHz", c.Clock)
+	}
+	if c.SIMDWidth != 4 {
+		t.Errorf("SIMDWidth = %d, want 4 (SSE single precision)", c.SIMDWidth)
+	}
+	if c.L1D.Size != 64*units.Kibibyte || c.L2.Size != 256*units.Kibibyte || c.L3.Size != 12*units.Mebibyte {
+		t.Errorf("cache sizes %v/%v/%v, want 64K/256K/12M", c.L1D.Size, c.L2.Size, c.L3.Size)
+	}
+	if c.PhysicalCores() != 12 || c.LogicalCores() != 24 {
+		t.Errorf("cores = %d/%d, want 12 physical / 24 logical", c.PhysicalCores(), c.LogicalCores())
+	}
+}
+
+func TestGTX580MatchesTableI(t *testing.T) {
+	g := GTX580()
+	if g.SMs != 16 {
+		t.Errorf("SMs = %d, want 16", g.SMs)
+	}
+	if g.Clock != 1544*units.Megahertz {
+		t.Errorf("Clock = %v, want 1544MHz", g.Clock)
+	}
+	// Table I: 1.56 TFlop/s ~= 16*32*2*1.544GHz.
+	peak := g.PeakFlops()
+	if peak < 1.5e12 || peak > 1.6e12 {
+		t.Errorf("PeakFlops = %v, want ~1.56 TFlop/s", peak)
+	}
+}
+
+func TestLatencyTablesComplete(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		lat  ir.LatencyTable
+	}{
+		{"cpu", XeonE5645().Lat},
+		{"gpu", GTX580().Lat},
+	} {
+		for c := ir.OpClass(0); c < ir.NumOpClasses; c++ {
+			if c == ir.OpBarrier {
+				continue // may legitimately be free
+			}
+			if tc.lat[c] <= 0 {
+				t.Errorf("%s: latency for %v is %v, want > 0", tc.name, c, tc.lat[c])
+			}
+		}
+	}
+}
+
+func TestCacheGeomSets(t *testing.T) {
+	g := CacheGeom{Size: 32 * units.Kibibyte, LineSize: 64, Assoc: 8}
+	if got := g.Sets(); got != 64 {
+		t.Errorf("Sets = %d, want 64", got)
+	}
+	if (CacheGeom{}).Sets() != 0 {
+		t.Error("zero geometry must have zero sets")
+	}
+}

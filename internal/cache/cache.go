@@ -1,0 +1,223 @@
+// Package cache implements a set-associative cache simulator and the
+// private-L1/private-L2/shared-L3 hierarchy of the modeled CPU.
+//
+// The locality experiments (the paper's affinity study, Figure 9, and the
+// Matrixmul workgroup-size study) feed real kernel access streams through a
+// Hierarchy and convert hit levels into access latencies.
+package cache
+
+import (
+	"fmt"
+
+	"clperf/internal/arch"
+)
+
+// Stats counts accesses and hits for one cache.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+}
+
+// Misses returns the miss count.
+func (s Stats) Misses() uint64 { return s.Accesses - s.Hits }
+
+// HitRate returns hits/accesses (1 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// String formats the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d accesses, %.1f%% hits", s.Accesses, 100*s.HitRate())
+}
+
+type line struct {
+	tag   int64
+	valid bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is one set-associative, LRU, write-allocate cache level.
+type Cache struct {
+	sets     [][]line
+	nsets    int64
+	lineSize int64
+	latency  float64
+	tick     uint64
+	stats    Stats
+}
+
+// New builds a cache from its geometry. Geometries with zero size return a
+// nil cache, which Lookup treats as a permanent miss.
+func New(g arch.CacheGeom) *Cache {
+	nsets := g.Sets()
+	if nsets <= 0 {
+		return nil
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*int64(g.Assoc))
+	for i := range sets {
+		sets[i], backing = backing[:g.Assoc], backing[g.Assoc:]
+	}
+	return &Cache{sets: sets, nsets: nsets, lineSize: g.LineSize, latency: g.Latency}
+}
+
+// Latency returns the hit latency in cycles.
+func (c *Cache) Latency() float64 { return c.latency }
+
+// Stats returns access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+// Lookup probes the cache for the line containing addr, filling it on a
+// miss (the victim is the LRU way). It reports whether the probe hit.
+func (c *Cache) Lookup(addr int64) bool {
+	if c == nil {
+		return false
+	}
+	c.tick++
+	c.stats.Accesses++
+	lineAddr := addr / c.lineSize
+	set := c.sets[lineAddr%c.nsets]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].used = c.tick
+			c.stats.Hits++
+			return true
+		}
+		if set[i].used < set[victim].used || !set[i].valid && set[victim].valid {
+			victim = i
+		}
+	}
+	// Prefer an invalid way over the LRU victim.
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	set[victim] = line{tag: lineAddr, valid: true, used: c.tick}
+	return false
+}
+
+// Contains probes without updating LRU state or statistics.
+func (c *Cache) Contains(addr int64) bool {
+	if c == nil {
+		return false
+	}
+	lineAddr := addr / c.lineSize
+	set := c.sets[lineAddr%c.nsets]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Hierarchy models per-core private L1D and L2 caches in front of a shared
+// L3 and DRAM, as on the Xeon E5645.
+type Hierarchy struct {
+	l1, l2 []*Cache
+	l3     *Cache
+	memLat float64
+	line   int64
+}
+
+// NewHierarchy builds the hierarchy for the given CPU description.
+func NewHierarchy(c *arch.CPU) *Hierarchy {
+	n := c.PhysicalCores()
+	h := &Hierarchy{
+		l1:     make([]*Cache, n),
+		l2:     make([]*Cache, n),
+		l3:     New(c.L3),
+		memLat: c.MemLatency,
+		line:   c.L1D.LineSize,
+	}
+	for i := 0; i < n; i++ {
+		h.l1[i] = New(c.L1D)
+		h.l2[i] = New(c.L2)
+	}
+	return h
+}
+
+// Cores returns the number of private cache slices.
+func (h *Hierarchy) Cores() int { return len(h.l1) }
+
+// Access simulates one access of size bytes at addr by the given physical
+// core, returning the latency in cycles. Accesses spanning multiple lines
+// cost the slowest line plus one cycle per extra line.
+func (h *Hierarchy) Access(core int, addr, size int64, write bool) float64 {
+	if core < 0 || core >= len(h.l1) {
+		core = 0
+	}
+	first := addr / h.line
+	last := (addr + size - 1) / h.line
+	worst := 0.0
+	for la := first; la <= last; la++ {
+		lat := h.accessLine(core, la*h.line)
+		if lat > worst {
+			worst = lat
+		}
+	}
+	return worst + float64(last-first)
+}
+
+func (h *Hierarchy) accessLine(core int, addr int64) float64 {
+	if h.l1[core].Lookup(addr) {
+		return h.l1[core].Latency()
+	}
+	if h.l2[core].Lookup(addr) {
+		return h.l2[core].Latency()
+	}
+	if h.l3.Lookup(addr) {
+		return h.l3.Latency()
+	}
+	return h.l3.Latency() + h.memLat
+}
+
+// Level reports the highest level containing addr for the core: 1, 2, 3 or
+// 0 when the line is only in memory. It does not disturb cache state.
+func (h *Hierarchy) Level(core int, addr int64) int {
+	switch {
+	case h.l1[core].Contains(addr):
+		return 1
+	case h.l2[core].Contains(addr):
+		return 2
+	case h.l3.Contains(addr):
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Reset clears every cache in the hierarchy.
+func (h *Hierarchy) Reset() {
+	for i := range h.l1 {
+		h.l1[i].Reset()
+		h.l2[i].Reset()
+	}
+	h.l3.Reset()
+}
+
+// CoreStats returns (L1, L2) statistics for a core.
+func (h *Hierarchy) CoreStats(core int) (Stats, Stats) {
+	return h.l1[core].Stats(), h.l2[core].Stats()
+}
+
+// L3Stats returns the shared L3 statistics.
+func (h *Hierarchy) L3Stats() Stats { return h.l3.Stats() }

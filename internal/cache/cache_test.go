@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clperf/internal/arch"
+	"clperf/internal/units"
+)
+
+func smallGeom() arch.CacheGeom {
+	return arch.CacheGeom{Size: 4 * units.Kibibyte, LineSize: 64, Assoc: 4, Latency: 4}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := New(smallGeom())
+	if c.Lookup(0x1000) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Lookup(0x1000) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Lookup(0x1000 + 63) {
+		t.Fatal("same-line access must hit")
+	}
+	if c.Lookup(0x1000 + 64) {
+		t.Fatal("next-line access must miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 4 accesses 2 hits", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	g := smallGeom() // 16 sets x 4 ways
+	c := New(g)
+	sets := g.Sets()
+	// Fill one set with assoc lines, then one more: the first goes.
+	stride := sets * g.LineSize
+	for i := int64(0); i < 4; i++ {
+		c.Lookup(i * stride)
+	}
+	// Touch line 0 to make line 1 the LRU victim.
+	if !c.Lookup(0) {
+		t.Fatal("line 0 should still be resident")
+	}
+	c.Lookup(4 * stride) // evicts line 1
+	if !c.Lookup(0) {
+		t.Fatal("line 0 must survive (recently used)")
+	}
+	if c.Lookup(1 * stride) {
+		t.Fatal("line 1 must have been evicted as LRU")
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	// Property: a working set within capacity hits 100% after one warmup
+	// pass (power-of-two strides map uniformly).
+	g := smallGeom()
+	c := New(g)
+	lines := int64(g.Size) / g.LineSize
+	for i := int64(0); i < lines; i++ {
+		c.Lookup(i * g.LineSize)
+	}
+	c.Reset()
+	for pass := 0; pass < 3; pass++ {
+		for i := int64(0); i < lines; i++ {
+			hit := c.Lookup(i * g.LineSize)
+			if pass > 0 && !hit {
+				t.Fatalf("pass %d line %d missed although the set fits", pass, i)
+			}
+		}
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := New(smallGeom())
+	c.Lookup(0)
+	c.Reset()
+	if c.Lookup(0) {
+		t.Fatal("lookup after Reset must miss")
+	}
+	if st := c.Stats(); st.Accesses != 1 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	if c.Lookup(0) {
+		t.Fatal("nil cache must always miss")
+	}
+	if c.Contains(0) {
+		t.Fatal("nil cache contains nothing")
+	}
+	if New(arch.CacheGeom{}) != nil {
+		t.Fatal("zero geometry must yield nil cache")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(arch.XeonE5645())
+	const addr = 0x100000
+
+	// Cold: all levels miss -> DRAM latency.
+	lat := h.Access(0, addr, 4, false)
+	if lat < 200 {
+		t.Fatalf("cold access latency %v, want >= DRAM (200)", lat)
+	}
+	// Warm on the same core: L1 hit.
+	if lat := h.Access(0, addr, 4, false); lat != 4 {
+		t.Fatalf("warm same-core access latency %v, want 4 (L1)", lat)
+	}
+	// Another core: private caches miss, shared L3 hits.
+	if lat := h.Access(1, addr, 4, false); lat != 40 {
+		t.Fatalf("other-core access latency %v, want 40 (L3)", lat)
+	}
+	if lv := h.Level(0, addr); lv != 1 {
+		t.Fatalf("Level(core0) = %d, want 1", lv)
+	}
+	if lv := h.Level(2, addr); lv != 3 {
+		t.Fatalf("Level(core2) = %d, want 3 (shared L3 only)", lv)
+	}
+}
+
+func TestHierarchyMultiLineAccess(t *testing.T) {
+	h := NewHierarchy(arch.XeonE5645())
+	// Warm two adjacent lines.
+	h.Access(0, 0x2000, 4, false)
+	h.Access(0, 0x2040, 4, false)
+	// An access spanning both lines hits both: latency = L1 + 1 extra line.
+	if lat := h.Access(0, 0x203c, 8, false); lat != 5 {
+		t.Fatalf("spanning access latency %v, want 5", lat)
+	}
+}
+
+func TestHierarchyStats(t *testing.T) {
+	h := NewHierarchy(arch.XeonE5645())
+	for i := int64(0); i < 100; i++ {
+		h.Access(0, i*64, 4, i%2 == 0)
+	}
+	l1, _ := h.CoreStats(0)
+	if l1.Accesses != 100 {
+		t.Fatalf("L1 accesses = %d, want 100", l1.Accesses)
+	}
+	if h.L3Stats().Accesses == 0 {
+		t.Fatal("L3 must see the misses")
+	}
+	h.Reset()
+	l1, _ = h.CoreStats(0)
+	if l1.Accesses != 0 {
+		t.Fatal("Reset must clear stats")
+	}
+}
+
+// Property: a second touch of any address on the same core is at least as
+// fast as the first.
+func TestRepeatedAccessNotSlower(t *testing.T) {
+	h := NewHierarchy(arch.XeonE5645())
+	prop := func(addrRaw uint32, core uint8) bool {
+		addr := int64(addrRaw) & 0xFFFFFF
+		c := int(core) % h.Cores()
+		first := h.Access(c, addr, 4, false)
+		second := h.Access(c, addr, 4, false)
+		return second <= first
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	s := Stats{Accesses: 10, Hits: 9}
+	if s.HitRate() != 0.9 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+	if s.Misses() != 1 {
+		t.Errorf("Misses = %v", s.Misses())
+	}
+	if (Stats{}).HitRate() != 1 {
+		t.Error("idle cache hit rate must be 1")
+	}
+}

@@ -1,0 +1,79 @@
+package cl
+
+import (
+	"clperf/internal/cache"
+	"clperf/internal/cpu"
+	"clperf/internal/ir"
+)
+
+// This file is the clperf_workgroup_affinity extension: the improvement the
+// paper proposes in section III-E. Standard OpenCL offers no way to couple
+// workgroups with physical cores; here the host may pass a
+// workgroup->core mapping with the launch, and consecutive pinned launches
+// in one context share simulated cache state, so producer/consumer kernels
+// pinned alike communicate through private caches.
+
+// AffinityFunc maps a linear workgroup index to a physical core index.
+type AffinityFunc = cpu.AffinityFunc
+
+// RoundRobinAffinity pins workgroup g to core g % cores.
+func RoundRobinAffinity(cores int) AffinityFunc {
+	return func(g int) int { return g % cores }
+}
+
+// BlockAffinity splits the workgroup range into `cores` contiguous blocks.
+func BlockAffinity(groups, cores int) AffinityFunc {
+	per := (groups + cores - 1) / cores
+	return func(g int) int { return g / per }
+}
+
+// hierarchyFor lazily creates the context's persistent cache hierarchy.
+func (c *Context) hierarchyFor(dev *cpu.Device) *cache.Hierarchy {
+	if c.hier == nil {
+		c.hier = cache.NewHierarchy(dev.A)
+	}
+	return c.hier
+}
+
+// EnqueueNDRangeKernelPinned launches the kernel with an explicit
+// workgroup->core affinity (clperf_workgroup_affinity). Only the CPU device
+// supports it; on other devices it fails with CL_INVALID_OPERATION, which
+// is exactly the portability/efficiency trade-off the paper discusses.
+func (q *CommandQueue) EnqueueNDRangeKernelPinned(k *Kernel, nd ir.NDRange, aff AffinityFunc) (*KernelEvent, error) {
+	if k.ctx != q.ctx {
+		return nil, wrap(ErrInvalidValue, "kernel from another context")
+	}
+	dev := q.ctx.Device
+	if dev.Type != DeviceCPU {
+		return nil, wrap(ErrInvalidOperation,
+			"clperf_workgroup_affinity is only supported on CPU devices")
+	}
+	if aff == nil {
+		return nil, wrap(ErrInvalidValue, "nil affinity function")
+	}
+	for _, p := range k.k.Params {
+		if p.Kind == ir.BufferParam {
+			if _, ok := k.args.Buffers[p.Name]; !ok {
+				return nil, wrap(ErrInvalidKernelArgs, "kernel %s: argument %q not set", k.k.Name, p.Name)
+			}
+		} else if _, ok := k.args.Scalars[p.Name]; !ok {
+			return nil, wrap(ErrInvalidKernelArgs, "kernel %s: argument %q not set", k.k.Name, p.Name)
+		}
+	}
+	if err := nd.Validate(); err != nil {
+		return nil, wrap(ErrInvalidWorkGroup, "%v", err)
+	}
+	resolved := dev.CPU.ResolveLocal(nd)
+	if err := k.checkAccess(resolved); err != nil {
+		return nil, err
+	}
+
+	res, err := dev.CPU.LaunchPinned(k.k, k.args, resolved, aff, q.ctx.hierarchyFor(dev.CPU))
+	if err != nil {
+		return nil, err
+	}
+	ke := &KernelEvent{CPUResult: &res.Result}
+	ke.Event = q.record("clEnqueueNDRangeKernelPinned:"+k.k.Name, res.Time)
+	q.LastKernel = ke
+	return ke, nil
+}

@@ -1,0 +1,112 @@
+package cl
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+)
+
+// The clperf_workgroup_affinity extension: an aligned consumer launch
+// beats a misaligned one, reproducing the paper's Figure 9 inside the
+// OpenCL API — the improvement the paper proposes.
+func TestPinnedLaunchAffinityBenefit(t *testing.T) {
+	mulKernel := &ir.Kernel{
+		Name:    "scale",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.StoreF("out", ir.Gid(0), ir.Mul(ir.LoadF("in", ir.Gid(0)), ir.F(2))),
+		},
+	}
+	run := func(misalign bool) float64 {
+		ctx := NewContext(CPUDevice())
+		q := NewQueue(ctx)
+		const (
+			cores = 8
+			local = 2048
+			n     = cores * local
+		)
+		a, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		b, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		c, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		k1, _ := ctx.CreateKernel(mulKernel)
+		_ = k1.SetBufferArg("in", a)
+		_ = k1.SetBufferArg("out", b)
+		if _, err := q.EnqueueNDRangeKernelPinned(k1, ir.Range1D(n, local),
+			func(g int) int { return g }); err != nil {
+			t.Fatal(err)
+		}
+		k2, _ := ctx.CreateKernel(mulKernel)
+		_ = k2.SetBufferArg("in", b) // consumes the first launch's output
+		_ = k2.SetBufferArg("out", c)
+		aff := func(g int) int { return g }
+		if misalign {
+			aff = func(g int) int { return (g + 1) % cores }
+		}
+		ke, err := q.EnqueueNDRangeKernelPinned(k2, ir.Range1D(n, local), aff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(ke.Time())
+	}
+	aligned := run(false)
+	misaligned := run(true)
+	if misaligned <= aligned {
+		t.Fatalf("misaligned pinned launch (%v) must be slower than aligned (%v)",
+			misaligned, aligned)
+	}
+}
+
+func TestPinnedLaunchFunctional(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	const n = 1024
+	in, _ := ctx.CreateBuffer(MemReadOnly, ir.F32, n)
+	out, _ := ctx.CreateBuffer(MemWriteOnly, ir.F32, n)
+	view, _, _ := q.EnqueueMapBuffer(in, MapWrite)
+	for i := range view {
+		view[i] = float64(i)
+	}
+	_, _ = q.EnqueueUnmapBuffer(in)
+
+	k, _ := ctx.CreateKernel(squareKernel())
+	_ = k.SetBufferArg("in", in)
+	_ = k.SetBufferArg("out", out)
+	ke, err := q.EnqueueNDRangeKernelPinned(k, ir.Range1D(n, 128), RoundRobinAffinity(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ke.Time() <= 0 {
+		t.Fatal("pinned launch must take time")
+	}
+	res, _, _ := q.EnqueueMapBuffer(out, MapRead)
+	for i := 0; i < n; i++ {
+		if res[i] != float64(i*i) {
+			t.Fatalf("out[%d] = %v", i, res[i])
+		}
+	}
+	_, _ = q.EnqueueUnmapBuffer(out)
+}
+
+func TestPinnedLaunchRejectsGPU(t *testing.T) {
+	ctx := NewContext(GPUDevice())
+	q := NewQueue(ctx)
+	k, _ := ctx.CreateKernel(squareKernel())
+	b, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 64)
+	_ = k.SetBufferArg("in", b)
+	_ = k.SetBufferArg("out", b)
+	if _, err := q.EnqueueNDRangeKernelPinned(k, ir.Range1D(64, 8), RoundRobinAffinity(8)); !IsCode(err, ErrInvalidOperation) {
+		t.Fatalf("GPU pinned launch: %v, want CL_INVALID_OPERATION", err)
+	}
+}
+
+func TestAffinityHelpers(t *testing.T) {
+	rr := RoundRobinAffinity(4)
+	if rr(5) != 1 {
+		t.Errorf("round robin: %d", rr(5))
+	}
+	blk := BlockAffinity(16, 4)
+	if blk(0) != 0 || blk(7) != 1 || blk(15) != 3 {
+		t.Errorf("block affinity wrong: %d %d %d", blk(0), blk(7), blk(15))
+	}
+}

@@ -1,0 +1,94 @@
+// Package cl is the OpenCL-shaped runtime layer of clperf: platforms,
+// devices, contexts, command queues, memory objects with allocation flags,
+// kernels and events, with the semantics (and the cost structure) of the
+// host API the paper exercises — clCreateBuffer, clEnqueueNDRangeKernel,
+// clEnqueueRead/WriteBuffer and clEnqueueMapBuffer.
+//
+// Execution is functional (buffers really receive results) and timing is
+// simulated: each command queue advances a simulated clock by the device
+// model's cost for every command, and every enqueue returns an Event
+// carrying profiling timestamps, mirroring CL_QUEUE_PROFILING_ENABLE.
+package cl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error is an OpenCL-style error code.
+type Error string
+
+// Error codes (the subset this runtime raises).
+const (
+	ErrInvalidValue      Error = "CL_INVALID_VALUE"
+	ErrInvalidMemObject  Error = "CL_INVALID_MEM_OBJECT"
+	ErrInvalidKernelArgs Error = "CL_INVALID_KERNEL_ARGS"
+	ErrInvalidWorkGroup  Error = "CL_INVALID_WORK_GROUP_SIZE"
+	ErrInvalidOperation  Error = "CL_INVALID_OPERATION"
+	ErrMapFailure        Error = "CL_MAP_FAILURE"
+)
+
+// Error implements the error interface.
+func (e Error) Error() string { return string(e) }
+
+// wrap attaches context to a code.
+func wrap(code Error, format string, args ...any) error {
+	return fmt.Errorf("cl: %s: %w", fmt.Sprintf(format, args...), code)
+}
+
+// IsCode reports whether err carries the given OpenCL error code.
+func IsCode(err error, code Error) bool { return errors.Is(err, code) }
+
+// MemFlags are clCreateBuffer allocation and access flags.
+type MemFlags uint32
+
+// Memory object flags.
+const (
+	// MemReadWrite lets kernels read and write the object (the default).
+	MemReadWrite MemFlags = 1 << iota
+	// MemReadOnly marks the object read-only inside kernels.
+	MemReadOnly
+	// MemWriteOnly marks the object write-only inside kernels.
+	MemWriteOnly
+	// MemAllocHostPtr allocates host-accessible (pinned) memory.
+	MemAllocHostPtr
+)
+
+func (f MemFlags) access() MemFlags {
+	a := f & (MemReadWrite | MemReadOnly | MemWriteOnly)
+	if a == 0 {
+		return MemReadWrite
+	}
+	return a
+}
+
+func (f MemFlags) valid() bool {
+	a := f.access()
+	return a == MemReadWrite || a == MemReadOnly || a == MemWriteOnly
+}
+
+// String formats the flags like the C constants.
+func (f MemFlags) String() string {
+	s := ""
+	switch f.access() {
+	case MemReadOnly:
+		s = "CL_MEM_READ_ONLY"
+	case MemWriteOnly:
+		s = "CL_MEM_WRITE_ONLY"
+	default:
+		s = "CL_MEM_READ_WRITE"
+	}
+	if f&MemAllocHostPtr != 0 {
+		s += "|CL_MEM_ALLOC_HOST_PTR"
+	}
+	return s
+}
+
+// MapFlags select the access mode of EnqueueMapBuffer.
+type MapFlags uint32
+
+// Map flags.
+const (
+	MapRead MapFlags = 1 << iota
+	MapWrite
+)

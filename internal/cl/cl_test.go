@@ -1,0 +1,476 @@
+package cl
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+)
+
+func squareKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "square",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("x", ir.LoadF("in", ir.Gid(0))),
+			ir.StoreF("out", ir.Gid(0), ir.Mul(ir.V("x"), ir.V("x"))),
+		},
+	}
+}
+
+func TestPlatforms(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 2 {
+		t.Fatalf("platforms = %d, want 2", len(ps))
+	}
+	if CPUDevice().Type != DeviceCPU || GPUDevice().Type != DeviceGPU {
+		t.Fatal("device types wrong")
+	}
+	if CPUDevice().ComputeUnits() != 24 {
+		t.Fatalf("CPU compute units = %d, want 24", CPUDevice().ComputeUnits())
+	}
+	if GPUDevice().ComputeUnits() != 16 {
+		t.Fatalf("GPU compute units = %d, want 16", GPUDevice().ComputeUnits())
+	}
+}
+
+func TestBufferCreation(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	b, err := ctx.CreateBuffer(MemReadWrite, ir.F32, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1024 || b.Bytes() != 4096 {
+		t.Fatalf("len/bytes = %d/%d", b.Len(), b.Bytes())
+	}
+	if b.Data().Base == 0 {
+		t.Fatal("buffer must get a nonzero simulated base address")
+	}
+
+	b2, _ := ctx.CreateBuffer(MemReadOnly, ir.F32, 16)
+	if b2.Data().Base < b.Data().Base+b.Bytes() {
+		t.Fatal("buffers must not overlap")
+	}
+
+	if _, err := ctx.CreateBuffer(MemReadOnly|MemWriteOnly, ir.F32, 4); !IsCode(err, ErrInvalidValue) {
+		t.Fatalf("conflicting flags: err = %v, want CL_INVALID_VALUE", err)
+	}
+	if _, err := ctx.CreateBuffer(MemReadWrite, ir.F32, 0); !IsCode(err, ErrInvalidValue) {
+		t.Fatalf("zero size: err = %v", err)
+	}
+}
+
+func TestMemFlagsString(t *testing.T) {
+	if s := (MemReadOnly | MemAllocHostPtr).String(); s != "CL_MEM_READ_ONLY|CL_MEM_ALLOC_HOST_PTR" {
+		t.Errorf("String = %q", s)
+	}
+	if s := MemFlags(0).String(); s != "CL_MEM_READ_WRITE" {
+		t.Errorf("default flags String = %q", s)
+	}
+}
+
+func TestKernelArgErrors(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	k, err := ctx.CreateKernel(squareKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 64)
+
+	if err := k.SetBufferArg("nope", b); !IsCode(err, ErrInvalidKernelArgs) {
+		t.Fatalf("unknown arg: %v", err)
+	}
+	if err := k.SetBufferArg("in", nil); !IsCode(err, ErrInvalidMemObject) {
+		t.Fatalf("nil buffer: %v", err)
+	}
+	other := NewContext(CPUDevice())
+	ob, _ := other.CreateBuffer(MemReadWrite, ir.F32, 64)
+	if err := k.SetBufferArg("in", ob); !IsCode(err, ErrInvalidMemObject) {
+		t.Fatalf("cross-context buffer: %v", err)
+	}
+	ib, _ := ctx.CreateBuffer(MemReadWrite, ir.I32, 64)
+	if err := k.SetBufferArg("in", ib); !IsCode(err, ErrInvalidKernelArgs) {
+		t.Fatalf("type mismatch: %v", err)
+	}
+	if err := k.SetScalarArg("in", 1); !IsCode(err, ErrInvalidKernelArgs) {
+		t.Fatalf("buffer as scalar: %v", err)
+	}
+
+	// Launch with unbound args fails.
+	q := NewQueue(ctx)
+	if _, err := q.EnqueueNDRangeKernel(k, ir.Range1D(64, 8)); !IsCode(err, ErrInvalidKernelArgs) {
+		t.Fatalf("unbound launch: %v", err)
+	}
+}
+
+func TestBuildRejectsInvalidKernel(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	bad := &ir.Kernel{Name: "bad", WorkDim: 1, Params: []ir.Param{ir.Buf("o")},
+		Body: []ir.Stmt{ir.StoreF("o", ir.Gid(0), ir.V("undefined"))}}
+	if _, err := ctx.CreateKernel(bad); err == nil {
+		t.Fatal("CreateKernel must validate")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	b, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 128)
+	src := make([]float64, 128)
+	for i := range src {
+		src[i] = float64(i) * 0.25
+	}
+	wev, err := q.EnqueueWriteBuffer(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wev.Duration() <= 0 {
+		t.Fatal("write must take simulated time")
+	}
+	dst := make([]float64, 128)
+	if _, err := q.EnqueueReadBuffer(b, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], src[i])
+		}
+	}
+	// Oversized transfers are rejected.
+	if _, err := q.EnqueueWriteBuffer(b, make([]float64, 129)); !IsCode(err, ErrInvalidValue) {
+		t.Fatalf("oversized write: %v", err)
+	}
+}
+
+func TestMapSemantics(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	b, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 16)
+
+	view, mev, err := q.EnqueueMapBuffer(b, MapWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mapping twice fails.
+	if _, _, err := q.EnqueueMapBuffer(b, MapRead); !IsCode(err, ErrMapFailure) {
+		t.Fatalf("double map: %v", err)
+	}
+	view[3] = 42
+	if _, err := q.EnqueueUnmapBuffer(b); err != nil {
+		t.Fatal(err)
+	}
+	// Unmapping again fails.
+	if _, err := q.EnqueueUnmapBuffer(b); !IsCode(err, ErrInvalidValue) {
+		t.Fatalf("double unmap: %v", err)
+	}
+	// Writes through the view are visible: the paper's zero-copy semantics.
+	dst := make([]float64, 16)
+	if _, err := q.EnqueueReadBuffer(b, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[3] != 42 {
+		t.Fatalf("mapped write lost: dst[3] = %v", dst[3])
+	}
+	// Map flags must be provided.
+	if _, _, err := q.EnqueueMapBuffer(b, 0); !IsCode(err, ErrInvalidValue) {
+		t.Fatalf("empty map flags: %v", err)
+	}
+	_ = mev
+}
+
+// The paper's Figure 7/8 premise at the API level: mapping is cheaper than
+// copying, and the gap grows with size.
+func TestMapCheaperThanCopy(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		b, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		src := make([]float64, n)
+		wev, err := q.EnqueueWriteBuffer(b, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, mev, err := q.EnqueueMapBuffer(b, MapRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.EnqueueUnmapBuffer(b); err != nil {
+			t.Fatal(err)
+		}
+		if mev.Duration() >= wev.Duration() {
+			t.Fatalf("n=%d: map (%v) not cheaper than copy (%v)", n, mev.Duration(), wev.Duration())
+		}
+	}
+}
+
+func TestAccessFlagEnforcement(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	k, _ := ctx.CreateKernel(squareKernel())
+	in, _ := ctx.CreateBuffer(MemWriteOnly, ir.F32, 64) // wrong: kernel reads it
+	out, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 64)
+	if err := k.SetBufferArg("in", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetBufferArg("out", out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueNDRangeKernel(k, ir.Range1D(64, 8)); !IsCode(err, ErrInvalidOperation) {
+		t.Fatalf("reading a write-only buffer: %v", err)
+	}
+
+	// And writing a read-only buffer.
+	k2, _ := ctx.CreateKernel(squareKernel())
+	in2, _ := ctx.CreateBuffer(MemReadOnly, ir.F32, 64)
+	out2, _ := ctx.CreateBuffer(MemReadOnly, ir.F32, 64) // wrong: kernel writes it
+	_ = k2.SetBufferArg("in", in2)
+	_ = k2.SetBufferArg("out", out2)
+	if _, err := q.EnqueueNDRangeKernel(k2, ir.Range1D(64, 8)); !IsCode(err, ErrInvalidOperation) {
+		t.Fatalf("writing a read-only buffer: %v", err)
+	}
+}
+
+func TestNDRangeLaunchFunctionalAndClock(t *testing.T) {
+	for _, dev := range []*Device{CPUDevice(), GPUDevice()} {
+		ctx := NewContext(dev)
+		q := NewQueue(ctx)
+		k, err := ctx.CreateKernel(squareKernel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 256
+		in, _ := ctx.CreateBuffer(MemReadOnly, ir.F32, n)
+		out, _ := ctx.CreateBuffer(MemWriteOnly, ir.F32, n)
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = float64(i)
+		}
+		if _, err := q.EnqueueWriteBuffer(in, src); err != nil {
+			t.Fatal(err)
+		}
+		_ = k.SetBufferArg("in", in)
+		_ = k.SetBufferArg("out", out)
+
+		before := q.Now()
+		ke, err := q.EnqueueNDRangeKernel(k, ir.Range1D(n, 0)) // NULL local size
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Now() <= before {
+			t.Fatal("queue clock must advance")
+		}
+		if ke.Time() <= 0 {
+			t.Fatal("kernel event must have duration")
+		}
+		dst := make([]float64, n)
+		if _, err := q.EnqueueReadBuffer(out, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i := range dst {
+			if dst[i] != float64(i*i) {
+				t.Fatalf("%s: out[%d] = %v, want %v", dev.Name(), i, dst[i], i*i)
+			}
+		}
+		// Events are recorded in order with consistent timestamps.
+		evs := q.Events()
+		if len(evs) != 3 {
+			t.Fatalf("events = %d, want 3", len(evs))
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start < evs[i-1].End {
+				t.Fatal("event timestamps must be ordered")
+			}
+		}
+	}
+}
+
+func TestInvalidGeometry(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	k, _ := ctx.CreateKernel(squareKernel())
+	b, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 100)
+	_ = k.SetBufferArg("in", b)
+	_ = k.SetBufferArg("out", b)
+	// Local size does not divide global.
+	if _, err := q.EnqueueNDRangeKernel(k, ir.Range1D(100, 7)); !IsCode(err, ErrInvalidWorkGroup) {
+		t.Fatalf("indivisible local size: %v", err)
+	}
+}
+
+func TestPinnedBuffersOnGPU(t *testing.T) {
+	ctx := NewContext(GPUDevice())
+	q := NewQueue(ctx)
+	norm, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 1<<20)
+	pinned, _ := ctx.CreateBuffer(MemReadWrite|MemAllocHostPtr, ir.F32, 1<<20)
+	src := make([]float64, 1<<20)
+	e1, err := q.EnqueueWriteBuffer(norm, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := q.EnqueueWriteBuffer(pinned, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Duration() >= e1.Duration() {
+		t.Fatalf("pinned transfer (%v) should beat pageable (%v)", e2.Duration(), e1.Duration())
+	}
+}
+
+func TestCopyAndFillBuffer(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	src, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 64)
+	dst, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 64)
+
+	if _, err := q.EnqueueFillBuffer(src, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := q.EnqueueCopyBuffer(src, dst, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Duration() <= 0 {
+		t.Fatal("device copy must take time")
+	}
+	out := make([]float64, 64)
+	if _, err := q.EnqueueReadBuffer(dst, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if out[i] != 3.5 {
+			t.Fatalf("dst[%d] = %v, want 3.5", i, out[i])
+		}
+	}
+	for i := 32; i < 64; i++ {
+		if out[i] != 0 {
+			t.Fatalf("dst[%d] = %v, want untouched 0", i, out[i])
+		}
+	}
+
+	// Errors.
+	if _, err := q.EnqueueCopyBuffer(src, dst, 100); !IsCode(err, ErrInvalidValue) {
+		t.Fatalf("oversized copy: %v", err)
+	}
+	ibuf, _ := ctx.CreateBuffer(MemReadWrite, ir.I32, 64)
+	if _, err := q.EnqueueCopyBuffer(src, ibuf, 8); !IsCode(err, ErrInvalidMemObject) {
+		t.Fatalf("type-mismatched copy: %v", err)
+	}
+}
+
+func TestProgramFromSource(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	prog, err := ctx.CreateProgramWithSource(`
+		__kernel void triple(__global float *a, __global float *out) {
+			int i = get_global_id(0);
+			out[i] = 3.0f * a[i];
+		}
+		__kernel void offset(__global float *a, __global float *out, float d) {
+			out[get_global_id(0)] = a[get_global_id(0)] + d;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := prog.KernelNames(); len(names) != 2 || names[0] != "offset" {
+		t.Fatalf("KernelNames = %v", names)
+	}
+
+	k, err := prog.CreateKernel("triple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 128
+	a, _ := ctx.CreateBuffer(MemReadOnly, ir.F32, n)
+	out, _ := ctx.CreateBuffer(MemWriteOnly, ir.F32, n)
+	view, _, _ := q.EnqueueMapBuffer(a, MapWrite)
+	for i := range view {
+		view[i] = float64(i)
+	}
+	_, _ = q.EnqueueUnmapBuffer(a)
+	_ = k.SetBufferArg("a", a)
+	_ = k.SetBufferArg("out", out)
+	if _, err := q.EnqueueNDRangeKernel(k, ir.Range1D(n, 32)); err != nil {
+		t.Fatal(err)
+	}
+	res := make([]float64, n)
+	_, _ = q.EnqueueReadBuffer(out, res)
+	for i := 0; i < n; i++ {
+		if res[i] != float64(3*i) {
+			t.Fatalf("out[%d] = %v, want %v", i, res[i], 3*i)
+		}
+	}
+
+	if _, err := prog.CreateKernel("nope"); !IsCode(err, ErrInvalidValue) {
+		t.Fatalf("missing kernel: %v", err)
+	}
+	if _, err := ctx.CreateProgramWithSource("not a kernel"); err == nil {
+		t.Fatal("bad source must fail to build")
+	}
+}
+
+func TestDeviceExtensions(t *testing.T) {
+	cpuExt := CPUDevice().Extensions()
+	found := false
+	for _, e := range cpuExt {
+		if e == "clperf_workgroup_affinity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CPU device must expose clperf_workgroup_affinity: %v", cpuExt)
+	}
+	for _, e := range GPUDevice().Extensions() {
+		if e == "clperf_workgroup_affinity" {
+			t.Error("GPU device must not expose the affinity extension")
+		}
+	}
+}
+
+func TestSubBuffer(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	parent, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, 256)
+	sub, err := parent.CreateSubBuffer(64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 128 {
+		t.Fatalf("sub len = %d", sub.Len())
+	}
+	if sub.Data().Base != parent.Data().Addr(64) {
+		t.Fatal("sub-buffer base address must offset into the parent")
+	}
+
+	// A kernel writing the sub-buffer is visible through the parent.
+	k, _ := ctx.CreateKernel(squareKernel())
+	_ = k.SetBufferArg("in", sub)
+	_ = k.SetBufferArg("out", sub)
+	view, _, _ := q.EnqueueMapBuffer(parent, MapWrite)
+	for i := range view {
+		view[i] = 2
+	}
+	_, _ = q.EnqueueUnmapBuffer(parent)
+	if _, err := q.EnqueueNDRangeKernel(k, ir.Range1D(128, 32)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 256)
+	_, _ = q.EnqueueReadBuffer(parent, got)
+	for i := 0; i < 256; i++ {
+		want := 2.0
+		if i >= 64 && i < 192 {
+			want = 4
+		}
+		if got[i] != want {
+			t.Fatalf("parent[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+
+	// Bounds errors.
+	if _, err := parent.CreateSubBuffer(200, 100); !IsCode(err, ErrInvalidValue) {
+		t.Fatalf("oversized sub-buffer: %v", err)
+	}
+	if _, err := parent.CreateSubBuffer(-1, 10); !IsCode(err, ErrInvalidValue) {
+		t.Fatalf("negative origin: %v", err)
+	}
+}

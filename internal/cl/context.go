@@ -1,0 +1,169 @@
+package cl
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"clperf/internal/cache"
+	"clperf/internal/ir"
+)
+
+// Context owns memory objects and kernels for one device.
+type Context struct {
+	Device   *Device
+	nextBase int64
+	nextID   int64
+	// hier is the persistent simulated cache hierarchy used by the
+	// clperf_workgroup_affinity extension (affinity.go); nil until the
+	// first pinned launch.
+	hier *cache.Hierarchy
+}
+
+// NewContext creates a context on the device.
+func NewContext(dev *Device) *Context {
+	// Buffer base addresses start away from zero so address arithmetic bugs
+	// surface; allocations are line-aligned.
+	return &Context{Device: dev, nextBase: 1 << 20}
+}
+
+// Buffer is a cl_mem object: a device-side linear allocation plus its
+// creation flags.
+type Buffer struct {
+	ctx   *Context
+	flags MemFlags
+	data  *ir.Buffer
+	// hostPtr is the host-visible mirror for copy semantics. For the CPU
+	// device host and device share memory, so reads/writes against it are
+	// modeled copies; contents are always kept coherent functionally.
+	mapped int32
+}
+
+// CreateBuffer allocates an n-element buffer of elem type. It mirrors
+// clCreateBuffer: flags select kernel access rights and the allocation
+// location.
+func (c *Context) CreateBuffer(flags MemFlags, elem ir.Type, n int) (*Buffer, error) {
+	if !flags.valid() {
+		return nil, wrap(ErrInvalidValue, "conflicting access flags %v", flags)
+	}
+	if n <= 0 {
+		return nil, wrap(ErrInvalidValue, "buffer size %d", n)
+	}
+	id := atomic.AddInt64(&c.nextID, 1)
+	data := ir.NewBuffer(fmt.Sprintf("mem%d", id), elem, n)
+	data.Base = c.nextBase
+	size := (data.Bytes() + 63) &^ 63
+	c.nextBase += size
+	return &Buffer{ctx: c, flags: flags, data: data}, nil
+}
+
+// CreateSubBuffer returns a view of n elements starting at origin
+// (clCreateSubBuffer with CL_BUFFER_CREATE_TYPE_REGION): the sub-buffer
+// shares the parent's storage, so kernels writing through either see one
+// memory object. Flags default to the parent's.
+func (b *Buffer) CreateSubBuffer(origin, n int) (*Buffer, error) {
+	if origin < 0 || n <= 0 || origin+n > b.Len() {
+		return nil, wrap(ErrInvalidValue, "sub-buffer [%d, %d) of %d elements", origin, origin+n, b.Len())
+	}
+	sub := &ir.Buffer{
+		Name: fmt.Sprintf("%s+%d", b.data.Name, origin),
+		Elem: b.data.Elem,
+		Data: b.data.Data[origin : origin+n : origin+n],
+		Base: b.data.Addr(origin),
+	}
+	return &Buffer{ctx: b.ctx, flags: b.flags, data: sub}, nil
+}
+
+// Flags returns the creation flags.
+func (b *Buffer) Flags() MemFlags { return b.flags }
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return b.data.Len() }
+
+// Bytes returns the allocation size in bytes.
+func (b *Buffer) Bytes() int64 { return b.data.Bytes() }
+
+// Data exposes the backing ir buffer for binding to kernel arguments.
+func (b *Buffer) Data() *ir.Buffer { return b.data }
+
+// HostResident reports whether the buffer was allocated in host-accessible
+// memory (CL_MEM_ALLOC_HOST_PTR).
+func (b *Buffer) HostResident() bool { return b.flags&MemAllocHostPtr != 0 }
+
+// Kernel is a cl_kernel: a program kernel plus its bound arguments.
+type Kernel struct {
+	ctx  *Context
+	k    *ir.Kernel
+	args *ir.Args
+	bufs map[string]*Buffer
+}
+
+// CreateKernel wraps an IR kernel for launching in this context, validating
+// it once (clBuildProgram + clCreateKernel).
+func (c *Context) CreateKernel(k *ir.Kernel) (*Kernel, error) {
+	if err := ir.Validate(k); err != nil {
+		return nil, fmt.Errorf("cl: build %s: %w", k.Name, err)
+	}
+	return &Kernel{ctx: c, k: k, args: ir.NewArgs(), bufs: map[string]*Buffer{}}, nil
+}
+
+// Name returns the kernel name.
+func (k *Kernel) Name() string { return k.k.Name }
+
+// IR returns the underlying kernel definition.
+func (k *Kernel) IR() *ir.Kernel { return k.k }
+
+// SetBufferArg binds a memory object to the named buffer parameter
+// (clSetKernelArg with a cl_mem).
+func (k *Kernel) SetBufferArg(name string, b *Buffer) error {
+	p, ok := k.k.Param(name)
+	if !ok || p.Kind != ir.BufferParam {
+		return wrap(ErrInvalidKernelArgs, "kernel %s has no buffer parameter %q", k.k.Name, name)
+	}
+	if b == nil {
+		return wrap(ErrInvalidMemObject, "nil buffer for %q", name)
+	}
+	if b.ctx != k.ctx {
+		return wrap(ErrInvalidMemObject, "buffer for %q belongs to another context", name)
+	}
+	if b.data.Elem != p.Elem {
+		return wrap(ErrInvalidKernelArgs, "buffer for %q is %v, kernel wants %v", name, b.data.Elem, p.Elem)
+	}
+	k.args.Bind(name, b.data)
+	k.bufs[name] = b
+	return nil
+}
+
+// SetScalarArg binds a scalar value to the named parameter.
+func (k *Kernel) SetScalarArg(name string, v float64) error {
+	p, ok := k.k.Param(name)
+	if !ok || p.Kind != ir.ScalarParam {
+		return wrap(ErrInvalidKernelArgs, "kernel %s has no scalar parameter %q", k.k.Name, name)
+	}
+	k.args.SetScalar(name, v)
+	return nil
+}
+
+// Args returns the bound argument set.
+func (k *Kernel) Args() *ir.Args { return k.args }
+
+// checkAccess enforces the buffers' access flags against the kernel's
+// actual reads and writes, as derived by static analysis.
+func (k *Kernel) checkAccess(nd ir.NDRange) error {
+	prof, err := ir.ProfileKernel(k.k, k.args, nd, ir.LatencyTable{}, ir.MaxBranch)
+	if err != nil {
+		return err
+	}
+	for _, a := range prof.Accesses {
+		b, ok := k.bufs[a.Buf]
+		if !ok {
+			continue
+		}
+		if a.Write && b.flags.access() == MemReadOnly {
+			return wrap(ErrInvalidOperation, "kernel %s writes read-only buffer %q", k.k.Name, a.Buf)
+		}
+		if !a.Write && b.flags.access() == MemWriteOnly {
+			return wrap(ErrInvalidOperation, "kernel %s reads write-only buffer %q", k.k.Name, a.Buf)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package cl
+
+import (
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// OOOQueue is an out-of-order command queue
+// (CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE): commands declare their
+// dependencies through event wait lists, and independent commands overlap
+// in simulated time. The model has two engines, as real devices do — a
+// compute engine executing kernels and a DMA engine moving buffers — so a
+// transfer can hide behind an unrelated kernel, the classic double-buffer
+// optimization.
+//
+// Functional effects apply in enqueue order (the host side is still one
+// thread); wait lists govern timing only, so callers must declare every
+// true dependency for the timeline to be meaningful — exactly the contract
+// of the real API.
+type OOOQueue struct {
+	ctx   *Context
+	costs *CommandQueue // reused for its cost model only
+
+	computeFree  units.Duration
+	transferFree units.Duration
+	events       []*Event
+}
+
+// NewOOOQueue creates an out-of-order queue on the context's device.
+func NewOOOQueue(ctx *Context) *OOOQueue {
+	return &OOOQueue{ctx: ctx, costs: &CommandQueue{ctx: ctx, functional: false}}
+}
+
+// Events returns every recorded event in enqueue order.
+func (q *OOOQueue) Events() []*Event { return q.events }
+
+// Finish returns the makespan: the time all enqueued commands complete.
+func (q *OOOQueue) Finish() units.Duration {
+	var end units.Duration
+	for _, ev := range q.events {
+		if ev.End > end {
+			end = ev.End
+		}
+	}
+	return end
+}
+
+func ready(waitList []*Event) units.Duration {
+	var r units.Duration
+	for _, ev := range waitList {
+		if ev != nil && ev.End > r {
+			r = ev.End
+		}
+	}
+	return r
+}
+
+// schedule places a command on an engine no earlier than its dependencies.
+func (q *OOOQueue) schedule(cmd string, engineFree *units.Duration,
+	cost units.Duration, waitList []*Event) *Event {
+	start := ready(waitList)
+	if *engineFree > start {
+		start = *engineFree
+	}
+	ev := &Event{Command: cmd, Queued: start, Start: start, End: start + cost}
+	*engineFree = ev.End
+	q.events = append(q.events, ev)
+	return ev
+}
+
+// EnqueueWriteBuffer copies src into the buffer after waitList completes
+// (DMA engine).
+func (q *OOOQueue) EnqueueWriteBuffer(b *Buffer, src []float64, waitList ...*Event) (*Event, error) {
+	if b == nil || b.ctx != q.ctx {
+		return nil, wrap(ErrInvalidMemObject, "write buffer")
+	}
+	if len(src) > b.Len() {
+		return nil, wrap(ErrInvalidValue, "write of %d elements into buffer of %d", len(src), b.Len())
+	}
+	b.data.CopyFrom(src)
+	cost := q.costs.copyCost(b, int64(len(src))*b.data.Elem.Size())
+	return q.schedule("clEnqueueWriteBuffer", &q.transferFree, cost, waitList), nil
+}
+
+// EnqueueReadBuffer copies the buffer into dst after waitList completes
+// (DMA engine).
+func (q *OOOQueue) EnqueueReadBuffer(b *Buffer, dst []float64, waitList ...*Event) (*Event, error) {
+	if b == nil || b.ctx != q.ctx {
+		return nil, wrap(ErrInvalidMemObject, "read buffer")
+	}
+	if len(dst) > b.Len() {
+		return nil, wrap(ErrInvalidValue, "read of %d elements from buffer of %d", len(dst), b.Len())
+	}
+	copy(dst, b.data.Data[:len(dst)])
+	cost := q.costs.copyCost(b, int64(len(dst))*b.data.Elem.Size())
+	return q.schedule("clEnqueueReadBuffer", &q.transferFree, cost, waitList), nil
+}
+
+// EnqueueNDRangeKernel launches the kernel after waitList completes
+// (compute engine).
+func (q *OOOQueue) EnqueueNDRangeKernel(k *Kernel, nd ir.NDRange, waitList ...*Event) (*Event, error) {
+	if k.ctx != q.ctx {
+		return nil, wrap(ErrInvalidValue, "kernel from another context")
+	}
+	ke, err := q.costs.EnqueueNDRangeKernel(k, nd) // prices and validates; no functional run
+	if err != nil {
+		return nil, err
+	}
+	// Re-run functionally (the costs queue skips it) so results are real.
+	dev := q.ctx.Device
+	var resolved ir.NDRange
+	if dev.Type == DeviceCPU {
+		resolved = dev.CPU.ResolveLocal(nd)
+	} else {
+		resolved = dev.GPU.ResolveLocal(nd)
+	}
+	if err := ir.ExecRange(k.k, k.args, resolved, ir.ExecOptions{Parallel: 8}); err != nil {
+		return nil, err
+	}
+	cost := ke.Event.Duration()
+	return q.schedule("clEnqueueNDRangeKernel:"+k.k.Name, &q.computeFree, cost, waitList), nil
+}

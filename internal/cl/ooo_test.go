@@ -1,0 +1,117 @@
+package cl
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+)
+
+// The out-of-order queue must overlap independent transfers with compute:
+// a double-buffered pipeline beats its in-order equivalent.
+func TestOOOOverlapsTransferWithCompute(t *testing.T) {
+	const n = 1 << 20
+
+	runInOrder := func() float64 {
+		ctx := NewContext(CPUDevice())
+		q := NewQueue(ctx)
+		q.SetFunctional(false)
+		k, _ := ctx.CreateKernel(squareKernel())
+		a, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		b, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		outA, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		outB, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		src := make([]float64, n)
+		_, _ = q.EnqueueWriteBuffer(a, src)
+		_ = k.SetBufferArg("in", a)
+		_ = k.SetBufferArg("out", outA)
+		_, _ = q.EnqueueNDRangeKernel(k, ir.Range1D(n, 256))
+		_, _ = q.EnqueueWriteBuffer(b, src)
+		_ = k.SetBufferArg("in", b)
+		_ = k.SetBufferArg("out", outB)
+		_, _ = q.EnqueueNDRangeKernel(k, ir.Range1D(n, 256))
+		return float64(q.Now())
+	}
+
+	runOOO := func() float64 {
+		ctx := NewContext(CPUDevice())
+		q := NewOOOQueue(ctx)
+		k, _ := ctx.CreateKernel(squareKernel())
+		a, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		b, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		outA, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		outB, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		src := make([]float64, n)
+		wa, err := q.EnqueueWriteBuffer(a, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The second upload depends on nothing: it overlaps kernel A.
+		wb, err := q.EnqueueWriteBuffer(b, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = k.SetBufferArg("in", a)
+		_ = k.SetBufferArg("out", outA)
+		ka, err := q.EnqueueNDRangeKernel(k, ir.Range1D(n, 256), wa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = k.SetBufferArg("in", b)
+		_ = k.SetBufferArg("out", outB)
+		if _, err := q.EnqueueNDRangeKernel(k, ir.Range1D(n, 256), wb, ka); err != nil {
+			t.Fatal(err)
+		}
+		return float64(q.Finish())
+	}
+
+	inOrder := runInOrder()
+	ooo := runOOO()
+	if ooo >= inOrder {
+		t.Fatalf("out-of-order pipeline (%v) must beat in-order (%v)", ooo, inOrder)
+	}
+}
+
+func TestOOODependenciesRespected(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewOOOQueue(ctx)
+	k, _ := ctx.CreateKernel(squareKernel())
+	const n = 4096
+	in, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+	out, _ := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	w, err := q.EnqueueWriteBuffer(in, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = k.SetBufferArg("in", in)
+	_ = k.SetBufferArg("out", out)
+	ke, err := q.EnqueueNDRangeKernel(k, ir.Range1D(n, 256), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ke.Start < w.End {
+		t.Fatalf("kernel started (%v) before its dependency finished (%v)", ke.Start, w.End)
+	}
+	dst := make([]float64, n)
+	r, err := q.EnqueueReadBuffer(out, dst, ke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Start < ke.End {
+		t.Fatal("read started before the kernel it depends on")
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != float64(i*i) {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], i*i)
+		}
+	}
+	if q.Finish() != r.End {
+		t.Fatalf("Finish = %v, want %v", q.Finish(), r.End)
+	}
+	if len(q.Events()) != 3 {
+		t.Fatalf("events = %d", len(q.Events()))
+	}
+}

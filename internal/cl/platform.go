@@ -1,0 +1,100 @@
+package cl
+
+import (
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/gpu"
+	"clperf/internal/units"
+)
+
+// DeviceType distinguishes compute devices.
+type DeviceType int
+
+// Device types.
+const (
+	DeviceCPU DeviceType = iota
+	DeviceGPU
+)
+
+// String returns the CL-style name.
+func (t DeviceType) String() string {
+	if t == DeviceGPU {
+		return "CL_DEVICE_TYPE_GPU"
+	}
+	return "CL_DEVICE_TYPE_CPU"
+}
+
+// Device is a compute device: the CPU or GPU model behind a platform.
+type Device struct {
+	Type DeviceType
+	CPU  *cpu.Device // set when Type == DeviceCPU
+	GPU  *gpu.Device // set when Type == DeviceGPU
+}
+
+// Name returns the device name string.
+func (d *Device) Name() string {
+	if d.Type == DeviceGPU {
+		return d.GPU.Name()
+	}
+	return d.CPU.Name()
+}
+
+// ComputeUnits returns CL_DEVICE_MAX_COMPUTE_UNITS: hardware threads on the
+// CPU, SMs on the GPU.
+func (d *Device) ComputeUnits() int {
+	if d.Type == DeviceGPU {
+		return d.GPU.A.SMs
+	}
+	return d.CPU.A.LogicalCores()
+}
+
+// PeakFlops returns the device's peak single-precision throughput.
+func (d *Device) PeakFlops() units.Throughput {
+	if d.Type == DeviceGPU {
+		return d.GPU.A.PeakFlops()
+	}
+	return d.CPU.A.PeakFlops()
+}
+
+// Extensions returns the device's extension strings
+// (CL_DEVICE_EXTENSIONS). The CPU device exposes the workgroup-affinity
+// extension the paper proposes; no real 2012 platform did.
+func (d *Device) Extensions() []string {
+	base := []string{"cl_khr_global_int32_base_atomics"}
+	if d.Type == DeviceCPU {
+		return append(base, "clperf_workgroup_affinity", "clperf_out_of_order_queue")
+	}
+	return append(base, "clperf_out_of_order_queue")
+}
+
+// Platform is an OpenCL platform exposing one device, like the Intel CPU
+// and NVIDIA GPU platforms of the paper's Table I.
+type Platform struct {
+	Name    string
+	Vendor  string
+	Devices []*Device
+}
+
+// Platforms returns the simulated platforms of the paper's testbed: the
+// Intel OpenCL platform fronting the dual Xeon E5645 and the NVIDIA
+// platform fronting the GTX 580.
+func Platforms() []*Platform {
+	return []*Platform{
+		{
+			Name:    "Intel(R) OpenCL (simulated)",
+			Vendor:  "clperf",
+			Devices: []*Device{{Type: DeviceCPU, CPU: cpu.New(arch.XeonE5645())}},
+		},
+		{
+			Name:    "NVIDIA CUDA (simulated)",
+			Vendor:  "clperf",
+			Devices: []*Device{{Type: DeviceGPU, GPU: gpu.New(arch.GTX580())}},
+		},
+	}
+}
+
+// CPUDevice returns the default CPU device.
+func CPUDevice() *Device { return Platforms()[0].Devices[0] }
+
+// GPUDevice returns the default GPU device.
+func GPUDevice() *Device { return Platforms()[1].Devices[0] }

@@ -1,0 +1,49 @@
+package cl
+
+import (
+	"sort"
+
+	"clperf/internal/ir"
+)
+
+// Program is a cl_program: kernels compiled from OpenCL C source (the
+// subset documented at ir.Parse).
+type Program struct {
+	ctx     *Context
+	kernels map[string]*ir.Kernel
+}
+
+// CreateProgramWithSource compiles source into a program, as
+// clCreateProgramWithSource + clBuildProgram: parse, then the standard
+// simplification passes (constant folding, identity elimination, dead-code
+// removal), so source-built kernels are priced like hand-optimized IR.
+func (c *Context) CreateProgramWithSource(src string) (*Program, error) {
+	ks, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{ctx: c, kernels: map[string]*ir.Kernel{}}
+	for _, k := range ks {
+		p.kernels[k.Name] = ir.Simplify(k)
+	}
+	return p, nil
+}
+
+// KernelNames lists the program's kernels, sorted.
+func (p *Program) KernelNames() []string {
+	names := make([]string, 0, len(p.kernels))
+	for n := range p.kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateKernel instantiates the named kernel (clCreateKernel).
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	k, ok := p.kernels[name]
+	if !ok {
+		return nil, wrap(ErrInvalidValue, "program has no kernel %q (have %v)", name, p.KernelNames())
+	}
+	return p.ctx.CreateKernel(k)
+}

@@ -1,0 +1,258 @@
+package cl
+
+import (
+	"sync/atomic"
+
+	"clperf/internal/cpu"
+	"clperf/internal/gpu"
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// Event carries profiling timestamps for one enqueued command, as with
+// CL_QUEUE_PROFILING_ENABLE.
+type Event struct {
+	Command string
+	Queued  units.Duration
+	Start   units.Duration
+	End     units.Duration
+}
+
+// Duration returns the command's simulated execution time.
+func (e *Event) Duration() units.Duration { return e.End - e.Start }
+
+// CommandQueue executes commands in order against a simulated clock. The
+// paper measures with blocking calls throughout, so every enqueue here
+// completes synchronously: functional effects apply immediately and the
+// clock advances by the device model's cost.
+type CommandQueue struct {
+	ctx *Context
+	now units.Duration
+	// functional controls whether NDRange launches execute the kernel or
+	// only price it; harness sweeps over large geometries disable it.
+	functional bool
+	events     []*Event
+
+	// LastKernel records the device result of the most recent NDRange
+	// launch for inspection by the harness.
+	LastKernel *KernelEvent
+}
+
+// KernelEvent pairs an event with the device-model result of the launch.
+type KernelEvent struct {
+	Event     *Event
+	CPUResult *cpu.Result
+	GPUResult *gpu.Result
+}
+
+// Time returns the launch's simulated kernel time.
+func (ke *KernelEvent) Time() units.Duration { return ke.Event.Duration() }
+
+// NewQueue creates a command queue on the context's device.
+func NewQueue(ctx *Context) *CommandQueue {
+	return &CommandQueue{ctx: ctx, functional: true}
+}
+
+// SetFunctional toggles functional execution of kernels (on by default).
+// Timing is identical either way; sweeps over very large NDRanges disable
+// execution to keep wall-clock reasonable.
+func (q *CommandQueue) SetFunctional(on bool) { q.functional = on }
+
+// Now returns the queue's simulated clock.
+func (q *CommandQueue) Now() units.Duration { return q.now }
+
+// Events returns all recorded events in order.
+func (q *CommandQueue) Events() []*Event { return q.events }
+
+// Finish drains the queue. Commands complete synchronously, so it only
+// exists for API fidelity.
+func (q *CommandQueue) Finish() {}
+
+func (q *CommandQueue) record(cmd string, cost units.Duration) *Event {
+	ev := &Event{Command: cmd, Queued: q.now, Start: q.now, End: q.now + cost}
+	q.now = ev.End
+	q.events = append(q.events, ev)
+	return ev
+}
+
+// copyCost prices an explicit transfer (clEnqueueRead/WriteBuffer): the
+// runtime allocates a bounce object and copies bytes.
+func (q *CommandQueue) copyCost(b *Buffer, bytes int64) units.Duration {
+	dev := q.ctx.Device
+	if dev.Type == DeviceCPU {
+		a := dev.CPU.A
+		return a.CopyOverhead + a.CopyBandwidth.Transfer(units.ByteSize(bytes))
+	}
+	a := dev.GPU.A
+	bw := a.PCIeBandwidth
+	if b.HostResident() {
+		bw = a.PinnedBandwidth
+	}
+	return a.PCIeLatency + bw.Transfer(units.ByteSize(bytes))
+}
+
+// mapCost prices clEnqueueMapBuffer: on the CPU device host and device
+// share memory, so mapping returns a pointer; on the GPU the buffer
+// contents cross PCIe once.
+func (q *CommandQueue) mapCost(b *Buffer, bytes int64) units.Duration {
+	dev := q.ctx.Device
+	if dev.Type == DeviceCPU {
+		return dev.CPU.A.MapOverhead
+	}
+	a := dev.GPU.A
+	return a.MapOverhead + a.PinnedBandwidth.Transfer(units.ByteSize(bytes))
+}
+
+// EnqueueWriteBuffer copies src into the buffer (host -> device).
+func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, src []float64) (*Event, error) {
+	if b == nil || b.ctx != q.ctx {
+		return nil, wrap(ErrInvalidMemObject, "write buffer")
+	}
+	if len(src) > b.Len() {
+		return nil, wrap(ErrInvalidValue, "write of %d elements into buffer of %d", len(src), b.Len())
+	}
+	b.data.CopyFrom(src)
+	n := int64(len(src)) * b.data.Elem.Size()
+	return q.record("clEnqueueWriteBuffer", q.copyCost(b, n)), nil
+}
+
+// EnqueueReadBuffer copies the buffer into dst (device -> host).
+func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, dst []float64) (*Event, error) {
+	if b == nil || b.ctx != q.ctx {
+		return nil, wrap(ErrInvalidMemObject, "read buffer")
+	}
+	if len(dst) > b.Len() {
+		return nil, wrap(ErrInvalidValue, "read of %d elements from buffer of %d", len(dst), b.Len())
+	}
+	copy(dst, b.data.Data[:len(dst)])
+	n := int64(len(dst)) * b.data.Elem.Size()
+	return q.record("clEnqueueReadBuffer", q.copyCost(b, n)), nil
+}
+
+// EnqueueMapBuffer maps the buffer and returns a live view of its
+// contents: writes through the view are visible to subsequent kernels
+// without any copy — the behaviour (and the cost advantage) the paper
+// measures for mapping APIs.
+func (q *CommandQueue) EnqueueMapBuffer(b *Buffer, flags MapFlags) ([]float64, *Event, error) {
+	if b == nil || b.ctx != q.ctx {
+		return nil, nil, wrap(ErrInvalidMemObject, "map buffer")
+	}
+	if flags&(MapRead|MapWrite) == 0 {
+		return nil, nil, wrap(ErrInvalidValue, "map flags %v", flags)
+	}
+	if !atomic.CompareAndSwapInt32(&b.mapped, 0, 1) {
+		return nil, nil, wrap(ErrMapFailure, "buffer already mapped")
+	}
+	ev := q.record("clEnqueueMapBuffer", q.mapCost(b, b.Bytes()))
+	return b.data.Data, ev, nil
+}
+
+// EnqueueUnmapBuffer releases a mapping.
+func (q *CommandQueue) EnqueueUnmapBuffer(b *Buffer) (*Event, error) {
+	if b == nil || b.ctx != q.ctx {
+		return nil, wrap(ErrInvalidMemObject, "unmap buffer")
+	}
+	if !atomic.CompareAndSwapInt32(&b.mapped, 1, 0) {
+		return nil, wrap(ErrInvalidValue, "buffer not mapped")
+	}
+	cost := units.Duration(0)
+	if q.ctx.Device.Type == DeviceGPU {
+		// Unmapping a written buffer flushes it back over PCIe.
+		cost = q.ctx.Device.GPU.A.PinnedBandwidth.Transfer(units.ByteSize(b.Bytes()))
+	}
+	return q.record("clEnqueueUnmapBuffer", cost), nil
+}
+
+// EnqueueCopyBuffer copies src into dst device-side (clEnqueueCopyBuffer):
+// no host round trip, so on any device it costs one device-memory move.
+func (q *CommandQueue) EnqueueCopyBuffer(src, dst *Buffer, n int) (*Event, error) {
+	if src == nil || dst == nil || src.ctx != q.ctx || dst.ctx != q.ctx {
+		return nil, wrap(ErrInvalidMemObject, "copy buffer")
+	}
+	if n < 0 || n > src.Len() || n > dst.Len() {
+		return nil, wrap(ErrInvalidValue, "copy of %d elements (src %d, dst %d)", n, src.Len(), dst.Len())
+	}
+	if src.data.Elem != dst.data.Elem {
+		return nil, wrap(ErrInvalidMemObject, "copy between %v and %v buffers", src.data.Elem, dst.data.Elem)
+	}
+	copy(dst.data.Data[:n], src.data.Data[:n])
+	bytes := units.ByteSize(int64(n) * src.data.Elem.Size())
+	var cost units.Duration
+	if q.ctx.Device.Type == DeviceCPU {
+		a := q.ctx.Device.CPU.A
+		// Device-side memcpy: read + write through DRAM.
+		cost = a.MemBandwidth.Transfer(2 * bytes)
+	} else {
+		a := q.ctx.Device.GPU.A
+		cost = a.MemBandwidth.Transfer(2 * bytes)
+	}
+	return q.record("clEnqueueCopyBuffer", cost), nil
+}
+
+// EnqueueFillBuffer fills the buffer with a value (clEnqueueFillBuffer).
+func (q *CommandQueue) EnqueueFillBuffer(b *Buffer, v float64) (*Event, error) {
+	if b == nil || b.ctx != q.ctx {
+		return nil, wrap(ErrInvalidMemObject, "fill buffer")
+	}
+	b.data.Fill(v)
+	bytes := units.ByteSize(b.Bytes())
+	var cost units.Duration
+	if q.ctx.Device.Type == DeviceCPU {
+		cost = q.ctx.Device.CPU.A.MemBandwidth.Transfer(bytes)
+	} else {
+		cost = q.ctx.Device.GPU.A.MemBandwidth.Transfer(bytes)
+	}
+	return q.record("clEnqueueFillBuffer", cost), nil
+}
+
+// EnqueueNDRangeKernel launches the kernel over the NDRange (local size may
+// be NULL — all zero — to let the implementation choose).
+func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd ir.NDRange) (*KernelEvent, error) {
+	if k.ctx != q.ctx {
+		return nil, wrap(ErrInvalidValue, "kernel from another context")
+	}
+	for _, p := range k.k.Params {
+		if p.Kind == ir.BufferParam {
+			if _, ok := k.args.Buffers[p.Name]; !ok {
+				return nil, wrap(ErrInvalidKernelArgs, "kernel %s: argument %q not set", k.k.Name, p.Name)
+			}
+		} else if _, ok := k.args.Scalars[p.Name]; !ok {
+			return nil, wrap(ErrInvalidKernelArgs, "kernel %s: argument %q not set", k.k.Name, p.Name)
+		}
+	}
+	if err := nd.Validate(); err != nil {
+		return nil, wrap(ErrInvalidWorkGroup, "%v", err)
+	}
+
+	dev := q.ctx.Device
+	var resolved ir.NDRange
+	if dev.Type == DeviceCPU {
+		resolved = dev.CPU.ResolveLocal(nd)
+	} else {
+		resolved = dev.GPU.ResolveLocal(nd)
+	}
+	if err := k.checkAccess(resolved); err != nil {
+		return nil, err
+	}
+
+	ke := &KernelEvent{}
+	var cost units.Duration
+	if dev.Type == DeviceCPU {
+		res, err := dev.CPU.Launch(k.k, k.args, resolved, cpu.LaunchOptions{SkipFunctional: !q.functional})
+		if err != nil {
+			return nil, err
+		}
+		ke.CPUResult = res
+		cost = res.Time
+	} else {
+		res, err := dev.GPU.Launch(k.k, k.args, resolved, gpu.LaunchOptions{SkipFunctional: !q.functional})
+		if err != nil {
+			return nil, err
+		}
+		ke.GPUResult = res
+		cost = res.Time
+	}
+	ke.Event = q.record("clEnqueueNDRangeKernel:"+k.k.Name, cost)
+	q.LastKernel = ke
+	return ke, nil
+}

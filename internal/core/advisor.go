@@ -1,0 +1,370 @@
+// Package core is the paper's contribution as a library: a performance
+// model and advisor for OpenCL-style kernels on multicore CPUs.
+//
+// Given a kernel, its arguments and a launch geometry, Analyze prices the
+// launch on the CPU device model, decomposes where the time goes
+// (scheduling overhead, compute, memory bandwidth, transfer) and emits the
+// paper's five findings as quantified, actionable advice:
+//
+//  1. large workgroups amortize scheduling overhead (section III-B);
+//  2. workitem coarsening amortizes per-item overhead (section III-B);
+//  3. independent instructions (ILP) keep the out-of-order core busy
+//     (section III-C);
+//  4. mapping APIs beat explicit copies for host<->device data
+//     (section III-D);
+//  5. implicit vectorization needs SIMD-friendly kernels — no atomics, no
+//     scalar math-library calls, unit-stride accesses (section III-F).
+//
+// Tune (tune.go) turns the advice into action by searching launch
+// parameters against the model.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// Rule identifies which of the paper's guidelines a finding instantiates.
+type Rule int
+
+// Rules, in paper order.
+const (
+	RuleWorkgroupSize Rule = iota
+	RuleCoarsening
+	RuleILP
+	RuleTransferAPI
+	RuleVectorization
+	RuleAffinity
+	RuleMemoryBound
+)
+
+var ruleNames = map[Rule]string{
+	RuleWorkgroupSize: "workgroup-size",
+	RuleCoarsening:    "workitem-coarsening",
+	RuleILP:           "instruction-level-parallelism",
+	RuleTransferAPI:   "transfer-api",
+	RuleVectorization: "vectorization",
+	RuleAffinity:      "affinity",
+	RuleMemoryBound:   "memory-bound",
+}
+
+// String returns the rule's slug.
+func (r Rule) String() string { return ruleNames[r] }
+
+// Severity grades a finding.
+type Severity int
+
+// Severities.
+const (
+	Info Severity = iota
+	Advice
+	Warning
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	switch s {
+	case Warning:
+		return "warning"
+	case Advice:
+		return "advice"
+	default:
+		return "info"
+	}
+}
+
+// Finding is one quantified observation about a launch.
+type Finding struct {
+	Rule     Rule
+	Severity Severity
+	Message  string
+	// Gain estimates the speedup factor available by following the advice
+	// (1 when purely informational).
+	Gain float64
+}
+
+// String formats the finding.
+func (f Finding) String() string {
+	if f.Gain > 1.001 {
+		return fmt.Sprintf("[%s] %s: %s (est. %.2fx)", f.Severity, f.Rule, f.Message, f.Gain)
+	}
+	return fmt.Sprintf("[%s] %s: %s", f.Severity, f.Rule, f.Message)
+}
+
+// Breakdown decomposes a launch's simulated time.
+type Breakdown struct {
+	// DispatchShare is the fraction spent scheduling workgroups.
+	DispatchShare float64
+	// OverheadShare is the fraction spent on per-workitem runtime
+	// bookkeeping.
+	OverheadShare float64
+	// MemoryBound reports that the bandwidth floor, not compute, sets the
+	// kernel time.
+	MemoryBound bool
+	// ILP is the kernel's instruction-level parallelism.
+	ILP float64
+	// SerialBound reports that the dependence chain, not issue throughput,
+	// dominates the per-packet cost.
+	SerialBound bool
+	// Vectorized and Width describe the implicit vectorizer's outcome.
+	Vectorized bool
+	Width      int
+	// PackedFrac is the fraction of memory operations that vectorize into
+	// packed accesses.
+	PackedFrac float64
+	// OperationalIntensity is flops per byte of memory traffic; with
+	// AttainableGFlops it places the kernel on the device's roofline.
+	OperationalIntensity float64
+	// AttainableGFlops is the roofline bound min(peak, intensity*bandwidth)
+	// for this kernel on this device.
+	AttainableGFlops float64
+}
+
+// Report is the advisor's output for one launch.
+type Report struct {
+	Kernel     string
+	ND         ir.NDRange
+	Time       units.Duration
+	Throughput units.Throughput
+	Breakdown  Breakdown
+	Findings   []Finding
+	// Result is the underlying device-model result.
+	Result *cpu.Result
+}
+
+// Render returns a human-readable report.
+func (r *Report) Render() string {
+	s := fmt.Sprintf("kernel %s over %s: %v (%v)\n", r.Kernel, r.ND, r.Time, r.Throughput)
+	b := r.Breakdown
+	s += fmt.Sprintf("  dispatch %.1f%%, per-item overhead %.1f%%, ILP %.2f, vector width %d, packed accesses %.0f%%\n",
+		100*b.DispatchShare, 100*b.OverheadShare, b.ILP, b.Width, 100*b.PackedFrac)
+	s += fmt.Sprintf("  roofline: %.2f flops/byte -> attainable %.1f GFlop/s (achieved %.1f)\n",
+		b.OperationalIntensity, b.AttainableGFlops, r.Throughput.GFlops())
+	for _, f := range r.Findings {
+		s += "  " + f.String() + "\n"
+	}
+	return s
+}
+
+// Advisor prices launches and produces findings against one CPU.
+type Advisor struct {
+	Dev *cpu.Device
+}
+
+// NewAdvisor returns an advisor for the paper's CPU (or any other arch).
+func NewAdvisor(a *arch.CPU) *Advisor {
+	if a == nil {
+		a = arch.XeonE5645()
+	}
+	return &Advisor{Dev: cpu.New(a)}
+}
+
+// Analyze prices the launch and derives findings. Buffers in args may be
+// unfilled; only geometry, types and scalar values are consulted.
+func (ad *Advisor) Analyze(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Report, error) {
+	res, err := ad.Dev.Estimate(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+	a := ad.Dev.A
+	cost := res.Cost
+	rep := &Report{
+		Kernel:     k.Name,
+		ND:         res.ND,
+		Time:       res.Time,
+		Throughput: res.Throughput(),
+		Result:     res,
+	}
+
+	packet := cost.PacketCycles(1)
+	b := &rep.Breakdown
+	b.DispatchShare = clamp01(float64(res.Dispatch) / float64(res.Time))
+	b.OverheadShare = clamp01(cost.Overhead / (packet + 1e-12) *
+		float64(res.Compute-res.Dispatch) / float64(res.Time))
+	b.MemoryBound = res.MemFloor >= res.Compute
+	b.ILP = cost.Profile.ILP(a.Lat)
+	b.SerialBound = cost.SerialCycles > (cost.IssueCycles + cost.Overhead)
+	b.Vectorized = cost.Vec != nil && cost.Vec.Vectorized
+	b.Width = cost.Width
+	if cost.Vec != nil {
+		b.PackedFrac = cost.Vec.PackedFrac
+	}
+
+	// Roofline placement: flops per byte against the device's memory
+	// bandwidth and FP peak.
+	if cost.TrafficPerItem > 0 {
+		b.OperationalIntensity = cost.Profile.Counts.Flops() / cost.TrafficPerItem
+		attainable := b.OperationalIntensity * float64(a.MemBandwidth)
+		if peak := float64(a.PeakFlops()); attainable > peak {
+			attainable = peak
+		}
+		b.AttainableGFlops = attainable / 1e9
+	} else {
+		b.AttainableGFlops = float64(a.PeakFlops()) / 1e9
+	}
+
+	ad.findScheduling(rep, k, args, nd)
+	ad.findILP(rep)
+	ad.findVectorization(rep, nd)
+	if b.MemoryBound {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule: RuleMemoryBound, Severity: Info, Gain: 1,
+			Message: fmt.Sprintf("kernel is bandwidth-bound (floor %v vs compute %v); launch tuning cannot help beyond the floor",
+				res.MemFloor, res.Compute),
+		})
+	}
+	sortFindings(rep.Findings)
+	return rep, nil
+}
+
+func (ad *Advisor) findScheduling(rep *Report, k *ir.Kernel, args *ir.Args, nd ir.NDRange) {
+	// Workgroup size: compare against the best size the model finds.
+	best, bestTime, err := ad.BestWorkgroup(k, args, nd)
+	if err == nil && bestTime > 0 {
+		gain := float64(rep.Time) / float64(bestTime)
+		if gain > 1.05 {
+			sev := Advice
+			if gain > 1.5 {
+				sev = Warning
+			}
+			msg := fmt.Sprintf("workgroup size %s is below the optimum; use %s", localString(rep.ND), localString(best))
+			if rep.ND.LocalNull() {
+				msg = fmt.Sprintf("NULL workgroup size resolves to %s; set %s explicitly", localString(rep.ND), localString(best))
+			}
+			rep.Findings = append(rep.Findings, Finding{
+				Rule: RuleWorkgroupSize, Severity: sev, Message: msg, Gain: gain,
+			})
+		}
+	}
+
+	// Coarsening: small per-item work drowns in per-item overhead.
+	cost := rep.Result.Cost
+	work := cost.IssueCycles
+	if work > 0 && cost.Overhead/work > 0.5 {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule:     RuleCoarsening,
+			Severity: Advice,
+			Message: fmt.Sprintf("per-workitem work (%.0f cycles) is small next to runtime overhead (%.0f cycles); coalesce several workitems into one",
+				work, cost.Overhead),
+			Gain: (work + cost.Overhead) / work,
+		})
+	}
+}
+
+func (ad *Advisor) findILP(rep *Report) {
+	b := rep.Breakdown
+	if b.SerialBound && b.ILP < 2 && !b.MemoryBound {
+		cost := rep.Result.Cost
+		gain := cost.SerialCycles / maxf(cost.IssueCycles+cost.Overhead, 1)
+		rep.Findings = append(rep.Findings, Finding{
+			Rule:     RuleILP,
+			Severity: Advice,
+			Message: fmt.Sprintf("dependence chain (%.0f cycles) dominates issue (%.0f); restructure for independent instruction streams",
+				cost.SerialCycles, cost.IssueCycles),
+			Gain: gain,
+		})
+	}
+}
+
+func (ad *Advisor) findVectorization(rep *Report, nd ir.NDRange) {
+	vec := rep.Result.Cost.Vec
+	if vec == nil {
+		return
+	}
+	if !vec.Vectorized {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule:     RuleVectorization,
+			Severity: Warning,
+			Message:  fmt.Sprintf("kernel does not vectorize: %s", vec.ScalarReason),
+			Gain:     float64(ad.Dev.A.SIMDWidth),
+		})
+		return
+	}
+	if l0 := rep.ND.Local[0]; l0 > 0 && l0 < ad.Dev.A.SIMDWidth {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule:     RuleVectorization,
+			Severity: Warning,
+			Message: fmt.Sprintf("workgroup dimension 0 is %d, narrower than the %d-lane SIMD unit; lanes go idle",
+				l0, ad.Dev.A.SIMDWidth),
+			Gain: float64(ad.Dev.A.SIMDWidth) / float64(l0),
+		})
+	}
+	if vec.PackedFrac < 0.75 {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule:     RuleVectorization,
+			Severity: Advice,
+			Message: fmt.Sprintf("only %.0f%% of memory accesses are unit-stride; strided/gathered accesses fall back to scalar element loads",
+				100*vec.PackedFrac),
+			Gain: 1,
+		})
+	}
+}
+
+// TransferAdvice compares the copy and map APIs for moving n bytes to or
+// from the device, instantiating guideline 4.
+func (ad *Advisor) TransferAdvice(n int64) Finding {
+	a := ad.Dev.A
+	copyT := a.CopyOverhead + a.CopyBandwidth.Transfer(units.ByteSize(n))
+	mapT := a.MapOverhead
+	gain := float64(copyT) / float64(mapT)
+	return Finding{
+		Rule:     RuleTransferAPI,
+		Severity: Advice,
+		Message: fmt.Sprintf("moving %v: clEnqueueRead/WriteBuffer costs %v, clEnqueueMapBuffer %v; prefer mapping",
+			units.ByteSize(n), copyT, mapT),
+		Gain: gain,
+	}
+}
+
+func localString(nd ir.NDRange) string {
+	if nd.LocalNull() {
+		return "NULL"
+	}
+	d := nd.Dims()
+	s := ""
+	for i := 0; i < d; i++ {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(maxi(nd.Local[i], 1))
+	}
+	return s
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity
+		}
+		return fs[i].Gain > fs[j].Gain
+	})
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func findRule(rep *Report, rule Rule) *Finding {
+	for i := range rep.Findings {
+		if rep.Findings[i].Rule == rule {
+			return &rep.Findings[i]
+		}
+	}
+	return nil
+}
+
+func TestAdvisorFlagsTinyWorkgroups(t *testing.T) {
+	ad := NewAdvisor(nil)
+	app := kernels.Square()
+	nd := ir.Range1D(1<<20, 1)
+	rep, err := ad.Analyze(app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findRule(rep, RuleWorkgroupSize)
+	if f == nil {
+		t.Fatal("expected a workgroup-size finding for 1-item groups")
+	}
+	if f.Gain < 2 {
+		t.Errorf("gain = %.2f, want >= 2", f.Gain)
+	}
+	if findRule(rep, RuleCoarsening) == nil {
+		t.Error("square's tiny per-item work should trigger coarsening advice")
+	}
+	if v := findRule(rep, RuleVectorization); v == nil {
+		t.Error("1-wide workgroups should trigger the lane-width warning")
+	}
+}
+
+func TestAdvisorQuietOnGoodConfig(t *testing.T) {
+	ad := NewAdvisor(nil)
+	app := kernels.BlackScholes()
+	nd := app.Configs[0]
+	rep, err := ad.Analyze(app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findRule(rep, RuleWorkgroupSize); f != nil && f.Gain > 1.3 {
+		t.Errorf("well-configured blackscholes should not need workgroup advice: %v", f)
+	}
+	// Blackscholes calls libm, so the vectorization warning is expected and
+	// correct.
+	v := findRule(rep, RuleVectorization)
+	if v == nil || !strings.Contains(v.Message, "math library") {
+		t.Errorf("blackscholes should carry the scalar-libm warning, got %v", v)
+	}
+}
+
+func TestAdvisorMemoryBound(t *testing.T) {
+	// Uncoarsened vectoradd is runtime-overhead bound (the paper's point);
+	// once coarsened, the DRAM bandwidth floor takes over and the advisor
+	// must say so.
+	ad := NewAdvisor(nil)
+	app := kernels.VectorAdd()
+	nd := ir.Range1D(11440000, 0)
+	args := app.Make(nd)
+	ck, err := kernels.Coarsen(app.Kernel, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnd, err := kernels.CoarsenRange(nd, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ad.Analyze(ck, args, cnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Breakdown.MemoryBound {
+		t.Error("coarsened 11M-element vectoradd must be bandwidth-bound")
+	}
+	if findRule(rep, RuleMemoryBound) == nil {
+		t.Error("expected memory-bound note")
+	}
+}
+
+func TestTransferAdvice(t *testing.T) {
+	ad := NewAdvisor(nil)
+	f := ad.TransferAdvice(64 << 20)
+	if f.Rule != RuleTransferAPI || f.Gain <= 1 {
+		t.Errorf("transfer advice = %+v", f)
+	}
+	if !strings.Contains(f.Message, "prefer mapping") {
+		t.Errorf("message = %q", f.Message)
+	}
+}
+
+func TestBestWorkgroupRespectsDivisibility(t *testing.T) {
+	ad := NewAdvisor(nil)
+	app := kernels.Square()
+	nd := ir.Range1D(10000, 0)
+	best, tm, err := ad.BestWorkgroup(app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm <= 0 {
+		t.Fatal("best time must be positive")
+	}
+	if best.Global[0]%best.Local[0] != 0 {
+		t.Fatalf("chosen local %d does not divide %d", best.Local[0], best.Global[0])
+	}
+}
+
+func TestTuneImproves(t *testing.T) {
+	ad := NewAdvisor(nil)
+	app := kernels.Square()
+	nd := ir.Range1D(1<<20, 1)
+	args := app.Make(nd)
+	tr, err := ad.Tune(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Gain() < 3 {
+		t.Errorf("tuning a 1-item-group square should gain >= 3x, got %.2f", tr.Gain())
+	}
+	if tr.Time > tr.Baseline {
+		t.Error("tuned time above baseline")
+	}
+	// The tuned kernel still computes the right thing.
+	if err := ir.ExecRange(tr.Kernel, args, tr.ND, ir.ExecOptions{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	in, out := args.Buffers["in"], args.Buffers["out"]
+	for i := 0; i < 1<<20; i += 4099 {
+		x := float32(in.Get(i))
+		if out.Get(i) != float64(x*x) {
+			t.Fatalf("tuned kernel wrong at %d", i)
+		}
+	}
+}
+
+// Tune must fall back to workgroup search when coarsening is impossible.
+func TestTuneBarrierKernel(t *testing.T) {
+	ad := NewAdvisor(nil)
+	app := kernels.Reduction()
+	nd := ir.Range1D(1<<16, 64)
+	tr, err := ad.Tune(app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Coarsen != 1 {
+		t.Errorf("barrier kernels cannot coarsen, got factor %d", tr.Coarsen)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	ad := NewAdvisor(nil)
+	app := kernels.Square()
+	nd := ir.Range1D(4096, 1)
+	rep, err := ad.Analyze(app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, want := range []string{"kernel square", "dispatch", "ILP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	fs := []Finding{
+		{Rule: RuleILP, Severity: Info, Gain: 9},
+		{Rule: RuleCoarsening, Severity: Warning, Gain: 2},
+		{Rule: RuleWorkgroupSize, Severity: Advice, Gain: 5},
+	}
+	sortFindings(fs)
+	if fs[0].Severity != Warning || fs[2].Severity != Info {
+		t.Errorf("ordering wrong: %+v", fs)
+	}
+}
+
+func TestRooflinePlacement(t *testing.T) {
+	ad := NewAdvisor(nil)
+
+	// VectorAdd: ~1 flop per 12 bytes — memory-side of the roofline.
+	va := kernels.VectorAdd()
+	nd := ir.Range1D(1<<20, 256)
+	rep, err := ad.Analyze(va.Kernel, va.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breakdown.OperationalIntensity > 0.2 {
+		t.Errorf("vectoradd intensity = %.3f flops/byte, want < 0.2",
+			rep.Breakdown.OperationalIntensity)
+	}
+	if rep.Breakdown.AttainableGFlops >= 230 {
+		t.Errorf("memory-bound kernel cannot attain peak: %.1f",
+			rep.Breakdown.AttainableGFlops)
+	}
+
+	// Blackscholes: tens of flops per loaded byte — compute side.
+	bs := kernels.BlackScholes()
+	bnd := bs.Configs[0]
+	brep, err := ad.Analyze(bs.Kernel, bs.Make(bnd), bnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brep.Breakdown.OperationalIntensity < 1 {
+		t.Errorf("blackscholes intensity = %.3f, want > 1",
+			brep.Breakdown.OperationalIntensity)
+	}
+	if brep.Breakdown.AttainableGFlops < 3*rep.Breakdown.AttainableGFlops {
+		t.Errorf("compute-side kernel should sit far above vectoradd on the roofline: %.1f vs %.1f",
+			brep.Breakdown.AttainableGFlops, rep.Breakdown.AttainableGFlops)
+	}
+	if !strings.Contains(brep.Render(), "roofline") {
+		t.Error("report must include the roofline line")
+	}
+}

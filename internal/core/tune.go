@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/units"
+)
+
+// BestWorkgroup searches workgroup sizes for the launch and returns the
+// fastest one under the model, holding the global size fixed. For 2-D
+// kernels square-ish tiles are tried; for 1-D kernels powers of two up to
+// 1024 (all clipped to divisors of the global size).
+func (ad *Advisor) BestWorkgroup(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (ir.NDRange, units.Duration, error) {
+	candidates := workgroupCandidates(nd)
+	var (
+		best     ir.NDRange
+		bestTime units.Duration
+		found    bool
+	)
+	for _, c := range candidates {
+		res, err := ad.Dev.Estimate(k, args, c)
+		if err != nil {
+			continue
+		}
+		if !found || res.Time < bestTime {
+			best, bestTime, found = c, res.Time, true
+		}
+	}
+	if !found {
+		return nd, 0, fmt.Errorf("core: no valid workgroup size for %s", nd)
+	}
+	return best, bestTime, nil
+}
+
+func workgroupCandidates(nd ir.NDRange) []ir.NDRange {
+	var out []ir.NDRange
+	g0 := nd.Global[0]
+	if g0 == 0 {
+		g0 = 1
+	}
+	if nd.Dims() >= 2 {
+		g1 := nd.Global[1]
+		for _, e := range []int{1, 2, 4, 8, 16, 32} {
+			for _, f := range []int{1, 2, 4, 8, 16, 32} {
+				if g0%e == 0 && g1%f == 0 && e*f <= 1024 {
+					out = append(out, nd.WithLocal([3]int{e, f, 1}))
+				}
+			}
+		}
+		return out
+	}
+	for l := 1; l <= 1024; l *= 2 {
+		if l <= g0 && g0%l == 0 {
+			out = append(out, nd.WithLocal([3]int{l, 1, 1}))
+		}
+	}
+	// Non-power-of-two globals: include the largest divisors too.
+	for _, l := range []int{g0, g0 / 2, g0 / 4} {
+		if l >= 1 && l <= 1024 && g0%l == 0 {
+			out = append(out, nd.WithLocal([3]int{l, 1, 1}))
+		}
+	}
+	return out
+}
+
+// TuneResult is the outcome of a full launch-parameter search.
+type TuneResult struct {
+	// Baseline is the time at the requested configuration.
+	Baseline units.Duration
+	// ND is the chosen geometry (after coarsening).
+	ND ir.NDRange
+	// Coarsen is the chosen workitems-per-item factor (1 = none).
+	Coarsen int
+	// Kernel is the transformed kernel to launch.
+	Kernel *ir.Kernel
+	// Time is the model's estimate for the tuned configuration.
+	Time units.Duration
+}
+
+// Gain returns the estimated speedup of the tuned configuration.
+func (t *TuneResult) Gain() float64 {
+	if t.Time <= 0 {
+		return 1
+	}
+	return float64(t.Baseline) / float64(t.Time)
+}
+
+// Tune searches workgroup sizes and coarsening factors jointly, returning
+// the best configuration the model can find — the automated version of the
+// paper's hand-tuning in sections III-B.
+func (ad *Advisor) Tune(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*TuneResult, error) {
+	base, err := ad.Dev.Estimate(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+	result := &TuneResult{
+		Baseline: base.Time,
+		ND:       base.ND,
+		Coarsen:  1,
+		Kernel:   k,
+		Time:     base.Time,
+	}
+	for _, factor := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		ck := k
+		cnd := nd
+		if factor > 1 {
+			var err error
+			ck, err = kernels.Coarsen(k, factor)
+			if err != nil {
+				break // kernel not coarsenable; workgroup search only
+			}
+			cnd, err = kernels.CoarsenRange(nd, factor)
+			if err != nil {
+				continue
+			}
+		}
+		best, t, err := ad.BestWorkgroup(ck, args, cnd)
+		if err != nil {
+			continue
+		}
+		if t < result.Time {
+			result.ND = best
+			result.Coarsen = factor
+			result.Kernel = ck
+			result.Time = t
+		}
+	}
+	return result, nil
+}

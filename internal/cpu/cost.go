@@ -1,0 +1,231 @@
+// Package cpu implements the out-of-order multicore CPU device model: the
+// way the Intel OpenCL CPU platform of the paper compiles and schedules
+// kernels, priced against the architectural parameters in internal/arch.
+//
+// A kernel launch is costed in three stages:
+//
+//  1. Static analysis (Analyze): the IR profiler yields per-workitem op
+//     counts and the dependence critical path; the OpenCL vectorization
+//     model decides whether workitems are packed into SIMD lanes. The
+//     result is a per-packet cycle cost with separate throughput-bound and
+//     dependence-bound components — the distinction that produces the
+//     paper's ILP results (Figure 6).
+//
+//  2. Workgroup cost: packets per group times packet cycles, plus barrier
+//     crossings (with a state-spill penalty once the group's live state
+//     outgrows a cache level — the mechanism behind the CPU's smaller
+//     optimal Matrixmul workgroup, Figure 3).
+//
+//  3. Scheduling (Schedule): workgroups are tasks dispatched to hardware
+//     threads; per-group dispatch overhead and SMT contention determine
+//     total time, producing the scheduling-overhead results (Figures 1-5).
+package cpu
+
+import (
+	"math"
+
+	"clperf/internal/ir"
+)
+
+// Cost is the static per-packet execution cost of a kernel on the CPU. A
+// "packet" is the unit the runtime's workitem loop advances by: SIMDWidth
+// workitems when the kernel vectorizes, one otherwise.
+type Cost struct {
+	Profile *ir.Profile
+	Vec     *ir.CLVecReport
+	// Width is the packet width in workitems.
+	Width int
+
+	// IssueCycles is the throughput-bound portion of one packet: vector
+	// instructions through the FP, memory and total issue ports.
+	IssueCycles float64
+	// SerialCycles is the dependence-bound portion: the critical path after
+	// out-of-order overlap with neighbouring packets.
+	SerialCycles float64
+	// Overhead is the runtime's per-packet bookkeeping.
+	Overhead float64
+
+	// TrafficPerItem is the DRAM/L3 traffic one workitem generates, in
+	// bytes, considering stride-dependent line utilization.
+	TrafficPerItem float64
+	// LocalBytes is the kernel's __local footprint per workgroup.
+	LocalBytes int64
+}
+
+// PacketCycles returns the cycles one packet occupies a hardware thread,
+// given that thread's issue share (1 when the SMT sibling is idle,
+// SMTYield when both siblings are busy).
+func (c *Cost) PacketCycles(issueShare float64) float64 {
+	if issueShare <= 0 {
+		issueShare = 1
+	}
+	return math.Max(c.SerialCycles, (c.IssueCycles+c.Overhead)/issueShare)
+}
+
+// ItemCycles returns per-workitem cycles at full issue share.
+func (c *Cost) ItemCycles() float64 {
+	return c.PacketCycles(1) / float64(c.Width)
+}
+
+// Analyze statically prices one packet of kernel k at the launch
+// configuration, letting the OpenCL implicit vectorization model pick the
+// packet width. The local size must be resolved.
+func (d *Device) Analyze(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Cost, error) {
+	vec, err := ir.VectorizeOpenCL(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+	width := 1
+	if vec.Vectorized && !d.ForceScalar {
+		// The implicit vectorizer packs workitems along workgroup dimension
+		// 0, so a workgroup narrower than the SIMD width cannot fill the
+		// lanes — one reason tiny workgroups hurt on CPUs (Figures 3 and 5).
+		width = d.A.SIMDWidth
+		if l0 := nd.Local[0]; l0 > 0 && l0 < width {
+			width = l0
+		}
+	}
+	c, err := d.AnalyzeWidth(k, args, nd, width)
+	if err != nil {
+		return nil, err
+	}
+	c.Vec = vec
+	return c, nil
+}
+
+// AnalyzeWidth prices one packet at an externally chosen vector width (the
+// OpenMP layer passes its own loop-vectorizer verdict).
+func (d *Device) AnalyzeWidth(k *ir.Kernel, args *ir.Args, nd ir.NDRange, width int) (*Cost, error) {
+	a := d.A
+	prof, err := ir.ProfileKernel(k, args, nd, a.Lat, ir.MaxBranch)
+	if err != nil {
+		return nil, err
+	}
+	if width < 1 {
+		width = 1
+	}
+
+	c := &Cost{Profile: prof, Width: width}
+	cnt := prof.Counts
+
+	// Memory ops per packet: packed sites issue one vector access, the rest
+	// gather/scatter one lane at a time. Traffic counts loop-variant sites
+	// once per execution, but loop-invariant sites touch one location per
+	// workitem no matter how often they run, and repeated sites on the same
+	// buffer share lines — so invariant traffic is per buffer.
+	var packedOps, gatherOps float64
+	perBuf := map[string]float64{}
+	for _, s := range prof.Accesses {
+		if s.Stride.Unit() || s.Stride.Uniform() {
+			packedOps += s.PerItem
+		} else {
+			gatherOps += s.PerItem
+		}
+		t := trafficPerAccess(s.Stride)
+		if s.LoopVariant {
+			c.TrafficPerItem += s.PerItem * t
+		} else if t > perBuf[s.Buf] {
+			perBuf[s.Buf] = t
+		}
+	}
+	for _, t := range perBuf {
+		c.TrafficPerItem += t
+	}
+	memOps := packedOps + gatherOps*float64(width)
+	localOps := cnt[ir.OpLocalLoad] + cnt[ir.OpLocalStore]
+
+	// FP issue slots per packet, split across the multiply and add ports
+	// (the Westmere arrangement; peak flops needs both busy). Divides and
+	// special functions occupy the multiply port for several cycles, and an
+	// FMA on non-FMA hardware is a multiply plus an add.
+	mulOps := cnt[ir.OpFMul] + cnt[ir.OpFMA] +
+		cnt[ir.OpFDiv]*divOccupancy + cnt[ir.OpSpecial]*specialOccupancy
+	addOps := cnt[ir.OpFAdd] + cnt[ir.OpFMA]
+	intOps := cnt[ir.OpInt] + cnt[ir.OpCmp] + cnt[ir.OpSelect]
+	totalOps := mulOps + addOps + intOps + memOps + localOps
+
+	issue := math.Max(mulOps, addOps)
+	issue = math.Max(issue, (memOps+localOps)/a.MemPipes)
+	issue = math.Max(issue, totalOps/a.IssueWidth)
+	// Math-library calls serialize through the scalar libm (one call per
+	// lane: the reason they also block vectorization).
+	issue += cnt[ir.OpLibm] * libmOccupancy * float64(width)
+	// Atomics serialize: they occupy the pipeline for their full latency.
+	issue += cnt[ir.OpAtomic] * a.Lat[ir.OpAtomic] * float64(width)
+	c.IssueCycles = issue
+
+	// Out-of-order overlap: neighbouring packets are independent, so the
+	// window hides a chain that is short relative to the packet's op count.
+	overlap := 1.0
+	if totalOps > 0 {
+		overlap = a.OoOWindow / totalOps
+	}
+	overlap = math.Min(math.Max(overlap, 1), maxOoOOverlap)
+	c.SerialCycles = prof.SerialCycles / overlap
+
+	c.Overhead = a.ItemOverhead
+
+	for _, l := range k.Locals {
+		se := ir.NewStaticEnv(nd, args)
+		if n, ok := ir.EvalStatic(l.Size, se); ok {
+			c.LocalBytes += int64(n) * l.Elem.Size()
+		}
+	}
+	return c, nil
+}
+
+const (
+	// divOccupancy and specialOccupancy are issue-port occupancies of the
+	// unpipelined operations, in slots.
+	divOccupancy     = 10
+	specialOccupancy = 12
+	// maxOoOOverlap caps how many independent packets the window can
+	// overlap.
+	maxOoOOverlap = 8
+	// libmOccupancy is the issue cost of one scalar math-library call
+	// (exp/log/sin/cos through libm, per lane).
+	libmOccupancy = 140
+)
+
+// trafficPerAccess estimates bytes of cache/DRAM traffic per dynamic access
+// for a site with the given inter-workitem stride: unit strides stream
+// whole lines usefully, large or unknown strides waste most of each line,
+// uniform accesses stay resident.
+func trafficPerAccess(s ir.Stride) float64 {
+	const line = 64
+	elem := 4.0
+	switch {
+	case s.Uniform():
+		return 0
+	case s.Unit():
+		return elem
+	case !s.Known:
+		return line
+	default:
+		b := math.Abs(float64(s.Elems)) * elem
+		return math.Min(b, line)
+	}
+}
+
+// GroupCycles prices one workgroup of items workitems on one hardware
+// thread at the given issue share.
+func (d *Device) GroupCycles(c *Cost, items int, issueShare float64) float64 {
+	a := d.A
+	packets := math.Ceil(float64(items) / float64(c.Width))
+	cycles := packets * c.PacketCycles(issueShare)
+
+	if nbar := c.Profile.Counts[ir.OpBarrier]; nbar > 0 {
+		// Crossing a barrier switches between workitem contexts; the cost
+		// per item grows when the group's live state spills out of cache.
+		state := int64(items)*a.BarrierContext + c.LocalBytes
+		mult := 1.0
+		switch {
+		case state > int64(a.L2.Size):
+			mult = 10
+		case state > int64(a.L1D.Size):
+			mult = 4
+		}
+		cycles += nbar * (a.BarrierCost + float64(items)*a.BarrierItemCost*mult)
+	}
+	return cycles
+}

@@ -1,0 +1,211 @@
+package cpu
+
+import (
+	"fmt"
+	"runtime"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// Device is the CPU compute device: the functional executor plus the timing
+// model.
+type Device struct {
+	A *arch.CPU
+	// DefaultLocal is the workgroup size the runtime picks along dimension
+	// 0 when the host passes NULL (the largest divisor of the global size
+	// not exceeding it is used).
+	DefaultLocal int
+	// ForceScalar disables the implicit vectorizer (an ablation knob: the
+	// runtime compiles every kernel at width 1).
+	ForceScalar bool
+}
+
+// New returns a CPU device with the runtime's default NULL-workgroup
+// policy.
+func New(a *arch.CPU) *Device {
+	return &Device{A: a, DefaultLocal: 64}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.A.Name }
+
+// ResolveLocal applies the implementation's workgroup-size policy to an
+// NDRange whose local size was left NULL: dimension 0 gets the largest
+// divisor of the global size not exceeding DefaultLocal — shrunk further so
+// that every hardware thread gets at least one workgroup. (The paper
+// observes that this implementation-chosen size is below the explicit-size
+// optimum — programmers should set it themselves.)
+func (d *Device) ResolveLocal(nd ir.NDRange) ir.NDRange {
+	if !nd.LocalNull() {
+		return nd
+	}
+	g := maxi(nd.Global[0], 1)
+	limit := d.DefaultLocal
+	if spread := g / d.A.LogicalCores(); spread < limit {
+		limit = maxi(spread, 1)
+	}
+	var local [3]int
+	local[0] = largestDivisorLE(g, limit)
+	local[1], local[2] = 1, 1
+	return nd.WithLocal(local)
+}
+
+func largestDivisorLE(n, limit int) int {
+	if limit >= n {
+		return n
+	}
+	for v := limit; v >= 1; v-- {
+		if n%v == 0 {
+			return v
+		}
+	}
+	return 1
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Result reports the simulated outcome of one kernel launch.
+type Result struct {
+	Kernel string
+	ND     ir.NDRange // with the local size resolved
+	Cost   *Cost
+
+	// Time is the simulated kernel execution time.
+	Time units.Duration
+	// Compute is the scheduling-model component (includes dispatch).
+	Compute units.Duration
+	// Dispatch is the portion of Compute spent on per-group scheduling.
+	Dispatch units.Duration
+	// MemFloor is the bandwidth bound.
+	MemFloor units.Duration
+	// Groups and Workers describe the schedule.
+	Groups  int
+	Workers int
+}
+
+// Throughput returns application flops per second for this launch.
+func (r *Result) Throughput() units.Throughput {
+	flops := r.Cost.Profile.Counts.Flops() * float64(r.ND.GlobalItems())
+	return units.ThroughputOf(flops, r.Time)
+}
+
+// LaunchOptions controls Launch.
+type LaunchOptions struct {
+	// SkipFunctional estimates time without executing the kernel.
+	SkipFunctional bool
+	// Parallel sets functional-execution workers (default GOMAXPROCS).
+	Parallel int
+	// Tracer, when set, observes the functional execution's memory
+	// accesses (forces serial execution).
+	Tracer ir.Tracer
+}
+
+// Estimate prices a launch without executing it.
+func (d *Device) Estimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Result, error) {
+	nd = d.ResolveLocal(nd)
+	if err := nd.Validate(); err != nil {
+		return nil, err
+	}
+	cost, err := d.Analyze(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+
+	a := d.A
+	groups := nd.NumGroups()
+	items := nd.GroupItems()
+
+	// Schedule: workgroups are tasks over hardware threads. When more
+	// threads than physical cores are busy, SMT siblings share issue.
+	logical := a.LogicalCores()
+	phys := a.PhysicalCores()
+	workers := groups
+	if workers > logical {
+		workers = logical
+	}
+	issueShare := 1.0
+	if workers > phys {
+		issueShare = a.SMTYield
+	}
+	groupCycles := d.GroupCycles(cost, items, issueShare)
+	groupTime := a.Clock.Cycles(groupCycles)
+	// Workgroups are tasks drained from a shared pool (the runtime work
+	// steals), so the makespan follows the fractional load per worker with
+	// a one-group minimum.
+	perWorker := float64(groups) / float64(workers)
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	dispatch := units.Duration(perWorker) * a.GroupDispatch
+	compute := units.Duration(perWorker)*groupTime + dispatch
+
+	// Bandwidth floor: total traffic against L3 or DRAM depending on the
+	// steady-state working set (kernels are iterated, so resident data
+	// stays cached).
+	traffic := cost.TrafficPerItem * float64(nd.GlobalItems())
+	footprint := argBytes(args)
+	bw := a.MemBandwidth
+	if footprint > 0 && footprint <= int64(a.L3.Size) {
+		bw = a.L3Bandwidth
+	}
+	memFloor := bw.Transfer(units.ByteSize(traffic))
+
+	time := compute
+	if memFloor > time {
+		time = memFloor
+	}
+	time += a.LaunchOverhead
+
+	return &Result{
+		Kernel:   k.Name,
+		ND:       nd,
+		Cost:     cost,
+		Time:     time,
+		Compute:  compute,
+		Dispatch: dispatch,
+		MemFloor: memFloor,
+		Groups:   groups,
+		Workers:  workers,
+	}, nil
+}
+
+func argBytes(args *ir.Args) int64 {
+	if args == nil {
+		return 0
+	}
+	var n int64
+	for _, b := range args.Buffers {
+		if b != nil {
+			n += b.Bytes()
+		}
+	}
+	return n
+}
+
+// Launch functionally executes the kernel (filling the bound buffers) and
+// returns the simulated timing.
+func (d *Device) Launch(k *ir.Kernel, args *ir.Args, nd ir.NDRange, opts LaunchOptions) (*Result, error) {
+	nd = d.ResolveLocal(nd)
+	res, err := d.Estimate(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.SkipFunctional {
+		par := opts.Parallel
+		if par == 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		execOpts := ir.ExecOptions{Parallel: par, Tracer: opts.Tracer}
+		if err := ir.ExecRange(k, args, res.ND, execOpts); err != nil {
+			return nil, fmt.Errorf("cpu: functional execution of %s: %w", k.Name, err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,271 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+)
+
+func squareKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "square",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("i", ir.Gid(0)),
+			ir.Set("x", ir.LoadF("in", ir.Vi("i"))),
+			ir.StoreF("out", ir.Vi("i"), ir.Mul(ir.V("x"), ir.V("x"))),
+		},
+	}
+}
+
+func squareArgs(n int) *ir.Args {
+	return ir.NewArgs().
+		Bind("in", ir.NewBufferF32("in", n)).
+		Bind("out", ir.NewBufferF32("out", n))
+}
+
+func TestResolveLocalPolicy(t *testing.T) {
+	d := New(arch.XeonE5645())
+	cases := []struct {
+		global, want int
+	}{
+		{10000, 50},   // largest divisor of 10^4 below 64
+		{1 << 20, 64}, // power of two hits the cap exactly
+		{24, 1},       // small ranges spread across all 24 threads
+		{7, 1},        // primes fall back to 1
+	}
+	for _, c := range cases {
+		nd := d.ResolveLocal(ir.Range1D(c.global, 0))
+		if nd.Local[0] != c.want {
+			t.Errorf("ResolveLocal(%d) chose %d, want %d", c.global, nd.Local[0], c.want)
+		}
+		if err := nd.Validate(); err != nil {
+			t.Errorf("ResolveLocal(%d): %v", c.global, err)
+		}
+	}
+	// Explicit sizes pass through.
+	nd := d.ResolveLocal(ir.Range1D(1024, 128))
+	if nd.Local[0] != 128 {
+		t.Errorf("explicit local overridden: %v", nd)
+	}
+}
+
+func TestEstimateBasics(t *testing.T) {
+	d := New(arch.XeonE5645())
+	res, err := d.Estimate(squareKernel(), squareArgs(1<<16), ir.Range1D(1<<16, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("time must be positive")
+	}
+	if res.Groups != 256 {
+		t.Fatalf("groups = %d, want 256", res.Groups)
+	}
+	if res.Cost.Width != d.A.SIMDWidth {
+		t.Fatalf("square must vectorize at width %d, got %d", d.A.SIMDWidth, res.Cost.Width)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}
+
+// Paper guideline 1: larger workgroups are faster on the CPU until
+// saturation.
+func TestLargerWorkgroupsFaster(t *testing.T) {
+	d := New(arch.XeonE5645())
+	k := squareKernel()
+	args := squareArgs(1 << 16)
+	var prev float64
+	for i, local := range []int{1, 16, 256} {
+		res, err := d.Estimate(k, args, ir.Range1D(1<<16, local))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && float64(res.Time) > prev {
+			t.Fatalf("local %d slower than smaller group: %v > %v", local, res.Time, prev)
+		}
+		prev = float64(res.Time)
+	}
+}
+
+// Paper guideline on coarsening: fewer, fatter workitems win for tiny
+// kernels.
+func TestCoarseKernelFaster(t *testing.T) {
+	d := New(arch.XeonE5645())
+	fine, err := d.Estimate(squareKernel(), squareArgs(1<<20), ir.Range1D(1<<20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-coarsened x16 with strided accesses.
+	coarse := &ir.Kernel{
+		Name:    "square16",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Loop("c", ir.I(0), ir.I(16),
+				ir.Set("i", ir.Addi(ir.Gid(0), ir.Muli(ir.Vi("c"), ir.Gsz(0)))),
+				ir.Set("x", ir.LoadF("in", ir.Vi("i"))),
+				ir.StoreF("out", ir.Vi("i"), ir.Mul(ir.V("x"), ir.V("x"))),
+			),
+		},
+	}
+	cres, err := d.Estimate(coarse, squareArgs(1<<20), ir.Range1D(1<<16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Time >= fine.Time {
+		t.Fatalf("coarse %v not faster than fine %v", cres.Time, fine.Time)
+	}
+}
+
+// The ILP experiment's core property: more independent chains, more
+// throughput, saturating at the port limit.
+func TestILPScaling(t *testing.T) {
+	d := New(arch.XeonE5645())
+	mk := func(chains int) *ir.Kernel {
+		body := []ir.Stmt{}
+		names := []string{}
+		stmts := []ir.Stmt{ir.Set("m", ir.LoadF("in", ir.Gid(0)))}
+		for c := 0; c < chains; c++ {
+			n := "acc" + string(rune('a'+c))
+			names = append(names, n)
+			stmts = append(stmts, ir.Set(n, ir.F(1)))
+			body = append(body, ir.Set(n, ir.Mul(ir.Mul(ir.V(n), ir.V("m")), ir.V("m"))))
+		}
+		stmts = append(stmts, ir.For{Var: "t", Start: ir.I(0), End: ir.I(128), Step: ir.I(1), Body: body})
+		sum := ir.Expr(ir.V(names[0]))
+		for _, n := range names[1:] {
+			sum = ir.Add(sum, ir.V(n))
+		}
+		stmts = append(stmts, ir.StoreF("out", ir.Gid(0), sum))
+		return &ir.Kernel{Name: "ilp", WorkDim: 1,
+			Params: []ir.Param{ir.Buf("in"), ir.Buf("out")}, Body: stmts}
+	}
+	args := squareArgs(1 << 14)
+	nd := ir.Range1D(1<<14, 256)
+	time := func(chains int) float64 {
+		res, err := d.Estimate(mk(chains), args, nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalize per flop: chains scale the flop count.
+		return float64(res.Time) / float64(chains)
+	}
+	t1, t4 := time(1), time(4)
+	if t4 >= t1*0.5 {
+		t.Fatalf("per-flop time at ILP 4 (%v) should be well under ILP 1 (%v)", t4, t1)
+	}
+	t5, t8 := time(5), time(8)
+	if t8 < t5*0.8 {
+		t.Fatalf("ILP must saturate: per-flop time %v at 8 vs %v at 5", t8, t5)
+	}
+}
+
+// Atomics and libm calls force scalar execution.
+func TestScalarFallbacks(t *testing.T) {
+	d := New(arch.XeonE5645())
+	nd := ir.Range1D(1024, 128)
+
+	libm := &ir.Kernel{
+		Name:    "expk",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.StoreF("out", ir.Gid(0), ir.Call1(ir.Exp, ir.LoadF("in", ir.Gid(0)))),
+		},
+	}
+	cost, err := d.Analyze(libm, squareArgs(1024), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Width != 1 {
+		t.Fatalf("libm kernel width = %d, want 1 (scalar)", cost.Width)
+	}
+	if cost.Vec.Vectorized {
+		t.Fatal("libm kernel must not vectorize")
+	}
+
+	// Narrow workgroups clamp the packet width.
+	cost2, err := d.Analyze(squareKernel(), squareArgs(1024), ir.Range1D(1024, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2.Width != 2 {
+		t.Fatalf("width with local 2 = %d, want 2", cost2.Width)
+	}
+}
+
+// Barrier state spill: a big workgroup with barriers pays more per item
+// than a moderate one.
+func TestBarrierSpill(t *testing.T) {
+	d := New(arch.XeonE5645())
+	k := &ir.Kernel{
+		Name:    "bar",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Locals:  []ir.LocalArray{{Name: "t", Elem: ir.F32, Size: ir.Lsz(0)}},
+		Body: []ir.Stmt{
+			ir.LStoreF("t", ir.Lid(0), ir.LoadF("in", ir.Gid(0))),
+			ir.Barrier{},
+			ir.StoreF("out", ir.Gid(0), ir.LLoadF("t", ir.Lid(0))),
+		},
+	}
+	perItem := func(local int) float64 {
+		cost, err := d.Analyze(k, squareArgs(1<<14), ir.Range1D(1<<14, local))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.GroupCycles(cost, local, 1) / float64(local)
+	}
+	small, big := perItem(64), perItem(1024)
+	if big <= small {
+		t.Fatalf("per-item cycles with 1024-item barrier group (%v) should exceed 64-item group (%v)",
+			big, small)
+	}
+}
+
+// Property: estimated time is monotone in the number of workitems.
+func TestTimeMonotoneInItems(t *testing.T) {
+	d := New(arch.XeonE5645())
+	k := squareKernel()
+	prop := func(a, b uint16) bool {
+		lo := (int(a)%1024 + 1) * 64
+		hi := lo + (int(b)%1024+1)*64
+		args := squareArgs(hi)
+		r1, err1 := d.Estimate(k, args, ir.Range1D(lo, 64))
+		r2, err2 := d.Estimate(k, args, ir.Range1D(hi, 64))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Time <= r2.Time
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaunchFunctional(t *testing.T) {
+	d := New(arch.XeonE5645())
+	const n = 2048
+	args := squareArgs(n)
+	for i := 0; i < n; i++ {
+		args.Buffers["in"].Set(i, float64(i)*0.5)
+	}
+	res, err := d.Launch(squareKernel(), args, ir.Range1D(n, 0), LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("no simulated time")
+	}
+	for i := 0; i < n; i++ {
+		x := float32(args.Buffers["in"].Get(i))
+		if got, want := args.Buffers["out"].Get(i), float64(x*x); got != want {
+			t.Fatalf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/cache"
+	"clperf/internal/ir"
+)
+
+func TestLaunchPinnedFunctionalAndStalls(t *testing.T) {
+	d := New(arch.XeonE5645())
+	const n = 8192
+	args := squareArgs(n)
+	for i := 0; i < n; i++ {
+		args.Buffers["in"].Set(i, float64(i))
+	}
+	hier := cache.NewHierarchy(d.A)
+	res, err := d.LaunchPinned(squareKernel(), args, ir.Range1D(n, 1024),
+		func(g int) int { return g }, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 511 {
+		x := float32(args.Buffers["in"].Get(i))
+		if got, want := args.Buffers["out"].Get(i), float64(x*x); got != want {
+			t.Fatalf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+	if len(res.StallCycles) != 8 {
+		t.Fatalf("stalls recorded for %d cores, want 8 (one per group)", len(res.StallCycles))
+	}
+	if res.Workers != 8 {
+		t.Fatalf("workers = %d, want 8", res.Workers)
+	}
+	if res.Time <= 0 {
+		t.Fatal("pinned launch must take time")
+	}
+}
+
+// A second pinned launch reading the first one's output runs faster when
+// aligned than when shifted — the cache hierarchy persists.
+func TestLaunchPinnedReuse(t *testing.T) {
+	d := New(arch.XeonE5645())
+	run := func(shift int) float64 {
+		const (
+			cores = 8
+			local = 2048
+			n     = cores * local
+		)
+		hier := cache.NewHierarchy(d.A)
+		in := ir.NewBufferF32("in", n)
+		mid := ir.NewBufferF32("mid", n)
+		out := ir.NewBufferF32("out", n)
+		base := int64(1 << 22)
+		for _, b := range []*ir.Buffer{in, mid, out} {
+			b.Base = base
+			base += b.Bytes() + 4096
+		}
+		args1 := ir.NewArgs().Bind("in", in).Bind("out", mid)
+		if _, err := d.LaunchPinned(squareKernel(), args1, ir.Range1D(n, local),
+			func(g int) int { return g }, hier); err != nil {
+			t.Fatal(err)
+		}
+		args2 := ir.NewArgs().Bind("in", mid).Bind("out", out)
+		res, err := d.LaunchPinned(squareKernel(), args2, ir.Range1D(n, local),
+			func(g int) int { return (g + shift) % 8 }, hier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Time)
+	}
+	aligned, shifted := run(0), run(3)
+	if shifted <= aligned {
+		t.Fatalf("shifted pinning (%v) should be slower than aligned (%v)", shifted, aligned)
+	}
+}
+
+func TestLaunchPinnedValidation(t *testing.T) {
+	d := New(arch.XeonE5645())
+	args := squareArgs(64)
+	if _, err := d.LaunchPinned(squareKernel(), args, ir.Range1D(64, 8), nil, nil); err == nil {
+		t.Fatal("nil affinity must be rejected")
+	}
+	// nil hierarchy is allocated on demand.
+	res, err := d.LaunchPinned(squareKernel(), args, ir.Range1D(64, 8),
+		func(g int) int { return g }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hierarchy == nil {
+		t.Fatal("hierarchy must be created when nil")
+	}
+	// Negative core indices wrap rather than crash.
+	if _, err := d.LaunchPinned(squareKernel(), args, ir.Range1D(64, 8),
+		func(g int) int { return -g }, nil); err != nil {
+		t.Fatal(err)
+	}
+}

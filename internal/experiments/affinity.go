@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"clperf/internal/arch"
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/omp"
+	"clperf/internal/units"
+)
+
+// Affinity experiment geometry: eight cores, one contiguous chunk each, and
+// a per-chunk working set that fits a core's private caches so alignment of
+// the second computation with the first decides between private-cache hits
+// and shared-L3 round trips.
+const (
+	affinityThreads = 8
+	affinityChunk   = 16384 // floats per core per buffer (64 KiB)
+)
+
+// runAffinity executes the paper's two dependent computations
+// (Vector Addition producing c, then Vector Multiplication consuming c)
+// with the given mapping of second-computation threads to cores, returning
+// the second region's time.
+func runAffinity(secondAffinity []int) (units.Duration, error) {
+	rt := omp.New(arch.XeonE5645())
+	rt.NumThreads = affinityThreads
+	rt.ProcBind = true
+	rt.CPUAffinity = []int{0, 1, 2, 3, 4, 5, 6, 7}
+	rt.EnableCacheSim()
+
+	n := affinityThreads * affinityChunk
+	a := ir.NewBufferF32("a", n)
+	b := ir.NewBufferF32("b", n)
+	c := ir.NewBufferF32("c", n)
+	d := ir.NewBufferF32("d", n)
+	kernels.FillUniform(a, 301, -1, 1)
+	kernels.FillUniform(b, 302, -1, 1)
+	// Give the buffers distinct simulated addresses.
+	base := int64(1 << 22)
+	for _, buf := range []*ir.Buffer{a, b, c, d} {
+		buf.Base = base
+		base += buf.Bytes() + 4096
+	}
+
+	addArgs := ir.NewArgs().Bind("a", a).Bind("b", b).Bind("c", c)
+	if _, err := rt.ParallelFor(kernels.VectorAddKernel(), addArgs, n, omp.Static); err != nil {
+		return 0, err
+	}
+
+	// Computation 2 consumes c: d = c * c.
+	rt.CPUAffinity = secondAffinity
+	mulArgs := ir.NewArgs().Bind("a", c).Bind("b", c).Bind("c", d)
+	res, err := rt.ParallelFor(kernels.VectorMulKernel(), mulArgs, n, omp.Static)
+	if err != nil {
+		return 0, err
+	}
+	return res.Time, nil
+}
+
+// Fig9 reproduces Figure 9: the aligned mapping (the consumer of a chunk
+// runs on the core that produced it) versus the misaligned mapping (every
+// chunk moves to a different core).
+func Fig9() harness.Experiment {
+	return harness.Experiment{
+		ID:    "fig9",
+		Title: "CPU affinity: aligned vs misaligned dependent kernels",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			aligned, err := runAffinity([]int{0, 1, 2, 3, 4, 5, 6, 7})
+			if err != nil {
+				return nil, err
+			}
+			misaligned, err := runAffinity([]int{1, 2, 3, 4, 5, 6, 7, 0})
+			if err != nil {
+				return nil, err
+			}
+			t := &harness.Table{Title: "Figure 9: Performance impact of CPU affinity",
+				Columns: []string{"Mapping", "Computation 2 time", "normalized"}}
+			t.AddRow("aligned", aligned, 1.0)
+			t.AddRow("misaligned", misaligned, misaligned.Seconds()/aligned.Seconds())
+			rep := &harness.Report{ID: "fig9",
+				Title:  "Performance impact of CPU affinity",
+				Tables: []*harness.Table{t}}
+			rep.AddNote("misaligned runs %.1f%% longer than aligned (paper: ~15%%)",
+				100*(misaligned.Seconds()/aligned.Seconds()-1))
+			return rep, nil
+		},
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/parboil"
+	"clperf/internal/units"
+)
+
+// coarsenPoint prices one (kernel, config, factor) point on a device and
+// returns throughput in work-per-second terms (total work is constant
+// across factors, so 1/time normalizes correctly).
+func coarsenThroughput(time units.Duration) float64 {
+	if time <= 0 {
+		return 0
+	}
+	return 1 / time.Seconds()
+}
+
+// Fig1 reproduces Figure 1: Square and Vectoraddition with 1/10/100/1000
+// workitems coalesced, on the CPU (top) and GPU (bottom), normalized to the
+// uncoarsened run of each configuration.
+func Fig1() harness.Experiment {
+	return harness.Experiment{
+		ID:    "fig1",
+		Title: "Workload per workitem (coarsening), Square and Vectoraddition",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			tb := newTestbed()
+			factors := []int{1, 10, 100, 1000}
+			apps := []*kernels.App{kernels.Square(), kernels.VectorAdd()}
+
+			rep := &harness.Report{ID: "fig1", Title: "Performance with different workload per workitem"}
+			for _, devName := range []string{"CPU", "GPU"} {
+				fig := &harness.Figure{
+					Title:  fmt.Sprintf("Figure 1 (%s)", devName),
+					XLabel: "benchmark",
+					YLabel: "normalized throughput",
+				}
+				series := make([][]float64, len(factors))
+				for _, app := range apps {
+					for ci, nd := range app.Configs {
+						label := fmt.Sprintf("%s_%d", app.Name, ci+1)
+						fig.Labels = append(fig.Labels, label)
+						args := staticArgsFor(app, nd)
+						var base float64
+						for fi, f := range factors {
+							k, err := kernels.Coarsen(app.Kernel, f)
+							if err != nil {
+								return nil, err
+							}
+							cnd, err := kernels.CoarsenRange(nd, f)
+							if err != nil {
+								return nil, err
+							}
+							var t units.Duration
+							if devName == "CPU" {
+								t, err = tb.cpuTime(k, args, cnd)
+							} else {
+								t, err = tb.gpuTime(k, args, cnd)
+							}
+							if err != nil {
+								return nil, err
+							}
+							thr := coarsenThroughput(t)
+							if fi == 0 {
+								base = thr
+							}
+							series[fi] = append(series[fi], thr/base)
+						}
+					}
+				}
+				names := []string{"base", "10", "100", "1000"}
+				for fi := range factors {
+					fig.Add(fmt.Sprintf("%s(%s)", names[fi], devName), series[fi])
+				}
+				rep.Figures = append(rep.Figures, fig)
+			}
+			noteShapes(rep)
+			return rep, nil
+		},
+	}
+}
+
+func noteShapes(rep *harness.Report) {
+	// Shape summary: CPU should gain from coarsening, GPU should lose.
+	for _, fig := range rep.Figures {
+		if len(fig.Series) < 2 {
+			continue
+		}
+		first := fig.Series[0].Values
+		last := fig.Series[len(fig.Series)-1].Values
+		up, down := 0, 0
+		for i := range first {
+			if i < len(last) {
+				if last[i] > first[i]*1.05 {
+					up++
+				}
+				if last[i] < first[i]*0.95 {
+					down++
+				}
+			}
+		}
+		rep.AddNote("%s: %d/%d points improve at max coarsening, %d degrade",
+			fig.Title, up, len(first), down)
+	}
+}
+
+// staticArgsFor builds lightweight arguments for timing-only estimation:
+// buffers are allocated (so footprints and element types are right) but
+// filled lazily only when functional execution is requested.
+func staticArgsFor(app *kernels.App, nd ir.NDRange) *ir.Args {
+	return app.Make(nd)
+}
+
+// Fig2 reproduces Figure 2: the Parboil kernels with base/2x/4x workload
+// per workitem on the CPU.
+func Fig2() harness.Experiment {
+	return harness.Experiment{
+		ID:    "fig2",
+		Title: "Workload per workitem (coarsening), Parboil on CPU",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			tb := newTestbed()
+			factors := []int{1, 2, 4}
+			fig := &harness.Figure{
+				Title:  "Figure 2",
+				XLabel: "kernel",
+				YLabel: "normalized throughput",
+			}
+			series := make([][]float64, len(factors))
+			for _, e := range parboil.Entries() {
+				fig.Labels = append(fig.Labels, e.Bench+":"+e.Kernel.Name)
+				args := e.Make()
+				var base float64
+				for fi, f := range factors {
+					k, err := kernels.Coarsen(e.Kernel, f)
+					if err != nil {
+						return nil, err
+					}
+					cnd, err := kernels.CoarsenRange(e.ND, f)
+					if err != nil {
+						return nil, err
+					}
+					t, err := tb.cpuTime(k, args, cnd)
+					if err != nil {
+						return nil, err
+					}
+					thr := coarsenThroughput(t)
+					if fi == 0 {
+						base = thr
+					}
+					series[fi] = append(series[fi], thr/base)
+				}
+			}
+			names := []string{"base", "2X", "4X"}
+			for fi := range factors {
+				fig.Add(names[fi], series[fi])
+			}
+			rep := &harness.Report{ID: "fig2",
+				Title:   "Parboil performance with different workload per workitem",
+				Figures: []*harness.Figure{fig}}
+			noteShapes(rep)
+			return rep, nil
+		},
+	}
+}

@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment builds the paper's workloads from
+// internal/kernels, internal/parboil and internal/microbench, prices them on
+// the CPU and GPU device models (through the internal/cl runtime where the
+// experiment is about host-API behaviour), and reports the same rows and
+// series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/gpu"
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// testbed bundles the paper's two devices.
+type testbed struct {
+	cpu *cpu.Device
+	gpu *gpu.Device
+}
+
+func newTestbed() *testbed {
+	return &testbed{cpu: cpu.New(arch.XeonE5645()), gpu: gpu.New(arch.GTX580())}
+}
+
+// cpuTime prices a launch on the CPU model.
+func (tb *testbed) cpuTime(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (units.Duration, error) {
+	res, err := tb.cpu.Estimate(k, args, nd)
+	if err != nil {
+		return 0, err
+	}
+	return res.Time, nil
+}
+
+// gpuTime prices a launch on the GPU model.
+func (tb *testbed) gpuTime(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (units.Duration, error) {
+	res, err := tb.gpu.Estimate(k, args, nd)
+	if err != nil {
+		return 0, err
+	}
+	return res.Time, nil
+}
+
+// All returns every experiment, in paper order.
+func All() []harness.Experiment {
+	return []harness.Experiment{
+		Table1(),
+		Table2(),
+		Table3(),
+		Table4(),
+		Table5(),
+		Fig1(),
+		Fig2(),
+		Fig3(),
+		Fig4(),
+		Fig5(),
+		Fig6(),
+		Fig7(),
+		Fig8(),
+		Fig9(),
+		Fig10(),
+		Fig11(),
+		ExtAffinity(),
+		ExtHetero(),
+		ExtScaling(),
+		ExtSIMD(),
+		ExtRoofline(),
+		Ablation(),
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (harness.Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return harness.Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

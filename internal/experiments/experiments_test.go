@@ -1,0 +1,432 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"clperf/internal/harness"
+)
+
+func runExp(t *testing.T, id string) *harness.Report {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(harness.Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return rep
+}
+
+func series(t *testing.T, fig *harness.Figure, name string) []float64 {
+	t.Helper()
+	for _, s := range fig.Series {
+		if strings.HasPrefix(s.Name, name) {
+			return s.Values
+		}
+	}
+	t.Fatalf("figure %q has no series %q", fig.Title, name)
+	return nil
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{
+		"table1", "table2", "table3", "table4", "table5",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11",
+	} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID must reject unknown ids")
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5"} {
+		rep := runExp(t, id)
+		if len(rep.Tables) == 0 {
+			t.Errorf("%s: no tables", id)
+			continue
+		}
+		if len(rep.Tables[0].Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+	// Table I must carry the paper's headline numbers.
+	rep := runExp(t, "table1")
+	var flat string
+	for _, row := range rep.Tables[0].Rows {
+		flat += strings.Join(row, " ") + "\n"
+	}
+	for _, want := range []string{"230.4GFlop/s", "2.4GHz", "GTX 580", "Xeon"} {
+		if !strings.Contains(flat, want) {
+			t.Errorf("table1 missing %q:\n%s", want, flat)
+		}
+	}
+}
+
+// Figure 1: coarsening helps every CPU point and never helps the GPU.
+func TestFig1Shape(t *testing.T) {
+	rep := runExp(t, "fig1")
+	if len(rep.Figures) != 2 {
+		t.Fatalf("fig1 should have CPU and GPU figures")
+	}
+	cpuFig, gpuFig := rep.Figures[0], rep.Figures[1]
+
+	base := series(t, cpuFig, "base")
+	top := series(t, cpuFig, "1000")
+	for i := range base {
+		if top[i] < base[i]*1.3 {
+			t.Errorf("CPU %s: x1000 coarsening gain %.2f, want >= 1.3", cpuFig.Labels[i], top[i])
+		}
+		if top[i] > 10 {
+			t.Errorf("CPU %s: gain %.2f implausibly large", cpuFig.Labels[i], top[i])
+		}
+	}
+
+	gbase := series(t, gpuFig, "base")
+	gtop := series(t, gpuFig, "1000")
+	degraded := 0
+	for i := range gbase {
+		if gtop[i] > gbase[i]*1.05 {
+			t.Errorf("GPU %s: coarsening should not help (%.2f)", gpuFig.Labels[i], gtop[i])
+		}
+		if gtop[i] < 0.5 {
+			degraded++
+		}
+	}
+	if degraded < 3 {
+		t.Errorf("GPU: only %d points degraded significantly, want >= 3", degraded)
+	}
+}
+
+// Figure 2: cenergy and the computeQ kernels gain, RhoPhi stays flat.
+func TestFig2Shape(t *testing.T) {
+	rep := runExp(t, "fig2")
+	fig := rep.Figures[0]
+	base := series(t, fig, "base")
+	x4 := series(t, fig, "4X")
+	for i, label := range fig.Labels {
+		ratio := x4[i] / base[i]
+		switch {
+		case strings.Contains(label, "cenergy"):
+			if ratio < 1.2 {
+				t.Errorf("%s: x4 gain %.2f, want >= 1.2", label, ratio)
+			}
+		case strings.Contains(label, "RhoPhi"):
+			if ratio < 0.8 || ratio > 1.25 {
+				t.Errorf("%s should stay flat, got %.2f", label, ratio)
+			}
+		case strings.Contains(label, "computeQ") || strings.Contains(label, "FH"):
+			if ratio < 1.0 {
+				t.Errorf("%s: x4 should not degrade, got %.2f", label, ratio)
+			}
+		}
+	}
+}
+
+// Figure 3: workgroup-size behaviour per the paper's three categories.
+func TestFig3Shape(t *testing.T) {
+	rep := runExp(t, "fig3")
+	cpuFig, gpuFig := rep.Figures[0], rep.Figures[1]
+	case1 := series(t, cpuFig, "case_1")
+	case4 := series(t, cpuFig, "case_4")
+	for i, label := range cpuFig.Labels {
+		switch {
+		case strings.HasPrefix(label, "Square") || strings.HasPrefix(label, "Vectoraddition"):
+			// Category 1: rises with workgroup size; case_1 is terrible.
+			if case1[i] > 0.5 {
+				t.Errorf("CPU %s case_1 = %.2f, want << 1", label, case1[i])
+			}
+			if case4[i] < case1[i]*2 {
+				t.Errorf("CPU %s: case_4 (%.2f) should dwarf case_1 (%.2f)", label, case4[i], case1[i])
+			}
+		case strings.HasPrefix(label, "Matrixmul_"):
+			// Category 2: the CPU optimum is 8x8, above the 16x16 base.
+			if case4[i] <= 1.0 {
+				t.Errorf("CPU %s: 8x8 (%.2f) should beat 16x16 base", label, case4[i])
+			}
+		case strings.HasPrefix(label, "Blackscholes"):
+			// Category 3: flat on the CPU.
+			if case1[i] < 0.8 || case4[i] > 1.2 {
+				t.Errorf("CPU %s not flat: case_1 %.2f case_4 %.2f", label, case1[i], case4[i])
+			}
+		}
+	}
+	// On the GPU Matrixmul's base 16x16 is the optimum.
+	gcase4 := series(t, gpuFig, "case_4")
+	for i, label := range gpuFig.Labels {
+		if strings.HasPrefix(label, "Matrixmul_") && gcase4[i] >= 1.0 {
+			t.Errorf("GPU %s: 8x8 (%.2f) should stay below the 16x16 base", label, gcase4[i])
+		}
+		if strings.HasPrefix(label, "Blackscholes") {
+			g1 := series(t, gpuFig, "case_1")
+			if g1[i] > 0.2 {
+				t.Errorf("GPU %s case_1 = %.2f, want << 1", label, g1[i])
+			}
+		}
+	}
+}
+
+// Figure 4: Blackscholes flat on CPU, strongly size-dependent on GPU.
+func TestFig4Shape(t *testing.T) {
+	rep := runExp(t, "fig4")
+	cpuFig, gpuFig := rep.Figures[0], rep.Figures[1]
+	for _, s := range cpuFig.Series {
+		for i, v := range s.Values {
+			if v < 0.8 || v > 1.1 {
+				t.Errorf("CPU %s[%d] = %.3f, want flat near 1", s.Name, i, v)
+			}
+		}
+	}
+	small := series(t, gpuFig, "1X1")
+	big := series(t, gpuFig, "16X16(GPU)")
+	for i := range small {
+		if big[i] < small[i]*5 {
+			t.Errorf("GPU: 16x16 (%.2f) should be >> 1x1 (%.2f)", big[i], small[i])
+		}
+	}
+}
+
+// Figure 5: cenergy gains along X until the SIMD width saturates.
+func TestFig5Shape(t *testing.T) {
+	rep := runExp(t, "fig5")
+	fig := rep.Figures[0]
+	x := series(t, fig, "CP: cenergy(X)")
+	if x[0] != 1 || x[2] < 3.5 {
+		t.Errorf("cenergy(X) = %v, want ~[1 2 4 ...]", x)
+	}
+	if x[4] < x[2]*0.9 {
+		t.Errorf("cenergy(X) should saturate, not regress: %v", x)
+	}
+	y := series(t, fig, "CP: cenergy(Y)")
+	for i, v := range y {
+		if v < 0.9 || v > 1.5 {
+			t.Errorf("cenergy(Y)[%d] = %.2f, want ~flat (already vector-wide)", i, v)
+		}
+	}
+}
+
+// Figure 6: CPU throughput scales with ILP then saturates; GPU is flat.
+func TestFig6Shape(t *testing.T) {
+	rep := runExp(t, "fig6")
+	fig := rep.Figures[0]
+	cpu := series(t, fig, "CPU")
+	gpu := series(t, fig, "GPU")
+	if cpu[1] < cpu[0]*1.7 || cpu[3] < cpu[0]*2.5 {
+		t.Errorf("CPU must scale with ILP: %v", cpu)
+	}
+	if cpu[4] > cpu[3]*1.15 {
+		t.Errorf("CPU must saturate by ILP 4-5: %v", cpu)
+	}
+	if gpu[4] > gpu[0]*1.15 || gpu[4] < gpu[0]*0.85 {
+		t.Errorf("GPU must stay flat: %v", gpu)
+	}
+	// GPU absolute throughput is far above the CPU's, as in the paper.
+	if gpu[0] < cpu[4] {
+		t.Errorf("GPU (%v) should outrun the CPU (%v)", gpu[0], cpu[4])
+	}
+}
+
+// Figure 7: mapping beats copying for every benchmark and flag combination.
+func TestFig7Shape(t *testing.T) {
+	rep := runExp(t, "fig7")
+	fig := rep.Figures[0]
+	if len(fig.Series) != 4 {
+		t.Fatalf("fig7 needs 4 flag combinations, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for i, v := range s.Values {
+			if v <= 1 {
+				t.Errorf("%s %s: map/copy = %.2f, want > 1", s.Name, fig.Labels[i], v)
+			}
+		}
+	}
+	// Allocation flags must not change the ratio (paper: no effect on CPU).
+	a, b := fig.Series[0].Values, fig.Series[3].Values
+	for i := range a {
+		if diff := a[i]/b[i] - 1; diff > 0.05 || diff < -0.05 {
+			t.Errorf("allocation flags changed the ratio at %s: %.2f vs %.2f",
+				fig.Labels[i], a[i], b[i])
+		}
+	}
+	// The gap grows with workload size within an app (paper's observation).
+	first := fig.Series[0].Values
+	if first[3] <= first[0] {
+		t.Errorf("map advantage should grow with Square size: %v", first[:4])
+	}
+}
+
+// Figure 8: mapping transfer time below copying, both directions.
+func TestFig8Shape(t *testing.T) {
+	rep := runExp(t, "fig8")
+	for _, fig := range rep.Figures {
+		cp := series(t, fig, "Copying")
+		mp := series(t, fig, "Mapping")
+		for i := range cp {
+			if mp[i] >= cp[i] {
+				t.Errorf("%s %s: mapping (%.3f ms) not below copying (%.3f ms)",
+					fig.Title, fig.Labels[i], mp[i], cp[i])
+			}
+		}
+	}
+}
+
+// Figure 9: misaligned affinity costs roughly the paper's 15%.
+func TestFig9Shape(t *testing.T) {
+	rep := runExp(t, "fig9")
+	tbl := rep.Tables[0]
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig9 table rows = %d", len(tbl.Rows))
+	}
+	var norm float64
+	if _, err := sscanFloat(tbl.Rows[1][2], &norm); err != nil {
+		t.Fatalf("parse %q: %v", tbl.Rows[1][2], err)
+	}
+	if norm < 1.05 || norm > 1.35 {
+		t.Errorf("misaligned/aligned = %.3f, want ~1.15 (paper: 15%%)", norm)
+	}
+}
+
+// Figure 10: OpenCL outruns OpenMP on all eight benches.
+func TestFig10Shape(t *testing.T) {
+	rep := runExp(t, "fig10")
+	fig := rep.Figures[0]
+	omp := series(t, fig, "OpenMP")
+	ocl := series(t, fig, "OpenCL")
+	for i := range omp {
+		if ocl[i] <= omp[i] {
+			t.Errorf("%s: OpenCL %.2f <= OpenMP %.2f", fig.Labels[i], ocl[i], omp[i])
+		}
+	}
+	// At least half the benches should show a >= 2x vectorization gap.
+	big := 0
+	for i := range omp {
+		if ocl[i] >= 2*omp[i] {
+			big++
+		}
+	}
+	if big < 4 {
+		t.Errorf("only %d/8 benches show a >= 2x gap", big)
+	}
+}
+
+// Figure 11: the dependent chain vectorizes under OpenCL, not OpenMP.
+func TestFig11Shape(t *testing.T) {
+	rep := runExp(t, "fig11")
+	tbl := rep.Tables[0]
+	if tbl.Rows[0][1] != "true" {
+		t.Error("OpenCL verdict must be vectorized")
+	}
+	if tbl.Rows[1][1] != "false" {
+		t.Error("OpenMP verdict must be scalar")
+	}
+	if len(rep.Notes) == 0 || !strings.Contains(rep.Notes[0], "__kernel") {
+		t.Error("fig11 must dump the kernel source")
+	}
+}
+
+func sscanFloat(s string, out *float64) (int, error) {
+	return fmt.Sscan(s, out)
+}
+
+// Extension experiments must run and satisfy their own claims.
+func TestExtAffinityShape(t *testing.T) {
+	rep := runExp(t, "ext-affinity")
+	var norm float64
+	if _, err := sscanFloat(rep.Tables[0].Rows[1][2], &norm); err != nil {
+		t.Fatal(err)
+	}
+	if norm <= 1.02 {
+		t.Errorf("misaligned pinning should cost something: %.3f", norm)
+	}
+}
+
+func TestExtHeteroShape(t *testing.T) {
+	rep := runExp(t, "ext-hetero")
+	for _, row := range rep.Tables[0].Rows {
+		var speedup float64
+		if _, err := sscanFloat(row[6], &speedup); err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		if speedup < 0.999 {
+			t.Errorf("%s: co-execution (%0.3f) lost to a single device", row[0], speedup)
+		}
+	}
+}
+
+func TestExtScalingShape(t *testing.T) {
+	rep := runExp(t, "ext-scaling")
+	fig := rep.Figures[0]
+	compute := series(t, fig, "Blackscholes")
+	mem := series(t, fig, "Vectoradd")
+	last := len(compute) - 1
+	if compute[last] < 8 {
+		t.Errorf("compute-bound kernel should scale: %v", compute)
+	}
+	if mem[last] > 4 {
+		t.Errorf("bandwidth-bound kernel should hit the memory wall: %v", mem)
+	}
+}
+
+func TestExtSIMDShape(t *testing.T) {
+	rep := runExp(t, "ext-simd")
+	rows := rep.Tables[0].Rows
+	var vecGain, libmGain float64
+	for _, row := range rows {
+		var g float64
+		if _, err := sscanFloat(row[3], &g); err != nil {
+			t.Fatal(err)
+		}
+		if row[4] == "true" {
+			vecGain = g
+		} else {
+			libmGain = g
+		}
+	}
+	if vecGain < 1.8 {
+		t.Errorf("vectorizable kernel AVX gain = %.2f, want ~2", vecGain)
+	}
+	if libmGain > 1.1 {
+		t.Errorf("libm kernel should not gain from wider SIMD: %.2f", libmGain)
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	rep := runExp(t, "ablation")
+	if len(rep.Tables) != 4 {
+		t.Fatalf("ablation tables = %d, want 4", len(rep.Tables))
+	}
+	// Ablation 4: the spill model decides the Matrixmul optimum.
+	tbl := rep.Tables[3]
+	if tbl.Rows[0][3] != "8x8" || tbl.Rows[1][3] != "16x16" {
+		t.Errorf("barrier-spill ablation rows: %v / %v", tbl.Rows[0], tbl.Rows[1])
+	}
+}
+
+func TestExtRooflineShape(t *testing.T) {
+	rep := runExp(t, "ext-roofline")
+	rows := rep.Tables[0].Rows
+	if len(rows) < 12 {
+		t.Fatalf("roofline rows = %d, want every app", len(rows))
+	}
+	limiters := map[string]bool{}
+	for _, row := range rows {
+		limiters[row[5]] = true
+	}
+	for _, want := range []string{"per-item overhead", "scalar execution", "compute"} {
+		if !limiters[want] {
+			t.Errorf("roofline should identify limiter %q somewhere", want)
+		}
+	}
+}

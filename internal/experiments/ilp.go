@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/microbench"
+)
+
+// ILPItems is the launch size of the Figure 6 microbenchmarks: enough
+// workitems to saturate both devices' thread-level parallelism, as the
+// paper specifies.
+const ILPItems = 1 << 18
+
+// Fig6 reproduces Figure 6: throughput of the ILP microbenchmarks on the
+// CPU (rising until the dependence latency is covered) and the GPU (flat —
+// warps already hide the latency).
+func Fig6() harness.Experiment {
+	return harness.Experiment{
+		ID:    "fig6",
+		Title: "ILP microbenchmark, CPU vs GPU",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			tb := newTestbed()
+			fig := &harness.Figure{
+				Title:  "Figure 6",
+				XLabel: "ILP",
+				YLabel: "throughput (GFlop/s)",
+				Labels: []string{"1", "2", "3", "4", "5"},
+			}
+			var cpuVals, gpuVals []float64
+			for chains := 1; chains <= 5; chains++ {
+				k := microbench.ILPKernel(chains)
+				args := microbench.MakeILPArgs(ILPItems)
+				nd := ir.Range1D(ILPItems, 256)
+				flops := microbench.ILPFlopsPerItem(chains) * ILPItems
+
+				cres, err := tb.cpu.Estimate(k, args, nd)
+				if err != nil {
+					return nil, err
+				}
+				gres, err := tb.gpu.Estimate(k, args, nd)
+				if err != nil {
+					return nil, err
+				}
+				cpuVals = append(cpuVals, flops/cres.Time.Seconds()/1e9)
+				gpuVals = append(gpuVals, flops/gres.Time.Seconds()/1e9)
+			}
+			fig.Add("CPU", cpuVals)
+			fig.Add("GPU", gpuVals)
+
+			rep := &harness.Report{ID: "fig6",
+				Title:   "Performance of ILP microbenchmark",
+				Figures: []*harness.Figure{fig}}
+			rep.AddNote("CPU GFlop/s 1->4 chains: %.3gx; 4->5: %.3gx (saturation)",
+				cpuVals[3]/cpuVals[0], cpuVals[4]/cpuVals[3])
+			rep.AddNote("GPU GFlop/s 1->5 chains: %.3gx (flat: TLP hides latency)",
+				gpuVals[4]/gpuVals[0])
+			return rep, nil
+		},
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clperf/internal/core"
+	"clperf/internal/harness"
+	"clperf/internal/kernels"
+)
+
+// ExtRoofline places every application on the CPU's roofline: operational
+// intensity (flops per byte of traffic) against the attainable and
+// achieved throughput. It summarizes in one table why each workload lands
+// where it does in the paper's figures — overhead-bound kernels sit far
+// below even the memory roof, libm-bound kernels far below the compute
+// roof.
+func ExtRoofline() harness.Experiment {
+	return harness.Experiment{
+		ID:    "ext-roofline",
+		Title: "Roofline placement of every application (CPU)",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			ad := core.NewAdvisor(nil)
+			t := &harness.Table{
+				Title: "Roofline (DRAM bandwidth x FP peak)",
+				Columns: []string{"Benchmark", "flops/byte", "attainable GFlop/s",
+					"achieved GFlop/s", "efficiency", "limiter"},
+			}
+			apps := append(kernels.Registry(), kernels.ExtraRegistry()...)
+			for _, app := range apps {
+				nd := app.DefaultConfig()
+				args := app.Make(nd)
+				rep, err := ad.Analyze(app.Kernel, args, nd)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", app.Name, err)
+				}
+				b := rep.Breakdown
+				achieved := rep.Throughput.GFlops()
+				eff := 0.0
+				if b.AttainableGFlops > 0 {
+					eff = achieved / b.AttainableGFlops
+				}
+				limiter := "compute"
+				switch {
+				case b.MemoryBound:
+					limiter = "memory bandwidth"
+				case !b.Vectorized:
+					limiter = "scalar execution"
+				case b.DispatchShare > 0.25:
+					limiter = "workgroup dispatch"
+				case b.OverheadShare > 0.4:
+					limiter = "per-item overhead"
+				}
+				t.AddRow(app.Name, b.OperationalIntensity, b.AttainableGFlops,
+					achieved, fmt.Sprintf("%.0f%%", 100*eff), limiter)
+			}
+			rep := &harness.Report{ID: "ext-roofline",
+				Title:  "Roofline placement",
+				Tables: []*harness.Table{t}}
+			rep.AddNote("efficiency below 100%% is the runtime gap the paper's guidelines target")
+			rep.AddNote("kernels with L3-resident working sets may exceed the DRAM roof (e.g. MatrixmulNaive)")
+			return rep, nil
+		},
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+// ExtScaling sweeps the core count for a set of applications — the scaling
+// study the paper's related work (Ali et al.) performs, here over the
+// model: compute-bound kernels scale nearly linearly until SMT, while
+// bandwidth-bound kernels flatten at the memory wall.
+func ExtScaling() harness.Experiment {
+	return harness.Experiment{
+		ID:    "ext-scaling",
+		Title: "Core-count scaling of the Table II applications",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			coreCounts := []int{1, 2, 4, 6, 8, 12} // physical cores per socket x sockets
+			fig := &harness.Figure{
+				Title:  "Speedup vs. physical cores (SMT on, normalized to 1 core)",
+				XLabel: "physical cores",
+				YLabel: "speedup",
+			}
+			for _, c := range coreCounts {
+				fig.Labels = append(fig.Labels, fmt.Sprint(c))
+			}
+
+			type probe struct {
+				name string
+				k    func() (*ir.Kernel, *ir.Args, ir.NDRange, error)
+			}
+			fromApp := func(app *kernels.App, cfg int) func() (*ir.Kernel, *ir.Args, ir.NDRange, error) {
+				return func() (*ir.Kernel, *ir.Args, ir.NDRange, error) {
+					nd := app.Configs[cfg]
+					return app.Kernel, app.Make(nd), nd, nil
+				}
+			}
+			probes := []probe{
+				{"Blackscholes (compute-bound)", fromApp(kernels.BlackScholes(), 0)},
+				{"Square (overhead-bound)", fromApp(kernels.Square(), 2)},
+				// Coarsened large vectoradd streams DRAM: the memory wall.
+				{"Vectoradd x100 (bandwidth-bound)", func() (*ir.Kernel, *ir.Args, ir.NDRange, error) {
+					app := kernels.VectorAdd()
+					nd := app.Configs[3]
+					args := app.Make(nd)
+					ck, err := kernels.Coarsen(app.Kernel, 100)
+					if err != nil {
+						return nil, nil, nd, err
+					}
+					cnd, err := kernels.CoarsenRange(nd, 100)
+					return ck, args, cnd, err
+				}},
+			}
+			for _, pb := range probes {
+				k, args, nd, err := pb.k()
+				if err != nil {
+					return nil, err
+				}
+				var base float64
+				var vals []float64
+				for i, cores := range coreCounts {
+					a := arch.XeonE5645()
+					// Scale the socket topology while keeping per-core
+					// resources fixed; memory bandwidth stays the machine's.
+					a.Sockets = 1
+					a.CoresPerSocket = cores
+					d := cpu.New(a)
+					res, err := d.Estimate(k, args, nd)
+					if err != nil {
+						return nil, fmt.Errorf("%s @%d cores: %w", pb.name, cores, err)
+					}
+					thr := 1 / res.Time.Seconds()
+					if i == 0 {
+						base = thr
+					}
+					vals = append(vals, thr/base)
+				}
+				fig.Add(pb.name, vals)
+			}
+			rep := &harness.Report{ID: "ext-scaling",
+				Title:   "Core-count scaling",
+				Figures: []*harness.Figure{fig}}
+			rep.AddNote("compute-bound kernels scale with cores; bandwidth-bound kernels hit the shared memory wall")
+			return rep, nil
+		},
+	}
+}

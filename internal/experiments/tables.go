@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/parboil"
+)
+
+// Table1 reproduces Table I: the experimental environment, here the
+// parameters of the simulated devices.
+func Table1() harness.Experiment {
+	return harness.Experiment{
+		ID:    "table1",
+		Title: "Experimental environment",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			tb := newTestbed()
+			c, g := tb.cpu.A, tb.gpu.A
+			t := &harness.Table{Title: "Table I: Experimental environment (simulated)",
+				Columns: []string{"Property", "Value"}}
+			t.AddRow("CPUs", c.Name)
+			t.AddRow("Sockets x cores x SMT", fmt.Sprintf("%d x %d x %d", c.Sockets, c.CoresPerSocket, c.SMTWays))
+			t.AddRow("Vector width", fmt.Sprintf("%s, %d single precision FP", c.SIMDName, c.SIMDWidth))
+			t.AddRow("Caches L1D/L2/L3", fmt.Sprintf("%v/%v/%v", c.L1D.Size, c.L2.Size, c.L3.Size))
+			t.AddRow("FP peak performance", c.PeakFlops())
+			t.AddRow("Core frequency", c.Clock)
+			t.AddRow("GPUs", g.Name)
+			t.AddRow("# SMs", g.SMs)
+			t.AddRow("GPU FP peak performance", g.PeakFlops())
+			t.AddRow("Shader clock frequency", g.Clock)
+			t.AddRow("GPU shared memory per SM", g.SharedMemPerSM)
+			t.AddRow("Platform", "clperf simulated Intel CPU + NVIDIA GPU OpenCL platforms")
+			return &harness.Report{ID: "table1", Title: "Experimental environment",
+				Tables: []*harness.Table{t}}, nil
+		},
+	}
+}
+
+// Table2 reproduces Table II: the simple applications and their launch
+// characteristics.
+func Table2() harness.Experiment {
+	return harness.Experiment{
+		ID:    "table2",
+		Title: "Characteristics of the simple applications",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			t := &harness.Table{Title: "Table II: Characteristics of the Simple Applications",
+				Columns: []string{"Benchmark", "Kernel", "global work size", "local work size"}}
+			for _, app := range kernels.Registry() {
+				for i, nd := range app.Configs {
+					name, kname := "", ""
+					if i == 0 {
+						name, kname = app.Name, app.Kernel.Name
+					}
+					local := "NULL"
+					if !nd.LocalNull() {
+						local = sizeString(nd.Local, nd.Dims())
+					}
+					t.AddRow(name, kname, sizeString(nd.Global, nd.Dims()), local)
+				}
+			}
+			return &harness.Report{ID: "table2", Title: "Simple application characteristics",
+				Tables: []*harness.Table{t}}, nil
+		},
+	}
+}
+
+// Table3 reproduces Table III: the Parboil benchmarks.
+func Table3() harness.Experiment {
+	return harness.Experiment{
+		ID:    "table3",
+		Title: "Characteristics of the Parboil benchmarks",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			t := &harness.Table{Title: "Table III: Characteristics of the Parboil Benchmarks",
+				Columns: []string{"Benchmark", "Kernel", "global work size", "local work size"}}
+			prev := ""
+			for _, e := range parboil.Entries() {
+				name := ""
+				if e.Bench != prev {
+					name, prev = e.Bench, e.Bench
+				}
+				t.AddRow(name, e.Kernel.Name, sizeString(e.ND.Global, e.ND.Dims()),
+					sizeString(e.ND.Local, e.ND.Dims()))
+			}
+			return &harness.Report{ID: "table3", Title: "Parboil characteristics",
+				Tables: []*harness.Table{t}}, nil
+		},
+	}
+}
+
+// Table4 reproduces Table IV: the number of workitems at each coarsening
+// factor of the Figure 1 experiment.
+func Table4() harness.Experiment {
+	return harness.Experiment{
+		ID:    "table4",
+		Title: "Number of workitems for each application (coarsening)",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			t := &harness.Table{Title: "Table IV: Number of Workitems for Each Application",
+				Columns: []string{"Benchmark", "base", "10x", "100x", "1000x"}}
+			add := func(name string, base int) {
+				row := []any{name, base}
+				for _, f := range []int{10, 100, 1000} {
+					n := base / f
+					if n < 1 {
+						n = 1
+					}
+					row = append(row, n)
+				}
+				t.AddRow(row...)
+			}
+			for i, nd := range kernels.Square().Configs {
+				add(fmt.Sprintf("Square %d", i+1), nd.Global[0])
+			}
+			for i, nd := range kernels.VectorAdd().Configs {
+				add(fmt.Sprintf("VectorAdd %d", i+1), nd.Global[0])
+			}
+			return &harness.Report{ID: "table4", Title: "Coarsening workitem counts",
+				Tables: []*harness.Table{t}}, nil
+		},
+	}
+}
+
+// Table5 reproduces Table V: the workgroup sizes swept in Figure 3.
+func Table5() harness.Experiment {
+	return harness.Experiment{
+		ID:    "table5",
+		Title: "Workgroup size for each application",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			t := &harness.Table{Title: "Table V: Workgroup Size for Each Application",
+				Columns: []string{"Benchmark", "base", "case 1", "case 2", "case 3", "case 4"}}
+			for _, sw := range wgSweeps() {
+				row := []any{sw.app.Name, wgLabel(sw.base)}
+				for _, c := range sw.cases {
+					row = append(row, wgLabel(c))
+				}
+				t.AddRow(row...)
+			}
+			return &harness.Report{ID: "table5", Title: "Workgroup size sweep definition",
+				Tables: []*harness.Table{t}}, nil
+		},
+	}
+}
+
+func sizeString(dims [3]int, n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " X "
+		}
+		s += fmt.Sprint(dims[i])
+	}
+	return s
+}
+
+func wgLabel(local [3]int) string {
+	if local == [3]int{} {
+		return "NULL"
+	}
+	if local[1] <= 1 {
+		return fmt.Sprint(local[0])
+	}
+	return fmt.Sprintf("%dX%d", local[0], local[1])
+}
+
+// wgSweep defines one row of Table V.
+type wgSweep struct {
+	app   *kernels.App
+	base  [3]int
+	cases [][3]int
+}
+
+// wgSweeps returns the Table V sweep definitions.
+func wgSweeps() []wgSweep {
+	one := func(vals ...int) [][3]int {
+		out := make([][3]int, len(vals))
+		for i, v := range vals {
+			out[i] = [3]int{v, 1, 1}
+		}
+		return out
+	}
+	two := func(pairs ...[2]int) [][3]int {
+		out := make([][3]int, len(pairs))
+		for i, p := range pairs {
+			out[i] = [3]int{p[0], p[1], 1}
+		}
+		return out
+	}
+	return []wgSweep{
+		{app: kernels.Square(), base: [3]int{}, cases: one(1, 10, 100, 1000)},
+		{app: kernels.VectorAdd(), base: [3]int{}, cases: one(1, 10, 100, 1000)},
+		{app: kernels.MatrixMul(), base: [3]int{16, 16, 1},
+			cases: two([2]int{1, 1}, [2]int{2, 2}, [2]int{4, 4}, [2]int{8, 8})},
+		{app: kernels.BlackScholes(), base: [3]int{16, 16, 1},
+			cases: two([2]int{1, 1}, [2]int{1, 2}, [2]int{2, 2}, [2]int{2, 4})},
+		{app: kernels.MatrixMulNaive(), base: [3]int{16, 16, 1},
+			cases: two([2]int{1, 1}, [2]int{2, 2}, [2]int{4, 4}, [2]int{8, 8})},
+	}
+}
+
+// ndWithLocal returns nd with the given local size, shrinking dimensions so
+// the local size always divides the global size.
+func ndWithLocal(nd ir.NDRange, local [3]int) ir.NDRange {
+	if local == [3]int{} {
+		return nd.WithLocal(local)
+	}
+	for d := 0; d < 3; d++ {
+		g := nd.Global[d]
+		if g == 0 {
+			g = 1
+		}
+		l := local[d]
+		if l == 0 {
+			l = 1
+		}
+		if l > g {
+			l = g
+		}
+		for g%l != 0 {
+			l--
+		}
+		local[d] = l
+	}
+	return nd.WithLocal(local)
+}

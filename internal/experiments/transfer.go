@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clperf/internal/cl"
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/parboil"
+	"clperf/internal/units"
+)
+
+// bufferRole classifies how a kernel uses a buffer parameter.
+type bufferRole int
+
+const (
+	roleRead bufferRole = iota
+	roleWrite
+	roleReadWrite
+)
+
+// bufferRoles derives each buffer's role from the kernel's static access
+// sites.
+func bufferRoles(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (map[string]bufferRole, error) {
+	prof, err := ir.ProfileKernel(k, args, nd, ir.LatencyTable{}, ir.MaxBranch)
+	if err != nil {
+		return nil, err
+	}
+	reads := map[string]bool{}
+	writes := map[string]bool{}
+	for _, a := range prof.Accesses {
+		if a.Write {
+			writes[a.Buf] = true
+		} else {
+			reads[a.Buf] = true
+		}
+	}
+	roles := map[string]bufferRole{}
+	for _, name := range k.BufferNames() {
+		switch {
+		case reads[name] && writes[name]:
+			roles[name] = roleReadWrite
+		case writes[name]:
+			roles[name] = roleWrite
+		default:
+			roles[name] = roleRead
+		}
+	}
+	return roles, nil
+}
+
+// transferAPI selects the host data-movement API under test.
+type transferAPI int
+
+const (
+	apiCopy transferAPI = iota // clEnqueueRead/WriteBuffer
+	apiMap                     // clEnqueueMapBuffer
+)
+
+// transferRun executes one app configuration through the cl runtime with
+// the given memory flags policy and transfer API, returning kernel time and
+// total transfer time.
+func transferRun(app *kernels.App, nd ir.NDRange, restrictAccess, hostAlloc bool, api transferAPI) (kernel, transfer units.Duration, err error) {
+	ctx := cl.NewContext(cl.CPUDevice())
+	q := cl.NewQueue(ctx)
+	q.SetFunctional(false)
+
+	k, err := ctx.CreateKernel(app.Kernel)
+	if err != nil {
+		return 0, 0, err
+	}
+	args := app.Make(nd)
+	resolved := cl.CPUDevice().CPU.ResolveLocal(nd)
+	roles, err := bufferRoles(app.Kernel, args, resolved)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	bufs := map[string]*cl.Buffer{}
+	for _, name := range app.Kernel.BufferNames() {
+		flags := cl.MemReadWrite
+		if restrictAccess {
+			switch roles[name] {
+			case roleRead:
+				flags = cl.MemReadOnly
+			case roleWrite:
+				flags = cl.MemWriteOnly
+			}
+		}
+		if hostAlloc {
+			flags |= cl.MemAllocHostPtr
+		}
+		src := args.Buffers[name]
+		b, err := ctx.CreateBuffer(flags, src.Elem, src.Len())
+		if err != nil {
+			return 0, 0, err
+		}
+		bufs[name] = b
+		if err := k.SetBufferArg(name, b); err != nil {
+			return 0, 0, err
+		}
+	}
+	for name, v := range args.Scalars {
+		if err := k.SetScalarArg(name, v); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Host -> device for kernel inputs.
+	for name, b := range bufs {
+		if roles[name] == roleWrite {
+			continue
+		}
+		src := args.Buffers[name].Data
+		switch api {
+		case apiCopy:
+			if _, err := q.EnqueueWriteBuffer(b, src); err != nil {
+				return 0, 0, err
+			}
+		case apiMap:
+			view, _, err := q.EnqueueMapBuffer(b, cl.MapWrite)
+			if err != nil {
+				return 0, 0, err
+			}
+			copy(view, src)
+			if _, err := q.EnqueueUnmapBuffer(b); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+
+	ke, err := q.EnqueueNDRangeKernel(k, nd)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Device -> host for kernel outputs.
+	for name, b := range bufs {
+		if roles[name] == roleRead {
+			continue
+		}
+		dst := make([]float64, b.Len())
+		switch api {
+		case apiCopy:
+			if _, err := q.EnqueueReadBuffer(b, dst); err != nil {
+				return 0, 0, err
+			}
+		case apiMap:
+			view, _, err := q.EnqueueMapBuffer(b, cl.MapRead)
+			if err != nil {
+				return 0, 0, err
+			}
+			copy(dst, view)
+			if _, err := q.EnqueueUnmapBuffer(b); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+
+	kernel = ke.Time()
+	for _, ev := range q.Events() {
+		if ev.Command != "clEnqueueNDRangeKernel:"+app.Kernel.Name {
+			transfer += ev.Duration()
+		}
+	}
+	return kernel, transfer, nil
+}
+
+// Fig7 reproduces Figure 7: application throughput (Equation 1) of mapping
+// over copying, for all four combinations of access flags and allocation
+// location.
+func Fig7() harness.Experiment {
+	return harness.Experiment{
+		ID:    "fig7",
+		Title: "Mapping vs copying across allocation-flag combinations",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			combos := []struct {
+				name                      string
+				restrictAccess, hostAlloc bool
+			}{
+				{"ReadOnly or WriteOnly, Allocation on Device", true, false},
+				{"ReadOnly or WriteOnly, Allocation on Host", true, true},
+				{"Read Write, Allocation on Device", false, false},
+				{"Read Write, Allocation on Host", false, true},
+			}
+			apps := []*kernels.App{kernels.Square(), kernels.VectorAdd(), kernels.BlackScholes()}
+			fig := &harness.Figure{
+				Title:  "Figure 7",
+				XLabel: "benchmark",
+				YLabel: "throughput of mapping normalized to copying",
+			}
+			series := make([][]float64, len(combos))
+			for _, app := range apps {
+				for ci, nd := range app.Configs {
+					fig.Labels = append(fig.Labels, fmt.Sprintf("%s_%d", app.Name, ci+1))
+					for comboIdx, combo := range combos {
+						kc, tc, err := transferRun(app, nd, combo.restrictAccess, combo.hostAlloc, apiCopy)
+						if err != nil {
+							return nil, fmt.Errorf("%s copy: %w", app.Name, err)
+						}
+						km, tm, err := transferRun(app, nd, combo.restrictAccess, combo.hostAlloc, apiMap)
+						if err != nil {
+							return nil, fmt.Errorf("%s map: %w", app.Name, err)
+						}
+						copyThr := 1 / (kc + tc).Seconds()
+						mapThr := 1 / (km + tm).Seconds()
+						series[comboIdx] = append(series[comboIdx], mapThr/copyThr)
+					}
+				}
+			}
+			for i, combo := range combos {
+				fig.Add(combo.name, series[i])
+			}
+			rep := &harness.Report{ID: "fig7",
+				Title:   "Mapping APIs vs explicit data transfer",
+				Figures: []*harness.Figure{fig}}
+			min, max := series[0][0], series[0][0]
+			for _, s := range series {
+				for _, v := range s {
+					if v < min {
+						min = v
+					}
+					if v > max {
+						max = v
+					}
+				}
+			}
+			rep.AddNote("map/copy throughput ratio range: %.3g .. %.3g (mapping superior everywhere when > 1)", min, max)
+			return rep, nil
+		},
+	}
+}
+
+// Fig8 reproduces Figure 8: Parboil data transfer time, host->device
+// (upper) and device->host (lower), with copying vs mapping APIs.
+func Fig8() harness.Experiment {
+	return harness.Experiment{
+		ID:    "fig8",
+		Title: "Parboil data transfer time, copy vs map",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			benches := []string{"CP", "MRI-Q", "MRI-FHD"}
+			h2d := &harness.Figure{Title: "Figure 8 (upper): host to device",
+				XLabel: "benchmark", YLabel: "data transfer time (ms)", Labels: benches}
+			d2h := &harness.Figure{Title: "Figure 8 (lower): device to host",
+				XLabel: "benchmark", YLabel: "data transfer time (ms)", Labels: benches}
+
+			var copyH2D, mapH2D, copyD2H, mapD2H []float64
+			for _, bench := range benches {
+				var ch, mh, cd, md units.Duration
+				for _, e := range parboil.Entries() {
+					if e.Bench != bench {
+						continue
+					}
+					args := e.Make()
+					roles, err := bufferRoles(e.Kernel, args, e.ND)
+					if err != nil {
+						return nil, err
+					}
+					ctx := cl.NewContext(cl.CPUDevice())
+					q := cl.NewQueue(ctx)
+					for name, src := range args.Buffers {
+						b, err := ctx.CreateBuffer(cl.MemReadWrite, src.Elem, src.Len())
+						if err != nil {
+							return nil, err
+						}
+						role := roles[name]
+						if role != roleWrite { // an input: host -> device
+							ev, err := q.EnqueueWriteBuffer(b, src.Data)
+							if err != nil {
+								return nil, err
+							}
+							ch += ev.Duration()
+							view, mev, err := q.EnqueueMapBuffer(b, cl.MapWrite)
+							if err != nil {
+								return nil, err
+							}
+							copy(view, src.Data)
+							uev, err := q.EnqueueUnmapBuffer(b)
+							if err != nil {
+								return nil, err
+							}
+							mh += mev.Duration() + uev.Duration()
+						}
+						if role != roleRead { // an output: device -> host
+							dst := make([]float64, src.Len())
+							ev, err := q.EnqueueReadBuffer(b, dst)
+							if err != nil {
+								return nil, err
+							}
+							cd += ev.Duration()
+							_, mev, err := q.EnqueueMapBuffer(b, cl.MapRead)
+							if err != nil {
+								return nil, err
+							}
+							uev, err := q.EnqueueUnmapBuffer(b)
+							if err != nil {
+								return nil, err
+							}
+							md += mev.Duration() + uev.Duration()
+						}
+					}
+				}
+				copyH2D = append(copyH2D, ch.Milliseconds())
+				mapH2D = append(mapH2D, mh.Milliseconds())
+				copyD2H = append(copyD2H, cd.Milliseconds())
+				mapD2H = append(mapD2H, md.Milliseconds())
+			}
+			h2d.Add("Copying", copyH2D)
+			h2d.Add("Mapping", mapH2D)
+			d2h.Add("Copying", copyD2H)
+			d2h.Add("Mapping", mapD2H)
+			rep := &harness.Report{ID: "fig8",
+				Title:   "Data transfer time with different APIs",
+				Figures: []*harness.Figure{h2d, d2h}}
+			rep.AddNote("mapping transfer time is below copying for every benchmark in both directions")
+			return rep, nil
+		},
+	}
+}

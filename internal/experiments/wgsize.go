@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/parboil"
+	"clperf/internal/units"
+)
+
+// wgPoint prices one app at one workgroup size on one device.
+func (tb *testbed) wgPoint(app *kernels.App, nd ir.NDRange, args *ir.Args, dev string) (units.Duration, error) {
+	if dev == "CPU" {
+		return tb.cpuTime(app.Kernel, args, nd)
+	}
+	return tb.gpuTime(app.Kernel, args, nd)
+}
+
+// Fig3 reproduces Figure 3: performance of the Table V applications with
+// different workgroup sizes on CPU and GPU, normalized to the base size.
+func Fig3() harness.Experiment {
+	return harness.Experiment{
+		ID:    "fig3",
+		Title: "Workgroup size sweep on CPUs and GPUs",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			tb := newTestbed()
+			rep := &harness.Report{ID: "fig3", Title: "Performance with different workgroup size"}
+			caseNames := []string{"base", "case_1", "case_2", "case_3", "case_4"}
+
+			for _, dev := range []string{"CPU", "GPU"} {
+				fig := &harness.Figure{
+					Title:  fmt.Sprintf("Figure 3 (%s)", dev),
+					XLabel: "benchmark",
+					YLabel: "normalized throughput",
+				}
+				series := make([][]float64, len(caseNames))
+				for _, sw := range wgSweeps() {
+					// The paper plots the first two configurations per app.
+					configs := sw.app.Configs
+					if len(configs) > 2 {
+						configs = configs[:2]
+					}
+					for ci, nd := range configs {
+						fig.Labels = append(fig.Labels, fmt.Sprintf("%s_%d", sw.app.Name, ci+1))
+						args := sw.app.Make(nd)
+						sizes := append([][3]int{sw.base}, sw.cases...)
+						var base float64
+						for si, local := range sizes {
+							snd := ndWithLocal(nd, local)
+							t, err := tb.wgPoint(sw.app, snd, args, dev)
+							if err != nil {
+								return nil, fmt.Errorf("%s %s case %d: %w", sw.app.Name, dev, si, err)
+							}
+							thr := 1 / t.Seconds()
+							if si == 0 {
+								base = thr
+							}
+							series[si] = append(series[si], thr/base)
+						}
+					}
+				}
+				for si, name := range caseNames {
+					fig.Add(fmt.Sprintf("%s(%s)", name, dev), series[si])
+				}
+				rep.Figures = append(rep.Figures, fig)
+			}
+			return rep, nil
+		},
+	}
+}
+
+// Fig4 reproduces Figure 4: Blackscholes alone across workgroup sizes —
+// flat on the CPU, strongly occupancy-dependent on the GPU.
+func Fig4() harness.Experiment {
+	return harness.Experiment{
+		ID:    "fig4",
+		Title: "Blackscholes workgroup size sensitivity",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			tb := newTestbed()
+			app := kernels.BlackScholes()
+			sizes := [][3]int{{}, {1, 1, 1}, {1, 2, 1}, {2, 2, 1}, {2, 4, 1}, {16, 16, 1}}
+			names := []string{"base(16X16)", "1X1", "1X2", "2X2", "2X4", "16X16"}
+			rep := &harness.Report{ID: "fig4", Title: "Blackscholes with different workgroup size"}
+
+			for _, dev := range []string{"CPU", "GPU"} {
+				fig := &harness.Figure{
+					Title:  fmt.Sprintf("Figure 4 (%s)", dev),
+					XLabel: "input",
+					YLabel: "normalized throughput",
+				}
+				series := make([][]float64, len(sizes))
+				for ci, nd := range app.Configs {
+					fig.Labels = append(fig.Labels, fmt.Sprintf("blackscholes_%d", ci+1))
+					args := app.Make(nd)
+					var base float64
+					for si, local := range sizes {
+						snd := nd
+						if si == 0 {
+							snd = ndWithLocal(nd, [3]int{16, 16, 1})
+						} else {
+							snd = ndWithLocal(nd, local)
+						}
+						t, err := tb.wgPoint(app, snd, args, dev)
+						if err != nil {
+							return nil, err
+						}
+						thr := 1 / t.Seconds()
+						if si == 0 {
+							base = thr
+						}
+						series[si] = append(series[si], thr/base)
+					}
+				}
+				for si, name := range names {
+					fig.Add(fmt.Sprintf("%s(%s)", name, dev), series[si])
+				}
+				rep.Figures = append(rep.Figures, fig)
+			}
+			return rep, nil
+		},
+	}
+}
+
+// Fig5 reproduces Figure 5: Parboil kernels on the CPU with workgroup
+// sizes scaled x1..x16, cenergy swept along both dimensions.
+func Fig5() harness.Experiment {
+	return harness.Experiment{
+		ID:    "fig5",
+		Title: "Parboil workgroup size sweep on CPU",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			tb := newTestbed()
+			fig := &harness.Figure{
+				Title:  "Figure 5",
+				XLabel: "workgroup scale",
+				YLabel: "normalized throughput",
+				Labels: []string{"1", "2", "4", "8", "16"},
+			}
+			scales := []int{1, 2, 4, 8, 16}
+
+			type sweep struct {
+				name  string
+				entry parboil.Entry
+				local func(scale int) [3]int
+			}
+			entries := parboil.Entries()
+			byName := func(n string) parboil.Entry {
+				for _, e := range entries {
+					if e.Kernel.Name == n {
+						return e
+					}
+				}
+				panic("missing parboil kernel " + n)
+			}
+			ce := byName("cenergy")
+			sweeps := []sweep{
+				{name: "CP: cenergy(X)", entry: ce,
+					local: func(s int) [3]int { return [3]int{s, 8, 1} }},
+				{name: "CP: cenergy(Y)", entry: ce,
+					local: func(s int) [3]int { return [3]int{16, s, 1} }},
+				{name: "MRI-Q: computePhiMag", entry: byName("computePhiMag"),
+					local: func(s int) [3]int { return [3]int{512 * s / 16, 1, 1} }},
+				{name: "MRI-Q: computeQ", entry: byName("computeQ"),
+					local: func(s int) [3]int { return [3]int{256 * s / 16, 1, 1} }},
+				{name: "MRI-FHD: RhoPhi", entry: byName("RhoPhi"),
+					local: func(s int) [3]int { return [3]int{512 * s / 16, 1, 1} }},
+				{name: "MRI-FHD: computeQ", entry: byName("FH"),
+					local: func(s int) [3]int { return [3]int{256 * s / 16, 1, 1} }},
+			}
+			for _, sw := range sweeps {
+				args := sw.entry.Make()
+				var vals []float64
+				var base float64
+				for si, s := range scales {
+					nd := ndWithLocal(sw.entry.ND, sw.local(s))
+					t, err := tb.cpuTime(sw.entry.Kernel, args, nd)
+					if err != nil {
+						return nil, fmt.Errorf("%s scale %d: %w", sw.name, s, err)
+					}
+					thr := 1 / t.Seconds()
+					if si == 0 {
+						base = thr
+					}
+					vals = append(vals, thr/base)
+				}
+				fig.Add(sw.name, vals)
+			}
+			return &harness.Report{ID: "fig5",
+				Title:   "Parboil performance with different workgroup size on CPUs",
+				Figures: []*harness.Figure{fig}}, nil
+		},
+	}
+}

@@ -1,0 +1,301 @@
+// Package gpu implements the GPU device model: an SM/warp occupancy timing
+// model in the style of the NVIDIA OpenCL platform on the paper's GTX 580.
+//
+// The model captures exactly the contrasts the paper draws against the CPU:
+// warps hide latency through TLP (so kernel ILP has no effect, Figure 6);
+// occupancy collapses with tiny workgroups (Figures 3-4) or after workitem
+// coarsening (Figure 1); and host<->device traffic crosses PCIe.
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// Device is the GPU compute device.
+type Device struct {
+	A *arch.GPU
+	// DefaultLocal is the workgroup size used when the host passes NULL.
+	DefaultLocal int
+}
+
+// New returns a GPU device.
+func New(a *arch.GPU) *Device {
+	return &Device{A: a, DefaultLocal: 64}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.A.Name }
+
+// ResolveLocal applies the NULL-workgroup policy (largest divisor of the
+// global size not exceeding DefaultLocal).
+func (d *Device) ResolveLocal(nd ir.NDRange) ir.NDRange {
+	if !nd.LocalNull() {
+		return nd
+	}
+	var local [3]int
+	g := nd.Global[0]
+	if g < 1 {
+		g = 1
+	}
+	local[0] = largestDivisorLE(g, d.DefaultLocal)
+	local[1], local[2] = 1, 1
+	return nd.WithLocal(local)
+}
+
+func largestDivisorLE(n, limit int) int {
+	if limit >= n {
+		return n
+	}
+	for v := limit; v >= 1; v-- {
+		if n%v == 0 {
+			return v
+		}
+	}
+	return 1
+}
+
+// Cost is the static cost of one workgroup's warps on an SM.
+type Cost struct {
+	Profile *ir.Profile
+
+	// WarpsPerGroup is the number of warps one workgroup occupies.
+	WarpsPerGroup int
+	// LaneEff is the fraction of warp lanes holding real workitems: a
+	// workgroup of 1 wastes 31/32 of every issue slot.
+	LaneEff float64
+	// IssuePerWarp is the SM issue slots one warp consumes for the whole
+	// kernel, including non-coalesced memory replays.
+	IssuePerWarp float64
+	// SerialCycles is a warp's dependence critical path: the latency other
+	// warps must cover.
+	SerialCycles float64
+	// GroupsPerSM is the occupancy limit for this kernel.
+	GroupsPerSM int
+	// ResidentWarps is GroupsPerSM * WarpsPerGroup.
+	ResidentWarps int
+	// TrafficPerItem is device-memory traffic per workitem, in bytes.
+	TrafficPerItem float64
+	// LocalBytes is scratchpad usage per workgroup.
+	LocalBytes int64
+}
+
+// uncoalescedReplay is the issue-slot multiplier for a warp memory access
+// whose lanes hit scattered lines (transaction replays on Fermi).
+const uncoalescedReplay = 16
+
+// Analyze statically prices kernel k at the launch configuration.
+func (d *Device) Analyze(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Cost, error) {
+	a := d.A
+	prof, err := ir.ProfileKernel(k, args, nd, a.Lat, ir.SumBranch)
+	if err != nil {
+		return nil, err
+	}
+	items := nd.GroupItems()
+	warps := (items + a.WarpSize - 1) / a.WarpSize
+	c := &Cost{
+		Profile:       prof,
+		WarpsPerGroup: warps,
+		LaneEff:       float64(items) / float64(warps*a.WarpSize),
+	}
+
+	cnt := prof.Counts
+	// One IR op is one warp instruction; uncoalesced accesses replay.
+	var memIssue float64
+	perBuf := map[string]float64{}
+	for _, s := range prof.Accesses {
+		if s.Stride.Unit() || s.Stride.Uniform() {
+			memIssue += s.PerItem
+		} else {
+			memIssue += s.PerItem * uncoalescedReplay
+		}
+		t := gpuTraffic(s.Stride)
+		if s.LoopVariant {
+			c.TrafficPerItem += s.PerItem * t
+		} else if t > perBuf[s.Buf] {
+			perBuf[s.Buf] = t
+		}
+	}
+	for _, t := range perBuf {
+		c.TrafficPerItem += t
+	}
+	// The GPU compiler unrolls counted loops, so induction updates and
+	// compares (one each per trip) vanish from the instruction stream.
+	intOps := cnt[ir.OpInt] - prof.LoopTrips
+	cmpOps := cnt[ir.OpCmp] - prof.LoopTrips
+	if intOps < 0 {
+		intOps = 0
+	}
+	if cmpOps < 0 {
+		cmpOps = 0
+	}
+	alu := cnt[ir.OpFAdd] + cnt[ir.OpFMul] + cnt[ir.OpFMA] + intOps +
+		cmpOps + cnt[ir.OpSelect]
+	slow := (cnt[ir.OpFDiv] + cnt[ir.OpSpecial] + cnt[ir.OpLibm]) * 4 // quarter-rate SFU ops
+	local := cnt[ir.OpLocalLoad] + cnt[ir.OpLocalStore]
+	atomics := cnt[ir.OpAtomic] * 8 // serialized bank updates
+	barriers := cnt[ir.OpBarrier] * 2
+	c.IssuePerWarp = alu + slow + local + memIssue + atomics + barriers
+	c.SerialCycles = prof.SerialCycles
+
+	for _, l := range k.Locals {
+		se := ir.NewStaticEnv(nd, args)
+		if n, ok := ir.EvalStatic(l.Size, se); ok {
+			c.LocalBytes += int64(n) * l.Elem.Size()
+		}
+	}
+
+	// Occupancy limits.
+	g := a.MaxGroupsPerSM
+	if warps > 0 && a.MaxWarpsPerSM/warps < g {
+		g = a.MaxWarpsPerSM / warps
+	}
+	if c.LocalBytes > 0 {
+		byShared := int(int64(a.SharedMemPerSM) / c.LocalBytes)
+		if byShared < g {
+			g = byShared
+		}
+	}
+	if g < 1 {
+		g = 1
+	}
+	c.GroupsPerSM = g
+	c.ResidentWarps = g * warps
+	if c.ResidentWarps > a.MaxWarpsPerSM {
+		c.ResidentWarps = a.MaxWarpsPerSM
+	}
+	return c, nil
+}
+
+func gpuTraffic(s ir.Stride) float64 {
+	const line = 64
+	switch {
+	case s.Uniform():
+		return 0
+	case s.Unit():
+		return 4
+	case !s.Known:
+		return line
+	default:
+		return math.Min(math.Abs(float64(s.Elems))*4, line)
+	}
+}
+
+// Result reports the simulated outcome of one kernel launch.
+type Result struct {
+	Kernel string
+	ND     ir.NDRange
+	Cost   *Cost
+
+	Time     units.Duration
+	Compute  units.Duration
+	MemFloor units.Duration
+	// Occupancy is resident warps relative to the SM maximum.
+	Occupancy float64
+}
+
+// Throughput returns application flops per second for this launch.
+func (r *Result) Throughput() units.Throughput {
+	flops := r.Cost.Profile.Counts.Flops() * float64(r.ND.GlobalItems())
+	return units.ThroughputOf(flops, r.Time)
+}
+
+// Estimate prices a launch without executing it.
+func (d *Device) Estimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Result, error) {
+	nd = d.ResolveLocal(nd)
+	if err := nd.Validate(); err != nil {
+		return nil, err
+	}
+	cost, err := d.Analyze(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+	a := d.A
+
+	groups := nd.NumGroups()
+	totalWarps := float64(groups * cost.WarpsPerGroup)
+	warpsPerSM := math.Ceil(totalWarps / float64(a.SMs))
+
+	// Warps execute in resident batches; a batch is issue-bound when its
+	// warps cover each other's latency and latency-bound otherwise.
+	r := float64(cost.ResidentWarps)
+	if r > warpsPerSM {
+		r = warpsPerSM
+	}
+	if r < 1 {
+		r = 1
+	}
+	batches := warpsPerSM / r
+	if batches < 1 {
+		batches = 1
+	}
+	cyclesPerBatch := math.Max(r*cost.IssuePerWarp, cost.SerialCycles)
+	smCycles := batches * cyclesPerBatch
+	compute := a.Clock.Cycles(smCycles)
+
+	// Achievable bandwidth follows Little's law: outstanding lines are
+	// bounded by resident warps, so a launch with little TLP (the paper's
+	// coarsened or tiny-workgroup configurations) cannot stream memory at
+	// the device's peak rate.
+	activeSMs := float64(a.SMs)
+	if g := float64(groups); g < activeSMs {
+		activeSMs = g
+	}
+	residentTotal := math.Min(totalWarps, activeSMs*r)
+	if residentTotal < 1 {
+		residentTotal = 1
+	}
+	latSec := a.Clock.Cycles(a.MemLatency).Seconds()
+	bw := units.Bandwidth(residentTotal * a.MLPPerWarp * float64(a.LineSize) / latSec)
+	if bw > a.MemBandwidth {
+		bw = a.MemBandwidth
+	}
+	traffic := cost.TrafficPerItem * float64(nd.GlobalItems())
+	memFloor := bw.Transfer(units.ByteSize(traffic))
+
+	time := compute
+	if memFloor > time {
+		time = memFloor
+	}
+	time += a.KernelLaunch
+
+	return &Result{
+		Kernel:    k.Name,
+		ND:        nd,
+		Cost:      cost,
+		Time:      time,
+		Compute:   compute,
+		MemFloor:  memFloor,
+		Occupancy: float64(cost.ResidentWarps) / float64(a.MaxWarpsPerSM),
+	}, nil
+}
+
+// LaunchOptions controls Launch.
+type LaunchOptions struct {
+	SkipFunctional bool
+	Parallel       int
+}
+
+// Launch functionally executes the kernel and returns the simulated timing.
+func (d *Device) Launch(k *ir.Kernel, args *ir.Args, nd ir.NDRange, opts LaunchOptions) (*Result, error) {
+	nd = d.ResolveLocal(nd)
+	res, err := d.Estimate(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.SkipFunctional {
+		par := opts.Parallel
+		if par == 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		if err := ir.ExecRange(k, args, res.ND, ir.ExecOptions{Parallel: par}); err != nil {
+			return nil, fmt.Errorf("gpu: functional execution of %s: %w", k.Name, err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,293 @@
+package gpu
+
+import (
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+)
+
+func squareKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "square",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("x", ir.LoadF("in", ir.Gid(0))),
+			ir.StoreF("out", ir.Gid(0), ir.Mul(ir.V("x"), ir.V("x"))),
+		},
+	}
+}
+
+func squareArgs(n int) *ir.Args {
+	return ir.NewArgs().
+		Bind("in", ir.NewBufferF32("in", n)).
+		Bind("out", ir.NewBufferF32("out", n))
+}
+
+func TestOccupancyLimits(t *testing.T) {
+	d := New(arch.GTX580())
+	args := squareArgs(1 << 16)
+
+	// 256-item groups: 8 warps each; 48/8 = 6 groups per SM.
+	c, err := d.Analyze(squareKernel(), args, ir.Range1D(1<<16, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WarpsPerGroup != 8 {
+		t.Fatalf("warps per group = %d, want 8", c.WarpsPerGroup)
+	}
+	if c.GroupsPerSM != 6 {
+		t.Fatalf("groups per SM = %d, want 6", c.GroupsPerSM)
+	}
+	if c.ResidentWarps != 48 {
+		t.Fatalf("resident warps = %d, want 48 (full occupancy)", c.ResidentWarps)
+	}
+
+	// 1-item groups: MaxGroupsPerSM caps occupancy at 8 warps.
+	c1, err := d.Analyze(squareKernel(), args, ir.Range1D(1<<16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.ResidentWarps != 8 {
+		t.Fatalf("resident warps with 1-item groups = %d, want 8", c1.ResidentWarps)
+	}
+	if c1.LaneEff >= 0.1 {
+		t.Fatalf("lane efficiency with 1-item groups = %v, want 1/32", c1.LaneEff)
+	}
+}
+
+func TestSharedMemLimitsOccupancy(t *testing.T) {
+	d := New(arch.GTX580())
+	k := &ir.Kernel{
+		Name:    "bigshared",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Locals:  []ir.LocalArray{{Name: "t", Elem: ir.F32, Size: ir.I(8192)}}, // 32 KiB
+		Body: []ir.Stmt{
+			ir.LStoreF("t", ir.Lid(0), ir.LoadF("in", ir.Gid(0))),
+			ir.Barrier{},
+			ir.StoreF("out", ir.Gid(0), ir.LLoadF("t", ir.Lid(0))),
+		},
+	}
+	c, err := d.Analyze(k, squareArgs(1<<14), ir.Range1D(1<<14, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 KiB shared / 32 KiB per group -> 1 group per SM.
+	if c.GroupsPerSM != 1 {
+		t.Fatalf("groups per SM = %d, want 1 (shared memory bound)", c.GroupsPerSM)
+	}
+}
+
+// Paper Figure 3/4: small workgroups crater GPU throughput.
+func TestSmallWorkgroupsSlow(t *testing.T) {
+	d := New(arch.GTX580())
+	args := squareArgs(1 << 18)
+	big, err := d.Estimate(squareKernel(), args, ir.Range1D(1<<18, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := d.Estimate(squareKernel(), args, ir.Range1D(1<<18, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(small.Time) < 4*float64(big.Time) {
+		t.Fatalf("1-item groups (%v) should be far slower than 256 (%v)", small.Time, big.Time)
+	}
+}
+
+// Paper Figure 1: losing TLP through coarsening hurts the GPU.
+func TestFewWorkitemsSlowPerUnitWork(t *testing.T) {
+	d := New(arch.GTX580())
+	// base: 2^20 items of unit work; coarse: 2^10 items of 2^10 work each.
+	base, err := d.Estimate(squareKernel(), squareArgs(1<<20), ir.Range1D(1<<20, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := &ir.Kernel{
+		Name:    "square1024",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Loop("c", ir.I(0), ir.I(1024),
+				ir.Set("i", ir.Addi(ir.Gid(0), ir.Muli(ir.Vi("c"), ir.Gsz(0)))),
+				ir.Set("x", ir.LoadF("in", ir.Vi("i"))),
+				ir.StoreF("out", ir.Vi("i"), ir.Mul(ir.V("x"), ir.V("x"))),
+			),
+		},
+	}
+	cres, err := d.Estimate(coarse, squareArgs(1<<20), ir.Range1D(1<<10, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Time <= base.Time {
+		t.Fatalf("coarsened run (%v) should be slower than base (%v) on the GPU", cres.Time, base.Time)
+	}
+}
+
+// Paper Figure 6: ILP does not change GPU throughput when occupancy is
+// high.
+func TestILPFlatOnGPU(t *testing.T) {
+	d := New(arch.GTX580())
+	mk := func(chains int) (*ir.Kernel, float64) {
+		body := []ir.Stmt{}
+		stmts := []ir.Stmt{ir.Set("m", ir.LoadF("in", ir.Gid(0)))}
+		names := []string{}
+		for c := 0; c < chains; c++ {
+			n := "acc" + string(rune('a'+c))
+			names = append(names, n)
+			stmts = append(stmts, ir.Set(n, ir.F(1)))
+			body = append(body, ir.Set(n, ir.Mul(ir.Mul(ir.V(n), ir.V("m")), ir.V("m"))))
+		}
+		stmts = append(stmts, ir.For{Var: "t", Start: ir.I(0), End: ir.I(256), Step: ir.I(1), Body: body})
+		sum := ir.Expr(ir.V(names[0]))
+		for _, n := range names[1:] {
+			sum = ir.Add(sum, ir.V(n))
+		}
+		stmts = append(stmts, ir.StoreF("out", ir.Gid(0), sum))
+		k := &ir.Kernel{Name: "ilp", WorkDim: 1,
+			Params: []ir.Param{ir.Buf("in"), ir.Buf("out")}, Body: stmts}
+		return k, float64(2 * chains * 256)
+	}
+	args := squareArgs(1 << 18)
+	nd := ir.Range1D(1<<18, 256)
+	perFlop := func(chains int) float64 {
+		k, flops := mk(chains)
+		res, err := d.Estimate(k, args, nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Time) / (flops * float64(nd.GlobalItems()))
+	}
+	f1, f4 := perFlop(1), perFlop(4)
+	ratio := f1 / f4
+	if ratio < 0.85 || ratio > 1.2 {
+		t.Fatalf("GPU per-flop time should be ILP-independent: ILP1/ILP4 = %v", ratio)
+	}
+}
+
+// Little's-law memory model: a single resident warp cannot stream at peak.
+func TestLowTLPChokesBandwidth(t *testing.T) {
+	d := New(arch.GTX580())
+	args := squareArgs(64)
+	res, err := d.Estimate(squareKernel(), args, ir.Range1D(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 warps on one SM: far below the ~5GB/s needed for peak.
+	full, err := d.Estimate(squareKernel(), squareArgs(1<<20), ir.Range1D(1<<20, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perItemSmall := float64(res.MemFloor) / 64
+	perItemFull := float64(full.MemFloor) / float64(1<<20)
+	if perItemSmall <= perItemFull {
+		t.Fatalf("per-item memory time with 2 warps (%v) should exceed full TLP (%v)",
+			perItemSmall, perItemFull)
+	}
+}
+
+func TestGPULaunchFunctional(t *testing.T) {
+	d := New(arch.GTX580())
+	const n = 1024
+	args := squareArgs(n)
+	for i := 0; i < n; i++ {
+		args.Buffers["in"].Set(i, float64(i))
+	}
+	res, err := d.Launch(squareKernel(), args, ir.Range1D(n, 0), LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Occupancy <= 0 || res.Occupancy > 1 {
+		t.Fatalf("occupancy = %v", res.Occupancy)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := args.Buffers["out"].Get(i), float64(i*i); got != want {
+			t.Fatalf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestResolveLocalGPU(t *testing.T) {
+	d := New(arch.GTX580())
+	nd := d.ResolveLocal(ir.Range1D(1<<20, 0))
+	if nd.Local[0] != 64 {
+		t.Fatalf("NULL local resolved to %d, want 64", nd.Local[0])
+	}
+}
+
+// Uncoalesced accesses must cost replay issue slots.
+func TestUncoalescedReplays(t *testing.T) {
+	d := New(arch.GTX580())
+	strided := &ir.Kernel{
+		Name:    "strided",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.StoreF("out", ir.Gid(0),
+				ir.LoadF("in", ir.Muli(ir.Gid(0), ir.I(32)))),
+		},
+	}
+	n := 1 << 10
+	args := ir.NewArgs().
+		Bind("in", ir.NewBufferF32("in", 32*n)).
+		Bind("out", ir.NewBufferF32("out", n))
+	cs, err := d.Analyze(strided, args, ir.Range1D(n, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := d.Analyze(squareKernel(), squareArgs(n), ir.Range1D(n, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.IssuePerWarp <= cu.IssuePerWarp*4 {
+		t.Fatalf("strided load should replay: %v vs unit %v", cs.IssuePerWarp, cu.IssuePerWarp)
+	}
+	if cs.TrafficPerItem <= cu.TrafficPerItem {
+		t.Fatal("strided load should waste line bandwidth")
+	}
+}
+
+// GPU branch costing charges both arms (SumBranch), unlike the CPU.
+func TestGPUDivergenceCostsBothArms(t *testing.T) {
+	d := New(arch.GTX580())
+	branchy := &ir.Kernel{
+		Name:    "branchy",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("x", ir.LoadF("in", ir.Gid(0))),
+			ir.If{
+				Cond: ir.Bin{Op: ir.GtF, X: ir.V("x"), Y: ir.F(0)},
+				Then: []ir.Stmt{ir.Set("y", ir.Mul(ir.Mul(ir.V("x"), ir.V("x")), ir.V("x")))},
+				Else: []ir.Stmt{ir.Set("y", ir.Mul(ir.Mul(ir.F(2), ir.V("x")), ir.V("x")))},
+			},
+			ir.StoreF("out", ir.Gid(0), ir.V("y")),
+		},
+	}
+	flat := &ir.Kernel{
+		Name:    "flat",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("x", ir.LoadF("in", ir.Gid(0))),
+			ir.Set("y", ir.Mul(ir.Mul(ir.V("x"), ir.V("x")), ir.V("x"))),
+			ir.StoreF("out", ir.Gid(0), ir.V("y")),
+		},
+	}
+	args := squareArgs(1 << 12)
+	nd := ir.Range1D(1<<12, 256)
+	cb, err := d.Analyze(branchy, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := d.Analyze(flat, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.IssuePerWarp <= cf.IssuePerWarp {
+		t.Fatalf("diverged warp must pay for both arms: %v vs %v",
+			cb.IssuePerWarp, cf.IssuePerWarp)
+	}
+}

@@ -1,0 +1,220 @@
+// Package harness provides the experiment framework that regenerates the
+// paper's tables and figures: result containers, the paper's normalized
+// throughput metrics, and text/CSV renderers for cmd/oclbench and the
+// benchmark suite.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"clperf/internal/units"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = toCell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func toCell(c any) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return fmt.Sprintf("%.3g", v)
+	case units.Duration:
+		return v.String()
+	case units.Throughput:
+		return v.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as CSV.
+func (t *Table) RenderCSV(w io.Writer) {
+	writeCSVRow(w, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	quoted := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		quoted[i] = c
+	}
+	fmt.Fprintln(w, strings.Join(quoted, ","))
+}
+
+// Series is one plotted line/bar group of a figure.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is a titled set of series over shared x labels, rendered as a
+// table (one column per series).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Labels []string
+	Series []Series
+}
+
+// Add appends a series.
+func (f *Figure) Add(name string, values []float64) {
+	f.Series = append(f.Series, Series{Name: name, Values: values})
+}
+
+// Table converts the figure into its tabular form.
+func (f *Figure) Table() *Table {
+	t := &Table{Title: fmt.Sprintf("%s  [%s vs %s]", f.Title, f.YLabel, f.XLabel)}
+	t.Columns = append([]string{f.XLabel}, seriesNames(f.Series)...)
+	for i, lbl := range f.Labels {
+		row := []any{lbl}
+		for _, s := range f.Series {
+			if i < len(s.Values) {
+				row = append(row, s.Values[i])
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func seriesNames(ss []Series) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Render writes the figure as aligned text.
+func (f *Figure) Render(w io.Writer) { f.Table().Render(w) }
+
+// Report is an experiment's output: the regenerated tables and figures
+// plus free-form notes about the observed shape.
+type Report struct {
+	ID      string
+	Title   string
+	Tables  []*Table
+	Figures []*Figure
+	Notes   []string
+}
+
+// AddNote appends a formatted note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the whole report as text.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		t.Render(w)
+	}
+	for _, f := range r.Figures {
+		f.Render(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Normalize divides values by base (returns zeros when base is 0).
+func Normalize(values []float64, base float64) []float64 {
+	out := make([]float64, len(values))
+	if base == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / base
+	}
+	return out
+}
+
+// AppThroughput implements the paper's Equation (1): application
+// throughput includes data transfer time.
+//
+//	Throughput_app = flops / (kernel_time + transfer_time)
+func AppThroughput(flops float64, kernel, transfer units.Duration) units.Throughput {
+	return units.ThroughputOf(flops, kernel+transfer)
+}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Functional executes kernels (validating results) where sizes permit;
+	// off, only the timing models run. The harness always prices the
+	// paper's full geometries either way.
+	Functional bool
+	// Verbose includes extra per-point diagnostics in reports.
+	Verbose bool
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the artifact id: "table1".."table5", "fig1".."fig11".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run produces the report.
+	Run func(opts Options) (*Report, error)
+}

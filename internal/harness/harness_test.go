@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"clperf/internal/units"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tbl.AddRow("x", 1.23456)
+	tbl.AddRow("yy", 2*units.Millisecond)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T ==", "a", "b", "x", "1.23", "2ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tbl.AddRow(`quo"te`, "with,comma")
+	var sb strings.Builder
+	tbl.RenderCSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"quo""te"`) {
+		t.Errorf("CSV quoting broken:\n%s", out)
+	}
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("CSV comma quoting broken:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header broken:\n%s", out)
+	}
+}
+
+func TestFigureToTable(t *testing.T) {
+	fig := &Figure{Title: "F", XLabel: "x", YLabel: "y", Labels: []string{"p", "q"}}
+	fig.Add("s1", []float64{1, 2})
+	fig.Add("s2", []float64{3}) // ragged: missing cell renders empty
+	tbl := fig.Table()
+	if len(tbl.Columns) != 3 {
+		t.Fatalf("columns = %v", tbl.Columns)
+	}
+	if tbl.Rows[1][2] != "" {
+		t.Errorf("ragged cell = %q, want empty", tbl.Rows[1][2])
+	}
+	var sb strings.Builder
+	fig.Render(&sb)
+	if !strings.Contains(sb.String(), "s1") {
+		t.Error("figure render missing series name")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v", got)
+		}
+	}
+	if z := Normalize([]float64{1, 2}, 0); z[0] != 0 || z[1] != 0 {
+		t.Error("zero base must normalize to zeros")
+	}
+}
+
+func TestAppThroughput(t *testing.T) {
+	// Equation (1): transfer time counts.
+	thr := AppThroughput(1e9, 500*units.Millisecond, 500*units.Millisecond)
+	if thr.GFlops() != 1 {
+		t.Errorf("app throughput = %v, want 1 GFlop/s", thr.GFlops())
+	}
+	kernelOnly := AppThroughput(1e9, 500*units.Millisecond, 0)
+	if kernelOnly <= thr {
+		t.Error("removing transfer time must raise app throughput")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{ID: "figX", Title: "demo"}
+	rep.AddNote("hello %d", 42)
+	fig := &Figure{Title: "F", XLabel: "x", YLabel: "y", Labels: []string{"a"}}
+	fig.Add("s", []float64{1})
+	rep.Figures = append(rep.Figures, fig)
+	var sb strings.Builder
+	rep.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"figX", "demo", "hello 42", "F"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

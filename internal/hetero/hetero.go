@@ -1,0 +1,214 @@
+// Package hetero implements CPU+GPU co-execution — the motivation the
+// paper opens with ("CPUs can also be utilized to increase the performance
+// of OpenCL applications by using both CPUs and GPUs") — via static task
+// partitioning in the style of Grewe & O'Boyle (the paper's reference
+// [16]): the device models price every split of the NDRange, the
+// partitioner picks the one minimizing the makespan, and Execute really
+// runs both halves.
+//
+// Partitioning is along dimension 0: the CPU takes the leading fraction of
+// workgroups, the GPU the rest (plus its share of PCIe traffic).
+package hetero
+
+import (
+	"fmt"
+
+	"clperf/internal/cpu"
+	"clperf/internal/gpu"
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// Split describes one partition of an NDRange between the two devices.
+type Split struct {
+	// CPUFrac is the fraction of dimension-0 workgroups on the CPU.
+	CPUFrac float64
+	// CPUItems and GPUItems are the resulting workitem counts.
+	CPUItems, GPUItems int
+	// CPUTime and GPUTime are each device's simulated busy time; GPUTime
+	// includes the PCIe transfer for its share of the buffers.
+	CPUTime, GPUTime units.Duration
+	// Time is the makespan: the devices run concurrently.
+	Time units.Duration
+}
+
+// String summarizes the split.
+func (s *Split) String() string {
+	return fmt.Sprintf("CPU %.0f%% (%d items, %v) | GPU %.0f%% (%d items, %v) -> %v",
+		100*s.CPUFrac, s.CPUItems, s.CPUTime,
+		100*(1-s.CPUFrac), s.GPUItems, s.GPUTime, s.Time)
+}
+
+// Partitioner prices splits against a CPU and a GPU model.
+type Partitioner struct {
+	CPU *cpu.Device
+	GPU *gpu.Device
+	// Steps is the granularity of the fraction search (default 16).
+	Steps int
+}
+
+// NewPartitioner returns a partitioner over the two devices.
+func NewPartitioner(c *cpu.Device, g *gpu.Device) *Partitioner {
+	return &Partitioner{CPU: c, GPU: g, Steps: 16}
+}
+
+// splitRange cuts nd's dimension 0 after cpuGroups workgroups, returning
+// the two sub-ranges (either may be empty).
+func splitRange(nd ir.NDRange, cpuGroups int) (cpuND, gpuND ir.NDRange, ok bool) {
+	local := nd.Local[0]
+	if local <= 0 {
+		return nd, nd, false
+	}
+	total := nd.Global[0] / local
+	if cpuGroups < 0 {
+		cpuGroups = 0
+	}
+	if cpuGroups > total {
+		cpuGroups = total
+	}
+	cpuND, gpuND = nd, nd
+	cpuND.Global[0] = cpuGroups * local
+	gpuND.Global[0] = (total - cpuGroups) * local
+	return cpuND, gpuND, true
+}
+
+// gpuShareBytes estimates the bytes the GPU's share of the launch must
+// move over PCIe (its fraction of every bound buffer).
+func gpuShareBytes(args *ir.Args, frac float64) int64 {
+	var total int64
+	for _, b := range args.Buffers {
+		if b != nil {
+			total += b.Bytes()
+		}
+	}
+	return int64(float64(total) * frac)
+}
+
+// Partition prices every split at the configured granularity and returns
+// the best one. The local size must be explicit (it defines the cut
+// points).
+func (p *Partitioner) Partition(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Split, error) {
+	if nd.LocalNull() {
+		nd = p.CPU.ResolveLocal(nd)
+	}
+	if err := nd.Validate(); err != nil {
+		return nil, err
+	}
+	local := nd.Local[0]
+	totalGroups := nd.Global[0] / local
+	if totalGroups < 1 {
+		return nil, fmt.Errorf("hetero: nothing to partition in %v", nd)
+	}
+	steps := p.Steps
+	if steps < 1 {
+		steps = 16
+	}
+	if steps > totalGroups {
+		steps = totalGroups
+	}
+
+	var best *Split
+	for i := 0; i <= steps; i++ {
+		cpuGroups := totalGroups * i / steps
+		s, err := p.price(k, args, nd, cpuGroups)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || s.Time < best.Time {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// price evaluates one split.
+func (p *Partitioner) price(k *ir.Kernel, args *ir.Args, nd ir.NDRange, cpuGroups int) (*Split, error) {
+	cpuND, gpuND, ok := splitRange(nd, cpuGroups)
+	if !ok {
+		return nil, fmt.Errorf("hetero: unresolved local size in %v", nd)
+	}
+	s := &Split{
+		CPUItems: cpuND.Global[0] * maxi(nd.Global[1], 1),
+		GPUItems: gpuND.Global[0] * maxi(nd.Global[1], 1),
+	}
+	total := s.CPUItems + s.GPUItems
+	if total > 0 {
+		s.CPUFrac = float64(s.CPUItems) / float64(total)
+	}
+
+	if s.CPUItems > 0 {
+		res, err := p.CPU.Estimate(k, args, cpuND)
+		if err != nil {
+			return nil, err
+		}
+		s.CPUTime = res.Time
+	}
+	if s.GPUItems > 0 {
+		res, err := p.GPU.Estimate(k, args, gpuND)
+		if err != nil {
+			return nil, err
+		}
+		bytes := gpuShareBytes(args, 1-s.CPUFrac)
+		pcie := p.GPU.A.PCIeLatency +
+			p.GPU.A.PCIeBandwidth.Transfer(units.ByteSize(bytes))
+		s.GPUTime = res.Time + pcie
+	}
+	s.Time = s.CPUTime
+	if s.GPUTime > s.Time {
+		s.Time = s.GPUTime
+	}
+	return s, nil
+}
+
+// Execute functionally runs the split: the CPU's workgroups and the GPU's
+// workgroups both execute against the shared buffers, covering the whole
+// NDRange exactly once.
+func (p *Partitioner) Execute(k *ir.Kernel, args *ir.Args, nd ir.NDRange, s *Split) error {
+	if nd.LocalNull() {
+		nd = p.CPU.ResolveLocal(nd)
+	}
+	local := nd.Local[0]
+	if local <= 0 {
+		return fmt.Errorf("hetero: unresolved local size")
+	}
+	cpuGroups := s.CPUItems / local / maxi(nd.Global[1], 1)
+	// Execute the whole range once, with the group partition expressed via
+	// the Groups filter: groups below the cut belong to the "CPU", the rest
+	// to the "GPU" — functionally both compute against the same buffers.
+	counts := nd.GroupCounts()
+	cut := cpuGroups // dimension-0 cut applies per row
+	runPart := func(isCPU bool) error {
+		return ir.ExecRange(k, args, nd, ir.ExecOptions{
+			Parallel: 8,
+			Groups: func(g int) bool {
+				coord := nd.GroupCoord(g)
+				_ = counts
+				if isCPU {
+					return coord[0] < cut
+				}
+				return coord[0] >= cut
+			},
+		})
+	}
+	if err := runPart(true); err != nil {
+		return err
+	}
+	return runPart(false)
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PriceFrac prices the split putting i/steps of the workgroups on the CPU
+// (exposed for diagnostics and tests).
+func (p *Partitioner) PriceFrac(k *ir.Kernel, args *ir.Args, nd ir.NDRange, i, steps int) (*Split, error) {
+	if nd.LocalNull() {
+		nd = p.CPU.ResolveLocal(nd)
+	}
+	totalGroups := nd.Global[0] / nd.Local[0]
+	return p.price(k, args, nd, totalGroups*i/steps)
+}

@@ -1,0 +1,119 @@
+package hetero
+
+import (
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/gpu"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func newPartitioner() *Partitioner {
+	return NewPartitioner(cpu.New(arch.XeonE5645()), gpu.New(arch.GTX580()))
+}
+
+func TestPartitionBeatsSingleDevice(t *testing.T) {
+	p := newPartitioner()
+	app := kernels.BlackScholes()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+
+	best, err := p.Partition(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuOnly, err := p.price(app.Kernel, args, nd, nd.Global[0]/nd.Local[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuOnly, err := p.price(app.Kernel, args, nd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Time > cpuOnly.Time || best.Time > gpuOnly.Time {
+		t.Fatalf("best split (%v) worse than single device (cpu %v, gpu %v)",
+			best.Time, cpuOnly.Time, gpuOnly.Time)
+	}
+	if best.CPUItems+best.GPUItems != nd.GlobalItems() {
+		t.Fatalf("split loses items: %d + %d != %d",
+			best.CPUItems, best.GPUItems, nd.GlobalItems())
+	}
+}
+
+// A compute-heavy massively-parallel kernel should lean GPU; a tiny range
+// should lean CPU (no PCIe, no occupancy).
+func TestPartitionLeansSensibly(t *testing.T) {
+	p := newPartitioner()
+
+	bs := kernels.BlackScholes()
+	nd := bs.Configs[0]
+	best, err := p.Partition(bs.Kernel, bs.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.CPUFrac > 0.5 {
+		t.Errorf("blackscholes should lean GPU, got CPU fraction %.2f", best.CPUFrac)
+	}
+
+	sq := kernels.Square()
+	small := ir.Range1D(2048, 64)
+	bestSmall, err := p.Partition(sq.Kernel, sq.Make(small), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestSmall.CPUFrac < 0.5 {
+		t.Errorf("a tiny square should lean CPU, got CPU fraction %.2f", bestSmall.CPUFrac)
+	}
+}
+
+func TestExecuteCoversRangeOnce(t *testing.T) {
+	p := newPartitioner()
+	app := kernels.Square()
+	nd := ir.Range1D(4096, 64)
+	args := app.Make(nd)
+	split, err := p.Partition(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Execute(app.Kernel, args, nd, split); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Check(args, nd); err != nil {
+		t.Fatalf("co-executed results wrong: %v", err)
+	}
+}
+
+func TestExecute2D(t *testing.T) {
+	p := newPartitioner()
+	app := kernels.BlackScholes()
+	nd := ir.Range2D(64, 32, 8, 8)
+	args := app.Make(nd)
+	split, err := p.Partition(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Execute(app.Kernel, args, nd, split); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Check(args, nd); err != nil {
+		t.Fatalf("2-D co-execution wrong: %v", err)
+	}
+}
+
+func TestPartitionResolvesNullLocal(t *testing.T) {
+	p := newPartitioner()
+	app := kernels.Square()
+	nd := ir.Range1D(10000, 0)
+	if _, err := p.Partition(app.Kernel, app.Make(nd), nd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitString(t *testing.T) {
+	s := &Split{CPUFrac: 0.25, CPUItems: 10, GPUItems: 30}
+	if got := s.String(); got == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,96 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Buffer is a linear global-memory object, the functional backing store of
+// a cl.Buffer. Values are held as float64 for uniform interpretation; F32
+// buffers round every store through float32 so results match a
+// single-precision device, and I32 buffers hold integral values.
+type Buffer struct {
+	Name string
+	Elem Type
+	Data []float64
+	// Base is the simulated byte address of element 0, assigned by the
+	// allocator that owns the buffer. The cache models derive access
+	// addresses from it.
+	Base int64
+}
+
+// NewBuffer allocates an n-element buffer of the given element type.
+func NewBuffer(name string, elem Type, n int) *Buffer {
+	return &Buffer{Name: name, Elem: elem, Data: make([]float64, n)}
+}
+
+// NewBufferF32 allocates an n-element float buffer.
+func NewBufferF32(name string, n int) *Buffer { return NewBuffer(name, F32, n) }
+
+// NewBufferI32 allocates an n-element integer buffer.
+func NewBufferI32(name string, n int) *Buffer { return NewBuffer(name, I32, n) }
+
+// FromF32 builds a float buffer from src (values rounded to float32).
+func FromF32(name string, src []float64) *Buffer {
+	b := NewBufferF32(name, len(src))
+	for i, v := range src {
+		b.Data[i] = float64(float32(v))
+	}
+	return b
+}
+
+// Len returns the number of elements.
+func (b *Buffer) Len() int { return len(b.Data) }
+
+// Bytes returns the buffer size in bytes.
+func (b *Buffer) Bytes() int64 { return int64(len(b.Data)) * b.Elem.Size() }
+
+// Get returns element i.
+func (b *Buffer) Get(i int) float64 { return b.Data[i] }
+
+// Set writes element i, rounding according to the element type.
+func (b *Buffer) Set(i int, v float64) { b.Data[i] = b.round(v) }
+
+// Fill sets every element to v.
+func (b *Buffer) Fill(v float64) {
+	v = b.round(v)
+	for i := range b.Data {
+		b.Data[i] = v
+	}
+}
+
+// CopyFrom copies min(len) elements from src, applying rounding.
+func (b *Buffer) CopyFrom(src []float64) {
+	n := len(src)
+	if n > len(b.Data) {
+		n = len(b.Data)
+	}
+	for i := 0; i < n; i++ {
+		b.Data[i] = b.round(src[i])
+	}
+}
+
+// Snapshot returns a copy of the contents.
+func (b *Buffer) Snapshot() []float64 {
+	out := make([]float64, len(b.Data))
+	copy(out, b.Data)
+	return out
+}
+
+// Addr returns the simulated byte address of element i.
+func (b *Buffer) Addr(i int) int64 { return b.Base + int64(i)*b.Elem.Size() }
+
+func (b *Buffer) round(v float64) float64 {
+	switch b.Elem {
+	case F32:
+		return float64(float32(v))
+	case I32:
+		return math.Trunc(v)
+	}
+	return v
+}
+
+// String describes the buffer for diagnostics.
+func (b *Buffer) String() string {
+	return fmt.Sprintf("%s %s[%d]", b.Elem, b.Name, len(b.Data))
+}

@@ -1,0 +1,285 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+// squareKernel returns out[i] = in[i] * in[i].
+func squareKernel() *Kernel {
+	return &Kernel{
+		Name:    "square",
+		WorkDim: 1,
+		Params:  []Param{Buf("in"), Buf("out")},
+		Body: []Stmt{
+			Set("i", Gid(0)),
+			Set("x", LoadF("in", Vi("i"))),
+			StoreF("out", Vi("i"), Mul(V("x"), V("x"))),
+		},
+	}
+}
+
+func runKernel(t *testing.T, k *Kernel, args *Args, nd NDRange) {
+	t.Helper()
+	if err := ExecRange(k, args, nd, ExecOptions{}); err != nil {
+		t.Fatalf("ExecRange(%s): %v", k.Name, err)
+	}
+}
+
+func TestExecSquare(t *testing.T) {
+	const n = 1024
+	in := NewBufferF32("in", n)
+	out := NewBufferF32("out", n)
+	for i := 0; i < n; i++ {
+		in.Set(i, float64(i)*0.5)
+	}
+	args := NewArgs().Bind("in", in).Bind("out", out)
+	runKernel(t, squareKernel(), args, Range1D(n, 64))
+	for i := 0; i < n; i++ {
+		want := float64(float32(float64(float32(float64(i)*0.5)) * float64(float32(float64(i)*0.5))))
+		if out.Get(i) != want {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Get(i), want)
+		}
+	}
+}
+
+func TestExecSquareParallelMatchesSerial(t *testing.T) {
+	const n = 4096
+	mk := func(parallel int) []float64 {
+		in := NewBufferF32("in", n)
+		out := NewBufferF32("out", n)
+		for i := 0; i < n; i++ {
+			in.Set(i, float64(i%97)*0.25)
+		}
+		args := NewArgs().Bind("in", in).Bind("out", out)
+		if err := ExecRange(squareKernel(), args, Range1D(n, 128), ExecOptions{Parallel: parallel}); err != nil {
+			t.Fatalf("ExecRange: %v", err)
+		}
+		return out.Snapshot()
+	}
+	serial := mk(0)
+	par := mk(8)
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("parallel execution diverged at %d: %v vs %v", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestExecLoopAccumulation(t *testing.T) {
+	// out[g] = sum_{j<16} a[g*16+j]
+	k := &Kernel{
+		Name:    "rowsum",
+		WorkDim: 1,
+		Params:  []Param{Buf("a"), Buf("out")},
+		Body: []Stmt{
+			Set("acc", F(0)),
+			Loop("j", I(0), I(16),
+				Set("acc", Add(V("acc"), LoadF("a", Addi(Muli(Gid(0), I(16)), Vi("j"))))),
+			),
+			StoreF("out", Gid(0), V("acc")),
+		},
+	}
+	const n = 32
+	a := NewBufferF32("a", n*16)
+	out := NewBufferF32("out", n)
+	for i := range a.Data {
+		a.Set(i, 1)
+	}
+	runKernel(t, k, NewArgs().Bind("a", a).Bind("out", out), Range1D(n, 8))
+	for g := 0; g < n; g++ {
+		if out.Get(g) != 16 {
+			t.Fatalf("out[%d] = %v, want 16", g, out.Get(g))
+		}
+	}
+}
+
+func TestExecDivergentIf(t *testing.T) {
+	// Even gids write 1, odd gids write 2.
+	k := &Kernel{
+		Name:    "parity",
+		WorkDim: 1,
+		Params:  []Param{Buf("out")},
+		Body: []Stmt{
+			If{
+				Cond: Bin{Op: EqI, X: Modi(Gid(0), I(2)), Y: I(0)},
+				Then: []Stmt{StoreF("out", Gid(0), F(1))},
+				Else: []Stmt{StoreF("out", Gid(0), F(2))},
+			},
+		},
+	}
+	const n = 64
+	out := NewBufferF32("out", n)
+	runKernel(t, k, NewArgs().Bind("out", out), Range1D(n, 16))
+	for i := 0; i < n; i++ {
+		want := 1.0
+		if i%2 == 1 {
+			want = 2
+		}
+		if out.Get(i) != want {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Get(i), want)
+		}
+	}
+}
+
+func TestExecLocalMemoryAndBarrier(t *testing.T) {
+	// Workgroup-local reversal: out[group*L + (L-1-lid)] = in[gid].
+	k := &Kernel{
+		Name:    "reverse",
+		WorkDim: 1,
+		Params:  []Param{Buf("in"), Buf("out")},
+		Locals:  []LocalArray{{Name: "tile", Elem: F32, Size: Lsz(0)}},
+		Body: []Stmt{
+			LStoreF("tile", Lid(0), LoadF("in", Gid(0))),
+			Barrier{},
+			StoreF("out", Gid(0),
+				LLoadF("tile", Subi(Subi(Lsz(0), I(1)), Lid(0)))),
+		},
+	}
+	const n, l = 64, 16
+	in := NewBufferF32("in", n)
+	out := NewBufferF32("out", n)
+	for i := 0; i < n; i++ {
+		in.Set(i, float64(i))
+	}
+	runKernel(t, k, NewArgs().Bind("in", in).Bind("out", out), Range1D(n, l))
+	for i := 0; i < n; i++ {
+		group := i / l
+		lid := i % l
+		want := float64(group*l + (l - 1 - lid))
+		if out.Get(i) != want {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Get(i), want)
+		}
+	}
+}
+
+func TestExecAtomicAddHistogram(t *testing.T) {
+	// Per-group histogram of in[gid] % 4, flushed by lid 0..3.
+	k := &Kernel{
+		Name:    "hist4",
+		WorkDim: 1,
+		Params:  []Param{BufI("in"), BufI("out")},
+		Locals:  []LocalArray{{Name: "bins", Elem: I32, Size: I(4)}},
+		Body: []Stmt{
+			AtomicAdd{Arr: "bins", Index: Modi(LoadI("in", Gid(0)), I(4)), Val: I(1)},
+			Barrier{},
+			When(Bin{Op: LtI, X: Lid(0), Y: I(4)},
+				Store{Buf: "out", Index: Addi(Muli(Grp(0), I(4)), Lid(0)),
+					Val: LLoadF("bins", Lid(0))},
+			),
+		},
+	}
+	const n, l = 64, 32
+	in := NewBufferI32("in", n)
+	out := NewBufferI32("out", (n/l)*4)
+	for i := 0; i < n; i++ {
+		in.Set(i, float64(i))
+	}
+	// NOTE: LLoadF on an I32 local array reads the raw value; counts are
+	// integral so this is exact.
+	runKernel(t, k, NewArgs().Bind("in", in).Bind("out", out), Range1D(n, l))
+	for g := 0; g < n/l; g++ {
+		for b := 0; b < 4; b++ {
+			if got := out.Get(g*4 + b); got != 8 {
+				t.Fatalf("group %d bin %d = %v, want 8", g, b, got)
+			}
+		}
+	}
+}
+
+func TestExec2DGlobalIDs(t *testing.T) {
+	// out[y*W+x] = x + 100*y
+	k := &Kernel{
+		Name:    "coords",
+		WorkDim: 2,
+		Params:  []Param{Buf("out")},
+		Body: []Stmt{
+			StoreF("out", Addi(Muli(Gid(1), Gsz(0)), Gid(0)),
+				Add(ToFloat{X: Gid(0)}, Mul(F(100), ToFloat{X: Gid(1)}))),
+		},
+	}
+	const w, h = 32, 8
+	out := NewBufferF32("out", w*h)
+	runKernel(t, k, NewArgs().Bind("out", out), Range2D(w, h, 8, 4))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if got, want := out.Get(y*w+x), float64(x+100*y); got != want {
+				t.Fatalf("out[%d,%d] = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestExecScalarParams(t *testing.T) {
+	k := &Kernel{
+		Name:    "saxpy",
+		WorkDim: 1,
+		Params:  []Param{Scalar("alpha"), Buf("x"), Buf("y")},
+		Body: []Stmt{
+			StoreF("y", Gid(0),
+				Add(Mul(P("alpha"), LoadF("x", Gid(0))), LoadF("y", Gid(0)))),
+		},
+	}
+	const n = 128
+	x := NewBufferF32("x", n)
+	y := NewBufferF32("y", n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 2)
+		y.Set(i, 1)
+	}
+	args := NewArgs().Bind("x", x).Bind("y", y).SetScalar("alpha", 3)
+	runKernel(t, k, args, Range1D(n, 32))
+	for i := 0; i < n; i++ {
+		if y.Get(i) != 7 {
+			t.Fatalf("y[%d] = %v, want 7", i, y.Get(i))
+		}
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	k := squareKernel()
+	in := NewBufferF32("in", 16)
+	out := NewBufferF32("out", 8) // too small: stores out of bounds
+	args := NewArgs().Bind("in", in).Bind("out", out)
+	if err := ExecRange(k, args, Range1D(16, 8), ExecOptions{}); err == nil {
+		t.Fatal("expected out-of-bounds store error")
+	}
+
+	// Unbound buffer.
+	if err := ExecRange(k, NewArgs().Bind("in", in), Range1D(16, 8), ExecOptions{}); err == nil {
+		t.Fatal("expected unbound buffer error")
+	}
+
+	// NULL local size must be rejected at this layer.
+	if err := ExecRange(k, args, Range1D(16, 0), ExecOptions{}); err == nil {
+		t.Fatal("expected unresolved local size error")
+	}
+
+	// Local size must divide global size.
+	bad := Range1D(10, 4)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+}
+
+func TestExecMathBuiltins(t *testing.T) {
+	k := &Kernel{
+		Name:    "mathops",
+		WorkDim: 1,
+		Params:  []Param{Buf("in"), Buf("out")},
+		Body: []Stmt{
+			Set("x", LoadF("in", Gid(0))),
+			StoreF("out", Gid(0),
+				Add(Call1(Sqrt, V("x")), Add(Call1(Exp, F(0)), Call1(Cos, F(0))))),
+		},
+	}
+	in := NewBufferF32("in", 4)
+	out := NewBufferF32("out", 4)
+	in.Fill(4)
+	runKernel(t, k, NewArgs().Bind("in", in).Bind("out", out), Range1D(4, 4))
+	for i := 0; i < 4; i++ {
+		if math.Abs(out.Get(i)-4) > 1e-5 { // sqrt(4)+exp(0)+cos(0) = 2+1+1
+			t.Fatalf("out[%d] = %v, want 4", i, out.Get(i))
+		}
+	}
+}

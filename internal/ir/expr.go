@@ -1,0 +1,209 @@
+package ir
+
+// Expr is an expression tree node. Expressions are pure: all side effects
+// (stores, barriers) are statements.
+type Expr interface {
+	exprNode()
+	// Type returns the scalar type the expression evaluates to.
+	Type() Type
+}
+
+// ConstFloat is a floating-point literal.
+type ConstFloat struct{ V float64 }
+
+// ConstInt is an integer literal.
+type ConstInt struct{ V int64 }
+
+// VarRef reads a scalar local variable or loop variable.
+type VarRef struct {
+	Name string
+	Ty   Type
+}
+
+// ParamRef reads a scalar kernel parameter set at launch time.
+type ParamRef struct {
+	Name string
+	Ty   Type
+}
+
+// ID reads a workitem identity value, e.g. get_global_id(0).
+type ID struct {
+	Fn  IDFunc
+	Dim int
+}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// Call invokes a math builtin.
+type Call struct {
+	Fn   Builtin
+	Args []Expr
+}
+
+// Load reads global memory: Buf[Index].
+type Load struct {
+	Buf   string
+	Index Expr
+	Elem  Type
+}
+
+// LocalLoad reads workgroup-local memory (OpenCL __local): Arr[Index].
+type LocalLoad struct {
+	Arr   string
+	Index Expr
+	Elem  Type
+}
+
+// Select is a branchless conditional: Cond != 0 ? Then : Else.
+type Select struct {
+	Cond, Then, Else Expr
+}
+
+// ToFloat converts an integer expression to float.
+type ToFloat struct{ X Expr }
+
+// ToInt converts a float expression to int (truncating).
+type ToInt struct{ X Expr }
+
+func (ConstFloat) exprNode() {}
+func (ConstInt) exprNode()   {}
+func (VarRef) exprNode()     {}
+func (ParamRef) exprNode()   {}
+func (ID) exprNode()         {}
+func (Bin) exprNode()        {}
+func (Call) exprNode()       {}
+func (Load) exprNode()       {}
+func (LocalLoad) exprNode()  {}
+func (Select) exprNode()     {}
+func (ToFloat) exprNode()    {}
+func (ToInt) exprNode()      {}
+
+// Type implementations.
+
+// Type returns F32.
+func (ConstFloat) Type() Type { return F32 }
+
+// Type returns I32.
+func (ConstInt) Type() Type { return I32 }
+
+// Type returns the variable's declared type.
+func (e VarRef) Type() Type { return e.Ty }
+
+// Type returns the parameter's declared type.
+func (e ParamRef) Type() Type { return e.Ty }
+
+// Type returns I32: all identity functions yield integers.
+func (ID) Type() Type { return I32 }
+
+// Type returns the result type implied by the operator.
+func (e Bin) Type() Type {
+	switch e.Op {
+	case AddF, SubF, MulF, DivF, MinF, MaxF:
+		return F32
+	default:
+		return I32 // integer arithmetic and all comparisons
+	}
+}
+
+// Type returns F32: all builtins operate on floats.
+func (Call) Type() Type { return F32 }
+
+// Type returns the buffer's element type.
+func (e Load) Type() Type { return e.Elem }
+
+// Type returns the local array's element type.
+func (e LocalLoad) Type() Type { return e.Elem }
+
+// Type returns the type of the Then arm.
+func (e Select) Type() Type { return e.Then.Type() }
+
+// Type returns F32.
+func (ToFloat) Type() Type { return F32 }
+
+// Type returns I32.
+func (ToInt) Type() Type { return I32 }
+
+// Constructor helpers. These keep kernel definitions compact and readable;
+// see internal/kernels for usage.
+
+// F returns a float literal.
+func F(v float64) Expr { return ConstFloat{V: v} }
+
+// I returns an integer literal.
+func I(v int64) Expr { return ConstInt{V: v} }
+
+// V reads the float variable named name.
+func V(name string) Expr { return VarRef{Name: name, Ty: F32} }
+
+// Vi reads the integer variable named name.
+func Vi(name string) Expr { return VarRef{Name: name, Ty: I32} }
+
+// P reads the float scalar parameter named name.
+func P(name string) Expr { return ParamRef{Name: name, Ty: F32} }
+
+// Pi reads the integer scalar parameter named name.
+func Pi(name string) Expr { return ParamRef{Name: name, Ty: I32} }
+
+// Gid returns get_global_id(dim).
+func Gid(dim int) Expr { return ID{Fn: GlobalID, Dim: dim} }
+
+// Lid returns get_local_id(dim).
+func Lid(dim int) Expr { return ID{Fn: LocalID, Dim: dim} }
+
+// Grp returns get_group_id(dim).
+func Grp(dim int) Expr { return ID{Fn: GroupID, Dim: dim} }
+
+// Gsz returns get_global_size(dim).
+func Gsz(dim int) Expr { return ID{Fn: GlobalSize, Dim: dim} }
+
+// Lsz returns get_local_size(dim).
+func Lsz(dim int) Expr { return ID{Fn: LocalSize, Dim: dim} }
+
+// Ngrp returns get_num_groups(dim).
+func Ngrp(dim int) Expr { return ID{Fn: NumGroups, Dim: dim} }
+
+// Add returns x + y (float).
+func Add(x, y Expr) Expr { return Bin{Op: AddF, X: x, Y: y} }
+
+// Sub returns x - y (float).
+func Sub(x, y Expr) Expr { return Bin{Op: SubF, X: x, Y: y} }
+
+// Mul returns x * y (float).
+func Mul(x, y Expr) Expr { return Bin{Op: MulF, X: x, Y: y} }
+
+// Div returns x / y (float).
+func Div(x, y Expr) Expr { return Bin{Op: DivF, X: x, Y: y} }
+
+// Addi returns x + y (int).
+func Addi(x, y Expr) Expr { return Bin{Op: AddI, X: x, Y: y} }
+
+// Subi returns x - y (int).
+func Subi(x, y Expr) Expr { return Bin{Op: SubI, X: x, Y: y} }
+
+// Muli returns x * y (int).
+func Muli(x, y Expr) Expr { return Bin{Op: MulI, X: x, Y: y} }
+
+// Divi returns x / y (int).
+func Divi(x, y Expr) Expr { return Bin{Op: DivI, X: x, Y: y} }
+
+// Modi returns x % y (int).
+func Modi(x, y Expr) Expr { return Bin{Op: ModI, X: x, Y: y} }
+
+// LoadF reads float buffer buf at index.
+func LoadF(buf string, index Expr) Expr { return Load{Buf: buf, Index: index, Elem: F32} }
+
+// LoadI reads integer buffer buf at index.
+func LoadI(buf string, index Expr) Expr { return Load{Buf: buf, Index: index, Elem: I32} }
+
+// LLoadF reads float local array arr at index.
+func LLoadF(arr string, index Expr) Expr { return LocalLoad{Arr: arr, Index: index, Elem: F32} }
+
+// Fma returns fma(a, b, c) = a*b + c.
+func Fma(a, b, c Expr) Expr { return Call{Fn: FMA, Args: []Expr{a, b, c}} }
+
+// Call1 invokes a unary builtin.
+func Call1(fn Builtin, x Expr) Expr { return Call{Fn: fn, Args: []Expr{x}} }

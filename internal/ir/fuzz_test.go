@@ -1,0 +1,320 @@
+package ir
+
+// Differential testing of the lockstep (SIMT) interpreter: randomly
+// generated barrier-free kernels are executed both by ExecRange and by a
+// deliberately simple one-workitem-at-a-time reference interpreter; outputs
+// must match bit-for-bit. This exercises the divergence masking, loop
+// masking and scratch-pool reuse paths that hand-written tests rarely
+// stress.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refExec executes the kernel for a single workitem, the boring way.
+type refExec struct {
+	k    *Kernel
+	args *Args
+	nd   NDRange
+	gid  [3]int
+	vars map[string]float64
+}
+
+func (r *refExec) run() {
+	r.vars = map[string]float64{}
+	r.stmts(r.k.Body)
+}
+
+func (r *refExec) stmts(ss []Stmt) {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case Assign:
+			v := r.eval(s.Val)
+			if s.Val.Type() == F32 {
+				v = float64(float32(v))
+			} else {
+				v = math.Trunc(v)
+			}
+			r.vars[s.Dst] = v
+		case Store:
+			buf := r.args.Buffers[s.Buf]
+			buf.Set(int(r.eval(s.Index)), r.eval(s.Val))
+		case If:
+			if r.eval(s.Cond) != 0 {
+				r.stmts(s.Then)
+			} else {
+				r.stmts(s.Else)
+			}
+		case For:
+			v := math.Trunc(r.eval(s.Start))
+			r.vars[s.Var] = v
+			for r.vars[s.Var] < r.eval(s.End) {
+				r.stmts(s.Body)
+				r.vars[s.Var] = math.Trunc(r.vars[s.Var] + r.eval(s.Step))
+			}
+		default:
+			panic("refExec: unsupported statement")
+		}
+	}
+}
+
+// eval mirrors the lockstep interpreter's semantics exactly by reusing
+// evalBin for operators.
+func (r *refExec) eval(e Expr) float64 {
+	switch e := e.(type) {
+	case ConstFloat:
+		return e.V
+	case ConstInt:
+		return float64(e.V)
+	case VarRef:
+		return r.vars[e.Name]
+	case ParamRef:
+		return r.args.Scalars[e.Name]
+	case ID:
+		switch e.Fn {
+		case GlobalID:
+			return float64(r.gid[e.Dim])
+		case GlobalSize:
+			g := r.nd.Global[e.Dim]
+			if g < 1 {
+				g = 1
+			}
+			return float64(g)
+		case LocalID:
+			return float64(r.gid[e.Dim] % maxi2(r.nd.Local[e.Dim], 1))
+		case GroupID:
+			return float64(r.gid[e.Dim] / maxi2(r.nd.Local[e.Dim], 1))
+		case LocalSize:
+			return float64(maxi2(r.nd.Local[e.Dim], 1))
+		case NumGroups:
+			return float64(r.nd.GroupCounts()[e.Dim])
+		}
+	case Bin:
+		out := [1]float64{}
+		evalBin(e.Op, []float64{r.eval(e.X)}, []float64{r.eval(e.Y)}, out[:])
+		return out[0]
+	case Call:
+		switch e.Fn {
+		case FMA:
+			return r.eval(e.Args[0])*r.eval(e.Args[1]) + r.eval(e.Args[2])
+		case Sqrt:
+			return math.Sqrt(r.eval(e.Args[0]))
+		case Fabs:
+			return math.Abs(r.eval(e.Args[0]))
+		case Floor:
+			return math.Floor(r.eval(e.Args[0]))
+		}
+		panic("refExec: unsupported builtin")
+	case Load:
+		buf := r.args.Buffers[e.Buf]
+		idx := int(r.eval(e.Index))
+		if idx < 0 || idx >= buf.Len() {
+			return 0 // matches the interpreter's clamp-on-wild-lane policy
+		}
+		return buf.Get(idx)
+	case Select:
+		if r.eval(e.Cond) != 0 {
+			return r.eval(e.Then)
+		}
+		return r.eval(e.Else)
+	case ToFloat:
+		return r.eval(e.X)
+	case ToInt:
+		return math.Trunc(r.eval(e.X))
+	}
+	panic("refExec: unsupported expression")
+}
+
+// kernelGen builds random barrier-free kernels.
+type kernelGen struct {
+	rng     *rand.Rand
+	vars    []string
+	inBufs  []string
+	n       int // buffer length
+	loopSeq int // unique loop-variable counter: reusing an enclosing
+	// induction variable would build a semantically infinite loop
+	// (the inner loop keeps resetting it below the outer bound)
+}
+
+func (g *kernelGen) intExpr(depth int) Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return I(int64(g.rng.Intn(7)))
+		case 1:
+			return Gid(0)
+		default:
+			return Modi(Gid(0), I(int64(2+g.rng.Intn(6))))
+		}
+	}
+	x, y := g.intExpr(depth-1), g.intExpr(depth-1)
+	switch g.rng.Intn(3) {
+	case 0:
+		return Addi(x, y)
+	case 1:
+		return Muli(x, Modi(y, I(4)))
+	default:
+		return Modi(Addi(x, y), I(int64(3+g.rng.Intn(5))))
+	}
+}
+
+// index yields an always-in-bounds, non-negative buffer index.
+func (g *kernelGen) index() Expr {
+	base := g.intExpr(2)
+	// abs-free guarantee: operands are non-negative by construction, and a
+	// final mod bounds the value.
+	return Modi(Bin{Op: AndI, X: base, Y: I(0x7FFFFFFF)}, I(int64(g.n)))
+}
+
+func (g *kernelGen) floatExpr(depth int) Expr {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return F(float64(g.rng.Intn(64))/8 - 4)
+		case 1:
+			if len(g.vars) > 0 {
+				return V(g.vars[g.rng.Intn(len(g.vars))])
+			}
+			return F(1.5)
+		case 2:
+			return LoadF(g.inBufs[g.rng.Intn(len(g.inBufs))], g.index())
+		default:
+			return ToFloat{X: g.intExpr(1)}
+		}
+	}
+	x, y := g.floatExpr(depth-1), g.floatExpr(depth-1)
+	switch g.rng.Intn(6) {
+	case 0:
+		return Add(x, y)
+	case 1:
+		return Sub(x, y)
+	case 2:
+		return Mul(x, y)
+	case 3:
+		return Bin{Op: MinF, X: x, Y: y}
+	case 4:
+		return Call1(Sqrt, Call1(Fabs, x))
+	default:
+		return Select{
+			Cond: Bin{Op: LtF, X: x, Y: y},
+			Then: x,
+			Else: y,
+		}
+	}
+}
+
+func (g *kernelGen) boolExpr() Expr {
+	ops := []BinOp{LtF, GtF, LeF, GeF}
+	return Bin{Op: ops[g.rng.Intn(len(ops))], X: g.floatExpr(2), Y: g.floatExpr(2)}
+}
+
+func (g *kernelGen) stmts(depth, count int) []Stmt {
+	var out []Stmt
+	for i := 0; i < count; i++ {
+		switch pick := g.rng.Intn(10); {
+		case pick < 4 || depth <= 0:
+			name := []string{"v0", "v1", "v2"}[g.rng.Intn(3)]
+			out = append(out, Set(name, g.floatExpr(3)))
+			g.addVar(name)
+		case pick < 6:
+			out = append(out, If{
+				Cond: g.boolExpr(),
+				Then: g.stmts(depth-1, 1+g.rng.Intn(2)),
+				Else: g.stmts(depth-1, g.rng.Intn(2)),
+			})
+		case pick < 8:
+			v := fmt.Sprintf("t%d", g.loopSeq)
+			g.loopSeq++
+			body := g.stmts(depth-1, 1+g.rng.Intn(2))
+			out = append(out, For{
+				Var:   v,
+				Start: I(0),
+				End:   I(int64(1 + g.rng.Intn(4))),
+				Step:  I(1),
+				Body:  body,
+			})
+			g.addVar(v)
+		default:
+			out = append(out, StoreF("out", Gid(0), g.floatExpr(2)))
+		}
+	}
+	return out
+}
+
+func (g *kernelGen) addVar(name string) {
+	for _, v := range g.vars {
+		if v == name {
+			return
+		}
+	}
+	g.vars = append(g.vars, name)
+}
+
+// generate builds one random kernel: assignments, branches, loops and a
+// guaranteed final store so the kernel is observable.
+func (g *kernelGen) generate() *Kernel {
+	g.vars = nil
+	body := []Stmt{Set("v0", LoadF("in0", Gid(0)))}
+	g.addVar("v0")
+	body = append(body, g.stmts(2, 3+g.rng.Intn(4))...)
+	body = append(body, StoreF("out", Gid(0), g.floatExpr(3)))
+	return &Kernel{
+		Name:    "fuzz",
+		WorkDim: 1,
+		Params:  []Param{Buf("in0"), Buf("in1"), Buf("out")},
+		Body:    body,
+	}
+}
+
+func TestLockstepMatchesReference(t *testing.T) {
+	const (
+		kernelsToTry = 60
+		n            = 96 // not a multiple of the local size: padding lanes active
+		local        = 16
+	)
+	rng := rand.New(rand.NewSource(20130415)) // the paper's conference date
+	gen := &kernelGen{rng: rng, inBufs: []string{"in0", "in1"}, n: n}
+
+	for trial := 0; trial < kernelsToTry; trial++ {
+		k := gen.generate()
+		if err := Validate(k); err != nil {
+			t.Fatalf("trial %d: generated invalid kernel: %v\n%s", trial, err, Format(k))
+		}
+
+		mkArgs := func() *Args {
+			in0 := NewBufferF32("in0", n)
+			in1 := NewBufferF32("in1", n)
+			out := NewBufferF32("out", n)
+			for i := 0; i < n; i++ {
+				in0.Set(i, float64(rng.Intn(200))/16-6)
+				in1.Set(i, float64(rng.Intn(200))/16-6)
+			}
+			return NewArgs().Bind("in0", in0).Bind("in1", in1).Bind("out", out)
+		}
+		lock := mkArgs()
+		ref := lock.Clone()
+		ref.Buffers["in0"] = FromF32("in0", lock.Buffers["in0"].Snapshot())
+		ref.Buffers["in1"] = FromF32("in1", lock.Buffers["in1"].Snapshot())
+		ref.Buffers["out"] = NewBufferF32("out", n)
+
+		nd := Range1D(n, local)
+		if err := ExecRange(k, lock, nd, ExecOptions{}); err != nil {
+			t.Fatalf("trial %d: lockstep: %v\n%s", trial, err, Format(k))
+		}
+		for g := 0; g < n; g++ {
+			(&refExec{k: k, args: ref, nd: nd, gid: [3]int{g, 0, 0}}).run()
+		}
+
+		lo, ro := lock.Buffers["out"], ref.Buffers["out"]
+		for i := 0; i < n; i++ {
+			a, b := lo.Get(i), ro.Get(i)
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("trial %d: out[%d] lockstep %v vs reference %v\nkernel:\n%s",
+					trial, i, a, b, Format(k))
+			}
+		}
+	}
+}

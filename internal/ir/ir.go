@@ -1,0 +1,193 @@
+// Package ir defines the kernel intermediate representation used by every
+// device model in clperf.
+//
+// Kernels are written once as small structured programs (expressions,
+// assignments, loops, branches, barriers, local memory) and are then
+//
+//   - executed functionally by the lockstep interpreter (Exec*), producing
+//     real results that tests compare against reference Go implementations;
+//   - analyzed statically (Profile, ILP, Vectorize*) so the CPU and GPU
+//     timing models can price a workitem the way the Intel and NVIDIA
+//     OpenCL compilers of the paper would have compiled it.
+//
+// The IR is deliberately structured (no goto, loops and branches are trees)
+// which makes the SIMT-style lockstep execution and the two vectorization
+// legality models straightforward and deterministic.
+package ir
+
+import "fmt"
+
+// Type is the scalar element type of a value, buffer or parameter.
+type Type uint8
+
+// Scalar types. The interpreter computes in float64/int64; F32 buffers
+// round-trip through float32 so single-precision kernels behave like the
+// paper's SSE 4.2 single-precision workloads.
+const (
+	F32 Type = iota // 32-bit floating point
+	I32             // 32-bit integer
+)
+
+// Size returns the size of one element in bytes, used by the memory models.
+func (t Type) Size() int64 { return 4 }
+
+// String returns the OpenCL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case F32:
+		return "float"
+	case I32:
+		return "int"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// BinOp identifies a binary operator.
+type BinOp uint8
+
+// Binary operators. Integer and float variants are distinguished so the
+// analyzers can count flops separately from address arithmetic.
+const (
+	AddF BinOp = iota // x + y (float)
+	SubF              // x - y (float)
+	MulF              // x * y (float)
+	DivF              // x / y (float)
+	MinF              // min(x, y) (float)
+	MaxF              // max(x, y) (float)
+	AddI              // x + y (int)
+	SubI              // x - y (int)
+	MulI              // x * y (int)
+	DivI              // x / y (int)
+	ModI              // x % y (int)
+	AndI              // x & y (int)
+	OrI               // x | y (int)
+	ShlI              // x << y (int)
+	ShrI              // x >> y (int)
+	LtF               // x < y (float), yields 0/1
+	LeF               // x <= y
+	GtF               // x > y
+	GeF               // x >= y
+	EqF               // x == y
+	LtI               // x < y (int)
+	LeI               // x <= y (int)
+	GtI               // x > y (int)
+	GeI               // x >= y (int)
+	EqI               // x == y (int)
+	NeI               // x != y (int)
+)
+
+// IsFloat reports whether the operator is a floating-point arithmetic op
+// (counted as a flop by the profilers).
+func (op BinOp) IsFloat() bool {
+	switch op {
+	case AddF, SubF, MulF, DivF, MinF, MaxF:
+		return true
+	}
+	return false
+}
+
+// IsCompare reports whether the operator is a comparison.
+func (op BinOp) IsCompare() bool { return op >= LtF }
+
+var binOpNames = [...]string{
+	AddF: "+.", SubF: "-.", MulF: "*.", DivF: "/.", MinF: "min", MaxF: "max",
+	AddI: "+", SubI: "-", MulI: "*", DivI: "/", ModI: "%",
+	AndI: "&", OrI: "|", ShlI: "<<", ShrI: ">>",
+	LtF: "<.", LeF: "<=.", GtF: ">.", GeF: ">=.", EqF: "==.",
+	LtI: "<", LeI: "<=", GtI: ">", GeI: ">=", EqI: "==", NeI: "!=",
+}
+
+// String returns the printable operator symbol.
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) && binOpNames[op] != "" {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("BinOp(%d)", uint8(op))
+}
+
+// Builtin identifies a math builtin callable from kernels.
+type Builtin uint8
+
+// Builtins map to the OpenCL built-in math library; the device latency
+// tables price them as multi-cycle "special function" operations.
+const (
+	Sqrt Builtin = iota
+	Rsqrt
+	Exp
+	Log
+	Sin
+	Cos
+	Fabs
+	Floor
+	FMA // fused multiply-add: fma(a, b, c) = a*b + c
+)
+
+var builtinNames = [...]string{
+	Sqrt: "sqrt", Rsqrt: "rsqrt", Exp: "exp", Log: "log",
+	Sin: "sin", Cos: "cos", Fabs: "fabs", Floor: "floor", FMA: "fma",
+}
+
+// String returns the builtin's OpenCL name.
+func (b Builtin) String() string {
+	if int(b) < len(builtinNames) {
+		return builtinNames[b]
+	}
+	return fmt.Sprintf("Builtin(%d)", uint8(b))
+}
+
+// Vectorizable reports whether the 2012-era CPU vector ISA can evaluate
+// the builtin in SIMD registers (sqrtps/rsqrtps and friends). The
+// transcendentals lower to scalar math-library calls instead and block
+// implicit vectorization.
+func (b Builtin) Vectorizable() bool {
+	switch b {
+	case Exp, Log, Sin, Cos:
+		return false
+	}
+	return true
+}
+
+// NumArgs returns the builtin's arity.
+func (b Builtin) NumArgs() int {
+	if b == FMA {
+		return 3
+	}
+	return 1
+}
+
+// IDFunc identifies a workitem identity function (get_global_id and
+// friends in OpenCL C).
+type IDFunc uint8
+
+// Workitem identity functions.
+const (
+	GlobalID   IDFunc = iota // get_global_id(dim)
+	LocalID                  // get_local_id(dim)
+	GroupID                  // get_group_id(dim)
+	GlobalSize               // get_global_size(dim)
+	LocalSize                // get_local_size(dim)
+	NumGroups                // get_num_groups(dim)
+)
+
+var idFuncNames = [...]string{
+	GlobalID: "get_global_id", LocalID: "get_local_id", GroupID: "get_group_id",
+	GlobalSize: "get_global_size", LocalSize: "get_local_size", NumGroups: "get_num_groups",
+}
+
+// String returns the OpenCL name of the identity function.
+func (f IDFunc) String() string {
+	if int(f) < len(idFuncNames) {
+		return idFuncNames[f]
+	}
+	return fmt.Sprintf("IDFunc(%d)", uint8(f))
+}
+
+// Uniform reports whether the function yields the same value for every
+// workitem in a workgroup (used by divergence analysis).
+func (f IDFunc) Uniform() bool {
+	switch f {
+	case GroupID, GlobalSize, LocalSize, NumGroups:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,400 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNDRangeGeometry(t *testing.T) {
+	nd := Range2D(64, 32, 8, 4)
+	if nd.Dims() != 2 {
+		t.Errorf("Dims = %d", nd.Dims())
+	}
+	if nd.GlobalItems() != 2048 {
+		t.Errorf("GlobalItems = %d", nd.GlobalItems())
+	}
+	if nd.GroupItems() != 32 {
+		t.Errorf("GroupItems = %d", nd.GroupItems())
+	}
+	if nd.NumGroups() != 64 {
+		t.Errorf("NumGroups = %d", nd.NumGroups())
+	}
+	if c := nd.GroupCounts(); c != [3]int{8, 8, 1} {
+		t.Errorf("GroupCounts = %v", c)
+	}
+	if got := nd.GroupCoord(9); got != [3]int{1, 1, 0} {
+		t.Errorf("GroupCoord(9) = %v", got)
+	}
+	if s := nd.String(); s != "64x32/8x4" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Range1D(100, 0).String(); s != "100/NULL" {
+		t.Errorf("NULL String = %q", s)
+	}
+}
+
+func TestNDRangeValidate(t *testing.T) {
+	if err := Range1D(100, 10).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := Range1D(100, 7).Validate(); err == nil {
+		t.Error("7 does not divide 100")
+	}
+	if err := (NDRange{}).Validate(); err == nil {
+		t.Error("empty range must fail")
+	}
+	if err := (NDRange{Global: [3]int{-1, 1, 1}}).Validate(); err == nil {
+		t.Error("negative size must fail")
+	}
+	// NULL local is valid; group queries panic until resolved.
+	nd := Range1D(100, 0)
+	if err := nd.Validate(); err != nil {
+		t.Error(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GroupItems on NULL local must panic")
+		}
+	}()
+	nd.GroupItems()
+}
+
+// Property: GroupCoord inverts the linear group index.
+func TestGroupCoordRoundTrip(t *testing.T) {
+	prop := func(a, b, c uint8) bool {
+		nd := Range2D(int(a%8+1)*4, int(b%8+1)*2, 4, 2)
+		g := int(c) % nd.NumGroups()
+		coord := nd.GroupCoord(g)
+		counts := nd.GroupCounts()
+		back := coord[0] + coord[1]*counts[0] + coord[2]*counts[0]*counts[1]
+		return back == g
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferRounding(t *testing.T) {
+	f := NewBufferF32("f", 4)
+	f.Set(0, 0.1) // not representable in float32
+	if f.Get(0) == 0.1 {
+		t.Error("F32 buffer must round through float32")
+	}
+	if f.Get(0) != float64(float32(0.1)) {
+		t.Errorf("got %v", f.Get(0))
+	}
+	i := NewBufferI32("i", 4)
+	i.Set(0, 3.7)
+	if i.Get(0) != 3 {
+		t.Errorf("I32 buffer must truncate: %v", i.Get(0))
+	}
+}
+
+func TestBufferHelpers(t *testing.T) {
+	b := FromF32("b", []float64{1, 2, 3})
+	if b.Len() != 3 || b.Bytes() != 12 {
+		t.Errorf("len/bytes = %d/%d", b.Len(), b.Bytes())
+	}
+	b.Base = 1000
+	if b.Addr(2) != 1008 {
+		t.Errorf("Addr(2) = %d", b.Addr(2))
+	}
+	b.Fill(7)
+	snap := b.Snapshot()
+	b.Set(0, 9)
+	if snap[0] != 7 {
+		t.Error("Snapshot must copy")
+	}
+	b.CopyFrom([]float64{1, 2})
+	if b.Get(0) != 1 || b.Get(2) != 7 {
+		t.Errorf("CopyFrom partial: %v", b.Data)
+	}
+	if !strings.Contains(b.String(), "b[3]") {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestArgsClone(t *testing.T) {
+	a := NewArgs().Bind("x", NewBufferF32("x", 4)).SetScalar("s", 2)
+	c := a.Clone()
+	c.SetScalar("s", 3)
+	if a.Scalars["s"] != 2 {
+		t.Error("Clone must copy scalar map")
+	}
+	if c.Buffers["x"] != a.Buffers["x"] {
+		t.Error("Clone shares buffers")
+	}
+	a.SetScalar("a1", 1).SetScalar("b2", 2)
+	names := a.ScalarNames()
+	if len(names) != 3 || names[0] != "a1" {
+		t.Errorf("ScalarNames = %v", names)
+	}
+}
+
+func TestSubstVars(t *testing.T) {
+	defs := map[string]Expr{"i": Gid(0)}
+	e := SubstVars(Add(V("i"), V("j")), defs)
+	s := FormatExpr(e)
+	if !strings.Contains(s, "get_global_id(0)") || !strings.Contains(s, "j") {
+		t.Errorf("SubstVars = %s", s)
+	}
+	// Oversized substitutions are abandoned.
+	big := Expr(F(1))
+	for i := 0; i < maxSubstNodes; i++ {
+		big = Add(big, F(1))
+	}
+	out := SubstVars(V("x"), map[string]Expr{"x": big})
+	if _, ok := out.(VarRef); !ok {
+		t.Error("oversized substitution must return the original expression")
+	}
+}
+
+func TestDefTrackerInvalidation(t *testing.T) {
+	tr := newDefTracker()
+	tr.assign("a", Gid(0))
+	tr.assign("b", Muli(V("a"), I(2)))
+	resolved := FormatExpr(tr.resolve(Vi("b")))
+	if !strings.Contains(resolved, "get_global_id(0)") {
+		t.Errorf("chained resolution broken: %s", resolved)
+	}
+	tr.invalidate("b")
+	if FormatExpr(tr.resolve(Vi("b"))) != "b" {
+		t.Error("invalidate must drop the definition")
+	}
+}
+
+func TestStaticEvalIDs(t *testing.T) {
+	env := NewStaticEnv(Range2D(64, 32, 8, 4), nil)
+	se := &staticEval{env: env, varVal: map[string]float64{}}
+	for _, c := range []struct {
+		e    Expr
+		want float64
+	}{
+		{Gsz(0), 64},
+		{Gsz(1), 32},
+		{Lsz(0), 8},
+		{Ngrp(0), 8},
+		{I(5), 5},
+		{F(2.5), 2.5},
+		{Add(F(1), F(2)), 3},
+		{Call1(Sqrt, F(9)), 3},
+		{Fma(F(2), F(3), F(4)), 10},
+		{Select{Cond: I(1), Then: F(7), Else: F(8)}, 7},
+		{ToInt{X: F(3.9)}, 3},
+	} {
+		got, ok := se.eval(c.e)
+		if !ok || got != c.want {
+			t.Errorf("eval(%s) = %v,%v, want %v", FormatExpr(c.e), got, ok, c.want)
+		}
+	}
+	// Loads are unknown.
+	if _, ok := se.eval(LoadF("a", I(0))); ok {
+		t.Error("loads must be statically unknown")
+	}
+	// EvalStatic is the public wrapper.
+	if v, ok := EvalStatic(Muli(Lsz(0), Lsz(1)), env); !ok || v != 32 {
+		t.Errorf("EvalStatic = %v,%v", v, ok)
+	}
+}
+
+func TestGIDFraction(t *testing.T) {
+	env := NewStaticEnv(Range1D(100, 10), nil)
+	se := &staticEval{env: env, varVal: map[string]float64{}}
+	gid, _ := se.eval(Gid(0))
+	if gid != 50 {
+		t.Errorf("representative gid = %v, want 50 (midpoint)", gid)
+	}
+	lid, _ := se.eval(Lid(0))
+	if lid != 0 {
+		t.Errorf("lid = %v, want 0 (50 %% 10)", lid)
+	}
+	grp, _ := se.eval(Grp(0))
+	if grp != 5 {
+		t.Errorf("group = %v, want 5", grp)
+	}
+}
+
+func TestProfileILPAccessor(t *testing.T) {
+	lat := testLat()
+	p, err := ProfileKernel(ilpKernel(4, 64), NewArgs(), Range1D(256, 64), lat, MaxBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ilp := p.ILP(lat); ilp < 2 {
+		t.Errorf("ILP(4 chains) = %v, want >= 2", ilp)
+	}
+	if p.LoopTrips != 64 {
+		t.Errorf("LoopTrips = %v, want 64", p.LoopTrips)
+	}
+	empty := &Profile{}
+	if empty.ILP(lat) != 1 {
+		t.Error("empty profile ILP must be 1")
+	}
+}
+
+func TestSubstGlobalIDInAllNodes(t *testing.T) {
+	k := &Kernel{
+		Name:    "all",
+		WorkDim: 1,
+		Params:  []Param{Buf("a"), BufI("idx")},
+		Locals:  []LocalArray{{Name: "l", Elem: F32, Size: I(16)}},
+		Body: []Stmt{
+			Assign{Dst: "x", Val: Select{Cond: Gid(0), Then: ToFloat{X: Gid(0)}, Else: F(0)}},
+			If{Cond: Bin{Op: LtI, X: Gid(0), Y: I(4)},
+				Then: []Stmt{LocalStore{Arr: "l", Index: Modi(Gid(0), I(16)), Val: V("x")}},
+				Else: []Stmt{AtomicAdd{Arr: "l", Index: I(0), Val: ToFloat{X: Gid(0)}}}},
+			For{Var: "t", Start: Gid(0), End: Addi(Gid(0), I(1)), Step: I(1),
+				Body: []Stmt{Store{Buf: "a", Index: Vi("t"), Val: LLoadF("l", I(0))}}},
+		},
+	}
+	out := SubstGlobalID(k.Body, 0, Vi("q"))
+	count := 0
+	walkStmts(out, func(s Stmt) {
+		switch s := s.(type) {
+		case Assign:
+			walkExpr(s.Val, func(e Expr) {
+				if id, ok := e.(ID); ok && id.Fn == GlobalID {
+					count++
+				}
+			})
+		}
+	})
+	var any bool
+	walkStmts(out, func(s Stmt) {
+		exprs := []Expr{}
+		switch s := s.(type) {
+		case Assign:
+			exprs = append(exprs, s.Val)
+		case Store:
+			exprs = append(exprs, s.Index, s.Val)
+		case LocalStore:
+			exprs = append(exprs, s.Index, s.Val)
+		case AtomicAdd:
+			exprs = append(exprs, s.Index, s.Val)
+		case If:
+			exprs = append(exprs, s.Cond)
+		case For:
+			exprs = append(exprs, s.Start, s.End, s.Step)
+		}
+		for _, e := range exprs {
+			walkExpr(e, func(e Expr) {
+				if id, ok := e.(ID); ok && id.Fn == GlobalID && id.Dim == 0 {
+					any = true
+				}
+			})
+		}
+	})
+	if any {
+		t.Error("SubstGlobalID left a get_global_id(0) behind")
+	}
+}
+
+func TestFormatExprCoverage(t *testing.T) {
+	exprs := map[string]Expr{
+		"(a + b)":           Add(V("a"), V("b")),
+		"fma(a, b, c)":      Fma(V("a"), V("b"), V("c")),
+		"(int)(x)":          ToInt{X: V("x")},
+		"(float)(i)":        ToFloat{X: Vi("i")},
+		"(c ? a : b)":       Select{Cond: V("c"), Then: V("a"), Else: V("b")},
+		"arr[3]":            LLoadF("arr", I(3)),
+		"get_local_size(1)": Lsz(1),
+		"(a % 4)":           Modi(V("a"), I(4)),
+	}
+	for want, e := range exprs {
+		if got := FormatExpr(e); got != want {
+			t.Errorf("FormatExpr = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestBuiltinProperties(t *testing.T) {
+	if Sqrt.NumArgs() != 1 || FMA.NumArgs() != 3 {
+		t.Error("arities wrong")
+	}
+	if !Sqrt.Vectorizable() || Exp.Vectorizable() {
+		t.Error("vectorizability wrong")
+	}
+	for b := Sqrt; b <= FMA; b++ {
+		if b.String() == "" || strings.Contains(b.String(), "Builtin(") {
+			t.Errorf("missing name for builtin %d", b)
+		}
+	}
+}
+
+func TestOpClassNames(t *testing.T) {
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		if c.String() == "" || c.String() == "op?" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if OpClass(99).String() != "op?" {
+		t.Error("out-of-range class must print op?")
+	}
+}
+
+// Property: the interpreter and the static evaluator agree on pure
+// arithmetic expressions.
+func TestStaticEvalMatchesInterpreter(t *testing.T) {
+	prop := func(a, b int16, op uint8) bool {
+		x, y := float64(a%100), float64(b%100)
+		ops := []BinOp{AddF, SubF, MulF, MinF, MaxF}
+		o := ops[int(op)%len(ops)]
+		e := Bin{Op: o, X: F(x), Y: F(y)}
+
+		env := NewStaticEnv(Range1D(16, 4), nil)
+		se := &staticEval{env: env, varVal: map[string]float64{}}
+		sv, ok := se.eval(e)
+		if !ok {
+			return false
+		}
+
+		k := &Kernel{Name: "p", WorkDim: 1, Params: []Param{Buf("o")},
+			Body: []Stmt{StoreF("o", Gid(0), e)}}
+		out := NewBufferF32("o", 16)
+		if err := ExecRange(k, NewArgs().Bind("o", out), Range1D(16, 4), ExecOptions{}); err != nil {
+			return false
+		}
+		return math.Abs(out.Get(0)-float64(float32(sv))) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExec3D(t *testing.T) {
+	k := &Kernel{
+		Name:    "idx3d",
+		WorkDim: 3,
+		Params:  []Param{Buf("out")},
+		Body: []Stmt{
+			Set("i", Addi(Gid(0),
+				Addi(Muli(Gid(1), Gsz(0)),
+					Muli(Gid(2), Muli(Gsz(0), Gsz(1)))))),
+			StoreF("out", Vi("i"),
+				Add(ToFloat{X: Gid(0)},
+					Add(Mul(F(100), ToFloat{X: Gid(1)}),
+						Mul(F(10000), ToFloat{X: Gid(2)})))),
+		},
+	}
+	const x, y, z = 8, 4, 2
+	out := NewBufferF32("out", x*y*z)
+	nd := Range3D(x, y, z, 4, 2, 1)
+	if err := ExecRange(k, NewArgs().Bind("out", out), nd, ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for k3 := 0; k3 < z; k3++ {
+		for j := 0; j < y; j++ {
+			for i := 0; i < x; i++ {
+				want := float64(i + 100*j + 10000*k3)
+				if got := out.Get(i + j*x + k3*x*y); got != want {
+					t.Fatalf("out[%d,%d,%d] = %v, want %v", i, j, k3, got, want)
+				}
+			}
+		}
+	}
+	if nd.Dims() != 3 || nd.GlobalItems() != x*y*z || nd.NumGroups() != 2*2*2 {
+		t.Fatalf("geometry wrong: %v", nd)
+	}
+}

@@ -1,0 +1,288 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ParamKind distinguishes buffer parameters from scalar parameters.
+type ParamKind uint8
+
+// Parameter kinds.
+const (
+	BufferParam ParamKind = iota // global memory object (cl_mem)
+	ScalarParam                  // value argument set with clSetKernelArg
+)
+
+// Param declares a kernel parameter.
+type Param struct {
+	Name string
+	Kind ParamKind
+	Elem Type // element type (buffer) or value type (scalar)
+}
+
+// Buf declares a buffer parameter of float elements.
+func Buf(name string) Param { return Param{Name: name, Kind: BufferParam, Elem: F32} }
+
+// BufI declares a buffer parameter of integer elements.
+func BufI(name string) Param { return Param{Name: name, Kind: BufferParam, Elem: I32} }
+
+// Scalar declares a float scalar parameter.
+func Scalar(name string) Param { return Param{Name: name, Kind: ScalarParam, Elem: F32} }
+
+// ScalarI declares an integer scalar parameter.
+func ScalarI(name string) Param { return Param{Name: name, Kind: ScalarParam, Elem: I32} }
+
+// LocalArray declares a workgroup-local (__local) array. Size is evaluated
+// at launch time with the workgroup geometry known, so tiles sized by
+// get_local_size work naturally.
+type LocalArray struct {
+	Name string
+	Elem Type
+	Size Expr
+}
+
+// Kernel is a complete device function: the unit compiled, launched over an
+// NDRange, analyzed and priced by the device models.
+type Kernel struct {
+	Name    string
+	WorkDim int // 1, 2 or 3
+	Params  []Param
+	Locals  []LocalArray
+	Body    []Stmt
+}
+
+// Param returns the named parameter, or false if absent.
+func (k *Kernel) Param(name string) (Param, bool) {
+	for _, p := range k.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// Local returns the named local array declaration, or false if absent.
+func (k *Kernel) Local(name string) (LocalArray, bool) {
+	for _, l := range k.Locals {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return LocalArray{}, false
+}
+
+// BufferNames returns the kernel's buffer parameter names in declaration
+// order.
+func (k *Kernel) BufferNames() []string {
+	var names []string
+	for _, p := range k.Params {
+		if p.Kind == BufferParam {
+			names = append(names, p.Name)
+		}
+	}
+	return names
+}
+
+// NDRange is a launch geometry: a 1–3 dimensional global range partitioned
+// into workgroups, exactly as passed to clEnqueueNDRangeKernel.
+type NDRange struct {
+	Global [3]int // global work size per dimension; unused dims are 1
+	Local  [3]int // workgroup size per dimension; all zero means "NULL"
+}
+
+// Range1D returns a 1-dimensional NDRange. local 0 means the implementation
+// picks the workgroup size (the NULL argument in the paper).
+func Range1D(global, local int) NDRange {
+	if local == 0 {
+		return NDRange{Global: [3]int{global, 1, 1}}
+	}
+	return NDRange{Global: [3]int{global, 1, 1}, Local: [3]int{local, 1, 1}}
+}
+
+// Range2D returns a 2-dimensional NDRange. A zero lx means NULL local size.
+func Range2D(gx, gy, lx, ly int) NDRange {
+	if lx == 0 {
+		return NDRange{Global: [3]int{gx, gy, 1}}
+	}
+	return NDRange{Global: [3]int{gx, gy, 1}, Local: [3]int{lx, ly, 1}}
+}
+
+// Range3D returns a 3-dimensional NDRange. A zero lx means NULL local size.
+func Range3D(gx, gy, gz, lx, ly, lz int) NDRange {
+	if lx == 0 {
+		return NDRange{Global: [3]int{gx, gy, gz}}
+	}
+	return NDRange{Global: [3]int{gx, gy, gz}, Local: [3]int{lx, ly, lz}}
+}
+
+// Dims returns the number of dimensions with a global size greater than one,
+// at minimum 1.
+func (r NDRange) Dims() int {
+	d := 1
+	for i := 1; i < 3; i++ {
+		if r.Global[i] > 1 {
+			d = i + 1
+		}
+	}
+	return d
+}
+
+// GlobalItems returns the total number of workitems.
+func (r NDRange) GlobalItems() int {
+	n := 1
+	for _, g := range r.Global {
+		if g > 1 {
+			n *= g
+		}
+	}
+	return n
+}
+
+// LocalNull reports whether the workgroup size was left to the
+// implementation (local_work_size == NULL).
+func (r NDRange) LocalNull() bool {
+	return r.Local[0] == 0 && r.Local[1] == 0 && r.Local[2] == 0
+}
+
+// GroupItems returns the number of workitems per workgroup. It panics if the
+// local size is NULL; resolve it with WithLocal first.
+func (r NDRange) GroupItems() int {
+	if r.LocalNull() {
+		panic("ir: GroupItems on NDRange with NULL local size")
+	}
+	n := 1
+	for i := 0; i < 3; i++ {
+		if r.Local[i] > 0 {
+			n *= r.Local[i]
+		}
+	}
+	return n
+}
+
+// NumGroups returns the total number of workgroups. It panics if the local
+// size is NULL.
+func (r NDRange) NumGroups() int {
+	if r.LocalNull() {
+		panic("ir: NumGroups on NDRange with NULL local size")
+	}
+	n := 1
+	for i := 0; i < 3; i++ {
+		g, l := r.Global[i], r.Local[i]
+		if g == 0 {
+			g = 1
+		}
+		if l == 0 {
+			l = 1
+		}
+		n *= (g + l - 1) / l
+	}
+	return n
+}
+
+// WithLocal returns a copy of r with the local size set per dimension.
+// Zero entries default to 1 except dimension 0 which defaults to local0.
+func (r NDRange) WithLocal(local [3]int) NDRange {
+	r.Local = local
+	return r
+}
+
+// Validate checks that the geometry is well formed and that the local size
+// divides the global size, matching the OpenCL 1.x requirement.
+func (r NDRange) Validate() error {
+	for i := 0; i < 3; i++ {
+		if r.Global[i] < 0 || r.Local[i] < 0 {
+			return fmt.Errorf("ir: negative size in NDRange dim %d", i)
+		}
+	}
+	if r.Global[0] < 1 {
+		return fmt.Errorf("ir: empty NDRange")
+	}
+	if r.LocalNull() {
+		return nil
+	}
+	for i := 0; i < 3; i++ {
+		g, l := r.Global[i], r.Local[i]
+		if g == 0 {
+			g = 1
+		}
+		if l == 0 {
+			l = 1
+		}
+		if g%l != 0 {
+			return fmt.Errorf("ir: local size %d does not divide global size %d in dim %d", l, g, i)
+		}
+	}
+	return nil
+}
+
+// String formats the range like "1024x1024/16x16".
+func (r NDRange) String() string {
+	d := r.Dims()
+	s := ""
+	for i := 0; i < d; i++ {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(r.Global[i])
+	}
+	if r.LocalNull() {
+		return s + "/NULL"
+	}
+	s += "/"
+	for i := 0; i < d; i++ {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(r.Local[i])
+	}
+	return s
+}
+
+// Args carries the launch-time argument values for a kernel: buffer bindings
+// and scalar values.
+type Args struct {
+	Buffers map[string]*Buffer
+	Scalars map[string]float64
+}
+
+// NewArgs returns an empty argument set.
+func NewArgs() *Args {
+	return &Args{Buffers: map[string]*Buffer{}, Scalars: map[string]float64{}}
+}
+
+// Bind attaches a buffer to the named buffer parameter and returns the
+// receiver for chaining.
+func (a *Args) Bind(name string, b *Buffer) *Args {
+	a.Buffers[name] = b
+	return a
+}
+
+// SetScalar sets the named scalar parameter and returns the receiver.
+func (a *Args) SetScalar(name string, v float64) *Args {
+	a.Scalars[name] = v
+	return a
+}
+
+// Clone returns a shallow copy (buffers shared, scalar map copied).
+func (a *Args) Clone() *Args {
+	c := NewArgs()
+	for k, v := range a.Buffers {
+		c.Buffers[k] = v
+	}
+	for k, v := range a.Scalars {
+		c.Scalars[k] = v
+	}
+	return c
+}
+
+// ScalarNames returns the bound scalar names, sorted for deterministic
+// iteration.
+func (a *Args) ScalarNames() []string {
+	names := make([]string, 0, len(a.Scalars))
+	for k := range a.Scalars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

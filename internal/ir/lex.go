@@ -1,0 +1,179 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// The lexer for the OpenCL C subset accepted by Parse (parse.go).
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single- or multi-character operator/punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	// line/col locate the token for error messages (1-based).
+	line, col int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of source"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes kernel source.
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+	toks      []token
+}
+
+// multi-character operators, longest first.
+var multiPunct = []string{
+	"<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "++", "--",
+}
+
+// lex tokenizes the whole source, stripping // and /* */ comments and
+// preprocessor-style lines.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.advance(1)
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance(1)
+		case c == '#':
+			// Skip preprocessor lines (e.g. #pragma).
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.peek(1) == '*':
+			l.advance(2)
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.peek(1) == '/') {
+				l.advance(1)
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("ir: line %d: unterminated block comment", l.line)
+			}
+			l.advance(2)
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(l.peek(1)))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		default:
+			l.lexPunct()
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line, col: l.col})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(kind tokKind, text string, line, col int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: line, col: col})
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}
+
+func (l *lexer) lexIdent() {
+	line, col := l.line, l.col
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.advance(1)
+	}
+	l.emit(tokIdent, l.src[start:l.pos], line, col)
+}
+
+func (l *lexer) lexNumber() error {
+	line, col := l.line, l.col
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsDigit(rune(c)):
+			l.advance(1)
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.advance(1)
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.advance(1)
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.advance(1)
+			}
+		case c == 'f' || c == 'F':
+			// float suffix terminates the literal
+			l.advance(1)
+			l.emit(tokNumber, l.src[start:l.pos], line, col)
+			return nil
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if strings.HasSuffix(text, "e") || strings.HasSuffix(text, "E") {
+		return fmt.Errorf("ir: line %d: malformed number %q", line, text)
+	}
+	l.emit(tokNumber, text, line, col)
+	return nil
+}
+
+func (l *lexer) lexPunct() {
+	line, col := l.line, l.col
+	rest := l.src[l.pos:]
+	for _, op := range multiPunct {
+		if strings.HasPrefix(rest, op) {
+			l.advance(len(op))
+			l.emit(tokPunct, op, line, col)
+			return
+		}
+	}
+	l.emit(tokPunct, string(l.src[l.pos]), line, col)
+	l.advance(1)
+}

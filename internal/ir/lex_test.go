@@ -1,0 +1,102 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexTexts(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, tk := range toks {
+		if tk.kind != tokEOF {
+			out = append(out, tk.text)
+		}
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := lexTexts(t, "int i = get_global_id(0);")
+	want := []string{"int", "i", "=", "get_global_id", "(", "0", ")", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+	// line comment with symbols +-*/
+	a = 1; /* block
+	         comment */ b = 2;
+	#pragma OPENCL EXTENSION whatever
+	c = 3;`
+	got := lexTexts(t, src)
+	joined := strings.Join(got, " ")
+	if strings.Contains(joined, "comment") || strings.Contains(joined, "pragma") {
+		t.Fatalf("comments leaked: %v", got)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !strings.Contains(joined, name) {
+			t.Fatalf("missing %s in %v", name, got)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":      "42",
+		"3.5":     "3.5",
+		"1.0f":    "1.0f",
+		"2e3":     "2e3",
+		"1.5e-2":  "1.5e-2",
+		".25":     ".25",
+		"6.02E23": "6.02E23",
+	}
+	for src, want := range cases {
+		toks, err := lex(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if toks[0].kind != tokNumber || toks[0].text != want {
+			t.Errorf("%q -> %v", src, toks[0])
+		}
+	}
+	if _, err := lex("1e"); err == nil {
+		t.Error("malformed exponent must fail")
+	}
+}
+
+func TestLexMultiCharOperators(t *testing.T) {
+	got := lexTexts(t, "a<<=1; b>>2; c<=d; e&&f; g+=h; i++;")
+	joined := " " + strings.Join(got, " ") + " "
+	for _, op := range []string{"<<=", ">>", "<=", "&&", "+=", "++"} {
+		if !strings.Contains(joined, " "+op+" ") {
+			t.Errorf("operator %q not tokenized as one token: %v", op, got)
+		}
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := lex("a /* never closes"); err == nil {
+		t.Fatal("unterminated block comment must fail")
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := lex("a\nbb\n  ccc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []int{1, 2, 3}
+	for i, want := range wantLines {
+		if toks[i].line != want {
+			t.Errorf("token %d on line %d, want %d", i, toks[i].line, want)
+		}
+	}
+}

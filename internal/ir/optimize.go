@@ -1,0 +1,272 @@
+package ir
+
+import "math"
+
+// Simplify returns an optimized copy of the kernel: constants folded,
+// algebraic identities applied and dead scalar assignments removed — the
+// cleanups a kernel compiler performs before analysis, so parsed kernels
+// profile like hand-built ones. Semantics are preserved exactly (the
+// differential fuzz test in optimize_test.go enforces bit-equality).
+func Simplify(k *Kernel) *Kernel {
+	out := &Kernel{
+		Name:    k.Name,
+		WorkDim: k.WorkDim,
+		Params:  k.Params,
+		Locals:  k.Locals,
+		Body:    simplifyStmts(k.Body),
+	}
+	out.Body = eliminateDead(out.Body)
+	return out
+}
+
+func simplifyStmts(stmts []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Assign:
+			out = append(out, Assign{Dst: s.Dst, Val: foldExpr(s.Val)})
+		case Store:
+			out = append(out, Store{Buf: s.Buf, Index: foldExpr(s.Index), Val: foldExpr(s.Val)})
+		case LocalStore:
+			out = append(out, LocalStore{Arr: s.Arr, Index: foldExpr(s.Index), Val: foldExpr(s.Val)})
+		case AtomicAdd:
+			out = append(out, AtomicAdd{Arr: s.Arr, Index: foldExpr(s.Index), Val: foldExpr(s.Val)})
+		case If:
+			cond := foldExpr(s.Cond)
+			// A constant condition selects one arm statically.
+			if c, ok := cond.(ConstInt); ok {
+				if c.V != 0 {
+					out = append(out, simplifyStmts(s.Then)...)
+				} else {
+					out = append(out, simplifyStmts(s.Else)...)
+				}
+				continue
+			}
+			if c, ok := cond.(ConstFloat); ok {
+				if c.V != 0 {
+					out = append(out, simplifyStmts(s.Then)...)
+				} else {
+					out = append(out, simplifyStmts(s.Else)...)
+				}
+				continue
+			}
+			out = append(out, If{Cond: cond, Then: simplifyStmts(s.Then), Else: simplifyStmts(s.Else)})
+		case For:
+			start, end := foldExpr(s.Start), foldExpr(s.End)
+			// A provably empty loop disappears.
+			if sv, ok1 := constVal(start); ok1 {
+				if ev, ok2 := constVal(end); ok2 && ev <= sv {
+					continue
+				}
+			}
+			out = append(out, For{
+				Var: s.Var, Start: start, End: end, Step: foldExpr(s.Step),
+				Body: simplifyStmts(s.Body),
+			})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func constVal(e Expr) (float64, bool) {
+	switch e := e.(type) {
+	case ConstInt:
+		return float64(e.V), true
+	case ConstFloat:
+		return e.V, true
+	}
+	return 0, false
+}
+
+func isConstZero(e Expr) bool  { v, ok := constVal(e); return ok && v == 0 }
+func isConstOne(e Expr) bool   { v, ok := constVal(e); return ok && v == 1 }
+func isFloatConst(e Expr) bool { _, ok := e.(ConstFloat); return ok }
+
+// foldExpr recursively folds constants and applies safe identities.
+func foldExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case Bin:
+		x, y := foldExpr(e.X), foldExpr(e.Y)
+		folded := Bin{Op: e.Op, X: x, Y: y}
+		// Constant operands: evaluate with the interpreter's own kernel so
+		// the fold is bit-identical to runtime behaviour.
+		if vx, okx := constVal(x); okx {
+			if vy, oky := constVal(y); oky {
+				out := [1]float64{}
+				evalBin(e.Op, []float64{vx}, []float64{vy}, out[:])
+				return literalFor(folded.Type(), out[0])
+			}
+		}
+		// Identities. Note x*0 is NOT folded for floats: 0*Inf and 0*NaN
+		// must keep their runtime values.
+		switch e.Op {
+		case AddF, AddI:
+			if isConstZero(x) && !isFloatConst(x) {
+				return y
+			}
+			if isConstZero(y) && !isFloatConst(y) {
+				return x
+			}
+			// float +0 is identity-safe except for -0 + 0; since literal
+			// zeros here are +0 and +0 + x == x bit-for-bit for all x except
+			// x == -0 (yielding +0), be conservative and keep float adds.
+		case SubI:
+			if isConstZero(y) {
+				return x
+			}
+		case MulF, MulI:
+			if isConstOne(x) {
+				return y
+			}
+			if isConstOne(y) {
+				return x
+			}
+			if e.Op == MulI && (isConstZero(x) || isConstZero(y)) {
+				return I(0)
+			}
+		case DivF, DivI:
+			if isConstOne(y) {
+				return x
+			}
+		}
+		return folded
+	case Call:
+		args := make([]Expr, len(e.Args))
+		allConst := true
+		vals := make([]float64, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = foldExpr(a)
+			if v, ok := constVal(args[i]); ok {
+				vals[i] = v
+			} else {
+				allConst = false
+			}
+		}
+		if allConst {
+			if v, ok := foldCall(e.Fn, vals); ok {
+				return F(v)
+			}
+		}
+		return Call{Fn: e.Fn, Args: args}
+	case Load:
+		return Load{Buf: e.Buf, Index: foldExpr(e.Index), Elem: e.Elem}
+	case LocalLoad:
+		return LocalLoad{Arr: e.Arr, Index: foldExpr(e.Index), Elem: e.Elem}
+	case Select:
+		c := foldExpr(e.Cond)
+		if v, ok := constVal(c); ok {
+			if v != 0 {
+				return foldExpr(e.Then)
+			}
+			return foldExpr(e.Else)
+		}
+		return Select{Cond: c, Then: foldExpr(e.Then), Else: foldExpr(e.Else)}
+	case ToFloat:
+		x := foldExpr(e.X)
+		if v, ok := constVal(x); ok {
+			return F(v)
+		}
+		return ToFloat{X: x}
+	case ToInt:
+		x := foldExpr(e.X)
+		if v, ok := constVal(x); ok {
+			return I(int64(math.Trunc(v)))
+		}
+		return ToInt{X: x}
+	default:
+		return e
+	}
+}
+
+// literalFor builds the literal matching the expression's static type,
+// replicating the interpreter's assignment rounding.
+func literalFor(ty Type, v float64) Expr {
+	if ty == I32 {
+		return I(int64(math.Trunc(v)))
+	}
+	return F(v)
+}
+
+func foldCall(fn Builtin, vals []float64) (float64, bool) {
+	switch fn {
+	case FMA:
+		return vals[0]*vals[1] + vals[2], true
+	case Sqrt:
+		return math.Sqrt(vals[0]), true
+	case Rsqrt:
+		return 1 / math.Sqrt(vals[0]), true
+	case Fabs:
+		return math.Abs(vals[0]), true
+	case Floor:
+		return math.Floor(vals[0]), true
+	case Exp:
+		return math.Exp(vals[0]), true
+	case Log:
+		return math.Log(vals[0]), true
+	case Sin:
+		return math.Sin(vals[0]), true
+	case Cos:
+		return math.Cos(vals[0]), true
+	}
+	return 0, false
+}
+
+// eliminateDead removes scalar assignments whose values are never read.
+// It is conservative: any read anywhere (including control-flow bounds and
+// nested regions) keeps every assignment to that variable, so conditional
+// and loop-carried uses stay intact.
+func eliminateDead(stmts []Stmt) []Stmt {
+	used := map[string]bool{}
+	collect := func(e Expr) {
+		walkExpr(e, func(e Expr) {
+			if v, ok := e.(VarRef); ok {
+				used[v.Name] = true
+			}
+		})
+	}
+	walkStmts(stmts, func(s Stmt) {
+		switch s := s.(type) {
+		case Assign:
+			collect(s.Val)
+		case Store:
+			collect(s.Index)
+			collect(s.Val)
+		case LocalStore:
+			collect(s.Index)
+			collect(s.Val)
+		case AtomicAdd:
+			collect(s.Index)
+			collect(s.Val)
+		case If:
+			collect(s.Cond)
+		case For:
+			collect(s.Start)
+			collect(s.End)
+			collect(s.Step)
+		}
+	})
+	var prune func(ss []Stmt) []Stmt
+	prune = func(ss []Stmt) []Stmt {
+		var out []Stmt
+		for _, s := range ss {
+			switch s := s.(type) {
+			case Assign:
+				if !used[s.Dst] {
+					continue
+				}
+				out = append(out, s)
+			case If:
+				out = append(out, If{Cond: s.Cond, Then: prune(s.Then), Else: prune(s.Else)})
+			case For:
+				out = append(out, For{Var: s.Var, Start: s.Start, End: s.End,
+					Step: s.Step, Body: prune(s.Body)})
+			default:
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return prune(stmts)
+}

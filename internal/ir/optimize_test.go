@@ -1,0 +1,173 @@
+package ir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFoldConstants(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want string
+	}{
+		{Add(F(2), F(3)), "5f"},
+		{Muli(I(4), I(5)), "20"},
+		{Mul(V("x"), F(1)), "x"},
+		{Mul(F(1), V("x")), "x"},
+		{Addi(V("i"), I(0)), "i"},
+		{Muli(V("i"), I(0)), "0"},
+		{Div(V("x"), F(1)), "x"},
+		{Select{Cond: I(1), Then: V("a"), Else: V("b")}, "a"},
+		{Select{Cond: I(0), Then: V("a"), Else: V("b")}, "b"},
+		{Call1(Sqrt, F(16)), "4f"},
+		{ToInt{X: F(3.9)}, "3"},
+		{ToFloat{X: I(7)}, "7f"},
+		{Bin{Op: LtI, X: I(2), Y: I(5)}, "1"},
+	}
+	for _, c := range cases {
+		got := FormatExpr(foldExpr(c.in))
+		if got != c.want {
+			t.Errorf("fold(%s) = %s, want %s", FormatExpr(c.in), got, c.want)
+		}
+	}
+	// x*0 must NOT fold for floats (NaN/Inf semantics).
+	if got := FormatExpr(foldExpr(Mul(V("x"), F(0)))); got == "0f" {
+		t.Error("float x*0 must not fold")
+	}
+}
+
+func TestSimplifyRemovesDeadCode(t *testing.T) {
+	k := &Kernel{
+		Name:    "dead",
+		WorkDim: 1,
+		Params:  []Param{Buf("out")},
+		Body: []Stmt{
+			Set("unused", Add(F(1), F(2))), // never read
+			Set("x", F(5)),
+			If{Cond: I(1), Then: []Stmt{Set("y", Mul(V("x"), F(2)))}}, // const cond
+			For{Var: "t", Start: I(3), End: I(3), Step: I(1), // empty loop
+				Body: []Stmt{Set("z", F(9))}},
+			StoreF("out", Gid(0), V("y")),
+		},
+	}
+	s := Simplify(k)
+	counts := map[string]int{}
+	walkStmts(s.Body, func(st Stmt) {
+		switch st := st.(type) {
+		case Assign:
+			counts["assign:"+st.Dst]++
+		case If:
+			counts["if"]++
+		case For:
+			counts["for"]++
+		}
+	})
+	if counts["assign:unused"] != 0 {
+		t.Error("dead assignment survived")
+	}
+	if counts["assign:z"] != 0 || counts["for"] != 0 {
+		t.Error("empty loop survived")
+	}
+	if counts["if"] != 0 {
+		t.Error("constant if survived")
+	}
+	if counts["assign:y"] != 1 {
+		t.Error("live assignment removed")
+	}
+	if err := Validate(s); err != nil {
+		t.Fatalf("simplified kernel invalid: %v", err)
+	}
+}
+
+func TestSimplifyShrinksParsedKernel(t *testing.T) {
+	k := mustParse(t, `
+	__kernel void waste(__global float *out) {
+		float a = 2.0f * 3.0f + 1.0f;
+		float dead = a * 100.0f;
+		int i = get_global_id(0);
+		out[i] = a * 1.0f + 0.0f * 0.0f;
+	}`)
+	s := Simplify(k)
+	before, after := 0, 0
+	count := func(stmts []Stmt, n *int) {
+		walkStmts(stmts, func(Stmt) { *n++ })
+	}
+	count(k.Body, &before)
+	count(s.Body, &after)
+	if after >= before {
+		t.Fatalf("Simplify did not shrink: %d -> %d statements", before, after)
+	}
+}
+
+// Property: Simplify preserves semantics bit-for-bit on random kernels.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	const (
+		trials = 40
+		n      = 64
+		local  = 16
+	)
+	rng := rand.New(rand.NewSource(42))
+	gen := &kernelGen{rng: rng, inBufs: []string{"in0", "in1"}, n: n}
+	for trial := 0; trial < trials; trial++ {
+		k := gen.generate()
+		s := Simplify(k)
+		if err := Validate(s); err != nil {
+			t.Fatalf("trial %d: simplified kernel invalid: %v\n%s", trial, err, Format(s))
+		}
+		mk := func() *Args {
+			in0 := NewBufferF32("in0", n)
+			in1 := NewBufferF32("in1", n)
+			out := NewBufferF32("out", n)
+			for i := 0; i < n; i++ {
+				in0.Set(i, float64(i%13)-6)
+				in1.Set(i, float64(i%17)*0.5-4)
+			}
+			return NewArgs().Bind("in0", in0).Bind("in1", in1).Bind("out", out)
+		}
+		orig, opt := mk(), mk()
+		if err := ExecRange(k, orig, Range1D(n, local), ExecOptions{}); err != nil {
+			t.Fatalf("trial %d original: %v", trial, err)
+		}
+		if err := ExecRange(s, opt, Range1D(n, local), ExecOptions{}); err != nil {
+			t.Fatalf("trial %d simplified: %v", trial, err)
+		}
+		a, b := orig.Buffers["out"], opt.Buffers["out"]
+		for i := 0; i < n; i++ {
+			x, y := a.Get(i), b.Get(i)
+			if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+				t.Fatalf("trial %d: out[%d] %v vs %v\noriginal:\n%s\nsimplified:\n%s",
+					trial, i, x, y, Format(k), Format(s))
+			}
+		}
+	}
+}
+
+// Simplified kernels must profile identically or cheaper.
+func TestSimplifyNeverCostsMore(t *testing.T) {
+	lat := testLat()
+	nd := Range1D(256, 64)
+	k := mustParse(t, `
+	__kernel void poly(__global float *in, __global float *out) {
+		int i = get_global_id(0);
+		float x = in[i];
+		float c = 1.0f + 1.0f;
+		out[i] = (x * 1.0f + 0.0f) * c;
+	}`)
+	p0, err := ProfileKernel(k, NewArgs(), nd, lat, MaxBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ProfileKernel(Simplify(k), NewArgs(), nd, lat, MaxBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Counts.Total() > p0.Counts.Total() {
+		t.Fatalf("simplified op count %v exceeds original %v",
+			p1.Counts.Total(), p0.Counts.Total())
+	}
+	if p1.Counts.Flops() >= p0.Counts.Flops() {
+		t.Fatalf("simplify should remove the identity flops: %v vs %v",
+			p1.Counts.Flops(), p0.Counts.Flops())
+	}
+}

@@ -1,0 +1,599 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse compiles kernel source written in the OpenCL C subset below into IR
+// kernels (one per __kernel function), so programs can be built from source
+// strings exactly as with clCreateProgramWithSource:
+//
+//	__kernel void square(__global float *in, __global float *out) {
+//	    int i = get_global_id(0);
+//	    float x = in[i];
+//	    out[i] = x * x;
+//	}
+//
+// Supported: float/int scalars and __global float*/int* buffers; __local
+// arrays; for loops (induction variable, `<` condition, ++/+= step); if/else;
+// barrier(...); atomic_add(&local[idx], v); the workitem identity functions;
+// the math builtins sqrt/rsqrt/exp/log/sin/cos/fabs/floor/fma/fmin/fmax;
+// (float)/(int) casts; the usual C operator set with precedence, where &&,
+// ||, ! operate on 0/1 comparison results.
+//
+// Not supported (rejected with an error): early return, pointers beyond
+// buffer indexing, while/do loops, vector types, and user-defined functions
+// — the same shape restrictions the structured IR imposes.
+func Parse(src string) ([]*Kernel, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var kernels []*Kernel
+	for !p.at(tokEOF) {
+		k, err := p.kernel()
+		if err != nil {
+			return nil, err
+		}
+		kernels = append(kernels, k)
+	}
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("ir: no __kernel functions in source")
+	}
+	for _, k := range kernels {
+		if err := Validate(k); err != nil {
+			return nil, err
+		}
+	}
+	return kernels, nil
+}
+
+// ParseKernel parses source and returns the kernel with the given name (or
+// the only kernel when name is empty).
+func ParseKernel(src, name string) (*Kernel, error) {
+	ks, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		if len(ks) != 1 {
+			return nil, fmt.Errorf("ir: source has %d kernels; name one", len(ks))
+		}
+		return ks[0], nil
+	}
+	for _, k := range ks {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("ir: no kernel %q in source", name)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+
+	// per-kernel symbol tables
+	bufs    map[string]Type
+	scalars map[string]Type
+	locals  map[string]Type
+	vars    map[string]Type
+}
+
+func (p *parser) cur() token        { return p.toks[p.pos] }
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) atIdent(s string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == s
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("ir: line %d: %s (at %s)", t.line, fmt.Sprintf(format, args...), t)
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errf("expected %q", s)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent(s string) error {
+	if !p.atIdent(s) {
+		return p.errf("expected %q", s)
+	}
+	p.next()
+	return nil
+}
+
+func parseType(s string) (Type, bool) {
+	switch s {
+	case "float":
+		return F32, true
+	case "int", "uint", "size_t":
+		return I32, true
+	}
+	return 0, false
+}
+
+// kernel parses one __kernel function.
+func (p *parser) kernel() (*Kernel, error) {
+	if p.atIdent("__kernel") || p.atIdent("kernel") {
+		p.next()
+	} else {
+		return nil, p.errf("expected __kernel")
+	}
+	if err := p.expectIdent("void"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent) {
+		return nil, p.errf("expected kernel name")
+	}
+	name := p.next().text
+
+	p.bufs = map[string]Type{}
+	p.scalars = map[string]Type{}
+	p.locals = map[string]Type{}
+	p.vars = map[string]Type{}
+
+	k := &Kernel{Name: name, WorkDim: 1}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		param, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		k.Params = append(k.Params, param)
+		if p.atPunct(",") {
+			p.next()
+		}
+	}
+	p.next() // ')'
+
+	body, localDecls, maxDim, err := p.block(k)
+	if err != nil {
+		return nil, err
+	}
+	k.Locals = localDecls
+	k.Body = body
+	if maxDim >= k.WorkDim {
+		k.WorkDim = maxDim + 1
+	}
+	return k, nil
+}
+
+func (p *parser) param() (Param, error) {
+	global := false
+	for p.atIdent("__global") || p.atIdent("global") || p.atIdent("const") ||
+		p.atIdent("__restrict") || p.atIdent("restrict") {
+		if strings.Contains(p.cur().text, "global") {
+			global = true
+		}
+		p.next()
+	}
+	if !p.at(tokIdent) {
+		return Param{}, p.errf("expected parameter type")
+	}
+	ty, ok := parseType(p.next().text)
+	if !ok {
+		return Param{}, p.errf("unsupported parameter type")
+	}
+	if p.atPunct("*") {
+		p.next()
+		global = true
+	}
+	for p.atIdent("restrict") || p.atIdent("__restrict") || p.atIdent("const") {
+		p.next()
+	}
+	if !p.at(tokIdent) {
+		return Param{}, p.errf("expected parameter name")
+	}
+	name := p.next().text
+	if global {
+		p.bufs[name] = ty
+		return Param{Name: name, Kind: BufferParam, Elem: ty}, nil
+	}
+	p.scalars[name] = ty
+	return Param{Name: name, Kind: ScalarParam, Elem: ty}, nil
+}
+
+// block parses `{ stmt* }`, returning statements, any __local declarations
+// found (hoisted to the kernel), and the highest workitem dimension used.
+func (p *parser) block(k *Kernel) ([]Stmt, []LocalArray, int, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, nil, 0, err
+	}
+	var (
+		stmts  []Stmt
+		locals []LocalArray
+		maxDim int
+	)
+	for !p.atPunct("}") {
+		if p.at(tokEOF) {
+			return nil, nil, 0, p.errf("unterminated block")
+		}
+		s, ls, dim, err := p.stmt(k)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		stmts = append(stmts, s...)
+		locals = append(locals, ls...)
+		if dim > maxDim {
+			maxDim = dim
+		}
+	}
+	p.next() // '}'
+	return stmts, locals, maxDim, nil
+}
+
+// stmt parses one statement (possibly expanding to several IR statements).
+func (p *parser) stmt(k *Kernel) ([]Stmt, []LocalArray, int, error) {
+	switch {
+	case p.atPunct("{"):
+		return p.block(k)
+
+	case p.atIdent("__local") || p.atIdent("local"):
+		p.next()
+		if !p.at(tokIdent) {
+			return nil, nil, 0, p.errf("expected __local element type")
+		}
+		ty, ok := parseType(p.next().text)
+		if !ok {
+			return nil, nil, 0, p.errf("unsupported __local type")
+		}
+		if !p.at(tokIdent) {
+			return nil, nil, 0, p.errf("expected __local array name")
+		}
+		name := p.next().text
+		if err := p.expectPunct("["); err != nil {
+			return nil, nil, 0, err
+		}
+		size, dim, err := p.expr()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, nil, 0, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, nil, 0, err
+		}
+		p.locals[name] = ty
+		return nil, []LocalArray{{Name: name, Elem: ty, Size: size}}, dim, nil
+
+	case p.atIdent("barrier"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, nil, 0, err
+		}
+		depth := 1
+		for depth > 0 {
+			if p.at(tokEOF) {
+				return nil, nil, 0, p.errf("unterminated barrier(...)")
+			}
+			if p.atPunct("(") {
+				depth++
+			}
+			if p.atPunct(")") {
+				depth--
+			}
+			p.next()
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, nil, 0, err
+		}
+		return []Stmt{Barrier{}}, nil, 0, nil
+
+	case p.atIdent("atomic_add") || p.atIdent("atom_add"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, nil, 0, err
+		}
+		if err := p.expectPunct("&"); err != nil {
+			return nil, nil, 0, err
+		}
+		if !p.at(tokIdent) {
+			return nil, nil, 0, p.errf("expected local array in atomic_add")
+		}
+		arr := p.next().text
+		if _, ok := p.locals[arr]; !ok {
+			return nil, nil, 0, p.errf("atomic_add target %q is not a __local array", arr)
+		}
+		if err := p.expectPunct("["); err != nil {
+			return nil, nil, 0, err
+		}
+		idx, d1, err := p.expr()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, nil, 0, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, nil, 0, err
+		}
+		val, d2, err := p.expr()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, nil, 0, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, nil, 0, err
+		}
+		return []Stmt{AtomicAdd{Arr: arr, Index: idx, Val: val}}, nil, maxi2(d1, d2), nil
+
+	case p.atIdent("for"):
+		return p.forStmt(k)
+
+	case p.atIdent("if"):
+		return p.ifStmt(k)
+
+	case p.atIdent("return"):
+		return nil, nil, 0, p.errf("early return is not supported; guard the body with if instead")
+
+	case p.atIdent("while") || p.atIdent("do"):
+		return nil, nil, 0, p.errf("unexpected %s: only counted for loops are supported", p.cur().text)
+
+	case p.at(tokIdent):
+		return p.assignOrStore()
+	}
+	return nil, nil, 0, p.errf("unexpected statement")
+}
+
+// assignOrStore handles `type x = e;`, `x = e;`, `x op= e;`, `buf[i] = e;`
+// and `buf[i] op= e;`.
+func (p *parser) assignOrStore() ([]Stmt, []LocalArray, int, error) {
+	var declared Type
+	hasDecl := false
+	if ty, ok := parseType(p.cur().text); ok {
+		// Could be a typed declaration: `float x = ...`.
+		if p.toks[p.pos+1].kind == tokIdent {
+			p.next()
+			declared, hasDecl = ty, true
+		}
+	}
+	if !p.at(tokIdent) {
+		return nil, nil, 0, p.errf("expected identifier")
+	}
+	name := p.next().text
+
+	// Indexed: store to buffer or local array.
+	if p.atPunct("[") {
+		p.next()
+		idx, d1, err := p.expr()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, nil, 0, err
+		}
+		read := func() (Expr, error) { return p.indexed(name, idx) }
+		val, d2, err := p.assignRHS(read)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, nil, 0, err
+		}
+		dim := maxi2(d1, d2)
+		if _, ok := p.bufs[name]; ok {
+			return []Stmt{Store{Buf: name, Index: idx, Val: val}}, nil, dim, nil
+		}
+		if _, ok := p.locals[name]; ok {
+			return []Stmt{LocalStore{Arr: name, Index: idx, Val: val}}, nil, dim, nil
+		}
+		return nil, nil, 0, p.errf("store to unknown array %q", name)
+	}
+
+	// Scalar assignment.
+	read := func() (Expr, error) {
+		ty, ok := p.vars[name]
+		if !ok {
+			return nil, p.errf("compound assignment to undeclared %q", name)
+		}
+		return VarRef{Name: name, Ty: ty}, nil
+	}
+	val, dim, err := p.assignRHS(read)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, nil, 0, err
+	}
+	ty := val.Type()
+	if hasDecl {
+		ty = declared
+	} else if existing, ok := p.vars[name]; ok {
+		ty = existing
+	}
+	val = coerce(val, ty)
+	p.vars[name] = ty
+	return []Stmt{Assign{Dst: name, Val: val}}, nil, dim, nil
+}
+
+// assignRHS parses `= e`, or `op= e` rewritten as current op e. read()
+// supplies the current value for compound forms.
+func (p *parser) assignRHS(read func() (Expr, error)) (Expr, int, error) {
+	t := p.cur()
+	if t.kind != tokPunct {
+		return nil, 0, p.errf("expected assignment")
+	}
+	switch t.text {
+	case "=":
+		p.next()
+		return p.expr()
+	case "+=", "-=", "*=", "/=", "%=", "&=", "|=", "<<=", ">>=":
+		p.next()
+		cur, err := read()
+		if err != nil {
+			return nil, 0, err
+		}
+		rhs, dim, err := p.expr()
+		if err != nil {
+			return nil, 0, err
+		}
+		op := strings.TrimSuffix(t.text, "=")
+		e, err := p.binary(op, cur, rhs)
+		return e, dim, err
+	case "++":
+		p.next()
+		cur, err := read()
+		if err != nil {
+			return nil, 0, err
+		}
+		e, err := p.binary("+", cur, I(1))
+		return e, 0, err
+	}
+	return nil, 0, p.errf("expected assignment operator")
+}
+
+// indexed builds a load of name[idx] from the right symbol table.
+func (p *parser) indexed(name string, idx Expr) (Expr, error) {
+	if ty, ok := p.bufs[name]; ok {
+		return Load{Buf: name, Index: idx, Elem: ty}, nil
+	}
+	if ty, ok := p.locals[name]; ok {
+		return LocalLoad{Arr: name, Index: idx, Elem: ty}, nil
+	}
+	return nil, p.errf("unknown array %q", name)
+}
+
+func (p *parser) forStmt(k *Kernel) ([]Stmt, []LocalArray, int, error) {
+	p.next() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, nil, 0, err
+	}
+	if ty, ok := parseType(p.cur().text); ok && ty == I32 {
+		p.next()
+	}
+	if !p.at(tokIdent) {
+		return nil, nil, 0, p.errf("expected loop variable")
+	}
+	v := p.next().text
+	if err := p.expectPunct("="); err != nil {
+		return nil, nil, 0, err
+	}
+	start, d1, err := p.expr()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, nil, 0, err
+	}
+	if err := p.expectIdent(v); err != nil {
+		return nil, nil, 0, p.errf("loop condition must test the loop variable %q", v)
+	}
+	if err := p.expectPunct("<"); err != nil {
+		return nil, nil, 0, p.errf("loop condition must be %s < bound", v)
+	}
+	end, d2, err := p.expr()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, nil, 0, err
+	}
+	if err := p.expectIdent(v); err != nil {
+		return nil, nil, 0, p.errf("loop update must modify %q", v)
+	}
+	var step Expr
+	switch {
+	case p.atPunct("++"):
+		p.next()
+		step = I(1)
+	case p.atPunct("+="):
+		p.next()
+		var d3 int
+		step, d3, err = p.expr()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if d3 > d2 {
+			d2 = d3
+		}
+	default:
+		return nil, nil, 0, p.errf("loop update must be %s++ or %s += step", v, v)
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, nil, 0, err
+	}
+
+	p.vars[v] = I32
+	body, locals, d4, err := p.block(k)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	dim := maxi2(maxi2(d1, d2), d4)
+	return []Stmt{For{Var: v, Start: start, End: end, Step: step, Body: body}},
+		locals, dim, nil
+}
+
+func (p *parser) ifStmt(k *Kernel) ([]Stmt, []LocalArray, int, error) {
+	p.next() // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, nil, 0, err
+	}
+	cond, d1, err := p.expr()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, nil, 0, err
+	}
+	thenStmts, locals, d2, err := p.block(k)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var elseStmts []Stmt
+	dim := maxi2(d1, d2)
+	if p.atIdent("else") {
+		p.next()
+		if p.atIdent("if") {
+			es, ls, d3, err := p.ifStmt(k)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			elseStmts = es
+			locals = append(locals, ls...)
+			dim = maxi2(dim, d3)
+		} else {
+			es, ls, d3, err := p.block(k)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			elseStmts = es
+			locals = append(locals, ls...)
+			dim = maxi2(dim, d3)
+		}
+	}
+	return []Stmt{If{Cond: cond, Then: thenStmts, Else: elseStmts}}, locals, dim, nil
+}
+
+func maxi2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

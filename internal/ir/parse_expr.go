@@ -1,0 +1,334 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expression parsing by precedence climbing. Every production returns the
+// expression plus the highest workitem dimension referenced (so the kernel's
+// WorkDim can be inferred).
+
+// binLevels lists binary operators from loosest to tightest.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+// expr parses a full expression including the ternary conditional.
+func (p *parser) expr() (Expr, int, error) {
+	cond, d1, err := p.binLevel(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !p.atPunct("?") {
+		return cond, d1, nil
+	}
+	p.next()
+	thenE, d2, err := p.expr()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, 0, err
+	}
+	elseE, d3, err := p.expr()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Unify arm types so Select's type is meaningful.
+	if isF(thenE) || isF(elseE) {
+		thenE, elseE = coerce(thenE, F32), coerce(elseE, F32)
+	}
+	return Select{Cond: cond, Then: thenE, Else: elseE}, maxi2(d1, maxi2(d2, d3)), nil
+}
+
+func (p *parser) binLevel(level int) (Expr, int, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	left, dim, err := p.binLevel(level + 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct || !contains(binLevels[level], t.text) {
+			return left, dim, nil
+		}
+		p.next()
+		right, d2, err := p.binLevel(level + 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		left, err = p.binary(t.text, left, right)
+		if err != nil {
+			return nil, 0, err
+		}
+		dim = maxi2(dim, d2)
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func isF(e Expr) bool { return e.Type() == F32 }
+
+// coerce inserts an explicit conversion when e's type differs from ty.
+func coerce(e Expr, ty Type) Expr {
+	if e.Type() == ty {
+		return e
+	}
+	if ty == F32 {
+		return ToFloat{X: e}
+	}
+	return ToInt{X: e}
+}
+
+// binary builds the typed IR operator for a C operator and operand types.
+func (p *parser) binary(op string, x, y Expr) (Expr, error) {
+	f := isF(x) || isF(y)
+	pick := func(fop, iop BinOp) (Expr, error) {
+		if f {
+			return Bin{Op: fop, X: x, Y: y}, nil
+		}
+		return Bin{Op: iop, X: x, Y: y}, nil
+	}
+	intOnly := func(iop BinOp) (Expr, error) {
+		if f {
+			return nil, p.errf("operator %q needs integer operands", op)
+		}
+		return Bin{Op: iop, X: x, Y: y}, nil
+	}
+	switch op {
+	case "+":
+		return pick(AddF, AddI)
+	case "-":
+		return pick(SubF, SubI)
+	case "*":
+		return pick(MulF, MulI)
+	case "/":
+		return pick(DivF, DivI)
+	case "%":
+		return intOnly(ModI)
+	case "<":
+		return pick(LtF, LtI)
+	case "<=":
+		return pick(LeF, LeI)
+	case ">":
+		return pick(GtF, GtI)
+	case ">=":
+		return pick(GeF, GeI)
+	case "==":
+		return pick(EqF, EqI)
+	case "!=":
+		// NeI compares raw values and is correct for floats too.
+		return Bin{Op: NeI, X: x, Y: y}, nil
+	case "<<":
+		return intOnly(ShlI)
+	case ">>":
+		return intOnly(ShrI)
+	case "&", "&&":
+		return intOnly(AndI)
+	case "|", "||":
+		return intOnly(OrI)
+	}
+	return nil, p.errf("unsupported operator %q", op)
+}
+
+func (p *parser) unary() (Expr, int, error) {
+	switch {
+	case p.atPunct("-"):
+		p.next()
+		x, dim, err := p.unary()
+		if err != nil {
+			return nil, 0, err
+		}
+		if isF(x) {
+			return Sub(F(0), x), dim, nil
+		}
+		return Subi(I(0), x), dim, nil
+	case p.atPunct("+"):
+		p.next()
+		return p.unary()
+	case p.atPunct("!"):
+		p.next()
+		x, dim, err := p.unary()
+		if err != nil {
+			return nil, 0, err
+		}
+		return Bin{Op: EqI, X: x, Y: I(0)}, dim, nil
+	case p.atPunct("("):
+		// Cast or parenthesized expression.
+		if ty, ok := parseType(p.toks[p.pos+1].text); ok &&
+			p.toks[p.pos+1].kind == tokIdent &&
+			p.toks[p.pos+2].kind == tokPunct && p.toks[p.pos+2].text == ")" {
+			p.next()
+			p.next()
+			p.next()
+			x, dim, err := p.unary()
+			if err != nil {
+				return nil, 0, err
+			}
+			return coerce(x, ty), dim, nil
+		}
+		p.next()
+		e, dim, err := p.expr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, 0, err
+		}
+		return e, dim, nil
+	}
+	return p.primary()
+}
+
+// idFuncs maps get_* names to identity functions.
+var idFuncs = map[string]IDFunc{
+	"get_global_id":   GlobalID,
+	"get_local_id":    LocalID,
+	"get_group_id":    GroupID,
+	"get_global_size": GlobalSize,
+	"get_local_size":  LocalSize,
+	"get_num_groups":  NumGroups,
+}
+
+// builtinFuncs maps math function names to builtins.
+var builtinFuncs = map[string]Builtin{
+	"sqrt": Sqrt, "native_sqrt": Sqrt,
+	"rsqrt": Rsqrt, "native_rsqrt": Rsqrt,
+	"exp": Exp, "native_exp": Exp,
+	"log": Log, "native_log": Log,
+	"sin": Sin, "native_sin": Sin,
+	"cos": Cos, "native_cos": Cos,
+	"fabs":  Fabs,
+	"floor": Floor,
+	"fma":   FMA, "mad": FMA,
+}
+
+func (p *parser) primary() (Expr, int, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		text := t.text
+		isFloat := strings.ContainsAny(text, ".eEfF")
+		text = strings.TrimRight(text, "fF")
+		if isFloat {
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("ir: line %d: bad float literal %q", t.line, t.text)
+			}
+			return F(v), 0, nil
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ir: line %d: bad integer literal %q", t.line, t.text)
+		}
+		return I(v), 0, nil
+
+	case tokIdent:
+		name := p.next().text
+
+		// Function call.
+		if p.atPunct("(") {
+			return p.call(name)
+		}
+
+		// Array indexing.
+		if p.atPunct("[") {
+			p.next()
+			idx, dim, err := p.expr()
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, 0, err
+			}
+			e, err := p.indexed(name, idx)
+			if err != nil {
+				return nil, 0, err
+			}
+			return e, dim, nil
+		}
+
+		// Scalar symbol.
+		if ty, ok := p.vars[name]; ok {
+			return VarRef{Name: name, Ty: ty}, 0, nil
+		}
+		if ty, ok := p.scalars[name]; ok {
+			return ParamRef{Name: name, Ty: ty}, 0, nil
+		}
+		return nil, 0, p.errf("unknown identifier %q", name)
+	}
+	return nil, 0, p.errf("expected expression")
+}
+
+func (p *parser) call(name string) (Expr, int, error) {
+	p.next() // '('
+	var (
+		args []Expr
+		dim  int
+	)
+	for !p.atPunct(")") {
+		a, d, err := p.expr()
+		if err != nil {
+			return nil, 0, err
+		}
+		args = append(args, a)
+		dim = maxi2(dim, d)
+		if p.atPunct(",") {
+			p.next()
+		}
+	}
+	p.next() // ')'
+
+	if fn, ok := idFuncs[name]; ok {
+		if len(args) != 1 {
+			return nil, 0, p.errf("%s takes one dimension argument", name)
+		}
+		c, ok := args[0].(ConstInt)
+		if !ok {
+			return nil, 0, p.errf("%s needs a constant dimension", name)
+		}
+		return ID{Fn: fn, Dim: int(c.V)}, int(c.V), nil
+	}
+	if fn, ok := builtinFuncs[name]; ok {
+		if len(args) != fn.NumArgs() {
+			return nil, 0, p.errf("%s takes %d arguments", name, fn.NumArgs())
+		}
+		for i := range args {
+			args[i] = coerce(args[i], F32)
+		}
+		return Call{Fn: fn, Args: args}, dim, nil
+	}
+	switch name {
+	case "min", "fmin":
+		if len(args) != 2 {
+			return nil, 0, p.errf("%s takes two arguments", name)
+		}
+		return Bin{Op: MinF, X: coerce(args[0], F32), Y: coerce(args[1], F32)}, dim, nil
+	case "max", "fmax":
+		if len(args) != 2 {
+			return nil, 0, p.errf("%s takes two arguments", name)
+		}
+		return Bin{Op: MaxF, X: coerce(args[0], F32), Y: coerce(args[1], F32)}, dim, nil
+	}
+	return nil, 0, p.errf("unknown function %q", name)
+}

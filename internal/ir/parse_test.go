@@ -1,0 +1,352 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Kernel {
+	t.Helper()
+	k, err := ParseKernel(src, "")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return k
+}
+
+func TestParseSquare(t *testing.T) {
+	k := mustParse(t, `
+		// the classic first kernel
+		__kernel void square(__global float *in, __global float *out) {
+			int i = get_global_id(0);
+			float x = in[i];
+			out[i] = x * x;
+		}
+	`)
+	if k.Name != "square" || k.WorkDim != 1 || len(k.Params) != 2 {
+		t.Fatalf("kernel header wrong: %+v", k)
+	}
+	const n = 256
+	in := NewBufferF32("in", n)
+	out := NewBufferF32("out", n)
+	for i := 0; i < n; i++ {
+		in.Set(i, float64(i)*0.5)
+	}
+	args := NewArgs().Bind("in", in).Bind("out", out)
+	if err := ExecRange(k, args, Range1D(n, 64), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		x := float32(in.Get(i))
+		if out.Get(i) != float64(x*x) {
+			t.Fatalf("out[%d] = %v", i, out.Get(i))
+		}
+	}
+}
+
+// A parsed kernel must behave identically to its hand-built twin.
+func TestParseDifferentialVsBuilt(t *testing.T) {
+	src := `
+	__kernel void saxpy(float alpha, __global float *x, __global float *y) {
+		int i = get_global_id(0);
+		y[i] = alpha * x[i] + y[i];
+	}`
+	parsed := mustParse(t, src)
+
+	built := &Kernel{
+		Name:    "saxpy",
+		WorkDim: 1,
+		Params:  []Param{Scalar("alpha"), Buf("x"), Buf("y")},
+		Body: []Stmt{
+			Set("i", Gid(0)),
+			StoreF("y", Vi("i"),
+				Add(Mul(P("alpha"), LoadF("x", Vi("i"))), LoadF("y", Vi("i")))),
+		},
+	}
+
+	const n = 512
+	run := func(k *Kernel) []float64 {
+		x := NewBufferF32("x", n)
+		y := NewBufferF32("y", n)
+		for i := 0; i < n; i++ {
+			x.Set(i, float64(i)*0.25)
+			y.Set(i, float64(n-i)*0.5)
+		}
+		args := NewArgs().Bind("x", x).Bind("y", y).SetScalar("alpha", 1.5)
+		if err := ExecRange(k, args, Range1D(n, 64), ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return y.Snapshot()
+	}
+	a, b := run(parsed), run(built)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parsed and built kernels differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	k := mustParse(t, `
+	__kernel void clampsum(__global float *a, __global float *out, int n) {
+		int i = get_global_id(0);
+		float acc = 0.0f;
+		for (int j = 0; j < n; j++) {
+			float v = a[i * n + j];
+			if (v > 0.0f) {
+				acc += v;
+			} else if (v < -1.0f) {
+				acc -= 1.0f;
+			} else {
+				acc += v * 0.5f;
+			}
+		}
+		out[i] = acc;
+	}`)
+	const items, inner = 32, 8
+	a := NewBufferF32("a", items*inner)
+	out := NewBufferF32("out", items)
+	for i := range a.Data {
+		a.Set(i, float64(i%7)-3)
+	}
+	args := NewArgs().Bind("a", a).Bind("out", out).SetScalar("n", inner)
+	if err := ExecRange(k, args, Range1D(items, 8), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < items; i++ {
+		acc := float32(0)
+		for j := 0; j < inner; j++ {
+			v := float32(a.Get(i*inner + j))
+			switch {
+			case v > 0:
+				acc += v
+			case v < -1:
+				acc -= 1
+			default:
+				acc += v * 0.5
+			}
+		}
+		if math.Abs(out.Get(i)-float64(acc)) > 1e-5 {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Get(i), acc)
+		}
+	}
+}
+
+func TestParseLocalAndBarrier(t *testing.T) {
+	k := mustParse(t, `
+	__kernel void reverse(__global float *in, __global float *out) {
+		__local float tile[64];
+		int lid = get_local_id(0);
+		tile[lid] = in[get_global_id(0)];
+		barrier(CLK_LOCAL_MEM_FENCE);
+		out[get_global_id(0)] = tile[get_local_size(0) - 1 - lid];
+	}`)
+	const n, l = 128, 64
+	in := NewBufferF32("in", n)
+	out := NewBufferF32("out", n)
+	for i := 0; i < n; i++ {
+		in.Set(i, float64(i))
+	}
+	args := NewArgs().Bind("in", in).Bind("out", out)
+	if err := ExecRange(k, args, Range1D(n, l), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		group, lid := i/l, i%l
+		if want := float64(group*l + (l - 1 - lid)); out.Get(i) != want {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Get(i), want)
+		}
+	}
+}
+
+func TestParseAtomicHistogram(t *testing.T) {
+	k := mustParse(t, `
+	__kernel void hist(__global int *in, __global int *partial) {
+		__local int bins[16];
+		for (int t = get_local_id(0); t < 16; t += get_local_size(0)) {
+			bins[t] = 0;
+		}
+		barrier(CLK_LOCAL_MEM_FENCE);
+		atomic_add(&bins[in[get_global_id(0)] & 15], 1);
+		barrier(CLK_LOCAL_MEM_FENCE);
+		for (int t = get_local_id(0); t < 16; t += get_local_size(0)) {
+			partial[get_group_id(0) * 16 + t] = bins[t];
+		}
+	}`)
+	const n, l = 256, 64
+	in := NewBufferI32("in", n)
+	partial := NewBufferI32("partial", (n/l)*16)
+	for i := 0; i < n; i++ {
+		in.Set(i, float64(i))
+	}
+	args := NewArgs().Bind("in", in).Bind("partial", partial)
+	if err := ExecRange(k, args, Range1D(n, l), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := 0; i < partial.Len(); i++ {
+		total += partial.Get(i)
+	}
+	if total != n {
+		t.Fatalf("histogram population %v, want %v", total, n)
+	}
+}
+
+func TestParse2DAndBuiltins(t *testing.T) {
+	k := mustParse(t, `
+	__kernel void norm(__global float *out, int w) {
+		int x = get_global_id(0);
+		int y = get_global_id(1);
+		out[y * w + x] = sqrt((float)(x * x + y * y)) + fmin(1.0f, fabs(-2.0f));
+	}`)
+	if k.WorkDim != 2 {
+		t.Fatalf("WorkDim = %d, want 2 (uses get_global_id(1))", k.WorkDim)
+	}
+	const w, h = 16, 8
+	out := NewBufferF32("out", w*h)
+	args := NewArgs().Bind("out", out).SetScalar("w", w)
+	if err := ExecRange(k, args, Range2D(w, h, 4, 4), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			want := math.Sqrt(float64(x*x+y*y)) + 1
+			if math.Abs(out.Get(y*w+x)-want) > 1e-4 {
+				t.Fatalf("out[%d,%d] = %v, want %v", x, y, out.Get(y*w+x), want)
+			}
+		}
+	}
+}
+
+func TestParseOperatorsAndTernary(t *testing.T) {
+	k := mustParse(t, `
+	__kernel void ops(__global int *in, __global float *out) {
+		int i = get_global_id(0);
+		int v = in[i];
+		int sel = (v % 3 == 0) && (v > 2) || (v == 1);
+		int bits = ((v << 2) >> 1) & 12 | 1;
+		out[i] = sel ? (float)(bits) : -1.0f;
+	}`)
+	const n = 32
+	in := NewBufferI32("in", n)
+	out := NewBufferF32("out", n)
+	for i := 0; i < n; i++ {
+		in.Set(i, float64(i))
+	}
+	args := NewArgs().Bind("in", in).Bind("out", out)
+	if err := ExecRange(k, args, Range1D(n, 8), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v := i
+		sel := (v%3 == 0 && v > 2) || v == 1
+		bits := ((v<<2)>>1)&12 | 1
+		want := -1.0
+		if sel {
+			want = float64(bits)
+		}
+		if out.Get(i) != want {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Get(i), want)
+		}
+	}
+}
+
+func TestParseMultipleKernels(t *testing.T) {
+	src := `
+	__kernel void first(__global float *a) { a[get_global_id(0)] = 1.0f; }
+	__kernel void second(__global float *a) { a[get_global_id(0)] = 2.0f; }
+	`
+	ks, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 2 || ks[0].Name != "first" || ks[1].Name != "second" {
+		t.Fatalf("kernels = %v", ks)
+	}
+	if _, err := ParseKernel(src, "second"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseKernel(src, ""); err == nil {
+		t.Fatal("ambiguous ParseKernel must fail")
+	}
+	if _, err := ParseKernel(src, "third"); err == nil {
+		t.Fatal("missing kernel must fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", "  ", "no __kernel"},
+		{"early return", `__kernel void f(__global float *a) {
+			if (get_global_id(0) > 4) { return; }
+			a[get_global_id(0)] = 1.0f; }`, "return"},
+		{"unknown ident", `__kernel void f(__global float *a) { a[0] = b; }`, "unknown identifier"},
+		{"unknown func", `__kernel void f(__global float *a) { a[0] = frob(1.0f); }`, "unknown function"},
+		{"float mod", `__kernel void f(__global float *a) { a[0] = 1.0f % 2.0f; }`, "integer operands"},
+		{"bad loop", `__kernel void f(__global float *a) {
+			for (int i = 0; i > 10; i++) { a[i] = 1.0f; } }`, "loop condition"},
+		{"unterminated", `__kernel void f(__global float *a) { a[0] = 1.0f;`, "unterminated"},
+		{"while", `__kernel void f(__global float *a) { while (1) { } }`, "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseCompoundAssignOnBuffers(t *testing.T) {
+	k := mustParse(t, `
+	__kernel void accumulate(__global float *a, __global float *b) {
+		int i = get_global_id(0);
+		a[i] += b[i];
+		a[i] *= 2.0f;
+	}`)
+	const n = 64
+	a := NewBufferF32("a", n)
+	b := NewBufferF32("b", n)
+	for i := 0; i < n; i++ {
+		a.Set(i, 1)
+		b.Set(i, float64(i))
+	}
+	args := NewArgs().Bind("a", a).Bind("b", b)
+	if err := ExecRange(k, args, Range1D(n, 16), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if want := (1 + float64(i)) * 2; a.Get(i) != want {
+			t.Fatalf("a[%d] = %v, want %v", i, a.Get(i), want)
+		}
+	}
+}
+
+// The parsed figure-11 kernel must get the same vectorization verdicts as
+// the hand-built MBench2.
+func TestParsedKernelAnalyses(t *testing.T) {
+	k := mustParse(t, `
+	__kernel void mb2(__global float *a, __global float *b) {
+		a[get_global_id(0)] = a[get_global_id(0)] * b[get_global_id(0)];
+		a[get_global_id(0)] = a[get_global_id(0)] * b[get_global_id(0)];
+	}`)
+	nd := Range1D(1024, 64)
+	rep, err := VectorizeOpenCL(k, NewArgs(), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Vectorized {
+		t.Fatalf("parsed RMW kernel should vectorize under OpenCL: %s", rep.ScalarReason)
+	}
+	body := SubstGlobalID(k.Body, 0, Vi("i"))
+	loopRep := VectorizeLoop(body, "i", NewStaticEnv(nd, nil), nil)
+	if loopRep.Vectorized {
+		t.Fatal("parsed RMW kernel must fail the loop vectorizer")
+	}
+}

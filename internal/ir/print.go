@@ -1,0 +1,99 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a kernel as pseudo-OpenCL-C for diagnostics and the
+// Figure 11 style dumps produced by cmd/oclbench.
+func Format(k *Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "__kernel void %s(", k.Name)
+	for i, p := range k.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch p.Kind {
+		case BufferParam:
+			fmt.Fprintf(&b, "__global %s *%s", p.Elem, p.Name)
+		case ScalarParam:
+			fmt.Fprintf(&b, "%s %s", p.Elem, p.Name)
+		}
+	}
+	b.WriteString(") {\n")
+	for _, l := range k.Locals {
+		fmt.Fprintf(&b, "  __local %s %s[%s];\n", l.Elem, l.Name, FormatExpr(l.Size))
+	}
+	formatStmts(&b, k.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Assign:
+			fmt.Fprintf(b, "%s%s = %s;\n", ind, s.Dst, FormatExpr(s.Val))
+		case Store:
+			fmt.Fprintf(b, "%s%s[%s] = %s;\n", ind, s.Buf, FormatExpr(s.Index), FormatExpr(s.Val))
+		case LocalStore:
+			fmt.Fprintf(b, "%s%s[%s] = %s;\n", ind, s.Arr, FormatExpr(s.Index), FormatExpr(s.Val))
+		case AtomicAdd:
+			fmt.Fprintf(b, "%satomic_add(&%s[%s], %s);\n", ind, s.Arr, FormatExpr(s.Index), FormatExpr(s.Val))
+		case Barrier:
+			fmt.Fprintf(b, "%sbarrier(CLK_LOCAL_MEM_FENCE);\n", ind)
+		case If:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, FormatExpr(s.Cond))
+			formatStmts(b, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				formatStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case For:
+			fmt.Fprintf(b, "%sfor (int %s = %s; %s < %s; %s += %s) {\n",
+				ind, s.Var, FormatExpr(s.Start), s.Var, FormatExpr(s.End), s.Var, FormatExpr(s.Step))
+			formatStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		}
+	}
+}
+
+// FormatExpr renders an expression as pseudo-C.
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case ConstFloat:
+		return fmt.Sprintf("%gf", e.V)
+	case ConstInt:
+		return fmt.Sprint(e.V)
+	case VarRef:
+		return e.Name
+	case ParamRef:
+		return e.Name
+	case ID:
+		return fmt.Sprintf("%s(%d)", e.Fn, e.Dim)
+	case Bin:
+		op := strings.TrimSuffix(e.Op.String(), ".")
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(e.X), op, FormatExpr(e.Y))
+	case Call:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Fn, strings.Join(args, ", "))
+	case Load:
+		return fmt.Sprintf("%s[%s]", e.Buf, FormatExpr(e.Index))
+	case LocalLoad:
+		return fmt.Sprintf("%s[%s]", e.Arr, FormatExpr(e.Index))
+	case Select:
+		return fmt.Sprintf("(%s ? %s : %s)", FormatExpr(e.Cond), FormatExpr(e.Then), FormatExpr(e.Else))
+	case ToFloat:
+		return fmt.Sprintf("(float)(%s)", FormatExpr(e.X))
+	case ToInt:
+		return fmt.Sprintf("(int)(%s)", FormatExpr(e.X))
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

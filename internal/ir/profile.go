@@ -1,0 +1,569 @@
+package ir
+
+import "math"
+
+// OpClass classifies dynamic operations for counting and pricing.
+type OpClass int
+
+// Operation classes.
+const (
+	OpFAdd       OpClass = iota // float add/sub/min/max
+	OpFMul                      // float multiply
+	OpFDiv                      // float divide
+	OpFMA                       // fused multiply-add (2 flops)
+	OpSpecial                   // sqrt/exp/log/sin/cos and friends
+	OpInt                       // integer ALU op
+	OpCmp                       // comparison
+	OpSelect                    // branchless select
+	OpLoad                      // global memory load
+	OpStore                     // global memory store
+	OpLocalLoad                 // local (scratchpad/cache-resident) load
+	OpLocalStore                // local store
+	OpAtomic                    // local atomic read-modify-write
+	OpBarrier                   // workgroup barrier
+	OpLibm                      // scalar math-library call (exp/log/sin/cos)
+	NumOpClasses                // sentinel
+)
+
+var opClassNames = [NumOpClasses]string{
+	"fadd", "fmul", "fdiv", "fma", "special", "int", "cmp", "select",
+	"load", "store", "local-load", "local-store", "atomic", "barrier", "libm",
+}
+
+// String returns the class name.
+func (c OpClass) String() string {
+	if c >= 0 && c < NumOpClasses {
+		return opClassNames[c]
+	}
+	return "op?"
+}
+
+// OpCounts holds dynamic operation counts per workitem, by class.
+type OpCounts [NumOpClasses]float64
+
+// Add accumulates o into c.
+func (c *OpCounts) Add(o OpCounts) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// AddScaled accumulates s*o into c.
+func (c *OpCounts) AddScaled(o OpCounts, s float64) {
+	for i := range c {
+		c[i] += o[i] * s
+	}
+}
+
+// MaxWith sets c to the elementwise maximum of c and o.
+func (c *OpCounts) MaxWith(o OpCounts) {
+	for i := range c {
+		c[i] = math.Max(c[i], o[i])
+	}
+}
+
+// Flops returns the floating-point operation count (FMA counts as two).
+func (c OpCounts) Flops() float64 {
+	return c[OpFAdd] + c[OpFMul] + c[OpFDiv] + 2*c[OpFMA] + c[OpSpecial] + c[OpLibm]
+}
+
+// GlobalMemOps returns the number of global loads plus stores.
+func (c OpCounts) GlobalMemOps() float64 { return c[OpLoad] + c[OpStore] }
+
+// Total returns the total dynamic operation count across all classes.
+func (c OpCounts) Total() float64 {
+	t := 0.0
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// LatencyTable gives the result latency in cycles for each op class.
+// Devices supply their own tables (internal/arch presets).
+type LatencyTable [NumOpClasses]float64
+
+// BranchMode selects how diverging branches are costed.
+type BranchMode int
+
+// Branch costing modes.
+const (
+	// MaxBranch prices an if as the more expensive arm: a CPU workitem
+	// executes one arm only.
+	MaxBranch BranchMode = iota
+	// SumBranch prices an if as both arms: a diverged GPU warp serializes
+	// through both.
+	SumBranch
+)
+
+// Stride describes the per-+1-workitem (or per-iteration) movement of a
+// memory access index, in elements.
+type Stride struct {
+	Known bool
+	Elems int64 // meaningful when Known; 0 means the access is uniform
+}
+
+// Unit reports a contiguous unit-stride access.
+func (s Stride) Unit() bool { return s.Known && (s.Elems == 1 || s.Elems == -1) }
+
+// Uniform reports an access whose address does not depend on the probe
+// variable at all.
+func (s Stride) Uniform() bool { return s.Known && s.Elems == 0 }
+
+// AccessSite summarizes one static global-memory access site at a given
+// launch configuration.
+type AccessSite struct {
+	Buf     string
+	Write   bool
+	PerItem float64 // dynamic executions per workitem
+	Stride  Stride  // w.r.t. get_global_id(0)
+	// LoopVariant reports that the address moves across the enclosing
+	// loop's iterations; invariant sites touch one location per workitem
+	// however often they execute.
+	LoopVariant bool
+}
+
+// Profile is the static per-workitem cost summary of a kernel at a launch
+// configuration: the input to every device timing model.
+type Profile struct {
+	// Counts are dynamic operation counts for one workitem.
+	Counts OpCounts
+	// SerialCycles is the latency-weighted dependence critical path for one
+	// workitem: the minimum time the workitem needs regardless of issue
+	// width. The ratio Counts vs SerialCycles is exactly the kernel's ILP.
+	SerialCycles float64
+	// Accesses lists the kernel's global memory access sites.
+	Accesses []AccessSite
+	// TripApprox reports that some loop trip count was not statically
+	// resolvable and a default estimate was used.
+	TripApprox bool
+	// LoopTrips is the total number of loop iterations one workitem
+	// executes (each contributes one induction update and one compare to
+	// Counts). Devices whose compilers unroll counted loops (GPUs) subtract
+	// this bookkeeping.
+	LoopTrips float64
+}
+
+// ILP returns the instruction-level parallelism of the workitem under the
+// latency table used to build the profile: latency-weighted work divided by
+// the critical path. By construction it is at least 1 for non-empty kernels.
+func (p *Profile) ILP(lat LatencyTable) float64 {
+	if p.SerialCycles <= 0 {
+		return 1
+	}
+	work := 0.0
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		work += p.Counts[c] * lat[c]
+	}
+	ilp := work / p.SerialCycles
+	if ilp < 1 {
+		return 1
+	}
+	return ilp
+}
+
+// defaultTrip is used when a loop bound cannot be resolved statically.
+const defaultTrip = 8
+
+// ProfileKernel statically profiles one representative workitem of k
+// launched over nd with args. The local size must be resolved.
+func ProfileKernel(k *Kernel, args *Args, nd NDRange, lat LatencyTable, mode BranchMode) (*Profile, error) {
+	if err := Validate(k); err != nil {
+		return nil, err
+	}
+	env := NewStaticEnv(nd, args)
+	pr := &profiler{
+		lat:  lat,
+		mode: mode,
+		se:   &staticEval{env: env, varVal: map[string]float64{}},
+		defs: newDefTracker(),
+	}
+	res := pr.block(k.Body, newDepths())
+	prof := &Profile{
+		Counts:       res.counts,
+		SerialCycles: res.maxDepth,
+		Accesses:     res.accesses,
+		TripApprox:   pr.tripApprox,
+		LoopTrips:    res.loopTrips,
+	}
+	return prof, nil
+}
+
+// depths tracks per-variable readiness times within a region.
+type depths struct {
+	vars map[string]float64
+	// readBeforeWrite marks variables whose first touch in the region was a
+	// read: candidates for loop-carried recurrences.
+	readBeforeWrite map[string]bool
+	assigned        map[string]bool
+}
+
+func newDepths() *depths {
+	return &depths{
+		vars:            map[string]float64{},
+		readBeforeWrite: map[string]bool{},
+		assigned:        map[string]bool{},
+	}
+}
+
+func (d *depths) clone() *depths {
+	c := newDepths()
+	for k, v := range d.vars {
+		c.vars[k] = v
+	}
+	for k, v := range d.assigned {
+		c.assigned[k] = v
+	}
+	return c
+}
+
+// blockResult is the cost of executing a statement list once.
+type blockResult struct {
+	counts    OpCounts
+	maxDepth  float64
+	accesses  []AccessSite
+	loopTrips float64
+}
+
+type profiler struct {
+	lat        LatencyTable
+	mode       BranchMode
+	se         *staticEval
+	defs       *defTracker
+	tripApprox bool
+	loopVars   []string
+}
+
+func (pr *profiler) block(stmts []Stmt, d *depths) blockResult {
+	var res blockResult
+	for _, s := range stmts {
+		pr.stmt(s, d, &res)
+	}
+	return res
+}
+
+func (pr *profiler) stmt(s Stmt, d *depths, res *blockResult) {
+	switch s := s.(type) {
+	case Assign:
+		dep := pr.expr(s.Val, d, res)
+		d.vars[s.Dst] = dep
+		d.assigned[s.Dst] = true
+		pr.defs.assign(s.Dst, s.Val)
+		bump(res, dep)
+
+	case Store:
+		di := pr.expr(s.Index, d, res)
+		dv := pr.expr(s.Val, d, res)
+		res.counts[OpStore]++
+		site := AccessSite{Buf: s.Buf, Write: true, PerItem: 1,
+			Stride: pr.stride(s.Index), LoopVariant: pr.loopVariant(s.Index)}
+		res.accesses = append(res.accesses, site)
+		bump(res, math.Max(di, dv))
+
+	case LocalStore:
+		di := pr.expr(s.Index, d, res)
+		dv := pr.expr(s.Val, d, res)
+		res.counts[OpLocalStore]++
+		bump(res, math.Max(di, dv))
+
+	case AtomicAdd:
+		di := pr.expr(s.Index, d, res)
+		dv := pr.expr(s.Val, d, res)
+		res.counts[OpAtomic]++
+		bump(res, math.Max(di, dv)+pr.lat[OpAtomic])
+
+	case Barrier:
+		res.counts[OpBarrier]++
+
+	case If:
+		dc := pr.expr(s.Cond, d, res)
+		dThen := d.clone()
+		dElse := d.clone()
+		thenRes := pr.block(s.Then, dThen)
+		elseRes := pr.block(s.Else, dElse)
+		switch pr.mode {
+		case MaxBranch:
+			var m OpCounts
+			m = thenRes.counts
+			m.MaxWith(elseRes.counts)
+			res.counts.Add(m)
+			res.loopTrips += math.Max(thenRes.loopTrips, elseRes.loopTrips)
+		case SumBranch:
+			res.counts.Add(thenRes.counts)
+			res.counts.Add(elseRes.counts)
+			res.loopTrips += thenRes.loopTrips + elseRes.loopTrips
+		}
+		// Access sites from both arms are kept (conservative for footprint).
+		res.accesses = append(res.accesses, thenRes.accesses...)
+		res.accesses = append(res.accesses, elseRes.accesses...)
+		// Merge variable depths: a consumer must wait for whichever arm
+		// defined the value, plus the condition.
+		for _, db := range []*depths{dThen, dElse} {
+			for name, v := range db.vars {
+				if v+dc > d.vars[name] {
+					d.vars[name] = v + dc
+				}
+				if db.assigned[name] {
+					d.assigned[name] = true
+				}
+			}
+		}
+		// Conditionally-assigned variables no longer have a single static
+		// definition.
+		walkStmts(s.Then, func(st Stmt) {
+			if a, ok := st.(Assign); ok {
+				pr.defs.invalidate(a.Dst)
+			}
+		})
+		walkStmts(s.Else, func(st Stmt) {
+			if a, ok := st.(Assign); ok {
+				pr.defs.invalidate(a.Dst)
+			}
+		})
+		bump(res, dc+math.Max(thenRes.maxDepth, elseRes.maxDepth))
+
+	case For:
+		pr.forStmt(s, d, res)
+	}
+}
+
+func (pr *profiler) forStmt(s For, d *depths, res *blockResult) {
+	dStart := pr.expr(s.Start, d, res)
+	dEnd := pr.expr(s.End, d, res)
+	dStep := pr.expr(s.Step, d, res)
+	entry := math.Max(dStart, math.Max(dEnd, dStep))
+
+	trips := pr.tripCount(s)
+	if trips <= 0 {
+		return
+	}
+
+	// Estimate the loop variable at its midpoint for nested analyses.
+	start, okS := pr.se.eval(s.Start)
+	step, okP := pr.se.eval(s.Step)
+	if !okS {
+		start = 0
+	}
+	if !okP || step == 0 {
+		step = 1
+	}
+	prevVal, hadVal := pr.se.varVal[s.Var]
+	pr.se.varVal[s.Var] = math.Trunc(start + step*math.Floor(trips/2))
+	pr.defs.invalidate(s.Var)
+	pr.loopVars = append(pr.loopVars, s.Var)
+
+	// Analyze one iteration with fresh depth zero so carried-recurrence
+	// lengths are measured relative to the iteration start.
+	body := newDepths()
+	body.vars[s.Var] = 0
+	body.assigned[s.Var] = true
+	iter := pr.block(s.Body, body)
+
+	pr.loopVars = pr.loopVars[:len(pr.loopVars)-1]
+	if hadVal {
+		pr.se.varVal[s.Var] = prevVal
+	} else {
+		delete(pr.se.varVal, s.Var)
+	}
+
+	// Loop-carried recurrence: a variable read before it is written in the
+	// body advances by its per-iteration depth every trip.
+	carried := 0.0
+	for name := range body.readBeforeWrite {
+		if body.assigned[name] && body.vars[name] > carried {
+			carried = body.vars[name]
+		}
+	}
+
+	// Counts: body per iteration × trips, plus the induction update and
+	// compare each trip.
+	res.counts.AddScaled(iter.counts, trips)
+	res.counts[OpInt] += trips
+	res.counts[OpCmp] += trips
+	res.loopTrips += trips * (1 + iter.loopTrips)
+	for _, a := range iter.accesses {
+		a.PerItem *= trips
+		res.accesses = append(res.accesses, a)
+	}
+
+	// Variables assigned inside the loop have iteration-dependent values.
+	walkStmts(s.Body, func(st Stmt) {
+		if a, ok := st.(Assign); ok {
+			pr.defs.invalidate(a.Dst)
+		}
+	})
+
+	// Serial time: pipeline fill (one iteration's depth) plus the carried
+	// chain advanced once per remaining trip. Fully independent iterations
+	// (carried == 0) overlap completely.
+	loopSerial := iter.maxDepth + (trips-1)*carried
+	exit := entry + loopSerial
+	for name := range body.assigned {
+		if name == s.Var {
+			continue
+		}
+		if exit > d.vars[name] {
+			d.vars[name] = exit
+		}
+		d.assigned[name] = true
+	}
+	d.vars[s.Var] = entry
+	d.assigned[s.Var] = true
+	bump(res, exit)
+}
+
+// tripCount statically estimates a loop's trip count.
+func (pr *profiler) tripCount(s For) float64 {
+	start, okS := pr.se.eval(s.Start)
+	end, okE := pr.se.eval(s.End)
+	step, okP := pr.se.eval(s.Step)
+	if !okS || !okE || !okP || step <= 0 {
+		pr.tripApprox = true
+		return defaultTrip
+	}
+	if end <= start {
+		return 0
+	}
+	return math.Ceil((end - start) / step)
+}
+
+// expr accumulates counts for e and returns its readiness depth.
+func (pr *profiler) expr(e Expr, d *depths, res *blockResult) float64 {
+	switch e := e.(type) {
+	case ConstFloat, ConstInt, ParamRef, ID:
+		return 0
+	case VarRef:
+		if !d.assigned[e.Name] {
+			d.readBeforeWrite[e.Name] = true
+		}
+		return d.vars[e.Name]
+	case Bin:
+		dx := pr.expr(e.X, d, res)
+		dy := pr.expr(e.Y, d, res)
+		cls := classifyBin(e.Op)
+		res.counts[cls]++
+		return math.Max(dx, dy) + pr.lat[cls]
+	case Call:
+		dep := 0.0
+		for _, a := range e.Args {
+			dep = math.Max(dep, pr.expr(a, d, res))
+		}
+		cls := builtinClass(e.Fn)
+		res.counts[cls]++
+		return dep + pr.lat[cls]
+	case Load:
+		di := pr.expr(e.Index, d, res)
+		res.counts[OpLoad]++
+		res.accesses = append(res.accesses, AccessSite{Buf: e.Buf, PerItem: 1,
+			Stride: pr.stride(e.Index), LoopVariant: pr.loopVariant(e.Index)})
+		return di + pr.lat[OpLoad]
+	case LocalLoad:
+		di := pr.expr(e.Index, d, res)
+		res.counts[OpLocalLoad]++
+		return di + pr.lat[OpLocalLoad]
+	case Select:
+		dc := pr.expr(e.Cond, d, res)
+		dt := pr.expr(e.Then, d, res)
+		df := pr.expr(e.Else, d, res)
+		res.counts[OpSelect]++
+		return math.Max(dc, math.Max(dt, df)) + pr.lat[OpSelect]
+	case ToFloat:
+		return pr.expr(e.X, d, res) + pr.lat[OpInt]
+	case ToInt:
+		return pr.expr(e.X, d, res) + pr.lat[OpInt]
+	}
+	return 0
+}
+
+// builtinClass maps a builtin to its op class: hardware-pipelined square
+// roots stay OpSpecial, transcendental functions lower to math-library
+// calls (OpLibm), sign/round tweaks are cheap adder-pipe ops.
+func builtinClass(b Builtin) OpClass {
+	switch b {
+	case FMA:
+		return OpFMA
+	case Fabs, Floor:
+		return OpFAdd
+	case Exp, Log, Sin, Cos:
+		return OpLibm
+	default: // Sqrt, Rsqrt
+		return OpSpecial
+	}
+}
+
+func classifyBin(op BinOp) OpClass {
+	switch op {
+	case AddF, SubF, MinF, MaxF:
+		return OpFAdd
+	case MulF:
+		return OpFMul
+	case DivF:
+		return OpFDiv
+	default:
+		if op.IsCompare() {
+			return OpCmp
+		}
+		return OpInt
+	}
+}
+
+// stride measures the movement of an index expression per +1 of
+// get_global_id(0) by finite differencing at two probe points; inconsistent
+// deltas or data-dependent indices yield Stride{Known: false}. Scalar
+// temporaries are forward-substituted first so "i = gid; a[i]" probes
+// correctly.
+func (pr *profiler) stride(index Expr) Stride {
+	index = pr.defs.resolve(index)
+	return probeStride(index, pr.se, func(se *staticEval, delta float64) {
+		se.probeDim = 0
+		se.gidDelta = delta
+	})
+}
+
+// probeStride evaluates index at perturbations 0, +1 and +7 of the probe
+// variable and checks affinity.
+func probeStride(index Expr, se *staticEval, set func(*staticEval, float64)) Stride {
+	defer set(se, 0)
+	set(se, 0)
+	v0, ok0 := se.eval(index)
+	set(se, 1)
+	v1, ok1 := se.eval(index)
+	set(se, 7)
+	v7, ok7 := se.eval(index)
+	if !ok0 || !ok1 || !ok7 {
+		return Stride{}
+	}
+	d1 := v1 - v0
+	d7 := v7 - v0
+	if d1*7 != d7 || d1 != math.Trunc(d1) {
+		return Stride{}
+	}
+	return Stride{Known: true, Elems: int64(d1)}
+}
+
+func bump(res *blockResult, depth float64) {
+	if depth > res.maxDepth {
+		res.maxDepth = depth
+	}
+}
+
+// loopVariant reports whether the (forward-substituted) index expression
+// reads any enclosing loop variable, i.e. whether the access address moves
+// across iterations.
+func (pr *profiler) loopVariant(index Expr) bool {
+	if len(pr.loopVars) == 0 {
+		return false
+	}
+	resolved := pr.defs.resolve(index)
+	variant := false
+	walkExpr(resolved, func(e Expr) {
+		if v, ok := e.(VarRef); ok {
+			for _, lv := range pr.loopVars {
+				if v.Name == lv {
+					variant = true
+				}
+			}
+		}
+	})
+	return variant
+}

@@ -1,0 +1,343 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+// testLat is a simple latency table for analysis tests.
+func testLat() LatencyTable {
+	var lat LatencyTable
+	lat[OpFAdd] = 3
+	lat[OpFMul] = 5
+	lat[OpFDiv] = 20
+	lat[OpFMA] = 5
+	lat[OpSpecial] = 20
+	lat[OpInt] = 1
+	lat[OpCmp] = 1
+	lat[OpSelect] = 2
+	lat[OpLoad] = 4
+	lat[OpLocalLoad] = 4
+	lat[OpLocalStore] = 1
+	lat[OpAtomic] = 20
+	return lat
+}
+
+// ilpKernel builds a loop of trips iterations with `chains` independent
+// multiply recurrences — the paper's Figure 6 microbenchmark.
+func ilpKernel(chains, trips int) *Kernel {
+	body := []Stmt{}
+	for c := 0; c < chains; c++ {
+		name := "acc" + string(rune('a'+c))
+		body = append(body, Set(name, Mul(V(name), V("b"))))
+	}
+	stmts := []Stmt{Set("b", LoadF("in", Gid(0)))}
+	for c := 0; c < chains; c++ {
+		name := "acc" + string(rune('a'+c))
+		stmts = append(stmts, Set(name, F(1)))
+	}
+	stmts = append(stmts, For{Var: "j", Start: I(0), End: I(int64(trips)), Step: I(1), Body: body})
+	sum := Expr(V("acca"))
+	for c := 1; c < chains; c++ {
+		sum = Add(sum, V("acc"+string(rune('a'+c))))
+	}
+	stmts = append(stmts, StoreF("out", Gid(0), sum))
+	return &Kernel{
+		Name:    "ilp",
+		WorkDim: 1,
+		Params:  []Param{Buf("in"), Buf("out")},
+		Body:    stmts,
+	}
+}
+
+func TestProfileILPChains(t *testing.T) {
+	lat := testLat()
+	nd := Range1D(1024, 64)
+	args := NewArgs()
+
+	const trips = 100
+	var prev float64
+	for chains := 1; chains <= 4; chains++ {
+		p, err := ProfileKernel(ilpKernel(chains, trips), args, nd, lat, MaxBranch)
+		if err != nil {
+			t.Fatalf("ProfileKernel(chains=%d): %v", chains, err)
+		}
+		// The carried chain is one FMUL (5 cycles) regardless of the number
+		// of parallel chains, so SerialCycles stays ~constant...
+		if chains == 1 {
+			prev = p.SerialCycles
+		} else if math.Abs(p.SerialCycles-prev) > 0.15*prev {
+			t.Fatalf("chains=%d: SerialCycles %v deviates from %v", chains, p.SerialCycles, prev)
+		}
+		// ...while the FMUL count grows linearly, so ILP grows linearly.
+		wantMuls := float64(chains * trips)
+		if p.Counts[OpFMul] != wantMuls {
+			t.Fatalf("chains=%d: fmul count %v, want %v", chains, p.Counts[OpFMul], wantMuls)
+		}
+		minSerial := float64(trips) * lat[OpFMul]
+		if p.SerialCycles < minSerial {
+			t.Fatalf("chains=%d: SerialCycles %v < carried chain %v", chains, p.SerialCycles, minSerial)
+		}
+	}
+
+	p1, _ := ProfileKernel(ilpKernel(1, trips), args, nd, lat, MaxBranch)
+	p4, _ := ProfileKernel(ilpKernel(4, trips), args, nd, lat, MaxBranch)
+	if r := p4.ILP(lat) / p1.ILP(lat); r < 2.5 {
+		t.Fatalf("ILP(4 chains)/ILP(1 chain) = %v, want >= 2.5", r)
+	}
+}
+
+func TestProfileCountsSquare(t *testing.T) {
+	p, err := ProfileKernel(squareKernel(), NewArgs(), Range1D(1024, 64), testLat(), MaxBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Counts[OpFMul] != 1 || p.Counts[OpLoad] != 1 || p.Counts[OpStore] != 1 {
+		t.Fatalf("unexpected counts: %+v", p.Counts)
+	}
+	if p.Counts.Flops() != 1 {
+		t.Fatalf("Flops = %v, want 1", p.Counts.Flops())
+	}
+	// load(4) + fmul(5)
+	if p.SerialCycles != 9 {
+		t.Fatalf("SerialCycles = %v, want 9", p.SerialCycles)
+	}
+}
+
+func TestProfileLoopTripCounts(t *testing.T) {
+	k := &Kernel{
+		Name:    "trip",
+		WorkDim: 1,
+		Params:  []Param{Buf("out"), ScalarI("n")},
+		Body: []Stmt{
+			Set("acc", F(0)),
+			Loop("j", I(0), Pi("n"),
+				Set("acc", Add(V("acc"), F(1))),
+			),
+			StoreF("out", Gid(0), V("acc")),
+		},
+	}
+	args := NewArgs().SetScalar("n", 37)
+	p, err := ProfileKernel(k, args, Range1D(64, 8), testLat(), MaxBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Counts[OpFAdd] != 37 {
+		t.Fatalf("fadd count %v, want 37", p.Counts[OpFAdd])
+	}
+	if p.TripApprox {
+		t.Fatal("trip count should be exact with the scalar bound")
+	}
+	// Loop-carried accumulator: serial grows with trips.
+	if p.SerialCycles < 37*3 {
+		t.Fatalf("SerialCycles = %v, want >= %v", p.SerialCycles, 37*3)
+	}
+}
+
+func TestProfileBranchModes(t *testing.T) {
+	k := &Kernel{
+		Name:    "branchy",
+		WorkDim: 1,
+		Params:  []Param{Buf("out")},
+		Body: []Stmt{
+			If{
+				Cond: Bin{Op: LtI, X: Modi(Gid(0), I(2)), Y: I(1)},
+				Then: []Stmt{Set("v", Mul(Mul(F(2), F(3)), F(4)))},
+				Else: []Stmt{Set("v", Mul(F(2), F(3)))},
+			},
+			StoreF("out", Gid(0), V("v")),
+		},
+	}
+	pm, err := ProfileKernel(k, NewArgs(), Range1D(64, 8), testLat(), MaxBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := ProfileKernel(k, NewArgs(), Range1D(64, 8), testLat(), SumBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxBranch: one arm (elementwise max -> 1 fmul + 1 fadd here since the
+	// arms use different classes). SumBranch: both arms.
+	if got := pm.Counts[OpFMul] + pm.Counts[OpFAdd]; got != 2 {
+		t.Fatalf("MaxBranch arm count %v, want 2", got)
+	}
+	if ps.Counts.Total() <= pm.Counts.Total() {
+		t.Fatalf("SumBranch total %v should exceed MaxBranch total %v",
+			ps.Counts.Total(), pm.Counts.Total())
+	}
+}
+
+func TestAccessStrides(t *testing.T) {
+	k := &Kernel{
+		Name:    "strides",
+		WorkDim: 1,
+		Params:  []Param{Buf("a"), Buf("b"), Buf("c"), Buf("idx"), Buf("out")},
+		Body: []Stmt{
+			Set("x", LoadF("a", Gid(0))),                           // unit
+			Set("y", LoadF("b", Muli(Gid(0), I(4)))),               // stride 4
+			Set("z", LoadF("c", I(7))),                             // uniform
+			Set("w", LoadF("out", ToInt{X: LoadF("idx", Gid(0))})), // gather
+			StoreF("out", Gid(0), Add(Add(V("x"), V("y")), Add(V("z"), V("w")))),
+		},
+	}
+	p, err := ProfileKernel(k, NewArgs(), Range1D(1024, 64), testLat(), MaxBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBuf := map[string]Stride{}
+	for _, a := range p.Accesses {
+		if !a.Write {
+			byBuf[a.Buf] = a.Stride
+		}
+	}
+	if !byBuf["a"].Unit() {
+		t.Fatalf("a: want unit stride, got %+v", byBuf["a"])
+	}
+	if s := byBuf["b"]; !s.Known || s.Elems != 4 {
+		t.Fatalf("b: want stride 4, got %+v", s)
+	}
+	if !byBuf["c"].Uniform() {
+		t.Fatalf("c: want uniform, got %+v", byBuf["c"])
+	}
+	if byBuf["out"].Known {
+		t.Fatalf("out (gathered): want unknown stride, got %+v", byBuf["out"])
+	}
+}
+
+func TestVectorizeOpenCLModel(t *testing.T) {
+	rep, err := VectorizeOpenCL(squareKernel(), NewArgs(), Range1D(1024, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Vectorized {
+		t.Fatalf("square should vectorize: %s", rep.ScalarReason)
+	}
+	if rep.PackedFrac != 1 {
+		t.Fatalf("PackedFrac = %v, want 1", rep.PackedFrac)
+	}
+
+	// A kernel with an intra-workitem dependent chain still vectorizes in
+	// the OpenCL model (the Figure 11 point).
+	rep2, err := VectorizeOpenCL(ilpKernel(1, 6), NewArgs(), Range1D(1024, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Vectorized {
+		t.Fatalf("dependent-chain kernel should still vectorize across workitems: %s", rep2.ScalarReason)
+	}
+
+	// Atomics force scalar execution.
+	hist := &Kernel{
+		Name:    "h",
+		WorkDim: 1,
+		Params:  []Param{BufI("in")},
+		Locals:  []LocalArray{{Name: "bins", Elem: I32, Size: I(4)}},
+		Body: []Stmt{
+			AtomicAdd{Arr: "bins", Index: Modi(LoadI("in", Gid(0)), I(4)), Val: I(1)},
+		},
+	}
+	rep3, err := VectorizeOpenCL(hist, NewArgs(), Range1D(1024, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Vectorized {
+		t.Fatal("atomic kernel must not vectorize")
+	}
+}
+
+func TestVectorizeLoopModel(t *testing.T) {
+	env := NewStaticEnv(Range1D(1024, 64), nil)
+
+	// Simple elementwise loop: vectorizable.
+	simple := []Stmt{
+		Set("x", LoadF("a", Vi("i"))),
+		StoreF("b", Vi("i"), Mul(V("x"), V("x"))),
+	}
+	if rep := VectorizeLoop(simple, "i", env, nil); !rep.Vectorized {
+		t.Fatalf("simple loop should vectorize, got: %s", rep.Reason)
+	}
+
+	// Figure 11: read-modify-write chain through memory within an iteration
+	// defeats the loop vectorizer.
+	fig11 := []Stmt{
+		StoreF("a", Vi("i"), Mul(LoadF("a", Vi("i")), LoadF("b", Vi("i")))),
+		StoreF("a", Vi("i"), Mul(LoadF("a", Vi("i")), LoadF("b", Vi("i")))),
+	}
+	rep := VectorizeLoop(fig11, "i", env, nil)
+	if rep.Vectorized {
+		t.Fatal("figure-11 loop must not vectorize in the OpenMP model")
+	}
+
+	// Non-unit stride defeats it too.
+	strided := []Stmt{
+		StoreF("b", Vi("i"), LoadF("a", Muli(Vi("i"), I(2)))),
+	}
+	if rep := VectorizeLoop(strided, "i", env, nil); rep.Vectorized {
+		t.Fatal("strided loop must not vectorize")
+	}
+
+	// Control flow defeats it.
+	branchy := []Stmt{
+		When(Bin{Op: LtI, X: Vi("i"), Y: I(10)},
+			StoreF("b", Vi("i"), F(1))),
+	}
+	if rep := VectorizeLoop(branchy, "i", env, nil); rep.Vectorized {
+		t.Fatal("loop with control flow must not vectorize")
+	}
+
+	// Scalar recurrence defeats it.
+	recur := []Stmt{
+		Set("acc", Add(V("acc"), LoadF("a", Vi("i")))),
+		StoreF("b", Vi("i"), V("acc")),
+	}
+	if rep := VectorizeLoop(recur, "i", env, nil); rep.Vectorized {
+		t.Fatal("loop with scalar recurrence must not vectorize")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		k    *Kernel
+	}{
+		{"undefined var", &Kernel{Name: "t", WorkDim: 1, Params: []Param{Buf("o")},
+			Body: []Stmt{StoreF("o", Gid(0), V("nope"))}}},
+		{"unknown buffer", &Kernel{Name: "t", WorkDim: 1, Params: []Param{Buf("o")},
+			Body: []Stmt{StoreF("bad", Gid(0), F(1))}}},
+		{"divergent barrier", &Kernel{Name: "t", WorkDim: 1, Params: []Param{Buf("o")},
+			Body: []Stmt{When(Bin{Op: LtI, X: Gid(0), Y: I(4)}, Barrier{})}}},
+		{"dup param", &Kernel{Name: "t", WorkDim: 1, Params: []Param{Buf("o"), Buf("o")},
+			Body: []Stmt{}}},
+		{"bad workdim", &Kernel{Name: "t", WorkDim: 0, Params: []Param{Buf("o")},
+			Body: []Stmt{}}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.k); err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+		}
+	}
+	if err := Validate(squareKernel()); err != nil {
+		t.Errorf("square should validate: %v", err)
+	}
+}
+
+func TestFormatKernel(t *testing.T) {
+	s := Format(squareKernel())
+	for _, want := range []string{"__kernel void square", "get_global_id(0)", "out[", "__global float *in"} {
+		if !hasSub(s, want) {
+			t.Errorf("Format output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func hasSub(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		(func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		})())
+}

@@ -1,0 +1,188 @@
+package ir
+
+import "math"
+
+// StaticEnv positions a representative workitem for static analysis: loop
+// trip counts, access strides and op counts are evaluated against it.
+type StaticEnv struct {
+	ND      NDRange
+	Scalars map[string]float64
+	// GIDFraction in [0,1) places the representative workitem within the
+	// global range (0.5 when zero-valued via NewStaticEnv).
+	GIDFraction float64
+}
+
+// NewStaticEnv builds a static environment for the launch described by nd
+// and args (args may be nil).
+func NewStaticEnv(nd NDRange, args *Args) *StaticEnv {
+	env := &StaticEnv{ND: nd, Scalars: map[string]float64{}, GIDFraction: 0.5}
+	if args != nil {
+		for k, v := range args.Scalars {
+			env.Scalars[k] = v
+		}
+	}
+	return env
+}
+
+// gid returns the representative global id for dimension d, offset by delta
+// (delta is used by the stride prober).
+func (env *StaticEnv) gid(d int, delta float64) float64 {
+	g := env.ND.Global[d]
+	if g == 0 {
+		g = 1
+	}
+	base := math.Floor(float64(g) * env.GIDFraction)
+	if base >= float64(g) {
+		base = float64(g) - 1
+	}
+	return base + delta
+}
+
+// EvalStatic evaluates e in env with no variable bindings, reporting
+// whether the value is statically known.
+func EvalStatic(e Expr, env *StaticEnv) (float64, bool) {
+	se := &staticEval{env: env, varVal: map[string]float64{}}
+	return se.eval(e)
+}
+
+// staticEval evaluates expressions numerically at analysis time. gidDelta
+// perturbs get_global_id(probeDim) so strides can be measured by finite
+// differencing; varVal carries loop-variable estimates of enclosing loops.
+type staticEval struct {
+	env      *StaticEnv
+	varVal   map[string]float64
+	probeDim int
+	gidDelta float64
+	// loopDeltaVar, when non-empty, perturbs the named loop variable instead
+	// of a global id (used for OpenMP loop-stride probing).
+	loopDeltaVar string
+	loopDelta    float64
+}
+
+// eval returns the value and whether it is statically known. Loads from
+// memory are unknown.
+func (se *staticEval) eval(e Expr) (float64, bool) {
+	switch e := e.(type) {
+	case ConstFloat:
+		return e.V, true
+	case ConstInt:
+		return float64(e.V), true
+	case VarRef:
+		v, ok := se.varVal[e.Name]
+		if !ok {
+			return 0, false
+		}
+		if e.Name == se.loopDeltaVar {
+			v += se.loopDelta
+		}
+		return v, true
+	case ParamRef:
+		v, ok := se.env.Scalars[e.Name]
+		return v, ok
+	case ID:
+		return se.evalID(e)
+	case Bin:
+		x, okx := se.eval(e.X)
+		y, oky := se.eval(e.Y)
+		if !okx || !oky {
+			return 0, false
+		}
+		out := [1]float64{}
+		evalBin(e.Op, []float64{x}, []float64{y}, out[:])
+		return out[0], true
+	case Call:
+		return se.evalCall(e)
+	case Select:
+		c, okc := se.eval(e.Cond)
+		if !okc {
+			return 0, false
+		}
+		if c != 0 {
+			return se.eval(e.Then)
+		}
+		return se.eval(e.Else)
+	case ToFloat:
+		return se.eval(e.X)
+	case ToInt:
+		v, ok := se.eval(e.X)
+		return math.Trunc(v), ok
+	case Load, LocalLoad:
+		return 0, false
+	}
+	return 0, false
+}
+
+func (se *staticEval) evalID(e ID) (float64, bool) {
+	d := e.Dim
+	if d < 0 || d > 2 {
+		return 0, false
+	}
+	nd := se.env.ND
+	lsz := nd.Local[d]
+	if lsz == 0 {
+		lsz = 1
+	}
+	gsz := nd.Global[d]
+	if gsz == 0 {
+		gsz = 1
+	}
+	delta := 0.0
+	if d == se.probeDim {
+		delta = se.gidDelta
+	}
+	switch e.Fn {
+	case GlobalID:
+		return se.env.gid(d, delta), true
+	case LocalID:
+		g := se.env.gid(d, delta)
+		return math.Mod(g, float64(lsz)), true
+	case GroupID:
+		g := se.env.gid(d, delta)
+		return math.Floor(g / float64(lsz)), true
+	case GlobalSize:
+		return float64(gsz), true
+	case LocalSize:
+		return float64(lsz), true
+	case NumGroups:
+		return float64((gsz + lsz - 1) / lsz), true
+	}
+	return 0, false
+}
+
+func (se *staticEval) evalCall(e Call) (float64, bool) {
+	if e.Fn == FMA && len(e.Args) == 3 {
+		a, oka := se.eval(e.Args[0])
+		b, okb := se.eval(e.Args[1])
+		c, okc := se.eval(e.Args[2])
+		if oka && okb && okc {
+			return a*b + c, true
+		}
+		return 0, false
+	}
+	if len(e.Args) != 1 {
+		return 0, false
+	}
+	x, ok := se.eval(e.Args[0])
+	if !ok {
+		return 0, false
+	}
+	switch e.Fn {
+	case Sqrt:
+		return math.Sqrt(x), true
+	case Rsqrt:
+		return 1 / math.Sqrt(x), true
+	case Exp:
+		return math.Exp(x), true
+	case Log:
+		return math.Log(x), true
+	case Sin:
+		return math.Sin(x), true
+	case Cos:
+		return math.Cos(x), true
+	case Fabs:
+		return math.Abs(x), true
+	case Floor:
+		return math.Floor(x), true
+	}
+	return 0, false
+}

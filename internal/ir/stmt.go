@@ -1,0 +1,87 @@
+package ir
+
+// Stmt is a statement node. Statement lists execute in order; control flow
+// is structured (For and If are trees, there is no goto), which is what
+// makes lockstep SIMT execution and vectorization analysis tractable.
+type Stmt interface{ stmtNode() }
+
+// Assign writes a scalar local variable: Dst = Val. Assigning a variable
+// declares it on first use; its type is Val's type and must not change.
+type Assign struct {
+	Dst string
+	Val Expr
+}
+
+// Store writes global memory: Buf[Index] = Val.
+type Store struct {
+	Buf   string
+	Index Expr
+	Val   Expr
+}
+
+// LocalStore writes workgroup-local memory: Arr[Index] = Val.
+type LocalStore struct {
+	Arr   string
+	Index Expr
+	Val   Expr
+}
+
+// AtomicAdd performs an atomic read-modify-write on local memory:
+// Arr[Index] += Val. It models OpenCL's atomic_add on __local int/float
+// counters (used by Histogram); atomics force scalar execution in the
+// vectorization models.
+type AtomicAdd struct {
+	Arr   string
+	Index Expr
+	Val   Expr
+}
+
+// For is a counted loop:
+//
+//	for Var = Start; Var < End; Var += Step { Body }
+//
+// Var is an integer loop variable visible inside Body.
+type For struct {
+	Var   string
+	Start Expr
+	End   Expr
+	Step  Expr
+	Body  []Stmt
+}
+
+// If executes Then when Cond != 0, otherwise Else (which may be nil).
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Barrier synchronizes all workitems of a workgroup
+// (barrier(CLK_LOCAL_MEM_FENCE) in OpenCL C). Valid only under uniform
+// control flow; the validator rejects barriers inside divergent branches.
+type Barrier struct{}
+
+func (Assign) stmtNode()     {}
+func (Store) stmtNode()      {}
+func (LocalStore) stmtNode() {}
+func (AtomicAdd) stmtNode()  {}
+func (For) stmtNode()        {}
+func (If) stmtNode()         {}
+func (Barrier) stmtNode()    {}
+
+// Set returns an assignment statement.
+func Set(dst string, val Expr) Stmt { return Assign{Dst: dst, Val: val} }
+
+// StoreF returns a global float store statement.
+func StoreF(buf string, index, val Expr) Stmt { return Store{Buf: buf, Index: index, Val: val} }
+
+// LStoreF returns a local float store statement.
+func LStoreF(arr string, index, val Expr) Stmt { return LocalStore{Arr: arr, Index: index, Val: val} }
+
+// Loop returns a counted loop statement with step 1.
+func Loop(v string, start, end Expr, body ...Stmt) Stmt {
+	return For{Var: v, Start: start, End: end, Step: I(1), Body: body}
+}
+
+// When returns an if-without-else statement.
+func When(cond Expr, body ...Stmt) Stmt { return If{Cond: cond, Then: body} }

@@ -1,0 +1,86 @@
+package ir
+
+// maxSubstNodes caps forward-substituted expression size so pathological
+// kernels cannot blow up analysis time.
+const maxSubstNodes = 512
+
+// exprSize returns the node count of e.
+func exprSize(e Expr) int {
+	n := 0
+	walkExpr(e, func(Expr) { n++ })
+	return n
+}
+
+// SubstVars replaces VarRef nodes that have a definition in defs with that
+// definition. It is used by the stride analyses to see through scalar
+// temporaries ("i = get_global_id(0); a[i]").
+func SubstVars(e Expr, defs map[string]Expr) Expr {
+	if len(defs) == 0 {
+		return e
+	}
+	out := substVarsRec(e, defs)
+	if exprSize(out) > maxSubstNodes {
+		return e
+	}
+	return out
+}
+
+func substVarsRec(e Expr, defs map[string]Expr) Expr {
+	switch e := e.(type) {
+	case VarRef:
+		if d, ok := defs[e.Name]; ok {
+			return d
+		}
+		return e
+	case Bin:
+		return Bin{Op: e.Op, X: substVarsRec(e.X, defs), Y: substVarsRec(e.Y, defs)}
+	case Call:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = substVarsRec(a, defs)
+		}
+		return Call{Fn: e.Fn, Args: args}
+	case Load:
+		return Load{Buf: e.Buf, Index: substVarsRec(e.Index, defs), Elem: e.Elem}
+	case LocalLoad:
+		return LocalLoad{Arr: e.Arr, Index: substVarsRec(e.Index, defs), Elem: e.Elem}
+	case Select:
+		return Select{
+			Cond: substVarsRec(e.Cond, defs),
+			Then: substVarsRec(e.Then, defs),
+			Else: substVarsRec(e.Else, defs),
+		}
+	case ToFloat:
+		return ToFloat{X: substVarsRec(e.X, defs)}
+	case ToInt:
+		return ToInt{X: substVarsRec(e.X, defs)}
+	default:
+		return e
+	}
+}
+
+// defTracker incrementally maintains forward-substituted definitions of
+// scalar variables as an analysis walks statements in order.
+type defTracker struct {
+	defs map[string]Expr
+}
+
+func newDefTracker() *defTracker { return &defTracker{defs: map[string]Expr{}} }
+
+// assign records dst = val (with prior definitions substituted into val).
+// Oversized or self-referential definitions invalidate the entry.
+func (t *defTracker) assign(dst string, val Expr) {
+	sub := substVarsRec(val, t.defs)
+	if exprSize(sub) > maxSubstNodes {
+		delete(t.defs, dst)
+		return
+	}
+	t.defs[dst] = sub
+}
+
+// invalidate drops a variable's definition (loop variables, divergent
+// merges).
+func (t *defTracker) invalidate(name string) { delete(t.defs, name) }
+
+// resolve substitutes all known definitions into e.
+func (t *defTracker) resolve(e Expr) Expr { return SubstVars(e, t.defs) }

@@ -1,0 +1,83 @@
+package ir
+
+// SubstGlobalID rewrites every get_global_id(dim) in the statement list with
+// the replacement expression. The OpenMP layer uses it to port a kernel to
+// its loop form: workitem identity becomes the loop induction variable,
+// exactly the porting the paper performs in section III-F.
+func SubstGlobalID(stmts []Stmt, dim int, repl Expr) []Stmt {
+	return SubstID(stmts, GlobalID, dim, repl)
+}
+
+// SubstID rewrites every occurrence of the identity function fn(dim) with
+// the replacement expression (e.g. get_global_size(0) with a constant when
+// collapsing a 2-D kernel to a loop).
+func SubstID(stmts []Stmt, fn IDFunc, dim int, repl Expr) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = substStmt(s, fn, dim, repl)
+	}
+	return out
+}
+
+func substStmt(s Stmt, fn IDFunc, dim int, repl Expr) Stmt {
+	switch s := s.(type) {
+	case Assign:
+		return Assign{Dst: s.Dst, Val: substExpr(s.Val, fn, dim, repl)}
+	case Store:
+		return Store{Buf: s.Buf, Index: substExpr(s.Index, fn, dim, repl), Val: substExpr(s.Val, fn, dim, repl)}
+	case LocalStore:
+		return LocalStore{Arr: s.Arr, Index: substExpr(s.Index, fn, dim, repl), Val: substExpr(s.Val, fn, dim, repl)}
+	case AtomicAdd:
+		return AtomicAdd{Arr: s.Arr, Index: substExpr(s.Index, fn, dim, repl), Val: substExpr(s.Val, fn, dim, repl)}
+	case For:
+		return For{
+			Var:   s.Var,
+			Start: substExpr(s.Start, fn, dim, repl),
+			End:   substExpr(s.End, fn, dim, repl),
+			Step:  substExpr(s.Step, fn, dim, repl),
+			Body:  SubstID(s.Body, fn, dim, repl),
+		}
+	case If:
+		return If{
+			Cond: substExpr(s.Cond, fn, dim, repl),
+			Then: SubstID(s.Then, fn, dim, repl),
+			Else: SubstID(s.Else, fn, dim, repl),
+		}
+	default:
+		return s
+	}
+}
+
+func substExpr(e Expr, fn IDFunc, dim int, repl Expr) Expr {
+	switch e := e.(type) {
+	case ID:
+		if e.Fn == fn && e.Dim == dim {
+			return repl
+		}
+		return e
+	case Bin:
+		return Bin{Op: e.Op, X: substExpr(e.X, fn, dim, repl), Y: substExpr(e.Y, fn, dim, repl)}
+	case Call:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = substExpr(a, fn, dim, repl)
+		}
+		return Call{Fn: e.Fn, Args: args}
+	case Load:
+		return Load{Buf: e.Buf, Index: substExpr(e.Index, fn, dim, repl), Elem: e.Elem}
+	case LocalLoad:
+		return LocalLoad{Arr: e.Arr, Index: substExpr(e.Index, fn, dim, repl), Elem: e.Elem}
+	case Select:
+		return Select{
+			Cond: substExpr(e.Cond, fn, dim, repl),
+			Then: substExpr(e.Then, fn, dim, repl),
+			Else: substExpr(e.Else, fn, dim, repl),
+		}
+	case ToFloat:
+		return ToFloat{X: substExpr(e.X, fn, dim, repl)}
+	case ToInt:
+		return ToInt{X: substExpr(e.X, fn, dim, repl)}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,230 @@
+package ir
+
+import "fmt"
+
+// Validate checks a kernel for structural errors: duplicate declarations,
+// references to unknown parameters or local arrays, reads of variables that
+// are never assigned, and barriers under divergent control flow (undefined
+// behaviour in OpenCL, rejected here).
+func Validate(k *Kernel) error {
+	if k.Name == "" {
+		return fmt.Errorf("ir: kernel with empty name")
+	}
+	if k.WorkDim < 1 || k.WorkDim > 3 {
+		return fmt.Errorf("ir: kernel %s: work dim %d out of range", k.Name, k.WorkDim)
+	}
+	v := &validator{k: k, defined: map[string]bool{}, uniform: map[string]bool{}}
+	seen := map[string]bool{}
+	for _, p := range k.Params {
+		if seen[p.Name] {
+			return fmt.Errorf("ir: kernel %s: duplicate parameter %q", k.Name, p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, l := range k.Locals {
+		if seen[l.Name] {
+			return fmt.Errorf("ir: kernel %s: local array %q collides with another declaration", k.Name, l.Name)
+		}
+		seen[l.Name] = true
+		if err := v.checkExpr(l.Size); err != nil {
+			return err
+		}
+	}
+	return v.checkStmts(k.Body, true)
+}
+
+type validator struct {
+	k       *Kernel
+	defined map[string]bool // variables assigned so far
+	uniform map[string]bool // variables known workitem-uniform
+}
+
+func (v *validator) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: kernel %s: "+format, append([]any{v.k.Name}, args...)...)
+}
+
+func (v *validator) checkStmts(stmts []Stmt, uniformFlow bool) error {
+	for _, s := range stmts {
+		if err := v.checkStmt(s, uniformFlow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) checkStmt(s Stmt, uniformFlow bool) error {
+	switch s := s.(type) {
+	case Assign:
+		if err := v.checkExpr(s.Val); err != nil {
+			return err
+		}
+		if _, isParam := v.k.Param(s.Dst); isParam {
+			return v.errf("assignment to parameter %q", s.Dst)
+		}
+		v.defined[s.Dst] = true
+		v.uniform[s.Dst] = uniformFlow && v.exprUniform(s.Val)
+		return nil
+	case Store:
+		p, ok := v.k.Param(s.Buf)
+		if !ok || p.Kind != BufferParam {
+			return v.errf("store to unknown buffer %q", s.Buf)
+		}
+		if err := v.checkExpr(s.Index); err != nil {
+			return err
+		}
+		return v.checkExpr(s.Val)
+	case LocalStore:
+		if _, ok := v.k.Local(s.Arr); !ok {
+			return v.errf("store to undeclared local array %q", s.Arr)
+		}
+		if err := v.checkExpr(s.Index); err != nil {
+			return err
+		}
+		return v.checkExpr(s.Val)
+	case AtomicAdd:
+		if _, ok := v.k.Local(s.Arr); !ok {
+			return v.errf("atomic add to undeclared local array %q", s.Arr)
+		}
+		if err := v.checkExpr(s.Index); err != nil {
+			return err
+		}
+		return v.checkExpr(s.Val)
+	case If:
+		if err := v.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		inner := uniformFlow && v.exprUniform(s.Cond)
+		if err := v.checkStmts(s.Then, inner); err != nil {
+			return err
+		}
+		return v.checkStmts(s.Else, inner)
+	case For:
+		for _, e := range []Expr{s.Start, s.End, s.Step} {
+			if err := v.checkExpr(e); err != nil {
+				return err
+			}
+		}
+		v.defined[s.Var] = true
+		v.uniform[s.Var] = uniformFlow &&
+			v.exprUniform(s.Start) && v.exprUniform(s.End) && v.exprUniform(s.Step)
+		return v.checkStmts(s.Body, uniformFlow && v.uniform[s.Var])
+	case Barrier:
+		if !uniformFlow {
+			return v.errf("barrier inside divergent control flow")
+		}
+		return nil
+	default:
+		return v.errf("unknown statement type %T", s)
+	}
+}
+
+func (v *validator) checkExpr(e Expr) error {
+	var err error
+	walkExpr(e, func(e Expr) {
+		if err != nil {
+			return
+		}
+		switch e := e.(type) {
+		case VarRef:
+			if !v.defined[e.Name] {
+				err = v.errf("read of variable %q before assignment", e.Name)
+			}
+		case ParamRef:
+			p, ok := v.k.Param(e.Name)
+			if !ok {
+				err = v.errf("reference to unknown parameter %q", e.Name)
+			} else if p.Kind != ScalarParam {
+				err = v.errf("parameter %q is a buffer, referenced as scalar", e.Name)
+			}
+		case Load:
+			p, ok := v.k.Param(e.Buf)
+			if !ok || p.Kind != BufferParam {
+				err = v.errf("load from unknown buffer %q", e.Buf)
+			}
+		case LocalLoad:
+			if _, ok := v.k.Local(e.Arr); !ok {
+				err = v.errf("load from undeclared local array %q", e.Arr)
+			}
+		case ID:
+			if e.Dim < 0 || e.Dim > 2 {
+				err = v.errf("%s(%d): dimension out of range", e.Fn, e.Dim)
+			}
+		case Call:
+			if len(e.Args) != e.Fn.NumArgs() {
+				err = v.errf("%s expects %d args, got %d", e.Fn, e.Fn.NumArgs(), len(e.Args))
+			}
+		}
+	})
+	return err
+}
+
+// exprUniform reports whether e provably evaluates to the same value for
+// every workitem of a workgroup.
+func (v *validator) exprUniform(e Expr) bool {
+	uniform := true
+	walkExpr(e, func(e Expr) {
+		switch e := e.(type) {
+		case ID:
+			if !e.Fn.Uniform() {
+				uniform = false
+			}
+		case VarRef:
+			if !v.uniform[e.Name] {
+				uniform = false
+			}
+		case Load, LocalLoad:
+			// Memory contents are not tracked; be conservative.
+			uniform = false
+		}
+	})
+	return uniform
+}
+
+// WalkExpr calls fn for e and every sub-expression, pre-order.
+func WalkExpr(e Expr, fn func(Expr)) { walkExpr(e, fn) }
+
+// WalkStmts calls fn for every statement in stmts, recursively (pre-order).
+func WalkStmts(stmts []Stmt, fn func(Stmt)) { walkStmts(stmts, fn) }
+
+// walkExpr calls fn for e and every sub-expression, pre-order.
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case Bin:
+		walkExpr(e.X, fn)
+		walkExpr(e.Y, fn)
+	case Call:
+		for _, a := range e.Args {
+			walkExpr(a, fn)
+		}
+	case Load:
+		walkExpr(e.Index, fn)
+	case LocalLoad:
+		walkExpr(e.Index, fn)
+	case Select:
+		walkExpr(e.Cond, fn)
+		walkExpr(e.Then, fn)
+		walkExpr(e.Else, fn)
+	case ToFloat:
+		walkExpr(e.X, fn)
+	case ToInt:
+		walkExpr(e.X, fn)
+	}
+}
+
+// walkStmts calls fn for every statement in stmts, recursively (pre-order).
+func walkStmts(stmts []Stmt, fn func(Stmt)) {
+	for _, s := range stmts {
+		fn(s)
+		switch s := s.(type) {
+		case For:
+			walkStmts(s.Body, fn)
+		case If:
+			walkStmts(s.Then, fn)
+			walkStmts(s.Else, fn)
+		}
+	}
+}

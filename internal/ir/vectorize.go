@@ -1,0 +1,368 @@
+package ir
+
+import "fmt"
+
+// This file implements the two vectorization legality models the paper
+// contrasts in section II-E / III-F:
+//
+//   - The OpenCL kernel compiler vectorizes *across workitems*: lane i of a
+//     vector register is workitem i. No dependence checking is needed — the
+//     programming model guarantees workitems are independent between
+//     barriers — so vectorization succeeds regardless of dependences inside
+//     a workitem (the Figure 11 example). Only atomics force scalar code,
+//     and per-access efficiency depends on the inter-workitem stride.
+//
+//   - The OpenMP/loop compiler vectorizes *across loop iterations* by
+//     unrolling and packing, and must prove legality: countable loop,
+//     single-entry/single-exit straight-line body, contiguous accesses and
+//     no (assumed) data dependences. Mirroring the Intel guidance the paper
+//     cites, anything it cannot prove makes it give up.
+
+// MemVecSite describes how one memory access site vectorizes.
+type MemVecSite struct {
+	Buf    string
+	Write  bool
+	Stride Stride
+	// Packed means a single wide load/store covers all lanes (unit or
+	// uniform stride). Non-packed sites fall back to gather/scatter.
+	Packed  bool
+	PerItem float64
+}
+
+// CLVecReport is the outcome of the OpenCL implicit (cross-workitem)
+// vectorization model.
+type CLVecReport struct {
+	Vectorized   bool
+	ScalarReason string // set when Vectorized is false
+	Sites        []MemVecSite
+	// PackedFrac is the dynamic fraction of global memory operations that
+	// vectorize into packed accesses (weighted by executions per item).
+	PackedFrac float64
+	// DivergentIfs counts non-uniform branches, which vectorize via masking
+	// with reduced lane efficiency.
+	DivergentIfs int
+}
+
+// VectorizeOpenCL applies the OpenCL implicit vectorization model to k at
+// the given launch configuration.
+func VectorizeOpenCL(k *Kernel, args *Args, nd NDRange) (*CLVecReport, error) {
+	if err := Validate(k); err != nil {
+		return nil, err
+	}
+	rep := &CLVecReport{Vectorized: true}
+
+	hasAtomic := false
+	walkStmts(k.Body, func(s Stmt) {
+		if _, ok := s.(AtomicAdd); ok {
+			hasAtomic = true
+		}
+	})
+	if hasAtomic {
+		rep.Vectorized = false
+		rep.ScalarReason = "kernel performs atomic operations"
+	}
+	if fn, ok := callsScalarLibm(k.Body); ok && rep.Vectorized {
+		rep.Vectorized = false
+		rep.ScalarReason = fmt.Sprintf("kernel calls scalar math library (%s)", fn)
+	}
+
+	se := &staticEval{env: NewStaticEnv(nd, args), varVal: map[string]float64{}}
+	v := &validator{k: k, defined: map[string]bool{}, uniform: map[string]bool{}}
+	defs := newDefTracker()
+	var (
+		packed, total float64
+	)
+	var scan func(stmts []Stmt, uniformFlow bool)
+	record := func(buf string, index Expr, write bool) {
+		st := probeStride(defs.resolve(index), se, func(se *staticEval, d float64) {
+			se.probeDim = 0
+			se.gidDelta = d
+		})
+		site := MemVecSite{Buf: buf, Write: write, Stride: st, PerItem: 1,
+			Packed: st.Unit() || st.Uniform()}
+		rep.Sites = append(rep.Sites, site)
+		total++
+		if site.Packed {
+			packed++
+		}
+	}
+	var scanExpr func(e Expr)
+	scanExpr = func(e Expr) {
+		walkExpr(e, func(e Expr) {
+			if ld, ok := e.(Load); ok {
+				record(ld.Buf, ld.Index, false)
+			}
+		})
+	}
+	scan = func(stmts []Stmt, uniformFlow bool) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case Assign:
+				scanExpr(s.Val)
+				v.defined[s.Dst] = true
+				v.uniform[s.Dst] = uniformFlow && v.exprUniform(s.Val)
+				defs.assign(s.Dst, s.Val)
+			case Store:
+				scanExpr(s.Index)
+				scanExpr(s.Val)
+				record(s.Buf, s.Index, true)
+			case LocalStore:
+				scanExpr(s.Index)
+				scanExpr(s.Val)
+			case AtomicAdd:
+				scanExpr(s.Index)
+				scanExpr(s.Val)
+			case If:
+				scanExpr(s.Cond)
+				uni := v.exprUniform(s.Cond)
+				if !uni {
+					rep.DivergentIfs++
+				}
+				scan(s.Then, uniformFlow && uni)
+				scan(s.Else, uniformFlow && uni)
+				walkStmts(append(append([]Stmt{}, s.Then...), s.Else...), func(st Stmt) {
+					if a, ok := st.(Assign); ok {
+						defs.invalidate(a.Dst)
+					}
+				})
+			case For:
+				scanExpr(s.Start)
+				scanExpr(s.End)
+				scanExpr(s.Step)
+				v.defined[s.Var] = true
+				v.uniform[s.Var] = uniformFlow &&
+					v.exprUniform(s.Start) && v.exprUniform(s.End) && v.exprUniform(s.Step)
+				defs.invalidate(s.Var)
+				// Give the induction variable a representative value so
+				// strides of loop-body accesses resolve (the loop variable is
+				// workitem-invariant per iteration).
+				prev, had := se.varVal[s.Var]
+				if start, ok := se.eval(s.Start); ok {
+					se.varVal[s.Var] = start
+				} else {
+					se.varVal[s.Var] = 1
+				}
+				scan(s.Body, uniformFlow)
+				if had {
+					se.varVal[s.Var] = prev
+				} else {
+					delete(se.varVal, s.Var)
+				}
+				walkStmts(s.Body, func(st Stmt) {
+					if a, ok := st.(Assign); ok {
+						defs.invalidate(a.Dst)
+					}
+				})
+			}
+		}
+	}
+	scan(k.Body, true)
+	if total > 0 {
+		rep.PackedFrac = packed / total
+	} else {
+		rep.PackedFrac = 1
+	}
+	return rep, nil
+}
+
+// LoopVecReport is the outcome of the OpenMP loop vectorization model.
+type LoopVecReport struct {
+	Vectorized bool
+	// Reason is the first legality rule that failed, in the vocabulary of
+	// the Intel auto-vectorization guide the paper cites.
+	Reason string
+}
+
+// VectorizeLoop applies the conservative loop-vectorizer legality model to
+// a loop body iterated over loopVar (the OpenMP "parallel for" induction
+// variable). The caller supplies the launch-time environment used to
+// resolve strides.
+func VectorizeLoop(body []Stmt, loopVar string, env *StaticEnv, scalarInit map[string]float64) *LoopVecReport {
+	se := &staticEval{env: env, varVal: map[string]float64{}}
+	for k2, v := range scalarInit {
+		se.varVal[k2] = v
+	}
+	// A representative value for the induction variable.
+	se.varVal[loopVar] = 16
+
+	fail := func(reason string) *LoopVecReport {
+		return &LoopVecReport{Vectorized: false, Reason: reason}
+	}
+
+	// Rule 1: straight-line control flow — no branches inside the loop.
+	cf := false
+	barrier := false
+	atomic := false
+	innerLoop := false
+	walkStmts(body, func(s Stmt) {
+		switch s.(type) {
+		case If:
+			cf = true
+		case Barrier:
+			barrier = true
+		case AtomicAdd:
+			atomic = true
+		case For:
+			innerLoop = true
+		}
+	})
+	if cf {
+		return fail("control flow inside the loop body")
+	}
+	if barrier {
+		return fail("synchronization inside the loop body")
+	}
+	if atomic {
+		return fail("atomic operation inside the loop body")
+	}
+	if innerLoop {
+		return fail("nested loop: only innermost loops are vectorized")
+	}
+	if fn, ok := callsScalarLibm(body); ok {
+		return fail(fmt.Sprintf("call to scalar math library (%s)", fn))
+	}
+
+	// Rule 2: contiguous memory accesses with respect to the induction
+	// variable (unit stride or invariant). Scalar temporaries are forward
+	// substituted so ported kernels ("i = loopvar; a[i]") probe correctly.
+	defs := newDefTracker()
+	for _, s := range body {
+		if a, ok := s.(Assign); ok {
+			defs.assign(a.Dst, a.Val)
+		}
+	}
+	probe := func(index Expr) Stride {
+		index = defs.resolve(index)
+		return probeStride(index, se, func(se *staticEval, d float64) {
+			se.loopDeltaVar = loopVar
+			se.loopDelta = d
+			if d == 0 {
+				se.loopDeltaVar = ""
+			}
+		})
+	}
+	var memFail string
+	written := map[string]bool{}
+	loaded := map[string]bool{}
+	rmw := ""
+	var scanE func(e Expr)
+	scanE = func(e Expr) {
+		walkExpr(e, func(e Expr) {
+			if ld, ok := e.(Load); ok {
+				st := probe(ld.Index)
+				if !st.Unit() && !st.Uniform() && memFail == "" {
+					memFail = fmt.Sprintf("non-contiguous access to %s", ld.Buf)
+				}
+				loaded[ld.Buf] = true
+				if written[ld.Buf] && rmw == "" {
+					rmw = ld.Buf
+				}
+			}
+		})
+	}
+	for _, s := range body {
+		switch s := s.(type) {
+		case Assign:
+			scanE(s.Val)
+		case Store:
+			scanE(s.Index)
+			scanE(s.Val)
+			st := probe(s.Index)
+			if !st.Unit() && memFail == "" {
+				memFail = fmt.Sprintf("non-contiguous store to %s", s.Buf)
+			}
+			// Rule 3 (part): a store followed by a load of the same buffer
+			// within the iteration is an assumed data dependence — the
+			// compiler cannot prove the locations disjoint (Figure 11).
+			written[s.Buf] = true
+			if loaded[s.Buf] && rmw == "" {
+				rmw = s.Buf
+			}
+		case LocalStore:
+			scanE(s.Index)
+			scanE(s.Val)
+		}
+	}
+	if memFail != "" {
+		return fail(memFail)
+	}
+	if rmw != "" {
+		return fail(fmt.Sprintf("assumed data dependence through %s", rmw))
+	}
+
+	// Rule 3 (rest): loop-carried scalar recurrences — a scalar read before
+	// it is written advances across iterations and forbids packing.
+	assigned := map[string]bool{loopVar: true}
+	var carried string
+	defined := map[string]bool{}
+	// First pass: which scalars does the body assign at all?
+	for _, s := range body {
+		if a, ok := s.(Assign); ok {
+			defined[a.Dst] = true
+		}
+	}
+	for _, s := range body {
+		switch s := s.(type) {
+		case Assign:
+			useBeforeDefFiltered(s.Val, assigned, defined, &carried)
+			assigned[s.Dst] = true
+		case Store:
+			useBeforeDefFiltered(s.Index, assigned, defined, &carried)
+			useBeforeDefFiltered(s.Val, assigned, defined, &carried)
+		}
+	}
+	if carried != "" {
+		return fail(fmt.Sprintf("loop-carried scalar dependence on %q", carried))
+	}
+	return &LoopVecReport{Vectorized: true}
+}
+
+// useBeforeDefFiltered flags reads of scalars that the body assigns
+// somewhere but that have not been assigned yet this iteration — the
+// signature of a loop-carried recurrence. Reads of loop-invariant scalars
+// (never assigned in the body) are harmless.
+func useBeforeDefFiltered(e Expr, assigned, definedInBody map[string]bool, carried *string) {
+	walkExpr(e, func(e Expr) {
+		if v, ok := e.(VarRef); ok {
+			if definedInBody[v.Name] && !assigned[v.Name] && *carried == "" {
+				*carried = v.Name
+			}
+		}
+	})
+}
+
+// callsScalarLibm reports whether any expression in stmts invokes a
+// non-vectorizable math builtin, returning the first offender.
+func callsScalarLibm(stmts []Stmt) (Builtin, bool) {
+	var found Builtin
+	ok := false
+	scan := func(e Expr) {
+		walkExpr(e, func(e Expr) {
+			if c, isCall := e.(Call); isCall && !c.Fn.Vectorizable() && !ok {
+				found, ok = c.Fn, true
+			}
+		})
+	}
+	walkStmts(stmts, func(s Stmt) {
+		switch s := s.(type) {
+		case Assign:
+			scan(s.Val)
+		case Store:
+			scan(s.Index)
+			scan(s.Val)
+		case LocalStore:
+			scan(s.Index)
+			scan(s.Val)
+		case AtomicAdd:
+			scan(s.Index)
+			scan(s.Val)
+		case If:
+			scan(s.Cond)
+		case For:
+			scan(s.Start)
+			scan(s.End)
+			scan(s.Step)
+		}
+	})
+	return found, ok
+}

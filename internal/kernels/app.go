@@ -1,0 +1,107 @@
+// Package kernels implements the paper's simple applications (Table II) as
+// IR kernels with deterministic input generators and pure-Go reference
+// implementations for correctness checking: Square, Vectoraddition,
+// Matrixmul (local-memory blocked), MatrixmulNaive, Reduction,
+// Histogram256, Prefixsum, Blackscholes and Binomialoption.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"clperf/internal/ir"
+)
+
+// App is one benchmark application: its kernel, the paper's launch
+// configurations, and functional input/validation hooks.
+type App struct {
+	// Name is the benchmark name as in Table II (e.g. "Square").
+	Name string
+	// Kernel is the OpenCL kernel.
+	Kernel *ir.Kernel
+	// Configs are the paper's (global, local) size combinations.
+	Configs []ir.NDRange
+	// Make builds deterministic input/output buffers for a geometry,
+	// bound under the kernel's parameter names.
+	Make func(nd ir.NDRange) *ir.Args
+	// Check validates the output buffers after execution.
+	Check func(args *ir.Args, nd ir.NDRange) error
+}
+
+// DefaultConfig returns the app's first (smallest) configuration.
+func (a *App) DefaultConfig() ir.NDRange { return a.Configs[0] }
+
+// Registry returns all simple applications in Table II order.
+func Registry() []*App {
+	return []*App{
+		Square(),
+		VectorAdd(),
+		MatrixMul(),
+		Reduction(),
+		Histogram(),
+		PrefixSum(),
+		BlackScholes(),
+		BinomialOption(),
+		MatrixMulNaive(),
+	}
+}
+
+// ByName returns the registered app with the given name.
+func ByName(name string) (*App, error) {
+	for _, a := range Registry() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown app %q", name)
+}
+
+// rng is a tiny deterministic generator (xorshift64*) for reproducible
+// inputs without pulling in math/rand state.
+type rng uint64
+
+func newRng(seed uint64) *rng {
+	r := rng(seed*2685821657736338717 + 1)
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 2685821657736338717
+}
+
+// float returns a value in [lo, hi).
+func (r *rng) float(lo, hi float64) float64 {
+	return lo + (hi-lo)*float64(r.next()>>11)/float64(1<<53)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// FillUniform fills buf with values in [lo, hi).
+func FillUniform(buf *ir.Buffer, seed uint64, lo, hi float64) {
+	r := newRng(seed)
+	for i := range buf.Data {
+		buf.Set(i, r.float(lo, hi))
+	}
+}
+
+// Compare checks got against want elementwise with a relative tolerance.
+func Compare(name string, got *ir.Buffer, want []float64, relTol float64) error {
+	if got.Len() != len(want) {
+		return fmt.Errorf("%s: length %d, want %d", name, got.Len(), len(want))
+	}
+	for i, w := range want {
+		g := got.Get(i)
+		diff := math.Abs(g - w)
+		scale := math.Max(math.Abs(w), 1)
+		if diff > relTol*scale {
+			return fmt.Errorf("%s[%d] = %v, want %v (tol %g)", name, i, g, w, relTol)
+		}
+	}
+	return nil
+}

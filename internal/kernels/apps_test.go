@@ -1,0 +1,300 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clperf/internal/ir"
+)
+
+// testConfig returns a reduced-size NDRange for functional testing of each
+// app (the paper-sized configs are exercised by the timing models, which
+// need no execution).
+func testConfig(app *App) ir.NDRange {
+	switch app.Name {
+	case "Square":
+		return ir.Range1D(4096, 64)
+	case "Vectoraddition":
+		return ir.Range1D(4096, 64)
+	case "Matrixmul", "MatrixmulNaive":
+		return ir.Range2D(48, 32, 8, 8)
+	case "Reduction":
+		return ir.Range1D(8192, 256)
+	case "Histogram":
+		return ir.Range1D(16384, 128)
+	case "Prefixsum":
+		return ir.Range1D(1024, 1024)
+	case "Blackscholes":
+		return ir.Range2D(64, 48, 8, 8)
+	case "Binomialoption":
+		return ir.Range1D(255*4, 255)
+	}
+	return app.DefaultConfig()
+}
+
+// Every Table II application must produce reference-correct results.
+func TestAllAppsFunctional(t *testing.T) {
+	for _, app := range Registry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			nd := testConfig(app)
+			args := app.Make(nd)
+			if err := ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			if err := app.Check(args, nd); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+		})
+	}
+}
+
+// Every app's kernel must validate and carry the paper's launch configs.
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, app := range Registry() {
+		if seen[app.Name] {
+			t.Errorf("duplicate app %q", app.Name)
+		}
+		seen[app.Name] = true
+		if err := ir.Validate(app.Kernel); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+		if len(app.Configs) == 0 {
+			t.Errorf("%s: no configs", app.Name)
+		}
+		for _, nd := range app.Configs {
+			if err := nd.Validate(); err != nil {
+				t.Errorf("%s %v: %v", app.Name, nd, err)
+			}
+		}
+	}
+	if _, err := ByName("Square"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName must reject unknown apps")
+	}
+}
+
+// Table II geometry spot checks.
+func TestTableIIGeometries(t *testing.T) {
+	sq := Square()
+	if got := sq.Configs[3].Global[0]; got != 10000000 {
+		t.Errorf("Square largest size = %d, want 10000000", got)
+	}
+	if !sq.Configs[0].LocalNull() {
+		t.Error("Square must use NULL local size")
+	}
+	va := VectorAdd()
+	if got := va.Configs[3].Global[0]; got != 11445000 {
+		t.Errorf("VectorAdd largest size = %d, want 11445000", got)
+	}
+	bo := BinomialOption()
+	if bo.Configs[0].Local[0] != 255 || bo.Configs[0].Global[0] != 255000 {
+		t.Errorf("Binomialoption geometry %v", bo.Configs[0])
+	}
+	ps := PrefixSum()
+	if ps.Configs[0].Local[0] != 1024 {
+		t.Errorf("Prefixsum local = %d, want 1024", ps.Configs[0].Local[0])
+	}
+}
+
+// Property: coarsening preserves results exactly.
+func TestCoarsenPreservesResults(t *testing.T) {
+	app := Square()
+	for _, factor := range []int{2, 4, 10, 16} {
+		nd := ir.Range1D(4000, 0)
+		args := app.Make(nd)
+		base := app.Make(nd)
+		// Copy inputs so both runs see identical data.
+		copy(base.Buffers["in"].Data, args.Buffers["in"].Data)
+
+		resolved := nd.WithLocal([3]int{50, 1, 1})
+		if err := ir.ExecRange(app.Kernel, base, resolved, ir.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+
+		ck, err := Coarsen(app.Kernel, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnd, err := CoarsenRange(resolved, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ir.ExecRange(ck, args, cnd, ir.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4000; i++ {
+			if args.Buffers["out"].Get(i) != base.Buffers["out"].Get(i) {
+				t.Fatalf("factor %d: out[%d] differs", factor, i)
+			}
+		}
+	}
+}
+
+func TestCoarsenRejectsUnsupported(t *testing.T) {
+	// Barrier kernels cannot be coarsened this way.
+	if _, err := Coarsen(ReductionKernel(), 2); err == nil {
+		t.Error("Coarsen must reject barrier kernels")
+	}
+	// Kernels reading get_global_size(0) cannot either.
+	k := &ir.Kernel{Name: "g", WorkDim: 1, Params: []ir.Param{ir.Buf("o")},
+		Body: []ir.Stmt{ir.StoreF("o", ir.Gid(0), ir.ToFloat{X: ir.Gsz(0)})}}
+	if _, err := Coarsen(k, 2); err == nil {
+		t.Error("Coarsen must reject global-size readers")
+	}
+	// Factor 1 is the identity.
+	if ck, err := Coarsen(SquareKernel(), 1); err != nil || ck.Name != "square" {
+		t.Errorf("Coarsen(1) = %v, %v", ck, err)
+	}
+	if _, err := CoarsenRange(ir.Range1D(100, 0), 3); err == nil {
+		t.Error("CoarsenRange must demand divisibility")
+	}
+}
+
+// Property: results are independent of the workgroup size for kernels
+// without cross-item communication.
+func TestWorkgroupSizeInvariance(t *testing.T) {
+	app := VectorAdd()
+	prop := func(seed uint8) bool {
+		locals := []int{1, 2, 4, 8, 16, 32, 64}
+		local := locals[int(seed)%len(locals)]
+		const n = 1024
+		nd := ir.Range1D(n, local)
+		args := app.Make(nd)
+		ref := app.Make(nd)
+		copy(ref.Buffers["a"].Data, args.Buffers["a"].Data)
+		copy(ref.Buffers["b"].Data, args.Buffers["b"].Data)
+		if err := ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{}); err != nil {
+			return false
+		}
+		if err := ir.ExecRange(app.Kernel, ref, ir.Range1D(n, 128), ir.ExecOptions{}); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if args.Buffers["c"].Get(i) != ref.Buffers["c"].Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Reduction partial sums add up to the full input sum at any
+// power-of-two workgroup size.
+func TestReductionInvariant(t *testing.T) {
+	app := Reduction()
+	for _, local := range []int{64, 128, 256, 512} {
+		nd := ir.Range1D(4096, local)
+		args := app.Make(nd)
+		if err := ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		var whole, parts float64
+		for i := 0; i < 4096; i++ {
+			whole += args.Buffers["in"].Get(i)
+		}
+		for i := 0; i < args.Buffers["partial"].Len(); i++ {
+			parts += args.Buffers["partial"].Get(i)
+		}
+		if diff := whole - parts; diff > 1e-2 || diff < -1e-2 {
+			t.Fatalf("local %d: partial sums %v != input sum %v", local, parts, whole)
+		}
+	}
+}
+
+// Property: the histogram conserves its population for random inputs.
+func TestHistogramConservation(t *testing.T) {
+	app := Histogram()
+	nd := ir.Range1D(8192, 128)
+	args := app.Make(nd)
+	if err := ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	partial := args.Buffers["partial"]
+	for i := 0; i < partial.Len(); i++ {
+		total += partial.Get(i)
+	}
+	if total != 8192 {
+		t.Fatalf("histogram population = %v, want 8192", total)
+	}
+}
+
+func TestFillUniformDeterministic(t *testing.T) {
+	a := ir.NewBufferF32("a", 64)
+	b := ir.NewBufferF32("b", 64)
+	FillUniform(a, 7, -1, 1)
+	FillUniform(b, 7, -1, 1)
+	for i := 0; i < 64; i++ {
+		if a.Get(i) != b.Get(i) {
+			t.Fatal("FillUniform must be deterministic per seed")
+		}
+		if a.Get(i) < -1 || a.Get(i) >= 1 {
+			t.Fatalf("value %v out of range", a.Get(i))
+		}
+	}
+	FillUniform(b, 8, -1, 1)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Get(i) != b.Get(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+// extraTestConfig shrinks the extra apps for functional testing.
+func extraTestConfig(app *App) ir.NDRange {
+	switch app.Name {
+	case "Transpose":
+		return ir.Range2D(64, 32, 8, 8)
+	case "Convolution":
+		return ir.Range2D(64, 16, 16, 1)
+	case "NBody":
+		return ir.Range1D(512, 64)
+	case "DotProduct":
+		return ir.Range1D(8192, 256)
+	}
+	return app.DefaultConfig()
+}
+
+// Every extra application must also produce reference-correct results.
+func TestExtraAppsFunctional(t *testing.T) {
+	for _, app := range ExtraRegistry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			nd := extraTestConfig(app)
+			args := app.Make(nd)
+			if err := ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			if err := app.Check(args, nd); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if err := ir.Validate(app.Kernel); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+		})
+	}
+}
+
+// Transpose stores are maximally strided: the vectorizer must see that.
+func TestTransposeStridesDetected(t *testing.T) {
+	app := Transpose()
+	nd := ir.Range2D(256, 256, 16, 16)
+	rep, err := ir.VectorizeOpenCL(app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PackedFrac > 0.75 {
+		t.Fatalf("transpose PackedFrac = %v; the strided store should not be packed", rep.PackedFrac)
+	}
+}

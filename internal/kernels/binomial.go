@@ -1,0 +1,134 @@
+package kernels
+
+import (
+	"math"
+
+	"clperf/internal/ir"
+)
+
+// Binomial option pricing parameters shared by the kernel and the
+// reference (Cox-Ross-Rubinstein tree).
+const (
+	boRiskFree   = 0.02
+	boVolatility = 0.30
+	boYears      = 1.0
+)
+
+// BinomialOptionKernel returns the binomialoption kernel: one workgroup
+// prices one European call option by backward induction over a CRR tree
+// with (local size - 1) time steps, keeping the level values in local
+// memory and synchronizing with barriers each step.
+//
+// Scalars: "steps" must equal local size - 1; "dt", "pu", "pd" and "df"
+// are the per-step CRR coefficients (u = e^{v sqrt(dt)}, risk-neutral
+// probability and discount), precomputed on the host exactly as the SDK
+// sample does.
+func BinomialOptionKernel() *ir.Kernel {
+	lid := ir.Lid(0)
+	return &ir.Kernel{
+		Name:    "binomialoption",
+		WorkDim: 1,
+		Params: []ir.Param{
+			ir.Buf("price"), ir.Buf("strike"), ir.Buf("out"),
+			ir.ScalarI("steps"), ir.Scalar("vsdt"), ir.Scalar("pu"), ir.Scalar("pd"),
+		},
+		Locals: []ir.LocalArray{{Name: "vals", Elem: ir.F32, Size: ir.Lsz(0)}},
+		Body: []ir.Stmt{
+			ir.Set("opt", ir.Grp(0)),
+			ir.Set("S", ir.LoadF("price", ir.Vi("opt"))),
+			ir.Set("X", ir.LoadF("strike", ir.Vi("opt"))),
+			// Leaf payoff at node lid: S * e^{(2*lid - steps) * v sqrt(dt)} - X.
+			ir.Set("up", ir.Subi(ir.Muli(ir.I(2), lid), ir.Pi("steps"))),
+			ir.Set("leaf", ir.Sub(
+				ir.Mul(ir.V("S"),
+					ir.Call1(ir.Exp, ir.Mul(ir.ToFloat{X: ir.Vi("up")}, ir.P("vsdt")))),
+				ir.V("X"))),
+			ir.LStoreF("vals", lid, ir.Bin{Op: ir.MaxF, X: ir.V("leaf"), Y: ir.F(0)}),
+			ir.Barrier{},
+			// Backward induction: level `steps - s` nodes remain after step s.
+			ir.Loop("s", ir.I(0), ir.Pi("steps"),
+				ir.Set("level", ir.Subi(ir.Pi("steps"), ir.Vi("s"))),
+				ir.When(ir.Bin{Op: ir.LtI, X: lid, Y: ir.Vi("level")},
+					ir.Set("tmp", ir.Add(
+						ir.Mul(ir.P("pu"), ir.LLoadF("vals", ir.Addi(lid, ir.I(1)))),
+						ir.Mul(ir.P("pd"), ir.LLoadF("vals", lid))))),
+				ir.Barrier{},
+				ir.When(ir.Bin{Op: ir.LtI, X: lid, Y: ir.Vi("level")},
+					ir.LStoreF("vals", lid, ir.V("tmp"))),
+				ir.Barrier{},
+			),
+			ir.When(ir.Bin{Op: ir.EqI, X: lid, Y: ir.I(0)},
+				ir.StoreF("out", ir.Vi("opt"), ir.LLoadF("vals", ir.I(0)))),
+		},
+	}
+}
+
+// BinomialOption returns the Binomialoption application (Table II: 255000
+// and 2550000 workitems in groups of 255, i.e. 1000 and 10000 options).
+func BinomialOption() *App {
+	return &App{
+		Name:   "Binomialoption",
+		Kernel: BinomialOptionKernel(),
+		Configs: []ir.NDRange{
+			ir.Range1D(255000, 255),
+			ir.Range1D(2550000, 255),
+		},
+		Make:  MakeBinomialArgs,
+		Check: CheckBinomial,
+	}
+}
+
+// MakeBinomialArgs builds one option per workgroup plus the CRR scalars.
+func MakeBinomialArgs(nd ir.NDRange) *ir.Args {
+	local := nd.Local[0]
+	if local == 0 {
+		local = 255
+	}
+	options := nd.GlobalItems() / local
+	steps := local - 1
+	price := ir.NewBufferF32("price", options)
+	strike := ir.NewBufferF32("strike", options)
+	FillUniform(price, 61, 5, 30)
+	FillUniform(strike, 62, 1, 100)
+
+	dt := boYears / float64(steps)
+	vsdt := boVolatility * math.Sqrt(dt)
+	u := math.Exp(vsdt)
+	d := 1 / u
+	p := (math.Exp(boRiskFree*dt) - d) / (u - d)
+	df := math.Exp(-boRiskFree * dt)
+
+	return ir.NewArgs().
+		Bind("price", price).Bind("strike", strike).
+		Bind("out", ir.NewBufferF32("out", options)).
+		SetScalar("steps", float64(steps)).
+		SetScalar("vsdt", vsdt).
+		SetScalar("pu", df*p).
+		SetScalar("pd", df*(1-p))
+}
+
+// CheckBinomial validates against a host-side CRR backward induction.
+func CheckBinomial(args *ir.Args, nd ir.NDRange) error {
+	price := args.Buffers["price"]
+	strike := args.Buffers["strike"]
+	steps := int(args.Scalars["steps"])
+	vsdt := args.Scalars["vsdt"]
+	pu := args.Scalars["pu"]
+	pd := args.Scalars["pd"]
+
+	want := make([]float64, price.Len())
+	vals := make([]float64, steps+1)
+	for o := range want {
+		s, x := price.Get(o), strike.Get(o)
+		for j := 0; j <= steps; j++ {
+			vals[j] = math.Max(s*math.Exp(float64(2*j-steps)*vsdt)-x, 0)
+		}
+		for level := steps; level >= 1; level-- {
+			for j := 0; j < level; j++ {
+				vals[j] = pu*vals[j+1] + pd*vals[j]
+			}
+		}
+		want[o] = vals[0]
+	}
+	return Compare("out", args.Buffers["out"], want, 2e-3)
+}

@@ -1,0 +1,153 @@
+package kernels
+
+import (
+	"math"
+
+	"clperf/internal/ir"
+)
+
+// Black-Scholes risk-free rate and volatility used by both the kernel and
+// the reference implementation.
+const (
+	bsRiskFree   = 0.02
+	bsVolatility = 0.30
+)
+
+// cndStmts emits statements computing the cumulative normal distribution of
+// the float variable src into dst using the Abramowitz-Stegun polynomial,
+// with a Select (not a branch) for the negative tail so the kernel keeps a
+// straight control-flow graph.
+func cndStmts(dst, src string) []ir.Stmt {
+	const (
+		a1, a2, a3 = 0.31938153, -0.356563782, 1.781477937
+		a4, a5     = -1.821255978, 1.330274429
+		rsqrt2pi   = 0.39894228040143267794
+	)
+	d := ir.V(src)
+	abs := "abs_" + dst
+	kv := "k_" + dst
+	poly := "poly_" + dst
+	w := "w_" + dst
+	return []ir.Stmt{
+		ir.Set(abs, ir.Call1(ir.Fabs, d)),
+		ir.Set(kv, ir.Div(ir.F(1), ir.Add(ir.F(1), ir.Mul(ir.F(0.2316419), ir.V(abs))))),
+		// Horner evaluation of the fifth-order polynomial in k.
+		ir.Set(poly, ir.Mul(ir.V(kv),
+			ir.Add(ir.F(a1), ir.Mul(ir.V(kv),
+				ir.Add(ir.F(a2), ir.Mul(ir.V(kv),
+					ir.Add(ir.F(a3), ir.Mul(ir.V(kv),
+						ir.Add(ir.F(a4), ir.Mul(ir.V(kv), ir.F(a5))))))))))),
+		ir.Set(w, ir.Sub(ir.F(1),
+			ir.Mul(ir.Mul(ir.F(rsqrt2pi),
+				ir.Call1(ir.Exp, ir.Mul(ir.F(-0.5), ir.Mul(d, d)))),
+				ir.V(poly)))),
+		ir.Set(dst, ir.Select{
+			Cond: ir.Bin{Op: ir.LtF, X: d, Y: ir.F(0)},
+			Then: ir.Sub(ir.F(1), ir.V(w)),
+			Else: ir.V(w),
+		}),
+	}
+}
+
+func cndRef(d float64) float64 {
+	const (
+		a1, a2, a3 = 0.31938153, -0.356563782, 1.781477937
+		a4, a5     = -1.821255978, 1.330274429
+		rsqrt2pi   = 0.39894228040143267794
+	)
+	abs := math.Abs(d)
+	k := 1 / (1 + 0.2316419*abs)
+	poly := k * (a1 + k*(a2+k*(a3+k*(a4+k*a5))))
+	w := 1 - rsqrt2pi*math.Exp(-0.5*d*d)*poly
+	if d < 0 {
+		return 1 - w
+	}
+	return w
+}
+
+// BlackScholesKernel returns the blackScholes kernel: a 2-D range of
+// independent option valuations with a long straight-line body (the paper's
+// example of a kernel whose per-workitem work dwarfs scheduling overhead).
+func BlackScholesKernel() *ir.Kernel {
+	idx := ir.Addi(ir.Muli(ir.Gid(1), ir.Gsz(0)), ir.Gid(0))
+	body := []ir.Stmt{
+		ir.Set("i", idx),
+		ir.Set("S", ir.LoadF("price", ir.Vi("i"))),
+		ir.Set("X", ir.LoadF("strike", ir.Vi("i"))),
+		ir.Set("T", ir.LoadF("years", ir.Vi("i"))),
+		ir.Set("sqrtT", ir.Call1(ir.Sqrt, ir.V("T"))),
+		ir.Set("d1", ir.Div(
+			ir.Add(ir.Call1(ir.Log, ir.Div(ir.V("S"), ir.V("X"))),
+				ir.Mul(ir.Add(ir.F(bsRiskFree), ir.F(0.5*bsVolatility*bsVolatility)), ir.V("T"))),
+			ir.Mul(ir.F(bsVolatility), ir.V("sqrtT")))),
+		ir.Set("d2", ir.Sub(ir.V("d1"), ir.Mul(ir.F(bsVolatility), ir.V("sqrtT")))),
+	}
+	body = append(body, cndStmts("cnd1", "d1")...)
+	body = append(body, cndStmts("cnd2", "d2")...)
+	body = append(body,
+		ir.Set("expRT", ir.Call1(ir.Exp, ir.Mul(ir.F(-bsRiskFree), ir.V("T")))),
+		ir.StoreF("call", ir.Vi("i"),
+			ir.Sub(ir.Mul(ir.V("S"), ir.V("cnd1")),
+				ir.Mul(ir.Mul(ir.V("X"), ir.V("expRT")), ir.V("cnd2")))),
+		ir.StoreF("put", ir.Vi("i"),
+			ir.Sub(ir.Mul(ir.Mul(ir.V("X"), ir.V("expRT")), ir.Sub(ir.F(1), ir.V("cnd2"))),
+				ir.Mul(ir.V("S"), ir.Sub(ir.F(1), ir.V("cnd1"))))),
+	)
+	return &ir.Kernel{
+		Name:    "blackScholes",
+		WorkDim: 2,
+		Params: []ir.Param{
+			ir.Buf("price"), ir.Buf("strike"), ir.Buf("years"),
+			ir.Buf("call"), ir.Buf("put"),
+		},
+		Body: body,
+	}
+}
+
+// BlackScholes returns the Blackscholes application (Table II: 1280x1280
+// and 2560x2560 with 16x16 workgroups).
+func BlackScholes() *App {
+	return &App{
+		Name:   "Blackscholes",
+		Kernel: BlackScholesKernel(),
+		Configs: []ir.NDRange{
+			ir.Range2D(1280, 1280, 16, 16),
+			ir.Range2D(2560, 2560, 16, 16),
+		},
+		Make: func(nd ir.NDRange) *ir.Args {
+			n := nd.GlobalItems()
+			price := ir.NewBufferF32("price", n)
+			strike := ir.NewBufferF32("strike", n)
+			years := ir.NewBufferF32("years", n)
+			FillUniform(price, 51, 5, 30)
+			FillUniform(strike, 52, 1, 100)
+			FillUniform(years, 53, 0.25, 10)
+			return ir.NewArgs().
+				Bind("price", price).Bind("strike", strike).Bind("years", years).
+				Bind("call", ir.NewBufferF32("call", n)).
+				Bind("put", ir.NewBufferF32("put", n))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			price := args.Buffers["price"]
+			strike := args.Buffers["strike"]
+			years := args.Buffers["years"]
+			n := price.Len()
+			wantCall := make([]float64, n)
+			wantPut := make([]float64, n)
+			for i := 0; i < n; i++ {
+				s, x, t := price.Get(i), strike.Get(i), years.Get(i)
+				sqrtT := math.Sqrt(t)
+				d1 := (math.Log(s/x) + (bsRiskFree+0.5*bsVolatility*bsVolatility)*t) /
+					(bsVolatility * sqrtT)
+				d2 := d1 - bsVolatility*sqrtT
+				expRT := math.Exp(-bsRiskFree * t)
+				wantCall[i] = s*cndRef(d1) - x*expRT*cndRef(d2)
+				wantPut[i] = x*expRT*(1-cndRef(d2)) - s*(1-cndRef(d1))
+			}
+			if err := Compare("call", args.Buffers["call"], wantCall, 1e-3); err != nil {
+				return err
+			}
+			return Compare("put", args.Buffers["put"], wantPut, 1e-3)
+		},
+	}
+}

@@ -1,0 +1,104 @@
+package kernels
+
+import (
+	"fmt"
+
+	"clperf/internal/ir"
+)
+
+// Coarsen returns a kernel in which every workitem performs the work of
+// factor original workitems — the paper's Figure 1/2 transformation
+// ("we coalesce multiple workitems into a single workitem by forming a loop
+// inside the kernel"). The caller launches it over global/factor items.
+//
+// The strided mapping is used (workitem g handles original items
+// g, g+N', g+2N', ... with N' the reduced global size) so inter-workitem
+// accesses stay unit-stride and the implicit vectorizer keeps packing —
+// the coarsening a careful programmer applies.
+//
+// Kernels that read get_global_size(0) cannot be coarsened this way (the
+// body would observe the reduced size) and are rejected.
+func Coarsen(k *ir.Kernel, factor int) (*ir.Kernel, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("kernels: coarsening factor %d", factor)
+	}
+	if factor == 1 {
+		return k, nil
+	}
+	usesGsz := false
+	usesBarrier := false
+	var scanStmts func([]ir.Stmt)
+	scanExpr := func(e ir.Expr) {
+		ir.WalkExpr(e, func(e ir.Expr) {
+			if id, ok := e.(ir.ID); ok && id.Fn == ir.GlobalSize && id.Dim == 0 {
+				usesGsz = true
+			}
+		})
+	}
+	scanStmts = func(stmts []ir.Stmt) {
+		ir.WalkStmts(stmts, func(s ir.Stmt) {
+			switch s := s.(type) {
+			case ir.Assign:
+				scanExpr(s.Val)
+			case ir.Store:
+				scanExpr(s.Index)
+				scanExpr(s.Val)
+			case ir.LocalStore:
+				scanExpr(s.Index)
+				scanExpr(s.Val)
+			case ir.AtomicAdd:
+				scanExpr(s.Index)
+				scanExpr(s.Val)
+			case ir.If:
+				scanExpr(s.Cond)
+			case ir.For:
+				scanExpr(s.Start)
+				scanExpr(s.End)
+				scanExpr(s.Step)
+			case ir.Barrier:
+				usesBarrier = true
+			}
+		})
+	}
+	scanStmts(k.Body)
+	if usesGsz {
+		return nil, fmt.Errorf("kernels: %s reads get_global_size(0); cannot coarsen", k.Name)
+	}
+	if usesBarrier {
+		return nil, fmt.Errorf("kernels: %s synchronizes with barriers; cannot coarsen", k.Name)
+	}
+
+	const cvar = "coarse_c"
+	newGid := ir.Addi(ir.Gid(0), ir.Muli(ir.Vi(cvar), ir.Gsz(0)))
+	body := ir.SubstGlobalID(k.Body, 0, newGid)
+	return &ir.Kernel{
+		Name:    fmt.Sprintf("%s_x%d", k.Name, factor),
+		WorkDim: k.WorkDim,
+		Params:  k.Params,
+		Locals:  k.Locals,
+		Body: []ir.Stmt{
+			ir.For{Var: cvar, Start: ir.I(0), End: ir.I(int64(factor)), Step: ir.I(1), Body: body},
+		},
+	}, nil
+}
+
+// CoarsenRange divides an NDRange's dimension-0 global size by factor,
+// keeping the local size policy (NULL stays NULL) and shrinking an explicit
+// local size to the largest divisor of the reduced global size.
+func CoarsenRange(nd ir.NDRange, factor int) (ir.NDRange, error) {
+	if nd.Global[0]%factor != 0 {
+		return nd, fmt.Errorf("kernels: global size %d not divisible by coarsening %d",
+			nd.Global[0], factor)
+	}
+	nd.Global[0] /= factor
+	if l := nd.Local[0]; l > 0 {
+		if l > nd.Global[0] {
+			l = nd.Global[0]
+		}
+		for nd.Global[0]%l != 0 {
+			l--
+		}
+		nd.Local[0] = l
+	}
+	return nd, nil
+}

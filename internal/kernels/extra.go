@@ -1,0 +1,306 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"clperf/internal/ir"
+)
+
+// ExtraRegistry returns applications beyond the paper's Table II suite.
+// They cover access patterns the paper's workloads miss — transposed
+// (maximally strided) stores, 2-D stencils, all-pairs O(n^2) compute, and
+// a two-stage dot product — and serve the advisor/partitioner as further
+// probes.
+func ExtraRegistry() []*App {
+	return []*App{
+		Transpose(),
+		Convolution(),
+		NBody(),
+		DotProduct(),
+	}
+}
+
+// TransposeKernel returns out[x*h + y] = in[y*w + x]: unit-stride loads,
+// h-stride stores — the canonical uncoalesced/unvectorizable store pattern.
+func TransposeKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "transpose",
+		WorkDim: 2,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("x", ir.Gid(0)),
+			ir.Set("y", ir.Gid(1)),
+			ir.StoreF("out", ir.Addi(ir.Muli(ir.Vi("x"), ir.Gsz(1)), ir.Vi("y")),
+				ir.LoadF("in", ir.Addi(ir.Muli(ir.Vi("y"), ir.Gsz(0)), ir.Vi("x")))),
+		},
+	}
+}
+
+// Transpose returns the matrix-transpose application.
+func Transpose() *App {
+	return &App{
+		Name:   "Transpose",
+		Kernel: TransposeKernel(),
+		Configs: []ir.NDRange{
+			ir.Range2D(1024, 1024, 16, 16),
+			ir.Range2D(4096, 4096, 16, 16),
+		},
+		Make: func(nd ir.NDRange) *ir.Args {
+			w, h := nd.Global[0], nd.Global[1]
+			in := ir.NewBufferF32("in", w*h)
+			FillUniform(in, 301, -1, 1)
+			return ir.NewArgs().Bind("in", in).Bind("out", ir.NewBufferF32("out", w*h))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			w, h := nd.Global[0], nd.Global[1]
+			in, out := args.Buffers["in"], args.Buffers["out"]
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					if out.Get(x*h+y) != in.Get(y*w+x) {
+						return fmt.Errorf("out[%d,%d] = %v, want %v",
+							x, y, out.Get(x*h+y), in.Get(y*w+x))
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// convRadius is the stencil half-width of the convolution kernel.
+const convRadius = 2
+
+// ConvolutionKernel returns a 1-D 5-point convolution along rows of a 2-D
+// grid with clamped borders: a stencil with neighbour reuse.
+func ConvolutionKernel() *ir.Kernel {
+	// out[y*w+x] = sum_{d=-2..2} in[y*w + clamp(x+d)] * coef[d+2]
+	idx := func(d int64) ir.Expr {
+		x := ir.Addi(ir.Gid(0), ir.I(d))
+		// clamp via min/max on ints through float min/max (exact for the
+		// small integers involved)
+		clamped := ir.ToInt{X: ir.Bin{Op: ir.MaxF, X: ir.F(0),
+			Y: ir.Bin{Op: ir.MinF,
+				X: ir.ToFloat{X: x},
+				Y: ir.ToFloat{X: ir.Subi(ir.Gsz(0), ir.I(1))}}}}
+		return ir.Addi(ir.Muli(ir.Gid(1), ir.Gsz(0)), clamped)
+	}
+	sum := ir.Expr(ir.F(0))
+	for d := int64(-convRadius); d <= convRadius; d++ {
+		sum = ir.Add(sum, ir.Mul(
+			ir.LoadF("in", idx(d)),
+			ir.LoadF("coef", ir.I(d+convRadius))))
+	}
+	return &ir.Kernel{
+		Name:    "convolve",
+		WorkDim: 2,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("coef"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.StoreF("out", ir.Addi(ir.Muli(ir.Gid(1), ir.Gsz(0)), ir.Gid(0)), sum),
+		},
+	}
+}
+
+// Convolution returns the row-convolution application.
+func Convolution() *App {
+	return &App{
+		Name:   "Convolution",
+		Kernel: ConvolutionKernel(),
+		Configs: []ir.NDRange{
+			ir.Range2D(1024, 1024, 64, 1),
+			ir.Range2D(4096, 2048, 64, 1),
+		},
+		Make: func(nd ir.NDRange) *ir.Args {
+			w, h := nd.Global[0], nd.Global[1]
+			in := ir.NewBufferF32("in", w*h)
+			FillUniform(in, 311, -1, 1)
+			coef := ir.FromF32("coef", []float64{0.0625, 0.25, 0.375, 0.25, 0.0625})
+			return ir.NewArgs().Bind("in", in).Bind("coef", coef).
+				Bind("out", ir.NewBufferF32("out", w*h))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			w, h := nd.Global[0], nd.Global[1]
+			in, coef, out := args.Buffers["in"], args.Buffers["coef"], args.Buffers["out"]
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					want := float32(0)
+					for d := -convRadius; d <= convRadius; d++ {
+						xx := x + d
+						if xx < 0 {
+							xx = 0
+						}
+						if xx > w-1 {
+							xx = w - 1
+						}
+						want += float32(in.Get(y*w+xx)) * float32(coef.Get(d+convRadius))
+					}
+					if got := out.Get(y*w + x); math.Abs(got-float64(want)) > 1e-4 {
+						return fmt.Errorf("out[%d,%d] = %v, want %v", x, y, got, want)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// nbodySoftening avoids the singularity in the all-pairs force sum.
+const nbodySoftening = 0.01
+
+// NBodyKernel returns one step of all-pairs gravity along one axis: for
+// each body, sum softened inverse-square attractions — O(n) loads and
+// heavy rsqrt work per workitem, the classic GPU showcase.
+func NBodyKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "nbody",
+		WorkDim: 1,
+		Params: []ir.Param{
+			ir.Buf("posx"), ir.Buf("posy"), ir.Buf("mass"), ir.Buf("accx"),
+			ir.ScalarI("n"),
+		},
+		Body: []ir.Stmt{
+			ir.Set("xi", ir.LoadF("posx", ir.Gid(0))),
+			ir.Set("yi", ir.LoadF("posy", ir.Gid(0))),
+			ir.Set("ax", ir.F(0)),
+			ir.Loop("j", ir.I(0), ir.Pi("n"),
+				ir.Set("dx", ir.Sub(ir.LoadF("posx", ir.Vi("j")), ir.V("xi"))),
+				ir.Set("dy", ir.Sub(ir.LoadF("posy", ir.Vi("j")), ir.V("yi"))),
+				ir.Set("r2", ir.Add(ir.Add(
+					ir.Mul(ir.V("dx"), ir.V("dx")),
+					ir.Mul(ir.V("dy"), ir.V("dy"))),
+					ir.F(nbodySoftening))),
+				ir.Set("inv", ir.Call1(ir.Rsqrt, ir.V("r2"))),
+				ir.Set("inv3", ir.Mul(ir.Mul(ir.V("inv"), ir.V("inv")), ir.V("inv"))),
+				ir.Set("ax", ir.Add(ir.V("ax"),
+					ir.Mul(ir.Mul(ir.LoadF("mass", ir.Vi("j")), ir.V("inv3")), ir.V("dx")))),
+			),
+			ir.StoreF("accx", ir.Gid(0), ir.V("ax")),
+		},
+	}
+}
+
+// NBody returns the all-pairs n-body application.
+func NBody() *App {
+	return &App{
+		Name:   "NBody",
+		Kernel: NBodyKernel(),
+		Configs: []ir.NDRange{
+			ir.Range1D(4096, 256),
+			ir.Range1D(16384, 256),
+		},
+		Make: func(nd ir.NDRange) *ir.Args {
+			n := nd.GlobalItems()
+			px := ir.NewBufferF32("posx", n)
+			py := ir.NewBufferF32("posy", n)
+			m := ir.NewBufferF32("mass", n)
+			FillUniform(px, 321, -10, 10)
+			FillUniform(py, 322, -10, 10)
+			FillUniform(m, 323, 0.1, 2)
+			return ir.NewArgs().
+				Bind("posx", px).Bind("posy", py).Bind("mass", m).
+				Bind("accx", ir.NewBufferF32("accx", n)).
+				SetScalar("n", float64(n))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			n := nd.GlobalItems()
+			px, py := args.Buffers["posx"], args.Buffers["posy"]
+			m, ax := args.Buffers["mass"], args.Buffers["accx"]
+			// Spot-check a sample of bodies (O(n^2) full check is costly).
+			for i := 0; i < n; i += maxInt(1, n/64) {
+				want := float32(0)
+				xi, yi := float32(px.Get(i)), float32(py.Get(i))
+				for j := 0; j < n; j++ {
+					dx := float32(px.Get(j)) - xi
+					dy := float32(py.Get(j)) - yi
+					r2 := dx*dx + dy*dy + nbodySoftening
+					inv := 1 / float32(math.Sqrt(float64(r2)))
+					want += float32(m.Get(j)) * inv * inv * inv * dx
+				}
+				if got := ax.Get(i); math.Abs(got-float64(want)) > 2e-2*math.Max(1, math.Abs(float64(want))) {
+					return fmt.Errorf("accx[%d] = %v, want %v", i, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// DotProductKernel returns the first stage of a dot product: per-workgroup
+// tree reduction of x[i]*y[i] into one partial per group.
+func DotProductKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "dotproduct",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("x"), ir.Buf("y"), ir.Buf("partial"), ir.ScalarI("levels")},
+		Locals:  []ir.LocalArray{{Name: "scratch", Elem: ir.F32, Size: ir.Lsz(0)}},
+		Body: []ir.Stmt{
+			ir.LStoreF("scratch", ir.Lid(0),
+				ir.Mul(ir.LoadF("x", ir.Gid(0)), ir.LoadF("y", ir.Gid(0)))),
+			ir.Barrier{},
+			ir.Loop("lev", ir.I(0), ir.Pi("levels"),
+				ir.Set("s", ir.Bin{Op: ir.ShrI, X: ir.Lsz(0), Y: ir.Addi(ir.Vi("lev"), ir.I(1))}),
+				ir.When(ir.Bin{Op: ir.LtI, X: ir.Lid(0), Y: ir.Vi("s")},
+					ir.Set("tmp", ir.Add(
+						ir.LLoadF("scratch", ir.Lid(0)),
+						ir.LLoadF("scratch", ir.Addi(ir.Lid(0), ir.Vi("s")))))),
+				ir.Barrier{},
+				ir.When(ir.Bin{Op: ir.LtI, X: ir.Lid(0), Y: ir.Vi("s")},
+					ir.LStoreF("scratch", ir.Lid(0), ir.V("tmp"))),
+				ir.Barrier{},
+			),
+			ir.When(ir.Bin{Op: ir.EqI, X: ir.Lid(0), Y: ir.I(0)},
+				ir.StoreF("partial", ir.Grp(0), ir.LLoadF("scratch", ir.I(0)))),
+		},
+	}
+}
+
+// DotProduct returns the two-stage dot-product application (kernel stage +
+// host-side partial sum, as Check performs).
+func DotProduct() *App {
+	return &App{
+		Name:   "DotProduct",
+		Kernel: DotProductKernel(),
+		Configs: []ir.NDRange{
+			ir.Range1D(1<<20, 256),
+			ir.Range1D(1<<22, 256),
+		},
+		Make: func(nd ir.NDRange) *ir.Args {
+			n := nd.GlobalItems()
+			local := nd.Local[0]
+			if local == 0 {
+				local = 256
+			}
+			x := ir.NewBufferF32("x", n)
+			y := ir.NewBufferF32("y", n)
+			FillUniform(x, 331, -1, 1)
+			FillUniform(y, 332, -1, 1)
+			return ir.NewArgs().
+				Bind("x", x).Bind("y", y).
+				Bind("partial", ir.NewBufferF32("partial", (n+local-1)/local)).
+				SetScalar("levels", float64(log2i(local)))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			x, y := args.Buffers["x"], args.Buffers["y"]
+			var want float64
+			for i := 0; i < x.Len(); i++ {
+				want += float64(float32(x.Get(i)) * float32(y.Get(i)))
+			}
+			partial := args.Buffers["partial"]
+			var got float64
+			for i := 0; i < partial.Len(); i++ {
+				got += partial.Get(i)
+			}
+			if math.Abs(got-want) > 1e-3*math.Max(1, math.Abs(want)) {
+				return fmt.Errorf("dot = %v, want %v", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

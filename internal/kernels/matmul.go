@@ -1,0 +1,136 @@
+package kernels
+
+import "clperf/internal/ir"
+
+// MatMulK is the inner (reduction) dimension used for the paper-sized
+// configurations; it is divisible by every workgroup edge in Table V.
+const MatMulK = 160
+
+// MatrixMulKernel returns the local-memory blocked matrix multiply
+// (the NVIDIA SDK "matrixMul" the paper uses): C[row][col] =
+// sum_k A[row][k] * B[k][col], with square tiles of the workgroup size
+// staged through __local memory.
+//
+// Geometry: global = (wB, hA), gid0 = column, gid1 = row; scalar K is the
+// inner dimension and must be a multiple of the tile edge.
+func MatrixMulKernel() *ir.Kernel {
+	lsz := ir.Lsz(0) // square tiles: local x == local y
+	tileIdx := func(r, c ir.Expr) ir.Expr { return ir.Addi(ir.Muli(r, lsz), c) }
+	return &ir.Kernel{
+		Name:    "matrixMul",
+		WorkDim: 2,
+		Params:  []ir.Param{ir.Buf("A"), ir.Buf("B"), ir.Buf("C"), ir.ScalarI("K")},
+		Locals: []ir.LocalArray{
+			{Name: "As", Elem: ir.F32, Size: ir.Muli(ir.Lsz(0), ir.Lsz(1))},
+			{Name: "Bs", Elem: ir.F32, Size: ir.Muli(ir.Lsz(0), ir.Lsz(1))},
+		},
+		Body: []ir.Stmt{
+			ir.Set("col", ir.Gid(0)),
+			ir.Set("row", ir.Gid(1)),
+			ir.Set("wB", ir.Gsz(0)),
+			ir.Set("acc", ir.F(0)),
+			ir.Loop("t", ir.I(0), ir.Divi(ir.Pi("K"), lsz),
+				// Stage one tile of A and one of B.
+				ir.LStoreF("As", tileIdx(ir.Lid(1), ir.Lid(0)),
+					ir.LoadF("A", ir.Addi(ir.Muli(ir.Vi("row"), ir.Pi("K")),
+						ir.Addi(ir.Muli(ir.Vi("t"), lsz), ir.Lid(0))))),
+				ir.LStoreF("Bs", tileIdx(ir.Lid(1), ir.Lid(0)),
+					ir.LoadF("B", ir.Addi(
+						ir.Muli(ir.Addi(ir.Muli(ir.Vi("t"), lsz), ir.Lid(1)), ir.Vi("wB")),
+						ir.Vi("col")))),
+				ir.Barrier{},
+				ir.Loop("k", ir.I(0), lsz,
+					ir.Set("acc", ir.Add(ir.V("acc"),
+						ir.Mul(ir.LLoadF("As", tileIdx(ir.Lid(1), ir.Vi("k"))),
+							ir.LLoadF("Bs", tileIdx(ir.Vi("k"), ir.Lid(0))))))),
+				ir.Barrier{},
+			),
+			ir.StoreF("C", ir.Addi(ir.Muli(ir.Vi("row"), ir.Vi("wB")), ir.Vi("col")),
+				ir.V("acc")),
+		},
+	}
+}
+
+// MatrixMulNaiveKernel returns the unblocked multiply: every workitem
+// streams a full row of A and column of B from global memory.
+func MatrixMulNaiveKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "matrixMulNaive",
+		WorkDim: 2,
+		Params:  []ir.Param{ir.Buf("A"), ir.Buf("B"), ir.Buf("C"), ir.ScalarI("K")},
+		Body: []ir.Stmt{
+			ir.Set("col", ir.Gid(0)),
+			ir.Set("row", ir.Gid(1)),
+			ir.Set("wB", ir.Gsz(0)),
+			ir.Set("acc", ir.F(0)),
+			ir.Loop("k", ir.I(0), ir.Pi("K"),
+				ir.Set("acc", ir.Add(ir.V("acc"), ir.Mul(
+					ir.LoadF("A", ir.Addi(ir.Muli(ir.Vi("row"), ir.Pi("K")), ir.Vi("k"))),
+					ir.LoadF("B", ir.Addi(ir.Muli(ir.Vi("k"), ir.Vi("wB")), ir.Vi("col"))))))),
+			ir.StoreF("C", ir.Addi(ir.Muli(ir.Vi("row"), ir.Vi("wB")), ir.Vi("col")),
+				ir.V("acc")),
+		},
+	}
+}
+
+// matMulConfigs are the Table II global sizes (C dimensions) with 16x16
+// workgroups.
+func matMulConfigs() []ir.NDRange {
+	return []ir.NDRange{
+		ir.Range2D(800, 1600, 16, 16),
+		ir.Range2D(1600, 3200, 16, 16),
+		ir.Range2D(4000, 8000, 16, 16),
+	}
+}
+
+// MakeMatMulArgs builds A (hA x K), B (K x wB) and C for the geometry.
+func MakeMatMulArgs(nd ir.NDRange, k int) *ir.Args {
+	wB, hA := nd.Global[0], nd.Global[1]
+	a := ir.NewBufferF32("A", hA*k)
+	b := ir.NewBufferF32("B", k*wB)
+	FillUniform(a, 11, -1, 1)
+	FillUniform(b, 12, -1, 1)
+	return ir.NewArgs().
+		Bind("A", a).Bind("B", b).Bind("C", ir.NewBufferF32("C", hA*wB)).
+		SetScalar("K", float64(k))
+}
+
+// CheckMatMul validates C against a straightforward reference multiply.
+func CheckMatMul(args *ir.Args, nd ir.NDRange) error {
+	wB, hA := nd.Global[0], nd.Global[1]
+	k := int(args.Scalars["K"])
+	a, b := args.Buffers["A"], args.Buffers["B"]
+	want := make([]float64, hA*wB)
+	for row := 0; row < hA; row++ {
+		for col := 0; col < wB; col++ {
+			acc := float32(0)
+			for kk := 0; kk < k; kk++ {
+				acc += float32(a.Get(row*k+kk)) * float32(b.Get(kk*wB+col))
+			}
+			want[row*wB+col] = float64(acc)
+		}
+	}
+	return Compare("C", args.Buffers["C"], want, 1e-3)
+}
+
+// MatrixMul returns the blocked Matrixmul application.
+func MatrixMul() *App {
+	return &App{
+		Name:    "Matrixmul",
+		Kernel:  MatrixMulKernel(),
+		Configs: matMulConfigs(),
+		Make:    func(nd ir.NDRange) *ir.Args { return MakeMatMulArgs(nd, MatMulK) },
+		Check:   CheckMatMul,
+	}
+}
+
+// MatrixMulNaive returns the naive MatrixmulNaive application.
+func MatrixMulNaive() *App {
+	return &App{
+		Name:    "MatrixmulNaive",
+		Kernel:  MatrixMulNaiveKernel(),
+		Configs: matMulConfigs(),
+		Make:    func(nd ir.NDRange) *ir.Args { return MakeMatMulArgs(nd, MatMulK) },
+		Check:   CheckMatMul,
+	}
+}

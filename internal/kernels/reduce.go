@@ -1,0 +1,233 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"clperf/internal/ir"
+)
+
+// ReductionKernel returns the workgroup tree reduction: each group sums its
+// slice of the input through local memory and writes one partial result.
+// The scalar "levels" must equal log2(local size).
+func ReductionKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "reduce",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("partial"), ir.ScalarI("levels")},
+		Locals:  []ir.LocalArray{{Name: "scratch", Elem: ir.F32, Size: ir.Lsz(0)}},
+		Body: []ir.Stmt{
+			ir.LStoreF("scratch", ir.Lid(0), ir.LoadF("in", ir.Gid(0))),
+			ir.Barrier{},
+			ir.Loop("lev", ir.I(0), ir.Pi("levels"),
+				// stride s halves every level: s = Lsz >> (lev+1)
+				ir.Set("s", ir.Bin{Op: ir.ShrI, X: ir.Lsz(0), Y: ir.Addi(ir.Vi("lev"), ir.I(1))}),
+				ir.When(ir.Bin{Op: ir.LtI, X: ir.Lid(0), Y: ir.Vi("s")},
+					ir.Set("tmp", ir.Add(
+						ir.LLoadF("scratch", ir.Lid(0)),
+						ir.LLoadF("scratch", ir.Addi(ir.Lid(0), ir.Vi("s")))))),
+				ir.Barrier{},
+				ir.When(ir.Bin{Op: ir.LtI, X: ir.Lid(0), Y: ir.Vi("s")},
+					ir.LStoreF("scratch", ir.Lid(0), ir.V("tmp"))),
+				ir.Barrier{},
+			),
+			ir.When(ir.Bin{Op: ir.EqI, X: ir.Lid(0), Y: ir.I(0)},
+				ir.StoreF("partial", ir.Grp(0), ir.LLoadF("scratch", ir.I(0)))),
+		},
+	}
+}
+
+// Reduction returns the Reduction application (Table II: 640K..10.24M
+// items, workgroups of 256).
+func Reduction() *App {
+	return &App{
+		Name:   "Reduction",
+		Kernel: ReductionKernel(),
+		Configs: []ir.NDRange{
+			ir.Range1D(640000, 256),
+			ir.Range1D(2560000, 256),
+			ir.Range1D(10240000, 256),
+		},
+		Make:  makeReductionArgs,
+		Check: checkReduction,
+	}
+}
+
+func makeReductionArgs(nd ir.NDRange) *ir.Args {
+	n := nd.GlobalItems()
+	local := nd.Local[0]
+	if local == 0 {
+		local = 256
+	}
+	in := ir.NewBufferF32("in", n)
+	FillUniform(in, 21, 0, 1)
+	groups := (n + local - 1) / local
+	return ir.NewArgs().
+		Bind("in", in).
+		Bind("partial", ir.NewBufferF32("partial", groups)).
+		SetScalar("levels", float64(log2i(local)))
+}
+
+func checkReduction(args *ir.Args, nd ir.NDRange) error {
+	in := args.Buffers["in"]
+	local := nd.Local[0]
+	partial := args.Buffers["partial"]
+	for g := 0; g < partial.Len(); g++ {
+		// Sum in the same pairwise order as the kernel for bit-comparable
+		// float32 results; a plain sum with loose tolerance also passes.
+		want := float32(0)
+		for i := g * local; i < (g+1)*local && i < in.Len(); i++ {
+			want += float32(in.Get(i))
+		}
+		got := partial.Get(g)
+		if math.Abs(got-float64(want)) > 1e-3*math.Max(1, math.Abs(float64(want))) {
+			return fmt.Errorf("partial[%d] = %v, want %v", g, got, want)
+		}
+	}
+	return nil
+}
+
+func log2i(n int) int {
+	l := 0
+	for 1<<uint(l+1) <= n {
+		l++
+	}
+	return l
+}
+
+// HistogramKernel returns histogram256: each workgroup accumulates a local
+// 256-bin histogram with atomics and flushes it to a per-group slice of the
+// partial buffer.
+func HistogramKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "histogram256",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.BufI("in"), ir.BufI("partial")},
+		Locals:  []ir.LocalArray{{Name: "bins", Elem: ir.I32, Size: ir.I(256)}},
+		Body: []ir.Stmt{
+			ir.For{Var: "t", Start: ir.Lid(0), End: ir.I(256), Step: ir.Lsz(0), Body: []ir.Stmt{
+				ir.LocalStore{Arr: "bins", Index: ir.Vi("t"), Val: ir.I(0)},
+			}},
+			ir.Barrier{},
+			ir.AtomicAdd{Arr: "bins",
+				Index: ir.Bin{Op: ir.AndI, X: ir.LoadI("in", ir.Gid(0)), Y: ir.I(255)},
+				Val:   ir.I(1)},
+			ir.Barrier{},
+			ir.For{Var: "t", Start: ir.Lid(0), End: ir.I(256), Step: ir.Lsz(0), Body: []ir.Stmt{
+				ir.Store{Buf: "partial",
+					Index: ir.Addi(ir.Muli(ir.Grp(0), ir.I(256)), ir.Vi("t")),
+					Val:   ir.LocalLoad{Arr: "bins", Index: ir.Vi("t"), Elem: ir.I32}},
+			}},
+		},
+	}
+}
+
+// Histogram returns the Histogram application (Table II: 409600 items,
+// workgroups of 128).
+func Histogram() *App {
+	return &App{
+		Name:    "Histogram",
+		Kernel:  HistogramKernel(),
+		Configs: []ir.NDRange{ir.Range1D(409600, 128)},
+		Make: func(nd ir.NDRange) *ir.Args {
+			n := nd.GlobalItems()
+			local := nd.Local[0]
+			if local == 0 {
+				local = 128
+			}
+			in := ir.NewBufferI32("in", n)
+			r := newRng(31)
+			for i := 0; i < n; i++ {
+				in.Set(i, float64(r.intn(256)))
+			}
+			groups := (n + local - 1) / local
+			return ir.NewArgs().
+				Bind("in", in).
+				Bind("partial", ir.NewBufferI32("partial", groups*256))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			in := args.Buffers["in"]
+			want := make([]float64, 256)
+			for i := 0; i < in.Len(); i++ {
+				want[int(in.Get(i))&255]++
+			}
+			partial := args.Buffers["partial"]
+			got := make([]float64, 256)
+			for i := 0; i < partial.Len(); i++ {
+				got[i%256] += partial.Get(i)
+			}
+			for b := range want {
+				if got[b] != want[b] {
+					return fmt.Errorf("bin %d = %v, want %v", b, got[b], want[b])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// PrefixSumKernel returns the single-workgroup inclusive scan
+// (Hillis-Steele) through local memory. The scalar "levels" must equal
+// log2(local size).
+func PrefixSumKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "prefixSum",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out"), ir.ScalarI("levels")},
+		Locals:  []ir.LocalArray{{Name: "scratch", Elem: ir.F32, Size: ir.Lsz(0)}},
+		Body: []ir.Stmt{
+			ir.LStoreF("scratch", ir.Lid(0), ir.LoadF("in", ir.Gid(0))),
+			ir.Barrier{},
+			ir.Loop("d", ir.I(0), ir.Pi("levels"),
+				ir.Set("off", ir.Bin{Op: ir.ShlI, X: ir.I(1), Y: ir.Vi("d")}),
+				ir.If{
+					Cond: ir.Bin{Op: ir.GeI, X: ir.Lid(0), Y: ir.Vi("off")},
+					Then: []ir.Stmt{ir.Set("tmp", ir.Add(
+						ir.LLoadF("scratch", ir.Lid(0)),
+						ir.LLoadF("scratch", ir.Subi(ir.Lid(0), ir.Vi("off")))))},
+					Else: []ir.Stmt{ir.Set("tmp", ir.LLoadF("scratch", ir.Lid(0)))},
+				},
+				ir.Barrier{},
+				ir.LStoreF("scratch", ir.Lid(0), ir.V("tmp")),
+				ir.Barrier{},
+			),
+			ir.StoreF("out", ir.Gid(0), ir.LLoadF("scratch", ir.Lid(0))),
+		},
+	}
+}
+
+// PrefixSum returns the Prefixsum application (Table II: one workgroup of
+// 1024).
+func PrefixSum() *App {
+	return &App{
+		Name:    "Prefixsum",
+		Kernel:  PrefixSumKernel(),
+		Configs: []ir.NDRange{ir.Range1D(1024, 1024)},
+		Make: func(nd ir.NDRange) *ir.Args {
+			n := nd.GlobalItems()
+			local := nd.Local[0]
+			if local == 0 {
+				local = n
+			}
+			in := ir.NewBufferF32("in", n)
+			FillUniform(in, 41, 0, 2)
+			return ir.NewArgs().
+				Bind("in", in).
+				Bind("out", ir.NewBufferF32("out", n)).
+				SetScalar("levels", float64(log2i(local)))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			in := args.Buffers["in"]
+			local := nd.Local[0]
+			want := make([]float64, in.Len())
+			for g := 0; g*local < in.Len(); g++ {
+				acc := float64(0)
+				for l := 0; l < local && g*local+l < in.Len(); l++ {
+					acc += in.Get(g*local + l)
+					want[g*local+l] = acc
+				}
+			}
+			return Compare("out", args.Buffers["out"], want, 1e-3)
+		},
+	}
+}

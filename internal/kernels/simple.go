@@ -1,0 +1,106 @@
+package kernels
+
+import "clperf/internal/ir"
+
+// SquareKernel returns the square kernel: out[i] = in[i]^2.
+func SquareKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "square",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("i", ir.Gid(0)),
+			ir.Set("x", ir.LoadF("in", ir.Vi("i"))),
+			ir.StoreF("out", ir.Vi("i"), ir.Mul(ir.V("x"), ir.V("x"))),
+		},
+	}
+}
+
+// Square returns the Square application (Table II: 10^4..10^7 workitems,
+// NULL local size).
+func Square() *App {
+	return &App{
+		Name:   "Square",
+		Kernel: SquareKernel(),
+		Configs: []ir.NDRange{
+			ir.Range1D(10000, 0),
+			ir.Range1D(100000, 0),
+			ir.Range1D(1000000, 0),
+			ir.Range1D(10000000, 0),
+		},
+		Make: func(nd ir.NDRange) *ir.Args {
+			n := nd.GlobalItems()
+			in := ir.NewBufferF32("in", n)
+			FillUniform(in, 1, -2, 2)
+			return ir.NewArgs().Bind("in", in).Bind("out", ir.NewBufferF32("out", n))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			in := args.Buffers["in"]
+			want := make([]float64, in.Len())
+			for i := range want {
+				x := float32(in.Get(i))
+				want[i] = float64(x * x)
+			}
+			return Compare("out", args.Buffers["out"], want, 1e-6)
+		},
+	}
+}
+
+// VectorAddKernel returns c[i] = a[i] + b[i].
+func VectorAddKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "vectoradd",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.Buf("b"), ir.Buf("c")},
+		Body: []ir.Stmt{
+			ir.Set("i", ir.Gid(0)),
+			ir.StoreF("c", ir.Vi("i"),
+				ir.Add(ir.LoadF("a", ir.Vi("i")), ir.LoadF("b", ir.Vi("i")))),
+		},
+	}
+}
+
+// VectorAdd returns the Vectoraddition application (Table II).
+func VectorAdd() *App {
+	return &App{
+		Name:   "Vectoraddition",
+		Kernel: VectorAddKernel(),
+		Configs: []ir.NDRange{
+			ir.Range1D(110000, 0),
+			ir.Range1D(1100000, 0),
+			ir.Range1D(5500000, 0),
+			ir.Range1D(11445000, 0),
+		},
+		Make: func(nd ir.NDRange) *ir.Args {
+			n := nd.GlobalItems()
+			a := ir.NewBufferF32("a", n)
+			b := ir.NewBufferF32("b", n)
+			FillUniform(a, 2, -10, 10)
+			FillUniform(b, 3, -10, 10)
+			return ir.NewArgs().Bind("a", a).Bind("b", b).Bind("c", ir.NewBufferF32("c", n))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			a, b := args.Buffers["a"], args.Buffers["b"]
+			want := make([]float64, a.Len())
+			for i := range want {
+				want[i] = float64(float32(a.Get(i)) + float32(b.Get(i)))
+			}
+			return Compare("c", args.Buffers["c"], want, 1e-6)
+		},
+	}
+}
+
+// VectorMulKernel returns c[i] = a[i] * b[i] (the second kernel of the
+// paper's affinity experiment).
+func VectorMulKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "vectormul",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.Buf("b"), ir.Buf("c")},
+		Body: []ir.Stmt{
+			ir.Set("i", ir.Gid(0)),
+			ir.StoreF("c", ir.Vi("i"),
+				ir.Mul(ir.LoadF("a", ir.Vi("i")), ir.LoadF("b", ir.Vi("i")))),
+		},
+	}
+}

@@ -1,0 +1,290 @@
+package kernels
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+)
+
+// The Table II kernels, as the OpenCL C source a user would write. Each is
+// compiled by the parser and must produce outputs identical to the
+// hand-built IR the benchmarks use — the parser and the builders are two
+// routes to the same kernel.
+const squareSrc = `
+__kernel void square(__global float *in, __global float *out) {
+    int i = get_global_id(0);
+    float x = in[i];
+    out[i] = x * x;
+}`
+
+const vectorAddSrc = `
+__kernel void vectoradd(__global float *a, __global float *b, __global float *c) {
+    int i = get_global_id(0);
+    c[i] = a[i] + b[i];
+}`
+
+const matMulNaiveSrc = `
+__kernel void matrixMulNaive(__global float *A, __global float *B,
+                             __global float *C, int K) {
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    int wB = get_global_size(0);
+    float acc = 0.0f;
+    for (int k = 0; k < K; k++) {
+        acc += A[row * K + k] * B[k * wB + col];
+    }
+    C[row * wB + col] = acc;
+}`
+
+const matMulTiledSrc = `
+__kernel void matrixMul(__global float *A, __global float *B,
+                        __global float *C, int K) {
+    __local float As[64];
+    __local float Bs[64];
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    int wB = get_global_size(0);
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int edge = get_local_size(0);
+    float acc = 0.0f;
+    for (int t = 0; t < K / edge; t++) {
+        As[ly * edge + lx] = A[row * K + t * edge + lx];
+        Bs[ly * edge + lx] = B[(t * edge + ly) * wB + col];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < edge; k++) {
+            acc += As[ly * edge + k] * Bs[k * edge + lx];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    C[row * wB + col] = acc;
+}`
+
+const reductionSrc = `
+__kernel void reduce(__global float *in, __global float *partial, int levels) {
+    __local float scratch[256];
+    int lid = get_local_id(0);
+    scratch[lid] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int lev = 0; lev < levels; lev++) {
+        int s = get_local_size(0) >> (lev + 1);
+        float tmp = 0.0f;
+        if (lid < s) {
+            tmp = scratch[lid] + scratch[lid + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        if (lid < s) {
+            scratch[lid] = tmp;
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        partial[get_group_id(0)] = scratch[0];
+    }
+}`
+
+func diffRun(t *testing.T, parsed, built *ir.Kernel, args1, args2 *ir.Args,
+	nd ir.NDRange, outputs []string) {
+	t.Helper()
+	if err := ir.ExecRange(parsed, args1, nd, ir.ExecOptions{}); err != nil {
+		t.Fatalf("parsed: %v", err)
+	}
+	if err := ir.ExecRange(built, args2, nd, ir.ExecOptions{}); err != nil {
+		t.Fatalf("built: %v", err)
+	}
+	for _, name := range outputs {
+		a, b := args1.Buffers[name], args2.Buffers[name]
+		for i := 0; i < a.Len(); i++ {
+			if a.Get(i) != b.Get(i) {
+				t.Fatalf("%s[%d]: parsed %v vs built %v", name, i, a.Get(i), b.Get(i))
+			}
+		}
+	}
+}
+
+func TestSourceSquareMatchesBuilt(t *testing.T) {
+	parsed, err := ir.ParseKernel(squareSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := ir.Range1D(2048, 64)
+	app := Square()
+	a1, a2 := app.Make(nd), app.Make(nd)
+	copy(a2.Buffers["in"].Data, a1.Buffers["in"].Data)
+	diffRun(t, parsed, app.Kernel, a1, a2, nd, []string{"out"})
+}
+
+func TestSourceVectorAddMatchesBuilt(t *testing.T) {
+	parsed, err := ir.ParseKernel(vectorAddSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := ir.Range1D(2048, 64)
+	app := VectorAdd()
+	a1, a2 := app.Make(nd), app.Make(nd)
+	copy(a2.Buffers["a"].Data, a1.Buffers["a"].Data)
+	copy(a2.Buffers["b"].Data, a1.Buffers["b"].Data)
+	diffRun(t, parsed, app.Kernel, a1, a2, nd, []string{"c"})
+}
+
+func TestSourceMatMulNaiveMatchesBuilt(t *testing.T) {
+	parsed, err := ir.ParseKernel(matMulNaiveSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := ir.Range2D(32, 16, 8, 8)
+	const k = 24
+	a1, a2 := MakeMatMulArgs(nd, k), MakeMatMulArgs(nd, k)
+	copy(a2.Buffers["A"].Data, a1.Buffers["A"].Data)
+	copy(a2.Buffers["B"].Data, a1.Buffers["B"].Data)
+	diffRun(t, parsed, MatrixMulNaiveKernel(), a1, a2, nd, []string{"C"})
+}
+
+func TestSourceMatMulTiledMatchesBuilt(t *testing.T) {
+	parsed, err := ir.ParseKernel(matMulTiledSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := ir.Range2D(32, 16, 8, 8)
+	const k = 24
+	a1, a2 := MakeMatMulArgs(nd, k), MakeMatMulArgs(nd, k)
+	copy(a2.Buffers["A"].Data, a1.Buffers["A"].Data)
+	copy(a2.Buffers["B"].Data, a1.Buffers["B"].Data)
+	diffRun(t, parsed, MatrixMulKernel(), a1, a2, nd, []string{"C"})
+	// And against the reference.
+	if err := CheckMatMul(a1, nd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceReductionMatchesBuilt(t *testing.T) {
+	parsed, err := ir.ParseKernel(reductionSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := ir.Range1D(4096, 256)
+	a1, a2 := makeReductionArgs(nd), makeReductionArgs(nd)
+	copy(a2.Buffers["in"].Data, a1.Buffers["in"].Data)
+	diffRun(t, parsed, ReductionKernel(), a1, a2, nd, []string{"partial"})
+	if err := checkReduction(a1, nd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Source-built kernels must earn the same vectorization verdicts.
+func TestSourceKernelsAnalyzeLikeBuilt(t *testing.T) {
+	nd := ir.Range1D(4096, 64)
+	for _, src := range []string{squareSrc, vectorAddSrc} {
+		parsed, err := ir.ParseKernel(src, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ir.VectorizeOpenCL(ir.Simplify(parsed), ir.NewArgs(), nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Vectorized || rep.PackedFrac != 1 {
+			t.Errorf("%s: vectorized=%v packed=%v", parsed.Name, rep.Vectorized, rep.PackedFrac)
+		}
+	}
+}
+
+const blackScholesSrc = `
+__kernel void blackScholes(__global float *price, __global float *strike,
+                           __global float *years, __global float *call,
+                           __global float *put) {
+    int i = get_global_id(1) * get_global_size(0) + get_global_id(0);
+    float S = price[i];
+    float X = strike[i];
+    float T = years[i];
+    float sqrtT = sqrt(T);
+    float d1 = (log(S / X) + (0.02f + 0.045f) * T) / (0.3f * sqrtT);
+    float d2 = d1 - 0.3f * sqrtT;
+
+    float abs1 = fabs(d1);
+    float k1 = 1.0f / (1.0f + 0.2316419f * abs1);
+    float poly1 = k1 * (0.31938153f + k1 * (-0.356563782f + k1 * (1.781477937f +
+                  k1 * (-1.821255978f + k1 * 1.330274429f))));
+    float w1 = 1.0f - 0.39894228040143267794f * exp(-0.5f * d1 * d1) * poly1;
+    float cnd1 = (d1 < 0.0f) ? (1.0f - w1) : w1;
+
+    float abs2 = fabs(d2);
+    float k2 = 1.0f / (1.0f + 0.2316419f * abs2);
+    float poly2 = k2 * (0.31938153f + k2 * (-0.356563782f + k2 * (1.781477937f +
+                  k2 * (-1.821255978f + k2 * 1.330274429f))));
+    float w2 = 1.0f - 0.39894228040143267794f * exp(-0.5f * d2 * d2) * poly2;
+    float cnd2 = (d2 < 0.0f) ? (1.0f - w2) : w2;
+
+    float expRT = exp(-0.02f * T);
+    call[i] = S * cnd1 - X * expRT * cnd2;
+    put[i] = X * expRT * (1.0f - cnd2) - S * (1.0f - cnd1);
+}`
+
+// The source Blackscholes (ternaries, libm calls, 2-D indexing) must match
+// the reference formula. Coefficients mirror blackscholes.go exactly
+// (0.02 + 0.045 = r + v^2/2 with v = 0.3).
+func TestSourceBlackScholesMatchesReference(t *testing.T) {
+	parsed, err := ir.ParseKernel(blackScholesSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.WorkDim != 2 {
+		t.Fatalf("WorkDim = %d, want 2", parsed.WorkDim)
+	}
+	app := BlackScholes()
+	nd := ir.Range2D(64, 32, 8, 8)
+	args := app.Make(nd)
+	if err := ir.ExecRange(parsed, args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Check(args, nd); err != nil {
+		t.Fatalf("source blackscholes wrong: %v", err)
+	}
+}
+
+const binomialSrc = `
+__kernel void binomialoption(__global float *price, __global float *strike,
+                             __global float *out, int steps, float vsdt,
+                             float pu, float pd) {
+    __local float vals[255];
+    int opt = get_group_id(0);
+    int lid = get_local_id(0);
+    float S = price[opt];
+    float X = strike[opt];
+    int up = 2 * lid - steps;
+    float leaf = S * exp((float)(up) * vsdt) - X;
+    vals[lid] = fmax(leaf, 0.0f);
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = 0; s < steps; s++) {
+        int level = steps - s;
+        float tmp = 0.0f;
+        if (lid < level) {
+            tmp = pu * vals[lid + 1] + pd * vals[lid];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        if (lid < level) {
+            vals[lid] = tmp;
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        out[opt] = vals[0];
+    }
+}`
+
+// The source binomial pricer (barriers, divergent ifs, scalar params,
+// local memory) must match the CRR reference.
+func TestSourceBinomialMatchesReference(t *testing.T) {
+	parsed, err := ir.ParseKernel(binomialSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := ir.Range1D(255*4, 255)
+	args := MakeBinomialArgs(nd)
+	if err := ir.ExecRange(parsed, args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBinomial(args, nd); err != nil {
+		t.Fatalf("source binomial wrong: %v", err)
+	}
+}

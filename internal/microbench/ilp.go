@@ -1,0 +1,77 @@
+// Package microbench implements the paper's two microbenchmark families:
+// the ILP kernels of Figure 6 (identical op and memory counts, varying only
+// the number of independent dependence chains) and the MBench1-8
+// vectorization benchmarks of Figure 10 (identical computations expressed
+// in OpenCL and as OpenMP loops, differing only in how the two compilers'
+// vectorizers treat them).
+package microbench
+
+import (
+	"fmt"
+
+	"clperf/internal/ir"
+)
+
+// ILPTrips is the dependence-chain length (loop trip count) of the ILP
+// kernels: long enough that the chain, not the pipeline fill, dominates.
+const ILPTrips = 256
+
+// ILPKernel builds the Figure 6 microbenchmark with the given number of
+// independent chains. Every variant executes the same loop count and, per
+// chain, two dependent multiplies per iteration; only the number of chains
+// that can issue in parallel — the ILP — varies.
+func ILPKernel(chains int) *ir.Kernel {
+	if chains < 1 {
+		chains = 1
+	}
+	accs := make([]string, chains)
+	body := make([]ir.Stmt, 0, chains)
+	for c := range accs {
+		accs[c] = fmt.Sprintf("acc%d", c)
+		// Two dependent multiplies per chain per iteration.
+		body = append(body,
+			ir.Set(accs[c], ir.Mul(ir.Mul(ir.V(accs[c]), ir.V("m1")), ir.V("m2"))),
+		)
+	}
+	stmts := []ir.Stmt{
+		ir.Set("m1", ir.LoadF("in", ir.Gid(0))),
+		ir.Set("m2", ir.LoadF("in2", ir.Gid(0))),
+	}
+	for _, a := range accs {
+		stmts = append(stmts, ir.Set(a, ir.F(1)))
+	}
+	stmts = append(stmts, ir.For{
+		Var: "t", Start: ir.I(0), End: ir.I(ILPTrips), Step: ir.I(1), Body: body,
+	})
+	sum := ir.Expr(ir.V(accs[0]))
+	for _, a := range accs[1:] {
+		sum = ir.Add(sum, ir.V(a))
+	}
+	stmts = append(stmts, ir.StoreF("out", ir.Gid(0), sum))
+	return &ir.Kernel{
+		Name:    fmt.Sprintf("ilp%d", chains),
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("in2"), ir.Buf("out")},
+		Body:    stmts,
+	}
+}
+
+// ILPFlopsPerItem returns the flop count of one ILPKernel(chains) workitem:
+// two multiplies per chain per trip plus the final combining adds.
+func ILPFlopsPerItem(chains int) float64 {
+	return float64(2*chains*ILPTrips) + float64(chains-1)
+}
+
+// MakeILPArgs builds inputs for an ILP kernel over n workitems. Multiplier
+// values near 1 keep the float32 accumulators in range for any chain
+// length.
+func MakeILPArgs(n int) *ir.Args {
+	in := ir.NewBufferF32("in", n)
+	in2 := ir.NewBufferF32("in2", n)
+	for i := 0; i < n; i++ {
+		in.Set(i, 1.0001)
+		in2.Set(i, 0.9999)
+	}
+	return ir.NewArgs().Bind("in", in).Bind("in2", in2).
+		Bind("out", ir.NewBufferF32("out", n))
+}

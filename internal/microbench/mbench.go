@@ -1,0 +1,416 @@
+package microbench
+
+import (
+	"fmt"
+	"math"
+
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+// MBench is one Figure 10 benchmark: the same computation runs as an OpenCL
+// kernel and, ported workitem-to-iteration, as an OpenMP loop. Each is
+// constructed so the OpenCL implicit vectorizer packs it while the loop
+// vectorizer's legality rules reject it for a different documented reason.
+// A register-resident Horner polynomial supplies arithmetic density, so the
+// throughput gap is the SIMD width rather than runtime noise.
+type MBench struct {
+	Name   string
+	Kernel *ir.Kernel
+	// Items is the launch size.
+	Items int
+	// Local is the workgroup size.
+	Local int
+	// FlopsPerItem for throughput reporting.
+	FlopsPerItem float64
+	// WhyOpenMPFails documents the legality rule the loop vectorizer trips
+	// over (checked against ir.VectorizeLoop in tests).
+	WhyOpenMPFails string
+	// Make builds the inputs.
+	Make func() *ir.Args
+	// Check validates outputs after functional execution.
+	Check func(args *ir.Args) error
+}
+
+const (
+	mbItems = 1 << 20
+	mbLocal = 256
+	// polyDeg is the Horner chain length: each step is one multiply and one
+	// add on registers.
+	polyDeg = 24
+)
+
+// polyCoef returns the k-th deterministic polynomial coefficient.
+func polyCoef(k int) float64 { return 1 / float64(k+2) }
+
+// polyStmts emits dst = Horner polynomial of degree polyDeg evaluated at
+// the float variable src (kept in registers: pure mul/add chain).
+func polyStmts(dst, src string) []ir.Stmt {
+	e := ir.Expr(ir.F(polyCoef(0)))
+	for k := 1; k <= polyDeg; k++ {
+		e = ir.Add(ir.Mul(e, ir.V(src)), ir.F(polyCoef(k)))
+	}
+	return []ir.Stmt{ir.Set(dst, e)}
+}
+
+// polyRef mirrors polyStmts in float32.
+func polyRef(x float32) float32 {
+	p := float32(polyCoef(0))
+	for k := 1; k <= polyDeg; k++ {
+		p = p*x + float32(polyCoef(k))
+	}
+	return p
+}
+
+// polyFlops is the flop count of one polynomial evaluation.
+const polyFlops = 2 * polyDeg
+
+// MBenches returns MBench1 through MBench8.
+func MBenches() []*MBench {
+	return []*MBench{
+		mb1RMW2(),
+		mb2RMW6(),
+		mb3Strided(),
+		mb4Branch(),
+		mb5InnerChain(),
+		mb6Gather(),
+		mb7DivBranch(),
+		mb8SaxpyRMW(),
+	}
+}
+
+func mbVec(seed uint64, n int, lo, hi float64) *ir.Buffer {
+	b := ir.NewBufferF32("v", n)
+	kernels.FillUniform(b, seed, lo, hi)
+	return b
+}
+
+// mb1: polynomial then a read-modify-write chain through memory within the
+// iteration: a[i] = p(a[i]); a[i] = a[i]*b[i].
+func mb1RMW2() *MBench {
+	body := []ir.Stmt{ir.Set("x", ir.LoadF("a", ir.Gid(0)))}
+	body = append(body, polyStmts("p", "x")...)
+	body = append(body,
+		ir.StoreF("a", ir.Gid(0), ir.V("p")),
+		ir.StoreF("a", ir.Gid(0),
+			ir.Mul(ir.LoadF("a", ir.Gid(0)), ir.LoadF("b", ir.Gid(0)))),
+	)
+	k := &ir.Kernel{
+		Name:    "mbench1",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.Buf("b")},
+		Body:    body,
+	}
+	return &MBench{
+		Name: "MBench1", Kernel: k, Items: mbItems, Local: mbLocal,
+		FlopsPerItem:   polyFlops + 1,
+		WhyOpenMPFails: "assumed data dependence",
+		Make: func() *ir.Args {
+			return ir.NewArgs().
+				Bind("a", mbVec(201, mbItems, -1, 1)).
+				Bind("b", mbVec(202, mbItems, 0.9, 1.1))
+		},
+		Check: func(args *ir.Args) error {
+			a0 := mbVec(201, mbItems, -1, 1)
+			b := args.Buffers["b"]
+			want := make([]float64, mbItems)
+			for i := range want {
+				want[i] = float64(polyRef(float32(a0.Get(i))) * float32(b.Get(i)))
+			}
+			return kernels.Compare("a", args.Buffers["a"], want, 1e-4)
+		},
+	}
+}
+
+// mb2: the Figure 11 kernel verbatim — six dependent FMULs through memory.
+// Kept free of extra arithmetic so Figure 11's source dump matches the
+// paper; its Figure 10 gap is correspondingly the smallest.
+func mb2RMW6() *MBench {
+	stmt := ir.StoreF("a", ir.Gid(0),
+		ir.Mul(ir.LoadF("a", ir.Gid(0)), ir.LoadF("b", ir.Gid(0))))
+	k := &ir.Kernel{
+		Name:    "mbench2",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.Buf("b")},
+		Body:    []ir.Stmt{stmt, stmt, stmt, stmt, stmt, stmt},
+	}
+	return &MBench{
+		Name: "MBench2", Kernel: k, Items: mbItems, Local: mbLocal,
+		FlopsPerItem:   6,
+		WhyOpenMPFails: "assumed data dependence",
+		Make: func() *ir.Args {
+			return ir.NewArgs().
+				Bind("a", mbVec(203, mbItems, 0.5, 1.5)).
+				Bind("b", mbVec(204, mbItems, 0.95, 1.05))
+		},
+		Check: func(args *ir.Args) error {
+			a0 := mbVec(203, mbItems, 0.5, 1.5)
+			b := args.Buffers["b"]
+			want := make([]float64, mbItems)
+			for i := range want {
+				v := float32(a0.Get(i))
+				bb := float32(b.Get(i))
+				for r := 0; r < 6; r++ {
+					v *= bb
+				}
+				want[i] = float64(v)
+			}
+			return kernels.Compare("a", args.Buffers["a"], want, 1e-4)
+		},
+	}
+}
+
+// mb3: strided store — out[2i] = p(a[i]).
+func mb3Strided() *MBench {
+	body := []ir.Stmt{ir.Set("x", ir.LoadF("a", ir.Gid(0)))}
+	body = append(body, polyStmts("p", "x")...)
+	body = append(body,
+		ir.StoreF("out", ir.Muli(ir.Gid(0), ir.I(2)), ir.V("p")))
+	k := &ir.Kernel{
+		Name:    "mbench3",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.Buf("out")},
+		Body:    body,
+	}
+	return &MBench{
+		Name: "MBench3", Kernel: k, Items: mbItems, Local: mbLocal,
+		FlopsPerItem:   polyFlops,
+		WhyOpenMPFails: "non-contiguous store",
+		Make: func() *ir.Args {
+			return ir.NewArgs().
+				Bind("a", mbVec(205, mbItems, -1, 1)).
+				Bind("out", ir.NewBufferF32("out", 2*mbItems))
+		},
+		Check: func(args *ir.Args) error {
+			a := args.Buffers["a"]
+			out := args.Buffers["out"]
+			for i := 0; i < mbItems; i += 997 {
+				want := float64(polyRef(float32(a.Get(i))))
+				if got := out.Get(2 * i); math.Abs(got-want) > 1e-4*math.Max(1, math.Abs(want)) {
+					return mbErr("out", 2*i, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// mb4: branchy — two different polynomials by the sign of a[i].
+func mb4Branch() *MBench {
+	then := polyStmts("y", "x")
+	els := []ir.Stmt{ir.Set("y", ir.Mul(ir.F(-2), ir.V("x")))}
+	k := &ir.Kernel{
+		Name:    "mbench4",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("x", ir.LoadF("a", ir.Gid(0))),
+			ir.If{
+				Cond: ir.Bin{Op: ir.GtF, X: ir.V("x"), Y: ir.F(0)},
+				Then: then,
+				Else: els,
+			},
+			ir.StoreF("out", ir.Gid(0), ir.V("y")),
+		},
+	}
+	return &MBench{
+		Name: "MBench4", Kernel: k, Items: mbItems, Local: mbLocal,
+		FlopsPerItem:   polyFlops / 2,
+		WhyOpenMPFails: "control flow",
+		Make: func() *ir.Args {
+			return ir.NewArgs().
+				Bind("a", mbVec(206, mbItems, -1, 1)).
+				Bind("out", ir.NewBufferF32("out", mbItems))
+		},
+		Check: func(args *ir.Args) error {
+			a := args.Buffers["a"]
+			want := make([]float64, mbItems)
+			for i := range want {
+				x := float32(a.Get(i))
+				if x > 0 {
+					want[i] = float64(polyRef(x))
+				} else {
+					want[i] = float64(-2 * x)
+				}
+			}
+			return kernels.Compare("out", args.Buffers["out"], want, 1e-4)
+		},
+	}
+}
+
+// mb5: an inner dependent-accumulation loop, so the OpenMP-parallel loop is
+// not the innermost loop.
+func mb5InnerChain() *MBench {
+	const trips = 24
+	k := &ir.Kernel{
+		Name:    "mbench5",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("x", ir.LoadF("a", ir.Gid(0))),
+			ir.Set("acc", ir.F(0)),
+			ir.Loop("t", ir.I(0), ir.I(trips),
+				ir.Set("acc", ir.Add(ir.Mul(ir.V("acc"), ir.F(0.5)), ir.V("x"))),
+			),
+			ir.StoreF("out", ir.Gid(0), ir.V("acc")),
+		},
+	}
+	return &MBench{
+		Name: "MBench5", Kernel: k, Items: mbItems / 4, Local: mbLocal,
+		FlopsPerItem:   2 * trips,
+		WhyOpenMPFails: "nested loop",
+		Make: func() *ir.Args {
+			n := mbItems / 4
+			return ir.NewArgs().
+				Bind("a", mbVec(207, n, -1, 1)).
+				Bind("out", ir.NewBufferF32("out", n))
+		},
+		Check: func(args *ir.Args) error {
+			a := args.Buffers["a"]
+			n := a.Len()
+			want := make([]float64, n)
+			for i := range want {
+				x := float32(a.Get(i))
+				acc := float32(0)
+				for t := 0; t < trips; t++ {
+					acc = acc*0.5 + x
+				}
+				want[i] = float64(acc)
+			}
+			return kernels.Compare("out", args.Buffers["out"], want, 1e-4)
+		},
+	}
+}
+
+// mb6: gather — out[i] = p(a[idx[i]]).
+func mb6Gather() *MBench {
+	body := []ir.Stmt{
+		ir.Set("j", ir.LoadI("idx", ir.Gid(0))),
+		ir.Set("x", ir.LoadF("a", ir.Vi("j"))),
+	}
+	body = append(body, polyStmts("p", "x")...)
+	body = append(body, ir.StoreF("out", ir.Gid(0), ir.V("p")))
+	k := &ir.Kernel{
+		Name:    "mbench6",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.BufI("idx"), ir.Buf("out")},
+		Body:    body,
+	}
+	return &MBench{
+		Name: "MBench6", Kernel: k, Items: mbItems, Local: mbLocal,
+		FlopsPerItem:   polyFlops,
+		WhyOpenMPFails: "non-contiguous access",
+		Make: func() *ir.Args {
+			idx := ir.NewBufferI32("idx", mbItems)
+			for i := 0; i < mbItems; i++ {
+				idx.Set(i, float64((i*7+3)%mbItems))
+			}
+			return ir.NewArgs().
+				Bind("a", mbVec(208, mbItems, -1, 1)).
+				Bind("idx", idx).
+				Bind("out", ir.NewBufferF32("out", mbItems))
+		},
+		Check: func(args *ir.Args) error {
+			a := args.Buffers["a"]
+			idx := args.Buffers["idx"]
+			want := make([]float64, mbItems)
+			for i := range want {
+				want[i] = float64(polyRef(float32(a.Get(int(idx.Get(i))))))
+			}
+			return kernels.Compare("out", args.Buffers["out"], want, 1e-4)
+		},
+	}
+}
+
+// mb7: a rational (divide-heavy) step under a branch — the OpenCL compiler
+// masks the branch and keeps the divides in vector registers, the loop
+// vectorizer gives up on the control flow.
+func mb7DivBranch() *MBench {
+	then := polyStmts("y", "x")
+	then = append(then,
+		ir.Set("y", ir.Div(ir.Add(ir.V("y"), ir.F(2)),
+			ir.Add(ir.Mul(ir.V("x"), ir.V("x")), ir.F(1)))))
+	k := &ir.Kernel{
+		Name:    "mbench7",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("x", ir.LoadF("a", ir.Gid(0))),
+			ir.If{
+				Cond: ir.Bin{Op: ir.GtF, X: ir.V("x"), Y: ir.F(0)},
+				Then: then,
+				Else: []ir.Stmt{ir.Set("y",
+					ir.Call1(ir.Sqrt, ir.Add(ir.Mul(ir.V("x"), ir.V("x")), ir.F(4))))},
+			},
+			ir.StoreF("out", ir.Gid(0), ir.V("y")),
+		},
+	}
+	return &MBench{
+		Name: "MBench7", Kernel: k, Items: mbItems / 4, Local: mbLocal,
+		FlopsPerItem:   polyFlops/2 + 2,
+		WhyOpenMPFails: "control flow",
+		Make: func() *ir.Args {
+			n := mbItems / 4
+			return ir.NewArgs().
+				Bind("a", mbVec(209, n, -1, 1)).
+				Bind("out", ir.NewBufferF32("out", n))
+		},
+		Check: func(args *ir.Args) error {
+			a := args.Buffers["a"]
+			n := a.Len()
+			want := make([]float64, n)
+			for i := range want {
+				x := float32(a.Get(i))
+				if x > 0 {
+					want[i] = float64((polyRef(x) + 2) / (x*x + 1))
+				} else {
+					want[i] = math.Sqrt(float64(x*x + 4))
+				}
+			}
+			return kernels.Compare("out", args.Buffers["out"], want, 1e-3)
+		},
+	}
+}
+
+// mb8: polynomial saxpy followed by a square, read-modify-writing y.
+func mb8SaxpyRMW() *MBench {
+	body := []ir.Stmt{ir.Set("xv", ir.LoadF("x", ir.Gid(0)))}
+	body = append(body, polyStmts("p", "xv")...)
+	body = append(body,
+		ir.StoreF("y", ir.Gid(0),
+			ir.Add(ir.Mul(ir.P("alpha"), ir.V("p")), ir.LoadF("y", ir.Gid(0)))),
+		ir.StoreF("y", ir.Gid(0),
+			ir.Mul(ir.LoadF("y", ir.Gid(0)), ir.LoadF("y", ir.Gid(0)))),
+	)
+	k := &ir.Kernel{
+		Name:    "mbench8",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("x"), ir.Buf("y"), ir.Scalar("alpha")},
+		Body:    body,
+	}
+	return &MBench{
+		Name: "MBench8", Kernel: k, Items: mbItems, Local: mbLocal,
+		FlopsPerItem:   polyFlops + 3,
+		WhyOpenMPFails: "assumed data dependence",
+		Make: func() *ir.Args {
+			return ir.NewArgs().
+				Bind("x", mbVec(210, mbItems, -1, 1)).
+				Bind("y", mbVec(211, mbItems, -1, 1)).
+				SetScalar("alpha", 0.75)
+		},
+		Check: func(args *ir.Args) error {
+			x := args.Buffers["x"]
+			y0 := mbVec(211, mbItems, -1, 1)
+			want := make([]float64, mbItems)
+			for i := range want {
+				v := float32(0.75)*polyRef(float32(x.Get(i))) + float32(y0.Get(i))
+				want[i] = float64(v * v)
+			}
+			return kernels.Compare("y", args.Buffers["y"], want, 1e-4)
+		},
+	}
+}
+
+func mbErr(name string, i int, got, want float64) error {
+	return fmt.Errorf("%s[%d] = %v, want %v", name, i, got, want)
+}

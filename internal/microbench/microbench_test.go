@@ -1,0 +1,158 @@
+package microbench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clperf/internal/ir"
+)
+
+// Every MBench must execute correctly and its OpenMP port must fail
+// vectorization for exactly the documented reason, while the OpenCL model
+// vectorizes it.
+func TestMBenchesFunctionalAndVerdicts(t *testing.T) {
+	for _, mb := range MBenches() {
+		mb := mb
+		t.Run(mb.Name, func(t *testing.T) {
+			nd := ir.Range1D(mb.Items, mb.Local)
+			args := mb.Make()
+			if err := ir.ExecRange(mb.Kernel, args, nd, ir.ExecOptions{Parallel: 8}); err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			if err := mb.Check(args); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+
+			clRep, err := ir.VectorizeOpenCL(mb.Kernel, args, nd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !clRep.Vectorized {
+				t.Fatalf("OpenCL must vectorize %s: %s", mb.Name, clRep.ScalarReason)
+			}
+
+			body := ir.SubstGlobalID(mb.Kernel.Body, 0, ir.Vi("i"))
+			env := ir.NewStaticEnv(nd, args)
+			loopRep := ir.VectorizeLoop(body, "i", env, args.Scalars)
+			if loopRep.Vectorized {
+				t.Fatalf("OpenMP must reject %s", mb.Name)
+			}
+			if !strings.Contains(loopRep.Reason, keyword(mb.WhyOpenMPFails)) {
+				t.Fatalf("reason %q does not match documented cause %q",
+					loopRep.Reason, mb.WhyOpenMPFails)
+			}
+		})
+	}
+}
+
+// keyword extracts the distinctive fragment of the documented cause.
+func keyword(why string) string {
+	switch {
+	case strings.Contains(why, "dependence"):
+		return "data dependence"
+	case strings.Contains(why, "store"):
+		return "non-contiguous store"
+	case strings.Contains(why, "access"):
+		return "non-contiguous access"
+	case strings.Contains(why, "control"):
+		return "control flow"
+	case strings.Contains(why, "nested"):
+		return "nested loop"
+	}
+	return why
+}
+
+func TestILPKernelsFunctional(t *testing.T) {
+	for chains := 1; chains <= 5; chains++ {
+		k := ILPKernel(chains)
+		if err := ir.Validate(k); err != nil {
+			t.Fatalf("chains=%d: %v", chains, err)
+		}
+		const n = 256
+		args := MakeILPArgs(n)
+		if err := ir.ExecRange(k, args, ir.Range1D(n, 64), ir.ExecOptions{}); err != nil {
+			t.Fatalf("chains=%d: %v", chains, err)
+		}
+		// Expected: sum of `chains` copies of (m1*m2)^trips.
+		m := math.Pow(float64(float32(1.0001))*float64(float32(0.9999)), ILPTrips)
+		want := float64(chains) * m
+		got := args.Buffers["out"].Get(0)
+		if math.Abs(got-want) > 1e-3*math.Abs(want) {
+			t.Fatalf("chains=%d: out[0] = %v, want ~%v", chains, got, want)
+		}
+	}
+}
+
+func TestILPFlopsCount(t *testing.T) {
+	// The flop helper must match the kernel's profile.
+	for chains := 1; chains <= 4; chains++ {
+		k := ILPKernel(chains)
+		prof, err := ir.ProfileKernel(k, MakeILPArgs(64), ir.Range1D(64, 64),
+			ir.LatencyTable{}, ir.MaxBranch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := prof.Counts.Flops(), ILPFlopsPerItem(chains); got != want {
+			t.Fatalf("chains=%d: profile flops %v, helper %v", chains, got, want)
+		}
+	}
+}
+
+// The microbenchmarks share their memory/loop structure; only the chain
+// count differs (the paper's "identical number of memory accesses,
+// computations, and loop iterations").
+func TestILPKernelsShareStructure(t *testing.T) {
+	var baseline ir.OpCounts
+	for chains := 1; chains <= 5; chains++ {
+		prof, err := ir.ProfileKernel(ILPKernel(chains), MakeILPArgs(64),
+			ir.Range1D(64, 64), ir.LatencyTable{}, ir.MaxBranch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chains == 1 {
+			baseline = prof.Counts
+			continue
+		}
+		if prof.Counts[ir.OpLoad] != baseline[ir.OpLoad] {
+			t.Fatalf("chains=%d: load count changed: %v vs %v",
+				chains, prof.Counts[ir.OpLoad], baseline[ir.OpLoad])
+		}
+		if prof.Counts[ir.OpStore] != baseline[ir.OpStore] {
+			t.Fatalf("chains=%d: store count changed", chains)
+		}
+		wantMuls := baseline[ir.OpFMul] * float64(chains)
+		if prof.Counts[ir.OpFMul] != wantMuls {
+			t.Fatalf("chains=%d: fmul = %v, want %v", chains, prof.Counts[ir.OpFMul], wantMuls)
+		}
+	}
+}
+
+func TestPolyRefMatchesStmts(t *testing.T) {
+	// The IR polynomial and the Go reference agree.
+	k := &ir.Kernel{
+		Name:    "poly",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: append(
+			[]ir.Stmt{ir.Set("x", ir.LoadF("in", ir.Gid(0)))},
+			append(polyStmts("p", "x"),
+				ir.StoreF("out", ir.Gid(0), ir.V("p")))...),
+	}
+	const n = 64
+	in := ir.NewBufferF32("in", n)
+	out := ir.NewBufferF32("out", n)
+	for i := 0; i < n; i++ {
+		in.Set(i, float64(i-32)/16)
+	}
+	args := ir.NewArgs().Bind("in", in).Bind("out", out)
+	if err := ir.ExecRange(k, args, ir.Range1D(n, 16), ir.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(polyRef(float32(in.Get(i))))
+		if math.Abs(out.Get(i)-want) > 1e-5*math.Max(1, math.Abs(want)) {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Get(i), want)
+		}
+	}
+}

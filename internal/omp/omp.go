@@ -1,0 +1,350 @@
+// Package omp is the conventional-parallel-programming-model counterpart
+// the paper compares OpenCL against: an OpenMP-style runtime with
+//
+//   - parallel-for over loop iterations (the workitem dimension mapped to a
+//     loop, exactly the porting of section III-F);
+//   - static and dynamic schedules;
+//   - thread affinity in the style of OMP_PROC_BIND / GOMP_CPU_AFFINITY,
+//     the feature the paper argues OpenCL lacks (section III-E);
+//   - a conservative loop auto-vectorizer (ir.VectorizeLoop) implementing
+//     the Intel legality rules, so the programming-model difference in
+//     vectorization (Figures 10-11) falls out of the analysis.
+//
+// The runtime shares the CPU timing substrate (internal/cpu) and may run
+// with a persistent cache hierarchy (internal/cache) so that consecutive
+// parallel regions observe each other's cache residency — the mechanism of
+// the affinity experiment (Figure 9).
+package omp
+
+import (
+	"fmt"
+
+	"clperf/internal/arch"
+	"clperf/internal/cache"
+	"clperf/internal/cpu"
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// Schedule selects iteration-to-thread assignment.
+type Schedule int
+
+// Schedules.
+const (
+	// Static splits the iteration space into one contiguous chunk per
+	// thread (schedule(static)).
+	Static Schedule = iota
+	// Dynamic hands out chunks on demand (schedule(dynamic)); it adds
+	// per-chunk dispatch cost like the OpenCL runtime's workgroup tasks.
+	Dynamic
+	// Guided hands out geometrically shrinking chunks
+	// (schedule(guided)): fewer dispatches than Dynamic, better tail
+	// balance than Static.
+	Guided
+)
+
+// Runtime is an OpenMP-style runtime instance.
+type Runtime struct {
+	A   *arch.CPU
+	dev *cpu.Device
+
+	// NumThreads is the team size (default: all logical cores).
+	NumThreads int
+	// ProcBind pins threads to cores for the process lifetime
+	// (OMP_PROC_BIND=true); without it the scheduler may migrate threads
+	// between regions and cache affinity is lost.
+	ProcBind bool
+	// CPUAffinity maps thread id -> physical core (GOMP_CPU_AFFINITY).
+	// Empty means identity.
+	CPUAffinity []int
+
+	// hier persists across parallel regions when cache simulation is on.
+	hier *cache.Hierarchy
+	// LoopOverhead is the per-iteration bookkeeping of the compiled loop
+	// (far below the OpenCL runtime's per-workitem overhead).
+	LoopOverhead float64
+	// ForkJoin is the fixed cost of entering and leaving a parallel region.
+	ForkJoin units.Duration
+	// ChunkDispatch is the per-chunk cost under the dynamic schedule.
+	ChunkDispatch units.Duration
+
+	// regions counts parallel regions, driving the thread-migration model
+	// when ProcBind is off.
+	regions int
+}
+
+// New returns a runtime on the given CPU with OpenMP-ish defaults.
+func New(a *arch.CPU) *Runtime {
+	return &Runtime{
+		A:             a,
+		dev:           cpu.New(a),
+		NumThreads:    a.LogicalCores(),
+		LoopOverhead:  2,
+		ForkJoin:      4 * units.Microsecond,
+		ChunkDispatch: 0.2 * units.Microsecond,
+	}
+}
+
+// EnableCacheSim attaches a fresh cache hierarchy that persists across
+// parallel regions.
+func (r *Runtime) EnableCacheSim() { r.hier = cache.NewHierarchy(r.A) }
+
+// Hierarchy returns the persistent cache hierarchy (nil unless enabled).
+func (r *Runtime) Hierarchy() *cache.Hierarchy { return r.hier }
+
+// threadCore returns the physical core executing thread t for this region.
+// With ProcBind unset the OS is free to migrate; we model migration as a
+// rotation so consecutive regions land on different cores (the worst case
+// the paper's misaligned configuration constructs deliberately).
+func (r *Runtime) threadCore(t, region int) int {
+	phys := r.A.PhysicalCores()
+	if len(r.CPUAffinity) > 0 {
+		return r.CPUAffinity[t%len(r.CPUAffinity)] % phys
+	}
+	if r.ProcBind {
+		return t % phys
+	}
+	return (t + region) % phys
+}
+
+// ForResult reports one parallel-for region.
+type ForResult struct {
+	Name string
+	// Iterations is the loop trip count.
+	Iterations int
+	// Time is the simulated region time (fork to join).
+	Time units.Duration
+	// Vec is the loop vectorizer's verdict.
+	Vec *ir.LoopVecReport
+	// Width is the SIMD width the loop actually ran at.
+	Width int
+	// PerThread is each thread's busy time.
+	PerThread []units.Duration
+	// MemStallCycles is the cache-simulated stall total (cache sim only).
+	MemStallCycles float64
+}
+
+// Throughput returns flops per second over the region, given per-iteration
+// flops.
+func (fr *ForResult) Throughput(flopsPerIter float64) units.Throughput {
+	return units.ThroughputOf(flopsPerIter*float64(fr.Iterations), fr.Time)
+}
+
+// ParallelFor executes "#pragma omp parallel for" over kernel k's global
+// dimension 0: iterations are workitems, the body is the kernel body with
+// get_global_id(0) replaced by the induction variable. Buffers in args are
+// really written (functional execution) and the region is priced by the
+// CPU model with the OpenMP vectorization verdict.
+func (r *Runtime) ParallelFor(k *ir.Kernel, args *ir.Args, n int, sched Schedule) (*ForResult, error) {
+	return r.parallelFor(k, args, n, sched, true)
+}
+
+// EstimateFor prices a parallel-for region without executing it.
+func (r *Runtime) EstimateFor(k *ir.Kernel, args *ir.Args, n int) (*ForResult, error) {
+	return r.parallelFor(k, args, n, Static, false)
+}
+
+func (r *Runtime) parallelFor(k *ir.Kernel, args *ir.Args, n int, sched Schedule, functional bool) (*ForResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("omp: empty loop for %s", k.Name)
+	}
+	if k.WorkDim > 1 {
+		return nil, fmt.Errorf("omp: kernel %s is %d-dimensional; port it with Collapse2D first",
+			k.Name, k.WorkDim)
+	}
+	threads := r.NumThreads
+	if threads > n {
+		threads = n
+	}
+	r.regions++
+
+	// Port: workitems -> loop iterations.
+	const induction = "omp_i"
+	analysisND := ir.Range1D(n, largestDivisorLE(n, chunkOf(n, threads)))
+	body := ir.SubstGlobalID(k.Body, 0, ir.Vi(induction))
+	env := ir.NewStaticEnv(analysisND, args)
+	vec := ir.VectorizeLoop(body, induction, env, args.Scalars)
+	width := 1
+	if vec.Vectorized {
+		width = r.A.SIMDWidth
+	}
+
+	// Price one iteration with the shared CPU cost model. The launch
+	// geometry only positions the representative workitem.
+	nd := analysisND
+	cost, err := r.dev.AnalyzeWidth(k, args, nd, width)
+	if err != nil {
+		return nil, err
+	}
+	cost.Overhead = r.LoopOverhead
+
+	// Functional execution, optionally through the persistent caches. The
+	// execution geometry needs a local size that divides n; iteration g of
+	// the resulting group range belongs to the thread owning that chunk.
+	var tracer *coreTracer
+	if functional {
+		chunk := chunkOf(n, threads)
+		execLocal := largestDivisorLE(n, chunk)
+		execND := ir.Range1D(n, execLocal)
+		if r.hier != nil {
+			tracer = &coreTracer{hier: r.hier, groupCore: func(g int) int {
+				thread := g * execLocal / chunk
+				if thread >= threads {
+					thread = threads - 1
+				}
+				return r.threadCore(thread, r.regions)
+			}}
+		}
+		execOpts := ir.ExecOptions{Parallel: threads}
+		if tracer != nil {
+			execOpts.Tracer = tracer
+			execOpts.Parallel = 0
+		}
+		if err := ir.ExecRange(k, args, execND, execOpts); err != nil {
+			return nil, fmt.Errorf("omp: %s: %w", k.Name, err)
+		}
+	}
+
+	// Timing: each thread runs its share of iterations.
+	share := 1.0
+	if threads > r.A.PhysicalCores() {
+		share = r.A.SMTYield
+	}
+	perIter := cost.PacketCycles(share) / float64(width)
+	perThread := make([]units.Duration, threads)
+	chunk := chunkOf(n, threads)
+	var memStall float64
+	for t := 0; t < threads; t++ {
+		iters := chunk
+		if t == threads-1 {
+			iters = n - chunk*(threads-1)
+		}
+		cycles := float64(iters) * perIter
+		if tracer != nil {
+			core := r.threadCore(t, r.regions)
+			cycles += tracer.coreCycles[core]
+			memStall += tracer.coreCycles[core]
+		}
+		perThread[t] = r.A.Clock.Cycles(cycles)
+		switch sched {
+		case Dynamic:
+			perThread[t] += r.ChunkDispatch
+		case Guided:
+			// Chunks halve from n/threads down to 1: each thread serves
+			// about log2(chunk) dispatches.
+			d := 1.0
+			for c := chunk; c > 1; c /= 2 {
+				d++
+			}
+			perThread[t] += units.Duration(d) * r.ChunkDispatch
+		}
+	}
+
+	slowest := units.Duration(0)
+	for _, d := range perThread {
+		if d > slowest {
+			slowest = d
+		}
+	}
+	// Bandwidth floor, as in the OpenCL path.
+	traffic := cost.TrafficPerItem * float64(n)
+	bw := r.A.MemBandwidth
+	if fp := totalBytes(args); fp > 0 && fp <= int64(r.A.L3.Size) {
+		bw = r.A.L3Bandwidth
+	}
+	floor := bw.Transfer(units.ByteSize(traffic))
+	time := slowest
+	if r.hier == nil && floor > time {
+		// The cache simulation already accounts for memory time.
+		time = floor
+	}
+	time += r.ForkJoin
+
+	return &ForResult{
+		Name:           k.Name,
+		Iterations:     n,
+		Time:           time,
+		Vec:            vec,
+		Width:          width,
+		PerThread:      perThread,
+		MemStallCycles: memStall,
+	}, nil
+}
+
+func chunkOf(n, threads int) int {
+	c := (n + threads - 1) / threads
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func largestDivisorLE(n, limit int) int {
+	if limit >= n {
+		return n
+	}
+	for v := limit; v >= 1; v-- {
+		if n%v == 0 {
+			return v
+		}
+	}
+	return 1
+}
+
+func totalBytes(args *ir.Args) int64 {
+	var b int64
+	for _, buf := range args.Buffers {
+		if buf != nil {
+			b += buf.Bytes()
+		}
+	}
+	return b
+}
+
+// coreTracer routes the functional execution's memory accesses into the
+// persistent cache hierarchy and accumulates stall cycles per core.
+type coreTracer struct {
+	hier       *cache.Hierarchy
+	groupCore  func(g int) int
+	core       int
+	coreCycles map[int]float64
+}
+
+// BeginGroup implements ir.Tracer.
+func (t *coreTracer) BeginGroup(g int) {
+	if t.coreCycles == nil {
+		t.coreCycles = map[int]float64{}
+	}
+	t.core = t.groupCore(g)
+}
+
+// Access implements ir.Tracer. Store misses are half-hidden by the store
+// buffer; load latency is exposed in full.
+func (t *coreTracer) Access(addr, size int64, write bool) {
+	lat := t.hier.Access(t.core, addr, size, write)
+	if write {
+		lat *= 0.5
+	}
+	t.coreCycles[t.core] += lat
+}
+
+// Collapse2D ports a 2-dimensional kernel to a single collapsed loop, as
+// "#pragma omp parallel for collapse(2)" would: iteration i maps to
+// get_global_id(0) = i %% width and get_global_id(1) = i / width, and the
+// 2-D sizes become the given constants. The returned kernel runs over
+// width*height iterations with ParallelFor.
+func Collapse2D(k *ir.Kernel, width, height int) *ir.Kernel {
+	body := ir.SubstID(k.Body, ir.GlobalSize, 0, ir.I(int64(width)))
+	body = ir.SubstID(body, ir.GlobalSize, 1, ir.I(int64(height)))
+	// Substitute dimension 0 first: the dimension-1 replacement introduces
+	// fresh get_global_id(0) nodes that must survive.
+	body = ir.SubstID(body, ir.GlobalID, 0, ir.Modi(ir.Gid(0), ir.I(int64(width))))
+	body = ir.SubstID(body, ir.GlobalID, 1, ir.Divi(ir.Gid(0), ir.I(int64(width))))
+	return &ir.Kernel{
+		Name:    k.Name + "_collapsed",
+		WorkDim: 1,
+		Params:  k.Params,
+		Locals:  k.Locals,
+		Body:    body,
+	}
+}

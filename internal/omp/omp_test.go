@@ -1,0 +1,219 @@
+package omp
+
+import (
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func TestParallelForFunctional(t *testing.T) {
+	rt := New(arch.XeonE5645())
+	const n = 4096
+	a := ir.NewBufferF32("a", n)
+	b := ir.NewBufferF32("b", n)
+	c := ir.NewBufferF32("c", n)
+	for i := 0; i < n; i++ {
+		a.Set(i, float64(i))
+		b.Set(i, 1)
+	}
+	args := ir.NewArgs().Bind("a", a).Bind("b", b).Bind("c", c)
+	res, err := rt.ParallelFor(kernels.VectorAddKernel(), args, n, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if c.Get(i) != float64(i+1) {
+			t.Fatalf("c[%d] = %v, want %v", i, c.Get(i), i+1)
+		}
+	}
+	if res.Time <= 0 {
+		t.Fatal("region time must be positive")
+	}
+	if !res.Vec.Vectorized || res.Width != 4 {
+		t.Fatalf("vectoradd loop should vectorize at width 4: %+v width=%d", res.Vec, res.Width)
+	}
+	if len(res.PerThread) == 0 || len(res.PerThread) > rt.NumThreads {
+		t.Fatalf("PerThread has %d entries", len(res.PerThread))
+	}
+}
+
+func TestParallelForRejectsEmpty(t *testing.T) {
+	rt := New(arch.XeonE5645())
+	if _, err := rt.ParallelFor(kernels.VectorAddKernel(), ir.NewArgs(), 0, Static); err == nil {
+		t.Fatal("empty loop must error")
+	}
+}
+
+// The Figure 10 premise: a loop the vectorizer rejects runs scalar and
+// slower than the vectorizable form of the same arithmetic.
+func TestScalarLoopSlower(t *testing.T) {
+	rt := New(arch.XeonE5645())
+	const n = 1 << 20
+
+	vectorizable := kernels.VectorMulKernel() // c[i] = a[i]*b[i]
+	rmw := &ir.Kernel{                        // a[i] = a[i]*b[i], twice: assumed dependence
+		Name:    "rmw",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("a"), ir.Buf("b")},
+		Body: []ir.Stmt{
+			ir.StoreF("a", ir.Gid(0), ir.Mul(ir.LoadF("a", ir.Gid(0)), ir.LoadF("b", ir.Gid(0)))),
+			ir.StoreF("a", ir.Gid(0), ir.Mul(ir.LoadF("a", ir.Gid(0)), ir.LoadF("b", ir.Gid(0)))),
+		},
+	}
+	mkArgs := func() *ir.Args {
+		a := ir.NewBufferF32("a", n)
+		b := ir.NewBufferF32("b", n)
+		c := ir.NewBufferF32("c", n)
+		a.Fill(1.0001)
+		b.Fill(0.9999)
+		return ir.NewArgs().Bind("a", a).Bind("b", b).Bind("c", c)
+	}
+	vres, err := rt.EstimateFor(vectorizable, mkArgs(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := rt.EstimateFor(rmw, mkArgs(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.Width != 4 || rres.Width != 1 {
+		t.Fatalf("widths = %d/%d, want 4/1", vres.Width, rres.Width)
+	}
+	// Per unit of arithmetic (rmw does 2 muls), scalar must be slower.
+	if float64(rres.Time)/2 <= float64(vres.Time) {
+		t.Fatalf("scalar loop per-mul time (%v/2) should exceed vector (%v)", rres.Time, vres.Time)
+	}
+}
+
+// The affinity mechanism: with the persistent cache simulation, a second
+// region aligned with the first is faster than a misaligned one.
+func TestAffinityCacheEffect(t *testing.T) {
+	run := func(second []int) float64 {
+		rt := New(arch.XeonE5645())
+		rt.NumThreads = 8
+		rt.ProcBind = true
+		rt.CPUAffinity = []int{0, 1, 2, 3, 4, 5, 6, 7}
+		rt.EnableCacheSim()
+		const n = 8 * 8192
+		a := ir.NewBufferF32("a", n)
+		b := ir.NewBufferF32("b", n)
+		c := ir.NewBufferF32("c", n)
+		d := ir.NewBufferF32("d", n)
+		base := int64(1 << 22)
+		for _, buf := range []*ir.Buffer{a, b, c, d} {
+			buf.Base = base
+			base += buf.Bytes() + 4096
+		}
+		args := ir.NewArgs().Bind("a", a).Bind("b", b).Bind("c", c)
+		if _, err := rt.ParallelFor(kernels.VectorAddKernel(), args, n, Static); err != nil {
+			t.Fatal(err)
+		}
+		rt.CPUAffinity = second
+		args2 := ir.NewArgs().Bind("a", c).Bind("b", c).Bind("c", d)
+		res, err := rt.ParallelFor(kernels.VectorMulKernel(), args2, n, Static)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Time)
+	}
+	aligned := run([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	misaligned := run([]int{1, 2, 3, 4, 5, 6, 7, 0})
+	if misaligned <= aligned {
+		t.Fatalf("misaligned (%v) must be slower than aligned (%v)", misaligned, aligned)
+	}
+	if misaligned > 2*aligned {
+		t.Fatalf("misalignment penalty implausibly large: %v vs %v", misaligned, aligned)
+	}
+}
+
+func TestThreadCoreMapping(t *testing.T) {
+	rt := New(arch.XeonE5645())
+	rt.CPUAffinity = []int{3, 1}
+	if rt.threadCore(0, 7) != 3 || rt.threadCore(1, 7) != 1 {
+		t.Fatal("explicit affinity must win")
+	}
+	rt.CPUAffinity = nil
+	rt.ProcBind = true
+	if rt.threadCore(2, 0) != rt.threadCore(2, 5) {
+		t.Fatal("ProcBind must pin threads across regions")
+	}
+	rt.ProcBind = false
+	if rt.threadCore(2, 0) == rt.threadCore(2, 1) {
+		t.Fatal("unbound threads must migrate between regions")
+	}
+}
+
+func TestDynamicScheduleCostsMore(t *testing.T) {
+	rt := New(arch.XeonE5645())
+	const n = 1 << 14
+	mk := func() *ir.Args {
+		a := ir.NewBufferF32("a", n)
+		b := ir.NewBufferF32("b", n)
+		c := ir.NewBufferF32("c", n)
+		return ir.NewArgs().Bind("a", a).Bind("b", b).Bind("c", c)
+	}
+	sres, err := rt.ParallelFor(kernels.VectorAddKernel(), mk(), n, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := rt.ParallelFor(kernels.VectorAddKernel(), mk(), n, Dynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Time < sres.Time {
+		t.Fatalf("dynamic (%v) should not beat static (%v) on a uniform loop", dres.Time, sres.Time)
+	}
+}
+
+func TestGuidedScheduleBetweenStaticAndDynamic(t *testing.T) {
+	rt := New(arch.XeonE5645())
+	const n = 1 << 14
+	mk := func() *ir.Args {
+		a := ir.NewBufferF32("a", n)
+		b := ir.NewBufferF32("b", n)
+		c := ir.NewBufferF32("c", n)
+		return ir.NewArgs().Bind("a", a).Bind("b", b).Bind("c", c)
+	}
+	sres, err := rt.ParallelFor(kernels.VectorAddKernel(), mk(), n, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := rt.ParallelFor(kernels.VectorAddKernel(), mk(), n, Guided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Time < sres.Time {
+		t.Fatalf("guided (%v) should not beat static (%v) on a uniform loop", gres.Time, sres.Time)
+	}
+}
+
+func TestParallelForRejects2D(t *testing.T) {
+	rt := New(arch.XeonE5645())
+	app := kernels.BlackScholes()
+	if _, err := rt.EstimateFor(app.Kernel, app.Make(app.Configs[0]), 1024); err == nil {
+		t.Fatal("2-D kernels must be rejected until collapsed")
+	}
+}
+
+func TestCollapse2D(t *testing.T) {
+	rt := New(arch.XeonE5645())
+	nd := ir.Range2D(64, 32, 8, 8)
+	app := kernels.BlackScholes()
+	args := app.Make(nd)
+
+	// The collapsed port must compute the same results as the 2-D kernel.
+	// Blackscholes indexes out[y*W+x], so the collapsed loop covers W*H.
+	collapsed := Collapse2D(app.Kernel, 64, 32)
+	res, err := rt.ParallelFor(collapsed, args, nd.GlobalItems(), Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("collapsed region must take time")
+	}
+	if err := app.Check(args, nd); err != nil {
+		t.Fatalf("collapsed port computed wrong results: %v", err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package parboil implements the Parboil benchmarks the paper evaluates
+// (Table III, by way of Grewe et al.): CP's cenergy kernel and the MRI-Q /
+// MRI-FHD kernel families, each with the paper's launch geometry,
+// deterministic inputs and pure-Go reference implementations.
+package parboil
+
+import (
+	"math"
+
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+// Default problem-size parameters for the inner loops (the Parboil "small"
+// class is of this order; the paper reports geometry, not dataset, so the
+// values are chosen to keep kernel time dominated by the loop as in the
+// original).
+const (
+	// CPAtoms is the atom count cenergy iterates over.
+	CPAtoms = 1024
+	// MRISamples is the k-space sample count computeQ/FH iterate over.
+	MRISamples = 512
+)
+
+// twoPi is the angular factor in the MRI kernels.
+const twoPi = 2 * math.Pi
+
+// CPEnergyKernel returns CP's cenergy: each workitem computes the Coulomb
+// potential at one 2-D grid point over all atoms (Table III: 64x512 global,
+// 16x8 local).
+func CPEnergyKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "cenergy",
+		WorkDim: 2,
+		Params: []ir.Param{
+			ir.Buf("atomx"), ir.Buf("atomy"), ir.Buf("atomz"), ir.Buf("atomq"),
+			ir.Buf("energy"),
+			ir.ScalarI("natoms"), ir.Scalar("spacing"), ir.ScalarI("width"),
+		},
+		Body: []ir.Stmt{
+			ir.Set("cx", ir.Mul(ir.ToFloat{X: ir.Gid(0)}, ir.P("spacing"))),
+			ir.Set("cy", ir.Mul(ir.ToFloat{X: ir.Gid(1)}, ir.P("spacing"))),
+			ir.Set("en", ir.F(0)),
+			ir.Loop("a", ir.I(0), ir.Pi("natoms"),
+				ir.Set("dx", ir.Sub(ir.V("cx"), ir.LoadF("atomx", ir.Vi("a")))),
+				ir.Set("dy", ir.Sub(ir.V("cy"), ir.LoadF("atomy", ir.Vi("a")))),
+				ir.Set("dz", ir.LoadF("atomz", ir.Vi("a"))),
+				ir.Set("r2", ir.Add(ir.Add(
+					ir.Mul(ir.V("dx"), ir.V("dx")),
+					ir.Mul(ir.V("dy"), ir.V("dy"))),
+					ir.Mul(ir.V("dz"), ir.V("dz")))),
+				ir.Set("en", ir.Add(ir.V("en"),
+					ir.Mul(ir.LoadF("atomq", ir.Vi("a")), ir.Call1(ir.Rsqrt, ir.V("r2"))))),
+			),
+			ir.StoreF("energy",
+				ir.Addi(ir.Muli(ir.Gid(1), ir.Pi("width")), ir.Gid(0)),
+				ir.V("en")),
+		},
+	}
+}
+
+// CP returns the CP benchmark.
+func CP() *kernels.App {
+	return &kernels.App{
+		Name:    "CP",
+		Kernel:  CPEnergyKernel(),
+		Configs: []ir.NDRange{ir.Range2D(64, 512, 16, 8)},
+		Make: func(nd ir.NDRange) *ir.Args {
+			return MakeCPArgs(nd, CPAtoms)
+		},
+		Check: CheckCP,
+	}
+}
+
+// MakeCPArgs builds the atom arrays and energy grid.
+func MakeCPArgs(nd ir.NDRange, natoms int) *ir.Args {
+	w, h := nd.Global[0], nd.Global[1]
+	ax := ir.NewBufferF32("atomx", natoms)
+	ay := ir.NewBufferF32("atomy", natoms)
+	az := ir.NewBufferF32("atomz", natoms)
+	aq := ir.NewBufferF32("atomq", natoms)
+	FillUniform(ax, 71, 0, float64(w)*0.1)
+	FillUniform(ay, 72, 0, float64(h)*0.1)
+	FillUniform(az, 73, 0.5, 4)
+	FillUniform(aq, 74, -1, 1)
+	return ir.NewArgs().
+		Bind("atomx", ax).Bind("atomy", ay).Bind("atomz", az).Bind("atomq", aq).
+		Bind("energy", ir.NewBufferF32("energy", w*h)).
+		SetScalar("natoms", float64(natoms)).
+		SetScalar("spacing", 0.1).
+		SetScalar("width", float64(w))
+}
+
+// CheckCP validates the energy grid.
+func CheckCP(args *ir.Args, nd ir.NDRange) error {
+	w, h := nd.Global[0], nd.Global[1]
+	natoms := int(args.Scalars["natoms"])
+	spacing := args.Scalars["spacing"]
+	ax, ay := args.Buffers["atomx"], args.Buffers["atomy"]
+	az, aq := args.Buffers["atomz"], args.Buffers["atomq"]
+	want := make([]float64, w*h)
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			cx, cy := float64(i)*spacing, float64(j)*spacing
+			en := 0.0
+			for a := 0; a < natoms; a++ {
+				dx := cx - ax.Get(a)
+				dy := cy - ay.Get(a)
+				dz := az.Get(a)
+				en += aq.Get(a) / math.Sqrt(dx*dx+dy*dy+dz*dz)
+			}
+			want[j*w+i] = en
+		}
+	}
+	return Compare("energy", args.Buffers["energy"], want, 2e-3)
+}
+
+// PhiMagKernel returns MRI-Q's computePhiMag: phiMag[i] = phiR^2 + phiI^2
+// (Table III: 3072 global, 512 local).
+func PhiMagKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "computePhiMag",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("phiR"), ir.Buf("phiI"), ir.Buf("phiMag")},
+		Body: []ir.Stmt{
+			ir.Set("r", ir.LoadF("phiR", ir.Gid(0))),
+			ir.Set("im", ir.LoadF("phiI", ir.Gid(0))),
+			ir.StoreF("phiMag", ir.Gid(0),
+				ir.Add(ir.Mul(ir.V("r"), ir.V("r")), ir.Mul(ir.V("im"), ir.V("im")))),
+		},
+	}
+}
+
+// computeQBody builds the shared structure of MRI-Q's computeQ and
+// MRI-FHD's FH: accumulate cos/sin phases over the k-space samples.
+func computeQBody(outRe, outIm string) []ir.Stmt {
+	return []ir.Stmt{
+		ir.Set("px", ir.LoadF("x", ir.Gid(0))),
+		ir.Set("py", ir.LoadF("y", ir.Gid(0))),
+		ir.Set("pz", ir.LoadF("z", ir.Gid(0))),
+		ir.Set("qr", ir.F(0)),
+		ir.Set("qi", ir.F(0)),
+		ir.Loop("s", ir.I(0), ir.Pi("nsamples"),
+			ir.Set("arg", ir.Mul(ir.F(twoPi), ir.Add(ir.Add(
+				ir.Mul(ir.LoadF("kx", ir.Vi("s")), ir.V("px")),
+				ir.Mul(ir.LoadF("ky", ir.Vi("s")), ir.V("py"))),
+				ir.Mul(ir.LoadF("kz", ir.Vi("s")), ir.V("pz"))))),
+			ir.Set("m", ir.LoadF("mag", ir.Vi("s"))),
+			ir.Set("qr", ir.Add(ir.V("qr"), ir.Mul(ir.V("m"), ir.Call1(ir.Cos, ir.V("arg"))))),
+			ir.Set("qi", ir.Add(ir.V("qi"), ir.Mul(ir.V("m"), ir.Call1(ir.Sin, ir.V("arg"))))),
+		),
+		ir.StoreF(outRe, ir.Gid(0), ir.V("qr")),
+		ir.StoreF(outIm, ir.Gid(0), ir.V("qi")),
+	}
+}
+
+func computeQParams(outRe, outIm string) []ir.Param {
+	return []ir.Param{
+		ir.Buf("x"), ir.Buf("y"), ir.Buf("z"),
+		ir.Buf("kx"), ir.Buf("ky"), ir.Buf("kz"), ir.Buf("mag"),
+		ir.Buf(outRe), ir.Buf(outIm), ir.ScalarI("nsamples"),
+	}
+}
+
+// ComputeQKernel returns MRI-Q's computeQ (Table III: 32768 global, 256
+// local).
+func ComputeQKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "computeQ",
+		WorkDim: 1,
+		Params:  computeQParams("Qr", "Qi"),
+		Body:    computeQBody("Qr", "Qi"),
+	}
+}
+
+// RhoPhiKernel returns MRI-FHD's RhoPhi: an elementwise complex multiply
+// (Table III: 3072 global, 512 local).
+func RhoPhiKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "RhoPhi",
+		WorkDim: 1,
+		Params: []ir.Param{
+			ir.Buf("phiR"), ir.Buf("phiI"), ir.Buf("dR"), ir.Buf("dI"),
+			ir.Buf("rRho"), ir.Buf("iRho"),
+		},
+		Body: []ir.Stmt{
+			ir.Set("pr", ir.LoadF("phiR", ir.Gid(0))),
+			ir.Set("pi", ir.LoadF("phiI", ir.Gid(0))),
+			ir.Set("dr", ir.LoadF("dR", ir.Gid(0))),
+			ir.Set("di", ir.LoadF("dI", ir.Gid(0))),
+			ir.StoreF("rRho", ir.Gid(0),
+				ir.Add(ir.Mul(ir.V("pr"), ir.V("dr")), ir.Mul(ir.V("pi"), ir.V("di")))),
+			ir.StoreF("iRho", ir.Gid(0),
+				ir.Sub(ir.Mul(ir.V("pr"), ir.V("di")), ir.Mul(ir.V("pi"), ir.V("dr")))),
+		},
+	}
+}
+
+// FHKernel returns MRI-FHD's FH kernel, structurally computeQ over the rho
+// weights (Table III: 32768 global, 256 local).
+func FHKernel() *ir.Kernel {
+	return &ir.Kernel{
+		Name:    "FH",
+		WorkDim: 1,
+		Params:  computeQParams("rFH", "iFH"),
+		Body:    computeQBody("rFH", "iFH"),
+	}
+}
+
+// MakePhiMagArgs builds inputs for computePhiMag (and RhoPhi's phi part).
+func MakePhiMagArgs(nd ir.NDRange) *ir.Args {
+	n := nd.GlobalItems()
+	r := ir.NewBufferF32("phiR", n)
+	im := ir.NewBufferF32("phiI", n)
+	FillUniform(r, 81, -1, 1)
+	FillUniform(im, 82, -1, 1)
+	return ir.NewArgs().Bind("phiR", r).Bind("phiI", im).
+		Bind("phiMag", ir.NewBufferF32("phiMag", n))
+}
+
+// CheckPhiMag validates computePhiMag.
+func CheckPhiMag(args *ir.Args, nd ir.NDRange) error {
+	r, im := args.Buffers["phiR"], args.Buffers["phiI"]
+	want := make([]float64, r.Len())
+	for i := range want {
+		want[i] = r.Get(i)*r.Get(i) + im.Get(i)*im.Get(i)
+	}
+	return Compare("phiMag", args.Buffers["phiMag"], want, 1e-5)
+}
+
+// MakeComputeQArgs builds inputs for computeQ/FH.
+func MakeComputeQArgs(nd ir.NDRange, nsamples int, outRe, outIm string) *ir.Args {
+	n := nd.GlobalItems()
+	args := ir.NewArgs().SetScalar("nsamples", float64(nsamples))
+	for i, name := range []string{"x", "y", "z"} {
+		b := ir.NewBufferF32(name, n)
+		FillUniform(b, uint64(91+i), -0.5, 0.5)
+		args.Bind(name, b)
+	}
+	for i, name := range []string{"kx", "ky", "kz", "mag"} {
+		b := ir.NewBufferF32(name, nsamples)
+		FillUniform(b, uint64(95+i), -0.5, 0.5)
+		args.Bind(name, b)
+	}
+	args.Bind(outRe, ir.NewBufferF32(outRe, n))
+	args.Bind(outIm, ir.NewBufferF32(outIm, n))
+	return args
+}
+
+// CheckComputeQ validates computeQ/FH outputs.
+func CheckComputeQ(args *ir.Args, nd ir.NDRange, outRe, outIm string) error {
+	n := args.Buffers["x"].Len()
+	ns := int(args.Scalars["nsamples"])
+	wantR := make([]float64, n)
+	wantI := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px := args.Buffers["x"].Get(i)
+		py := args.Buffers["y"].Get(i)
+		pz := args.Buffers["z"].Get(i)
+		var qr, qi float64
+		for s := 0; s < ns; s++ {
+			arg := twoPi * (args.Buffers["kx"].Get(s)*px +
+				args.Buffers["ky"].Get(s)*py +
+				args.Buffers["kz"].Get(s)*pz)
+			mag := args.Buffers["mag"].Get(s)
+			qr += mag * math.Cos(arg)
+			qi += mag * math.Sin(arg)
+		}
+		wantR[i], wantI[i] = qr, qi
+	}
+	if err := Compare(outRe, args.Buffers[outRe], wantR, 2e-3); err != nil {
+		return err
+	}
+	return Compare(outIm, args.Buffers[outIm], wantI, 2e-3)
+}
+
+// Kernels lists every Parboil kernel with its Table III geometry.
+type Entry struct {
+	Bench  string // CP, MRI-Q, MRI-FHD
+	Kernel *ir.Kernel
+	ND     ir.NDRange
+	Make   func() *ir.Args
+	Check  func(args *ir.Args) error
+}
+
+// Entries returns every Parboil kernel in Table III order.
+func Entries() []Entry {
+	return []Entry{
+		{
+			Bench:  "CP",
+			Kernel: CPEnergyKernel(),
+			ND:     ir.Range2D(64, 512, 16, 8),
+			Make:   func() *ir.Args { return MakeCPArgs(ir.Range2D(64, 512, 16, 8), CPAtoms) },
+			Check:  func(a *ir.Args) error { return CheckCP(a, ir.Range2D(64, 512, 16, 8)) },
+		},
+		{
+			Bench:  "MRI-Q",
+			Kernel: PhiMagKernel(),
+			ND:     ir.Range1D(3072, 512),
+			Make:   func() *ir.Args { return MakePhiMagArgs(ir.Range1D(3072, 512)) },
+			Check:  func(a *ir.Args) error { return CheckPhiMag(a, ir.Range1D(3072, 512)) },
+		},
+		{
+			Bench:  "MRI-Q",
+			Kernel: ComputeQKernel(),
+			ND:     ir.Range1D(32768, 256),
+			Make: func() *ir.Args {
+				return MakeComputeQArgs(ir.Range1D(32768, 256), MRISamples, "Qr", "Qi")
+			},
+			Check: func(a *ir.Args) error {
+				return CheckComputeQ(a, ir.Range1D(32768, 256), "Qr", "Qi")
+			},
+		},
+		{
+			Bench:  "MRI-FHD",
+			Kernel: RhoPhiKernel(),
+			ND:     ir.Range1D(3072, 512),
+			Make:   func() *ir.Args { return MakeRhoPhiArgs(ir.Range1D(3072, 512)) },
+			Check:  func(a *ir.Args) error { return CheckRhoPhi(a, ir.Range1D(3072, 512)) },
+		},
+		{
+			Bench:  "MRI-FHD",
+			Kernel: FHKernel(),
+			ND:     ir.Range1D(32768, 256),
+			Make: func() *ir.Args {
+				return MakeComputeQArgs(ir.Range1D(32768, 256), MRISamples, "rFH", "iFH")
+			},
+			Check: func(a *ir.Args) error {
+				return CheckComputeQ(a, ir.Range1D(32768, 256), "rFH", "iFH")
+			},
+		},
+	}
+}
+
+// MakeRhoPhiArgs builds inputs for RhoPhi.
+func MakeRhoPhiArgs(nd ir.NDRange) *ir.Args {
+	n := nd.GlobalItems()
+	args := ir.NewArgs()
+	for i, name := range []string{"phiR", "phiI", "dR", "dI"} {
+		b := ir.NewBufferF32(name, n)
+		FillUniform(b, uint64(101+i), -1, 1)
+		args.Bind(name, b)
+	}
+	args.Bind("rRho", ir.NewBufferF32("rRho", n))
+	args.Bind("iRho", ir.NewBufferF32("iRho", n))
+	return args
+}
+
+// CheckRhoPhi validates RhoPhi.
+func CheckRhoPhi(args *ir.Args, nd ir.NDRange) error {
+	pr, pi := args.Buffers["phiR"], args.Buffers["phiI"]
+	dr, di := args.Buffers["dR"], args.Buffers["dI"]
+	n := pr.Len()
+	wantR := make([]float64, n)
+	wantI := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wantR[i] = pr.Get(i)*dr.Get(i) + pi.Get(i)*di.Get(i)
+		wantI[i] = pr.Get(i)*di.Get(i) - pi.Get(i)*dr.Get(i)
+	}
+	if err := Compare("rRho", args.Buffers["rRho"], wantR, 1e-4); err != nil {
+		return err
+	}
+	return Compare("iRho", args.Buffers["iRho"], wantI, 1e-4)
+}
+
+// FillUniform and Compare re-export the kernels package helpers for use by
+// this package's input builders and checkers.
+var (
+	FillUniform = kernels.FillUniform
+	Compare     = kernels.Compare
+)

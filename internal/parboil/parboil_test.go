@@ -1,0 +1,140 @@
+package parboil
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+// Reduced geometries keep the O(items x inner-loop) reference computations
+// fast while exercising every kernel.
+func TestCPFunctional(t *testing.T) {
+	nd := ir.Range2D(16, 32, 16, 8)
+	args := MakeCPArgs(nd, 64)
+	if err := ir.ExecRange(CPEnergyKernel(), args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCP(args, nd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhiMagFunctional(t *testing.T) {
+	nd := ir.Range1D(3072, 512) // full Table III size: the kernel is tiny
+	args := MakePhiMagArgs(nd)
+	if err := ir.ExecRange(PhiMagKernel(), args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPhiMag(args, nd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeQFunctional(t *testing.T) {
+	nd := ir.Range1D(512, 256)
+	args := MakeComputeQArgs(nd, 64, "Qr", "Qi")
+	if err := ir.ExecRange(ComputeQKernel(), args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckComputeQ(args, nd, "Qr", "Qi"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRhoPhiFunctional(t *testing.T) {
+	nd := ir.Range1D(3072, 512) // full Table III size
+	args := MakeRhoPhiArgs(nd)
+	if err := ir.ExecRange(RhoPhiKernel(), args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRhoPhi(args, nd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFHFunctional(t *testing.T) {
+	nd := ir.Range1D(512, 256)
+	args := MakeComputeQArgs(nd, 64, "rFH", "iFH")
+	if err := ir.ExecRange(FHKernel(), args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckComputeQ(args, nd, "rFH", "iFH"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Entries must match Table III geometry exactly.
+func TestEntriesMatchTableIII(t *testing.T) {
+	want := []struct {
+		bench, kernel  string
+		global, local0 int
+	}{
+		{"CP", "cenergy", 64 * 512, 16},
+		{"MRI-Q", "computePhiMag", 3072, 512},
+		{"MRI-Q", "computeQ", 32768, 256},
+		{"MRI-FHD", "RhoPhi", 3072, 512},
+		{"MRI-FHD", "FH", 32768, 256},
+	}
+	entries := Entries()
+	if len(entries) != len(want) {
+		t.Fatalf("entries = %d, want %d", len(entries), len(want))
+	}
+	for i, w := range want {
+		e := entries[i]
+		if e.Bench != w.bench || e.Kernel.Name != w.kernel {
+			t.Errorf("entry %d = %s:%s, want %s:%s", i, e.Bench, e.Kernel.Name, w.bench, w.kernel)
+		}
+		if e.ND.GlobalItems() != w.global {
+			t.Errorf("%s global items = %d, want %d", w.kernel, e.ND.GlobalItems(), w.global)
+		}
+		if e.ND.Local[0] != w.local0 {
+			t.Errorf("%s local0 = %d, want %d", w.kernel, e.ND.Local[0], w.local0)
+		}
+		if err := ir.Validate(e.Kernel); err != nil {
+			t.Errorf("%s: %v", w.kernel, err)
+		}
+	}
+}
+
+// Every entry must be coarsenable (the Figure 2 transformation applies).
+func TestEntriesCoarsenable(t *testing.T) {
+	for _, e := range Entries() {
+		for _, f := range []int{2, 4} {
+			if _, err := kernels.Coarsen(e.Kernel, f); err != nil {
+				t.Errorf("%s x%d: %v", e.Kernel.Name, f, err)
+			}
+			if _, err := kernels.CoarsenRange(e.ND, f); err != nil {
+				t.Errorf("%s range x%d: %v", e.Kernel.Name, f, err)
+			}
+		}
+	}
+}
+
+// Coarsened cenergy must agree with the uncoarsened result.
+func TestCoarsenedCPMatches(t *testing.T) {
+	nd := ir.Range2D(16, 16, 16, 8)
+	base := MakeCPArgs(nd, 32)
+	coarse := MakeCPArgs(nd, 32)
+	if err := ir.ExecRange(CPEnergyKernel(), base, nd, ir.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := kernels.Coarsen(CPEnergyKernel(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnd, err := kernels.CoarsenRange(nd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.ExecRange(ck, coarse, cnd, ir.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	be := base.Buffers["energy"]
+	ce := coarse.Buffers["energy"]
+	for i := 0; i < be.Len(); i++ {
+		if be.Get(i) != ce.Get(i) {
+			t.Fatalf("energy[%d]: base %v vs coarse %v", i, be.Get(i), ce.Get(i))
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package trace reconstructs and renders the CPU device model's workgroup
+// schedule: which hardware thread runs which workgroup when. It makes the
+// scheduling behaviour behind the paper's Figures 1-5 visible — tiny
+// workgroups produce timelines dominated by dispatch gaps, large ones by
+// solid compute segments.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"clperf/internal/cpu"
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// Segment is one workgroup's occupancy of one hardware thread.
+type Segment struct {
+	Worker int
+	Group  int
+	Start  units.Duration
+	End    units.Duration
+}
+
+// Timeline is a launch's reconstructed schedule.
+type Timeline struct {
+	Kernel   string
+	ND       ir.NDRange
+	Workers  int
+	Segments []Segment
+	// Makespan is the last segment's end.
+	Makespan units.Duration
+	// GroupTime and Dispatch are the per-workgroup costs used.
+	GroupTime units.Duration
+	Dispatch  units.Duration
+}
+
+// CPU reconstructs the schedule of a launch on the CPU device: workgroups
+// are drained from a shared queue by the workers, each paying the dispatch
+// cost before its compute time — the same quantities the Estimate model
+// integrates.
+func CPU(d *cpu.Device, k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Timeline, error) {
+	res, err := d.Estimate(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+	nd = res.ND
+	groups := res.Groups
+	workers := res.Workers
+	issueShare := 1.0
+	if workers > d.A.PhysicalCores() {
+		issueShare = d.A.SMTYield
+	}
+	groupCycles := d.GroupCycles(res.Cost, nd.GroupItems(), issueShare)
+	groupTime := d.A.Clock.Cycles(groupCycles)
+
+	tl := &Timeline{
+		Kernel:    k.Name,
+		ND:        nd,
+		Workers:   workers,
+		GroupTime: groupTime,
+		Dispatch:  d.A.GroupDispatch,
+	}
+
+	// Greedy queue drain: each worker takes the next group when free.
+	free := make([]units.Duration, workers)
+	for g := 0; g < groups; g++ {
+		w := 0
+		for i := 1; i < workers; i++ {
+			if free[i] < free[w] {
+				w = i
+			}
+		}
+		start := free[w] + d.A.GroupDispatch
+		end := start + groupTime
+		tl.Segments = append(tl.Segments, Segment{Worker: w, Group: g, Start: start, End: end})
+		free[w] = end
+		if end > tl.Makespan {
+			tl.Makespan = end
+		}
+	}
+	return tl, nil
+}
+
+// Utilization returns each worker's busy fraction of the makespan.
+func (tl *Timeline) Utilization() []float64 {
+	busy := make([]units.Duration, tl.Workers)
+	for _, s := range tl.Segments {
+		busy[s.Worker] += s.End - s.Start
+	}
+	out := make([]float64, tl.Workers)
+	for i, b := range busy {
+		if tl.Makespan > 0 {
+			out[i] = float64(b) / float64(tl.Makespan)
+		}
+	}
+	return out
+}
+
+// Render writes an ASCII Gantt chart, one row per worker, `width` columns
+// across the makespan. '#' marks compute, '.' dispatch/idle gaps.
+func (tl *Timeline) Render(w io.Writer, width int) {
+	if width < 10 {
+		width = 10
+	}
+	fmt.Fprintf(w, "kernel %s over %s: %d workgroups on %d workers, makespan %v\n",
+		tl.Kernel, tl.ND, len(tl.Segments), tl.Workers, tl.Makespan)
+	if tl.Makespan <= 0 {
+		return
+	}
+	rows := make([][]byte, tl.Workers)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	col := func(t units.Duration) int {
+		c := int(float64(t) / float64(tl.Makespan) * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	for _, s := range tl.Segments {
+		for c := col(s.Start); c <= col(s.End-1); c++ {
+			rows[s.Worker][c] = '#'
+		}
+	}
+	util := tl.Utilization()
+	order := make([]int, tl.Workers)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Ints(order)
+	for _, i := range order {
+		fmt.Fprintf(w, "T%02d |%s| %4.0f%%\n", i, rows[i], 100*util[i])
+	}
+}

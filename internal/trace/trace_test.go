@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func TestTimelineCoversAllGroups(t *testing.T) {
+	d := cpu.New(arch.XeonE5645())
+	app := kernels.Square()
+	nd := ir.Range1D(1<<14, 256)
+	tl, err := CPU(d, app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Segments) != 64 {
+		t.Fatalf("segments = %d, want 64 groups", len(tl.Segments))
+	}
+	seen := map[int]bool{}
+	for _, s := range tl.Segments {
+		if s.End <= s.Start {
+			t.Fatalf("segment %d has non-positive duration", s.Group)
+		}
+		if s.Worker < 0 || s.Worker >= tl.Workers {
+			t.Fatalf("segment %d on invalid worker %d", s.Group, s.Worker)
+		}
+		seen[s.Group] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("groups covered = %d", len(seen))
+	}
+}
+
+func TestTimelineNoOverlapPerWorker(t *testing.T) {
+	d := cpu.New(arch.XeonE5645())
+	app := kernels.Square()
+	nd := ir.Range1D(1<<16, 64)
+	tl, err := CPU(d, app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[int]float64)
+	for _, s := range tl.Segments {
+		if float64(s.Start) < last[s.Worker] {
+			t.Fatalf("worker %d segments overlap", s.Worker)
+		}
+		last[s.Worker] = float64(s.End)
+	}
+}
+
+func TestTimelineMakespanTracksEstimate(t *testing.T) {
+	d := cpu.New(arch.XeonE5645())
+	app := kernels.Square()
+	nd := ir.Range1D(1<<16, 64)
+	args := app.Make(nd)
+	tl, err := CPU(d, app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Estimate(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The greedy drain and the analytic model agree within a group's cost.
+	diff := float64(tl.Makespan) - float64(res.Compute)
+	if diff < 0 {
+		diff = -diff
+	}
+	slack := float64(tl.GroupTime+tl.Dispatch) * 2
+	if diff > slack {
+		t.Fatalf("makespan %v vs estimate %v differ by more than %v",
+			tl.Makespan, res.Compute, slack)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	d := cpu.New(arch.XeonE5645())
+	app := kernels.Square()
+	nd := ir.Range1D(4096, 64)
+	tl, err := CPU(d, app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tl.Render(&sb, 60)
+	out := sb.String()
+	if !strings.Contains(out, "T00 |") {
+		t.Fatalf("render missing worker rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("render shows no compute segments")
+	}
+	if strings.Count(out, "\n") < tl.Workers {
+		t.Fatal("render too short")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	d := cpu.New(arch.XeonE5645())
+	app := kernels.Square()
+	nd := ir.Range1D(1<<15, 32)
+	tl, err := CPU(d, app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range tl.Utilization() {
+		if u < 0 || u > 1.0001 {
+			t.Fatalf("worker %d utilization %v out of range", i, u)
+		}
+	}
+}

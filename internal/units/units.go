@@ -1,0 +1,191 @@
+// Package units provides the simulated physical quantities used throughout
+// clperf: time, data size, clock frequency and computational throughput.
+//
+// All device models report simulated time as units.Duration (nanoseconds held
+// in a float64 so that sub-nanosecond per-item costs accumulate without
+// rounding). The package mirrors the small slice of time.Duration's API the
+// rest of the repository needs, plus formatting helpers for harness output.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Duration is a span of simulated time in nanoseconds.
+//
+// A float64 is used instead of an integer tick count because per-workitem
+// costs are routinely fractions of a nanosecond (a 2.4 GHz core retires
+// several instructions per ns) and experiments sum millions of them.
+type Duration float64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration in milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds returns the duration in microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Nanoseconds returns the duration in nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) }
+
+// String formats the duration with an auto-selected unit, e.g. "1.25ms".
+func (d Duration) String() string {
+	abs := math.Abs(float64(d))
+	switch {
+	case abs >= float64(Second):
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	case abs >= float64(Millisecond):
+		return fmt.Sprintf("%.4gms", d.Milliseconds())
+	case abs >= float64(Microsecond):
+		return fmt.Sprintf("%.4gus", d.Microseconds())
+	default:
+		return fmt.Sprintf("%.4gns", float64(d))
+	}
+}
+
+// Frequency is a clock rate in hertz.
+type Frequency float64
+
+// Common frequencies.
+const (
+	Hertz     Frequency = 1
+	Kilohertz           = 1000 * Hertz
+	Megahertz           = 1000 * Kilohertz
+	Gigahertz           = 1000 * Megahertz
+)
+
+// Period returns the duration of one clock cycle.
+func (f Frequency) Period() Duration {
+	if f <= 0 {
+		return 0
+	}
+	return Duration(float64(Second) / float64(f))
+}
+
+// Cycles converts a cycle count at this frequency into simulated time.
+func (f Frequency) Cycles(n float64) Duration {
+	return Duration(n) * f.Period()
+}
+
+// String formats the frequency, e.g. "2.4GHz".
+func (f Frequency) String() string {
+	switch {
+	case f >= Gigahertz:
+		return fmt.Sprintf("%.4gGHz", float64(f)/float64(Gigahertz))
+	case f >= Megahertz:
+		return fmt.Sprintf("%.4gMHz", float64(f)/float64(Megahertz))
+	case f >= Kilohertz:
+		return fmt.Sprintf("%.4gkHz", float64(f)/float64(Kilohertz))
+	default:
+		return fmt.Sprintf("%.4gHz", float64(f))
+	}
+}
+
+// ByteSize is a data size in bytes.
+type ByteSize int64
+
+// Common sizes.
+const (
+	Byte     ByteSize = 1
+	Kibibyte          = 1024 * Byte
+	Mebibyte          = 1024 * Kibibyte
+	Gibibyte          = 1024 * Mebibyte
+)
+
+// String formats the size with a binary unit, e.g. "256KiB".
+func (s ByteSize) String() string {
+	switch {
+	case s >= Gibibyte && s%Gibibyte == 0:
+		return fmt.Sprintf("%dGiB", s/Gibibyte)
+	case s >= Mebibyte && s%Mebibyte == 0:
+		return fmt.Sprintf("%dMiB", s/Mebibyte)
+	case s >= Kibibyte && s%Kibibyte == 0:
+		return fmt.Sprintf("%dKiB", s/Kibibyte)
+	case s >= Gibibyte:
+		return fmt.Sprintf("%.4gGiB", float64(s)/float64(Gibibyte))
+	case s >= Mebibyte:
+		return fmt.Sprintf("%.4gMiB", float64(s)/float64(Mebibyte))
+	case s >= Kibibyte:
+		return fmt.Sprintf("%.4gKiB", float64(s)/float64(Kibibyte))
+	default:
+		return fmt.Sprintf("%dB", int64(s))
+	}
+}
+
+// Bandwidth is a data rate in bytes per second.
+type Bandwidth float64
+
+// Common bandwidths.
+const (
+	BytePerSecond Bandwidth = 1
+	KBPerSecond             = 1e3 * BytePerSecond
+	MBPerSecond             = 1e6 * BytePerSecond
+	GBPerSecond             = 1e9 * BytePerSecond
+)
+
+// Transfer returns the time to move n bytes at this bandwidth.
+func (b Bandwidth) Transfer(n ByteSize) Duration {
+	if b <= 0 {
+		return 0
+	}
+	return Duration(float64(n) / float64(b) * float64(Second))
+}
+
+// String formats the bandwidth, e.g. "5.2GB/s".
+func (b Bandwidth) String() string {
+	switch {
+	case b >= GBPerSecond:
+		return fmt.Sprintf("%.4gGB/s", float64(b)/float64(GBPerSecond))
+	case b >= MBPerSecond:
+		return fmt.Sprintf("%.4gMB/s", float64(b)/float64(MBPerSecond))
+	default:
+		return fmt.Sprintf("%.4gB/s", float64(b))
+	}
+}
+
+// Throughput is a computational rate in floating-point operations per second.
+type Throughput float64
+
+// Common throughputs.
+const (
+	Flops  Throughput = 1
+	MFlops            = 1e6 * Flops
+	GFlops            = 1e9 * Flops
+	TFlops            = 1e12 * Flops
+)
+
+// ThroughputOf returns the rate of performing ops operations in d.
+func ThroughputOf(ops float64, d Duration) Throughput {
+	if d <= 0 {
+		return 0
+	}
+	return Throughput(ops / d.Seconds())
+}
+
+// GFlops returns the throughput in GFlop/s.
+func (t Throughput) GFlops() float64 { return float64(t) / float64(GFlops) }
+
+// String formats the throughput, e.g. "35.2GFlop/s".
+func (t Throughput) String() string {
+	switch {
+	case t >= TFlops:
+		return fmt.Sprintf("%.4gTFlop/s", float64(t)/float64(TFlops))
+	case t >= GFlops:
+		return fmt.Sprintf("%.4gGFlop/s", float64(t)/float64(GFlops))
+	case t >= MFlops:
+		return fmt.Sprintf("%.4gMFlop/s", float64(t)/float64(MFlops))
+	default:
+		return fmt.Sprintf("%.4gFlop/s", float64(t))
+	}
+}

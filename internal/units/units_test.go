@@ -1,0 +1,128 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if got := d.Milliseconds(); got != 1.5 {
+		t.Errorf("Milliseconds = %v, want 1.5", got)
+	}
+	if got := d.Seconds(); got != 0.0015 {
+		t.Errorf("Seconds = %v, want 0.0015", got)
+	}
+	if got := d.Microseconds(); got != 1500 {
+		t.Errorf("Microseconds = %v, want 1500", got)
+	}
+	if got := d.Nanoseconds(); got != 1.5e6 {
+		t.Errorf("Nanoseconds = %v, want 1.5e6", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{2 * Second, "2s"},
+		{1.5 * Millisecond, "1.5ms"},
+		{250 * Microsecond, "250us"},
+		{42 * Nanosecond, "42ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%v ns).String() = %q, want %q", float64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestFrequencyPeriodAndCycles(t *testing.T) {
+	f := 2.4 * Gigahertz
+	period := f.Period()
+	want := 1e9 / 2.4e9 // ns
+	if math.Abs(float64(period)-want) > 1e-12 {
+		t.Errorf("Period = %v ns, want %v", float64(period), want)
+	}
+	if got := f.Cycles(2.4e9); math.Abs(got.Seconds()-1) > 1e-9 {
+		t.Errorf("2.4e9 cycles at 2.4GHz = %v, want 1s", got)
+	}
+	if (Frequency(0)).Period() != 0 {
+		t.Error("zero frequency must have zero period")
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		s    ByteSize
+		want string
+	}{
+		{64 * Kibibyte, "64KiB"},
+		{12 * Mebibyte, "12MiB"},
+		{2 * Gibibyte, "2GiB"},
+		{100 * Byte, "100B"},
+		{1536 * Byte, "1.5KiB"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.s), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthTransfer(t *testing.T) {
+	bw := 1 * GBPerSecond
+	if got := bw.Transfer(1e9 * Byte); math.Abs(got.Seconds()-1) > 1e-9 {
+		t.Errorf("1GB at 1GB/s = %v, want 1s", got)
+	}
+	if got := (Bandwidth(0)).Transfer(100); got != 0 {
+		t.Errorf("zero bandwidth transfer = %v, want 0", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	thr := ThroughputOf(1e9, Second)
+	if thr.GFlops() != 1 {
+		t.Errorf("1e9 flops in 1s = %v GFlop/s, want 1", thr.GFlops())
+	}
+	if got := ThroughputOf(1, 0); got != 0 {
+		t.Errorf("throughput over zero time = %v, want 0", got)
+	}
+	if s := (230.4 * GFlops).String(); s != "230.4GFlop/s" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (1.56 * TFlops).String(); s != "1.56TFlop/s" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: cycles at a frequency scale linearly.
+func TestCyclesLinearity(t *testing.T) {
+	f := 2.4 * Gigahertz
+	prop := func(a, b uint32) bool {
+		x, y := float64(a%1e6), float64(b%1e6)
+		sum := f.Cycles(x + y)
+		parts := f.Cycles(x) + f.Cycles(y)
+		return math.Abs(float64(sum-parts)) <= 1e-6*math.Max(1, math.Abs(float64(sum)))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer time is monotone in bytes.
+func TestTransferMonotonic(t *testing.T) {
+	bw := 5 * GBPerSecond
+	prop := func(a, b uint32) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return bw.Transfer(ByteSize(lo)) <= bw.Transfer(ByteSize(hi))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
