@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs/
+
+# The gate CI runs: everything must build, vet clean, and pass under
+# the race detector.
+ci: build vet race

@@ -1,0 +1,122 @@
+// Command clprof replays a workload or paper experiment under full
+// observability and dumps what the runtime saw: a Chrome trace-event
+// JSON file (Perfetto / chrome://tracing), a plain-text span tree with
+// hot-path highlighting, a metrics snapshot table, and CSV for figure
+// pipelines.
+//
+// Usage:
+//
+//	clprof -e quickstart -trace out.json   # replay quickstart, dump trace
+//	clprof -e fig3 -metrics                # replay Figure 3, metrics table
+//	clprof -e fig6 -tree                   # span tree of every launch
+//	clprof -e table2 -spans spans.csv -mcsv metrics.csv
+//	clprof -e quickstart -enqlat 500 -metrics   # 500ns enqueue latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clperf/internal/experiments"
+	"clperf/internal/harness"
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+func main() {
+	var (
+		id       = flag.String("e", "quickstart", `what to replay: "quickstart" or an experiment id (table1..fig11, ext*)`)
+		traceOut = flag.String("trace", "", "write Chrome trace-event JSON to this file")
+		tree     = flag.Bool("tree", false, "print the span tree (hot paths flagged)")
+		hotFrac  = flag.Float64("hot", 0.5, "hot-path threshold as a fraction of the root span")
+		metrics  = flag.Bool("metrics", false, "print the metrics snapshot table")
+		spansCSV = flag.String("spans", "", "write all spans as CSV to this file")
+		mCSV     = flag.String("mcsv", "", "write the metrics snapshot as CSV to this file")
+		enqLat   = flag.Float64("enqlat", 0, "modeled enqueue latency in ns (quickstart replay only)")
+	)
+	flag.Parse()
+
+	if !*tree && !*metrics && *traceOut == "" && *spansCSV == "" && *mCSV == "" {
+		*metrics = true // bare clprof still prints something useful
+	}
+
+	rec := obs.NewRecorder()
+	if err := replay(*id, rec, units.Duration(*enqLat)); err != nil {
+		fmt.Fprintf(os.Stderr, "clprof: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(f *os.File) error {
+			return rec.Chrome(1, "clperf runtime").WriteJSON(f)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "clprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d spans); load it in https://ui.perfetto.dev\n", *traceOut, rec.Len())
+	}
+	if *spansCSV != "" {
+		if err := writeFile(*spansCSV, func(f *os.File) error {
+			rec.WriteSpansCSV(f)
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "clprof: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *mCSV != "" {
+		if err := writeFile(*mCSV, func(f *os.File) error {
+			rec.Registry().Snapshot().WriteCSV(f)
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "clprof: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tree {
+		rec.WriteTree(os.Stdout, *hotFrac)
+	}
+	if *metrics {
+		harness.MetricsTable(rec.Registry().Snapshot()).Render(os.Stdout)
+	}
+}
+
+// replay runs the named workload with rec attached. The quickstart
+// replay exercises the cl runtime (queue spans, transfer metrics, the
+// schedule timeline); experiment replays record every device-model
+// launch the experiment prices.
+func replay(id string, rec *obs.Recorder, enqLat units.Duration) error {
+	if id == "quickstart" {
+		tl, err := harness.RunQuickstart(rec, enqLat)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed quickstart: vectoradd over %d items, makespan %v\n",
+			harness.QuickstartN, tl.Makespan)
+		return nil
+	}
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return err
+	}
+	rep, err := e.Run(harness.Options{Obs: rec})
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	fmt.Printf("replayed %s — %s (%d launches priced)\n",
+		rep.ID, rep.Title, int(rec.Registry().Counter("cpu.launches")+rec.Registry().Counter("gpu.launches")))
+	return nil
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

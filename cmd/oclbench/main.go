@@ -2,10 +2,15 @@
 //
 // Usage:
 //
-//	oclbench -e fig1          # one experiment
-//	oclbench -e all           # every table and figure, in paper order
-//	oclbench -list            # list experiment ids
-//	oclbench -e fig3 -csv     # CSV instead of aligned text
+//	oclbench -e fig1            # one experiment
+//	oclbench -e all             # every table and figure, in paper order
+//	oclbench -list              # list experiment ids
+//	oclbench -e fig3 -csv       # CSV instead of aligned text
+//	oclbench -trace out.json    # replay the quickstart workload and write
+//	                            # Chrome trace-event JSON (Perfetto,
+//	                            # chrome://tracing): queue commands plus
+//	                            # one track per simulated worker
+//	oclbench -e fig6 -metrics   # print the metrics snapshot after the run
 package main
 
 import (
@@ -15,20 +20,31 @@ import (
 
 	"clperf/internal/experiments"
 	"clperf/internal/harness"
+	"clperf/internal/obs"
 )
 
 func main() {
 	var (
-		id      = flag.String("e", "all", "experiment id (table1..table5, fig1..fig11, all)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		csv     = flag.Bool("csv", false, "emit CSV tables")
-		verbose = flag.Bool("v", false, "verbose reports")
+		id       = flag.String("e", "all", "experiment id (table1..table5, fig1..fig11, all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		csv      = flag.Bool("csv", false, "emit CSV tables")
+		verbose  = flag.Bool("v", false, "verbose reports")
+		traceOut = flag.String("trace", "", "replay the quickstart workload and write Chrome trace-event JSON to this file")
+		metrics  = flag.Bool("metrics", false, "print a metrics snapshot table after the run")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *traceOut != "" {
+		if err := writeQuickstartTrace(*traceOut, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "oclbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -46,6 +62,9 @@ func main() {
 	}
 
 	opts := harness.Options{Verbose: *verbose}
+	if *metrics {
+		opts.Obs = obs.NewRecorder()
+	}
 	for _, e := range exps {
 		rep, err := e.Run(opts)
 		if err != nil {
@@ -63,4 +82,41 @@ func main() {
 		}
 		rep.Render(os.Stdout)
 	}
+	if *metrics {
+		tbl := harness.MetricsTable(opts.Obs.Registry().Snapshot())
+		if *csv {
+			tbl.RenderCSV(os.Stdout)
+		} else {
+			tbl.Render(os.Stdout)
+		}
+	}
+}
+
+// writeQuickstartTrace replays the quickstart vector-add workload under
+// full observability and writes the merged Chrome trace: pid 1 is the
+// runtime (queue commands with kernel phase children, device launches),
+// pid 2 the reconstructed schedule with one track per worker.
+func writeQuickstartTrace(path string, metrics bool) error {
+	rec := obs.NewRecorder()
+	tl, err := harness.RunQuickstart(rec, 0)
+	if err != nil {
+		return err
+	}
+	ct := rec.Chrome(1, "clperf runtime")
+	tl.AppendChrome(ct, 2)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ct.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("wrote %s: quickstart vectoradd over %d items, %d workers, makespan %v\n",
+		path, harness.QuickstartN, tl.Workers, tl.Makespan)
+	fmt.Println("load it in https://ui.perfetto.dev or chrome://tracing")
+	if metrics {
+		harness.MetricsTable(rec.Registry().Snapshot()).Render(os.Stdout)
+	}
+	return f.Close()
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"clperf/internal/arch"
+	"clperf/internal/obs"
 )
 
 // Stats counts accesses and hits for one cache.
@@ -221,3 +222,28 @@ func (h *Hierarchy) CoreStats(core int) (Stats, Stats) {
 
 // L3Stats returns the shared L3 statistics.
 func (h *Hierarchy) L3Stats() Stats { return h.l3.Stats() }
+
+// PublishMetrics writes the hierarchy's aggregate hit/miss statistics
+// into the registry as gauges: per-level accesses, hits and hit rate
+// (L1/L2 summed across cores). Safe on a nil registry.
+func (h *Hierarchy) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	var l1, l2 Stats
+	for i := range h.l1 {
+		s1, s2 := h.CoreStats(i)
+		l1.Accesses += s1.Accesses
+		l1.Hits += s1.Hits
+		l2.Accesses += s2.Accesses
+		l2.Hits += s2.Hits
+	}
+	publish := func(level string, s Stats) {
+		reg.Set("cache."+level+".accesses", float64(s.Accesses))
+		reg.Set("cache."+level+".hits", float64(s.Hits))
+		reg.Set("cache."+level+".hitrate", s.HitRate())
+	}
+	publish("l1", l1)
+	publish("l2", l2)
+	publish("l3", h.L3Stats())
+}

@@ -74,6 +74,8 @@ func (q *CommandQueue) EnqueueNDRangeKernelPinned(k *Kernel, nd ir.NDRange, aff 
 	}
 	ke := &KernelEvent{CPUResult: &res.Result}
 	ke.Event = q.record("clEnqueueNDRangeKernelPinned:"+k.k.Name, res.Time)
+	q.observeKernel(k.k.Name, ke)
+	q.ctx.CacheMetrics()
 	q.LastKernel = ke
 	return ke, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"clperf/internal/cache"
 	"clperf/internal/ir"
+	"clperf/internal/obs"
 )
 
 // Context owns memory objects and kernels for one device.
@@ -17,13 +18,32 @@ type Context struct {
 	// clperf_workgroup_affinity extension (affinity.go); nil until the
 	// first pinned launch.
 	hier *cache.Hierarchy
+	// rec is the context's observability recorder: every command-queue
+	// command on this context records a span tree and metrics into it.
+	rec *obs.Recorder
 }
 
 // NewContext creates a context on the device.
 func NewContext(dev *Device) *Context {
 	// Buffer base addresses start away from zero so address arithmetic bugs
 	// surface; allocations are line-aligned.
-	return &Context{Device: dev, nextBase: 1 << 20}
+	return &Context{Device: dev, nextBase: 1 << 20, rec: obs.NewRecorder()}
+}
+
+// Obs returns the context's observability recorder.
+func (c *Context) Obs() *obs.Recorder { return c.rec }
+
+// SetObs replaces the context's recorder; pass nil to disable recording
+// (every obs entry point is nil-safe and becomes a no-op).
+func (c *Context) SetObs(r *obs.Recorder) { c.rec = r }
+
+// CacheMetrics publishes the context's persistent cache-hierarchy
+// statistics (populated by pinned launches) into the recorder's
+// registry. It is a no-op until the first pinned launch.
+func (c *Context) CacheMetrics() {
+	if c.hier != nil {
+		c.hier.PublishMetrics(c.rec.Registry())
+	}
 }
 
 // Buffer is a cl_mem object: a device-side linear allocation plus its

@@ -1,0 +1,234 @@
+package cl
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+// vecaddKernel builds a minimal vector-add kernel for observability
+// tests.
+func vecaddKernel(t *testing.T, ctx *Context) *Kernel {
+	t.Helper()
+	p, err := ctx.CreateProgramWithSource(`
+__kernel void vadd(__global float *a, __global float *b, __global float *c) {
+    int i = get_global_id(0);
+    c[i] = a[i] + b[i];
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := p.CreateKernel("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func setupVecadd(t *testing.T, n int) (*Context, *CommandQueue, *Kernel) {
+	t.Helper()
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	k := vecaddKernel(t, ctx)
+	for _, name := range []string{"a", "b", "c"} {
+		b, err := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetBufferArg(name, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctx, q, k
+}
+
+func TestEnqueueLatencySeparatesQueuedFromStart(t *testing.T) {
+	ctx := NewContext(CPUDevice())
+	q := NewQueue(ctx)
+	b, err := ctx.CreateBuffer(MemReadWrite, ir.F32, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Default: blocking submission, queued == start.
+	ev, err := q.EnqueueWriteBuffer(b, make([]float64, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Queued != ev.Start {
+		t.Fatalf("default queued %v != start %v", ev.Queued, ev.Start)
+	}
+
+	const lag = 750 * units.Nanosecond
+	q.SetEnqueueLatency(lag)
+	before := q.Now()
+	ev, err = q.EnqueueWriteBuffer(b, make([]float64, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Queued != before {
+		t.Fatalf("queued = %v, want enqueue time %v", ev.Queued, before)
+	}
+	if got := ev.Start - ev.Queued; got != lag {
+		t.Fatalf("start-queued = %v, want %v", got, lag)
+	}
+	if ev.End-ev.Start <= 0 {
+		t.Fatal("transfer lost its cost")
+	}
+
+	// The lag lands in the cl.queue.lag.ns histogram.
+	snap := ctx.Obs().Registry().Snapshot()
+	var found bool
+	for _, h := range snap.Hists {
+		if h.Name == "cl.queue.lag.ns" {
+			found = true
+			if h.Max < float64(lag) {
+				t.Fatalf("lag histogram max = %g, want >= %g", h.Max, float64(lag))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("cl.queue.lag.ns not recorded")
+	}
+
+	q.SetEnqueueLatency(-5)
+	ev, err = q.EnqueueWriteBuffer(b, make([]float64, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Queued != ev.Start {
+		t.Fatal("negative latency should clamp to zero")
+	}
+}
+
+func TestQueueRecordsSpansAndBytes(t *testing.T) {
+	const n = 4096
+	ctx, q, _ := setupVecadd(t, n)
+	b, err := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]float64, n)
+	if _, err := q.EnqueueWriteBuffer(b, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueReadBuffer(b, src); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := ctx.Obs().Registry()
+	wantBytes := float64(n * 4)
+	if got := reg.Counter("cl.bytes.write"); got != wantBytes {
+		t.Fatalf("cl.bytes.write = %g, want %g", got, wantBytes)
+	}
+	if got := reg.Counter("cl.bytes.read"); got != wantBytes {
+		t.Fatalf("cl.bytes.read = %g, want %g", got, wantBytes)
+	}
+	if got := reg.Counter("cl.bytes.total"); got != 2*wantBytes {
+		t.Fatalf("cl.bytes.total = %g, want %g", got, 2*wantBytes)
+	}
+	if got := reg.Counter("cl.commands"); got != 2 {
+		t.Fatalf("cl.commands = %g, want 2", got)
+	}
+
+	spans := ctx.Obs().Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Kind != obs.KindCommand || s.Track != "queue" {
+			t.Fatalf("span = %+v", s)
+		}
+	}
+	// Span times mirror the profiling event times.
+	evs := q.Events()
+	for i, s := range spans {
+		if s.Start != evs[i].Start || s.End != evs[i].End {
+			t.Fatalf("span %d times %v..%v != event %v..%v", i, s.Start, s.End, evs[i].Start, evs[i].End)
+		}
+	}
+}
+
+func TestKernelSpanTreeAndHistogram(t *testing.T) {
+	const n = 1 << 14
+	ctx, q, k := setupVecadd(t, n)
+	ke, err := q.EnqueueNDRangeKernel(k, ir.Range1D(n, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := ctx.Obs().Spans()
+	var root *obs.Span
+	phases := map[string]*obs.Span{}
+	for i := range spans {
+		s := &spans[i]
+		switch s.Kind {
+		case obs.KindCommand:
+			root = s
+		case obs.KindPhase:
+			phases[s.Name] = s
+		}
+	}
+	if root == nil {
+		t.Fatal("no command span recorded")
+	}
+	for _, name := range []string{"dispatch", "compute", "mem_floor"} {
+		p := phases[name]
+		if p == nil {
+			t.Fatalf("missing phase span %q", name)
+		}
+		if p.Parent != root.ID {
+			t.Fatalf("phase %q parent = %d, want %d", name, p.Parent, root.ID)
+		}
+		if p.Start < root.Start || p.End > root.End {
+			t.Fatalf("phase %q [%v,%v] escapes parent [%v,%v]", name, p.Start, p.End, root.Start, root.End)
+		}
+	}
+	if d := phases["compute"].Duration(); d != ke.CPUResult.Compute {
+		t.Fatalf("compute phase = %v, want %v", d, ke.CPUResult.Compute)
+	}
+
+	snap := ctx.Obs().Registry().Snapshot()
+	var hist *obs.HistStat
+	for i := range snap.Hists {
+		if snap.Hists[i].Name == "cl.kernel.ns:vadd" {
+			hist = &snap.Hists[i]
+		}
+	}
+	if hist == nil {
+		t.Fatal("cl.kernel.ns:vadd histogram missing")
+	}
+	if hist.Count != 1 || hist.Sum != float64(ke.Event.Duration()) {
+		t.Fatalf("kernel histogram = %+v, want one sample of %v", hist, ke.Event.Duration())
+	}
+}
+
+func TestSetObsNilDisablesRecording(t *testing.T) {
+	const n = 1024
+	ctx, q, k := setupVecadd(t, n)
+	ctx.SetObs(nil)
+	if _, err := q.EnqueueNDRangeKernel(k, ir.Range1D(n, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Obs().Len() != 0 {
+		t.Fatal("nil recorder should swallow spans")
+	}
+}
+
+func TestPinnedLaunchPublishesCacheMetrics(t *testing.T) {
+	const n = 1 << 12
+	ctx, q, k := setupVecadd(t, n)
+	if _, err := q.EnqueueNDRangeKernelPinned(k, ir.Range1D(n, 256), RoundRobinAffinity(4)); err != nil {
+		t.Fatal(err)
+	}
+	reg := ctx.Obs().Registry()
+	if reg.Gauge("cache.l1.accesses") <= 0 {
+		t.Fatal("pinned launch should publish cache access counts")
+	}
+	hr := reg.Gauge("cache.l1.hitrate")
+	if hr < 0 || hr > 1 {
+		t.Fatalf("cache.l1.hitrate = %g", hr)
+	}
+}

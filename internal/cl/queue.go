@@ -1,11 +1,13 @@
 package cl
 
 import (
+	"strconv"
 	"sync/atomic"
 
 	"clperf/internal/cpu"
 	"clperf/internal/gpu"
 	"clperf/internal/ir"
+	"clperf/internal/obs"
 	"clperf/internal/units"
 )
 
@@ -32,6 +34,15 @@ type CommandQueue struct {
 	// only price it; harness sweeps over large geometries disable it.
 	functional bool
 	events     []*Event
+	// enqLat is the modeled host-side submission latency: the gap between
+	// CL_PROFILING_COMMAND_QUEUED and CL_PROFILING_COMMAND_START. Zero by
+	// default (the paper measures with blocking calls, where the two
+	// coincide); SetEnqueueLatency makes queued != start observable and
+	// exposes the lag as the cl.queue.lag.ns metric.
+	enqLat units.Duration
+	// lastSpan is the span id of the most recent command, the parent for
+	// kernel phase child spans.
+	lastSpan int
 
 	// LastKernel records the device result of the most recent NDRange
 	// launch for inspection by the harness.
@@ -58,6 +69,16 @@ func NewQueue(ctx *Context) *CommandQueue {
 // execution to keep wall-clock reasonable.
 func (q *CommandQueue) SetFunctional(on bool) { q.functional = on }
 
+// SetEnqueueLatency models the host-side cost of submitting a command:
+// every subsequent event's Start lags its Queued timestamp by d.
+// Negative values clamp to zero.
+func (q *CommandQueue) SetEnqueueLatency(d units.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	q.enqLat = d
+}
+
 // Now returns the queue's simulated clock.
 func (q *CommandQueue) Now() units.Duration { return q.now }
 
@@ -69,10 +90,31 @@ func (q *CommandQueue) Events() []*Event { return q.events }
 func (q *CommandQueue) Finish() {}
 
 func (q *CommandQueue) record(cmd string, cost units.Duration) *Event {
-	ev := &Event{Command: cmd, Queued: q.now, Start: q.now, End: q.now + cost}
+	queued := q.now
+	start := queued + q.enqLat
+	ev := &Event{Command: cmd, Queued: queued, Start: start, End: start + cost}
 	q.now = ev.End
 	q.events = append(q.events, ev)
+	rec := q.ctx.rec
+	q.lastSpan = rec.Record(obs.NoParent, obs.KindCommand, cmd, ev.Start, ev.End)
+	rec.SetTrack(q.lastSpan, "queue")
+	reg := rec.Registry()
+	reg.Add("cl.commands", 1)
+	reg.Observe("cl.queue.lag.ns", float64(ev.Start-ev.Queued))
 	return ev
+}
+
+// noteBytes counts a transfer's bytes against the per-API and total
+// counters and annotates the command's span.
+func (q *CommandQueue) noteBytes(api string, n int64) {
+	rec := q.ctx.rec
+	if rec == nil {
+		return
+	}
+	reg := rec.Registry()
+	reg.Add("cl.bytes."+api, float64(n))
+	reg.Add("cl.bytes.total", float64(n))
+	rec.Annotate(q.lastSpan, "bytes", strconv.FormatInt(n, 10))
 }
 
 // copyCost prices an explicit transfer (clEnqueueRead/WriteBuffer): the
@@ -113,7 +155,9 @@ func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, src []float64) (*Event, err
 	}
 	b.data.CopyFrom(src)
 	n := int64(len(src)) * b.data.Elem.Size()
-	return q.record("clEnqueueWriteBuffer", q.copyCost(b, n)), nil
+	ev := q.record("clEnqueueWriteBuffer", q.copyCost(b, n))
+	q.noteBytes("write", n)
+	return ev, nil
 }
 
 // EnqueueReadBuffer copies the buffer into dst (device -> host).
@@ -126,7 +170,9 @@ func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, dst []float64) (*Event, erro
 	}
 	copy(dst, b.data.Data[:len(dst)])
 	n := int64(len(dst)) * b.data.Elem.Size()
-	return q.record("clEnqueueReadBuffer", q.copyCost(b, n)), nil
+	ev := q.record("clEnqueueReadBuffer", q.copyCost(b, n))
+	q.noteBytes("read", n)
+	return ev, nil
 }
 
 // EnqueueMapBuffer maps the buffer and returns a live view of its
@@ -144,6 +190,11 @@ func (q *CommandQueue) EnqueueMapBuffer(b *Buffer, flags MapFlags) ([]float64, *
 		return nil, nil, wrap(ErrMapFailure, "buffer already mapped")
 	}
 	ev := q.record("clEnqueueMapBuffer", q.mapCost(b, b.Bytes()))
+	if q.ctx.Device.Type == DeviceGPU {
+		// Only the GPU moves the contents across PCIe; a CPU map is a
+		// pointer return, the zero-copy behaviour the paper recommends.
+		q.noteBytes("map", b.Bytes())
+	}
 	return b.data.Data, ev, nil
 }
 
@@ -160,7 +211,11 @@ func (q *CommandQueue) EnqueueUnmapBuffer(b *Buffer) (*Event, error) {
 		// Unmapping a written buffer flushes it back over PCIe.
 		cost = q.ctx.Device.GPU.A.PinnedBandwidth.Transfer(units.ByteSize(b.Bytes()))
 	}
-	return q.record("clEnqueueUnmapBuffer", cost), nil
+	ev := q.record("clEnqueueUnmapBuffer", cost)
+	if q.ctx.Device.Type == DeviceGPU {
+		q.noteBytes("unmap", b.Bytes())
+	}
+	return ev, nil
 }
 
 // EnqueueCopyBuffer copies src into dst device-side (clEnqueueCopyBuffer):
@@ -186,7 +241,9 @@ func (q *CommandQueue) EnqueueCopyBuffer(src, dst *Buffer, n int) (*Event, error
 		a := q.ctx.Device.GPU.A
 		cost = a.MemBandwidth.Transfer(2 * bytes)
 	}
-	return q.record("clEnqueueCopyBuffer", cost), nil
+	ev := q.record("clEnqueueCopyBuffer", cost)
+	q.noteBytes("copy", int64(bytes))
+	return ev, nil
 }
 
 // EnqueueFillBuffer fills the buffer with a value (clEnqueueFillBuffer).
@@ -202,7 +259,9 @@ func (q *CommandQueue) EnqueueFillBuffer(b *Buffer, v float64) (*Event, error) {
 	} else {
 		cost = q.ctx.Device.GPU.A.MemBandwidth.Transfer(bytes)
 	}
-	return q.record("clEnqueueFillBuffer", cost), nil
+	ev := q.record("clEnqueueFillBuffer", cost)
+	q.noteBytes("fill", int64(bytes))
+	return ev, nil
 }
 
 // EnqueueNDRangeKernel launches the kernel over the NDRange (local size may
@@ -253,6 +312,39 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd ir.NDRange) (*KernelEv
 		cost = res.Time
 	}
 	ke.Event = q.record("clEnqueueNDRangeKernel:"+k.k.Name, cost)
+	q.observeKernel(k.k.Name, ke)
 	q.LastKernel = ke
 	return ke, nil
+}
+
+// observeKernel attaches the device model's cost breakdown to the just
+// recorded command span as phase child spans (queue -> kernel -> phase)
+// and feeds the per-kernel time histogram. Phases overlap by design:
+// the models take max(compute, memory floor), they do not sum.
+func (q *CommandQueue) observeKernel(name string, ke *KernelEvent) {
+	rec := q.ctx.rec
+	if rec == nil {
+		return
+	}
+	ev := ke.Event
+	parent := q.lastSpan
+	rec.Registry().Observe("cl.kernel.ns:"+name, float64(ev.Duration()))
+	s := ev.Start
+	switch {
+	case ke.CPUResult != nil:
+		res := ke.CPUResult
+		rec.Annotate(parent, "workers", strconv.Itoa(res.Workers))
+		rec.Annotate(parent, "groups", strconv.Itoa(res.Groups))
+		if res.Cost != nil {
+			rec.Annotate(parent, "simd_lanes", strconv.Itoa(res.Cost.Width))
+		}
+		rec.Record(parent, obs.KindPhase, "dispatch", s, s+res.Dispatch)
+		rec.Record(parent, obs.KindPhase, "compute", s, s+res.Compute)
+		rec.Record(parent, obs.KindPhase, "mem_floor", s, s+res.MemFloor)
+	case ke.GPUResult != nil:
+		res := ke.GPUResult
+		rec.Annotate(parent, "occupancy", strconv.FormatFloat(res.Occupancy, 'g', 4, 64))
+		rec.Record(parent, obs.KindPhase, "compute", s, s+res.Compute)
+		rec.Record(parent, obs.KindPhase, "mem_floor", s, s+res.MemFloor)
+	}
 }

@@ -3,9 +3,11 @@ package cpu
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 
 	"clperf/internal/arch"
 	"clperf/internal/ir"
+	"clperf/internal/obs"
 	"clperf/internal/units"
 )
 
@@ -20,6 +22,15 @@ type Device struct {
 	// ForceScalar disables the implicit vectorizer (an ablation knob: the
 	// runtime compiles every kernel at width 1).
 	ForceScalar bool
+	// Obs, when set, records every priced launch as a span tree (launch ->
+	// dispatch/compute/mem_floor phases) plus per-kernel time histograms.
+	// Nil (the default) costs nothing. Spans are laid end to end on the
+	// device's own clock, which Estimate advances; like the rest of the
+	// device's host-side API this is not safe for concurrent Estimate
+	// calls.
+	Obs *obs.Recorder
+	// clock is the device-local span clock (total priced time so far).
+	clock units.Duration
 }
 
 // New returns a CPU device with the runtime's default NULL-workgroup
@@ -163,7 +174,7 @@ func (d *Device) Estimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Result, 
 	}
 	time += a.LaunchOverhead
 
-	return &Result{
+	res := &Result{
 		Kernel:   k.Name,
 		ND:       nd,
 		Cost:     cost,
@@ -173,7 +184,37 @@ func (d *Device) Estimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Result, 
 		MemFloor: memFloor,
 		Groups:   groups,
 		Workers:  workers,
-	}, nil
+	}
+	d.observe(res)
+	return res, nil
+}
+
+// observe records the priced launch into the device's recorder as a
+// kernel span with phase children and per-kernel metrics. Phases
+// overlap by design (the model takes max(compute, mem_floor)).
+func (d *Device) observe(r *Result) {
+	if d.Obs == nil {
+		return
+	}
+	rec := d.Obs
+	s := d.clock
+	d.clock += r.Time
+	id := rec.Record(obs.NoParent, obs.KindKernel, "cpu.launch:"+r.Kernel, s, s+r.Time)
+	rec.SetTrack(id, "cpu")
+	rec.Annotate(id, "workers", strconv.Itoa(r.Workers))
+	rec.Annotate(id, "groups", strconv.Itoa(r.Groups))
+	if r.Cost != nil {
+		rec.Annotate(id, "simd_lanes", strconv.Itoa(r.Cost.Width))
+	}
+	rec.Record(id, obs.KindPhase, "dispatch", s, s+r.Dispatch)
+	rec.Record(id, obs.KindPhase, "compute", s, s+r.Compute)
+	rec.Record(id, obs.KindPhase, "mem_floor", s, s+r.MemFloor)
+	reg := rec.Registry()
+	reg.Observe("cpu.kernel.ns:"+r.Kernel, float64(r.Time))
+	reg.Add("cpu.launches", 1)
+	if r.Cost != nil {
+		reg.Set("cpu.simd_lanes:"+r.Kernel, float64(r.Cost.Width))
+	}
 }
 
 func argBytes(args *ir.Args) int64 {

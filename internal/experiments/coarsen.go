@@ -28,7 +28,7 @@ func Fig1() harness.Experiment {
 		ID:    "fig1",
 		Title: "Workload per workitem (coarsening), Square and Vectoraddition",
 		Run: func(opts harness.Options) (*harness.Report, error) {
-			tb := newTestbed()
+			tb := newTestbed(opts)
 			factors := []int{1, 10, 100, 1000}
 			apps := []*kernels.App{kernels.Square(), kernels.VectorAdd()}
 
@@ -122,7 +122,7 @@ func Fig2() harness.Experiment {
 		ID:    "fig2",
 		Title: "Workload per workitem (coarsening), Parboil on CPU",
 		Run: func(opts harness.Options) (*harness.Report, error) {
-			tb := newTestbed()
+			tb := newTestbed(opts)
 			factors := []int{1, 2, 4}
 			fig := &harness.Figure{
 				Title:  "Figure 2",

@@ -24,8 +24,13 @@ type testbed struct {
 	gpu *gpu.Device
 }
 
-func newTestbed() *testbed {
-	return &testbed{cpu: cpu.New(arch.XeonE5645()), gpu: gpu.New(arch.GTX580())}
+func newTestbed(opts harness.Options) *testbed {
+	tb := &testbed{cpu: cpu.New(arch.XeonE5645()), gpu: gpu.New(arch.GTX580())}
+	// Attach the caller's recorder so every priced launch in the
+	// experiment records spans and per-kernel metrics (cmd/clprof).
+	tb.cpu.Obs = opts.Obs
+	tb.gpu.Obs = opts.Obs
+	return tb
 }
 
 // cpuTime prices a launch on the CPU model.

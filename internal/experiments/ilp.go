@@ -19,7 +19,7 @@ func Fig6() harness.Experiment {
 		ID:    "fig6",
 		Title: "ILP microbenchmark, CPU vs GPU",
 		Run: func(opts harness.Options) (*harness.Report, error) {
-			tb := newTestbed()
+			tb := newTestbed(opts)
 			fig := &harness.Figure{
 				Title:  "Figure 6",
 				XLabel: "ILP",

@@ -16,7 +16,7 @@ func Table1() harness.Experiment {
 		ID:    "table1",
 		Title: "Experimental environment",
 		Run: func(opts harness.Options) (*harness.Report, error) {
-			tb := newTestbed()
+			tb := newTestbed(opts)
 			c, g := tb.cpu.A, tb.gpu.A
 			t := &harness.Table{Title: "Table I: Experimental environment (simulated)",
 				Columns: []string{"Property", "Value"}}

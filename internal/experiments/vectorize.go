@@ -21,7 +21,7 @@ func Fig10() harness.Experiment {
 		ID:    "fig10",
 		Title: "OpenMP vs OpenCL throughput (vectorization)",
 		Run: func(opts harness.Options) (*harness.Report, error) {
-			tb := newTestbed()
+			tb := newTestbed(opts)
 			rt := omp.New(arch.XeonE5645())
 			fig := &harness.Figure{
 				Title:  "Figure 10",

@@ -25,7 +25,7 @@ func Fig3() harness.Experiment {
 		ID:    "fig3",
 		Title: "Workgroup size sweep on CPUs and GPUs",
 		Run: func(opts harness.Options) (*harness.Report, error) {
-			tb := newTestbed()
+			tb := newTestbed(opts)
 			rep := &harness.Report{ID: "fig3", Title: "Performance with different workgroup size"}
 			caseNames := []string{"base", "case_1", "case_2", "case_3", "case_4"}
 
@@ -78,7 +78,7 @@ func Fig4() harness.Experiment {
 		ID:    "fig4",
 		Title: "Blackscholes workgroup size sensitivity",
 		Run: func(opts harness.Options) (*harness.Report, error) {
-			tb := newTestbed()
+			tb := newTestbed(opts)
 			app := kernels.BlackScholes()
 			sizes := [][3]int{{}, {1, 1, 1}, {1, 2, 1}, {2, 2, 1}, {2, 4, 1}, {16, 16, 1}}
 			names := []string{"base(16X16)", "1X1", "1X2", "2X2", "2X4", "16X16"}
@@ -130,7 +130,7 @@ func Fig5() harness.Experiment {
 		ID:    "fig5",
 		Title: "Parboil workgroup size sweep on CPU",
 		Run: func(opts harness.Options) (*harness.Report, error) {
-			tb := newTestbed()
+			tb := newTestbed(opts)
 			fig := &harness.Figure{
 				Title:  "Figure 5",
 				XLabel: "workgroup scale",

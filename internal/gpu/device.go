@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 
 	"clperf/internal/arch"
 	"clperf/internal/ir"
+	"clperf/internal/obs"
 	"clperf/internal/units"
 )
 
@@ -22,6 +24,13 @@ type Device struct {
 	A *arch.GPU
 	// DefaultLocal is the workgroup size used when the host passes NULL.
 	DefaultLocal int
+	// Obs, when set, records every priced launch as a span tree plus
+	// per-kernel metrics; nil (the default) costs nothing. Spans are laid
+	// end to end on the device's own clock; not safe for concurrent
+	// Estimate calls.
+	Obs *obs.Recorder
+	// clock is the device-local span clock.
+	clock units.Duration
 }
 
 // New returns a GPU device.
@@ -264,7 +273,7 @@ func (d *Device) Estimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Result, 
 	}
 	time += a.KernelLaunch
 
-	return &Result{
+	res := &Result{
 		Kernel:    k.Name,
 		ND:        nd,
 		Cost:      cost,
@@ -272,7 +281,29 @@ func (d *Device) Estimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Result, 
 		Compute:   compute,
 		MemFloor:  memFloor,
 		Occupancy: float64(cost.ResidentWarps) / float64(a.MaxWarpsPerSM),
-	}, nil
+	}
+	d.observe(res)
+	return res, nil
+}
+
+// observe records the priced launch into the device's recorder as a
+// kernel span with phase children and per-kernel metrics.
+func (d *Device) observe(r *Result) {
+	if d.Obs == nil {
+		return
+	}
+	rec := d.Obs
+	s := d.clock
+	d.clock += r.Time
+	id := rec.Record(obs.NoParent, obs.KindKernel, "gpu.launch:"+r.Kernel, s, s+r.Time)
+	rec.SetTrack(id, "gpu")
+	rec.Annotate(id, "occupancy", strconv.FormatFloat(r.Occupancy, 'g', 4, 64))
+	rec.Record(id, obs.KindPhase, "compute", s, s+r.Compute)
+	rec.Record(id, obs.KindPhase, "mem_floor", s, s+r.MemFloor)
+	reg := rec.Registry()
+	reg.Observe("gpu.kernel.ns:"+r.Kernel, float64(r.Time))
+	reg.Add("gpu.launches", 1)
+	reg.Set("gpu.occupancy:"+r.Kernel, r.Occupancy)
 }
 
 // LaunchOptions controls Launch.

@@ -9,6 +9,7 @@ import (
 	"io"
 	"strings"
 
+	"clperf/internal/obs"
 	"clperf/internal/units"
 )
 
@@ -207,6 +208,10 @@ type Options struct {
 	Functional bool
 	// Verbose includes extra per-point diagnostics in reports.
 	Verbose bool
+	// Obs, when set, is attached to the experiment's devices so every
+	// priced launch records spans and metrics into it (see internal/obs);
+	// nil runs without observability.
+	Obs *obs.Recorder
 }
 
 // Experiment regenerates one paper artifact.

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"fmt"
+
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+// MetricsTable renders a metrics snapshot as a harness table: counters
+// and gauges one row each, histograms with their distribution summary.
+// Duration-valued metrics (names ending in ".ns" or containing ".ns:")
+// format through units.Duration.
+func MetricsTable(s obs.Snapshot) *Table {
+	t := &Table{
+		Title:   "metrics",
+		Columns: []string{"metric", "kind", "count", "value/sum", "min", "mean", "p95", "max"},
+	}
+	for _, m := range s.Counters {
+		t.AddRow(m.Name, "counter", "", fmtMetric(m.Name, m.Value), "", "", "", "")
+	}
+	for _, m := range s.Gauges {
+		t.AddRow(m.Name, "gauge", "", fmtMetric(m.Name, m.Value), "", "", "", "")
+	}
+	for _, h := range s.Hists {
+		t.AddRow(h.Name, "hist", fmt.Sprint(h.Count), fmtMetric(h.Name, h.Sum),
+			fmtMetric(h.Name, h.Min), fmtMetric(h.Name, h.Mean),
+			fmtMetric(h.Name, h.P95), fmtMetric(h.Name, h.Max))
+	}
+	return t
+}
+
+// durationMetric reports whether the metric name carries nanoseconds by
+// convention.
+func durationMetric(name string) bool {
+	for i := 0; i+3 <= len(name); i++ {
+		if name[i:i+3] == ".ns" && (i+3 == len(name) || name[i+3] == ':') {
+			return true
+		}
+	}
+	return false
+}
+
+func fmtMetric(name string, v float64) string {
+	if durationMetric(name) {
+		return units.Duration(v).String()
+	}
+	return fmt.Sprintf("%.6g", v)
+}

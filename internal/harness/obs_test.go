@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+func TestMetricsTable(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add("cl.bytes.total", 1 << 20)
+	reg.Set("sched.util.mean", 0.875)
+	reg.Observe("cl.kernel.ns:vadd", 1500)
+	tbl := MetricsTable(reg.Snapshot())
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	var b strings.Builder
+	tbl.Render(&b)
+	out := b.String()
+	for _, want := range []string{"cl.bytes.total", "counter", "sched.util.mean", "gauge", "cl.kernel.ns:vadd", "hist", "1.5us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDurationMetricConvention(t *testing.T) {
+	cases := map[string]bool{
+		"cl.queue.lag.ns":    true,
+		"cpu.kernel.ns:vadd": true,
+		"sched.makespan.ns":  true,
+		"cl.bytes.total":     false,
+		"cache.l1.hitrate":   false,
+		"answer":             false,
+	}
+	for name, want := range cases {
+		if got := durationMetric(name); got != want {
+			t.Fatalf("durationMetric(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestRunQuickstartTrace covers the oclbench -trace acceptance path:
+// the quickstart replay must produce a valid Chrome trace whose
+// per-worker slice durations sum to the simulated makespan, and the
+// registry must hold the kernel-time histogram and transfer counters.
+func TestRunQuickstartTrace(t *testing.T) {
+	rec := obs.NewRecorder()
+	tl, err := RunQuickstart(rec, 100*units.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan <= 0 {
+		t.Fatal("empty timeline")
+	}
+
+	ct := rec.Chrome(1, "clperf")
+	tl.AppendChrome(ct, 2)
+	var b bytes.Buffer
+	if err := ct.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			TS  float64 `json:"ts"`
+			Dur float64 `json:"dur"`
+			PID int     `json:"pid"`
+			TID int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace JSON does not unmarshal: %v", err)
+	}
+
+	// Worker tracks (pid 2): per-track slices are gap-free, so summed
+	// durations equal the track end; the busiest track is the makespan.
+	type slice struct{ start, end float64 }
+	perTrack := map[int][]slice{}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "X" && ev.PID == 2 {
+			perTrack[ev.TID] = append(perTrack[ev.TID], slice{ev.TS, ev.TS + ev.Dur})
+		}
+	}
+	if len(perTrack) == 0 {
+		t.Fatal("no worker tracks in trace")
+	}
+	var maxSum float64
+	for tid, ss := range perTrack {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].start < ss[j].start })
+		var sum float64
+		for i, s := range ss {
+			if i > 0 && s.start < ss[i-1].end-1e-9 {
+				t.Fatalf("track %d overlaps at slice %d", tid, i)
+			}
+			sum += s.end - s.start
+		}
+		if sum > maxSum {
+			maxSum = sum
+		}
+	}
+	want := tl.Makespan.Microseconds()
+	if math.Abs(maxSum-want) > 1e-6*want {
+		t.Fatalf("worker slices sum to %gus, want makespan %gus", maxSum, want)
+	}
+
+	// Metrics: kernel-time histogram, transfer bytes, queue lag.
+	reg := rec.Registry()
+	snap := reg.Snapshot()
+	names := map[string]bool{}
+	for _, h := range snap.Hists {
+		names[h.Name] = true
+	}
+	for _, want := range []string{"cl.kernel.ns:vectoradd", "cl.queue.lag.ns"} {
+		if !names[want] {
+			t.Fatalf("histogram %q missing; have %v", want, names)
+		}
+	}
+	if reg.Counter("cl.commands") < 6 {
+		t.Fatalf("cl.commands = %g, want the full map/launch/read sequence", reg.Counter("cl.commands"))
+	}
+	if reg.Gauge("sched.makespan.ns") != float64(tl.Makespan) {
+		t.Fatal("timeline metrics not published")
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+}

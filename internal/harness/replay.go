@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+
+	"clperf/internal/cl"
+	"clperf/internal/ir"
+	"clperf/internal/obs"
+	"clperf/internal/trace"
+	"clperf/internal/units"
+)
+
+// This file replays the quickstart workload (examples/quickstart) under
+// full observability for cmd/oclbench -trace and cmd/clprof: the same
+// vector-add host program, with every command spanned, metrics
+// registered, and the CPU schedule reconstructed for per-worker trace
+// tracks.
+
+const quickstartSource = `
+__kernel void vectoradd(__global float *a, __global float *b, __global float *c) {
+    int i = get_global_id(0);
+    c[i] = a[i] + b[i];
+}
+`
+
+// QuickstartN and QuickstartLocal are the replayed launch geometry.
+const (
+	QuickstartN     = 1 << 16
+	QuickstartLocal = 256
+)
+
+// RunQuickstart replays the quickstart vector-add workload on the CPU
+// device with rec attached to the context (and the device model), using
+// the given enqueue latency, and returns the reconstructed workgroup
+// schedule of the kernel launch. The timeline's metrics (makespan,
+// per-worker utilization) and the context's span tree both land in rec.
+func RunQuickstart(rec *obs.Recorder, enqLat units.Duration) (*trace.Timeline, error) {
+	dev := cl.CPUDevice()
+	ctx := cl.NewContext(dev)
+	if rec != nil {
+		ctx.SetObs(rec)
+		dev.CPU.Obs = rec
+	}
+	q := cl.NewQueue(ctx)
+	q.SetEnqueueLatency(enqLat)
+
+	program, err := ctx.CreateProgramWithSource(quickstartSource)
+	if err != nil {
+		return nil, err
+	}
+	kernel, err := program.CreateKernel("vectoradd")
+	if err != nil {
+		return nil, err
+	}
+	mk := func(flags cl.MemFlags) (*cl.Buffer, error) {
+		return ctx.CreateBuffer(flags, ir.F32, QuickstartN)
+	}
+	a, err := mk(cl.MemReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk(cl.MemReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	c, err := mk(cl.MemWriteOnly)
+	if err != nil {
+		return nil, err
+	}
+
+	va, _, err := q.EnqueueMapBuffer(a, cl.MapWrite)
+	if err != nil {
+		return nil, err
+	}
+	vb, _, err := q.EnqueueMapBuffer(b, cl.MapWrite)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < QuickstartN; i++ {
+		va[i] = float64(i)
+		vb[i] = float64(2 * i)
+	}
+	if _, err := q.EnqueueUnmapBuffer(a); err != nil {
+		return nil, err
+	}
+	if _, err := q.EnqueueUnmapBuffer(b); err != nil {
+		return nil, err
+	}
+
+	for name, buf := range map[string]*cl.Buffer{"a": a, "b": b, "c": c} {
+		if err := kernel.SetBufferArg(name, buf); err != nil {
+			return nil, err
+		}
+	}
+	nd := ir.Range1D(QuickstartN, QuickstartLocal)
+	if _, err := q.EnqueueNDRangeKernel(kernel, nd); err != nil {
+		return nil, err
+	}
+
+	vc, _, err := q.EnqueueMapBuffer(c, cl.MapRead)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < QuickstartN; i++ {
+		if vc[i] != float64(3*i) {
+			return nil, fmt.Errorf("harness: quickstart validation failed at %d: got %v", i, vc[i])
+		}
+	}
+	if _, err := q.EnqueueUnmapBuffer(c); err != nil {
+		return nil, err
+	}
+
+	// The schedule reconstruction re-prices the launch just recorded;
+	// detach the device recorder so the replay isn't double-counted.
+	dev.CPU.Obs = nil
+	tl, err := trace.CPU(dev.CPU, kernel.IR(), kernel.Args(), nd)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		tl.PublishMetrics(rec.Registry())
+	}
+	return tl, nil
+}

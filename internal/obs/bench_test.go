@@ -1,0 +1,71 @@
+package obs
+
+// Benchmarks for the recording hot path: observability must stay O(ns)
+// per event and allocation-bounded so it never skews the simulated
+// numbers. Run with
+//
+//	go test ./internal/obs -bench=. -benchmem
+//
+// Span recording amortizes to ~0 allocs/op (slice growth only) and a
+// metric update is a map write under a mutex.
+
+import (
+	"testing"
+
+	"clperf/internal/units"
+)
+
+func BenchmarkRecordSpan(b *testing.B) {
+	rec := NewRecorder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(NoParent, KindCommand, "clEnqueueNDRangeKernel:square",
+			units.Duration(i), units.Duration(i+1))
+		if rec.Len() >= 1<<16 {
+			b.StopTimer()
+			rec.Reset() // keeps capacity: steady-state appends stay allocation-free
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkRecordNestedSpan(b *testing.B) {
+	rec := NewRecorder()
+	root := rec.Record(NoParent, KindKernel, "launch", 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(root, KindPhase, "compute", units.Duration(i), units.Duration(i+1))
+		if rec.Len() >= 1<<16 {
+			b.StopTimer()
+			rec.Reset()
+			root = rec.Record(NoParent, KindKernel, "launch", 0, 1)
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkNilRecorder(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(NoParent, KindCommand, "cmd", 0, 1)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	g := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add("cl.bytes.total", 64)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	g := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Observe("kernel.ns:square", float64(i%4096+1))
+	}
+}

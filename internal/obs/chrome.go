@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"clperf/internal/units"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format (the JSON
+// Perfetto and chrome://tracing load). Timestamps and durations are in
+// microseconds, per the format.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace accumulates trace events plus the thread-name metadata
+// that labels each track.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+
+	tids map[string]int // "pid/track" -> tid
+}
+
+// NewChromeTrace returns an empty trace.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{DisplayTimeUnit: "ns", tids: map[string]int{}}
+}
+
+// Tid returns the thread id for the named track under pid, emitting the
+// thread_name metadata event on first use. Tids are dense per trace, in
+// first-use order.
+func (t *ChromeTrace) Tid(pid int, track string) int {
+	key := strconv.Itoa(pid) + "/" + track
+	if tid, ok := t.tids[key]; ok {
+		return tid
+	}
+	tid := len(t.tids) + 1
+	t.tids[key] = tid
+	t.TraceEvents = append(t.TraceEvents, TraceEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]string{"name": track},
+	})
+	return tid
+}
+
+// Process emits the process_name metadata event for pid.
+func (t *ChromeTrace) Process(pid int, name string) {
+	t.TraceEvents = append(t.TraceEvents, TraceEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]string{"name": name},
+	})
+}
+
+// Slice appends one complete ("X") event on the given track.
+func (t *ChromeTrace) Slice(pid int, track, name, cat string, start, end units.Duration, args map[string]string) {
+	t.TraceEvents = append(t.TraceEvents, TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS:  start.Microseconds(),
+		Dur: (end - start).Microseconds(),
+		PID: pid, TID: t.Tid(pid, track),
+		Args: args,
+	})
+}
+
+// WriteJSON writes the trace as indented JSON.
+func (t *ChromeTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// AppendChrome exports every recorded span as a complete event under
+// pid. Spans without a track inherit their nearest ancestor's; span
+// attributes become event args (plus the span kind).
+func (r *Recorder) AppendChrome(t *ChromeTrace, pid int, process string) {
+	if r == nil {
+		return
+	}
+	if process != "" {
+		t.Process(pid, process)
+	}
+	spans := r.Spans()
+	for i := range spans {
+		s := &spans[i]
+		args := map[string]string{"kind": s.Kind.String()}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		t.Slice(pid, resolveTrack(spans, s.ID), s.Name, s.Kind.String(), s.Start, s.End, args)
+	}
+}
+
+// Chrome exports the recorder's spans as a standalone trace.
+func (r *Recorder) Chrome(pid int, process string) *ChromeTrace {
+	t := NewChromeTrace()
+	r.AppendChrome(t, pid, process)
+	return t
+}

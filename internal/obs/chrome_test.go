@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestChromeExportUnmarshals(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Record(NoParent, KindCommand, "clEnqueueWriteBuffer", 0, 1000)
+	rec.SetTrack(root, "queue")
+	rec.Annotate(root, "bytes", "4096")
+	k := rec.Record(NoParent, KindKernel, "clEnqueueNDRangeKernel:square", 1000, 5000)
+	rec.SetTrack(k, "queue")
+	rec.Record(k, KindPhase, "compute", 1000, 4500)
+
+	var b bytes.Buffer
+	if err := rec.Chrome(1, "clperf").WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &parsed); err != nil {
+		t.Fatalf("emitted JSON does not unmarshal: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+
+	var slices, meta int
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Dur < 0 || ev.TS < 0 {
+				t.Fatalf("negative ts/dur: %+v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if slices != 3 {
+		t.Fatalf("slices = %d, want 3", slices)
+	}
+	if meta < 2 { // process_name + at least the queue track
+		t.Fatalf("metadata events = %d, want >= 2", meta)
+	}
+
+	// The phase child inherits the queue track: same tid as its parent.
+	byName := map[string]int{}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "X" {
+			byName[ev.Name] = ev.TID
+		}
+	}
+	if byName["compute"] != byName["clEnqueueNDRangeKernel:square"] {
+		t.Fatalf("child on different track: %v", byName)
+	}
+}
+
+func TestChromeTidStablePerTrack(t *testing.T) {
+	ct := NewChromeTrace()
+	a := ct.Tid(1, "worker-0")
+	b := ct.Tid(1, "worker-1")
+	if a == b {
+		t.Fatal("distinct tracks share a tid")
+	}
+	if again := ct.Tid(1, "worker-0"); again != a {
+		t.Fatalf("tid not stable: %d != %d", again, a)
+	}
+	if other := ct.Tid(2, "worker-0"); other == a {
+		t.Fatal("same track name under another pid must get its own tid")
+	}
+}

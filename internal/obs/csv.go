@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV writes the snapshot as one flat CSV: histograms contribute
+// their summary statistics, counters and gauges a single value. The
+// schema is stable for EXPERIMENTS.md figure pipelines:
+//
+//	kind,name,count,value,min,mean,p50,p95,max
+func (s Snapshot) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "kind,name,count,value,min,mean,p50,p95,max")
+	for _, m := range s.Counters {
+		fmt.Fprintf(w, "counter,%s,,%g,,,,,\n", csvEscape(m.Name), m.Value)
+	}
+	for _, m := range s.Gauges {
+		fmt.Fprintf(w, "gauge,%s,,%g,,,,,\n", csvEscape(m.Name), m.Value)
+	}
+	for _, h := range s.Hists {
+		fmt.Fprintf(w, "hist,%s,%d,%g,%g,%g,%g,%g,%g\n",
+			csvEscape(h.Name), h.Count, h.Sum, h.Min, h.Mean, h.P50, h.P95, h.Max)
+	}
+}
+
+// WriteSpansCSV writes every recorded span as one CSV row.
+func (r *Recorder) WriteSpansCSV(w io.Writer) {
+	fmt.Fprintln(w, "id,parent,kind,track,name,start_ns,end_ns,dur_ns")
+	if r == nil {
+		return
+	}
+	spans := r.Spans()
+	for i := range spans {
+		s := &spans[i]
+		fmt.Fprintf(w, "%d,%d,%s,%s,%s,%g,%g,%g\n",
+			s.ID, s.Parent, s.Kind, csvEscape(resolveTrack(spans, s.ID)),
+			csvEscape(s.Name), float64(s.Start), float64(s.End), float64(s.Duration()))
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Registry is a process-local metrics registry: counters (monotonic
+// sums), gauges (last value wins) and histograms (log2-bucketed
+// distributions, used for per-kernel time). A nil *Registry is a valid
+// no-op sink.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*histogram{},
+	}
+}
+
+// Add increments the named counter by delta.
+func (g *Registry) Add(name string, delta float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.counters[name] += delta
+	g.mu.Unlock()
+}
+
+// Set sets the named gauge.
+func (g *Registry) Set(name string, v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.gauges[name] = v
+	g.mu.Unlock()
+}
+
+// Observe records one sample into the named histogram.
+func (g *Registry) Observe(name string, v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	h := g.hists[name]
+	if h == nil {
+		h = &histogram{min: math.Inf(1), max: math.Inf(-1)}
+		g.hists[name] = h
+	}
+	h.observe(v)
+	g.mu.Unlock()
+}
+
+// Counter returns the counter's current value (0 when absent).
+func (g *Registry) Counter(name string) float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.counters[name]
+}
+
+// Gauge returns the gauge's current value (0 when absent).
+func (g *Registry) Gauge(name string) float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gauges[name]
+}
+
+// Reset clears every metric.
+func (g *Registry) Reset() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.counters = map[string]float64{}
+	g.gauges = map[string]float64{}
+	g.hists = map[string]*histogram{}
+	g.mu.Unlock()
+}
+
+// numBuckets covers [1ns, 2^62ns) in powers of two; values below 1
+// land in bucket 0.
+const numBuckets = 63
+
+// histogram is a log2-bucketed distribution. Buckets hold sample
+// counts for [2^i, 2^(i+1)); exact sum/min/max ride along so means are
+// not quantized.
+type histogram struct {
+	count    uint64
+	sum      float64
+	min, max float64
+	buckets  [numBuckets]uint64
+}
+
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	b := int(math.Floor(math.Log2(v)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+func (h *histogram) observe(v float64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+// quantile returns the upper bound of the bucket where the cumulative
+// count first reaches q*count — an upper estimate quantized to powers
+// of two, clamped to the exact max.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			return math.Min(math.Exp2(float64(i+1)), h.max)
+		}
+	}
+	return h.max
+}
+
+// Metric is one named scalar in a snapshot.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// HistStat summarizes one histogram in a snapshot.
+type HistStat struct {
+	Name  string
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Mean  float64
+	P50   float64
+	P95   float64
+}
+
+// Snapshot is a point-in-time copy of the registry, sorted by name.
+type Snapshot struct {
+	Counters []Metric
+	Gauges   []Metric
+	Hists    []HistStat
+}
+
+// Snapshot captures the registry. Safe on a nil registry (empty
+// snapshot).
+func (g *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if g == nil {
+		return s
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for n, v := range g.counters {
+		s.Counters = append(s.Counters, Metric{Name: n, Value: v})
+	}
+	for n, v := range g.gauges {
+		s.Gauges = append(s.Gauges, Metric{Name: n, Value: v})
+	}
+	for n, h := range g.hists {
+		hs := HistStat{Name: n, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			hs.Mean = h.sum / float64(h.count)
+			hs.P50 = h.quantile(0.50)
+			hs.P95 = h.quantile(0.95)
+		} else {
+			hs.Min, hs.Max = 0, 0
+		}
+		s.Hists = append(s.Hists, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}

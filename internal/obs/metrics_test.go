@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCountersAndGauges(t *testing.T) {
+	g := NewRegistry()
+	g.Add("cl.bytes.total", 100)
+	g.Add("cl.bytes.total", 28)
+	g.Set("sched.workers", 12)
+	g.Set("sched.workers", 24) // last write wins
+	if v := g.Counter("cl.bytes.total"); v != 128 {
+		t.Fatalf("counter = %g, want 128", v)
+	}
+	if v := g.Gauge("sched.workers"); v != 24 {
+		t.Fatalf("gauge = %g, want 24", v)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	g := NewRegistry()
+	for _, v := range []float64{1, 2, 4, 8, 1024} {
+		g.Observe("kernel.ns:square", v)
+	}
+	s := g.Snapshot()
+	if len(s.Hists) != 1 {
+		t.Fatalf("hists = %d", len(s.Hists))
+	}
+	h := s.Hists[0]
+	if h.Name != "kernel.ns:square" || h.Count != 5 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if h.Sum != 1039 || h.Min != 1 || h.Max != 1024 {
+		t.Fatalf("sum/min/max = %g/%g/%g", h.Sum, h.Min, h.Max)
+	}
+	if math.Abs(h.Mean-1039.0/5) > 1e-9 {
+		t.Fatalf("mean = %g", h.Mean)
+	}
+	// Quantiles are bucket-quantized upper bounds, clamped to the max,
+	// and must be ordered.
+	if h.P50 > h.P95 || h.P95 > h.Max {
+		t.Fatalf("quantiles out of order: p50=%g p95=%g max=%g", h.P50, h.P95, h.Max)
+	}
+	if h.P50 < h.Min {
+		t.Fatalf("p50 below min: %g < %g", h.P50, h.Min)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	g := NewRegistry()
+	g.Add("z", 1)
+	g.Add("a", 1)
+	g.Set("m", 1)
+	g.Set("b", 1)
+	s := g.Snapshot()
+	if s.Counters[0].Name != "a" || s.Counters[1].Name != "z" {
+		t.Fatalf("counters unsorted: %v", s.Counters)
+	}
+	if s.Gauges[0].Name != "b" || s.Gauges[1].Name != "m" {
+		t.Fatalf("gauges unsorted: %v", s.Gauges)
+	}
+}
+
+func TestSnapshotCSV(t *testing.T) {
+	g := NewRegistry()
+	g.Add("bytes", 64)
+	g.Observe("lat", 10)
+	var b strings.Builder
+	g.Snapshot().WriteCSV(&b)
+	out := b.String()
+	if !strings.HasPrefix(out, "kind,name,count,value,min,mean,p50,p95,max\n") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "counter,bytes,,64") {
+		t.Fatalf("counter row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "hist,lat,1,10") {
+		t.Fatalf("hist row missing:\n%s", out)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {0.5, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1024, 10}, {math.MaxFloat64, numBuckets - 1}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Fatalf("bucketOf(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package obs is the runtime-wide observability layer of clperf:
+// structured spans on the simulated clock, a metrics registry
+// (counters, gauges, histograms), and exporters — Chrome trace-event
+// JSON (loadable in Perfetto or chrome://tracing), a plain-text span
+// tree with hot-path highlighting, and CSV for EXPERIMENTS.md figures.
+//
+// The paper's whole contribution is measurement (per-command profiling
+// events, schedule timelines, transfer costs); obs makes the same
+// quantities first-class inside the runtime instead of flat event lists.
+// Every CommandQueue command and every device-model launch opens a typed
+// span carrying its cost breakdown (dispatch, compute, memory floor,
+// transfer bytes, SIMD lanes); spans nest (queue -> kernel -> phase) and
+// attach to a per-context Recorder.
+//
+// The package is zero-dependency (stdlib + internal/units only) and every
+// entry point is nil-receiver safe, so call sites thread a *Recorder
+// through without branching and recording disabled costs nothing.
+package obs
+
+import (
+	"sync"
+
+	"clperf/internal/units"
+)
+
+// SpanKind classifies a span.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	// KindCommand is one command-queue command (clEnqueue*).
+	KindCommand SpanKind = iota
+	// KindKernel is a device-model kernel launch.
+	KindKernel
+	// KindPhase is one cost phase inside a launch (dispatch, compute,
+	// memory floor).
+	KindPhase
+	// KindTransfer is a host<->device data movement.
+	KindTransfer
+	// KindRegion is a free-form user region.
+	KindRegion
+)
+
+// String returns the kind's export name.
+func (k SpanKind) String() string {
+	switch k {
+	case KindCommand:
+		return "command"
+	case KindKernel:
+		return "kernel"
+	case KindPhase:
+		return "phase"
+	case KindTransfer:
+		return "transfer"
+	default:
+		return "region"
+	}
+}
+
+// NoParent roots a span.
+const NoParent = -1
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Span is one timed operation against the simulated clock.
+type Span struct {
+	ID     int
+	Parent int // span id, or NoParent
+	Kind   SpanKind
+	Name   string
+	// Track names the export track (one Perfetto row); when empty the
+	// span inherits its nearest ancestor's track.
+	Track string
+	Start units.Duration
+	End   units.Duration
+	Attrs []Attr
+}
+
+// Duration returns the span's length.
+func (s *Span) Duration() units.Duration { return s.End - s.Start }
+
+// Recorder collects spans and owns a metrics Registry. A nil *Recorder
+// (and the nil *Registry it returns) is a valid no-op sink.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+	reg   *Registry
+}
+
+// NewRecorder returns an empty recorder with a fresh registry.
+func NewRecorder() *Recorder { return &Recorder{reg: NewRegistry()} }
+
+// Registry returns the recorder's metrics registry (nil for a nil
+// recorder; a nil registry is itself a no-op sink).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Record adds a complete span and returns its id (-1 on a nil recorder).
+func (r *Recorder) Record(parent int, kind SpanKind, name string, start, end units.Duration) int {
+	if r == nil {
+		return -1
+	}
+	r.mu.Lock()
+	id := len(r.spans)
+	r.spans = append(r.spans, Span{ID: id, Parent: parent, Kind: kind, Name: name, Start: start, End: end})
+	r.mu.Unlock()
+	return id
+}
+
+// Begin opens a span to be closed with End. Until then its End equals
+// its Start.
+func (r *Recorder) Begin(parent int, kind SpanKind, name string, start units.Duration) int {
+	return r.Record(parent, kind, name, start, start)
+}
+
+// End closes a span opened with Begin.
+func (r *Recorder) End(id int, end units.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if id >= 0 && id < len(r.spans) {
+		r.spans[id].End = end
+	}
+	r.mu.Unlock()
+}
+
+// SetTrack assigns the span to a named export track.
+func (r *Recorder) SetTrack(id int, track string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if id >= 0 && id < len(r.spans) {
+		r.spans[id].Track = track
+	}
+	r.mu.Unlock()
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (r *Recorder) Annotate(id int, key, val string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if id >= 0 && id < len(r.spans) {
+		r.spans[id].Attrs = append(r.spans[id].Attrs, Attr{Key: key, Val: val})
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Spans returns a copy of all recorded spans in recording order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Reset drops all spans, keeping capacity, and clears the registry.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = r.spans[:0]
+	r.mu.Unlock()
+	r.reg.Reset()
+}
+
+// track resolves the export track of span id, walking ancestors. Caller
+// holds no lock; used by exporters over a Spans() copy.
+func resolveTrack(spans []Span, id int) string {
+	for id >= 0 && id < len(spans) {
+		if spans[id].Track != "" {
+			return spans[id].Track
+		}
+		id = spans[id].Parent
+	}
+	return "main"
+}

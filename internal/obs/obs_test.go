@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderSpansNest(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Record(NoParent, KindCommand, "clEnqueueNDRangeKernel:square", 0, 100)
+	rec.SetTrack(root, "queue")
+	kid := rec.Record(root, KindPhase, "compute", 0, 80)
+	rec.Annotate(kid, "workers", "12")
+
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[1].Parent != root {
+		t.Fatalf("child parent = %d, want %d", spans[1].Parent, root)
+	}
+	if spans[0].Duration() != 100 || spans[1].Duration() != 80 {
+		t.Fatalf("durations = %v, %v", spans[0].Duration(), spans[1].Duration())
+	}
+	if got := resolveTrack(spans, kid); got != "queue" {
+		t.Fatalf("child track = %q, want inherited %q", got, "queue")
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0].Key != "workers" {
+		t.Fatalf("attrs = %v", spans[1].Attrs)
+	}
+}
+
+func TestBeginEnd(t *testing.T) {
+	rec := NewRecorder()
+	id := rec.Begin(NoParent, KindRegion, "r", 10)
+	rec.End(id, 35)
+	if d := rec.Spans()[0].Duration(); d != 25 {
+		t.Fatalf("duration = %v, want 25", d)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var rec *Recorder
+	id := rec.Record(NoParent, KindCommand, "x", 0, 1)
+	if id != -1 {
+		t.Fatalf("nil Record id = %d, want -1", id)
+	}
+	rec.End(id, 2)
+	rec.SetTrack(id, "t")
+	rec.Annotate(id, "k", "v")
+	rec.Reset()
+	if rec.Len() != 0 || rec.Spans() != nil {
+		t.Fatal("nil recorder should report no spans")
+	}
+	if rec.Registry() != nil {
+		t.Fatal("nil recorder registry should be nil")
+	}
+	// The nil registry must also swallow everything.
+	reg := rec.Registry()
+	reg.Add("c", 1)
+	reg.Set("g", 1)
+	reg.Observe("h", 1)
+	if reg.Counter("c") != 0 || reg.Gauge("g") != 0 {
+		t.Fatal("nil registry should read as zero")
+	}
+	if s := reg.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Hists) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+}
+
+func TestResetKeepsNothing(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(NoParent, KindCommand, "x", 0, 1)
+	rec.Registry().Add("c", 3)
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatalf("spans after reset = %d", rec.Len())
+	}
+	if rec.Registry().Counter("c") != 0 {
+		t.Fatal("counter survived reset")
+	}
+}
+
+func TestWriteTreeHotPath(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Record(NoParent, KindKernel, "launch", 0, 100)
+	rec.Record(root, KindPhase, "compute", 0, 90)
+	rec.Record(root, KindPhase, "dispatch", 0, 5)
+
+	var b strings.Builder
+	rec.WriteTree(&b, 0.5)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "compute") || !strings.Contains(lines[1], "HOT") {
+		t.Fatalf("compute line should be HOT: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "HOT") {
+		t.Fatalf("dispatch line should not be HOT: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[1], "  ") {
+		t.Fatalf("child should be indented: %q", lines[1])
+	}
+}
+
+func TestSpansCSV(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Record(NoParent, KindCommand, "cmd,with,commas", 0, 10)
+	rec.SetTrack(root, "queue")
+	var b strings.Builder
+	rec.WriteSpansCSV(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,parent,kind,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"cmd,with,commas"`) {
+		t.Fatalf("name not escaped: %q", lines[1])
+	}
+}

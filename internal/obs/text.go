@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTree renders the span forest as indented text, one line per
+// span, root spans in recording order. A span whose duration is at
+// least hotFrac of the total recorded time (the sum of root durations)
+// is flagged "HOT" — the hot-path highlighting a profiler's flame view
+// gives for free. hotFrac <= 0 defaults to 0.5.
+func (r *Recorder) WriteTree(w io.Writer, hotFrac float64) {
+	if r == nil {
+		return
+	}
+	if hotFrac <= 0 {
+		hotFrac = 0.5
+	}
+	spans := r.Spans()
+	children := make(map[int][]int, len(spans))
+	var roots []int
+	var total float64
+	for _, s := range spans {
+		if s.Parent == NoParent {
+			roots = append(roots, s.ID)
+			total += float64(s.Duration())
+		} else {
+			children[s.Parent] = append(children[s.Parent], s.ID)
+		}
+	}
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		s := &spans[id]
+		dur := float64(s.Duration())
+		hot := ""
+		if total > 0 && dur >= hotFrac*total && dur > 0 {
+			hot = "  HOT"
+		}
+		attrs := ""
+		if len(s.Attrs) > 0 {
+			parts := make([]string, len(s.Attrs))
+			for i, a := range s.Attrs {
+				parts[i] = a.Key + "=" + a.Val
+			}
+			attrs = "  {" + strings.Join(parts, " ") + "}"
+		}
+		fmt.Fprintf(w, "%s%-8s %s  [%v +%v]%s%s\n",
+			strings.Repeat("  ", depth), s.Kind, s.Name, s.Start, s.Duration(), attrs, hot)
+		for _, c := range children[id] {
+			walk(c, depth+1)
+		}
+	}
+	for _, id := range roots {
+		walk(id, 0)
+	}
+}

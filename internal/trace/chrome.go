@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+
+	"clperf/internal/obs"
+)
+
+// This file bridges the reconstructed workgroup schedule into the
+// observability layer: a Perfetto/Chrome trace with one track per
+// simulated worker, and worker-utilization metrics.
+
+// AppendChrome exports the timeline under pid: one track per hardware
+// thread, one "dispatch" slice then one "compute" slice per workgroup.
+// Because the schedule is a greedy queue drain (a worker's next dispatch
+// starts the instant its previous group ends), each track's slice
+// durations sum to that worker's finish time, and the maximum over
+// tracks is the makespan.
+func (tl *Timeline) AppendChrome(t *obs.ChromeTrace, pid int) {
+	t.Process(pid, "schedule:"+tl.Kernel)
+	for w := 0; w < tl.Workers; w++ {
+		t.Tid(pid, workerTrack(w)) // stable track order even for idle workers
+	}
+	for _, s := range tl.Segments {
+		track := workerTrack(s.Worker)
+		args := map[string]string{"group": strconv.Itoa(s.Group)}
+		t.Slice(pid, track, "dispatch", "dispatch", s.Start-tl.Dispatch, s.Start, args)
+		t.Slice(pid, track, fmt.Sprintf("%s g%d", tl.Kernel, s.Group), "compute", s.Start, s.End, args)
+	}
+}
+
+// Chrome exports the timeline as a standalone trace.
+func (tl *Timeline) Chrome(pid int) *obs.ChromeTrace {
+	t := obs.NewChromeTrace()
+	tl.AppendChrome(t, pid)
+	return t
+}
+
+func workerTrack(w int) string { return fmt.Sprintf("worker-%02d", w) }
+
+// PublishMetrics writes the schedule's summary into the registry:
+// makespan, worker count, and per-worker plus mean utilization.
+func (tl *Timeline) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Set("sched.makespan.ns", float64(tl.Makespan))
+	reg.Set("sched.workers", float64(tl.Workers))
+	util := tl.Utilization()
+	var sum float64
+	for i, u := range util {
+		reg.Set(fmt.Sprintf("sched.util.w%02d", i), u)
+		sum += u
+	}
+	if len(util) > 0 {
+		reg.Set("sched.util.mean", sum/float64(len(util)))
+	}
+}

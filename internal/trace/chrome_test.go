@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chromeJSON is the subset of the Chrome trace-event format the tests
+// inspect.
+type chromeJSON struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		TS   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func exportJSON(t *testing.T, tl *Timeline) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := tl.Chrome(1).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func realTimeline(t *testing.T) *Timeline {
+	t.Helper()
+	d := cpu.New(arch.XeonE5645())
+	app := kernels.Square()
+	nd := ir.Range1D(1<<14, 256)
+	tl, err := CPU(d, app.Kernel, app.Make(nd), nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestChromeExportGolden(t *testing.T) {
+	// A tiny hand-built schedule keeps the golden file reviewable:
+	// two workers, three groups, 10ns dispatch, 100ns compute.
+	tl := &Timeline{
+		Kernel:    "square",
+		Workers:   2,
+		GroupTime: 100,
+		Dispatch:  10,
+		Segments: []Segment{
+			{Worker: 0, Group: 0, Start: 10, End: 110},
+			{Worker: 1, Group: 1, Start: 10, End: 110},
+			{Worker: 0, Group: 2, Start: 120, End: 220},
+		},
+		Makespan: 220,
+	}
+	got := exportJSON(t, tl)
+	golden := filepath.Join("testdata", "timeline_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden mismatch; run go test ./internal/trace -run Golden -update\ngot:\n%s", got)
+	}
+}
+
+func TestChromeExportProperties(t *testing.T) {
+	tl := realTimeline(t)
+	raw := exportJSON(t, tl)
+
+	var parsed chromeJSON
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("emitted JSON does not unmarshal: %v", err)
+	}
+
+	type slice struct{ start, end float64 }
+	perTrack := map[int][]slice{}
+	makespanUS := tl.Makespan.Microseconds()
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.TS < 0 {
+			t.Fatalf("negative timestamp: %+v", ev)
+		}
+		if end := ev.TS + ev.Dur; end > makespanUS*(1+1e-9)+1e-9 {
+			t.Fatalf("event ends at %gus, beyond makespan %gus", end, makespanUS)
+		}
+		perTrack[ev.TID] = append(perTrack[ev.TID], slice{ev.TS, ev.TS + ev.Dur})
+	}
+	if len(perTrack) != tl.Workers {
+		t.Fatalf("tracks = %d, want one per worker (%d)", len(perTrack), tl.Workers)
+	}
+
+	// Per track: events must not overlap, and because the schedule is a
+	// gap-free greedy drain, slice durations sum to the track's end —
+	// the busiest track's sum IS the makespan.
+	var maxSum float64
+	for tid, ss := range perTrack {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].start < ss[j].start })
+		var sum float64
+		for i, s := range ss {
+			if i > 0 && s.start < ss[i-1].end-1e-9 {
+				t.Fatalf("track %d: slice %d overlaps previous (%g < %g)", tid, i, s.start, ss[i-1].end)
+			}
+			sum += s.end - s.start
+		}
+		if last := ss[len(ss)-1].end; math.Abs(sum-last) > 1e-6*last {
+			t.Fatalf("track %d: durations sum %gus != track end %gus (idle gap in greedy schedule?)", tid, sum, last)
+		}
+		if sum > maxSum {
+			maxSum = sum
+		}
+	}
+	if math.Abs(maxSum-makespanUS) > 1e-6*makespanUS {
+		t.Fatalf("busiest track sums to %gus, want makespan %gus", maxSum, makespanUS)
+	}
+}
+
+func TestTimelinePublishMetrics(t *testing.T) {
+	tl := realTimeline(t)
+	rec := obs.NewRegistry()
+	tl.PublishMetrics(rec)
+	if got := rec.Gauge("sched.makespan.ns"); got != float64(tl.Makespan) {
+		t.Fatalf("sched.makespan.ns = %g, want %g", got, float64(tl.Makespan))
+	}
+	if got := rec.Gauge("sched.workers"); got != float64(tl.Workers) {
+		t.Fatalf("sched.workers = %g", got)
+	}
+	mean := rec.Gauge("sched.util.mean")
+	if mean <= 0 || mean > 1 {
+		t.Fatalf("sched.util.mean = %g", mean)
+	}
+}
+
+func TestRenderOrdersByUtilizationDescending(t *testing.T) {
+	// An imbalanced schedule: worker 1 is busiest, then 0, then 2 idle.
+	tl := &Timeline{
+		Kernel:  "k",
+		Workers: 3,
+		Segments: []Segment{
+			{Worker: 0, Group: 0, Start: 0, End: 50},
+			{Worker: 1, Group: 1, Start: 0, End: 100},
+		},
+		Makespan: 100,
+	}
+	var b strings.Builder
+	tl.Render(&b, 20)
+	var rows []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "T") {
+			rows = append(rows, line[:3])
+		}
+	}
+	want := []string{"T01", "T00", "T02"}
+	if len(rows) != 3 || rows[0] != want[0] || rows[1] != want[1] || rows[2] != want[2] {
+		t.Fatalf("render order = %v, want %v\n%s", rows, want, b.String())
+	}
+}

@@ -130,12 +130,23 @@ func (tl *Timeline) Render(w io.Writer, width int) {
 		}
 	}
 	util := tl.Utilization()
+	for _, i := range tl.workerOrder(util) {
+		fmt.Fprintf(w, "T%02d |%s| %4.0f%%\n", i, rows[i], 100*util[i])
+	}
+}
+
+// workerOrder returns worker indices sorted by utilization descending
+// (ties by index ascending), so the busiest rows lead the chart.
+func (tl *Timeline) workerOrder(util []float64) []int {
 	order := make([]int, tl.Workers)
 	for i := range order {
 		order[i] = i
 	}
-	sort.Ints(order)
-	for _, i := range order {
-		fmt.Fprintf(w, "T%02d |%s| %4.0f%%\n", i, rows[i], 100*util[i])
-	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if util[order[a]] != util[order[b]] {
+			return util[order[a]] > util[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
 }
