@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci clean
+.PHONY: all build vet test race bench smoke ci clean
 
 all: build
 
@@ -19,6 +19,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs/
 
-# The gate CI runs: everything must build, vet clean, and pass under
-# the race detector.
-ci: build vet race
+# Exercise the concurrent suite path end to end: every artifact on 4
+# workers, with a per-experiment timeout as a hang backstop.
+smoke:
+	$(GO) run ./cmd/oclbench -e all -par 4 -timeout 5m > /dev/null
+
+# The gate CI runs: everything must build, vet clean, pass under the
+# race detector, and survive a concurrent full-suite run.
+ci: build vet race smoke

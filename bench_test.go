@@ -11,6 +11,8 @@ package clperf
 // simulation substrate itself.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"clperf/internal/arch"
@@ -70,6 +72,31 @@ func BenchmarkExtScaling(b *testing.B)  { benchExperiment(b, "ext-scaling") }
 func BenchmarkExtSIMD(b *testing.B)     { benchExperiment(b, "ext-simd") }
 func BenchmarkExtRoofline(b *testing.B) { benchExperiment(b, "ext-roofline") }
 func BenchmarkAblation(b *testing.B)    { benchExperiment(b, "ablation") }
+
+// BenchmarkSuite runs the whole 22-artifact suite through the
+// concurrent harness.Runner at several worker counts:
+//
+//	go test -bench=Suite -benchtime=1x
+//
+// times a full `oclbench -e all -par N` equivalent and exercises the
+// parallel path (private recorders, deterministic merge, worker pool)
+// end to end.
+func BenchmarkSuite(b *testing.B) {
+	exps := experiments.All()
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			r := harness.NewRunner(harness.RunnerOptions{Parallel: par, Observe: true})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sum := r.Run(context.Background(), exps)
+				if failed := sum.Failed(); len(failed) > 0 {
+					b.Fatalf("%d experiments failed, first: %s: %v",
+						len(failed), failed[0].ID, failed[0].Err)
+				}
+			}
+		})
+	}
+}
 
 // Substrate microbenchmarks: how fast the simulator itself is.
 

@@ -4,6 +4,9 @@
 //
 //	oclbench -e fig1            # one experiment
 //	oclbench -e all             # every table and figure, in paper order
+//	oclbench -e all -par 8      # same suite on 8 workers; output is
+//	                            # byte-identical to the serial run
+//	oclbench -e all -timeout 1m # bound each experiment's wall time
 //	oclbench -list              # list experiment ids
 //	oclbench -e fig3 -csv       # CSV instead of aligned text
 //	oclbench -trace out.json    # replay the quickstart workload and write
@@ -11,12 +14,19 @@
 //	                            # chrome://tracing): queue commands plus
 //	                            # one track per simulated worker
 //	oclbench -e fig6 -metrics   # print the metrics snapshot after the run
+//
+// Failures are isolated: a failing experiment is reported on stderr and
+// the remaining artifacts still run; the exit status is 1 only after
+// every experiment has been attempted and at least one failed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"clperf/internal/experiments"
 	"clperf/internal/harness"
@@ -31,6 +41,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "verbose reports")
 		traceOut = flag.String("trace", "", "replay the quickstart workload and write Chrome trace-event JSON to this file")
 		metrics  = flag.Bool("metrics", false, "print a metrics snapshot table after the run")
+		par      = flag.Int("par", 1, "run experiments on N concurrent workers (output stays in paper order)")
+		timeout  = flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 	)
 	flag.Parse()
 
@@ -61,34 +73,46 @@ func main() {
 		exps = []harness.Experiment{e}
 	}
 
-	opts := harness.Options{Verbose: *verbose}
-	if *metrics {
-		opts.Obs = obs.NewRecorder()
-	}
-	for _, e := range exps {
-		rep, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oclbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+	runner := harness.NewRunner(harness.RunnerOptions{
+		Parallel: *par,
+		Timeout:  *timeout,
+		Observe:  *metrics,
+		Base:     harness.Options{Verbose: *verbose},
+	})
+	sum := runner.Run(context.Background(), exps)
+
+	for _, r := range sum.Results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "oclbench: %s: %v\n", r.ID, r.Err)
+			continue
 		}
 		if *csv {
-			for _, t := range rep.Tables {
+			for _, t := range r.Report.Tables {
 				t.RenderCSV(os.Stdout)
 			}
-			for _, f := range rep.Figures {
+			for _, f := range r.Report.Figures {
 				f.Table().RenderCSV(os.Stdout)
 			}
 			continue
 		}
-		rep.Render(os.Stdout)
+		r.Report.Render(os.Stdout)
 	}
 	if *metrics {
-		tbl := harness.MetricsTable(opts.Obs.Registry().Snapshot())
+		tbl := harness.MetricsTable(sum.Rec.Registry().Snapshot())
 		if *csv {
 			tbl.RenderCSV(os.Stdout)
 		} else {
 			tbl.Render(os.Stdout)
 		}
+	}
+	if failed := sum.Failed(); len(failed) > 0 {
+		ids := make([]string, len(failed))
+		for i, r := range failed {
+			ids[i] = r.ID
+		}
+		fmt.Fprintf(os.Stderr, "oclbench: %d/%d experiments failed: %s (wall %v)\n",
+			len(failed), len(sum.Results), strings.Join(ids, ", "), sum.Wall.Round(time.Millisecond))
+		os.Exit(1)
 	}
 }
 

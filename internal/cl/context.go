@@ -56,6 +56,11 @@ type Buffer struct {
 	// device host and device share memory, so reads/writes against it are
 	// modeled copies; contents are always kept coherent functionally.
 	mapped int32
+	// mapFlags holds the MapFlags of the live mapping (stored atomically
+	// after the mapped CAS succeeds): EnqueueUnmapBuffer reads them to
+	// decide whether a write-back flush is owed — a MapRead-only mapping
+	// unmaps for free.
+	mapFlags uint32
 }
 
 // CreateBuffer allocates an n-element buffer of elem type. It mirrors

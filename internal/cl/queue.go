@@ -135,14 +135,20 @@ func (q *CommandQueue) copyCost(b *Buffer, bytes int64) units.Duration {
 
 // mapCost prices clEnqueueMapBuffer: on the CPU device host and device
 // share memory, so mapping returns a pointer; on the GPU the buffer
-// contents cross PCIe once.
+// contents cross PCIe once — at pinned rate only when the buffer was
+// allocated host-resident (AllocHostPtr), matching copyCost and the
+// paper's Figure 7/8 allocation-flag distinction.
 func (q *CommandQueue) mapCost(b *Buffer, bytes int64) units.Duration {
 	dev := q.ctx.Device
 	if dev.Type == DeviceCPU {
 		return dev.CPU.A.MapOverhead
 	}
 	a := dev.GPU.A
-	return a.MapOverhead + a.PinnedBandwidth.Transfer(units.ByteSize(bytes))
+	bw := a.PCIeBandwidth
+	if b.HostResident() {
+		bw = a.PinnedBandwidth
+	}
+	return a.MapOverhead + bw.Transfer(units.ByteSize(bytes))
 }
 
 // EnqueueWriteBuffer copies src into the buffer (host -> device).
@@ -189,6 +195,7 @@ func (q *CommandQueue) EnqueueMapBuffer(b *Buffer, flags MapFlags) ([]float64, *
 	if !atomic.CompareAndSwapInt32(&b.mapped, 0, 1) {
 		return nil, nil, wrap(ErrMapFailure, "buffer already mapped")
 	}
+	atomic.StoreUint32(&b.mapFlags, uint32(flags))
 	ev := q.record("clEnqueueMapBuffer", q.mapCost(b, b.Bytes()))
 	if q.ctx.Device.Type == DeviceGPU {
 		// Only the GPU moves the contents across PCIe; a CPU map is a
@@ -198,21 +205,31 @@ func (q *CommandQueue) EnqueueMapBuffer(b *Buffer, flags MapFlags) ([]float64, *
 	return b.data.Data, ev, nil
 }
 
-// EnqueueUnmapBuffer releases a mapping.
+// EnqueueUnmapBuffer releases a mapping. Only a mapping that could have
+// been written (MapWrite) owes the PCIe write-back flush on the GPU; a
+// MapRead-only mapping has nothing dirty to flush and unmaps for free.
 func (q *CommandQueue) EnqueueUnmapBuffer(b *Buffer) (*Event, error) {
 	if b == nil || b.ctx != q.ctx {
 		return nil, wrap(ErrInvalidMemObject, "unmap buffer")
 	}
+	flags := MapFlags(atomic.LoadUint32(&b.mapFlags))
 	if !atomic.CompareAndSwapInt32(&b.mapped, 1, 0) {
 		return nil, wrap(ErrInvalidValue, "buffer not mapped")
 	}
 	cost := units.Duration(0)
-	if q.ctx.Device.Type == DeviceGPU {
-		// Unmapping a written buffer flushes it back over PCIe.
-		cost = q.ctx.Device.GPU.A.PinnedBandwidth.Transfer(units.ByteSize(b.Bytes()))
+	flush := q.ctx.Device.Type == DeviceGPU && flags&MapWrite != 0
+	if flush {
+		// Unmapping a written buffer flushes it back over PCIe, at pinned
+		// rate only for host-resident allocations (as in mapCost).
+		a := q.ctx.Device.GPU.A
+		bw := a.PCIeBandwidth
+		if b.HostResident() {
+			bw = a.PinnedBandwidth
+		}
+		cost = bw.Transfer(units.ByteSize(b.Bytes()))
 	}
 	ev := q.record("clEnqueueUnmapBuffer", cost)
-	if q.ctx.Device.Type == DeviceGPU {
+	if flush {
 		q.noteBytes("unmap", b.Bytes())
 	}
 	return ev, nil

@@ -1,0 +1,107 @@
+package cl
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// The paper's Figure 7/8 allocation-flag distinction: a map of a
+// non-host-resident buffer crosses plain PCIe; only AllocHostPtr
+// buffers move at the pinned rate. copyCost always honoured this —
+// these tests pin mapCost and the unmap write-back to the same model.
+
+func gpuMapEvent(t *testing.T, flags MemFlags, mapFlags MapFlags) (mapEv, unmapEv *Event, bytes int64) {
+	t.Helper()
+	ctx := NewContext(GPUDevice())
+	q := NewQueue(ctx)
+	b, err := ctx.CreateBuffer(flags, ir.F32, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mev, err := q.EnqueueMapBuffer(b, mapFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uev, err := q.EnqueueUnmapBuffer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mev, uev, b.Bytes()
+}
+
+func TestMapCostAllocationFlag(t *testing.T) {
+	a := GPUDevice().GPU.A
+	mevDev, _, n := gpuMapEvent(t, MemReadWrite, MapWrite)
+	mevHost, _, _ := gpuMapEvent(t, MemReadWrite|MemAllocHostPtr, MapWrite)
+
+	wantDev := a.MapOverhead + a.PCIeBandwidth.Transfer(units.ByteSize(n))
+	if got := mevDev.Duration(); got != wantDev {
+		t.Errorf("device-resident map cost = %v, want PCIe rate %v", got, wantDev)
+	}
+	wantHost := a.MapOverhead + a.PinnedBandwidth.Transfer(units.ByteSize(n))
+	if got := mevHost.Duration(); got != wantHost {
+		t.Errorf("host-resident map cost = %v, want pinned rate %v", got, wantHost)
+	}
+	// Pinned bandwidth exceeds plain PCIe, so the host-resident map must
+	// be strictly cheaper.
+	if mevHost.Duration() >= mevDev.Duration() {
+		t.Errorf("host-resident map (%v) not cheaper than device-resident (%v)",
+			mevHost.Duration(), mevDev.Duration())
+	}
+}
+
+func TestUnmapFlushMatchesAllocation(t *testing.T) {
+	a := GPUDevice().GPU.A
+	_, uevDev, n := gpuMapEvent(t, MemReadWrite, MapWrite)
+	_, uevHost, _ := gpuMapEvent(t, MemReadWrite|MemAllocHostPtr, MapWrite)
+
+	if want := a.PCIeBandwidth.Transfer(units.ByteSize(n)); uevDev.Duration() != want {
+		t.Errorf("device-resident unmap flush = %v, want PCIe rate %v", uevDev.Duration(), want)
+	}
+	if want := a.PinnedBandwidth.Transfer(units.ByteSize(n)); uevHost.Duration() != want {
+		t.Errorf("host-resident unmap flush = %v, want pinned rate %v", uevHost.Duration(), want)
+	}
+}
+
+// A MapRead-only mapping has nothing dirty: unmap must not charge the
+// PCIe write-back flush (regression: it used to flush unconditionally).
+func TestUnmapReadOnlyFree(t *testing.T) {
+	ctx := NewContext(GPUDevice())
+	q := NewQueue(ctx)
+	b, err := ctx.CreateBuffer(MemReadWrite, ir.F32, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.EnqueueMapBuffer(b, MapRead); err != nil {
+		t.Fatal(err)
+	}
+	before := ctx.Obs().Registry().Counter("cl.bytes.unmap")
+	uev, err := q.EnqueueUnmapBuffer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uev.Duration() != 0 {
+		t.Errorf("read-only unmap cost = %v, want 0", uev.Duration())
+	}
+	if after := ctx.Obs().Registry().Counter("cl.bytes.unmap"); after != before {
+		t.Errorf("read-only unmap counted %v transfer bytes, want none", after-before)
+	}
+
+	// A writable mapping of the same buffer still owes the flush and the
+	// byte accounting.
+	if _, _, err := q.EnqueueMapBuffer(b, MapRead|MapWrite); err != nil {
+		t.Fatal(err)
+	}
+	uev, err = q.EnqueueUnmapBuffer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uev.Duration() == 0 {
+		t.Error("writable unmap must charge the write-back flush")
+	}
+	if got := ctx.Obs().Registry().Counter("cl.bytes.unmap"); got != float64(b.Bytes()) {
+		t.Errorf("writable unmap counted %v bytes, want %v", got, b.Bytes())
+	}
+}

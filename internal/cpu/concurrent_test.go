@@ -1,0 +1,74 @@
+package cpu
+
+import (
+	"sync"
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+// The device span clock must be safe for concurrent Estimate calls (the
+// suite runner launches experiments in parallel): every launch claims a
+// disjoint [start, end) window and the clock ends at the exact sum of
+// launch times. Run under -race this also proves the clock is guarded.
+func TestConcurrentEstimateClock(t *testing.T) {
+	d := New(arch.XeonE5645())
+	rec := obs.NewRecorder()
+	d.Obs = rec
+
+	const launches = 64
+	nd := ir.Range1D(1<<10, 64)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total units.Duration
+	for i := 0; i < launches; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := d.Estimate(squareKernel(), squareArgs(1<<10), nd)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			total += res.Time
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	// Kernel spans tile the clock: disjoint, and their lengths sum to the
+	// final clock value.
+	var spanSum units.Duration
+	type window struct{ s, e units.Duration }
+	var windows []window
+	for _, s := range rec.Spans() {
+		if s.Kind != obs.KindKernel {
+			continue
+		}
+		spanSum += s.Duration()
+		windows = append(windows, window{s.Start, s.End})
+	}
+	if len(windows) != launches {
+		t.Fatalf("kernel spans = %d, want %d", len(windows), launches)
+	}
+	if spanSum != total {
+		t.Errorf("span time sum %v != launch time sum %v", spanSum, total)
+	}
+	if d.clock != total {
+		t.Errorf("device clock %v != launch time sum %v", d.clock, total)
+	}
+	for i, a := range windows {
+		for j, b := range windows {
+			if i != j && a.s < b.e && b.s < a.e {
+				t.Fatalf("kernel spans overlap: %+v and %+v", a, b)
+			}
+		}
+	}
+	if got := rec.Registry().Counter("cpu.launches"); got != launches {
+		t.Errorf("cpu.launches = %v, want %d", got, launches)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
+	"sync"
 
 	"clperf/internal/arch"
 	"clperf/internal/ir"
@@ -25,10 +26,12 @@ type Device struct {
 	// Obs, when set, records every priced launch as a span tree (launch ->
 	// dispatch/compute/mem_floor phases) plus per-kernel time histograms.
 	// Nil (the default) costs nothing. Spans are laid end to end on the
-	// device's own clock, which Estimate advances; like the rest of the
-	// device's host-side API this is not safe for concurrent Estimate
-	// calls.
+	// device's own clock, which Estimate advances; the clock is guarded
+	// by clockMu, so concurrent Estimate calls are safe (each launch
+	// claims a disjoint span window, in arrival order).
 	Obs *obs.Recorder
+	// clockMu guards clock against concurrent launches.
+	clockMu sync.Mutex
 	// clock is the device-local span clock (total priced time so far).
 	clock units.Duration
 }
@@ -197,8 +200,10 @@ func (d *Device) observe(r *Result) {
 		return
 	}
 	rec := d.Obs
+	d.clockMu.Lock()
 	s := d.clock
 	d.clock += r.Time
+	d.clockMu.Unlock()
 	id := rec.Record(obs.NoParent, obs.KindKernel, "cpu.launch:"+r.Kernel, s, s+r.Time)
 	rec.SetTrack(id, "cpu")
 	rec.Annotate(id, "workers", strconv.Itoa(r.Workers))

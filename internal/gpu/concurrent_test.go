@@ -1,0 +1,67 @@
+package gpu
+
+import (
+	"sync"
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+// Mirror of the CPU device test: concurrent Estimate calls must each
+// claim a disjoint span window on the guarded device clock.
+func TestConcurrentEstimateClock(t *testing.T) {
+	d := New(arch.GTX580())
+	rec := obs.NewRecorder()
+	d.Obs = rec
+
+	const launches = 64
+	nd := ir.Range1D(1<<12, 128)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total units.Duration
+	for i := 0; i < launches; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := d.Estimate(squareKernel(), squareArgs(1<<12), nd)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			total += res.Time
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	var spanSum units.Duration
+	type window struct{ s, e units.Duration }
+	var windows []window
+	for _, s := range rec.Spans() {
+		if s.Kind != obs.KindKernel {
+			continue
+		}
+		spanSum += s.Duration()
+		windows = append(windows, window{s.Start, s.End})
+	}
+	if len(windows) != launches {
+		t.Fatalf("kernel spans = %d, want %d", len(windows), launches)
+	}
+	if spanSum != total || d.clock != total {
+		t.Errorf("span sum %v / clock %v != launch time sum %v", spanSum, d.clock, total)
+	}
+	for i, a := range windows {
+		for j, b := range windows {
+			if i != j && a.s < b.e && b.s < a.e {
+				t.Fatalf("kernel spans overlap: %+v and %+v", a, b)
+			}
+		}
+	}
+	if got := rec.Registry().Counter("gpu.launches"); got != launches {
+		t.Errorf("gpu.launches = %v, want %d", got, launches)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"runtime"
 	"strconv"
+	"sync"
 
 	"clperf/internal/arch"
 	"clperf/internal/ir"
@@ -26,9 +27,12 @@ type Device struct {
 	DefaultLocal int
 	// Obs, when set, records every priced launch as a span tree plus
 	// per-kernel metrics; nil (the default) costs nothing. Spans are laid
-	// end to end on the device's own clock; not safe for concurrent
-	// Estimate calls.
+	// end to end on the device's own clock, guarded by clockMu so
+	// concurrent Estimate calls are safe (each launch claims a disjoint
+	// span window, in arrival order).
 	Obs *obs.Recorder
+	// clockMu guards clock against concurrent launches.
+	clockMu sync.Mutex
 	// clock is the device-local span clock.
 	clock units.Duration
 }
@@ -293,8 +297,10 @@ func (d *Device) observe(r *Result) {
 		return
 	}
 	rec := d.Obs
+	d.clockMu.Lock()
 	s := d.clock
 	d.clock += r.Time
+	d.clockMu.Unlock()
 	id := rec.Record(obs.NoParent, obs.KindKernel, "gpu.launch:"+r.Kernel, s, s+r.Time)
 	rec.SetTrack(id, "gpu")
 	rec.Annotate(id, "occupancy", strconv.FormatFloat(r.Occupancy, 'g', 4, 64))

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -121,11 +122,24 @@ func (f *Figure) Add(name string, values []float64) {
 	f.Series = append(f.Series, Series{Name: name, Values: values})
 }
 
-// Table converts the figure into its tabular form.
+// Table converts the figure into its tabular form. A ragged figure is
+// rendered losslessly: series values beyond len(f.Labels) get generated
+// "[i]" x labels instead of being dropped, and series shorter than the
+// label axis render empty cells.
 func (f *Figure) Table() *Table {
 	t := &Table{Title: fmt.Sprintf("%s  [%s vs %s]", f.Title, f.YLabel, f.XLabel)}
 	t.Columns = append([]string{f.XLabel}, seriesNames(f.Series)...)
-	for i, lbl := range f.Labels {
+	rows := len(f.Labels)
+	for _, s := range f.Series {
+		if len(s.Values) > rows {
+			rows = len(s.Values)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		lbl := fmt.Sprintf("[%d]", i)
+		if i < len(f.Labels) {
+			lbl = f.Labels[i]
+		}
 		row := []any{lbl}
 		for _, s := range f.Series {
 			if i < len(s.Values) {
@@ -210,8 +224,14 @@ type Options struct {
 	Verbose bool
 	// Obs, when set, is attached to the experiment's devices so every
 	// priced launch records spans and metrics into it (see internal/obs);
-	// nil runs without observability.
+	// nil runs without observability. Under the suite Runner each
+	// experiment receives its own private recorder so concurrent
+	// experiments never share a span clock.
 	Obs *obs.Recorder
+	// Ctx, when set, carries the runner's cancellation signal:
+	// long-running experiments should poll Ctx.Err() at iteration
+	// boundaries and bail out. Nil means no deadline.
+	Ctx context.Context
 }
 
 // Experiment regenerates one paper artifact.

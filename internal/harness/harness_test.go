@@ -56,6 +56,29 @@ func TestFigureToTable(t *testing.T) {
 	}
 }
 
+// A series longer than the label axis must round-trip losslessly:
+// values beyond len(Labels) get generated "[i]" labels instead of being
+// silently dropped (regression).
+func TestFigureRaggedLossless(t *testing.T) {
+	fig := &Figure{Title: "F", XLabel: "x", YLabel: "y", Labels: []string{"p"}}
+	fig.Add("short", []float64{1})
+	fig.Add("long", []float64{10, 20, 30})
+	tbl := fig.Table()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (longest series)", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "p" || tbl.Rows[1][0] != "[1]" || tbl.Rows[2][0] != "[2]" {
+		t.Errorf("labels = %q, %q, %q", tbl.Rows[0][0], tbl.Rows[1][0], tbl.Rows[2][0])
+	}
+	// Every value of every series appears; short series pad with empties.
+	if tbl.Rows[2][2] != "30" {
+		t.Errorf("dropped value: row 2 = %v", tbl.Rows[2])
+	}
+	if tbl.Rows[1][1] != "" || tbl.Rows[2][1] != "" {
+		t.Errorf("short series must pad empty: %v / %v", tbl.Rows[1], tbl.Rows[2])
+	}
+}
+
 func TestNormalize(t *testing.T) {
 	got := Normalize([]float64{2, 4, 6}, 2)
 	want := []float64{1, 2, 3}

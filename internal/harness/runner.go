@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"clperf/internal/obs"
+)
+
+// This file implements the concurrent suite runner: a bounded worker
+// pool that runs independent experiments in parallel with failure
+// isolation. The paper's evaluation is 22 independent artifacts, so the
+// suite parallelizes across host threads the same way pocl fans
+// independent work units out across a thread pool — while keeping the
+// emitted reports byte-identical to a serial run.
+
+// RunnerOptions configures a Runner.
+type RunnerOptions struct {
+	// Parallel is the worker count; values below 1 run serially on a
+	// single worker. Output order is paper order regardless.
+	Parallel int
+	// Timeout bounds each experiment's wall-clock run time; 0 means no
+	// limit. A timed-out experiment is reported as failed (its goroutine
+	// is abandoned, cooperative cancellation arrives via Options.Ctx).
+	Timeout time.Duration
+	// Observe gives every experiment a private obs.Recorder. The private
+	// recorders are merged in paper order into Summary.Rec after the run,
+	// each on a track namespace named after its experiment id, so span
+	// tracks never interleave across experiments and the merged snapshot
+	// is deterministic regardless of completion order.
+	Observe bool
+	// Base is the per-experiment option set. Base.Obs is ignored — set
+	// Observe instead; the runner owns recorder lifecycles so that
+	// concurrent experiments never share one span clock.
+	Base Options
+}
+
+// ExpResult is the outcome of one experiment in a suite run.
+type ExpResult struct {
+	// ID and Title identify the experiment.
+	ID    string
+	Title string
+	// Report is the experiment's output; nil when Err is set.
+	Report *Report
+	// Err is the failure, if any: the experiment's own error, a wrapped
+	// panic, or context.DeadlineExceeded on timeout.
+	Err error
+	// Wall is the experiment's host wall-clock run time.
+	Wall time.Duration
+	// Wait is how long the experiment sat queued before a worker picked
+	// it up.
+	Wait time.Duration
+	// Rec is the experiment's private recorder (nil unless
+	// RunnerOptions.Observe).
+	Rec *obs.Recorder
+}
+
+// Summary is the outcome of a whole suite run: one ExpResult per
+// experiment, in submission (paper) order.
+type Summary struct {
+	Results []ExpResult
+	// Wall is the whole run's host wall-clock time.
+	Wall time.Duration
+	// Rec holds the deterministic merge of every experiment's private
+	// recorder (nil unless RunnerOptions.Observe). Its registry also
+	// carries the runner's own metrics — runner.exp.wall.ns and
+	// runner.exp.wait.ns histograms plus runner.experiments and
+	// runner.failures counters; those are host wall-clock quantities and
+	// vary run to run, unlike the simulated-clock experiment metrics.
+	Rec *obs.Recorder
+}
+
+// Failed returns the results that carry an error, in paper order.
+func (s *Summary) Failed() []ExpResult {
+	var out []ExpResult
+	for _, r := range s.Results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// OK reports whether every experiment succeeded.
+func (s *Summary) OK() bool { return len(s.Failed()) == 0 }
+
+// FailureTable summarizes the failed experiments as a harness table.
+func (s *Summary) FailureTable() *Table {
+	t := &Table{Title: "failed experiments", Columns: []string{"id", "error"}}
+	for _, r := range s.Failed() {
+		t.AddRow(r.ID, r.Err.Error())
+	}
+	return t
+}
+
+// Runner runs experiment suites on a bounded worker pool.
+type Runner struct {
+	opts RunnerOptions
+}
+
+// NewRunner returns a runner with the given options.
+func NewRunner(opts RunnerOptions) *Runner {
+	if opts.Parallel < 1 {
+		opts.Parallel = 1
+	}
+	return &Runner{opts: opts}
+}
+
+// Run executes every experiment and returns a summary with one result
+// per experiment in submission order. Failures are isolated: a failing
+// (or panicking, or timed-out) experiment yields an error entry and the
+// remaining experiments still run. Cancelling ctx stops the suite:
+// experiments not yet started fail with the context's error, started
+// ones are cut short like a timeout.
+func (r *Runner) Run(ctx context.Context, exps []Experiment) *Summary {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sum := &Summary{Results: make([]ExpResult, len(exps))}
+	if r.opts.Observe {
+		sum.Rec = obs.NewRecorder()
+	}
+
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := r.opts.Parallel
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sum.Results[i] = r.runOne(ctx, exps[i], start)
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	sum.Wall = time.Since(start)
+
+	// Deterministic merge: paper order, each experiment's spans on its
+	// own track namespace (id/...), so the merged recorder is identical
+	// for any worker count and completion order.
+	reg := sum.Rec.Registry()
+	for i := range sum.Results {
+		res := &sum.Results[i]
+		sum.Rec.Merge(res.Rec, res.ID)
+		reg.Observe("runner.exp.wall.ns", float64(res.Wall.Nanoseconds()))
+		reg.Observe("runner.exp.wait.ns", float64(res.Wait.Nanoseconds()))
+		reg.Add("runner.experiments", 1)
+		if res.Err != nil {
+			reg.Add("runner.failures", 1)
+		}
+	}
+	return sum
+}
+
+// runOne executes a single experiment with panic isolation and the
+// configured timeout.
+func (r *Runner) runOne(ctx context.Context, e Experiment, submitted time.Time) ExpResult {
+	res := ExpResult{ID: e.ID, Title: e.Title, Wait: time.Since(submitted)}
+	if r.opts.Observe {
+		res.Rec = obs.NewRecorder()
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	runCtx := ctx
+	if r.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
+		defer cancel()
+	}
+	opts := r.opts.Base
+	opts.Obs = res.Rec
+	opts.Ctx = runCtx
+
+	began := time.Now()
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- outcome{err: fmt.Errorf("experiment %s panicked: %v", e.ID, p)}
+			}
+		}()
+		rep, err := e.Run(opts)
+		done <- outcome{rep: rep, err: err}
+	}()
+	select {
+	case o := <-done:
+		res.Report, res.Err = o.rep, o.err
+	case <-runCtx.Done():
+		// The experiment goroutine is abandoned; it sees the cancellation
+		// through opts.Ctx if it cooperates. Its private recorder may keep
+		// filling, which is why a timed-out result is never merged.
+		res.Err = runCtx.Err()
+		res.Rec = nil
+	}
+	res.Wall = time.Since(began)
+	return res
+}

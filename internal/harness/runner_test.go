@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+// fakeExp builds a synthetic experiment for runner tests.
+func fakeExp(id string, run func(Options) (*Report, error)) Experiment {
+	return Experiment{ID: id, Title: "synthetic " + id, Run: run}
+}
+
+// okExp returns a report and records deterministic spans/metrics into
+// the experiment's private recorder.
+func okExp(id string, n int) Experiment {
+	return fakeExp(id, func(opts Options) (*Report, error) {
+		for i := 0; i < n; i++ {
+			s := units.Duration(i) * units.Microsecond
+			sp := opts.Obs.Record(obs.NoParent, obs.KindRegion, id, s, s+units.Microsecond)
+			opts.Obs.SetTrack(sp, "work")
+			opts.Obs.Registry().Add("exp.iterations", 1)
+			opts.Obs.Registry().Observe("exp.step.ns", float64(i+1))
+		}
+		opts.Obs.Registry().Set("exp.last:"+id, float64(n))
+		rep := &Report{ID: id, Title: id}
+		rep.AddNote("ran %d steps", n)
+		return rep, nil
+	})
+}
+
+func TestRunnerFailureIsolation(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []Experiment{
+		okExp("a", 1),
+		fakeExp("b", func(Options) (*Report, error) { return nil, boom }),
+		fakeExp("c", func(Options) (*Report, error) { panic("kaboom") }),
+		okExp("d", 2),
+	}
+	for _, par := range []int{1, 4} {
+		sum := NewRunner(RunnerOptions{Parallel: par}).Run(context.Background(), exps)
+		if len(sum.Results) != len(exps) {
+			t.Fatalf("par=%d: %d results, want %d", par, len(sum.Results), len(exps))
+		}
+		// Results stay in submission order regardless of completion order.
+		for i, e := range exps {
+			if sum.Results[i].ID != e.ID {
+				t.Fatalf("par=%d: result[%d] = %s, want %s", par, i, sum.Results[i].ID, e.ID)
+			}
+		}
+		if sum.OK() {
+			t.Fatalf("par=%d: summary must not be OK", par)
+		}
+		failed := sum.Failed()
+		if len(failed) != 2 || failed[0].ID != "b" || failed[1].ID != "c" {
+			t.Fatalf("par=%d: failed = %+v", par, failed)
+		}
+		if !errors.Is(failed[0].Err, boom) {
+			t.Errorf("par=%d: b's error = %v", par, failed[0].Err)
+		}
+		if !strings.Contains(failed[1].Err.Error(), "panicked") {
+			t.Errorf("par=%d: panic not isolated: %v", par, failed[1].Err)
+		}
+		// The survivors completed even though earlier experiments failed.
+		if sum.Results[3].Err != nil || sum.Results[3].Report == nil {
+			t.Errorf("par=%d: d did not survive: %+v", par, sum.Results[3])
+		}
+		ft := sum.FailureTable()
+		if len(ft.Rows) != 2 || ft.Rows[0][0] != "b" {
+			t.Errorf("par=%d: failure table rows = %v", par, ft.Rows)
+		}
+	}
+}
+
+func TestRunnerTimeout(t *testing.T) {
+	started := make(chan struct{})
+	exps := []Experiment{
+		fakeExp("slow", func(opts Options) (*Report, error) {
+			close(started)
+			// Cooperative experiments wait on Options.Ctx.
+			<-opts.Ctx.Done()
+			return nil, opts.Ctx.Err()
+		}),
+		okExp("fast", 1),
+	}
+	sum := NewRunner(RunnerOptions{Parallel: 2, Timeout: 20 * time.Millisecond}).
+		Run(context.Background(), exps)
+	<-started
+	if err := sum.Results[0].Err; !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("slow experiment error = %v, want deadline exceeded", err)
+	}
+	if sum.Results[1].Err != nil {
+		t.Errorf("fast experiment failed: %v", sum.Results[1].Err)
+	}
+}
+
+func TestRunnerContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum := NewRunner(RunnerOptions{Parallel: 2}).Run(ctx, []Experiment{okExp("a", 1), okExp("b", 1)})
+	for _, r := range sum.Results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want canceled", r.ID, r.Err)
+		}
+	}
+}
+
+// filterRunner drops the runner's host wall-clock self-metrics, which
+// legitimately differ run to run, leaving only simulated-clock metrics.
+func filterRunner(s obs.Snapshot) obs.Snapshot {
+	var out obs.Snapshot
+	for _, m := range s.Counters {
+		if !strings.HasPrefix(m.Name, "runner.") {
+			out.Counters = append(out.Counters, m)
+		}
+	}
+	for _, m := range s.Gauges {
+		if !strings.HasPrefix(m.Name, "runner.") {
+			out.Gauges = append(out.Gauges, m)
+		}
+	}
+	for _, h := range s.Hists {
+		if !strings.HasPrefix(h.Name, "runner.") {
+			out.Hists = append(out.Hists, h)
+		}
+	}
+	return out
+}
+
+// TestRunnerDeterministicMerge is the core determinism property: for
+// any worker count, the merged recorder holds identical spans (same
+// ids, parents, tracks, order) and identical experiment metrics.
+func TestRunnerDeterministicMerge(t *testing.T) {
+	var exps []Experiment
+	for i := 0; i < 9; i++ {
+		exps = append(exps, okExp(fmt.Sprintf("e%d", i), i+1))
+	}
+	base := NewRunner(RunnerOptions{Parallel: 1, Observe: true}).Run(context.Background(), exps)
+	baseSpans := base.Rec.Spans()
+	baseSnap := filterRunner(base.Rec.Registry().Snapshot())
+	if len(baseSpans) == 0 {
+		t.Fatal("serial run recorded no spans")
+	}
+	for _, par := range []int{2, 8} {
+		sum := NewRunner(RunnerOptions{Parallel: par, Observe: true}).Run(context.Background(), exps)
+		if !reflect.DeepEqual(sum.Rec.Spans(), baseSpans) {
+			t.Errorf("par=%d: merged spans differ from serial run", par)
+		}
+		if snap := filterRunner(sum.Rec.Registry().Snapshot()); !reflect.DeepEqual(snap, baseSnap) {
+			t.Errorf("par=%d: merged metrics differ from serial run:\n%+v\nvs\n%+v", par, snap, baseSnap)
+		}
+	}
+	// Tracks are namespaced per experiment, so suites never interleave.
+	for _, s := range baseSpans {
+		if s.Track != "" && !strings.Contains(s.Track, "/") {
+			t.Fatalf("span %q track %q lacks an experiment namespace", s.Name, s.Track)
+		}
+	}
+}
+
+func TestRunnerMetrics(t *testing.T) {
+	exps := []Experiment{
+		okExp("a", 1),
+		fakeExp("b", func(Options) (*Report, error) { return nil, errors.New("nope") }),
+	}
+	sum := NewRunner(RunnerOptions{Parallel: 2, Observe: true}).Run(context.Background(), exps)
+	reg := sum.Rec.Registry()
+	if got := reg.Counter("runner.experiments"); got != 2 {
+		t.Errorf("runner.experiments = %v, want 2", got)
+	}
+	if got := reg.Counter("runner.failures"); got != 1 {
+		t.Errorf("runner.failures = %v, want 1", got)
+	}
+	snap := reg.Snapshot()
+	var wall, wait bool
+	for _, h := range snap.Hists {
+		switch h.Name {
+		case "runner.exp.wall.ns":
+			wall = h.Count == 2
+		case "runner.exp.wait.ns":
+			wait = h.Count == 2
+		}
+	}
+	if !wall || !wait {
+		t.Errorf("per-experiment wall/wait histograms missing or short: %+v", snap.Hists)
+	}
+}

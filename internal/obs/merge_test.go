@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"clperf/internal/units"
+)
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Add("c", 2)
+	b.Add("c", 3)
+	b.Add("only.b", 1)
+	a.Set("g", 1)
+	b.Set("g", 9)
+	for _, v := range []float64{1, 100} {
+		a.Observe("h", v)
+	}
+	for _, v := range []float64{50, 7000} {
+		b.Observe("h", v)
+	}
+	b.Observe("h.only.b", 5)
+
+	a.Merge(b)
+	if got := a.Counter("c"); got != 5 {
+		t.Errorf("merged counter = %v, want 5", got)
+	}
+	if got := a.Counter("only.b"); got != 1 {
+		t.Errorf("src-only counter = %v, want 1", got)
+	}
+	if got := a.Gauge("g"); got != 9 {
+		t.Errorf("merged gauge = %v, want src value 9", got)
+	}
+	snap := a.Snapshot()
+	var h *HistStat
+	for i := range snap.Hists {
+		if snap.Hists[i].Name == "h" {
+			h = &snap.Hists[i]
+		}
+	}
+	if h == nil {
+		t.Fatal("merged histogram missing")
+	}
+	if h.Count != 4 || h.Sum != 7151 || h.Min != 1 || h.Max != 7000 {
+		t.Errorf("merged hist = %+v", h)
+	}
+	// src is untouched.
+	if got := b.Counter("c"); got != 3 {
+		t.Errorf("merge mutated src counter: %v", got)
+	}
+	// Merging into a fresh registry reproduces src exactly.
+	c := NewRegistry()
+	c.Merge(b)
+	if !reflect.DeepEqual(c.Snapshot(), b.Snapshot()) {
+		t.Error("merge into empty registry is not a faithful copy")
+	}
+	// Nil endpoints are no-ops.
+	var nilReg *Registry
+	nilReg.Merge(b)
+	a.Merge(nil)
+	a.Merge(a)
+}
+
+func TestRecorderMerge(t *testing.T) {
+	dst := NewRecorder()
+	root := dst.Record(NoParent, KindCommand, "pre", 0, units.Microsecond)
+	dst.SetTrack(root, "queue")
+
+	src := NewRecorder()
+	s0 := src.Record(NoParent, KindKernel, "launch", 0, 2*units.Microsecond)
+	src.SetTrack(s0, "cpu")
+	src.Annotate(s0, "k", "v")
+	src.Record(s0, KindPhase, "compute", 0, units.Microsecond)
+	bare := src.Record(NoParent, KindRegion, "bare", 0, units.Microsecond)
+	src.Registry().Add("n", 1)
+
+	dst.Merge(src, "fig1")
+	spans := dst.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("merged span count = %d, want 4", len(spans))
+	}
+	got := spans[1]
+	if got.ID != 1 || got.Parent != NoParent || got.Track != "fig1/cpu" {
+		t.Errorf("remapped root = %+v", got)
+	}
+	if child := spans[2]; child.Parent != got.ID {
+		t.Errorf("child parent = %d, want %d", child.Parent, got.ID)
+	}
+	// A trackless root gets the namespace's main track so merged suites
+	// never share an export track.
+	if b := spans[3]; b.Track != "fig1/main" {
+		t.Errorf("bare root track = %q, want fig1/main", b.Track)
+	}
+	if dst.Registry().Counter("n") != 1 {
+		t.Error("metrics did not merge")
+	}
+	// Annotations are deep-copied: mutating src afterwards must not leak.
+	src.Annotate(s0, "k2", "v2")
+	if got := dst.Spans()[1]; len(got.Attrs) != 1 {
+		t.Errorf("attrs aliased across merge: %+v", got.Attrs)
+	}
+	// src keeps its own ids.
+	if ss := src.Spans(); ss[0].ID != 0 || ss[2].ID != bare {
+		t.Errorf("merge mutated src spans: %+v", ss)
+	}
+}

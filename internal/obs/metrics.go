@@ -81,6 +81,51 @@ func (g *Registry) Gauge(name string) float64 {
 	return g.gauges[name]
 }
 
+// Merge folds src's metrics into g: counters add, histograms combine
+// bucket-wise (counts, sums and exact min/max all survive), and gauges
+// take src's value — last merge wins, so callers that need determinism
+// must merge in a fixed order. Both registries stay usable; src is not
+// modified. Nil src or g is a no-op.
+func (g *Registry) Merge(src *Registry) {
+	if g == nil || src == nil || g == src {
+		return
+	}
+	// Copy src under its own lock first so the two locks are never held
+	// together (no ordering to get wrong).
+	src.mu.Lock()
+	counters := make(map[string]float64, len(src.counters))
+	for n, v := range src.counters {
+		counters[n] = v
+	}
+	gauges := make(map[string]float64, len(src.gauges))
+	for n, v := range src.gauges {
+		gauges[n] = v
+	}
+	hists := make(map[string]*histogram, len(src.hists))
+	for n, h := range src.hists {
+		c := *h
+		hists[n] = &c
+	}
+	src.mu.Unlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for n, v := range counters {
+		g.counters[n] += v
+	}
+	for n, v := range gauges {
+		g.gauges[n] = v
+	}
+	for n, h := range hists {
+		dst := g.hists[n]
+		if dst == nil {
+			g.hists[n] = h
+			continue
+		}
+		dst.merge(h)
+	}
+}
+
 // Reset clears every metric.
 func (g *Registry) Reset() {
 	if g == nil {
@@ -131,6 +176,24 @@ func (h *histogram) observe(v float64) {
 		h.max = v
 	}
 	h.buckets[bucketOf(v)]++
+}
+
+// merge folds other into h bucket-wise.
+func (h *histogram) merge(other *histogram) {
+	if other.count == 0 {
+		return
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
 }
 
 // quantile returns the upper bound of the bucket where the cumulative

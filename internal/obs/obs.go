@@ -179,6 +179,45 @@ func (r *Recorder) Spans() []Span {
 	return out
 }
 
+// Merge appends a copy of src's spans to r — span ids and parent links
+// are remapped past r's existing spans, so both recorders stay valid —
+// and folds src's metrics into r's registry (see Registry.Merge). When
+// prefix is non-empty every copied span lands on a namespaced track:
+// explicit tracks become prefix+"/"+track and root spans with no track
+// get prefix+"/main", so merged recorders never interleave spans from
+// different sources on one export track. Merge is deterministic given a
+// fixed call order. Nil r or src is a no-op.
+func (r *Recorder) Merge(src *Recorder, prefix string) {
+	if r == nil || src == nil || r == src {
+		return
+	}
+	spans := src.Spans()
+	r.mu.Lock()
+	off := len(r.spans)
+	for _, s := range spans {
+		s.ID += off
+		if s.Parent != NoParent {
+			s.Parent += off
+		}
+		if prefix != "" {
+			switch {
+			case s.Track != "":
+				s.Track = prefix + "/" + s.Track
+			case s.Parent == NoParent:
+				s.Track = prefix + "/main"
+			}
+		}
+		// Attrs are shared slices; copy so later Annotate calls on either
+		// recorder cannot alias.
+		if len(s.Attrs) > 0 {
+			s.Attrs = append([]Attr(nil), s.Attrs...)
+		}
+		r.spans = append(r.spans, s)
+	}
+	r.mu.Unlock()
+	r.reg.Merge(src.Registry())
+}
+
 // Reset drops all spans, keeping capacity, and clears the registry.
 func (r *Recorder) Reset() {
 	if r == nil {

@@ -1,0 +1,79 @@
+package clperf
+
+// Suite-level properties of the concurrent runner over the real
+// experiment registry: `-e all -par N` must be indistinguishable from a
+// serial run — byte-identical rendered reports and equal merged
+// recorder contents (the runner's own wall-clock metrics excepted).
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"clperf/internal/experiments"
+	"clperf/internal/harness"
+	"clperf/internal/obs"
+)
+
+// renderAll renders every report the way cmd/oclbench does.
+func renderAll(t *testing.T, sum *harness.Summary) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range sum.Results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		r.Report.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// stripHostMetrics drops the runner's host wall-clock self-metrics; all
+// remaining metrics live on the simulated clock and must be identical
+// across worker counts.
+func stripHostMetrics(s obs.Snapshot) obs.Snapshot {
+	var out obs.Snapshot
+	for _, m := range s.Counters {
+		if !strings.HasPrefix(m.Name, "runner.") {
+			out.Counters = append(out.Counters, m)
+		}
+	}
+	for _, m := range s.Gauges {
+		if !strings.HasPrefix(m.Name, "runner.") {
+			out.Gauges = append(out.Gauges, m)
+		}
+	}
+	for _, h := range s.Hists {
+		if !strings.HasPrefix(h.Name, "runner.") {
+			out.Hists = append(out.Hists, h)
+		}
+	}
+	return out
+}
+
+func TestSuiteParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite twice is slow")
+	}
+	exps := experiments.All()
+	serial := harness.NewRunner(harness.RunnerOptions{Parallel: 1, Observe: true}).
+		Run(context.Background(), exps)
+	wantOut := renderAll(t, serial)
+	wantSnap := stripHostMetrics(serial.Rec.Registry().Snapshot())
+	wantSpans := serial.Rec.Spans()
+
+	par := harness.NewRunner(harness.RunnerOptions{Parallel: 8, Observe: true}).
+		Run(context.Background(), exps)
+	gotOut := renderAll(t, par)
+	if !bytes.Equal(gotOut, wantOut) {
+		t.Error("par=8 report output differs from serial run")
+	}
+	if got := stripHostMetrics(par.Rec.Registry().Snapshot()); !reflect.DeepEqual(got, wantSnap) {
+		t.Error("par=8 merged metrics snapshot differs from serial run")
+	}
+	if !reflect.DeepEqual(par.Rec.Spans(), wantSpans) {
+		t.Error("par=8 merged span stream differs from serial run")
+	}
+}
