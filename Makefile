@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke ci clean
+.PHONY: all build vet test race bench bench-smoke baseline smoke ci clean
 
 all: build
 
@@ -19,11 +19,22 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs/
 
+# One pass over the search-layer benchmarks (internal/search sessions:
+# cached+parallel vs the uncached serial seed path) as a CI smoke —
+# -benchtime=1x just proves they run and agree, it does not time them.
+bench-smoke:
+	$(GO) test -bench='Tune|Partition' -benchtime=1x -run=^$$ .
+
+# Regenerate the committed perf baseline (BENCH_pr3.json).
+baseline:
+	$(GO) run ./cmd/perfbaseline -reps 9
+
 # Exercise the concurrent suite path end to end: every artifact on 4
 # workers, with a per-experiment timeout as a hang backstop.
 smoke:
 	$(GO) run ./cmd/oclbench -e all -par 4 -timeout 5m > /dev/null
 
 # The gate CI runs: everything must build, vet clean, pass under the
-# race detector, and survive a concurrent full-suite run.
-ci: build vet race smoke
+# race detector, survive a concurrent full-suite run, and execute the
+# search-layer benchmarks once.
+ci: build vet race smoke bench-smoke

@@ -17,10 +17,12 @@ import (
 
 	"clperf/internal/arch"
 	"clperf/internal/cache"
+	"clperf/internal/core"
 	"clperf/internal/cpu"
 	"clperf/internal/experiments"
 	"clperf/internal/gpu"
 	"clperf/internal/harness"
+	"clperf/internal/hetero"
 	"clperf/internal/ir"
 	"clperf/internal/kernels"
 )
@@ -97,6 +99,96 @@ func BenchmarkSuite(b *testing.B) {
 		})
 	}
 }
+
+// Search-layer benchmarks: the memoized, parallel model-evaluation layer
+// (internal/search) versus the uncached serial seed behavior it
+// replaced. A cold search prices each distinct configuration exactly
+// once either way, so the layer's payoff is on *revisits* — the
+// sessions these benchmarks measure: tune, inspect, retune (the advisor
+// workflow) and partition, then price the endpoint splits and refine
+// (the ext-hetero workflow). The cached arm runs its evaluator pool at
+// the default width; the uncached arm is pinned serial, matching the
+// seed. Byte-identical cache-on/off results are asserted by
+// TestTuneCacheOnOffIdentical and TestPartitionCacheOnOffIdentical.
+//
+//	go test -bench='Tune|Partition' -benchtime=1x
+//
+// is the CI benchmark smoke (make bench-smoke).
+
+// tuneSessionPasses is how many times the session revisits the search:
+// pass 1 is cold, later passes model iterative retuning and hit the
+// cache (or, uncached, re-price everything — the seed behavior).
+const tuneSessionPasses = 3
+
+func benchTuneSession(b *testing.B, cached bool) {
+	app := kernels.BinomialOption()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ad := core.NewAdvisor(nil)
+		if !cached {
+			ad.Eval.Cache = nil
+			ad.Eval.Workers = 1
+		}
+		var prev *core.TuneResult
+		for pass := 0; pass < tuneSessionPasses; pass++ {
+			tr, err := ad.Tune(app.Kernel, args, nd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if prev != nil && tr.Time != prev.Time {
+				b.Fatalf("retune drifted: %v vs %v", tr.Time, prev.Time)
+			}
+			prev = tr
+		}
+	}
+}
+
+// BenchmarkTuneCached tunes Binomialoption (the headline workgroup-search
+// fix: 48 divisor candidates at global 255000) three times through the
+// memoizing evaluator; passes 2-3 are pure cache hits.
+func BenchmarkTuneCached(b *testing.B) { benchTuneSession(b, true) }
+
+// BenchmarkTuneUncachedSerial is the seed-equivalent baseline: no cache,
+// one worker, every pass re-estimates every candidate from scratch.
+func BenchmarkTuneUncachedSerial(b *testing.B) { benchTuneSession(b, false) }
+
+func benchPartitionSession(b *testing.B, cached bool) {
+	app := kernels.BlackScholes()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := hetero.NewPartitioner(cpu.New(arch.XeonE5645()), gpu.New(arch.GTX580()))
+		if !cached {
+			p.CPUEval.Cache, p.GPUEval.Cache = nil, nil
+			p.CPUEval.Workers, p.GPUEval.Workers = 1, 1
+		}
+		for pass := 0; pass < tuneSessionPasses; pass++ {
+			if _, err := p.Partition(app.Kernel, args, nd); err != nil {
+				b.Fatal(err)
+			}
+			// The single-device baselines ext-hetero also prices; with
+			// the cache on these are hits against the partition sweep.
+			if _, err := p.PriceFrac(app.Kernel, args, nd, 1, 1); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.PriceFrac(app.Kernel, args, nd, 0, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPartitionCached sweeps the CPU/GPU split and its endpoint
+// baselines three times with the shared memoization cache.
+func BenchmarkPartitionCached(b *testing.B) { benchPartitionSession(b, true) }
+
+// BenchmarkPartitionUncachedSerial is the seed-equivalent baseline.
+func BenchmarkPartitionUncachedSerial(b *testing.B) { benchPartitionSession(b, false) }
 
 // Substrate microbenchmarks: how fast the simulator itself is.
 

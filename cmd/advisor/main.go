@@ -18,7 +18,9 @@ import (
 	"strings"
 
 	"clperf/internal/core"
+	"clperf/internal/harness"
 	"clperf/internal/kernels"
+	"clperf/internal/obs"
 	"clperf/internal/trace"
 )
 
@@ -30,6 +32,8 @@ func main() {
 		tune     = flag.Bool("tune", false, "search workgroup size and coarsening for the best configuration")
 		timeline = flag.Bool("timeline", false, "render the workgroup schedule as an ASCII Gantt chart")
 		list     = flag.Bool("list", false, "list benchmark names and exit")
+		nocache  = flag.Bool("nocache", false, "disable the memoized estimate cache (A/B baseline; results are identical either way)")
+		metrics  = flag.Bool("metrics", false, "print the observability metrics snapshot (incl. search cache counters) after the run")
 	)
 	flag.Parse()
 
@@ -62,6 +66,17 @@ func main() {
 
 	args := app.Make(nd)
 	ad := core.NewAdvisor(nil)
+	if *nocache {
+		ad.Eval.Cache = nil
+	}
+	var rec *obs.Recorder
+	if *metrics {
+		rec = obs.NewRecorder()
+		ad.Dev.Obs = rec
+		// The device now records span streams whose order must match the
+		// evaluation order; keep the search serial.
+		ad.Eval.Workers = 1
+	}
 	rep, err := ad.Analyze(app.Kernel, args, nd)
 	if err != nil {
 		fatal(err)
@@ -84,6 +99,15 @@ func main() {
 		}
 		fmt.Printf("\ntuned: %s, coarsening x%d -> %v (%.2fx over baseline %v)\n",
 			tr.ND, tr.Coarsen, tr.Time, tr.Gain(), tr.Baseline)
+		if s := ad.Eval.Stats(); s.Hits+s.Misses > 0 {
+			fmt.Printf("search cache: %d evaluations, %d hits (%.0f%% hit rate)\n",
+				s.Misses, s.Hits, 100*s.HitRate())
+		}
+	}
+
+	if *metrics {
+		fmt.Println()
+		harness.MetricsTable(rec.Registry().Snapshot()).Render(os.Stdout)
 	}
 }
 

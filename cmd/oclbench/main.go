@@ -14,6 +14,9 @@
 //	                            # chrome://tracing): queue commands plus
 //	                            # one track per simulated worker
 //	oclbench -e fig6 -metrics   # print the metrics snapshot after the run
+//	oclbench -e all -nocache    # disable the memoized estimate layer
+//	                            # (internal/search) for an A/B baseline;
+//	                            # reports are identical with it on or off
 //
 // Failures are isolated: a failing experiment is reported on stderr and
 // the remaining artifacts still run; the exit status is 1 only after
@@ -43,6 +46,7 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print a metrics snapshot table after the run")
 		par      = flag.Int("par", 1, "run experiments on N concurrent workers (output stays in paper order)")
 		timeout  = flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
+		nocache  = flag.Bool("nocache", false, "disable the memoized model-evaluation layer (A/B baseline; results are identical either way)")
 	)
 	flag.Parse()
 
@@ -77,7 +81,7 @@ func main() {
 		Parallel: *par,
 		Timeout:  *timeout,
 		Observe:  *metrics,
-		Base:     harness.Options{Verbose: *verbose},
+		Base:     harness.Options{Verbose: *verbose, NoCache: *nocache},
 	})
 	sum := runner.Run(context.Background(), exps)
 

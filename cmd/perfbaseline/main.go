@@ -1,0 +1,196 @@
+// Command perfbaseline times the repo's hot paths and writes a JSON
+// baseline for cross-PR comparison (committed as BENCH_pr3.json). It
+// measures the same session workloads as the root Tune/Partition
+// benchmarks — cached versus the uncached serial seed behavior — plus
+// one full experiment-suite run, and records the search-cache hit rates
+// alongside the wall times.
+//
+// Usage:
+//
+//	perfbaseline              # write BENCH_pr3.json
+//	perfbaseline -o out.json  # write elsewhere
+//	perfbaseline -reps 5      # median of 5 repetitions per workload
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"clperf/internal/arch"
+	"clperf/internal/core"
+	"clperf/internal/cpu"
+	"clperf/internal/experiments"
+	"clperf/internal/gpu"
+	"clperf/internal/harness"
+	"clperf/internal/hetero"
+	"clperf/internal/kernels"
+)
+
+// sessionPasses mirrors the root benchmarks: one cold search plus two
+// revisits, the workload memoization exists for.
+const sessionPasses = 3
+
+// Baseline is the committed JSON shape. Times are nanoseconds (medians
+// over -reps runs); rates are hits/(hits+misses) of the final run.
+type Baseline struct {
+	Schema     string `json:"schema"`
+	CreatedAt  string `json:"created_at"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	TuneCachedNs         int64   `json:"tune_cached_ns"`
+	TuneUncachedSerialNs int64   `json:"tune_uncached_serial_ns"`
+	TuneSpeedup          float64 `json:"tune_speedup"`
+	TuneCacheHitRate     float64 `json:"tune_cache_hit_rate"`
+	PartCachedNs         int64   `json:"partition_cached_ns"`
+	PartUncachedSerialNs int64   `json:"partition_uncached_serial_ns"`
+	PartSpeedup          float64 `json:"partition_speedup"`
+	PartCPUCacheHitRate  float64 `json:"partition_cpu_cache_hit_rate"`
+	SuiteNs              int64   `json:"suite_ns"`
+	SuiteExperiments     int     `json:"suite_experiments"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr3.json", "output path")
+	reps := flag.Int("reps", 3, "repetitions per workload (median is reported)")
+	flag.Parse()
+
+	b := Baseline{
+		Schema:     "clperf/perfbaseline/v1",
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Warm both paths once untimed: the first calls pay one-off costs
+	// (heap growth, the per-kernel digest memo) that would otherwise
+	// land entirely on whichever arm runs first.
+	tuneSession(true)
+	tuneSession(false)
+	partitionSession(true)
+	partitionSession(false)
+
+	var hitRate float64
+	b.TuneCachedNs = median(*reps, func() { hitRate = tuneSession(true) })
+	b.TuneCacheHitRate = hitRate
+	b.TuneUncachedSerialNs = median(*reps, func() { tuneSession(false) })
+	b.TuneSpeedup = ratio(b.TuneUncachedSerialNs, b.TuneCachedNs)
+
+	b.PartCachedNs = median(*reps, func() { hitRate = partitionSession(true) })
+	b.PartCPUCacheHitRate = hitRate
+	b.PartUncachedSerialNs = median(*reps, func() { partitionSession(false) })
+	b.PartSpeedup = ratio(b.PartUncachedSerialNs, b.PartCachedNs)
+
+	exps := experiments.All()
+	b.SuiteExperiments = len(exps)
+	b.SuiteNs = median(1, func() {
+		r := harness.NewRunner(harness.RunnerOptions{Parallel: 4})
+		sum := r.Run(context.Background(), exps)
+		if failed := sum.Failed(); len(failed) > 0 {
+			fatal(fmt.Errorf("%d experiments failed, first %s: %v",
+				len(failed), failed[0].ID, failed[0].Err))
+		}
+	})
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&b); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), suite %v\n",
+		*out, b.TuneSpeedup, 100*b.TuneCacheHitRate,
+		b.PartSpeedup, 100*b.PartCPUCacheHitRate,
+		time.Duration(b.SuiteNs).Round(time.Millisecond))
+}
+
+// tuneApp and partApp are built once: argument allocation (large
+// filled buffers) is setup, not part of the measured search.
+var (
+	tuneApp  = kernels.BinomialOption()
+	tuneND   = tuneApp.Configs[0]
+	tuneArgs = tuneApp.Make(tuneND)
+
+	partApp  = kernels.BlackScholes()
+	partND   = partApp.Configs[0]
+	partArgs = partApp.Make(partND)
+)
+
+// tuneSession runs the Binomialoption tuning session and returns the
+// evaluator's final hit rate (zero when uncached).
+func tuneSession(cached bool) float64 {
+	app, nd, args := tuneApp, tuneND, tuneArgs
+	ad := core.NewAdvisor(nil)
+	if !cached {
+		ad.Eval.Cache = nil
+		ad.Eval.Workers = 1
+	}
+	for pass := 0; pass < sessionPasses; pass++ {
+		if _, err := ad.Tune(app.Kernel, args, nd); err != nil {
+			fatal(err)
+		}
+	}
+	return ad.Eval.Stats().HitRate()
+}
+
+// partitionSession runs the BlackScholes partition sweep with endpoint
+// baselines and returns the CPU evaluator's final hit rate.
+func partitionSession(cached bool) float64 {
+	app, nd, args := partApp, partND, partArgs
+	p := hetero.NewPartitioner(cpu.New(arch.XeonE5645()), gpu.New(arch.GTX580()))
+	if !cached {
+		p.CPUEval.Cache, p.GPUEval.Cache = nil, nil
+		p.CPUEval.Workers, p.GPUEval.Workers = 1, 1
+	}
+	for pass := 0; pass < sessionPasses; pass++ {
+		if _, err := p.Partition(app.Kernel, args, nd); err != nil {
+			fatal(err)
+		}
+		if _, err := p.PriceFrac(app.Kernel, args, nd, 1, 1); err != nil {
+			fatal(err)
+		}
+		if _, err := p.PriceFrac(app.Kernel, args, nd, 0, 1); err != nil {
+			fatal(err)
+		}
+	}
+	return p.CPUEval.Stats().HitRate()
+}
+
+// median times fn reps times and returns the median wall clock in ns.
+func median(reps int, fn func()) int64 {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]int64, reps)
+	for i := range times {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start).Nanoseconds()
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[reps/2]
+}
+
+func ratio(base, now int64) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(base) / float64(now)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfbaseline:", err)
+	os.Exit(1)
+}

@@ -55,6 +55,9 @@ type CPU struct {
 	// micro-ops; it bounds how much of adjacent workitems' work the core can
 	// overlap to hide a dependence chain.
 	OoOWindow float64
+	// MaxWorkgroup is CL_DEVICE_MAX_WORK_GROUP_SIZE: the largest workgroup
+	// the runtime accepts, and the ceiling of any workgroup-size search.
+	MaxWorkgroup int
 	// SMTYield is the per-thread issue share when both SMT siblings of a
 	// core are busy (two threads at 0.62 ≈ the familiar ~1.25x SMT gain).
 	SMTYield float64
@@ -154,6 +157,7 @@ func XeonE5645() *CPU {
 		SIMDWidth:      4,
 		SIMDName:       "SSE 4.2",
 		OoOWindow:      64,
+		MaxWorkgroup:   1024,
 		SMTYield:       0.62,
 		Lat:            lat,
 		L1D:            CacheGeom{Size: 64 * units.Kibibyte, LineSize: 64, Assoc: 8, Latency: 4},
@@ -205,6 +209,8 @@ type GPU struct {
 	MaxWarpsPerSM int
 	// MaxGroupsPerSM caps resident workgroups per SM.
 	MaxGroupsPerSM int
+	// MaxWorkgroup is CL_DEVICE_MAX_WORK_GROUP_SIZE.
+	MaxWorkgroup int
 	// SharedMemPerSM is the scratchpad (__local) capacity per SM.
 	SharedMemPerSM units.ByteSize
 	Clock          units.Frequency // shader clock
@@ -267,6 +273,7 @@ func GTX580() *GPU {
 		LanesPerSM:      32,
 		MaxWarpsPerSM:   48,
 		MaxGroupsPerSM:  8,
+		MaxWorkgroup:    1024,
 		SharedMemPerSM:  48 * units.Kibibyte,
 		Clock:           1544 * units.Megahertz,
 		Lat:             lat,

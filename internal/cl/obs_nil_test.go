@@ -1,0 +1,129 @@
+package cl
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+)
+
+// driveQueue exercises every CommandQueue command against the context and
+// returns the read-back output of a square kernel over n elements. It is
+// run twice by TestNilRecorderAllCommands — once with the default recorder
+// and once after SetObs(nil) — so the two paths must stay identical.
+func driveQueue(t *testing.T, ctx *Context, n int) ([]float64, []*Event) {
+	t.Helper()
+	q := NewQueue(ctx)
+
+	in, err := ctx.CreateBuffer(MemReadOnly, ir.F32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.CreateBuffer(MemReadWrite, ir.F32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spare, err := ctx.CreateBuffer(MemReadWrite|MemAllocHostPtr, ir.F32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	if _, err := q.EnqueueWriteBuffer(in, src); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := q.EnqueueFillBuffer(out, 0); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+
+	k, err := ctx.CreateKernel(squareKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetBufferArg("in", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetBufferArg("out", out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueNDRangeKernel(k, ir.Range1D(n, 0)); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+
+	if _, err := q.EnqueueCopyBuffer(out, spare, n); err != nil {
+		t.Fatalf("copy: %v", err)
+	}
+	view, _, err := q.EnqueueMapBuffer(spare, MapRead|MapWrite)
+	if err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	view[0] = -1
+	if _, err := q.EnqueueUnmapBuffer(spare); err != nil {
+		t.Fatalf("unmap: %v", err)
+	}
+
+	if ctx.Device.Type == DeviceCPU {
+		// The affinity extension path (pinned launch + CacheMetrics).
+		if _, err := q.EnqueueNDRangeKernelPinned(k, ir.Range1D(n, 64),
+			func(g int) int { return g }); err != nil {
+			t.Fatalf("pinned kernel: %v", err)
+		}
+	}
+
+	dst := make([]float64, n)
+	if _, err := q.EnqueueReadBuffer(spare, dst); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	q.Finish()
+	return dst, q.Events()
+}
+
+// TestNilRecorderAllCommands covers the queue's observability contract:
+// after SetObs(nil) every command must run as a pure no-op on the obs
+// side — no panic, and byte-identical functional results and event
+// timings versus the recorded run. record, noteBytes, and observeKernel
+// all rely on obs's nil-receiver safety rather than guarding individually.
+func TestNilRecorderAllCommands(t *testing.T) {
+	const n = 256
+	for _, dev := range []*Device{CPUDevice(), GPUDevice()} {
+		t.Run(dev.Type.String(), func(t *testing.T) {
+			recorded := NewContext(dev)
+			got, evs := driveQueue(t, recorded, n)
+
+			silent := NewContext(dev)
+			silent.SetObs(nil)
+			if silent.Obs() != nil {
+				t.Fatal("SetObs(nil) did not clear the recorder")
+			}
+			gotNil, evsNil := driveQueue(t, silent, n)
+			silent.CacheMetrics() // publish path must also tolerate nil
+
+			for i := range gotNil {
+				want := float64(i) * float64(i)
+				if i == 0 {
+					want = -1 // poked through the mapping
+				}
+				if gotNil[i] != want {
+					t.Fatalf("out[%d] = %v, want %v", i, gotNil[i], want)
+				}
+				if gotNil[i] != got[i] {
+					t.Fatalf("out[%d] differs with nil recorder: %v vs %v", i, gotNil[i], got[i])
+				}
+			}
+
+			if len(evs) != len(evsNil) {
+				t.Fatalf("event count %d with recorder, %d without", len(evs), len(evsNil))
+			}
+			for i := range evs {
+				if *evs[i] != *evsNil[i] {
+					t.Fatalf("event %d differs: %+v vs %+v", i, *evs[i], *evsNil[i])
+				}
+			}
+			if recorded.Obs().Len() == 0 {
+				t.Fatal("recorded run produced no spans")
+			}
+		})
+	}
+}

@@ -89,6 +89,12 @@ func (q *CommandQueue) Events() []*Event { return q.events }
 // exists for API fidelity.
 func (q *CommandQueue) Finish() {}
 
+// record times a command on the queue's simulated clock and mirrors it
+// into the context's recorder. The recorder may be nil (SetObs(nil)
+// disables observability): every obs entry point is a no-op on a nil
+// receiver, so record, noteBytes, and observeKernel all lean on that
+// contract uniformly instead of guarding — a nil recorder leaves
+// q.lastSpan at obs.NoParent and skips nothing else.
 func (q *CommandQueue) record(cmd string, cost units.Duration) *Event {
 	queued := q.now
 	start := queued + q.enqLat
@@ -108,9 +114,6 @@ func (q *CommandQueue) record(cmd string, cost units.Duration) *Event {
 // counters and annotates the command's span.
 func (q *CommandQueue) noteBytes(api string, n int64) {
 	rec := q.ctx.rec
-	if rec == nil {
-		return
-	}
 	reg := rec.Registry()
 	reg.Add("cl.bytes."+api, float64(n))
 	reg.Add("cl.bytes.total", float64(n))
@@ -340,9 +343,6 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd ir.NDRange) (*KernelEv
 // the models take max(compute, memory floor), they do not sum.
 func (q *CommandQueue) observeKernel(name string, ke *KernelEvent) {
 	rec := q.ctx.rec
-	if rec == nil {
-		return
-	}
 	ev := ke.Event
 	parent := q.lastSpan
 	rec.Registry().Observe("cl.kernel.ns:"+name, float64(ev.Duration()))

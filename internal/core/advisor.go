@@ -26,6 +26,8 @@ import (
 	"clperf/internal/arch"
 	"clperf/internal/cpu"
 	"clperf/internal/ir"
+	"clperf/internal/obs"
+	"clperf/internal/search"
 	"clperf/internal/units"
 )
 
@@ -154,20 +156,31 @@ func (r *Report) Render() string {
 // Advisor prices launches and produces findings against one CPU.
 type Advisor struct {
 	Dev *cpu.Device
+	// Eval memoizes and parallelizes Dev.Estimate for the advisor's
+	// searches (BestWorkgroup, Tune, Analyze). NewAdvisor attaches one;
+	// nil falls back to direct serial estimation. Set Eval.Cache = nil to
+	// keep the worker pool but disable memoization (the -nocache A/B
+	// path), or Eval.Workers = 1 to force serial evaluation when the
+	// device records onto an order-sensitive recorder.
+	Eval *search.Evaluator[*cpu.Result]
 }
 
-// NewAdvisor returns an advisor for the paper's CPU (or any other arch).
+// NewAdvisor returns an advisor for the paper's CPU (or any other arch),
+// with a memoized parallel evaluator attached.
 func NewAdvisor(a *arch.CPU) *Advisor {
 	if a == nil {
 		a = arch.XeonE5645()
 	}
-	return &Advisor{Dev: cpu.New(a)}
+	ad := &Advisor{Dev: cpu.New(a)}
+	ad.Eval = search.NewEvaluator(ad.Dev.Fingerprint, ad.Dev.Estimate,
+		search.NewCache(0), func() *obs.Recorder { return ad.Dev.Obs })
+	return ad
 }
 
 // Analyze prices the launch and derives findings. Buffers in args may be
 // unfilled; only geometry, types and scalar values are consulted.
 func (ad *Advisor) Analyze(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Report, error) {
-	res, err := ad.Dev.Estimate(k, args, nd)
+	res, err := ad.estimate(k, args, nd)
 	if err != nil {
 		return nil, err
 	}

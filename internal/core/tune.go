@@ -2,30 +2,50 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
+	"clperf/internal/cpu"
 	"clperf/internal/ir"
 	"clperf/internal/kernels"
+	"clperf/internal/search"
 	"clperf/internal/units"
 )
 
+// maxEnumLocal caps enumerated workgroup sizes even on devices that
+// would accept more: beyond 1024 workitems per group the model's search
+// space grows without any configuration the paper's runtimes accept.
+const maxEnumLocal = 1024
+
 // BestWorkgroup searches workgroup sizes for the launch and returns the
-// fastest one under the model, holding the global size fixed. For 2-D
-// kernels square-ish tiles are tried; for 1-D kernels powers of two up to
-// 1024 (all clipped to divisors of the global size).
+// fastest one under the model, holding the global size fixed. Every
+// divisor of the global size up to min(1024, device max workgroup size)
+// is tried, and the caller's own geometry is always among the
+// candidates, so the result is never slower than the input: at worst
+// the input configuration itself comes back.
 func (ad *Advisor) BestWorkgroup(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (ir.NDRange, units.Duration, error) {
-	candidates := workgroupCandidates(nd)
+	// The requested geometry leads the candidate list (with NULL local
+	// resolved the way the runtime would) so ties and regressions both
+	// settle in its favor.
+	requested := ad.Dev.ResolveLocal(nd)
+	candidates := append([]ir.NDRange{requested}, workgroupCandidates(nd, ad.Dev.MaxWorkgroup())...)
+
+	launches := make([]search.Launch, len(candidates))
+	for i, c := range candidates {
+		launches[i] = search.Launch{Kernel: k, Args: args, ND: c}
+	}
+	results, errs := ad.estimateAll("wg:"+k.Name, launches)
+
 	var (
 		best     ir.NDRange
 		bestTime units.Duration
 		found    bool
 	)
-	for _, c := range candidates {
-		res, err := ad.Dev.Estimate(k, args, c)
-		if err != nil {
+	for i, res := range results {
+		if errs[i] != nil {
 			continue
 		}
 		if !found || res.Time < bestTime {
-			best, bestTime, found = c, res.Time, true
+			best, bestTime, found = candidates[i], res.Time, true
 		}
 	}
 	if !found {
@@ -34,35 +54,61 @@ func (ad *Advisor) BestWorkgroup(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (ir
 	return best, bestTime, nil
 }
 
-func workgroupCandidates(nd ir.NDRange) []ir.NDRange {
-	var out []ir.NDRange
+// workgroupCandidates enumerates the legal workgroup geometries for nd:
+// every divisor of each searched dimension's global size, capped at
+// min(maxEnumLocal, maxWG) workitems per group. OpenCL 1.x requires the
+// local size to divide the global size exactly, so divisors are the
+// complete candidate set — the paper's Binomialoption local size of 255
+// (global 255000) is as reachable as any power of two.
+func workgroupCandidates(nd ir.NDRange, maxWG int) []ir.NDRange {
+	limit := maxEnumLocal
+	if maxWG > 0 && maxWG < limit {
+		limit = maxWG
+	}
 	g0 := nd.Global[0]
 	if g0 == 0 {
 		g0 = 1
 	}
+	var out []ir.NDRange
 	if nd.Dims() >= 2 {
 		g1 := nd.Global[1]
-		for _, e := range []int{1, 2, 4, 8, 16, 32} {
-			for _, f := range []int{1, 2, 4, 8, 16, 32} {
-				if g0%e == 0 && g1%f == 0 && e*f <= 1024 {
+		if g1 == 0 {
+			g1 = 1
+		}
+		for _, e := range divisorsLE(g0, limit) {
+			for _, f := range divisorsLE(g1, limit) {
+				if e*f <= limit {
 					out = append(out, nd.WithLocal([3]int{e, f, 1}))
 				}
 			}
 		}
 		return out
 	}
-	for l := 1; l <= 1024; l *= 2 {
-		if l <= g0 && g0%l == 0 {
-			out = append(out, nd.WithLocal([3]int{l, 1, 1}))
-		}
-	}
-	// Non-power-of-two globals: include the largest divisors too.
-	for _, l := range []int{g0, g0 / 2, g0 / 4} {
-		if l >= 1 && l <= 1024 && g0%l == 0 {
-			out = append(out, nd.WithLocal([3]int{l, 1, 1}))
-		}
+	for _, l := range divisorsLE(g0, limit) {
+		out = append(out, nd.WithLocal([3]int{l, 1, 1}))
 	}
 	return out
+}
+
+// divisorsLE returns every divisor of n that is <= limit, ascending.
+func divisorsLE(n, limit int) []int {
+	if n < 1 {
+		return []int{1}
+	}
+	var ds []int
+	for i := 1; i*i <= n; i++ {
+		if n%i != 0 {
+			continue
+		}
+		if i <= limit {
+			ds = append(ds, i)
+		}
+		if j := n / i; j != i && j <= limit {
+			ds = append(ds, j)
+		}
+	}
+	sort.Ints(ds)
+	return ds
 }
 
 // TuneResult is the outcome of a full launch-parameter search.
@@ -89,9 +135,11 @@ func (t *TuneResult) Gain() float64 {
 
 // Tune searches workgroup sizes and coarsening factors jointly, returning
 // the best configuration the model can find — the automated version of the
-// paper's hand-tuning in sections III-B.
+// paper's hand-tuning in sections III-B. The result never regresses the
+// requested configuration: Time <= Baseline always, with equality when no
+// candidate improves on it.
 func (ad *Advisor) Tune(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*TuneResult, error) {
-	base, err := ad.Dev.Estimate(k, args, nd)
+	base, err := ad.estimate(k, args, nd)
 	if err != nil {
 		return nil, err
 	}
@@ -107,9 +155,13 @@ func (ad *Advisor) Tune(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*TuneResult
 		cnd := nd
 		if factor > 1 {
 			var err error
+			// A factor that doesn't apply — the kernel is structurally
+			// uncoarsenable or the factor doesn't divide the global size —
+			// just excludes this point from the search; later factors may
+			// still divide evenly, so both failures skip, never abort.
 			ck, err = kernels.Coarsen(k, factor)
 			if err != nil {
-				break // kernel not coarsenable; workgroup search only
+				continue
 			}
 			cnd, err = kernels.CoarsenRange(nd, factor)
 			if err != nil {
@@ -128,4 +180,27 @@ func (ad *Advisor) Tune(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*TuneResult
 		}
 	}
 	return result, nil
+}
+
+// estimate prices one launch through the advisor's evaluator (direct
+// device estimation when no evaluator is attached).
+func (ad *Advisor) estimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*cpu.Result, error) {
+	if ad.Eval != nil {
+		return ad.Eval.Estimate(k, args, nd)
+	}
+	return ad.Dev.Estimate(k, args, nd)
+}
+
+// estimateAll prices a candidate set, in parallel when an evaluator is
+// attached and serially otherwise.
+func (ad *Advisor) estimateAll(label string, launches []search.Launch) ([]*cpu.Result, []error) {
+	if ad.Eval != nil {
+		return ad.Eval.EstimateAll(label, launches)
+	}
+	res := make([]*cpu.Result, len(launches))
+	errs := make([]error, len(launches))
+	for i, l := range launches {
+		res[i], errs[i] = ad.Dev.Estimate(l.Kernel, l.Args, l.ND)
+	}
+	return res, errs
 }

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func TestDivisorsLE(t *testing.T) {
+	cases := []struct {
+		n, limit int
+		want     []int
+	}{
+		{12, 12, []int{1, 2, 3, 4, 6, 12}},
+		{12, 5, []int{1, 2, 3, 4}},
+		{7, 1024, []int{1, 7}},
+		{1, 1024, []int{1}},
+		{0, 1024, []int{1}},
+	}
+	for _, c := range cases {
+		if got := divisorsLE(c.n, c.limit); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("divisorsLE(%d, %d) = %v, want %v", c.n, c.limit, got, c.want)
+		}
+	}
+}
+
+// The headline bug: for the paper's Binomialoption geometry (global
+// 255000, Table II) the old power-of-two enumeration offered only
+// {1,2,4,8} and could never express the paper's own local size of 255.
+func TestWorkgroupCandidatesCoverAllDivisors(t *testing.T) {
+	nd := ir.Range1D(255000, 0)
+	candidates := workgroupCandidates(nd, 1024)
+	seen := map[int]bool{}
+	for _, c := range candidates {
+		l := c.Local[0]
+		if l < 1 || l > 1024 {
+			t.Fatalf("candidate local %d out of range", l)
+		}
+		if 255000%l != 0 {
+			t.Fatalf("candidate local %d does not divide 255000", l)
+		}
+		if seen[l] {
+			t.Fatalf("duplicate candidate %d", l)
+		}
+		seen[l] = true
+	}
+	for _, want := range []int{1, 8, 255, 500, 1000} {
+		if !seen[want] {
+			t.Errorf("divisor %d missing from candidates", want)
+		}
+	}
+	if seen[1024] {
+		t.Error("1024 does not divide 255000 but was offered")
+	}
+}
+
+func TestWorkgroupCandidatesRespectDeviceMax(t *testing.T) {
+	for _, c := range workgroupCandidates(ir.Range1D(255000, 0), 256) {
+		if c.Local[0] > 256 {
+			t.Fatalf("candidate %d exceeds device max 256", c.Local[0])
+		}
+	}
+}
+
+func TestWorkgroupCandidates2D(t *testing.T) {
+	nd := ir.Range2D(1024, 768, 0, 0)
+	for _, c := range workgroupCandidates(nd, 1024) {
+		e, f := c.Local[0], c.Local[1]
+		if 1024%e != 0 || 768%f != 0 {
+			t.Fatalf("candidate %dx%d does not divide 1024x768", e, f)
+		}
+		if e*f > 1024 {
+			t.Fatalf("candidate %dx%d exceeds 1024 items", e, f)
+		}
+	}
+}
+
+// Acceptance criterion: Tune on Binomialoption (global 255000) must
+// consider the paper's local size 255 and return a configuration at
+// least as fast as the paper's.
+func TestTuneBinomialReachesPaperConfig(t *testing.T) {
+	ad := NewAdvisor(nil)
+	app := kernels.BinomialOption()
+	paper := app.Configs[0] // 255000 / 255
+	args := app.Make(paper)
+
+	found := false
+	for _, c := range workgroupCandidates(paper, ad.Dev.MaxWorkgroup()) {
+		if c.Local[0] == 255 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("local size 255 not among Binomialoption candidates")
+	}
+
+	paperRes, err := ad.Dev.Estimate(app.Kernel, args, paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ad.Tune(app.Kernel, args, paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Time > paperRes.Time {
+		t.Errorf("tuned config %s (%v) is slower than the paper's 255 (%v)",
+			tr.ND, tr.Time, paperRes.Time)
+	}
+}
+
+// BestWorkgroup must never return a configuration slower than the
+// caller's own geometry — the requested local size is itself a
+// candidate.
+func TestBestWorkgroupNeverRegresses(t *testing.T) {
+	ad := NewAdvisor(nil)
+	apps := []*kernels.App{kernels.Square(), kernels.Reduction(), kernels.BinomialOption()}
+	for _, app := range apps {
+		for _, nd := range app.Configs {
+			args := app.Make(nd)
+			req, err := ad.Dev.Estimate(app.Kernel, args, nd)
+			if err != nil {
+				continue
+			}
+			_, best, err := ad.BestWorkgroup(app.Kernel, args, nd)
+			if err != nil {
+				t.Fatalf("%s %s: %v", app.Name, nd, err)
+			}
+			if best > req.Time {
+				t.Errorf("%s %s: BestWorkgroup time %v regresses the requested %v",
+					app.Name, nd, best, req.Time)
+			}
+		}
+	}
+}
+
+// Property: across the registry, Tune never reports Time > Baseline,
+// and the tuned configuration re-Estimates to exactly the reported
+// Time (the model is deterministic; the tuner must report what the
+// model says, not something it interpolated).
+func TestTunePropertiesAcrossRegistry(t *testing.T) {
+	ad := NewAdvisor(nil)
+	for _, app := range kernels.Registry() {
+		nd := app.DefaultConfig()
+		args := app.Make(nd)
+		tr, err := ad.Tune(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if tr.Time > tr.Baseline {
+			t.Errorf("%s: tuned time %v above baseline %v", app.Name, tr.Time, tr.Baseline)
+		}
+		re, err := ad.Dev.Estimate(tr.Kernel, args, tr.ND)
+		if err != nil {
+			t.Fatalf("%s: re-estimate: %v", app.Name, err)
+		}
+		if re.Time != tr.Time {
+			t.Errorf("%s: reported %v but re-estimates to %v", app.Name, tr.Time, re.Time)
+		}
+	}
+}
+
+// Property: cached parallel search and uncached serial search return
+// identical tuning results (run under -race in CI, exercising the
+// worker pool).
+func TestTuneCacheOnOffIdentical(t *testing.T) {
+	for _, app := range []*kernels.App{kernels.Square(), kernels.BinomialOption(), kernels.MatrixMul()} {
+		nd := app.DefaultConfig()
+		args := app.Make(nd)
+
+		cached := NewAdvisor(nil)
+		trC, err := cached.Tune(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		uncached := NewAdvisor(nil)
+		uncached.Eval = nil // direct serial estimation
+		trU, err := uncached.Tune(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+
+		if trC.ND != trU.ND || trC.Coarsen != trU.Coarsen ||
+			trC.Time != trU.Time || trC.Baseline != trU.Baseline {
+			t.Errorf("%s: cache-on %+v != cache-off %+v", app.Name, trC, trU)
+		}
+		if ir.Format(trC.Kernel) != ir.Format(trU.Kernel) {
+			t.Errorf("%s: tuned kernels differ between cache-on and cache-off", app.Name)
+		}
+		if s := cached.Eval.Stats(); s.Hits == 0 {
+			t.Errorf("%s: cached Tune recorded no hits (%+v)", app.Name, s)
+		}
+	}
+}

@@ -45,6 +45,26 @@ func New(a *arch.CPU) *Device {
 // Name returns the device name.
 func (d *Device) Name() string { return d.A.Name }
 
+// Fingerprint canonically encodes every device-side input of Estimate
+// outside (kernel, args, NDRange): the full arch parameter set plus the
+// runtime knobs. Two devices with equal fingerprints price any launch
+// identically, so the fingerprint is the device part of a search cache
+// key. It is computed per call because knobs like ForceScalar are
+// mutated by ablations between searches.
+func (d *Device) Fingerprint() string {
+	return fmt.Sprintf("cpu|%+v|dl=%d|fs=%t", *d.A, d.DefaultLocal, d.ForceScalar)
+}
+
+// MaxWorkgroup returns the largest workgroup size the device accepts
+// (CL_DEVICE_MAX_WORK_GROUP_SIZE), defaulting to 1024 for presets that
+// predate the field.
+func (d *Device) MaxWorkgroup() int {
+	if d.A.MaxWorkgroup > 0 {
+		return d.A.MaxWorkgroup
+	}
+	return 1024
+}
+
 // ResolveLocal applies the implementation's workgroup-size policy to an
 // NDRange whose local size was left NULL: dimension 0 gets the largest
 // divisor of the global size not exceeding DefaultLocal — shrunk further so

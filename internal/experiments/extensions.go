@@ -11,6 +11,7 @@ import (
 	"clperf/internal/hetero"
 	"clperf/internal/ir"
 	"clperf/internal/kernels"
+	"clperf/internal/obs"
 )
 
 // ExtAffinity demonstrates the paper's section III-E proposal implemented
@@ -114,6 +115,15 @@ func ExtHetero() harness.Experiment {
 		Title: "CPU+GPU co-execution via static partitioning",
 		Run: func(opts harness.Options) (*harness.Report, error) {
 			p := hetero.NewPartitioner(cpu.New(arch.XeonE5645()), gpu.New(arch.GTX580()))
+			// The partitioner's devices are private (no recorder), so its
+			// parallel evaluators are free to run out of order; only the
+			// deterministic search spans and cache counters land on the
+			// experiment's recorder.
+			rec := func() *obs.Recorder { return opts.Obs }
+			p.CPUEval.Rec, p.GPUEval.Rec = rec, rec
+			if opts.NoCache {
+				p.CPUEval.Cache, p.GPUEval.Cache = nil, nil
+			}
 			t := &harness.Table{
 				Title: "Best CPU/GPU split per application (first configuration)",
 				Columns: []string{"Benchmark", "CPU share", "CPU time", "GPU time",

@@ -33,11 +33,11 @@ func Fig6() harness.Experiment {
 				nd := ir.Range1D(ILPItems, 256)
 				flops := microbench.ILPFlopsPerItem(chains) * ILPItems
 
-				cres, err := tb.cpu.Estimate(k, args, nd)
+				cres, err := tb.cpuEstimate(k, args, nd)
 				if err != nil {
 					return nil, err
 				}
-				gres, err := tb.gpu.Estimate(k, args, nd)
+				gres, err := tb.gpuEstimate(k, args, nd)
 				if err != nil {
 					return nil, err
 				}

@@ -37,7 +37,7 @@ func Fig10() harness.Experiment {
 				args := mb.Make()
 				flops := mb.FlopsPerItem * float64(mb.Items)
 
-				cres, err := tb.cpu.Estimate(mb.Kernel, args, nd)
+				cres, err := tb.cpuEstimate(mb.Kernel, args, nd)
 				if err != nil {
 					return nil, fmt.Errorf("%s OpenCL: %w", mb.Name, err)
 				}

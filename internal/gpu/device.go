@@ -45,6 +45,13 @@ func New(a *arch.GPU) *Device {
 // Name returns the device name.
 func (d *Device) Name() string { return d.A.Name }
 
+// Fingerprint canonically encodes every device-side input of Estimate
+// outside (kernel, args, NDRange): the arch parameter set plus the
+// NULL-workgroup policy. It is the device part of a search cache key.
+func (d *Device) Fingerprint() string {
+	return fmt.Sprintf("gpu|%+v|dl=%d", *d.A, d.DefaultLocal)
+}
+
 // ResolveLocal applies the NULL-workgroup policy (largest divisor of the
 // global size not exceeding DefaultLocal).
 func (d *Device) ResolveLocal(nd ir.NDRange) ir.NDRange {

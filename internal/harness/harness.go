@@ -232,6 +232,10 @@ type Options struct {
 	// long-running experiments should poll Ctx.Err() at iteration
 	// boundaries and bail out. Nil means no deadline.
 	Ctx context.Context
+	// NoCache disables the memoized model-evaluation layer
+	// (internal/search) for the experiment's devices, re-pricing every
+	// launch from scratch — the A/B baseline for the cached path.
+	NoCache bool
 }
 
 // Experiment regenerates one paper artifact.

@@ -16,6 +16,8 @@ import (
 	"clperf/internal/cpu"
 	"clperf/internal/gpu"
 	"clperf/internal/ir"
+	"clperf/internal/obs"
+	"clperf/internal/search"
 	"clperf/internal/units"
 )
 
@@ -45,11 +47,44 @@ type Partitioner struct {
 	GPU *gpu.Device
 	// Steps is the granularity of the fraction search (default 16).
 	Steps int
+	// CPUEval and GPUEval memoize and parallelize the device estimates;
+	// NewPartitioner attaches a pair sharing one cache (device
+	// fingerprints keep the keys disjoint). Nil evaluators fall back to
+	// direct serial estimation. Set .Cache = nil on both to disable
+	// memoization (the -nocache A/B path), or .Workers = 1 to force
+	// serial evaluation when the devices record onto an order-sensitive
+	// recorder.
+	CPUEval *search.Evaluator[*cpu.Result]
+	GPUEval *search.Evaluator[*gpu.Result]
 }
 
-// NewPartitioner returns a partitioner over the two devices.
+// NewPartitioner returns a partitioner over the two devices, with
+// memoized parallel evaluators attached.
 func NewPartitioner(c *cpu.Device, g *gpu.Device) *Partitioner {
-	return &Partitioner{CPU: c, GPU: g, Steps: 16}
+	shared := search.NewCache(0)
+	return &Partitioner{
+		CPU: c, GPU: g, Steps: 16,
+		CPUEval: search.NewEvaluator(c.Fingerprint, c.Estimate, shared,
+			func() *obs.Recorder { return c.Obs }),
+		GPUEval: search.NewEvaluator(g.Fingerprint, g.Estimate, shared,
+			func() *obs.Recorder { return g.Obs }),
+	}
+}
+
+// cpuEstimate prices one CPU launch through the evaluator when attached.
+func (p *Partitioner) cpuEstimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*cpu.Result, error) {
+	if p.CPUEval != nil {
+		return p.CPUEval.Estimate(k, args, nd)
+	}
+	return p.CPU.Estimate(k, args, nd)
+}
+
+// gpuEstimate prices one GPU launch through the evaluator when attached.
+func (p *Partitioner) gpuEstimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*gpu.Result, error) {
+	if p.GPUEval != nil {
+		return p.GPUEval.Estimate(k, args, nd)
+	}
+	return p.GPU.Estimate(k, args, nd)
 }
 
 // splitRange cuts nd's dimension 0 after cpuGroups workgroups, returning
@@ -107,18 +142,97 @@ func (p *Partitioner) Partition(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Sp
 		steps = totalGroups
 	}
 
-	var best *Split
+	// Batch every split's device estimates so the evaluators can price
+	// them over their worker pools (and dedupe repeats via the cache).
+	// The assembly below is pure arithmetic in index order, so the chosen
+	// split is independent of evaluation scheduling.
+	type point struct {
+		cpuND, gpuND ir.NDRange
+		cpuIdx       int // index into cpuLaunches, -1 when the CPU share is empty
+		gpuIdx       int
+	}
+	points := make([]point, 0, steps+1)
+	var cpuLaunches, gpuLaunches []search.Launch
 	for i := 0; i <= steps; i++ {
-		cpuGroups := totalGroups * i / steps
-		s, err := p.price(k, args, nd, cpuGroups)
-		if err != nil {
-			return nil, err
+		cpuND, gpuND, ok := splitRange(nd, totalGroups*i/steps)
+		if !ok {
+			return nil, fmt.Errorf("hetero: unresolved local size in %v", nd)
+		}
+		pt := point{cpuND: cpuND, gpuND: gpuND, cpuIdx: -1, gpuIdx: -1}
+		if cpuND.Global[0] > 0 {
+			pt.cpuIdx = len(cpuLaunches)
+			cpuLaunches = append(cpuLaunches, search.Launch{Kernel: k, Args: args, ND: cpuND})
+		}
+		if gpuND.Global[0] > 0 {
+			pt.gpuIdx = len(gpuLaunches)
+			gpuLaunches = append(gpuLaunches, search.Launch{Kernel: k, Args: args, ND: gpuND})
+		}
+		points = append(points, pt)
+	}
+	cpuRes, cpuErrs := p.estimateCPUAll("partition-cpu:"+k.Name, cpuLaunches)
+	gpuRes, gpuErrs := p.estimateGPUAll("partition-gpu:"+k.Name, gpuLaunches)
+
+	var best *Split
+	for _, pt := range points {
+		s := &Split{
+			CPUItems: pt.cpuND.Global[0] * maxi(nd.Global[1], 1),
+			GPUItems: pt.gpuND.Global[0] * maxi(nd.Global[1], 1),
+		}
+		if total := s.CPUItems + s.GPUItems; total > 0 {
+			s.CPUFrac = float64(s.CPUItems) / float64(total)
+		}
+		if pt.cpuIdx >= 0 {
+			if err := cpuErrs[pt.cpuIdx]; err != nil {
+				return nil, err
+			}
+			s.CPUTime = cpuRes[pt.cpuIdx].Time
+		}
+		if pt.gpuIdx >= 0 {
+			if err := gpuErrs[pt.gpuIdx]; err != nil {
+				return nil, err
+			}
+			bytes := gpuShareBytes(args, 1-s.CPUFrac)
+			pcie := p.GPU.A.PCIeLatency +
+				p.GPU.A.PCIeBandwidth.Transfer(units.ByteSize(bytes))
+			s.GPUTime = gpuRes[pt.gpuIdx].Time + pcie
+		}
+		s.Time = s.CPUTime
+		if s.GPUTime > s.Time {
+			s.Time = s.GPUTime
 		}
 		if best == nil || s.Time < best.Time {
 			best = s
 		}
 	}
 	return best, nil
+}
+
+// estimateCPUAll prices a CPU candidate set through the evaluator
+// (serially without one).
+func (p *Partitioner) estimateCPUAll(label string, launches []search.Launch) ([]*cpu.Result, []error) {
+	if p.CPUEval != nil {
+		return p.CPUEval.EstimateAll(label, launches)
+	}
+	res := make([]*cpu.Result, len(launches))
+	errs := make([]error, len(launches))
+	for i, l := range launches {
+		res[i], errs[i] = p.CPU.Estimate(l.Kernel, l.Args, l.ND)
+	}
+	return res, errs
+}
+
+// estimateGPUAll prices a GPU candidate set through the evaluator
+// (serially without one).
+func (p *Partitioner) estimateGPUAll(label string, launches []search.Launch) ([]*gpu.Result, []error) {
+	if p.GPUEval != nil {
+		return p.GPUEval.EstimateAll(label, launches)
+	}
+	res := make([]*gpu.Result, len(launches))
+	errs := make([]error, len(launches))
+	for i, l := range launches {
+		res[i], errs[i] = p.GPU.Estimate(l.Kernel, l.Args, l.ND)
+	}
+	return res, errs
 }
 
 // price evaluates one split.
@@ -137,14 +251,14 @@ func (p *Partitioner) price(k *ir.Kernel, args *ir.Args, nd ir.NDRange, cpuGroup
 	}
 
 	if s.CPUItems > 0 {
-		res, err := p.CPU.Estimate(k, args, cpuND)
+		res, err := p.cpuEstimate(k, args, cpuND)
 		if err != nil {
 			return nil, err
 		}
 		s.CPUTime = res.Time
 	}
 	if s.GPUItems > 0 {
-		res, err := p.GPU.Estimate(k, args, gpuND)
+		res, err := p.gpuEstimate(k, args, gpuND)
 		if err != nil {
 			return nil, err
 		}

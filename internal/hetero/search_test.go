@@ -1,0 +1,66 @@
+package hetero
+
+import (
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/gpu"
+	"clperf/internal/kernels"
+)
+
+func newPair() (*cpu.Device, *gpu.Device) {
+	return cpu.New(arch.XeonE5645()), gpu.New(arch.GTX580())
+}
+
+// Property: the cached parallel partition search returns exactly the
+// split the uncached serial search finds (runs under -race in CI).
+func TestPartitionCacheOnOffIdentical(t *testing.T) {
+	for _, app := range []*kernels.App{kernels.Square(), kernels.VectorAdd(), kernels.BlackScholes()} {
+		nd := app.Configs[0]
+		args := app.Make(nd)
+
+		cached := NewPartitioner(newPair())
+		sC, err := cached.Partition(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+
+		uncached := NewPartitioner(newPair())
+		uncached.CPUEval, uncached.GPUEval = nil, nil
+		sU, err := uncached.Partition(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+
+		if *sC != *sU {
+			t.Errorf("%s: cache-on split %+v != cache-off %+v", app.Name, sC, sU)
+		}
+	}
+}
+
+// The endpoint splits PriceFrac re-prices after Partition must come out
+// of the cache, not re-run the model.
+func TestPartitionSharesCacheWithPriceFrac(t *testing.T) {
+	p := NewPartitioner(newPair())
+	app := kernels.Square()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+	if _, err := p.Partition(app.Kernel, args, nd); err != nil {
+		t.Fatal(err)
+	}
+	before := p.CPUEval.Stats()
+	if _, err := p.PriceFrac(app.Kernel, args, nd, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PriceFrac(app.Kernel, args, nd, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := p.CPUEval.Stats().Sub(before)
+	if d.Misses != 0 {
+		t.Errorf("endpoint re-pricing missed the cache %d times", d.Misses)
+	}
+	if d.Hits == 0 {
+		t.Error("endpoint re-pricing recorded no cache hits")
+	}
+}

@@ -1,0 +1,27 @@
+package search
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func BenchmarkKey(b *testing.B) {
+	app := kernels.BlackScholes()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Key("cpu|x", app.Kernel, args, nd)
+	}
+}
+
+func BenchmarkFormatOnly(b *testing.B) {
+	app := kernels.BlackScholes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ir.Format(app.Kernel)
+	}
+}

@@ -1,0 +1,160 @@
+package search
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCap is the entry bound of a Cache built with NewCache(0). Model
+// evaluations are a few microseconds and a few KB each; 4096 entries cover
+// the largest joint Tune search (11 coarsening factors x ~100 workgroup
+// candidates) with room for a whole experiment sweep.
+const DefaultCap = 4096
+
+// Stats counts cache outcomes. Hits include calls that joined an
+// in-flight evaluation of the same key (the work ran once either way).
+type Stats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// Sub returns the change from an earlier snapshot.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+	}
+}
+
+// HitRate returns hits over lookups (0 before the first lookup).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one memoized evaluation. done is closed when val/err are
+// final, so concurrent callers of the same key wait instead of
+// re-evaluating (single-flight).
+type entry struct {
+	key  string
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a bounded, concurrency-safe memo table from content-addressed
+// launch keys (see Key) to model-evaluation results. Lookups of a key
+// being computed by another goroutine block until that evaluation
+// finishes; completed entries are evicted least-recently-used once the
+// bound is reached. A nil *Cache is a valid pass-through: Do simply
+// calls fn.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // of *entry
+	lru     *list.List               // front = most recently used
+	stats   Stats
+}
+
+// NewCache returns a cache bounded to capacity entries (DefaultCap when
+// capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of resident entries (including in-flight ones).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Do returns the memoized result for key, evaluating fn exactly once per
+// resident key. The outcome reports whether the call was served from the
+// cache (joining an in-flight evaluation counts) and how many entries
+// were evicted to make room. Errors are memoized too: a deterministic
+// model returns the same error for the same launch.
+func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit bool, evicted int, err error) {
+	if c == nil {
+		v, err := fn()
+		return v, false, 0, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, true, 0, e.err
+	}
+	e := &entry{key: key, done: make(chan struct{})}
+	c.entries[key] = c.lru.PushFront(e)
+	c.stats.Misses++
+	evicted = c.evictLocked()
+	c.mu.Unlock()
+
+	defer func() {
+		// Publish even if fn panics, so waiters never deadlock; the panic
+		// still propagates to this caller.
+		if r := recover(); r != nil {
+			e.err = errPanic{r}
+			close(e.done)
+			panic(r)
+		}
+		e.val, e.err = val, err
+		close(e.done)
+	}()
+	val, err = fn()
+	return val, false, evicted, err
+}
+
+// errPanic marks an entry whose evaluation panicked.
+type errPanic struct{ v any }
+
+func (e errPanic) Error() string { return "search: evaluation panicked" }
+
+// evictLocked drops completed least-recently-used entries until the
+// cache is within bound. In-flight entries are skipped: their callers
+// hold references and will publish into them.
+func (c *Cache) evictLocked() int {
+	evicted := 0
+	for el := c.lru.Back(); el != nil && len(c.entries) > c.cap; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		select {
+		case <-e.done:
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			c.stats.Evictions++
+			evicted++
+		default:
+			// still being computed
+		}
+		el = prev
+	}
+	return evicted
+}

@@ -1,0 +1,236 @@
+// Package search is the shared model-evaluation layer behind every
+// launch-parameter search in clperf: core.BestWorkgroup / core.Tune,
+// hetero.Partition and the experiment sweeps. The device models are
+// pure functions of (kernel, args, NDRange, device parameters), so
+// search content-addresses each Device.Estimate result by a canonical
+// fingerprint of exactly those inputs, memoizes it in a bounded
+// single-flight Cache, and prices whole candidate sets over a bounded
+// worker pool (the harness.Runner pattern; the mutex-guarded device
+// clocks make concurrent Estimate safe). Hit/miss/eviction counters and
+// one region span per search flow through internal/obs.
+//
+// Everything the layer records is deterministic — counters derive from
+// the set of distinct launches, spans lie on a logical per-evaluator
+// clock (one tick per candidate), never wall time — so the suite's
+// parallel-determinism invariant survives caching.
+package search
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"clperf/internal/ir"
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+// kernelDigest memoizes the sha256 of each kernel's canonical printed
+// form, keyed by pointer. Formatting and hashing a kernel costs about as
+// much as one model evaluation, so recomputing it per Key would erase
+// the cache's advantage; kernels in this codebase are immutable once
+// built (Coarsen and the generators return fresh values), which makes
+// pointer identity a sound memo key.
+var kernelDigest sync.Map // *ir.Kernel -> string
+
+func digestKernel(k *ir.Kernel) string {
+	if d, ok := kernelDigest.Load(k); ok {
+		return d.(string)
+	}
+	sum := sha256.Sum256([]byte(ir.Format(k)))
+	d := hex.EncodeToString(sum[:])
+	kernelDigest.Store(k, d)
+	return d
+}
+
+// Key returns the content address of one model evaluation: a hash over
+// the device fingerprint (arch parameters plus any estimate-shaping
+// knobs — callers must include everything Estimate reads), a digest of
+// the kernel's canonical printed form, the argument shape (buffer
+// bindings with element type, length and base address; every scalar
+// value, since the static profiler evaluates loop bounds from them),
+// and the NDRange. Two launches with equal keys are priced identically
+// by the model.
+func Key(deviceFP string, k *ir.Kernel, args *ir.Args, nd ir.NDRange) string {
+	var b strings.Builder
+	b.Grow(1 << 10)
+	b.WriteString(deviceFP)
+	b.WriteByte('\n')
+	b.WriteString(digestKernel(k))
+	b.WriteByte('\n')
+	if args != nil {
+		names := make([]string, 0, len(args.Buffers))
+		for n := range args.Buffers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			buf := args.Buffers[n]
+			fmt.Fprintf(&b, "buf %s=%s:%v:%d:%d\n", n, buf.Name, buf.Elem, buf.Len(), buf.Base)
+		}
+		for _, n := range args.ScalarNames() {
+			fmt.Fprintf(&b, "scalar %s=%g\n", n, args.Scalars[n])
+		}
+	}
+	b.WriteString(nd.String())
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Launch is one candidate configuration to price: a kernel (possibly a
+// coarsened variant), its arguments, and the geometry to launch over.
+type Launch struct {
+	Kernel *ir.Kernel
+	Args   *ir.Args
+	ND     ir.NDRange
+}
+
+// Evaluator memoizes and parallelizes one device's Estimate. R is the
+// device's result type (*cpu.Result or *gpu.Result). The zero Workers
+// means GOMAXPROCS; Workers == 1 forces serial evaluation, which keeps
+// the order of device-side observe spans reproducible — required when
+// the underlying device records onto a determinism-checked recorder.
+// A nil Cache disables memoization (every call evaluates), which is the
+// -nocache A/B path.
+type Evaluator[R any] struct {
+	// Fn performs one uncached model evaluation (typically Device.Estimate).
+	Fn func(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (R, error)
+	// DeviceFP returns the device fingerprint folded into every Key. It is
+	// consulted per call because device knobs (e.g. cpu.Device.ForceScalar)
+	// can change between searches and must miss the cache when they do.
+	DeviceFP func() string
+	// Cache memoizes results; may be shared across evaluators of different
+	// result types (values are stored as any) and may be nil.
+	Cache *Cache
+	// Workers bounds EstimateAll's pool (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// Rec returns the recorder receiving search spans and counters; nil
+	// (or a nil recorder) disables recording. Resolved per call so
+	// evaluators built once follow later SetObs-style rewiring.
+	Rec func() *obs.Recorder
+
+	mu    sync.Mutex
+	clock units.Duration // logical search clock: one tick per candidate
+}
+
+// NewEvaluator builds an evaluator over fn with the given fingerprint
+// source, cache and recorder source (each may be nil).
+func NewEvaluator[R any](deviceFP func() string, fn func(*ir.Kernel, *ir.Args, ir.NDRange) (R, error), c *Cache, rec func() *obs.Recorder) *Evaluator[R] {
+	return &Evaluator[R]{Fn: fn, DeviceFP: deviceFP, Cache: c, Rec: rec}
+}
+
+// Stats returns the underlying cache's counters (zero when uncached).
+func (e *Evaluator[R]) Stats() Stats { return e.Cache.Stats() }
+
+func (e *Evaluator[R]) recorder() *obs.Recorder {
+	if e.Rec == nil {
+		return nil
+	}
+	return e.Rec()
+}
+
+// Estimate prices one launch through the cache.
+func (e *Evaluator[R]) Estimate(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (R, error) {
+	r, _, err := e.estimateOne(k, args, nd)
+	return r, err
+}
+
+func (e *Evaluator[R]) estimateOne(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (R, bool, error) {
+	key := Key(e.DeviceFP(), k, args, nd)
+	val, hit, evicted, err := e.Cache.Do(key, func() (any, error) {
+		return e.Fn(k, args, nd)
+	})
+	reg := e.recorder().Registry()
+	if hit {
+		reg.Add("search.cache.hits", 1)
+	} else {
+		reg.Add("search.cache.misses", 1)
+		reg.Add("search.evals", 1)
+	}
+	if evicted > 0 {
+		reg.Add("search.cache.evictions", float64(evicted))
+	}
+	var zero R
+	if err != nil {
+		return zero, hit, err
+	}
+	r, ok := val.(R)
+	if !ok {
+		return zero, hit, fmt.Errorf("search: cached value for %s.. has wrong type %T", key[:12], val)
+	}
+	return r, hit, nil
+}
+
+// EstimateAll prices every launch, returning results and errors aligned
+// by index (a launch either has a result or an error). Evaluation runs
+// on a bounded worker pool; output order is independent of scheduling.
+// One KindRegion span named "search:"+label covers the whole set on the
+// evaluator's logical clock, annotated with candidate/hit/miss counts.
+func (e *Evaluator[R]) EstimateAll(label string, launches []Launch) ([]R, []error) {
+	res := make([]R, len(launches))
+	errs := make([]error, len(launches))
+	before := e.Cache.Stats()
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(launches) {
+		workers = len(launches)
+	}
+	if workers <= 1 {
+		for i, l := range launches {
+			res[i], _, errs[i] = e.estimateOne(l.Kernel, l.Args, l.ND)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					l := launches[i]
+					res[i], _, errs[i] = e.estimateOne(l.Kernel, l.Args, l.ND)
+				}
+			}()
+		}
+		for i := range launches {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	e.noteSearch(label, len(launches), e.Cache.Stats().Sub(before))
+	return res, errs
+}
+
+// noteSearch emits the per-search span and counters. The span occupies
+// one logical tick per candidate so consecutive searches tile the
+// "search" track end to end regardless of wall time.
+func (e *Evaluator[R]) noteSearch(label string, candidates int, delta Stats) {
+	dur := units.Duration(candidates)
+	if dur < 1 {
+		dur = 1
+	}
+	e.mu.Lock()
+	start := e.clock
+	e.clock += dur
+	e.mu.Unlock()
+
+	rec := e.recorder()
+	id := rec.Record(obs.NoParent, obs.KindRegion, "search:"+label, start, start+dur)
+	rec.SetTrack(id, "search")
+	rec.Annotate(id, "candidates", strconv.Itoa(candidates))
+	if e.Cache != nil {
+		rec.Annotate(id, "hits", strconv.FormatUint(delta.Hits, 10))
+		rec.Annotate(id, "misses", strconv.FormatUint(delta.Misses, 10))
+	}
+	reg := rec.Registry()
+	reg.Add("search.searches", 1)
+	reg.Add("search.candidates", float64(candidates))
+}

@@ -1,0 +1,332 @@
+package search
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/obs"
+)
+
+func TestCacheMemoizes(t *testing.T) {
+	c := NewCache(0)
+	calls := 0
+	fn := func() (any, error) { calls++; return 42, nil }
+	v, hit, _, err := c.Do("k", fn)
+	if err != nil || hit || v.(int) != 42 {
+		t.Fatalf("first Do = %v hit=%v err=%v", v, hit, err)
+	}
+	v, hit, _, err = c.Do("k", fn)
+	if err != nil || !hit || v.(int) != 42 {
+		t.Fatalf("second Do = %v hit=%v err=%v", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCacheMemoizesErrors(t *testing.T) {
+	c := NewCache(0)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, _, _, err := c.Do("k", func() (any, error) { calls++; return nil, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("Do err = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1 (errors must be memoized)", calls)
+	}
+}
+
+func TestCacheNilPassthrough(t *testing.T) {
+	var c *Cache
+	calls := 0
+	for i := 0; i < 2; i++ {
+		v, hit, _, err := c.Do("k", func() (any, error) { calls++; return "x", nil })
+		if err != nil || hit || v.(string) != "x" {
+			t.Fatalf("nil cache Do = %v hit=%v err=%v", v, hit, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("nil cache memoized (calls=%d)", calls)
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	fill := func(k string) { c.Do(k, func() (any, error) { return k, nil }) }
+	fill("a")
+	fill("b")
+	fill("a") // a now most recent
+	fill("c") // evicts b
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	calls := 0
+	c.Do("a", func() (any, error) { calls++; return nil, nil })
+	c.Do("b", func() (any, error) { calls++; return nil, nil })
+	if calls != 1 {
+		t.Fatalf("want a resident and b evicted, got %d re-evaluations", calls)
+	}
+	if s := c.Stats(); s.Evictions != 2 { // c's insert evicted b; b's re-insert evicted something again
+		t.Logf("stats = %+v", s)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(0)
+	var mu sync.Mutex
+	calls := 0
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, _, err := c.Do("k", func() (any, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				<-release
+				return 7, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = v.(int)
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn ran %d times under concurrency, want 1", calls)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+	if s := c.Stats(); s.Hits+s.Misses != waiters || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d lookups", s, waiters)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	app := kernels.BlackScholes()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+	base := Key("dev", app.Kernel, args, nd)
+
+	if k2 := Key("dev", app.Kernel, args, nd); k2 != base {
+		t.Fatal("key not deterministic")
+	}
+	if k2 := Key("other-dev", app.Kernel, args, nd); k2 == base {
+		t.Fatal("device fingerprint not in key")
+	}
+	if k2 := Key("dev", kernels.VectorAdd().Kernel, args, nd); k2 == base {
+		t.Fatal("kernel not in key")
+	}
+	nd2 := nd.WithLocal([3]int{1, 1, 1})
+	if k2 := Key("dev", app.Kernel, args, nd2); k2 == base {
+		t.Fatal("NDRange not in key")
+	}
+	args2 := args.Clone()
+	args2.SetScalar("extra", 3)
+	if k2 := Key("dev", app.Kernel, args2, nd); k2 == base {
+		t.Fatal("scalars not in key")
+	}
+}
+
+func newCPUEvaluator(d *cpu.Device, c *Cache, rec *obs.Recorder) *Evaluator[*cpu.Result] {
+	return NewEvaluator(d.Fingerprint, d.Estimate, c, func() *obs.Recorder { return rec })
+}
+
+func TestEvaluatorMatchesDirectEstimate(t *testing.T) {
+	d := cpu.New(arch.XeonE5645())
+	e := newCPUEvaluator(d, NewCache(0), nil)
+	app := kernels.BlackScholes()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+
+	want, err := d.Estimate(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // miss then hit
+		got, err := e.Estimate(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pass %d: cached result differs from direct Estimate", i)
+		}
+	}
+	if s := e.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEvaluatorFingerprintInvalidates(t *testing.T) {
+	d := cpu.New(arch.XeonE5645())
+	e := newCPUEvaluator(d, NewCache(0), nil)
+	app := kernels.VectorAdd()
+	nd := ir.Range1D(1<<16, 256)
+	args := app.Make(nd)
+
+	vec, err := e.Estimate(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ForceScalar = true // the ablation knob must miss the cache
+	scalar, err := e.Estimate(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Misses != 2 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want 2 misses (fingerprint change must invalidate)", s)
+	}
+	if vec.Cost.Width <= 1 {
+		t.Fatalf("vectorized width = %d, want > 1", vec.Cost.Width)
+	}
+	if scalar.Cost.Width != 1 {
+		t.Fatalf("ForceScalar width = %d, want 1 (stale cached result?)", scalar.Cost.Width)
+	}
+}
+
+func TestEstimateAllParallelMatchesSerial(t *testing.T) {
+	app := kernels.BlackScholes()
+	var launches []Launch
+	for _, local := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		launches = append(launches, Launch{app.Kernel, app.Make(app.Configs[0]), ir.Range1D(1<<16, local)})
+	}
+	// A couple of invalid geometries: errors must stay index-aligned.
+	launches = append(launches, Launch{app.Kernel, app.Make(app.Configs[0]), ir.Range1D(100, 33)})
+
+	run := func(workers int, c *Cache) ([]*cpu.Result, []error) {
+		e := newCPUEvaluator(cpu.New(arch.XeonE5645()), c, nil)
+		e.Workers = workers
+		return e.EstimateAll("test", launches)
+	}
+	serial, serialErrs := run(1, NewCache(0))
+	parallel, parallelErrs := run(8, NewCache(0))
+	uncached, uncachedErrs := run(8, nil)
+
+	for i := range launches {
+		if (serialErrs[i] == nil) != (parallelErrs[i] == nil) || (serialErrs[i] == nil) != (uncachedErrs[i] == nil) {
+			t.Fatalf("launch %d: error mismatch: serial=%v parallel=%v uncached=%v",
+				i, serialErrs[i], parallelErrs[i], uncachedErrs[i])
+		}
+		if serialErrs[i] != nil {
+			continue
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("launch %d: parallel result differs from serial", i)
+		}
+		if !reflect.DeepEqual(serial[i], uncached[i]) {
+			t.Fatalf("launch %d: cached result differs from uncached", i)
+		}
+	}
+	if serialErrs[len(launches)-1] == nil {
+		t.Fatal("invalid geometry did not error")
+	}
+}
+
+func TestEvaluatorObservability(t *testing.T) {
+	rec := obs.NewRecorder()
+	d := cpu.New(arch.XeonE5645())
+	e := newCPUEvaluator(d, NewCache(0), rec)
+	app := kernels.BlackScholes()
+
+	var launches []Launch
+	for _, local := range []int{32, 64, 32} { // one duplicate -> one hit
+		launches = append(launches, Launch{app.Kernel, app.Make(app.Configs[0]), ir.Range1D(1<<12, local)})
+	}
+	e.EstimateAll("wg:blackscholes", launches)
+
+	reg := rec.Registry()
+	if got := reg.Counter("search.cache.misses"); got != 2 {
+		t.Errorf("misses counter = %v, want 2", got)
+	}
+	if got := reg.Counter("search.cache.hits"); got != 1 {
+		t.Errorf("hits counter = %v, want 1", got)
+	}
+	if got := reg.Counter("search.searches"); got != 1 {
+		t.Errorf("searches counter = %v, want 1", got)
+	}
+	if got := reg.Counter("search.candidates"); got != 3 {
+		t.Errorf("candidates counter = %v, want 3", got)
+	}
+
+	var span *obs.Span
+	for _, s := range rec.Spans() {
+		if s.Kind == obs.KindRegion && s.Name == "search:wg:blackscholes" {
+			sp := s
+			span = &sp
+		}
+	}
+	if span == nil {
+		t.Fatal("no search span recorded")
+	}
+	if span.Track != "search" {
+		t.Errorf("span track = %q", span.Track)
+	}
+	attrs := map[string]string{}
+	for _, a := range span.Attrs {
+		attrs[a.Key] = a.Val
+	}
+	if attrs["candidates"] != "3" || attrs["hits"] != "1" || attrs["misses"] != "2" {
+		t.Errorf("span attrs = %v", attrs)
+	}
+}
+
+func TestEvaluatorSharedCacheAcrossResultTypes(t *testing.T) {
+	// One Cache may back evaluators of different R; keys differ by device
+	// fingerprint so entries never collide, but a wrong-type hit must be
+	// reported as an error, not a panic.
+	c := NewCache(0)
+	app := kernels.BlackScholes()
+	nd := app.Configs[0]
+	args := app.Make(nd)
+
+	eInt := NewEvaluator(func() string { return "same" },
+		func(*ir.Kernel, *ir.Args, ir.NDRange) (int, error) { return 1, nil }, c, nil)
+	eStr := NewEvaluator(func() string { return "same" },
+		func(*ir.Kernel, *ir.Args, ir.NDRange) (string, error) { return "x", nil }, c, nil)
+
+	if _, err := eInt.Estimate(app.Kernel, args, nd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eStr.Estimate(app.Kernel, args, nd); err == nil {
+		t.Fatal("wrong-type cache hit did not error")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{Hits: 9, Misses: 1}
+	if got := s.HitRate(); got != 0.9 {
+		t.Errorf("HitRate = %v", got)
+	}
+	if got := (Stats{}).HitRate(); got != 0 {
+		t.Errorf("empty HitRate = %v", got)
+	}
+	d := Stats{Hits: 10, Misses: 4, Evictions: 1}.Sub(Stats{Hits: 9, Misses: 1})
+	if d != (Stats{Hits: 1, Misses: 3, Evictions: 1}) {
+		t.Errorf("Sub = %+v", d)
+	}
+}
