@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke baseline smoke ci clean
+.PHONY: all build vet test race bench bench-smoke baseline bench-compare smoke ci clean
 
 all: build
 
@@ -25,9 +25,14 @@ bench:
 bench-smoke:
 	$(GO) test -bench='Tune|Partition' -benchtime=1x -run=^$$ .
 
-# Regenerate the committed perf baseline (BENCH_pr3.json).
+# Regenerate the committed perf baseline (BENCH_pr4.json).
 baseline:
 	$(GO) run ./cmd/perfbaseline -reps 9
+
+# Gate on perf regressions: fail if suite_ns or the exec_*_ns engine
+# times in the newest baseline regressed >20% vs the previous BENCH_pr*.
+bench-compare:
+	$(GO) run ./cmd/benchcompare -new BENCH_pr4.json -old auto
 
 # Exercise the concurrent suite path end to end: every artifact on 4
 # workers, with a per-experiment timeout as a hang backstop.

@@ -254,6 +254,45 @@ func BenchmarkInterpreterBarriers(b *testing.B) {
 	}
 }
 
+// BenchmarkExecRange compares the closure-compiled execution engine
+// (ir.ExecRange) against the retained tree-walking oracle
+// (ir.ExecRangeOracle) on the two most interpreter-bound apps: the
+// local-memory blocked Matrixmul and the loop-heavy Binomialoption.
+//
+//	go test -bench=ExecRange -benchtime=1x
+//
+// The engine/oracle ratio is the tentpole speedup; cmd/perfbaseline
+// records it as exec_* in BENCH_pr4.json.
+func BenchmarkExecRange(b *testing.B) {
+	cases := []struct {
+		name string
+		app  *kernels.App
+		nd   ir.NDRange
+	}{
+		{"Matrixmul", kernels.MatrixMul(), ir.Range2D(96, 64, 16, 16)},
+		{"Binomialoption", kernels.BinomialOption(), ir.Range1D(255*16, 255)},
+	}
+	for _, c := range cases {
+		args := c.app.Make(c.nd)
+		b.Run(c.name+"/compiled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := ir.ExecRange(c.app.Kernel, args, c.nd, ir.ExecOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/oracle", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := ir.ExecRangeOracle(c.app.Kernel, args, c.nd, ir.ExecOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCacheHierarchy measures the cache simulator's access rate.
 func BenchmarkCacheHierarchy(b *testing.B) {
 	h := cache.NewHierarchy(arch.XeonE5645())

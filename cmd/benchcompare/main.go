@@ -1,0 +1,140 @@
+// Command benchcompare gates perf regressions between committed
+// perfbaseline snapshots (BENCH_pr*.json). It compares the wall-time
+// metrics of a new baseline against an older one and exits non-zero
+// when any gated metric regressed by more than the tolerance.
+//
+// Gated metrics: suite_ns and the exec_*_ns engine times (when both
+// files carry them — older schemas predate the execution engine).
+// Cache-speedup ratios and hit rates are reported but not gated: they
+// compare two measured arms and are noisy in both directions.
+//
+// Usage:
+//
+//	benchcompare -old BENCH_pr3.json -new BENCH_pr4.json
+//	benchcompare -new BENCH_pr4.json -old auto   # latest other BENCH_pr*.json
+//	benchcompare -tolerance 0.2                  # fail above +20% (default)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// metrics is the schema-tolerant view of a perfbaseline file: only the
+// fields benchcompare inspects, so v1 files (no exec_*) parse fine.
+type metrics struct {
+	Schema           string `json:"schema"`
+	CreatedAt        string `json:"created_at"`
+	SuiteNs          int64  `json:"suite_ns"`
+	ExecMatmulNs     int64  `json:"exec_matmul_ns"`
+	ExecBinomialNs   int64  `json:"exec_binomial_ns"`
+	TuneCachedNs     int64  `json:"tune_cached_ns"`
+	PartCachedNs     int64  `json:"partition_cached_ns"`
+	SuiteExperiments int    `json:"suite_experiments"`
+}
+
+func main() {
+	oldPath := flag.String("old", "auto", "old baseline JSON, or 'auto' to pick the latest other BENCH_pr*.json")
+	newPath := flag.String("new", "BENCH_pr4.json", "new baseline JSON")
+	tol := flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing (0.20 = +20%)")
+	flag.Parse()
+
+	if *oldPath == "auto" {
+		p, err := latestOther(*newPath)
+		if err != nil {
+			fatal(err)
+		}
+		*oldPath = p
+	}
+
+	oldM, err := read(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newM, err := read(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance +%.0f%%\n",
+		*oldPath, oldM.Schema, *newPath, newM.Schema, 100**tol)
+
+	failed := 0
+	check := func(name string, oldNs, newNs int64) {
+		// A metric absent from either file (zero) is skipped, not failed:
+		// older schemas predate the execution-engine metrics.
+		if oldNs == 0 || newNs == 0 {
+			fmt.Printf("  %-18s skipped (absent from %s)\n", name,
+				map[bool]string{true: "old", false: "new"}[oldNs == 0])
+			return
+		}
+		change := float64(newNs-oldNs) / float64(oldNs)
+		status := "ok"
+		if change > *tol {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-18s %12v -> %12v  %+6.1f%%  %s\n", name,
+			time.Duration(oldNs).Round(time.Microsecond),
+			time.Duration(newNs).Round(time.Microsecond),
+			100*change, status)
+	}
+	check("suite_ns", oldM.SuiteNs, newM.SuiteNs)
+	check("exec_matmul_ns", oldM.ExecMatmulNs, newM.ExecMatmulNs)
+	check("exec_binomial_ns", oldM.ExecBinomialNs, newM.ExecBinomialNs)
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %d metric(s) regressed more than %.0f%%\n", failed, 100**tol)
+		os.Exit(1)
+	}
+	fmt.Println("no gated regressions")
+}
+
+// latestOther returns the BENCH_pr<N>.json (in newPath's directory) with
+// the highest N, excluding newPath itself — the previous PR's baseline.
+func latestOther(newPath string) (string, error) {
+	dir := filepath.Dir(newPath)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	re := regexp.MustCompile(`^BENCH_pr(\d+)\.json$`)
+	best, bestN := "", -1
+	for _, e := range ents {
+		m := re.FindStringSubmatch(e.Name())
+		if m == nil || e.Name() == filepath.Base(newPath) {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > bestN {
+			bestN, best = n, filepath.Join(dir, e.Name())
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("benchcompare: no other BENCH_pr*.json found in %s", dir)
+	}
+	return best, nil
+}
+
+func read(path string) (*metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcompare:", err)
+	os.Exit(1)
+}

@@ -17,6 +17,9 @@
 //	oclbench -e all -nocache    # disable the memoized estimate layer
 //	                            # (internal/search) for an A/B baseline;
 //	                            # reports are identical with it on or off
+//	oclbench -e all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                            # write pprof profiles of the run; inspect
+//	                            # with `go tool pprof -top cpu.pprof`
 //
 // Failures are isolated: a failing experiment is reported on stderr and
 // the remaining artifacts still run; the exit status is 1 only after
@@ -28,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,7 +41,13 @@ import (
 	"clperf/internal/obs"
 )
 
+// main defers to run so profile flushing (deferred there) survives
+// non-zero exits: os.Exit would skip deferred writes.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		id       = flag.String("e", "all", "experiment id (table1..table5, fig1..fig11, all)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
@@ -47,22 +58,55 @@ func main() {
 		par      = flag.Int("par", 1, "run experiments on N concurrent workers (output stays in paper order)")
 		timeout  = flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 		nocache  = flag.Bool("nocache", false, "disable the memoized model-evaluation layer (A/B baseline; results are identical either way)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oclbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "oclbench: -cpuprofile: %v\n", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oclbench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // flush pending frees so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "oclbench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	if *traceOut != "" {
 		if err := writeQuickstartTrace(*traceOut, *metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "oclbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var exps []harness.Experiment
@@ -72,7 +116,7 @@ func main() {
 		e, err := experiments.ByID(*id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		exps = []harness.Experiment{e}
 	}
@@ -116,8 +160,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "oclbench: %d/%d experiments failed: %s (wall %v)\n",
 			len(failed), len(sum.Results), strings.Join(ids, ", "), sum.Wall.Round(time.Millisecond))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // writeQuickstartTrace replays the quickstart vector-add workload under

@@ -1,13 +1,14 @@
 // Command perfbaseline times the repo's hot paths and writes a JSON
-// baseline for cross-PR comparison (committed as BENCH_pr3.json). It
+// baseline for cross-PR comparison (committed as BENCH_pr4.json). It
 // measures the same session workloads as the root Tune/Partition
-// benchmarks — cached versus the uncached serial seed behavior — plus
-// one full experiment-suite run, and records the search-cache hit rates
-// alongside the wall times.
+// benchmarks — cached versus the uncached serial seed behavior — one
+// full experiment-suite run, and the compiled execution engine against
+// the tree-walk oracle on the BenchmarkExecRange kernels, recording the
+// search-cache hit rates and engine speedups alongside the wall times.
 //
 // Usage:
 //
-//	perfbaseline              # write BENCH_pr3.json
+//	perfbaseline              # write BENCH_pr4.json
 //	perfbaseline -o out.json  # write elsewhere
 //	perfbaseline -reps 5      # median of 5 repetitions per workload
 package main
@@ -29,6 +30,7 @@ import (
 	"clperf/internal/gpu"
 	"clperf/internal/harness"
 	"clperf/internal/hetero"
+	"clperf/internal/ir"
 	"clperf/internal/kernels"
 )
 
@@ -54,15 +56,24 @@ type Baseline struct {
 	PartCPUCacheHitRate  float64 `json:"partition_cpu_cache_hit_rate"`
 	SuiteNs              int64   `json:"suite_ns"`
 	SuiteExperiments     int     `json:"suite_experiments"`
+
+	// Execution-engine medians: the compiled closure engine versus the
+	// retained tree-walk oracle on the BenchmarkExecRange workloads.
+	ExecMatmulNs         int64   `json:"exec_matmul_ns"`
+	ExecMatmulOracleNs   int64   `json:"exec_matmul_oracle_ns"`
+	ExecMatmulSpeedup    float64 `json:"exec_matmul_speedup"`
+	ExecBinomialNs       int64   `json:"exec_binomial_ns"`
+	ExecBinomialOracleNs int64   `json:"exec_binomial_oracle_ns"`
+	ExecBinomialSpeedup  float64 `json:"exec_binomial_speedup"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr3.json", "output path")
+	out := flag.String("o", "BENCH_pr4.json", "output path")
 	reps := flag.Int("reps", 3, "repetitions per workload (median is reported)")
 	flag.Parse()
 
 	b := Baseline{
-		Schema:     "clperf/perfbaseline/v1",
+		Schema:     "clperf/perfbaseline/v2",
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -87,6 +98,11 @@ func main() {
 	b.PartUncachedSerialNs = median(*reps, func() { partitionSession(false) })
 	b.PartSpeedup = ratio(b.PartUncachedSerialNs, b.PartCachedNs)
 
+	b.ExecMatmulNs, b.ExecMatmulOracleNs = execPair(*reps, execMatmul)
+	b.ExecMatmulSpeedup = ratio(b.ExecMatmulOracleNs, b.ExecMatmulNs)
+	b.ExecBinomialNs, b.ExecBinomialOracleNs = execPair(*reps, execBinomial)
+	b.ExecBinomialSpeedup = ratio(b.ExecBinomialOracleNs, b.ExecBinomialNs)
+
 	exps := experiments.All()
 	b.SuiteExperiments = len(exps)
 	b.SuiteNs = median(1, func() {
@@ -110,10 +126,52 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), suite %v\n",
+	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), exec matmul %.2fx binomial %.2fx, suite %v\n",
 		*out, b.TuneSpeedup, 100*b.TuneCacheHitRate,
 		b.PartSpeedup, 100*b.PartCPUCacheHitRate,
+		b.ExecMatmulSpeedup, b.ExecBinomialSpeedup,
 		time.Duration(b.SuiteNs).Round(time.Millisecond))
+}
+
+// execMatmul and execBinomial mirror the root BenchmarkExecRange
+// workloads (the paper's 16x16 matmul tiling and the 255-step binomial
+// tree) so the committed baseline and `go test -bench ExecRange` track
+// the same numbers.
+var (
+	execMatmul = execCase{
+		app: kernels.MatrixMul(),
+		nd:  ir.Range2D(96, 64, 16, 16),
+	}
+	execBinomial = execCase{
+		app: kernels.BinomialOption(),
+		nd:  ir.Range1D(255*16, 255),
+	}
+)
+
+type execCase struct {
+	app *kernels.App
+	nd  ir.NDRange
+}
+
+// execPair returns the median wall time of the compiled engine and of
+// the tree-walk oracle on the same launch. Arguments are built once per
+// arm (setup, not measured) and reused: the kernels overwrite their
+// outputs, so repetitions do identical work.
+func execPair(reps int, c execCase) (engineNs, oracleNs int64) {
+	args := c.app.Make(c.nd)
+	run := func(exec func(*ir.Kernel, *ir.Args, ir.NDRange, ir.ExecOptions) error) int64 {
+		if err := exec(c.app.Kernel, args, c.nd, ir.ExecOptions{}); err != nil {
+			fatal(err) // warm pass: compile once so the engine arm times execution
+		}
+		return median(reps, func() {
+			if err := exec(c.app.Kernel, args, c.nd, ir.ExecOptions{}); err != nil {
+				fatal(err)
+			}
+		})
+	}
+	engineNs = run(ir.ExecRange)
+	oracleNs = run(ir.ExecRangeOracle)
+	return engineNs, oracleNs
 }
 
 // tuneApp and partApp are built once: argument allocation (large

@@ -39,6 +39,9 @@ func (c *Context) hierarchyFor(dev *cpu.Device) *cache.Hierarchy {
 // workgroup->core affinity (clperf_workgroup_affinity). Only the CPU device
 // supports it; on other devices it fails with CL_INVALID_OPERATION, which
 // is exactly the portability/efficiency trade-off the paper discusses.
+// The cache-accurate trace behind the launch runs workgroups in parallel:
+// the execution engine buffers each group's accesses and replays them to
+// the shared hierarchy in deterministic group order.
 func (q *CommandQueue) EnqueueNDRangeKernelPinned(k *Kernel, nd ir.NDRange, aff AffinityFunc) (*KernelEvent, error) {
 	if k.ctx != q.ctx {
 		return nil, wrap(ErrInvalidValue, "kernel from another context")

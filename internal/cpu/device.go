@@ -137,7 +137,10 @@ type LaunchOptions struct {
 	// Parallel sets functional-execution workers (default GOMAXPROCS).
 	Parallel int
 	// Tracer, when set, observes the functional execution's memory
-	// accesses (forces serial execution).
+	// accesses. Tracing no longer forces serial execution: the engine
+	// buffers each workgroup's accesses and flushes them to the tracer
+	// in group order from a single goroutine, so Parallel is honored
+	// while the tracer still sees the serial stream.
 	Tracer ir.Tracer
 }
 

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"runtime"
 
 	"clperf/internal/cache"
 	"clperf/internal/ir"
@@ -54,6 +55,19 @@ func (t *pinnedTracer) Access(addr, size int64, write bool) {
 	t.stalls[t.core] += lat
 }
 
+// AccessBatch implements ir.BatchTracer: one call per workgroup instead
+// of one interface call per access. The records arrive in program order,
+// so the hierarchy sees exactly the serial stream.
+func (t *pinnedTracer) AccessBatch(_ int, recs []ir.Access) {
+	for _, a := range recs {
+		lat := t.hier.Access(t.core, a.Addr, a.Size, a.Write)
+		if a.Write {
+			lat *= 0.5
+		}
+		t.stalls[t.core] += lat
+	}
+}
+
 // LaunchPinned functionally executes the kernel with the given
 // workgroup->core affinity, charging memory time from the (persistent)
 // cache hierarchy instead of the bandwidth floor. Use one hierarchy across
@@ -81,7 +95,11 @@ func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 		phys:   d.A.PhysicalCores(),
 		stalls: map[int]float64{},
 	}
-	if err := ir.ExecRange(k, args, nd, ir.ExecOptions{Tracer: tracer}); err != nil {
+	// Workgroups execute concurrently; the engine buffers each group's
+	// accesses and replays them to the tracer in group order from one
+	// goroutine, so the cache hierarchy observes the serial stream.
+	opts := ir.ExecOptions{Tracer: tracer, Parallel: runtime.GOMAXPROCS(0)}
+	if err := ir.ExecRange(k, args, nd, opts); err != nil {
 		return nil, fmt.Errorf("cpu: pinned execution of %s: %w", k.Name, err)
 	}
 

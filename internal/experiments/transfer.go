@@ -60,19 +60,15 @@ const (
 
 // transferRun executes one app configuration through the cl runtime with
 // the given memory flags policy and transfer API, returning kernel time and
-// total transfer time.
-func transferRun(app *kernels.App, nd ir.NDRange, restrictAccess, hostAlloc bool, api transferAPI) (kernel, transfer units.Duration, err error) {
+// total transfer time. The queue is non-functional (costs only), so args
+// and roles are read-only and the caller shares them across flag/API
+// combinations instead of rebuilding the filled buffers per run.
+func transferRun(app *kernels.App, nd ir.NDRange, args *ir.Args, roles map[string]bufferRole, restrictAccess, hostAlloc bool, api transferAPI) (kernel, transfer units.Duration, err error) {
 	ctx := cl.NewContext(cl.CPUDevice())
 	q := cl.NewQueue(ctx)
 	q.SetFunctional(false)
 
 	k, err := ctx.CreateKernel(app.Kernel)
-	if err != nil {
-		return 0, 0, err
-	}
-	args := app.Make(nd)
-	resolved := cl.CPUDevice().CPU.ResolveLocal(nd)
-	roles, err := bufferRoles(app.Kernel, args, resolved)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -194,12 +190,17 @@ func Fig7() harness.Experiment {
 			for _, app := range apps {
 				for ci, nd := range app.Configs {
 					fig.Labels = append(fig.Labels, fmt.Sprintf("%s_%d", app.Name, ci+1))
+					args := app.Make(nd)
+					roles, err := bufferRoles(app.Kernel, args, cl.CPUDevice().CPU.ResolveLocal(nd))
+					if err != nil {
+						return nil, fmt.Errorf("%s roles: %w", app.Name, err)
+					}
 					for comboIdx, combo := range combos {
-						kc, tc, err := transferRun(app, nd, combo.restrictAccess, combo.hostAlloc, apiCopy)
+						kc, tc, err := transferRun(app, nd, args, roles, combo.restrictAccess, combo.hostAlloc, apiCopy)
 						if err != nil {
 							return nil, fmt.Errorf("%s copy: %w", app.Name, err)
 						}
-						km, tm, err := transferRun(app, nd, combo.restrictAccess, combo.hostAlloc, apiMap)
+						km, tm, err := transferRun(app, nd, args, roles, combo.restrictAccess, combo.hostAlloc, apiMap)
 						if err != nil {
 							return nil, fmt.Errorf("%s map: %w", app.Name, err)
 						}

@@ -1,0 +1,1739 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file lowers a kernel to its compiled form: a flat sequence of
+// slot-indexed closures. Compilation runs once per kernel (cached by
+// canonical-print digest, see compiledProgram); execution then touches no
+// AST nodes, no name maps and no type switches. The lowering performs:
+//
+//   - name resolution: variables, __local arrays, buffers and scalar
+//     parameters become dense slot indices;
+//   - uniformity inference: variables whose every definition is
+//     lane-invariant under uniform control flow are stored as one scalar
+//     per group instead of one value per lane, and uniform loops run as
+//     scalar loops;
+//   - constant folding: operator trees over literals collapse to a single
+//     value at compile time;
+//   - liveness: only variable slots that may be read before their first
+//     unconditional full-mask definition are zeroed per group.
+//
+// Semantics are defined by the retained tree-walk interpreter in
+// oracle.go; differential tests assert byte-identical buffers and
+// identical traced access streams against it.
+
+// uniFn evaluates a lane-invariant expression to its per-group scalar.
+type uniFn func(ex *engineExec) float64
+
+// vecFn evaluates an expression for every lane of the group into out
+// (len == group size). Inactive lanes may receive garbage values; callers
+// only consume active lanes.
+type vecFn func(ex *engineExec, out []float64)
+
+// stmtFn executes one lowered statement under the given lane mask.
+type stmtFn func(ex *engineExec, mask []bool)
+
+// cexpr is a compiled expression: exactly one of uni (lane-invariant) or
+// vec (per-lane) is set. Constants additionally carry their folded value
+// so parent nodes can fold further.
+type cexpr struct {
+	ty      Type
+	uni     uniFn
+	vec     vecFn
+	isConst bool
+	cval    float64
+	// src, when non-nil, returns a slice that directly holds the
+	// expression's per-lane values (variable slots, gid/lid tables) —
+	// consumers may read it without copying, within the same statement.
+	// Set only alongside vec, and only for trace-free leaf expressions.
+	src func(ex *engineExec) []float64
+}
+
+// uniform reports whether the expression is lane-invariant.
+func (c cexpr) uniform() bool { return c.vec == nil }
+
+// grab returns the expression's per-lane values: a zero-copy view when
+// the expression is a direct source, else a pool scratch filled via into.
+// The second result is the number of scratch buffers claimed; callers
+// must ex.putF that many when done with the slice.
+func (c cexpr) grab(ex *engineExec) ([]float64, int) {
+	if c.src != nil {
+		return c.src(ex), 0
+	}
+	t := ex.getF()
+	c.into(ex, t)
+	return t, 1
+}
+
+// into evaluates the expression into out, splatting lane-invariant
+// values. Splatting reproduces the oracle exactly: the tree-walk
+// evaluates uniform subtrees per lane to the same value in every lane.
+func (c cexpr) into(ex *engineExec, out []float64) {
+	if c.vec != nil {
+		c.vec(ex, out)
+		return
+	}
+	v := c.uni(ex)
+	for i := range out {
+		out[i] = v
+	}
+}
+
+func constCexpr(ty Type, v float64) cexpr {
+	return cexpr{ty: ty, isConst: true, cval: v, uni: func(*engineExec) float64 { return v }}
+}
+
+// progLocal is a compiled __local array declaration: its size expression
+// is evaluated per group (workgroup geometry in scope) with lane-0
+// semantics, exactly like the oracle's uniformInt.
+type progLocal struct {
+	name string
+	size cexpr
+}
+
+// program is the compiled, immutable form of a kernel. It is shared by
+// every launch of the kernel (cached by digest) and by all concurrent
+// workers of a launch: all mutable state lives in engineExec.
+type program struct {
+	digest  string
+	name    string
+	nvslots int // per-lane variable slots
+	nuslots int // per-group (uniform) variable slots
+	// zeroSlots lists the vector slots that may be read before an
+	// unconditional full-mask definition; only these are zeroed per group
+	// (a read before any taken assignment is defined to be 0). Uniform
+	// slots are always zeroed — the array is tiny.
+	zeroSlots []int
+	buffers   []string // buffer parameter names in declaration order
+	scalars   []string // scalar parameter names in declaration order
+	locals    []progLocal
+	body      []stmtFn
+}
+
+// ---- program cache ----
+
+// progCacheCap bounds the compiled-program cache. Tuner sweeps revisit a
+// handful of coarsening variants per kernel; 4096 distinct kernels is far
+// beyond any workload here, so eviction is a crude full reset rather than
+// an LRU.
+const progCacheCap = 4096
+
+var progCache = struct {
+	sync.Mutex
+	m map[string]*progEntry
+}{m: map[string]*progEntry{}}
+
+type progEntry struct {
+	done chan struct{}
+	prog *program
+	err  error
+}
+
+// compiledProgram returns the kernel's compiled program, validating and
+// compiling at most once per canonical-print digest (single-flight:
+// concurrent launches of the same kernel share one compilation).
+func compiledProgram(k *Kernel) (*program, error) {
+	d := Digest(k)
+	progCache.Lock()
+	if e, ok := progCache.m[d]; ok {
+		progCache.Unlock()
+		<-e.done
+		return e.prog, e.err
+	}
+	if len(progCache.m) >= progCacheCap {
+		progCache.m = make(map[string]*progEntry)
+	}
+	e := &progEntry{done: make(chan struct{})}
+	progCache.m[d] = e
+	progCache.Unlock()
+
+	if err := Validate(k); err != nil {
+		e.err = err
+	} else {
+		e.prog, e.err = compileKernel(k, d)
+	}
+	close(e.done)
+	return e.prog, e.err
+}
+
+// ---- compiler ----
+
+type compiler struct {
+	k          *Kernel
+	uniformVar map[string]bool
+	vslot      map[string]int
+	uslot      map[string]int
+	nvslots    int
+	nuslots    int
+	bufIdx     map[string]int
+	bufElem    map[string]Type
+	scalIdx    map[string]int
+	locIdx     map[string]int
+}
+
+func (c *compiler) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: kernel %s: "+format, append([]any{c.k.Name}, args...)...)
+}
+
+func compileKernel(k *Kernel, digest string) (*program, error) {
+	c := &compiler{
+		k:       k,
+		vslot:   map[string]int{},
+		uslot:   map[string]int{},
+		bufIdx:  map[string]int{},
+		bufElem: map[string]Type{},
+		scalIdx: map[string]int{},
+		locIdx:  map[string]int{},
+	}
+	p := &program{digest: digest, name: k.Name}
+	for _, prm := range k.Params {
+		switch prm.Kind {
+		case BufferParam:
+			c.bufIdx[prm.Name] = len(p.buffers)
+			c.bufElem[prm.Name] = prm.Elem
+			p.buffers = append(p.buffers, prm.Name)
+		case ScalarParam:
+			c.scalIdx[prm.Name] = len(p.scalars)
+			p.scalars = append(p.scalars, prm.Name)
+		}
+	}
+	for i, la := range k.Locals {
+		c.locIdx[la.Name] = i
+	}
+
+	c.inferUniform()
+	c.assignSlots(k.Body)
+
+	for _, la := range k.Locals {
+		size, err := c.compileExpr(la.Size)
+		if err != nil {
+			return nil, err
+		}
+		p.locals = append(p.locals, progLocal{name: la.Name, size: size})
+	}
+
+	body, err := c.compileStmts(k.Body)
+	if err != nil {
+		return nil, err
+	}
+	p.body = body
+	p.nvslots = c.nvslots
+	p.nuslots = c.nuslots
+	p.zeroSlots = c.liveZeroSlots(k.Body)
+	return p, nil
+}
+
+// inferUniform classifies every variable: uniform iff all of its
+// definitions assign a lane-invariant value under uniform control flow.
+// This is the whole-kernel fixpoint of the validator's flow-sensitive
+// exprUniform — a variable reassigned divergently anywhere is stored
+// per-lane everywhere, which is always safe (uniform values splat).
+func (c *compiler) inferUniform() {
+	c.uniformVar = map[string]bool{}
+	walkStmts(c.k.Body, func(s Stmt) {
+		switch s := s.(type) {
+		case Assign:
+			c.uniformVar[s.Dst] = true
+		case For:
+			c.uniformVar[s.Var] = true
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		demote := func(name string) {
+			if c.uniformVar[name] {
+				c.uniformVar[name] = false
+				changed = true
+			}
+		}
+		var walk func(stmts []Stmt, uniformFlow bool)
+		walk = func(stmts []Stmt, uniformFlow bool) {
+			for _, s := range stmts {
+				switch s := s.(type) {
+				case Assign:
+					if !(uniformFlow && c.exprUniform(s.Val)) {
+						demote(s.Dst)
+					}
+				case If:
+					inner := uniformFlow && c.exprUniform(s.Cond)
+					walk(s.Then, inner)
+					walk(s.Else, inner)
+				case For:
+					if !(uniformFlow && c.exprUniform(s.Start) &&
+						c.exprUniform(s.End) && c.exprUniform(s.Step)) {
+						demote(s.Var)
+					}
+					walk(s.Body, uniformFlow && c.uniformVar[s.Var])
+				}
+			}
+		}
+		walk(c.k.Body, true)
+	}
+}
+
+// exprUniform reports whether e is lane-invariant under the current
+// variable classification. Memory reads are conservatively per-lane.
+func (c *compiler) exprUniform(e Expr) bool {
+	u := true
+	walkExpr(e, func(e Expr) {
+		switch e := e.(type) {
+		case ID:
+			if !e.Fn.Uniform() {
+				u = false
+			}
+		case VarRef:
+			if !c.uniformVar[e.Name] {
+				u = false
+			}
+		case Load, LocalLoad:
+			u = false
+		}
+	})
+	return u
+}
+
+// assignSlots numbers variables densely in definition order, uniform and
+// per-lane variables separately. Definition order makes slot numbering —
+// and hence the compiled program — deterministic for a given kernel.
+func (c *compiler) assignSlots(stmts []Stmt) {
+	define := func(name string) {
+		if c.uniformVar[name] {
+			if _, ok := c.uslot[name]; !ok {
+				c.uslot[name] = c.nuslots
+				c.nuslots++
+			}
+			return
+		}
+		if _, ok := c.vslot[name]; !ok {
+			c.vslot[name] = c.nvslots
+			c.nvslots++
+		}
+	}
+	walkStmts(stmts, func(s Stmt) {
+		switch s := s.(type) {
+		case Assign:
+			define(s.Dst)
+		case For:
+			define(s.Var)
+		}
+	})
+}
+
+// liveZeroSlots returns the vector slots that must be zeroed at group
+// start: every slot with some read not preceded by an unconditional
+// full-mask definition. Only top-level assignments (and top-level For
+// start writes) define all lanes — post-Validate the root mask is full —
+// so only those let the zeroing be skipped; a definition inside any
+// branch or loop body either may not execute or writes a subset of
+// lanes, and stale lanes from the previous group would be observable
+// (expressions evaluate all lanes, and Load traces inactive lanes too).
+func (c *compiler) liveZeroSlots(body []Stmt) []int {
+	need := make([]bool, c.nvslots)
+	fullDef := make([]bool, c.nvslots)
+	scanExpr := func(e Expr) {
+		walkExpr(e, func(e Expr) {
+			if v, ok := e.(VarRef); ok {
+				if s, isVec := c.vslot[v.Name]; isVec && !fullDef[s] {
+					need[s] = true
+				}
+			}
+		})
+	}
+	var scanReads func(stmts []Stmt)
+	scanReads = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case Assign:
+				scanExpr(s.Val)
+			case Store:
+				scanExpr(s.Index)
+				scanExpr(s.Val)
+			case LocalStore:
+				scanExpr(s.Index)
+				scanExpr(s.Val)
+			case AtomicAdd:
+				scanExpr(s.Index)
+				scanExpr(s.Val)
+			case If:
+				scanExpr(s.Cond)
+				scanReads(s.Then)
+				scanReads(s.Else)
+			case For:
+				scanExpr(s.Start)
+				scanExpr(s.End)
+				scanReads(s.Body)
+				scanExpr(s.Step)
+			}
+		}
+	}
+	for _, s := range body {
+		switch s := s.(type) {
+		case Assign:
+			scanExpr(s.Val)
+			if slot, ok := c.vslot[s.Dst]; ok {
+				fullDef[slot] = true
+			}
+		case Store:
+			scanExpr(s.Index)
+			scanExpr(s.Val)
+		case LocalStore:
+			scanExpr(s.Index)
+			scanExpr(s.Val)
+		case AtomicAdd:
+			scanExpr(s.Index)
+			scanExpr(s.Val)
+		case If:
+			scanExpr(s.Cond)
+			scanReads(s.Then)
+			scanReads(s.Else)
+		case For:
+			// The start value is written to the loop variable with the full
+			// mask before the first condition check, unconditionally.
+			scanExpr(s.Start)
+			if slot, ok := c.vslot[s.Var]; ok {
+				fullDef[slot] = true
+			}
+			scanExpr(s.End)
+			scanReads(s.Body)
+			scanExpr(s.Step)
+		}
+	}
+	var slots []int
+	for s, n := range need {
+		if n {
+			slots = append(slots, s)
+		}
+	}
+	return slots
+}
+
+// ---- statement lowering ----
+
+func (c *compiler) compileStmts(stmts []Stmt) ([]stmtFn, error) {
+	var fns []stmtFn
+	for _, s := range stmts {
+		f, err := c.compileStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			fns = append(fns, f)
+		}
+	}
+	return fns, nil
+}
+
+func (c *compiler) compileStmt(s Stmt) (stmtFn, error) {
+	switch s := s.(type) {
+	case Assign:
+		return c.compileAssign(s)
+	case Store:
+		return c.compileStore(s)
+	case LocalStore:
+		return c.compileLocalStore(s)
+	case AtomicAdd:
+		return c.compileAtomicAdd(s)
+	case If:
+		return c.compileIf(s)
+	case For:
+		return c.compileFor(s)
+	case Barrier:
+		// Lockstep execution keeps all workitems aligned, so a barrier under
+		// (validated) uniform control flow is a no-op functionally: it
+		// compiles to nothing.
+		return nil, nil
+	default:
+		return nil, c.errf("unknown statement %T", s)
+	}
+}
+
+func (c *compiler) compileAssign(s Assign) (stmtFn, error) {
+	val, err := c.compileExpr(s.Val)
+	if err != nil {
+		return nil, err
+	}
+	isF := s.Val.Type() == F32
+	if c.uniformVar[s.Dst] {
+		// Uniform destination: every definition is lane-invariant under
+		// uniform flow, so the statement runs with all lanes active (or not
+		// at all) and one scalar write replaces the masked lane loop.
+		slot := c.uslot[s.Dst]
+		u := val.uni
+		if isF {
+			return func(ex *engineExec, mask []bool) {
+				ex.uvals[slot] = float64(float32(u(ex)))
+			}, nil
+		}
+		return func(ex *engineExec, mask []bool) {
+			ex.uvals[slot] = math.Trunc(u(ex))
+		}, nil
+	}
+	slot := c.vslot[s.Dst]
+	if val.uniform() {
+		u := val.uni
+		if isF {
+			return func(ex *engineExec, mask []bool) {
+				v := float64(float32(u(ex)))
+				dst := ex.vals[slot]
+				if ex.isFull(mask) {
+					for i := range dst {
+						dst[i] = v
+					}
+					return
+				}
+				for i, m := range mask {
+					if m {
+						dst[i] = v
+					}
+				}
+			}, nil
+		}
+		return func(ex *engineExec, mask []bool) {
+			v := math.Trunc(u(ex))
+			dst := ex.vals[slot]
+			if ex.isFull(mask) {
+				for i := range dst {
+					dst[i] = v
+				}
+				return
+			}
+			for i, m := range mask {
+				if m {
+					dst[i] = v
+				}
+			}
+		}, nil
+	}
+	// Per-lane value: read it through grab (zero-copy for direct sources —
+	// self-assignment aliasing is fine, the rounding is elementwise) and
+	// skip the mask test under the full root mask.
+	if isF {
+		return func(ex *engineExec, mask []bool) {
+			t, nt := val.grab(ex)
+			dst := ex.vals[slot]
+			if ex.isFull(mask) {
+				for i := range dst {
+					dst[i] = float64(float32(t[i]))
+				}
+			} else {
+				for i, m := range mask {
+					if m {
+						dst[i] = float64(float32(t[i]))
+					}
+				}
+			}
+			ex.putF(nt)
+		}, nil
+	}
+	return func(ex *engineExec, mask []bool) {
+		t, nt := val.grab(ex)
+		dst := ex.vals[slot]
+		if ex.isFull(mask) {
+			for i := range dst {
+				dst[i] = math.Trunc(t[i])
+			}
+		} else {
+			for i, m := range mask {
+				if m {
+					dst[i] = math.Trunc(t[i])
+				}
+			}
+		}
+		ex.putF(nt)
+	}, nil
+}
+
+func (c *compiler) compileStore(s Store) (stmtFn, error) {
+	bi, ok := c.bufIdx[s.Buf]
+	if !ok {
+		return nil, c.errf("store to unknown buffer %q", s.Buf)
+	}
+	idx, err := c.compileExpr(s.Index)
+	if err != nil {
+		return nil, err
+	}
+	val, err := c.compileExpr(s.Val)
+	if err != nil {
+		return nil, err
+	}
+	name := s.Buf
+	size := c.bufElem[s.Buf].Size()
+	if idx.uniform() {
+		iu := idx.uni
+		// The index carries no loads (uniform), so hoisting it emits the
+		// same trace; writes still happen per active lane like the oracle.
+		if val.uniform() {
+			vu := val.uni
+			return func(ex *engineExec, mask []bool) {
+				buf := ex.bufs[bi]
+				j := int(iu(ex))
+				v := vu(ex)
+				for _, m := range mask {
+					if !m {
+						continue
+					}
+					if j < 0 || j >= len(buf.Data) {
+						ex.fail("store %s[%d] out of bounds (len %d)", name, j, len(buf.Data))
+					}
+					buf.Set(j, v)
+					if ex.tracing {
+						ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: size, Write: true})
+					}
+				}
+			}, nil
+		}
+		vv := val.vec
+		return func(ex *engineExec, mask []bool) {
+			buf := ex.bufs[bi]
+			j := int(iu(ex))
+			t := ex.getF()
+			vv(ex, t)
+			for i, m := range mask {
+				if !m {
+					continue
+				}
+				if j < 0 || j >= len(buf.Data) {
+					ex.fail("store %s[%d] out of bounds (len %d)", name, j, len(buf.Data))
+				}
+				buf.Set(j, t[i])
+				if ex.tracing {
+					ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: size, Write: true})
+				}
+			}
+			ex.putF(1)
+		}, nil
+	}
+	if p := c.indexPlan(s.Index); p != nil {
+		// The plan is trace-free, so computing the index inside the lane
+		// loop preserves the value stream relative to val's loads.
+		return func(ex *engineExec, mask []bool) {
+			buf := ex.bufs[bi]
+			si, a, b, s2 := p.setup(ex)
+			vs, nv := val.grab(ex)
+			for i, m := range mask {
+				if !m {
+					continue
+				}
+				var j int
+				if s2 == nil {
+					j = int(math.Trunc(si[i])*a + b)
+				} else {
+					j = int(math.Trunc(si[i])*a + math.Trunc(s2[i]))
+				}
+				if j < 0 || j >= len(buf.Data) {
+					ex.fail("store %s[%d] out of bounds (len %d)", name, j, len(buf.Data))
+				}
+				buf.Set(j, vs[i])
+				if ex.tracing {
+					ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: size, Write: true})
+				}
+			}
+			ex.putF(nv)
+		}, nil
+	}
+	return func(ex *engineExec, mask []bool) {
+		buf := ex.bufs[bi]
+		is, ni := idx.grab(ex)
+		vs, nv := val.grab(ex)
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			j := int(is[i])
+			if j < 0 || j >= len(buf.Data) {
+				ex.fail("store %s[%d] out of bounds (len %d)", name, j, len(buf.Data))
+			}
+			buf.Set(j, vs[i])
+			if ex.tracing {
+				ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: size, Write: true})
+			}
+		}
+		ex.putF(ni + nv)
+	}, nil
+}
+
+func (c *compiler) compileLocalStore(s LocalStore) (stmtFn, error) {
+	li, ok := c.locIdx[s.Arr]
+	if !ok {
+		return nil, c.errf("store to undeclared local array %q", s.Arr)
+	}
+	idx, err := c.compileExpr(s.Index)
+	if err != nil {
+		return nil, err
+	}
+	val, err := c.compileExpr(s.Val)
+	if err != nil {
+		return nil, err
+	}
+	name := s.Arr
+	if idx.uniform() && val.uniform() {
+		iu, vu := idx.uni, val.uni
+		// Statements only execute with at least one active lane (the root
+		// mask is full post-Validate and If/For guard on anyActive), so the
+		// oracle's per-active-lane writes of the same value to the same
+		// element collapse to one write.
+		return func(ex *engineExec, mask []bool) {
+			arr := ex.locals[li]
+			j := int(iu(ex))
+			if j < 0 || j >= len(arr) {
+				ex.fail("local store %s[%d] out of bounds (len %d)", name, j, len(arr))
+			}
+			arr[j] = float64(float32(vu(ex)))
+		}, nil
+	}
+	if p := c.indexPlan(s.Index); p != nil {
+		return func(ex *engineExec, mask []bool) {
+			arr := ex.locals[li]
+			si, a, b, s2 := p.setup(ex)
+			vs, nv := val.grab(ex)
+			for i, m := range mask {
+				if !m {
+					continue
+				}
+				var j int
+				if s2 == nil {
+					j = int(math.Trunc(si[i])*a + b)
+				} else {
+					j = int(math.Trunc(si[i])*a + math.Trunc(s2[i]))
+				}
+				if j < 0 || j >= len(arr) {
+					ex.fail("local store %s[%d] out of bounds (len %d)", name, j, len(arr))
+				}
+				arr[j] = float64(float32(vs[i]))
+			}
+			ex.putF(nv)
+		}, nil
+	}
+	return func(ex *engineExec, mask []bool) {
+		arr := ex.locals[li]
+		is, ni := idx.grab(ex)
+		vs, nv := val.grab(ex)
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			j := int(is[i])
+			if j < 0 || j >= len(arr) {
+				ex.fail("local store %s[%d] out of bounds (len %d)", name, j, len(arr))
+			}
+			arr[j] = float64(float32(vs[i]))
+		}
+		ex.putF(ni + nv)
+	}, nil
+}
+
+func (c *compiler) compileAtomicAdd(s AtomicAdd) (stmtFn, error) {
+	li, ok := c.locIdx[s.Arr]
+	if !ok {
+		return nil, c.errf("atomic add to undeclared local array %q", s.Arr)
+	}
+	idx, err := c.compileExpr(s.Index)
+	if err != nil {
+		return nil, err
+	}
+	val, err := c.compileExpr(s.Val)
+	if err != nil {
+		return nil, err
+	}
+	name := s.Arr
+	// No collapsed fast path: repeated adds to one element must apply in
+	// lane order for bit-identical float rounding.
+	return func(ex *engineExec, mask []bool) {
+		arr := ex.locals[li]
+		is, ni := idx.grab(ex)
+		vs, nv := val.grab(ex)
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			j := int(is[i])
+			if j < 0 || j >= len(arr) {
+				ex.fail("atomic add %s[%d] out of bounds (len %d)", name, j, len(arr))
+			}
+			arr[j] += vs[i]
+		}
+		ex.putF(ni + nv)
+	}, nil
+}
+
+func (c *compiler) compileIf(s If) (stmtFn, error) {
+	cond, err := c.compileExpr(s.Cond)
+	if err != nil {
+		return nil, err
+	}
+	thenFns, err := c.compileStmts(s.Then)
+	if err != nil {
+		return nil, err
+	}
+	elseFns, err := c.compileStmts(s.Else)
+	if err != nil {
+		return nil, err
+	}
+	if cond.uniform() {
+		// Uniform condition: all active lanes agree, so the branch masks are
+		// the incoming mask or empty — a scalar branch, no mask build.
+		u := cond.uni
+		return func(ex *engineExec, mask []bool) {
+			if u(ex) != 0 {
+				for _, f := range thenFns {
+					f(ex, mask)
+				}
+			} else {
+				for _, f := range elseFns {
+					f(ex, mask)
+				}
+			}
+		}, nil
+	}
+	// Divergent condition: build branch masks in one pass, fused with the
+	// any-active scan, and skip the else mask entirely for the common
+	// else-less If. The condition may contain loads, so it always
+	// evaluates (for the trace) even when both branches are empty.
+	hasThen, hasElse := len(thenFns) > 0, len(elseFns) > 0
+	switch {
+	case hasThen && !hasElse:
+		return func(ex *engineExec, mask []bool) {
+			cb, nc := cond.grab(ex)
+			thenMask := ex.getB()
+			any := false
+			for i, m := range mask {
+				t := m && cb[i] != 0
+				thenMask[i] = t
+				if t {
+					any = true
+				}
+			}
+			if any {
+				for _, f := range thenFns {
+					f(ex, thenMask)
+				}
+			}
+			ex.putB(1)
+			ex.putF(nc)
+		}, nil
+	case !hasThen && hasElse:
+		return func(ex *engineExec, mask []bool) {
+			cb, nc := cond.grab(ex)
+			elseMask := ex.getB()
+			any := false
+			for i, m := range mask {
+				e := m && cb[i] == 0
+				elseMask[i] = e
+				if e {
+					any = true
+				}
+			}
+			if any {
+				for _, f := range elseFns {
+					f(ex, elseMask)
+				}
+			}
+			ex.putB(1)
+			ex.putF(nc)
+		}, nil
+	case !hasThen && !hasElse:
+		return func(ex *engineExec, mask []bool) {
+			cb, nc := cond.grab(ex)
+			_ = cb
+			ex.putF(nc)
+		}, nil
+	default:
+		return func(ex *engineExec, mask []bool) {
+			cb, nc := cond.grab(ex)
+			thenMask := ex.getB()
+			elseMask := ex.getB()
+			anyT, anyE := false, false
+			for i, m := range mask {
+				t := m && cb[i] != 0
+				e := m && !t
+				thenMask[i] = t
+				elseMask[i] = e
+				if t {
+					anyT = true
+				}
+				if e {
+					anyE = true
+				}
+			}
+			if anyT {
+				for _, f := range thenFns {
+					f(ex, thenMask)
+				}
+			}
+			if anyE {
+				for _, f := range elseFns {
+					f(ex, elseMask)
+				}
+			}
+			ex.putB(2)
+			ex.putF(nc)
+		}, nil
+	}
+}
+
+func (c *compiler) compileFor(s For) (stmtFn, error) {
+	start, err := c.compileExpr(s.Start)
+	if err != nil {
+		return nil, err
+	}
+	end, err := c.compileExpr(s.End)
+	if err != nil {
+		return nil, err
+	}
+	step, err := c.compileExpr(s.Step)
+	if err != nil {
+		return nil, err
+	}
+	bodyFns, err := c.compileStmts(s.Body)
+	if err != nil {
+		return nil, err
+	}
+	name := s.Var
+	if c.uniformVar[s.Var] {
+		// Uniform loop: bounds are lane-invariant and the enclosing flow is
+		// uniform, so all active lanes iterate in lockstep — the loop
+		// variable and condition run as scalars. Bound expressions carry no
+		// loads (uniform), so re-evaluating them per iteration as scalars
+		// emits exactly the oracle's (empty) trace for the loop machinery.
+		uslot := c.uslot[s.Var]
+		su, eu, tu := start.uni, end.uni, step.uni
+		return func(ex *engineExec, mask []bool) {
+			v := math.Trunc(su(ex))
+			ex.uvals[uslot] = v
+			for iter := 0; ; iter++ {
+				if iter >= maxLoopIter {
+					ex.fail("loop over %s exceeded %d iterations", name, maxLoopIter)
+				}
+				if !(v < eu(ex)) {
+					break
+				}
+				for _, f := range bodyFns {
+					f(ex, mask)
+				}
+				v = math.Trunc(v + tu(ex))
+				ex.uvals[uslot] = v
+			}
+		}, nil
+	}
+	// Divergent loop (per-lane trip counts). Lane-invariant bounds still
+	// evaluate as scalars — a splatted bound compares bitwise-identically
+	// lane by lane, and uniform expressions carry no loads so the trace is
+	// unchanged.
+	slot := c.vslot[s.Var]
+	return func(ex *engineExec, mask []bool) {
+		v := ex.vals[slot]
+		if start.uniform() {
+			x := math.Trunc(start.uni(ex))
+			if ex.isFull(mask) {
+				for i := range v {
+					v[i] = x
+				}
+			} else {
+				for i, m := range mask {
+					if m {
+						v[i] = x
+					}
+				}
+			}
+		} else {
+			st := ex.getF()
+			start.vec(ex, st)
+			for i, m := range mask {
+				if m {
+					v[i] = math.Trunc(st[i])
+				}
+			}
+			ex.putF(1)
+		}
+
+		loopMask := ex.getB()
+		copy(loopMask, mask)
+		var eb, sb []float64
+		if !end.uniform() {
+			eb = ex.getF()
+		}
+		if !step.uniform() {
+			sb = ex.getF()
+		}
+		for iter := 0; ; iter++ {
+			if iter >= maxLoopIter {
+				ex.fail("loop over %s exceeded %d iterations", name, maxLoopIter)
+			}
+			live := false
+			if eb == nil {
+				e := end.uni(ex)
+				for i, m := range loopMask {
+					if m && v[i] < e {
+						live = true
+					} else {
+						loopMask[i] = false
+					}
+				}
+			} else {
+				end.vec(ex, eb)
+				for i, m := range loopMask {
+					if m && v[i] < eb[i] {
+						live = true
+					} else {
+						loopMask[i] = false
+					}
+				}
+			}
+			if !live {
+				break
+			}
+			for _, f := range bodyFns {
+				f(ex, loopMask)
+			}
+			if sb == nil {
+				t := step.uni(ex)
+				for i, m := range loopMask {
+					if m {
+						v[i] = math.Trunc(v[i] + t)
+					}
+				}
+			} else {
+				step.vec(ex, sb)
+				for i, m := range loopMask {
+					if m {
+						v[i] = math.Trunc(v[i] + sb[i])
+					}
+				}
+			}
+		}
+		if eb != nil {
+			ex.putF(1)
+		}
+		if sb != nil {
+			ex.putF(1)
+		}
+		ex.putB(1)
+	}, nil
+}
+
+// ---- fused index plans ----
+
+// idxPlan is a fused single-pass index computation for gather/scatter
+// loops: j[i] = Trunc(src[i])*scale + off, where off is a uniform scalar
+// or a second per-lane source (off2). Detecting the common AddI/MulI
+// index shapes here lets loads and local stores compute the index inside
+// their own lane loop — no scratch buffers, no separate evalBin passes.
+//
+// Bit-exactness: the fused formula IS the unfused per-lane arithmetic.
+// MulI(x,u) evaluates Trunc(x)*Trunc(u); the enclosing AddI re-truncates
+// that product, but a product of integral float64s is always integral
+// (float spacing above 2^52 is >= 1), so the Trunc is the identity and
+// dropping it cannot change the value. x*1 == x and commuted AddI/MulI
+// operands are bitwise-equal in IEEE 754, covering the mirrored matches
+// and the defaulted scale. Source leaves and uniform subexpressions are
+// trace-free, so fusing cannot reorder or drop trace records.
+type idxPlan struct {
+	src   func(*engineExec) []float64
+	scale uniFn                       // nil: 1
+	off   uniFn                       // nil: 0
+	off2  func(*engineExec) []float64 // per-lane additive term, excludes off
+}
+
+// setup evaluates the plan's uniform parts once per use.
+func (p *idxPlan) setup(ex *engineExec) (s []float64, a, b float64, s2 []float64) {
+	s = p.src(ex)
+	a, b = 1, 0
+	if p.scale != nil {
+		a = math.Trunc(p.scale(ex))
+	}
+	if p.off != nil {
+		b = math.Trunc(p.off(ex))
+	}
+	if p.off2 != nil {
+		s2 = p.off2(ex)
+	}
+	return
+}
+
+// planSrcOf returns a direct per-lane view for source-leaf expressions.
+func (c *compiler) planSrcOf(e Expr) func(*engineExec) []float64 {
+	switch v := e.(type) {
+	case VarRef:
+		if !c.uniformVar[v.Name] {
+			if slot, ok := c.vslot[v.Name]; ok {
+				return func(ex *engineExec) []float64 { return ex.vals[slot] }
+			}
+		}
+	case ID:
+		if v.Dim >= 0 && v.Dim <= 2 {
+			d := v.Dim
+			switch v.Fn {
+			case GlobalID:
+				return func(ex *engineExec) []float64 { return ex.gid[d] }
+			case LocalID:
+				return func(ex *engineExec) []float64 { return ex.lid[d] }
+			}
+		}
+	}
+	return nil
+}
+
+// indexPlan matches e against the fusable index shapes, returning nil
+// when e needs the general evaluation path.
+func (c *compiler) indexPlan(e Expr) *idxPlan {
+	uniOf := func(e Expr) uniFn {
+		if !c.exprUniform(e) {
+			return nil
+		}
+		ce, err := c.compileExpr(e)
+		if err != nil || !ce.uniform() {
+			return nil
+		}
+		return ce.uni
+	}
+	mulOf := func(e Expr) (func(*engineExec) []float64, uniFn) {
+		b, ok := e.(Bin)
+		if !ok || b.Op != MulI {
+			return nil, nil
+		}
+		if s := c.planSrcOf(b.X); s != nil {
+			if u := uniOf(b.Y); u != nil {
+				return s, u
+			}
+		}
+		if s := c.planSrcOf(b.Y); s != nil {
+			if u := uniOf(b.X); u != nil {
+				return s, u
+			}
+		}
+		return nil, nil
+	}
+	if b, ok := e.(Bin); ok && b.Op == AddI {
+		try := func(x, y Expr) *idxPlan {
+			var p idxPlan
+			if s, u := mulOf(x); s != nil {
+				p.src, p.scale = s, u
+			} else if s := c.planSrcOf(x); s != nil {
+				p.src = s
+			} else {
+				return nil
+			}
+			if u := uniOf(y); u != nil {
+				p.off = u
+				return &p
+			}
+			if s2 := c.planSrcOf(y); s2 != nil {
+				p.off2 = s2
+				return &p
+			}
+			return nil
+		}
+		if p := try(b.X, b.Y); p != nil {
+			return p
+		}
+		if p := try(b.Y, b.X); p != nil {
+			return p
+		}
+		return nil
+	}
+	if s, u := mulOf(e); s != nil {
+		return &idxPlan{src: s, scale: u}
+	}
+	return nil
+}
+
+// ---- expression lowering ----
+
+func (c *compiler) compileExpr(e Expr) (cexpr, error) {
+	switch e := e.(type) {
+	case ConstFloat:
+		return constCexpr(F32, e.V), nil
+	case ConstInt:
+		return constCexpr(I32, float64(e.V)), nil
+	case VarRef:
+		if c.uniformVar[e.Name] {
+			slot, ok := c.uslot[e.Name]
+			if !ok {
+				return cexpr{}, c.errf("read of undefined variable %q", e.Name)
+			}
+			return cexpr{ty: e.Ty, uni: func(ex *engineExec) float64 { return ex.uvals[slot] }}, nil
+		}
+		slot, ok := c.vslot[e.Name]
+		if !ok {
+			return cexpr{}, c.errf("read of undefined variable %q", e.Name)
+		}
+		return cexpr{
+			ty:  e.Ty,
+			vec: func(ex *engineExec, out []float64) { copy(out, ex.vals[slot]) },
+			src: func(ex *engineExec) []float64 { return ex.vals[slot] },
+		}, nil
+	case ParamRef:
+		idx, ok := c.scalIdx[e.Name]
+		if !ok {
+			return cexpr{}, c.errf("read of unbound scalar parameter %q", e.Name)
+		}
+		return cexpr{ty: e.Ty, uni: func(ex *engineExec) float64 { return ex.scalars[idx] }}, nil
+	case ID:
+		return c.compileID(e)
+	case Bin:
+		return c.compileBin(e)
+	case Call:
+		return c.compileCall(e)
+	case Load:
+		return c.compileLoad(e)
+	case LocalLoad:
+		return c.compileLocalLoad(e)
+	case Select:
+		return c.compileSelect(e)
+	case ToFloat:
+		x, err := c.compileExpr(e.X)
+		if err != nil {
+			return cexpr{}, err
+		}
+		x.ty = F32
+		return x, nil
+	case ToInt:
+		x, err := c.compileExpr(e.X)
+		if err != nil {
+			return cexpr{}, err
+		}
+		if x.isConst {
+			return constCexpr(I32, math.Trunc(x.cval)), nil
+		}
+		if x.uniform() {
+			u := x.uni
+			return cexpr{ty: I32, uni: func(ex *engineExec) float64 { return math.Trunc(u(ex)) }}, nil
+		}
+		vec := x.vec
+		return cexpr{ty: I32, vec: func(ex *engineExec, out []float64) {
+			vec(ex, out)
+			for i := range out {
+				out[i] = math.Trunc(out[i])
+			}
+		}}, nil
+	default:
+		return cexpr{}, c.errf("unknown expression %T", e)
+	}
+}
+
+func (c *compiler) compileID(e ID) (cexpr, error) {
+	d := e.Dim
+	if d < 0 || d > 2 {
+		return cexpr{}, c.errf("%s dimension %d out of range", e.Fn, d)
+	}
+	switch e.Fn {
+	case GlobalID:
+		return cexpr{
+			ty:  I32,
+			vec: func(ex *engineExec, out []float64) { copy(out, ex.gid[d]) },
+			src: func(ex *engineExec) []float64 { return ex.gid[d] },
+		}, nil
+	case LocalID:
+		return cexpr{
+			ty:  I32,
+			vec: func(ex *engineExec, out []float64) { copy(out, ex.lid[d]) },
+			src: func(ex *engineExec) []float64 { return ex.lid[d] },
+		}, nil
+	case GroupID:
+		return cexpr{ty: I32, uni: func(ex *engineExec) float64 { return ex.grp[d] }}, nil
+	case GlobalSize:
+		return cexpr{ty: I32, uni: func(ex *engineExec) float64 { return ex.gsz[d] }}, nil
+	case LocalSize:
+		return cexpr{ty: I32, uni: func(ex *engineExec) float64 { return ex.lsz[d] }}, nil
+	case NumGroups:
+		return cexpr{ty: I32, uni: func(ex *engineExec) float64 { return ex.ngr[d] }}, nil
+	}
+	return cexpr{}, c.errf("unknown id function %v", e.Fn)
+}
+
+func (c *compiler) compileBin(e Bin) (cexpr, error) {
+	x, err := c.compileExpr(e.X)
+	if err != nil {
+		return cexpr{}, err
+	}
+	y, err := c.compileExpr(e.Y)
+	if err != nil {
+		return cexpr{}, err
+	}
+	ty := e.Type()
+	f := binScalarOp(e.Op)
+	if x.isConst && y.isConst {
+		return constCexpr(ty, f(x.cval, y.cval)), nil
+	}
+	if x.uniform() && y.uniform() {
+		xu, yu := x.uni, y.uni
+		return cexpr{ty: ty, uni: func(ex *engineExec) float64 {
+			return f(xu(ex), yu(ex))
+		}}, nil
+	}
+	// At least one side is per-lane. Evaluation stays in oracle trace
+	// order — loads in X trace before loads in Y — but uniform sides run
+	// through the scalar-operand kernels (no splat buffer), direct sources
+	// are read in place (no copy), and the per-lane side lands in out so
+	// the op can run in place (elementwise, so aliasing is safe). Uniform
+	// and source operands are trace-free, which is what makes reordering
+	// their evaluation around the other side unobservable.
+	op := e.Op
+	switch {
+	case x.uniform():
+		xu := x.uni
+		if y.src != nil {
+			ysrc := y.src
+			return cexpr{ty: ty, vec: func(ex *engineExec, out []float64) {
+				evalBinSV(op, xu(ex), ysrc(ex), out)
+			}}, nil
+		}
+		yv := y.vec
+		return cexpr{ty: ty, vec: func(ex *engineExec, out []float64) {
+			xs := xu(ex)
+			yv(ex, out)
+			evalBinSV(op, xs, out, out)
+		}}, nil
+	case y.uniform():
+		yu := y.uni
+		if x.src != nil {
+			xsrc := x.src
+			return cexpr{ty: ty, vec: func(ex *engineExec, out []float64) {
+				evalBinVS(op, xsrc(ex), yu(ex), out)
+			}}, nil
+		}
+		xv := x.vec
+		return cexpr{ty: ty, vec: func(ex *engineExec, out []float64) {
+			xv(ex, out)
+			evalBinVS(op, out, yu(ex), out)
+		}}, nil
+	case x.src != nil && y.src != nil:
+		xsrc, ysrc := x.src, y.src
+		return cexpr{ty: ty, vec: func(ex *engineExec, out []float64) {
+			evalBin(op, xsrc(ex), ysrc(ex), out)
+		}}, nil
+	case x.src != nil:
+		xsrc, yv := x.src, y.vec
+		return cexpr{ty: ty, vec: func(ex *engineExec, out []float64) {
+			yv(ex, out)
+			evalBin(op, xsrc(ex), out, out)
+		}}, nil
+	case y.src != nil:
+		xv, ysrc := x.vec, y.src
+		return cexpr{ty: ty, vec: func(ex *engineExec, out []float64) {
+			xv(ex, out)
+			evalBin(op, out, ysrc(ex), out)
+		}}, nil
+	default:
+		xv, yv := x.vec, y.vec
+		return cexpr{ty: ty, vec: func(ex *engineExec, out []float64) {
+			xv(ex, out)
+			ys := ex.getF()
+			yv(ex, ys)
+			evalBin(op, out, ys, out)
+			ex.putF(1)
+		}}, nil
+	}
+}
+
+func (c *compiler) compileCall(e Call) (cexpr, error) {
+	if len(e.Args) != e.Fn.NumArgs() {
+		return cexpr{}, c.errf("%s expects %d args, got %d", e.Fn, e.Fn.NumArgs(), len(e.Args))
+	}
+	if e.Fn == FMA {
+		a, err := c.compileExpr(e.Args[0])
+		if err != nil {
+			return cexpr{}, err
+		}
+		b, err := c.compileExpr(e.Args[1])
+		if err != nil {
+			return cexpr{}, err
+		}
+		cc, err := c.compileExpr(e.Args[2])
+		if err != nil {
+			return cexpr{}, err
+		}
+		if a.isConst && b.isConst && cc.isConst {
+			return constCexpr(F32, a.cval*b.cval+cc.cval), nil
+		}
+		if a.uniform() && b.uniform() && cc.uniform() {
+			au, bu, cu := a.uni, b.uni, cc.uni
+			return cexpr{ty: F32, uni: func(ex *engineExec) float64 {
+				return au(ex)*bu(ex) + cu(ex)
+			}}, nil
+		}
+		return cexpr{ty: F32, vec: func(ex *engineExec, out []float64) {
+			as, na := a.grab(ex)
+			bs, nb := b.grab(ex)
+			cs, nc := cc.grab(ex)
+			for i := range out {
+				out[i] = as[i]*bs[i] + cs[i]
+			}
+			ex.putF(na + nb + nc)
+		}}, nil
+	}
+	f := builtinScalarOp(e.Fn)
+	if f == nil {
+		return cexpr{}, c.errf("unknown builtin %v", e.Fn)
+	}
+	x, err := c.compileExpr(e.Args[0])
+	if err != nil {
+		return cexpr{}, err
+	}
+	if x.isConst {
+		return constCexpr(F32, f(x.cval)), nil
+	}
+	if x.uniform() {
+		u := x.uni
+		return cexpr{ty: F32, uni: func(ex *engineExec) float64 { return f(u(ex)) }}, nil
+	}
+	fn := e.Fn
+	if x.src != nil {
+		xsrc := x.src
+		return cexpr{ty: F32, vec: func(ex *engineExec, out []float64) {
+			builtinVec(fn, xsrc(ex), out)
+		}}, nil
+	}
+	// Evaluate the operand into out and apply the builtin in place
+	// (elementwise, so the aliasing is safe).
+	vec := x.vec
+	return cexpr{ty: F32, vec: func(ex *engineExec, out []float64) {
+		vec(ex, out)
+		builtinVec(fn, out, out)
+	}}, nil
+}
+
+func (c *compiler) compileLoad(e Load) (cexpr, error) {
+	bi, ok := c.bufIdx[e.Buf]
+	if !ok {
+		return cexpr{}, c.errf("load from unbound buffer %q", e.Buf)
+	}
+	idx, err := c.compileExpr(e.Index)
+	if err != nil {
+		return cexpr{}, err
+	}
+	size := c.bufElem[e.Buf].Size()
+	if idx.uniform() {
+		iu := idx.uni
+		// Uniform index: one bounds check and one memory read, splat the
+		// value. The oracle traces the (identical) access once per lane, so
+		// the buffered trace repeats the record len(out) times.
+		return cexpr{ty: e.Elem, vec: func(ex *engineExec, out []float64) {
+			buf := ex.bufs[bi]
+			j := int(iu(ex))
+			if j < 0 || j >= len(buf.Data) {
+				// Out-of-range lanes leave out untouched, like the oracle's
+				// per-lane clamp.
+				return
+			}
+			v := buf.Data[j]
+			for i := range out {
+				out[i] = v
+			}
+			if ex.tracing {
+				a := Access{Addr: buf.Addr(j), Size: size}
+				for range out {
+					ex.tb = append(ex.tb, a)
+				}
+			}
+		}}, nil
+	}
+	if p := c.indexPlan(e.Index); p != nil {
+		// Fused gather: the index is computed inside the lane loop from the
+		// plan's views, skipping the separate index-evaluation passes.
+		return cexpr{ty: e.Elem, vec: func(ex *engineExec, out []float64) {
+			buf := ex.bufs[bi]
+			data := buf.Data
+			s, a, b, s2 := p.setup(ex)
+			switch {
+			case s2 == nil && !ex.tracing:
+				for i := range out {
+					j := int(math.Trunc(s[i])*a + b)
+					if j < 0 || j >= len(data) {
+						continue
+					}
+					out[i] = data[j]
+				}
+			case s2 == nil:
+				for i := range out {
+					j := int(math.Trunc(s[i])*a + b)
+					if j < 0 || j >= len(data) {
+						continue
+					}
+					out[i] = data[j]
+					ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: size})
+				}
+			case !ex.tracing:
+				for i := range out {
+					j := int(math.Trunc(s[i])*a + math.Trunc(s2[i]))
+					if j < 0 || j >= len(data) {
+						continue
+					}
+					out[i] = data[j]
+				}
+			default:
+				for i := range out {
+					j := int(math.Trunc(s[i])*a + math.Trunc(s2[i]))
+					if j < 0 || j >= len(data) {
+						continue
+					}
+					out[i] = data[j]
+					ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: size})
+				}
+			}
+		}}, nil
+	}
+	return cexpr{ty: e.Elem, vec: func(ex *engineExec, out []float64) {
+		buf := ex.bufs[bi]
+		t, nt := idx.grab(ex)
+		data := buf.Data
+		if ex.tracing {
+			for i := range out {
+				j := int(t[i])
+				if j < 0 || j >= len(data) {
+					continue
+				}
+				out[i] = data[j]
+				ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: size})
+			}
+		} else {
+			for i := range out {
+				j := int(t[i])
+				if j < 0 || j >= len(data) {
+					continue
+				}
+				out[i] = data[j]
+			}
+		}
+		ex.putF(nt)
+	}}, nil
+}
+
+func (c *compiler) compileLocalLoad(e LocalLoad) (cexpr, error) {
+	li, ok := c.locIdx[e.Arr]
+	if !ok {
+		return cexpr{}, c.errf("load from undeclared local array %q", e.Arr)
+	}
+	idx, err := c.compileExpr(e.Index)
+	if err != nil {
+		return cexpr{}, err
+	}
+	if idx.uniform() {
+		iu := idx.uni
+		return cexpr{ty: e.Elem, vec: func(ex *engineExec, out []float64) {
+			arr := ex.locals[li]
+			j := int(iu(ex))
+			if j < 0 || j >= len(arr) {
+				return
+			}
+			v := arr[j]
+			for i := range out {
+				out[i] = v
+			}
+		}}, nil
+	}
+	if p := c.indexPlan(e.Index); p != nil {
+		return cexpr{ty: e.Elem, vec: func(ex *engineExec, out []float64) {
+			arr := ex.locals[li]
+			s, a, b, s2 := p.setup(ex)
+			if s2 == nil {
+				for i := range out {
+					j := int(math.Trunc(s[i])*a + b)
+					if j < 0 || j >= len(arr) {
+						continue
+					}
+					out[i] = arr[j]
+				}
+			} else {
+				for i := range out {
+					j := int(math.Trunc(s[i])*a + math.Trunc(s2[i]))
+					if j < 0 || j >= len(arr) {
+						continue
+					}
+					out[i] = arr[j]
+				}
+			}
+		}}, nil
+	}
+	return cexpr{ty: e.Elem, vec: func(ex *engineExec, out []float64) {
+		arr := ex.locals[li]
+		t, nt := idx.grab(ex)
+		for i := range out {
+			j := int(t[i])
+			if j < 0 || j >= len(arr) {
+				continue
+			}
+			out[i] = arr[j]
+		}
+		ex.putF(nt)
+	}}, nil
+}
+
+func (c *compiler) compileSelect(e Select) (cexpr, error) {
+	cnd, err := c.compileExpr(e.Cond)
+	if err != nil {
+		return cexpr{}, err
+	}
+	thn, err := c.compileExpr(e.Then)
+	if err != nil {
+		return cexpr{}, err
+	}
+	els, err := c.compileExpr(e.Else)
+	if err != nil {
+		return cexpr{}, err
+	}
+	ty := e.Then.Type()
+	if cnd.isConst && thn.isConst && els.isConst {
+		if cnd.cval != 0 {
+			return constCexpr(ty, thn.cval), nil
+		}
+		return constCexpr(ty, els.cval), nil
+	}
+	if cnd.uniform() && thn.uniform() && els.uniform() {
+		cu, tu, eu := cnd.uni, thn.uni, els.uni
+		// All three arms evaluate, like the oracle (Select is branchless).
+		return cexpr{ty: ty, uni: func(ex *engineExec) float64 {
+			cv := cu(ex)
+			tv := tu(ex)
+			ev := eu(ex)
+			if cv != 0 {
+				return tv
+			}
+			return ev
+		}}, nil
+	}
+	return cexpr{ty: ty, vec: func(ex *engineExec, out []float64) {
+		cs, nc := cnd.grab(ex)
+		ts, nt := thn.grab(ex)
+		fs, nf := els.grab(ex)
+		for i := range out {
+			if cs[i] != 0 {
+				out[i] = ts[i]
+			} else {
+				out[i] = fs[i]
+			}
+		}
+		ex.putF(nc + nt + nf)
+	}}, nil
+}
+
+// ---- scalar operator kernels ----
+
+// binScalarOp returns the scalar form of evalBin's per-lane body for op;
+// it must match evalBin bit for bit (note DivI/ModI test the raw divisor
+// before truncating, exactly like the vector kernels).
+func binScalarOp(op BinOp) func(x, y float64) float64 {
+	switch op {
+	case AddF:
+		return func(x, y float64) float64 { return x + y }
+	case SubF:
+		return func(x, y float64) float64 { return x - y }
+	case MulF:
+		return func(x, y float64) float64 { return x * y }
+	case DivF:
+		return func(x, y float64) float64 { return x / y }
+	case MinF:
+		return math.Min
+	case MaxF:
+		return math.Max
+	case AddI:
+		return func(x, y float64) float64 { return math.Trunc(x) + math.Trunc(y) }
+	case SubI:
+		return func(x, y float64) float64 { return math.Trunc(x) - math.Trunc(y) }
+	case MulI:
+		return func(x, y float64) float64 { return math.Trunc(x) * math.Trunc(y) }
+	case DivI:
+		return func(x, y float64) float64 {
+			if y != 0 {
+				return math.Trunc(math.Trunc(x) / math.Trunc(y))
+			}
+			return 0
+		}
+	case ModI:
+		return func(x, y float64) float64 {
+			if y != 0 {
+				return math.Mod(math.Trunc(x), math.Trunc(y))
+			}
+			return 0
+		}
+	case AndI:
+		return func(x, y float64) float64 { return float64(int64(x) & int64(y)) }
+	case OrI:
+		return func(x, y float64) float64 { return float64(int64(x) | int64(y)) }
+	case ShlI:
+		return func(x, y float64) float64 { return float64(int64(x) << uint(int64(y)&63)) }
+	case ShrI:
+		return func(x, y float64) float64 { return float64(int64(x) >> uint(int64(y)&63)) }
+	case LtF, LtI:
+		return func(x, y float64) float64 { return b2f(x < y) }
+	case LeF, LeI:
+		return func(x, y float64) float64 { return b2f(x <= y) }
+	case GtF, GtI:
+		return func(x, y float64) float64 { return b2f(x > y) }
+	case GeF, GeI:
+		return func(x, y float64) float64 { return b2f(x >= y) }
+	case EqF, EqI:
+		return func(x, y float64) float64 { return b2f(x == y) }
+	case NeI:
+		return func(x, y float64) float64 { return b2f(x != y) }
+	}
+	// Unknown operators evaluate to 0, matching evalBin's silent default.
+	return func(x, y float64) float64 { return 0 }
+}
+
+// builtinScalarOp returns the scalar form of the unary builtin, or nil if
+// the builtin is unknown.
+func builtinScalarOp(fn Builtin) func(float64) float64 {
+	switch fn {
+	case Sqrt:
+		return math.Sqrt
+	case Rsqrt:
+		return func(x float64) float64 { return 1 / math.Sqrt(x) }
+	case Exp:
+		return math.Exp
+	case Log:
+		return math.Log
+	case Sin:
+		return math.Sin
+	case Cos:
+		return math.Cos
+	case Fabs:
+		return math.Abs
+	case Floor:
+		return math.Floor
+	}
+	return nil
+}
+
+// builtinVec applies the unary builtin lane-wise, mirroring the oracle's
+// evalCall loops.
+func builtinVec(fn Builtin, x, out []float64) {
+	switch fn {
+	case Sqrt:
+		for i := range out {
+			out[i] = math.Sqrt(x[i])
+		}
+	case Rsqrt:
+		for i := range out {
+			out[i] = 1 / math.Sqrt(x[i])
+		}
+	case Exp:
+		for i := range out {
+			out[i] = math.Exp(x[i])
+		}
+	case Log:
+		for i := range out {
+			out[i] = math.Log(x[i])
+		}
+	case Sin:
+		for i := range out {
+			out[i] = math.Sin(x[i])
+		}
+	case Cos:
+		for i := range out {
+			out[i] = math.Cos(x[i])
+		}
+	case Fabs:
+		for i := range out {
+			out[i] = math.Abs(x[i])
+		}
+	case Floor:
+		for i := range out {
+			out[i] = math.Floor(x[i])
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package ir
+
+import (
+	"sync"
+	"testing"
+)
+
+func cacheTestKernel() *Kernel {
+	return &Kernel{
+		Name:    "cachetest",
+		WorkDim: 1,
+		Params:  []Param{Buf("in"), Buf("out")},
+		Body: []Stmt{
+			Set("v", Mul(LoadF("in", Gid(0)), F(2))),
+			StoreF("out", Gid(0), V("v")),
+		},
+	}
+}
+
+// The program cache is keyed by the canonical-print digest: the same
+// kernel pointer and a structurally identical copy must both resolve to
+// the same compiled program, so tuner sweeps never recompile.
+func TestProgramCacheIdentity(t *testing.T) {
+	k1 := cacheTestKernel()
+	p1, err := compiledProgram(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := compiledProgram(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("same kernel pointer compiled twice")
+	}
+	k2 := cacheTestKernel() // distinct pointer, same canonical print
+	if Digest(k1) != Digest(k2) {
+		t.Fatal("structurally identical kernels must share a digest")
+	}
+	p3, err := compiledProgram(k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Fatal("same-digest kernel recompiled instead of hitting the cache")
+	}
+}
+
+// Concurrent first-touch compiles of the same digest must single-flight to
+// one program (run with -race to check the cache's synchronization).
+func TestProgramCacheSingleFlight(t *testing.T) {
+	k := &Kernel{
+		Name:    "singleflight",
+		WorkDim: 1,
+		Params:  []Param{Buf("out")},
+		Body:    []Stmt{StoreF("out", Gid(0), ToFloat{X: Gid(0)})},
+	}
+	const goroutines = 32
+	progs := make([]*program, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Fresh copies share the digest but not the pointer memo.
+			kc := &Kernel{Name: k.Name, WorkDim: k.WorkDim, Params: k.Params, Body: k.Body}
+			p, err := compiledProgram(kc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("concurrent compiles produced distinct programs")
+		}
+	}
+}
+
+// Variables defined only inside divergent control flow keep their
+// zero-on-group-entry semantics: liveness may skip zeroing only for slots
+// proven written before read at top level.
+func TestSkipZeroingPreservesGroupEntryZero(t *testing.T) {
+	const n, local = 64, 16 // 4 groups
+
+	// Uniform variable assigned only in group 0.
+	uni := &Kernel{
+		Name:    "zero_uni",
+		WorkDim: 1,
+		Params:  []Param{Buf("out")},
+		Body: []Stmt{
+			When(Bin{Op: EqI, X: Grp(0), Y: I(0)}, Set("x", F(5))),
+			StoreF("out", Gid(0), V("x")),
+		},
+	}
+	// Vector variable assigned only in group 0.
+	vec := &Kernel{
+		Name:    "zero_vec",
+		WorkDim: 1,
+		Params:  []Param{Buf("out")},
+		Body: []Stmt{
+			When(Bin{Op: EqI, X: Grp(0), Y: I(0)}, Set("x", ToFloat{X: Gid(0)})),
+			StoreF("out", Gid(0), V("x")),
+		},
+	}
+	for _, k := range []*Kernel{uni, vec} {
+		out := NewBufferF32("out", n)
+		args := NewArgs().Bind("out", out)
+		if err := ExecRange(k, args, Range1D(n, local), ExecOptions{}); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for i := 0; i < n; i++ {
+			want := 0.0
+			if i < local { // group 0
+				want = 5
+				if k.Name == "zero_vec" {
+					want = float64(i)
+				}
+			}
+			if got := out.Get(i); got != want {
+				t.Fatalf("%s: out[%d] = %v, want %v", k.Name, i, got, want)
+			}
+		}
+	}
+}
+
+// A variable written unconditionally at top level before any read needs no
+// per-group zeroing; liveness must prove it dead-on-entry.
+func TestLivenessSkipsProvenSlots(t *testing.T) {
+	k := &Kernel{
+		Name:    "live",
+		WorkDim: 1,
+		Params:  []Param{Buf("in"), Buf("out")},
+		Body: []Stmt{
+			Set("x", LoadF("in", Gid(0))),                            // full top-level def: slot never zeroed
+			When(Bin{Op: GtF, X: V("x"), Y: F(0)}, Set("y", V("x"))), // partial def: zeroed
+			StoreF("out", Gid(0), Add(V("x"), V("y"))),
+		},
+	}
+	prog, err := compiledProgram(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x and y are both per-lane (non-uniform); only y may appear in the
+	// zero list.
+	if prog.nvslots != 2 {
+		t.Fatalf("nvslots = %d, want 2", prog.nvslots)
+	}
+	if len(prog.zeroSlots) != 1 {
+		t.Fatalf("zeroSlots = %v, want exactly the partially-defined slot", prog.zeroSlots)
+	}
+}
+
+// Constant subexpressions fold at compile time without changing results:
+// F32 rounding and integer truncation must match the oracle exactly.
+func TestConstantFoldingMatchesOracle(t *testing.T) {
+	const n, local = 32, 8
+	k := &Kernel{
+		Name:    "fold",
+		WorkDim: 1,
+		Params:  []Param{Buf("out")},
+		Body: []Stmt{
+			Set("a", Add(F(0.1), F(0.2))),
+			Set("b", Divi(I(7), I(2))),
+			Set("c", Modi(I(5), I(0))), // guarded: folds to 0, not a crash
+			StoreF("out", Gid(0), Add(V("a"), Add(V("b"), V("c")))),
+		},
+	}
+	engine := NewArgs().Bind("out", NewBufferF32("out", n))
+	oracle := NewArgs().Bind("out", NewBufferF32("out", n))
+	if err := ExecRange(k, engine, Range1D(n, local), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExecRangeOracle(k, oracle, Range1D(n, local), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if engine.Buffers["out"].Get(i) != oracle.Buffers["out"].Get(i) {
+			t.Fatalf("out[%d]: engine %v, oracle %v",
+				i, engine.Buffers["out"].Get(i), oracle.Buffers["out"].Get(i))
+		}
+	}
+}

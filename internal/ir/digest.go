@@ -1,0 +1,30 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// kernelDigests memoizes Digest per *Kernel. Formatting and hashing a
+// kernel costs about as much as one model evaluation, so recomputing it
+// per lookup would erase any cache's advantage; kernels in this codebase
+// are immutable once built (Coarsen and the generators return fresh
+// values), which makes pointer identity a sound memo key.
+var kernelDigests sync.Map // *Kernel -> string
+
+// Digest returns the sha256 hex digest of the kernel's canonical printed
+// form (Format). It is the shared content address for every per-kernel
+// cache in clperf: the execution engine's compiled-program cache keys on
+// it, and internal/search folds it into model-evaluation keys. Two
+// kernels that print identically share a digest even when they are
+// distinct values (e.g. repeated generator calls).
+func Digest(k *Kernel) string {
+	if d, ok := kernelDigests.Load(k); ok {
+		return d.(string)
+	}
+	sum := sha256.Sum256([]byte(Format(k)))
+	d := hex.EncodeToString(sum[:])
+	kernelDigests.Store(k, d)
+	return d
+}

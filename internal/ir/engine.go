@@ -1,0 +1,209 @@
+package ir
+
+import "fmt"
+
+// engineExec is the per-worker runtime state of the compiled engine. One
+// engineExec executes workgroups sequentially; a parallel launch creates
+// one per worker. All kernel-shape data (slot counts, dense parameter
+// tables, lowered body) lives in the shared immutable program.
+type engineExec struct {
+	prog *program
+	nd   NDRange
+	n    int // workitems per group
+
+	gid [3][]float64 // per-lane global ids, rewritten per group
+	lid [3][]float64 // per-lane local ids, group-invariant
+	grp [3]float64
+	gsz [3]float64 // float64(get_global_size(d)), launch-invariant
+	lsz [3]float64
+	ngr [3]float64
+
+	vals  [][]float64 // per-lane variable slots [slot][lane]
+	uvals []float64   // per-group (uniform) variable slots
+
+	bufs    []*Buffer   // dense buffer bindings, program.buffers order
+	scalars []float64   // dense scalar values, program.scalars order
+	locals  [][]float64 // dense __local arrays, program.locals order
+
+	fullMask []bool // all-true root mask (local divides global post-Validate)
+
+	pool     [][]float64
+	poolNext int
+	bpool    [][]bool
+	bpoolNxt int
+
+	// tracing enables access buffering: closures append to tb, the caller
+	// flushes tb to the Tracer in group order (see exec.go).
+	tracing bool
+	tb      []Access
+}
+
+func newEngineExec(prog *program, args *Args, nd NDRange, tracing bool) *engineExec {
+	n := nd.GroupItems()
+	ex := &engineExec{prog: prog, nd: nd, n: n, tracing: tracing}
+	lx, ly := nd.Local[0], nd.Local[1]
+	if lx == 0 {
+		lx = 1
+	}
+	if ly == 0 {
+		ly = 1
+	}
+	for d := 0; d < 3; d++ {
+		ex.gid[d] = make([]float64, n)
+		ex.lid[d] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		ex.lid[0][i] = float64(i % lx)
+		ex.lid[1][i] = float64((i / lx) % ly)
+		ex.lid[2][i] = float64(i / (lx * ly))
+	}
+	counts := nd.GroupCounts()
+	for d := 0; d < 3; d++ {
+		ex.gsz[d] = float64(max(nd.Global[d], 1))
+		ex.lsz[d] = float64(max(nd.Local[d], 1))
+		ex.ngr[d] = float64(counts[d])
+	}
+
+	ex.vals = make([][]float64, prog.nvslots)
+	for i := range ex.vals {
+		ex.vals[i] = make([]float64, n)
+	}
+	ex.uvals = make([]float64, prog.nuslots)
+
+	ex.bufs = make([]*Buffer, len(prog.buffers))
+	for i, name := range prog.buffers {
+		ex.bufs[i] = args.Buffers[name]
+	}
+	ex.scalars = make([]float64, len(prog.scalars))
+	for i, name := range prog.scalars {
+		ex.scalars[i] = args.Scalars[name]
+	}
+	ex.locals = make([][]float64, len(prog.locals))
+
+	ex.fullMask = make([]bool, n)
+	for i := range ex.fullMask {
+		ex.fullMask[i] = true
+	}
+	return ex
+}
+
+func (ex *engineExec) getF() []float64 {
+	if ex.poolNext < len(ex.pool) {
+		b := ex.pool[ex.poolNext]
+		ex.poolNext++
+		return b
+	}
+	b := make([]float64, ex.n)
+	ex.pool = append(ex.pool, b)
+	ex.poolNext++
+	return b
+}
+
+func (ex *engineExec) putF(n int) { ex.poolNext -= n }
+
+func (ex *engineExec) getB() []bool {
+	if ex.bpoolNxt < len(ex.bpool) {
+		b := ex.bpool[ex.bpoolNxt]
+		ex.bpoolNxt++
+		return b
+	}
+	b := make([]bool, ex.n)
+	ex.bpool = append(ex.bpool, b)
+	ex.bpoolNxt++
+	return b
+}
+
+func (ex *engineExec) putB(n int) { ex.bpoolNxt -= n }
+
+// isFull reports whether mask is the shared all-true root mask, enabling
+// unmasked fast paths. Identity (not content) is checked: divergent
+// constructs always allocate fresh masks, and group size is >= 1.
+func (ex *engineExec) isFull(mask []bool) bool {
+	return &mask[0] == &ex.fullMask[0]
+}
+
+func (ex *engineExec) fail(format string, args ...any) {
+	panic(execError{fmt.Errorf("ir: kernel %s: "+format, append([]any{ex.prog.name}, args...)...)})
+}
+
+// localSize evaluates a __local array size with lane-0 semantics,
+// matching the oracle's uniformInt.
+func (ex *engineExec) localSize(cl progLocal) int64 {
+	if cl.size.vec == nil {
+		return int64(cl.size.uni(ex))
+	}
+	t := ex.getF()
+	cl.size.vec(ex, t)
+	v := int64(t[0])
+	ex.putF(1)
+	return v
+}
+
+// runGroup executes workgroup g. When tracing, accesses accumulate in
+// ex.tb (the caller resets and flushes it); a failed group's buffer is
+// never flushed.
+func (ex *engineExec) runGroup(g int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ee, ok := r.(execError); ok {
+				err = ee.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	// A panic mid-statement leaves the scratch stacks partially claimed;
+	// reset here so a worker that continues past a failed group (parallel
+	// tracing drains every group) starts clean.
+	ex.poolNext, ex.bpoolNxt = 0, 0
+
+	coord := ex.nd.GroupCoord(g)
+	for d := 0; d < 3; d++ {
+		base := float64(coord[d] * max(ex.nd.Local[d], 1))
+		lids := ex.lid[d]
+		gids := ex.gid[d]
+		for i := range gids {
+			gids[i] = base + lids[i]
+		}
+		ex.grp[d] = float64(coord[d])
+	}
+
+	// Zero the per-group uniform slots unconditionally (tiny), and only
+	// the per-lane slots liveness could not prove write-before-read.
+	for i := range ex.uvals {
+		ex.uvals[i] = 0
+	}
+	for _, s := range ex.prog.zeroSlots {
+		v := ex.vals[s]
+		for i := range v {
+			v[i] = 0
+		}
+	}
+
+	// (Re)initialize local arrays: fresh per group, like OpenCL __local.
+	for li := range ex.prog.locals {
+		cl := &ex.prog.locals[li]
+		size := ex.localSize(*cl)
+		if size < 0 || size > 1<<28 {
+			ex.fail("local array %s has invalid size %d", cl.name, size)
+		}
+		arr := ex.locals[li]
+		if int64(len(arr)) != size {
+			arr = make([]float64, size)
+			ex.locals[li] = arr
+		}
+		for i := range arr {
+			arr[i] = 0
+		}
+	}
+
+	// The root mask is always full: NDRange.Validate requires the local
+	// size to divide the global size, so no lane of any group is out of
+	// range (the oracle computes this mask per group and always gets
+	// all-true).
+	mask := ex.fullMask
+	for _, f := range ex.prog.body {
+		f(ex, mask)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package ir
+
+// Differential testing of the closure-compiled engine against the retained
+// tree-walking oracle (ExecRangeOracle): on the randomized fuzz corpus the
+// two must produce byte-identical buffers AND identical traced access
+// streams — serially and in parallel, with and without batch delivery. The
+// parallel variants exercise the buffered in-order flush under -race.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// traceEvent is one recorded tracer callback: either a BeginGroup marker
+// or an access record.
+type traceEvent struct {
+	begin bool
+	group int
+	acc   Access
+}
+
+// recTracer records the exact stream of Tracer calls it observes.
+type recTracer struct {
+	log []traceEvent
+}
+
+func (r *recTracer) BeginGroup(g int) {
+	r.log = append(r.log, traceEvent{begin: true, group: g})
+}
+
+func (r *recTracer) Access(addr, size int64, write bool) {
+	r.log = append(r.log, traceEvent{acc: Access{Addr: addr, Size: size, Write: write}})
+}
+
+// recBatchTracer records the same stream through the BatchTracer fast path.
+type recBatchTracer struct {
+	recTracer
+}
+
+func (r *recBatchTracer) AccessBatch(_ int, recs []Access) {
+	for _, a := range recs {
+		r.log = append(r.log, traceEvent{acc: a})
+	}
+}
+
+// cloneArgsDeep copies the argument set including buffer contents (Clone
+// shares buffers), preserving Base so traced addresses match.
+func cloneArgsDeep(a *Args) *Args {
+	c := NewArgs()
+	for name, b := range a.Buffers {
+		c.Buffers[name] = &Buffer{
+			Name: b.Name,
+			Elem: b.Elem,
+			Base: b.Base,
+			Data: append([]float64(nil), b.Data...),
+		}
+	}
+	for k, v := range a.Scalars {
+		c.Scalars[k] = v
+	}
+	return c
+}
+
+func diffArgs(t *testing.T, label string, got, want *Args, k *Kernel) {
+	t.Helper()
+	for name, wb := range want.Buffers {
+		gb := got.Buffers[name]
+		for i := range wb.Data {
+			a, b := gb.Data[i], wb.Data[i]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("%s: %s[%d] = %v, oracle %v\nkernel:\n%s",
+					label, name, i, a, b, Format(k))
+			}
+		}
+	}
+}
+
+func diffTrace(t *testing.T, label string, got, want []traceEvent, k *Kernel) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: trace has %d events, oracle %d\nkernel:\n%s",
+			label, len(got), len(want), Format(k))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: trace event %d = %+v, oracle %+v\nkernel:\n%s",
+				label, i, got[i], want[i], Format(k))
+		}
+	}
+}
+
+// TestEngineMatchesOracle is the main differential property: random
+// kernels from the fuzz generator, executed four ways by the compiled
+// engine, must match the tree-walk oracle bit-for-bit in both buffer
+// contents and traced access stream.
+func TestEngineMatchesOracle(t *testing.T) {
+	const (
+		kernelsToTry = 40
+		n            = 96
+		local        = 16
+	)
+	rng := rand.New(rand.NewSource(4205))
+	gen := &kernelGen{rng: rng, inBufs: []string{"in0", "in1"}, n: n}
+
+	for trial := 0; trial < kernelsToTry; trial++ {
+		k := gen.generate()
+		if err := Validate(k); err != nil {
+			t.Fatalf("trial %d: generated invalid kernel: %v", trial, err)
+		}
+
+		proto := NewArgs()
+		for bi, name := range []string{"in0", "in1", "out"} {
+			buf := NewBufferF32(name, n)
+			buf.Base = int64(0x10000 * (bi + 1)) // distinct address ranges
+			if name != "out" {
+				for i := 0; i < n; i++ {
+					buf.Set(i, float64(rng.Intn(200))/16-6)
+				}
+			}
+			proto.Bind(name, buf)
+		}
+		nd := Range1D(n, local)
+
+		oracleArgs := cloneArgsDeep(proto)
+		oracleTr := &recTracer{}
+		if err := ExecRangeOracle(k, oracleArgs, nd, ExecOptions{Tracer: oracleTr}); err != nil {
+			t.Fatalf("trial %d: oracle: %v\n%s", trial, err, Format(k))
+		}
+
+		runs := []struct {
+			label string
+			opts  func(Tracer) ExecOptions
+			tr    interface {
+				Tracer
+				events() []traceEvent
+			}
+		}{
+			{"engine serial", func(tr Tracer) ExecOptions { return ExecOptions{Tracer: tr} }, &evTracer{}},
+			{"engine parallel", func(tr Tracer) ExecOptions { return ExecOptions{Tracer: tr, Parallel: 8} }, &evTracer{}},
+			{"engine parallel batch", func(tr Tracer) ExecOptions { return ExecOptions{Tracer: tr, Parallel: 8} }, &evBatchTracer{}},
+		}
+		for _, run := range runs {
+			args := cloneArgsDeep(proto)
+			if err := ExecRange(k, args, nd, run.opts(run.tr)); err != nil {
+				t.Fatalf("trial %d: %s: %v\n%s", trial, run.label, err, Format(k))
+			}
+			diffArgs(t, run.label, args, oracleArgs, k)
+			diffTrace(t, run.label, run.tr.events(), oracleTr.log, k)
+		}
+
+		// Untraced parallel run must also match buffers.
+		args := cloneArgsDeep(proto)
+		if err := ExecRange(k, args, nd, ExecOptions{Parallel: 8}); err != nil {
+			t.Fatalf("trial %d: engine untraced: %v\n%s", trial, err, Format(k))
+		}
+		diffArgs(t, "engine untraced parallel", args, oracleArgs, k)
+	}
+}
+
+// evTracer/evBatchTracer adapt the recorders to a common interface for the
+// table-driven runs above.
+type evTracer struct{ recTracer }
+
+func (r *evTracer) events() []traceEvent { return r.log }
+
+type evBatchTracer struct{ recBatchTracer }
+
+func (r *evBatchTracer) events() []traceEvent { return r.log }
+
+// TestEngineTraceSampledGroups checks the Groups filter under parallel
+// tracing: only selected groups execute, and they flush in ascending order.
+func TestEngineTraceSampledGroups(t *testing.T) {
+	const n, local = 256, 16
+	k := &Kernel{
+		Name:    "sampled",
+		WorkDim: 1,
+		Params:  []Param{Buf("in"), Buf("out")},
+		Body: []Stmt{
+			StoreF("out", Gid(0), Add(LoadF("in", Gid(0)), F(1))),
+		},
+	}
+	proto := NewArgs().
+		Bind("in", NewBufferF32("in", n)).
+		Bind("out", NewBufferF32("out", n))
+	for i := 0; i < n; i++ {
+		proto.Buffers["in"].Set(i, float64(i))
+	}
+	sel := func(g int) bool { return g%3 == 0 }
+
+	oracleArgs := cloneArgsDeep(proto)
+	oracleTr := &recTracer{}
+	if err := ExecRangeOracle(k, oracleArgs, Range1D(n, local),
+		ExecOptions{Tracer: oracleTr, Groups: sel}); err != nil {
+		t.Fatal(err)
+	}
+
+	args := cloneArgsDeep(proto)
+	tr := &recTracer{}
+	if err := ExecRange(k, args, Range1D(n, local),
+		ExecOptions{Tracer: tr, Groups: sel, Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	diffArgs(t, "sampled", args, oracleArgs, k)
+	diffTrace(t, "sampled", tr.log, oracleTr.log, k)
+}
+
+// TestEngineErrorMatchesOracle: a kernel that fails in a late group must
+// report the same error as the oracle, and the parallel traced run must
+// deliver exactly the groups a serial run would have completed first.
+func TestEngineErrorMatchesOracle(t *testing.T) {
+	const n, local = 128, 16
+	// Group 5 (gids 80..95) stores out of bounds.
+	k := &Kernel{
+		Name:    "failing",
+		WorkDim: 1,
+		Params:  []Param{Buf("out")},
+		Body: []Stmt{
+			If{
+				Cond: Bin{Op: EqI, X: Grp(0), Y: I(5)},
+				Then: []Stmt{StoreF("out", Addi(Gid(0), I(int64(n))), F(1))},
+				Else: []Stmt{StoreF("out", Gid(0), F(2))},
+			},
+		},
+	}
+	mk := func() *Args { return NewArgs().Bind("out", NewBufferF32("out", n)) }
+
+	oracleTr := &recTracer{}
+	oracleErr := ExecRangeOracle(k, mk(), Range1D(n, local), ExecOptions{Tracer: oracleTr})
+	if oracleErr == nil {
+		t.Fatal("oracle: expected an error")
+	}
+	// The oracle streams accesses as they happen, so it emits BeginGroup
+	// for the failing group before dying; the engine flushes only completed
+	// groups. Compare against the oracle's completed-groups prefix.
+	prefix := oracleTr.log
+	for i, ev := range prefix {
+		if ev.begin && ev.group == 5 {
+			prefix = prefix[:i]
+			break
+		}
+	}
+
+	for _, par := range []int{0, 8} {
+		tr := &recTracer{}
+		err := ExecRange(k, mk(), Range1D(n, local), ExecOptions{Tracer: tr, Parallel: par})
+		if err == nil || err.Error() != oracleErr.Error() {
+			t.Fatalf("parallel=%d: error %v, oracle %v", par, err, oracleErr)
+		}
+		diffTrace(t, "failing", tr.log, prefix, k)
+	}
+}

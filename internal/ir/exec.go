@@ -5,11 +5,18 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Tracer observes the global-memory access stream of functional execution.
 // The CPU cache-accurate mode implements it to drive the cache hierarchy
 // with the kernel's real addresses.
+//
+// The engine buffers each workgroup's accesses and flushes them after the
+// group completes, in ascending group order — one BeginGroup call followed
+// by that group's accesses — so the observed stream is identical whether
+// workgroups executed serially or in parallel. All Tracer methods are
+// invoked from a single goroutine; implementations need no locking.
 type Tracer interface {
 	// BeginGroup announces that the following accesses belong to the
 	// workgroup with the given linear index.
@@ -18,11 +25,32 @@ type Tracer interface {
 	Access(addr int64, size int64, write bool)
 }
 
+// Access is one buffered global-memory access record. The engine collects
+// these per workgroup and flushes them to the Tracer in group order.
+type Access struct {
+	Addr  int64
+	Size  int64
+	Write bool
+}
+
+// BatchTracer is an optional Tracer extension: tracers that implement it
+// receive each workgroup's accesses as one slice (after the BeginGroup
+// call for that group) instead of one Access call per record, saving an
+// interface call per access. The slice is only valid for the duration of
+// the call; implementations must not retain it.
+type BatchTracer interface {
+	Tracer
+	// AccessBatch reports all accesses of workgroup group, in program order.
+	AccessBatch(group int, recs []Access)
+}
+
 // ExecOptions controls functional execution of an NDRange.
 type ExecOptions struct {
 	// Parallel is the number of concurrent workers executing workgroups.
-	// 0 or 1 executes serially. Ignored (forced serial) when Tracer is set,
-	// so the access stream is deterministic.
+	// 0 or 1 executes serially. Tracing no longer forces serial execution:
+	// workgroups run concurrently and their buffered access streams are
+	// flushed to the Tracer in group order, so the observed stream is the
+	// same as a serial run.
 	Parallel int
 	// Tracer, when non-nil, receives every global memory access.
 	Tracer Tracer
@@ -54,9 +82,20 @@ func (r NDRange) GroupCoord(g int) [3]int {
 	return [3]int{g % c[0], (g / c[0]) % c[1], g / (c[0] * c[1])}
 }
 
+// maxLoopIter bounds any single For loop; exceeding it aborts execution
+// with an error rather than hanging the process.
+const maxLoopIter = 1 << 27
+
 // ExecRange functionally executes the kernel over the whole NDRange,
 // writing real results into the bound buffers. The local size must be
 // resolved (non-NULL); device layers pick defaults before calling.
+//
+// Execution uses the closure-compiled engine: the kernel body is lowered
+// once to slot-indexed closures (see compile.go) and the compiled program
+// is cached by the kernel's canonical-print digest, so repeated launches
+// — tuner sweeps, suite repetitions — never recompile. The retained
+// tree-walking interpreter is available as ExecRangeOracle for
+// differential testing.
 func ExecRange(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
 	if err := nd.Validate(); err != nil {
 		return err
@@ -64,19 +103,32 @@ func ExecRange(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
 	if nd.LocalNull() {
 		return fmt.Errorf("ir: ExecRange %s: local size must be resolved", k.Name)
 	}
-	if err := Validate(k); err != nil {
+	prog, err := compiledProgram(k)
+	if err != nil {
 		return err
 	}
 	if err := checkArgs(k, args); err != nil {
 		return err
 	}
-	prog, err := compile(k)
-	if err != nil {
-		return err
-	}
+
 	ngroups := nd.NumGroups()
-	run := func(lo, hi int, tr Tracer) error {
-		ex := newGroupExec(prog, k, args, nd, tr)
+	workers := opts.Parallel
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ngroups {
+		workers = ngroups
+	}
+
+	if opts.Tracer != nil {
+		if workers <= 1 || ngroups == 1 {
+			return runTracedSerial(prog, args, nd, opts, ngroups)
+		}
+		return runTracedParallel(prog, args, nd, opts, ngroups, workers)
+	}
+
+	run := func(lo, hi int) error {
+		ex := newEngineExec(prog, args, nd, false)
 		for g := lo; g < hi; g++ {
 			if opts.Groups != nil && !opts.Groups(g) {
 				continue
@@ -87,16 +139,8 @@ func ExecRange(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
 		}
 		return nil
 	}
-
-	workers := opts.Parallel
-	if opts.Tracer != nil || workers <= 1 || ngroups == 1 {
-		return run(0, ngroups, opts.Tracer)
-	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > ngroups {
-		workers = ngroups
+	if workers <= 1 || ngroups == 1 {
+		return run(0, ngroups)
 	}
 	var (
 		wg       sync.WaitGroup
@@ -116,7 +160,7 @@ func ExecRange(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			if err := run(lo, hi, nil); err != nil {
+			if err := run(lo, hi); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -126,6 +170,133 @@ func ExecRange(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
 		}(lo, hi)
 	}
 	wg.Wait()
+	return firstErr
+}
+
+// flushGroup delivers one workgroup's buffered access records to the
+// tracer: BeginGroup, then the records (as one batch when supported).
+// asBatch is the result of a single up-front type assertion so the
+// per-group cost is one branch, not one assertion.
+func flushGroup(tr Tracer, bt BatchTracer, g int, recs []Access) {
+	tr.BeginGroup(g)
+	if bt != nil {
+		bt.AccessBatch(g, recs)
+		return
+	}
+	for _, a := range recs {
+		tr.Access(a.Addr, a.Size, a.Write)
+	}
+}
+
+// runTracedSerial executes groups in order on one engine, flushing each
+// group's access buffer as soon as the group completes. A group that
+// fails flushes nothing (the launch is aborted anyway).
+func runTracedSerial(prog *program, args *Args, nd NDRange, opts ExecOptions, ngroups int) error {
+	bt, _ := opts.Tracer.(BatchTracer)
+	ex := newEngineExec(prog, args, nd, true)
+	for g := 0; g < ngroups; g++ {
+		if opts.Groups != nil && !opts.Groups(g) {
+			continue
+		}
+		ex.tb = ex.tb[:0]
+		if err := ex.runGroup(g); err != nil {
+			return err
+		}
+		flushGroup(opts.Tracer, bt, g, ex.tb)
+	}
+	return nil
+}
+
+// tracedResult carries one executed workgroup from a worker to the
+// flusher: its position in the selected-group sequence, its buffered
+// accesses, and its error, if any.
+type tracedResult struct {
+	idx  int // index into the selected-group sequence
+	g    int // linear workgroup id
+	recs []Access
+	err  error
+}
+
+// runTracedParallel executes workgroups concurrently while presenting the
+// tracer with exactly the serial access stream: workers buffer each
+// group's accesses and a single flusher goroutine (this one) replays the
+// buffers in group order. A bounded free list of record buffers caps how
+// far execution can run ahead of flushing. On the first in-order error,
+// flushing stops — the tracer sees exactly the groups a serial run would
+// have completed before the failure — while remaining results are still
+// drained so no worker blocks.
+func runTracedParallel(prog *program, args *Args, nd NDRange, opts ExecOptions, ngroups, workers int) error {
+	// Materialize the selected groups so workers and flusher agree on the
+	// dense sequence even under a sparse opts.Groups filter.
+	selected := make([]int, 0, ngroups)
+	for g := 0; g < ngroups; g++ {
+		if opts.Groups == nil || opts.Groups(g) {
+			selected = append(selected, g)
+		}
+	}
+	if len(selected) == 0 {
+		return nil
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+
+	bt, _ := opts.Tracer.(BatchTracer)
+	nbuf := workers * 2
+	free := make(chan []Access, nbuf)
+	for i := 0; i < nbuf; i++ {
+		free <- nil
+	}
+	results := make(chan tracedResult, nbuf)
+
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex := newEngineExec(prog, args, nd, true)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(selected) {
+					return
+				}
+				buf := <-free
+				ex.tb = buf[:0]
+				err := ex.runGroup(selected[i])
+				results <- tracedResult{idx: i, g: selected[i], recs: ex.tb, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Single-threaded in-order flush: buffer out-of-order arrivals, flush
+	// runs of consecutive indices, recycle buffers immediately.
+	pending := make(map[int]tracedResult, nbuf)
+	flushNext := 0
+	var firstErr error
+	for r := range results {
+		pending[r.idx] = r
+		for {
+			p, ok := pending[flushNext]
+			if !ok {
+				break
+			}
+			delete(pending, flushNext)
+			if firstErr == nil {
+				if p.err != nil {
+					firstErr = p.err
+				} else {
+					flushGroup(opts.Tracer, bt, p.g, p.recs)
+				}
+			}
+			free <- p.recs
+			flushNext++
+		}
+	}
 	return firstErr
 }
 
@@ -150,219 +321,9 @@ func checkArgs(k *Kernel, args *Args) error {
 	return nil
 }
 
-// program is the compiled form of a kernel: variable names resolved to
-// dense slots.
-type program struct {
-	slots  map[string]int
-	nslots int
-}
-
-func compile(k *Kernel) (*program, error) {
-	p := &program{slots: map[string]int{}}
-	var walk func(stmts []Stmt)
-	walk = func(stmts []Stmt) {
-		for _, s := range stmts {
-			switch s := s.(type) {
-			case Assign:
-				p.slot(s.Dst)
-			case For:
-				p.slot(s.Var)
-				walk(s.Body)
-			case If:
-				walk(s.Then)
-				walk(s.Else)
-			}
-		}
-	}
-	walk(k.Body)
-	return p, nil
-}
-
-func (p *program) slot(name string) int {
-	if s, ok := p.slots[name]; ok {
-		return s
-	}
-	s := p.nslots
-	p.slots[name] = s
-	p.nslots++
-	return s
-}
-
 // execError aborts interpretation via panic/recover with a descriptive
 // message (out-of-bounds access, unbound name).
 type execError struct{ err error }
-
-// groupExec holds the lockstep execution state for one worker: it is reused
-// across the workgroups that worker executes.
-type groupExec struct {
-	prog   *program
-	k      *Kernel
-	args   *Args
-	nd     NDRange
-	tracer Tracer
-
-	n    int // workitems per group
-	gid  [3][]float64
-	lid  [3][]float64
-	grp  [3]float64
-	vals [][]float64 // [slot][item]
-
-	locals map[string][]float64
-
-	pool     [][]float64
-	poolNext int
-	bpool    [][]bool
-	bpoolNxt int
-}
-
-func newGroupExec(prog *program, k *Kernel, args *Args, nd NDRange, tr Tracer) *groupExec {
-	n := nd.GroupItems()
-	ex := &groupExec{prog: prog, k: k, args: args, nd: nd, tracer: tr, n: n}
-	for d := 0; d < 3; d++ {
-		ex.gid[d] = make([]float64, n)
-		ex.lid[d] = make([]float64, n)
-	}
-	ex.vals = make([][]float64, prog.nslots)
-	for i := range ex.vals {
-		ex.vals[i] = make([]float64, n)
-	}
-	ex.locals = map[string][]float64{}
-	return ex
-}
-
-func (ex *groupExec) getF() []float64 {
-	if ex.poolNext < len(ex.pool) {
-		b := ex.pool[ex.poolNext]
-		ex.poolNext++
-		return b
-	}
-	b := make([]float64, ex.n)
-	ex.pool = append(ex.pool, b)
-	ex.poolNext++
-	return b
-}
-
-func (ex *groupExec) putF(n int) { ex.poolNext -= n }
-
-func (ex *groupExec) getB() []bool {
-	if ex.bpoolNxt < len(ex.bpool) {
-		b := ex.bpool[ex.bpoolNxt]
-		ex.bpoolNxt++
-		return b
-	}
-	b := make([]bool, ex.n)
-	ex.bpool = append(ex.bpool, b)
-	ex.bpoolNxt++
-	return b
-}
-
-func (ex *groupExec) putB(n int) { ex.bpoolNxt -= n }
-
-func (ex *groupExec) fail(format string, args ...any) {
-	panic(execError{fmt.Errorf("ir: kernel %s: "+format, append([]any{ex.k.Name}, args...)...)})
-}
-
-// runGroup executes workgroup g in lockstep.
-func (ex *groupExec) runGroup(g int) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if ee, ok := r.(execError); ok {
-				err = ee.err
-				return
-			}
-			panic(r)
-		}
-	}()
-
-	coord := ex.nd.GroupCoord(g)
-	lx, ly := ex.nd.Local[0], ex.nd.Local[1]
-	if lx == 0 {
-		lx = 1
-	}
-	if ly == 0 {
-		ly = 1
-	}
-	for i := 0; i < ex.n; i++ {
-		l0 := i % lx
-		l1 := (i / lx) % ly
-		l2 := i / (lx * ly)
-		ex.lid[0][i] = float64(l0)
-		ex.lid[1][i] = float64(l1)
-		ex.lid[2][i] = float64(l2)
-		ex.gid[0][i] = float64(coord[0]*lx + l0)
-		ex.gid[1][i] = float64(coord[1]*ly + l1)
-		ex.gid[2][i] = float64(coord[2]*max(ex.nd.Local[2], 1) + l2)
-	}
-	for d := 0; d < 3; d++ {
-		ex.grp[d] = float64(coord[d])
-	}
-
-	// Zero the variable slots: a variable read before any (taken) assignment
-	// is defined to be 0, and slot arrays are reused across the groups a
-	// worker executes.
-	for _, slot := range ex.vals {
-		for i := range slot {
-			slot[i] = 0
-		}
-	}
-
-	// (Re)initialize local arrays: fresh per group, like OpenCL __local.
-	for _, la := range ex.k.Locals {
-		size := ex.uniformInt(la.Size)
-		if size < 0 || size > 1<<28 {
-			ex.fail("local array %s has invalid size %d", la.Name, size)
-		}
-		arr := ex.locals[la.Name]
-		if int64(len(arr)) != size {
-			arr = make([]float64, size)
-			ex.locals[la.Name] = arr
-		}
-		for i := range arr {
-			arr[i] = 0
-		}
-	}
-
-	if ex.tracer != nil {
-		ex.tracer.BeginGroup(g)
-	}
-
-	mask := ex.getB()
-	for i := range mask {
-		mask[i] = true
-	}
-	// Mask off out-of-range items (global size not divisible by local size
-	// never happens post-Validate, but dimension padding can).
-	for i := 0; i < ex.n; i++ {
-		for d := 0; d < 3; d++ {
-			gmax := ex.nd.Global[d]
-			if gmax == 0 {
-				gmax = 1
-			}
-			if int(ex.gid[d][i]) >= gmax {
-				mask[i] = false
-			}
-		}
-	}
-	ex.execStmts(ex.k.Body, mask)
-	ex.putB(1)
-	return nil
-}
-
-// uniformInt evaluates an expression that must be workitem-independent
-// (local array sizes) using lane 0.
-func (ex *groupExec) uniformInt(e Expr) int64 {
-	t := ex.getF()
-	ex.eval(e, t)
-	v := int64(t[0])
-	ex.putF(1)
-	return v
-}
-
-func (ex *groupExec) execStmts(stmts []Stmt, mask []bool) {
-	for _, s := range stmts {
-		ex.execStmt(s, mask)
-	}
-}
 
 func anyActive(mask []bool) bool {
 	for _, m := range mask {
@@ -371,348 +332,6 @@ func anyActive(mask []bool) bool {
 		}
 	}
 	return false
-}
-
-func (ex *groupExec) execStmt(s Stmt, mask []bool) {
-	switch s := s.(type) {
-	case Assign:
-		t := ex.getF()
-		ex.eval(s.Val, t)
-		dst := ex.vals[ex.prog.slots[s.Dst]]
-		if s.Val.Type() == F32 {
-			for i, m := range mask {
-				if m {
-					dst[i] = float64(float32(t[i]))
-				}
-			}
-		} else {
-			for i, m := range mask {
-				if m {
-					dst[i] = math.Trunc(t[i])
-				}
-			}
-		}
-		ex.putF(1)
-
-	case Store:
-		buf := ex.args.Buffers[s.Buf]
-		idx := ex.getF()
-		val := ex.getF()
-		ex.eval(s.Index, idx)
-		ex.eval(s.Val, val)
-		for i, m := range mask {
-			if !m {
-				continue
-			}
-			j := int(idx[i])
-			if j < 0 || j >= len(buf.Data) {
-				ex.fail("store %s[%d] out of bounds (len %d)", s.Buf, j, len(buf.Data))
-			}
-			buf.Set(j, val[i])
-			if ex.tracer != nil {
-				ex.tracer.Access(buf.Addr(j), buf.Elem.Size(), true)
-			}
-		}
-		ex.putF(2)
-
-	case LocalStore:
-		arr := ex.locals[s.Arr]
-		idx := ex.getF()
-		val := ex.getF()
-		ex.eval(s.Index, idx)
-		ex.eval(s.Val, val)
-		for i, m := range mask {
-			if !m {
-				continue
-			}
-			j := int(idx[i])
-			if j < 0 || j >= len(arr) {
-				ex.fail("local store %s[%d] out of bounds (len %d)", s.Arr, j, len(arr))
-			}
-			arr[j] = float64(float32(val[i]))
-		}
-		ex.putF(2)
-
-	case AtomicAdd:
-		arr := ex.locals[s.Arr]
-		idx := ex.getF()
-		val := ex.getF()
-		ex.eval(s.Index, idx)
-		ex.eval(s.Val, val)
-		for i, m := range mask {
-			if !m {
-				continue
-			}
-			j := int(idx[i])
-			if j < 0 || j >= len(arr) {
-				ex.fail("atomic add %s[%d] out of bounds (len %d)", s.Arr, j, len(arr))
-			}
-			arr[j] += val[i]
-		}
-		ex.putF(2)
-
-	case If:
-		cond := ex.getF()
-		ex.eval(s.Cond, cond)
-		thenMask := ex.getB()
-		elseMask := ex.getB()
-		for i, m := range mask {
-			taken := m && cond[i] != 0
-			thenMask[i] = taken
-			elseMask[i] = m && !taken
-		}
-		if len(s.Then) > 0 && anyActive(thenMask) {
-			ex.execStmts(s.Then, thenMask)
-		}
-		if len(s.Else) > 0 && anyActive(elseMask) {
-			ex.execStmts(s.Else, elseMask)
-		}
-		ex.putB(2)
-		ex.putF(1)
-
-	case For:
-		slot := ex.prog.slots[s.Var]
-		v := ex.vals[slot]
-		start := ex.getF()
-		ex.eval(s.Start, start)
-		for i, m := range mask {
-			if m {
-				v[i] = math.Trunc(start[i])
-			}
-		}
-		ex.putF(1)
-
-		loopMask := ex.getB()
-		copy(loopMask, mask)
-		end := ex.getF()
-		step := ex.getF()
-		const maxIter = 1 << 27
-		for iter := 0; ; iter++ {
-			if iter >= maxIter {
-				ex.fail("loop over %s exceeded %d iterations", s.Var, maxIter)
-			}
-			ex.eval(s.End, end)
-			live := false
-			for i, m := range loopMask {
-				if m && v[i] < end[i] {
-					live = true
-				} else {
-					loopMask[i] = false
-				}
-			}
-			if !live {
-				break
-			}
-			ex.execStmts(s.Body, loopMask)
-			ex.eval(s.Step, step)
-			for i, m := range loopMask {
-				if m {
-					v[i] = math.Trunc(v[i] + step[i])
-				}
-			}
-		}
-		ex.putF(2)
-		ex.putB(1)
-
-	case Barrier:
-		// Lockstep execution keeps all workitems aligned, so a barrier under
-		// (validated) uniform control flow is a no-op functionally.
-
-	default:
-		ex.fail("unknown statement %T", s)
-	}
-}
-
-// eval evaluates e for every lane into out (len == group size). Inactive
-// lanes may receive garbage values; callers only consume active lanes.
-func (ex *groupExec) eval(e Expr, out []float64) {
-	switch e := e.(type) {
-	case ConstFloat:
-		for i := range out {
-			out[i] = e.V
-		}
-	case ConstInt:
-		v := float64(e.V)
-		for i := range out {
-			out[i] = v
-		}
-	case VarRef:
-		slot, ok := ex.prog.slots[e.Name]
-		if !ok {
-			ex.fail("read of undefined variable %q", e.Name)
-		}
-		copy(out, ex.vals[slot])
-	case ParamRef:
-		v, ok := ex.args.Scalars[e.Name]
-		if !ok {
-			ex.fail("read of unbound scalar parameter %q", e.Name)
-		}
-		for i := range out {
-			out[i] = v
-		}
-	case ID:
-		ex.evalID(e, out)
-	case Bin:
-		x := ex.getF()
-		ex.eval(e.X, x)
-		y := ex.getF()
-		ex.eval(e.Y, y)
-		evalBin(e.Op, x, y, out)
-		ex.putF(2)
-	case Call:
-		ex.evalCall(e, out)
-	case Load:
-		buf, ok := ex.args.Buffers[e.Buf]
-		if !ok {
-			ex.fail("load from unbound buffer %q", e.Buf)
-		}
-		idx := ex.getF()
-		ex.eval(e.Index, idx)
-		for i := range out {
-			j := int(idx[i])
-			if j < 0 || j >= len(buf.Data) {
-				// Inactive lanes may compute wild indices; clamp rather than
-				// fail so divergent code behaves. Active-lane OOB surfaces in
-				// tests as wrong results only if the kernel is buggy, so also
-				// guard stores (which do fail hard).
-				continue
-			}
-			out[i] = buf.Data[j]
-			if ex.tracer != nil {
-				ex.tracer.Access(buf.Addr(j), buf.Elem.Size(), false)
-			}
-		}
-		ex.putF(1)
-	case LocalLoad:
-		arr, ok := ex.locals[e.Arr]
-		if !ok {
-			ex.fail("load from undeclared local array %q", e.Arr)
-		}
-		idx := ex.getF()
-		ex.eval(e.Index, idx)
-		for i := range out {
-			j := int(idx[i])
-			if j < 0 || j >= len(arr) {
-				continue
-			}
-			out[i] = arr[j]
-		}
-		ex.putF(1)
-	case Select:
-		c := ex.getF()
-		t := ex.getF()
-		f := ex.getF()
-		ex.eval(e.Cond, c)
-		ex.eval(e.Then, t)
-		ex.eval(e.Else, f)
-		for i := range out {
-			if c[i] != 0 {
-				out[i] = t[i]
-			} else {
-				out[i] = f[i]
-			}
-		}
-		ex.putF(3)
-	case ToFloat:
-		ex.eval(e.X, out)
-	case ToInt:
-		ex.eval(e.X, out)
-		for i := range out {
-			out[i] = math.Trunc(out[i])
-		}
-	default:
-		ex.fail("unknown expression %T", e)
-	}
-}
-
-func (ex *groupExec) evalID(e ID, out []float64) {
-	d := e.Dim
-	if d < 0 || d > 2 {
-		ex.fail("%s dimension %d out of range", e.Fn, d)
-	}
-	switch e.Fn {
-	case GlobalID:
-		copy(out, ex.gid[d])
-	case LocalID:
-		copy(out, ex.lid[d])
-	case GroupID:
-		for i := range out {
-			out[i] = ex.grp[d]
-		}
-	case GlobalSize:
-		v := float64(max(ex.nd.Global[d], 1))
-		for i := range out {
-			out[i] = v
-		}
-	case LocalSize:
-		v := float64(max(ex.nd.Local[d], 1))
-		for i := range out {
-			out[i] = v
-		}
-	case NumGroups:
-		v := float64(ex.nd.GroupCounts()[d])
-		for i := range out {
-			out[i] = v
-		}
-	}
-}
-
-func (ex *groupExec) evalCall(e Call, out []float64) {
-	if len(e.Args) != e.Fn.NumArgs() {
-		ex.fail("%s expects %d args, got %d", e.Fn, e.Fn.NumArgs(), len(e.Args))
-	}
-	if e.Fn == FMA {
-		a := ex.getF()
-		b := ex.getF()
-		c := ex.getF()
-		ex.eval(e.Args[0], a)
-		ex.eval(e.Args[1], b)
-		ex.eval(e.Args[2], c)
-		for i := range out {
-			out[i] = a[i]*b[i] + c[i]
-		}
-		ex.putF(3)
-		return
-	}
-	x := ex.getF()
-	ex.eval(e.Args[0], x)
-	switch e.Fn {
-	case Sqrt:
-		for i := range out {
-			out[i] = math.Sqrt(x[i])
-		}
-	case Rsqrt:
-		for i := range out {
-			out[i] = 1 / math.Sqrt(x[i])
-		}
-	case Exp:
-		for i := range out {
-			out[i] = math.Exp(x[i])
-		}
-	case Log:
-		for i := range out {
-			out[i] = math.Log(x[i])
-		}
-	case Sin:
-		for i := range out {
-			out[i] = math.Sin(x[i])
-		}
-	case Cos:
-		for i := range out {
-			out[i] = math.Cos(x[i])
-		}
-	case Fabs:
-		for i := range out {
-			out[i] = math.Abs(x[i])
-		}
-	case Floor:
-		for i := range out {
-			out[i] = math.Floor(x[i])
-		}
-	default:
-		ex.fail("unknown builtin %v", e.Fn)
-	}
-	ex.putF(1)
 }
 
 func evalBin(op BinOp, x, y, out []float64) {
@@ -808,6 +427,227 @@ func evalBin(op BinOp, x, y, out []float64) {
 	case NeI:
 		for i := range out {
 			out[i] = b2f(x[i] != y[i])
+		}
+	}
+}
+
+// evalBinSV is evalBin with a lane-invariant left operand: out[i] =
+// op(x, y[i]) without materializing the splatted x. Each case must be
+// bit-identical to evalBin's body with x[i] == x for every lane.
+func evalBinSV(op BinOp, x float64, y, out []float64) {
+	switch op {
+	case AddF:
+		for i := range out {
+			out[i] = x + y[i]
+		}
+	case SubF:
+		for i := range out {
+			out[i] = x - y[i]
+		}
+	case MulF:
+		for i := range out {
+			out[i] = x * y[i]
+		}
+	case DivF:
+		for i := range out {
+			out[i] = x / y[i]
+		}
+	case MinF:
+		for i := range out {
+			out[i] = math.Min(x, y[i])
+		}
+	case MaxF:
+		for i := range out {
+			out[i] = math.Max(x, y[i])
+		}
+	case AddI:
+		tx := math.Trunc(x)
+		for i := range out {
+			out[i] = tx + math.Trunc(y[i])
+		}
+	case SubI:
+		tx := math.Trunc(x)
+		for i := range out {
+			out[i] = tx - math.Trunc(y[i])
+		}
+	case MulI:
+		tx := math.Trunc(x)
+		for i := range out {
+			out[i] = tx * math.Trunc(y[i])
+		}
+	case DivI:
+		tx := math.Trunc(x)
+		for i := range out {
+			if y[i] != 0 {
+				out[i] = math.Trunc(tx / math.Trunc(y[i]))
+			} else {
+				out[i] = 0
+			}
+		}
+	case ModI:
+		tx := math.Trunc(x)
+		for i := range out {
+			if y[i] != 0 {
+				out[i] = math.Mod(tx, math.Trunc(y[i]))
+			} else {
+				out[i] = 0
+			}
+		}
+	case AndI:
+		ix := int64(x)
+		for i := range out {
+			out[i] = float64(ix & int64(y[i]))
+		}
+	case OrI:
+		ix := int64(x)
+		for i := range out {
+			out[i] = float64(ix | int64(y[i]))
+		}
+	case ShlI:
+		ix := int64(x)
+		for i := range out {
+			out[i] = float64(ix << uint(int64(y[i])&63))
+		}
+	case ShrI:
+		ix := int64(x)
+		for i := range out {
+			out[i] = float64(ix >> uint(int64(y[i])&63))
+		}
+	case LtF, LtI:
+		for i := range out {
+			out[i] = b2f(x < y[i])
+		}
+	case LeF, LeI:
+		for i := range out {
+			out[i] = b2f(x <= y[i])
+		}
+	case GtF, GtI:
+		for i := range out {
+			out[i] = b2f(x > y[i])
+		}
+	case GeF, GeI:
+		for i := range out {
+			out[i] = b2f(x >= y[i])
+		}
+	case EqF, EqI:
+		for i := range out {
+			out[i] = b2f(x == y[i])
+		}
+	case NeI:
+		for i := range out {
+			out[i] = b2f(x != y[i])
+		}
+	}
+}
+
+// evalBinVS is evalBin with a lane-invariant right operand: out[i] =
+// op(x[i], y), bit-identical to evalBin with y[i] == y for every lane.
+func evalBinVS(op BinOp, x []float64, y float64, out []float64) {
+	switch op {
+	case AddF:
+		for i := range out {
+			out[i] = x[i] + y
+		}
+	case SubF:
+		for i := range out {
+			out[i] = x[i] - y
+		}
+	case MulF:
+		for i := range out {
+			out[i] = x[i] * y
+		}
+	case DivF:
+		for i := range out {
+			out[i] = x[i] / y
+		}
+	case MinF:
+		for i := range out {
+			out[i] = math.Min(x[i], y)
+		}
+	case MaxF:
+		for i := range out {
+			out[i] = math.Max(x[i], y)
+		}
+	case AddI:
+		ty := math.Trunc(y)
+		for i := range out {
+			out[i] = math.Trunc(x[i]) + ty
+		}
+	case SubI:
+		ty := math.Trunc(y)
+		for i := range out {
+			out[i] = math.Trunc(x[i]) - ty
+		}
+	case MulI:
+		ty := math.Trunc(y)
+		for i := range out {
+			out[i] = math.Trunc(x[i]) * ty
+		}
+	case DivI:
+		if y != 0 {
+			ty := math.Trunc(y)
+			for i := range out {
+				out[i] = math.Trunc(math.Trunc(x[i]) / ty)
+			}
+		} else {
+			for i := range out {
+				out[i] = 0
+			}
+		}
+	case ModI:
+		if y != 0 {
+			ty := math.Trunc(y)
+			for i := range out {
+				out[i] = math.Mod(math.Trunc(x[i]), ty)
+			}
+		} else {
+			for i := range out {
+				out[i] = 0
+			}
+		}
+	case AndI:
+		iy := int64(y)
+		for i := range out {
+			out[i] = float64(int64(x[i]) & iy)
+		}
+	case OrI:
+		iy := int64(y)
+		for i := range out {
+			out[i] = float64(int64(x[i]) | iy)
+		}
+	case ShlI:
+		sh := uint(int64(y) & 63)
+		for i := range out {
+			out[i] = float64(int64(x[i]) << sh)
+		}
+	case ShrI:
+		sh := uint(int64(y) & 63)
+		for i := range out {
+			out[i] = float64(int64(x[i]) >> sh)
+		}
+	case LtF, LtI:
+		for i := range out {
+			out[i] = b2f(x[i] < y)
+		}
+	case LeF, LeI:
+		for i := range out {
+			out[i] = b2f(x[i] <= y)
+		}
+	case GtF, GtI:
+		for i := range out {
+			out[i] = b2f(x[i] > y)
+		}
+	case GeF, GeI:
+		for i := range out {
+			out[i] = b2f(x[i] >= y)
+		}
+	case EqF, EqI:
+		for i := range out {
+			out[i] = b2f(x[i] == y)
+		}
+	case NeI:
+		for i := range out {
+			out[i] = b2f(x[i] != y)
 		}
 	}
 }

@@ -1,0 +1,645 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// This file retains the original tree-walking lockstep interpreter as a
+// reference oracle. ExecRange now runs the closure-compiled engine
+// (compile.go / engine.go); the oracle keeps the old behavior bit for
+// bit — it recompiles on every call, resolves names through maps, emits
+// one Tracer call per access, and forces serial execution while tracing
+// — so differential tests can assert the engine produces byte-identical
+// buffers and an identical access stream. It is not on any production
+// path.
+
+// ExecRangeOracle functionally executes the kernel with the retained
+// tree-walking interpreter. Semantics match ExecRange; performance does
+// not. When opts.Tracer is set, execution is forced serial and the
+// tracer receives one Access call per memory access, interleaved with
+// evaluation (the engine instead buffers per group and flushes batches).
+func ExecRangeOracle(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
+	if err := nd.Validate(); err != nil {
+		return err
+	}
+	if nd.LocalNull() {
+		return fmt.Errorf("ir: ExecRange %s: local size must be resolved", k.Name)
+	}
+	if err := Validate(k); err != nil {
+		return err
+	}
+	if err := checkArgs(k, args); err != nil {
+		return err
+	}
+	prog, err := compileOracle(k)
+	if err != nil {
+		return err
+	}
+	ngroups := nd.NumGroups()
+	run := func(lo, hi int, tr Tracer) error {
+		ex := newOracleExec(prog, k, args, nd, tr)
+		for g := lo; g < hi; g++ {
+			if opts.Groups != nil && !opts.Groups(g) {
+				continue
+			}
+			if err := ex.runGroup(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	workers := opts.Parallel
+	if opts.Tracer != nil || workers <= 1 || ngroups == 1 {
+		return run(0, ngroups, opts.Tracer)
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ngroups {
+		workers = ngroups
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	chunk := (ngroups + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > ngroups {
+			hi = ngroups
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if err := run(lo, hi, nil); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// oracleProgram is the interpreter's compiled form of a kernel: variable
+// names resolved to dense slots (the body itself stays a tree).
+type oracleProgram struct {
+	slots  map[string]int
+	nslots int
+}
+
+func compileOracle(k *Kernel) (*oracleProgram, error) {
+	p := &oracleProgram{slots: map[string]int{}}
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case Assign:
+				p.slot(s.Dst)
+			case For:
+				p.slot(s.Var)
+				walk(s.Body)
+			case If:
+				walk(s.Then)
+				walk(s.Else)
+			}
+		}
+	}
+	walk(k.Body)
+	return p, nil
+}
+
+func (p *oracleProgram) slot(name string) int {
+	if s, ok := p.slots[name]; ok {
+		return s
+	}
+	s := p.nslots
+	p.slots[name] = s
+	p.nslots++
+	return s
+}
+
+// oracleExec holds the lockstep execution state for one worker: it is reused
+// across the workgroups that worker executes.
+type oracleExec struct {
+	prog   *oracleProgram
+	k      *Kernel
+	args   *Args
+	nd     NDRange
+	tracer Tracer
+
+	n    int // workitems per group
+	gid  [3][]float64
+	lid  [3][]float64
+	grp  [3]float64
+	vals [][]float64 // [slot][item]
+
+	locals map[string][]float64
+
+	pool     [][]float64
+	poolNext int
+	bpool    [][]bool
+	bpoolNxt int
+}
+
+func newOracleExec(prog *oracleProgram, k *Kernel, args *Args, nd NDRange, tr Tracer) *oracleExec {
+	n := nd.GroupItems()
+	ex := &oracleExec{prog: prog, k: k, args: args, nd: nd, tracer: tr, n: n}
+	for d := 0; d < 3; d++ {
+		ex.gid[d] = make([]float64, n)
+		ex.lid[d] = make([]float64, n)
+	}
+	ex.vals = make([][]float64, prog.nslots)
+	for i := range ex.vals {
+		ex.vals[i] = make([]float64, n)
+	}
+	ex.locals = map[string][]float64{}
+	return ex
+}
+
+func (ex *oracleExec) getF() []float64 {
+	if ex.poolNext < len(ex.pool) {
+		b := ex.pool[ex.poolNext]
+		ex.poolNext++
+		return b
+	}
+	b := make([]float64, ex.n)
+	ex.pool = append(ex.pool, b)
+	ex.poolNext++
+	return b
+}
+
+func (ex *oracleExec) putF(n int) { ex.poolNext -= n }
+
+func (ex *oracleExec) getB() []bool {
+	if ex.bpoolNxt < len(ex.bpool) {
+		b := ex.bpool[ex.bpoolNxt]
+		ex.bpoolNxt++
+		return b
+	}
+	b := make([]bool, ex.n)
+	ex.bpool = append(ex.bpool, b)
+	ex.bpoolNxt++
+	return b
+}
+
+func (ex *oracleExec) putB(n int) { ex.bpoolNxt -= n }
+
+func (ex *oracleExec) fail(format string, args ...any) {
+	panic(execError{fmt.Errorf("ir: kernel %s: "+format, append([]any{ex.k.Name}, args...)...)})
+}
+
+// runGroup executes workgroup g in lockstep.
+func (ex *oracleExec) runGroup(g int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ee, ok := r.(execError); ok {
+				err = ee.err
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	coord := ex.nd.GroupCoord(g)
+	lx, ly := ex.nd.Local[0], ex.nd.Local[1]
+	if lx == 0 {
+		lx = 1
+	}
+	if ly == 0 {
+		ly = 1
+	}
+	for i := 0; i < ex.n; i++ {
+		l0 := i % lx
+		l1 := (i / lx) % ly
+		l2 := i / (lx * ly)
+		ex.lid[0][i] = float64(l0)
+		ex.lid[1][i] = float64(l1)
+		ex.lid[2][i] = float64(l2)
+		ex.gid[0][i] = float64(coord[0]*lx + l0)
+		ex.gid[1][i] = float64(coord[1]*ly + l1)
+		ex.gid[2][i] = float64(coord[2]*max(ex.nd.Local[2], 1) + l2)
+	}
+	for d := 0; d < 3; d++ {
+		ex.grp[d] = float64(coord[d])
+	}
+
+	// Zero the variable slots: a variable read before any (taken) assignment
+	// is defined to be 0, and slot arrays are reused across the groups a
+	// worker executes.
+	for _, slot := range ex.vals {
+		for i := range slot {
+			slot[i] = 0
+		}
+	}
+
+	// (Re)initialize local arrays: fresh per group, like OpenCL __local.
+	for _, la := range ex.k.Locals {
+		size := ex.uniformInt(la.Size)
+		if size < 0 || size > 1<<28 {
+			ex.fail("local array %s has invalid size %d", la.Name, size)
+		}
+		arr := ex.locals[la.Name]
+		if int64(len(arr)) != size {
+			arr = make([]float64, size)
+			ex.locals[la.Name] = arr
+		}
+		for i := range arr {
+			arr[i] = 0
+		}
+	}
+
+	if ex.tracer != nil {
+		ex.tracer.BeginGroup(g)
+	}
+
+	mask := ex.getB()
+	for i := range mask {
+		mask[i] = true
+	}
+	// Mask off out-of-range items (global size not divisible by local size
+	// never happens post-Validate, but dimension padding can).
+	for i := 0; i < ex.n; i++ {
+		for d := 0; d < 3; d++ {
+			gmax := ex.nd.Global[d]
+			if gmax == 0 {
+				gmax = 1
+			}
+			if int(ex.gid[d][i]) >= gmax {
+				mask[i] = false
+			}
+		}
+	}
+	ex.execStmts(ex.k.Body, mask)
+	ex.putB(1)
+	return nil
+}
+
+// uniformInt evaluates an expression that must be workitem-independent
+// (local array sizes) using lane 0.
+func (ex *oracleExec) uniformInt(e Expr) int64 {
+	t := ex.getF()
+	ex.eval(e, t)
+	v := int64(t[0])
+	ex.putF(1)
+	return v
+}
+
+func (ex *oracleExec) execStmts(stmts []Stmt, mask []bool) {
+	for _, s := range stmts {
+		ex.execStmt(s, mask)
+	}
+}
+
+func (ex *oracleExec) execStmt(s Stmt, mask []bool) {
+	switch s := s.(type) {
+	case Assign:
+		t := ex.getF()
+		ex.eval(s.Val, t)
+		dst := ex.vals[ex.prog.slots[s.Dst]]
+		if s.Val.Type() == F32 {
+			for i, m := range mask {
+				if m {
+					dst[i] = float64(float32(t[i]))
+				}
+			}
+		} else {
+			for i, m := range mask {
+				if m {
+					dst[i] = math.Trunc(t[i])
+				}
+			}
+		}
+		ex.putF(1)
+
+	case Store:
+		buf := ex.args.Buffers[s.Buf]
+		idx := ex.getF()
+		val := ex.getF()
+		ex.eval(s.Index, idx)
+		ex.eval(s.Val, val)
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			j := int(idx[i])
+			if j < 0 || j >= len(buf.Data) {
+				ex.fail("store %s[%d] out of bounds (len %d)", s.Buf, j, len(buf.Data))
+			}
+			buf.Set(j, val[i])
+			if ex.tracer != nil {
+				ex.tracer.Access(buf.Addr(j), buf.Elem.Size(), true)
+			}
+		}
+		ex.putF(2)
+
+	case LocalStore:
+		arr := ex.locals[s.Arr]
+		idx := ex.getF()
+		val := ex.getF()
+		ex.eval(s.Index, idx)
+		ex.eval(s.Val, val)
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			j := int(idx[i])
+			if j < 0 || j >= len(arr) {
+				ex.fail("local store %s[%d] out of bounds (len %d)", s.Arr, j, len(arr))
+			}
+			arr[j] = float64(float32(val[i]))
+		}
+		ex.putF(2)
+
+	case AtomicAdd:
+		arr := ex.locals[s.Arr]
+		idx := ex.getF()
+		val := ex.getF()
+		ex.eval(s.Index, idx)
+		ex.eval(s.Val, val)
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			j := int(idx[i])
+			if j < 0 || j >= len(arr) {
+				ex.fail("atomic add %s[%d] out of bounds (len %d)", s.Arr, j, len(arr))
+			}
+			arr[j] += val[i]
+		}
+		ex.putF(2)
+
+	case If:
+		cond := ex.getF()
+		ex.eval(s.Cond, cond)
+		thenMask := ex.getB()
+		elseMask := ex.getB()
+		for i, m := range mask {
+			taken := m && cond[i] != 0
+			thenMask[i] = taken
+			elseMask[i] = m && !taken
+		}
+		if len(s.Then) > 0 && anyActive(thenMask) {
+			ex.execStmts(s.Then, thenMask)
+		}
+		if len(s.Else) > 0 && anyActive(elseMask) {
+			ex.execStmts(s.Else, elseMask)
+		}
+		ex.putB(2)
+		ex.putF(1)
+
+	case For:
+		slot := ex.prog.slots[s.Var]
+		v := ex.vals[slot]
+		start := ex.getF()
+		ex.eval(s.Start, start)
+		for i, m := range mask {
+			if m {
+				v[i] = math.Trunc(start[i])
+			}
+		}
+		ex.putF(1)
+
+		loopMask := ex.getB()
+		copy(loopMask, mask)
+		end := ex.getF()
+		step := ex.getF()
+		for iter := 0; ; iter++ {
+			if iter >= maxLoopIter {
+				ex.fail("loop over %s exceeded %d iterations", s.Var, maxLoopIter)
+			}
+			ex.eval(s.End, end)
+			live := false
+			for i, m := range loopMask {
+				if m && v[i] < end[i] {
+					live = true
+				} else {
+					loopMask[i] = false
+				}
+			}
+			if !live {
+				break
+			}
+			ex.execStmts(s.Body, loopMask)
+			ex.eval(s.Step, step)
+			for i, m := range loopMask {
+				if m {
+					v[i] = math.Trunc(v[i] + step[i])
+				}
+			}
+		}
+		ex.putF(2)
+		ex.putB(1)
+
+	case Barrier:
+		// Lockstep execution keeps all workitems aligned, so a barrier under
+		// (validated) uniform control flow is a no-op functionally.
+
+	default:
+		ex.fail("unknown statement %T", s)
+	}
+}
+
+// eval evaluates e for every lane into out (len == group size). Inactive
+// lanes may receive garbage values; callers only consume active lanes.
+func (ex *oracleExec) eval(e Expr, out []float64) {
+	switch e := e.(type) {
+	case ConstFloat:
+		for i := range out {
+			out[i] = e.V
+		}
+	case ConstInt:
+		v := float64(e.V)
+		for i := range out {
+			out[i] = v
+		}
+	case VarRef:
+		slot, ok := ex.prog.slots[e.Name]
+		if !ok {
+			ex.fail("read of undefined variable %q", e.Name)
+		}
+		copy(out, ex.vals[slot])
+	case ParamRef:
+		v, ok := ex.args.Scalars[e.Name]
+		if !ok {
+			ex.fail("read of unbound scalar parameter %q", e.Name)
+		}
+		for i := range out {
+			out[i] = v
+		}
+	case ID:
+		ex.evalID(e, out)
+	case Bin:
+		x := ex.getF()
+		ex.eval(e.X, x)
+		y := ex.getF()
+		ex.eval(e.Y, y)
+		evalBin(e.Op, x, y, out)
+		ex.putF(2)
+	case Call:
+		ex.evalCall(e, out)
+	case Load:
+		buf, ok := ex.args.Buffers[e.Buf]
+		if !ok {
+			ex.fail("load from unbound buffer %q", e.Buf)
+		}
+		idx := ex.getF()
+		ex.eval(e.Index, idx)
+		for i := range out {
+			j := int(idx[i])
+			if j < 0 || j >= len(buf.Data) {
+				// Inactive lanes may compute wild indices; clamp rather than
+				// fail so divergent code behaves. Active-lane OOB surfaces in
+				// tests as wrong results only if the kernel is buggy, so also
+				// guard stores (which do fail hard).
+				continue
+			}
+			out[i] = buf.Data[j]
+			if ex.tracer != nil {
+				ex.tracer.Access(buf.Addr(j), buf.Elem.Size(), false)
+			}
+		}
+		ex.putF(1)
+	case LocalLoad:
+		arr, ok := ex.locals[e.Arr]
+		if !ok {
+			ex.fail("load from undeclared local array %q", e.Arr)
+		}
+		idx := ex.getF()
+		ex.eval(e.Index, idx)
+		for i := range out {
+			j := int(idx[i])
+			if j < 0 || j >= len(arr) {
+				continue
+			}
+			out[i] = arr[j]
+		}
+		ex.putF(1)
+	case Select:
+		c := ex.getF()
+		t := ex.getF()
+		f := ex.getF()
+		ex.eval(e.Cond, c)
+		ex.eval(e.Then, t)
+		ex.eval(e.Else, f)
+		for i := range out {
+			if c[i] != 0 {
+				out[i] = t[i]
+			} else {
+				out[i] = f[i]
+			}
+		}
+		ex.putF(3)
+	case ToFloat:
+		ex.eval(e.X, out)
+	case ToInt:
+		ex.eval(e.X, out)
+		for i := range out {
+			out[i] = math.Trunc(out[i])
+		}
+	default:
+		ex.fail("unknown expression %T", e)
+	}
+}
+
+func (ex *oracleExec) evalID(e ID, out []float64) {
+	d := e.Dim
+	if d < 0 || d > 2 {
+		ex.fail("%s dimension %d out of range", e.Fn, d)
+	}
+	switch e.Fn {
+	case GlobalID:
+		copy(out, ex.gid[d])
+	case LocalID:
+		copy(out, ex.lid[d])
+	case GroupID:
+		for i := range out {
+			out[i] = ex.grp[d]
+		}
+	case GlobalSize:
+		v := float64(max(ex.nd.Global[d], 1))
+		for i := range out {
+			out[i] = v
+		}
+	case LocalSize:
+		v := float64(max(ex.nd.Local[d], 1))
+		for i := range out {
+			out[i] = v
+		}
+	case NumGroups:
+		v := float64(ex.nd.GroupCounts()[d])
+		for i := range out {
+			out[i] = v
+		}
+	}
+}
+
+func (ex *oracleExec) evalCall(e Call, out []float64) {
+	if len(e.Args) != e.Fn.NumArgs() {
+		ex.fail("%s expects %d args, got %d", e.Fn, e.Fn.NumArgs(), len(e.Args))
+	}
+	if e.Fn == FMA {
+		a := ex.getF()
+		b := ex.getF()
+		c := ex.getF()
+		ex.eval(e.Args[0], a)
+		ex.eval(e.Args[1], b)
+		ex.eval(e.Args[2], c)
+		for i := range out {
+			out[i] = a[i]*b[i] + c[i]
+		}
+		ex.putF(3)
+		return
+	}
+	x := ex.getF()
+	ex.eval(e.Args[0], x)
+	switch e.Fn {
+	case Sqrt:
+		for i := range out {
+			out[i] = math.Sqrt(x[i])
+		}
+	case Rsqrt:
+		for i := range out {
+			out[i] = 1 / math.Sqrt(x[i])
+		}
+	case Exp:
+		for i := range out {
+			out[i] = math.Exp(x[i])
+		}
+	case Log:
+		for i := range out {
+			out[i] = math.Log(x[i])
+		}
+	case Sin:
+		for i := range out {
+			out[i] = math.Sin(x[i])
+		}
+	case Cos:
+		for i := range out {
+			out[i] = math.Cos(x[i])
+		}
+	case Fabs:
+		for i := range out {
+			out[i] = math.Abs(x[i])
+		}
+	case Floor:
+		for i := range out {
+			out[i] = math.Floor(x[i])
+		}
+	default:
+		ex.fail("unknown builtin %v", e.Fn)
+	}
+	ex.putF(1)
+}

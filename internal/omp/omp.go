@@ -195,10 +195,13 @@ func (r *Runtime) parallelFor(k *ir.Kernel, args *ir.Args, n int, sched Schedule
 				return r.threadCore(thread, r.regions)
 			}}
 		}
+		// Tracing no longer costs the parallelism: the engine buffers each
+		// group's accesses and flushes them in group order, so the cache
+		// hierarchy sees the serial stream while groups execute on all
+		// threads.
 		execOpts := ir.ExecOptions{Parallel: threads}
 		if tracer != nil {
 			execOpts.Tracer = tracer
-			execOpts.Parallel = 0
 		}
 		if err := ir.ExecRange(k, args, execND, execOpts); err != nil {
 			return nil, fmt.Errorf("omp: %s: %w", k.Name, err)
@@ -326,6 +329,18 @@ func (t *coreTracer) Access(addr, size int64, write bool) {
 		lat *= 0.5
 	}
 	t.coreCycles[t.core] += lat
+}
+
+// AccessBatch implements ir.BatchTracer: the whole workgroup's access
+// stream in one call, in program order.
+func (t *coreTracer) AccessBatch(_ int, recs []ir.Access) {
+	for _, a := range recs {
+		lat := t.hier.Access(t.core, a.Addr, a.Size, a.Write)
+		if a.Write {
+			lat *= 0.5
+		}
+		t.coreCycles[t.core] += lat
+	}
 }
 
 // Collapse2D ports a 2-dimensional kernel to a single collapsed loop, as

@@ -30,24 +30,6 @@ import (
 	"clperf/internal/units"
 )
 
-// kernelDigest memoizes the sha256 of each kernel's canonical printed
-// form, keyed by pointer. Formatting and hashing a kernel costs about as
-// much as one model evaluation, so recomputing it per Key would erase
-// the cache's advantage; kernels in this codebase are immutable once
-// built (Coarsen and the generators return fresh values), which makes
-// pointer identity a sound memo key.
-var kernelDigest sync.Map // *ir.Kernel -> string
-
-func digestKernel(k *ir.Kernel) string {
-	if d, ok := kernelDigest.Load(k); ok {
-		return d.(string)
-	}
-	sum := sha256.Sum256([]byte(ir.Format(k)))
-	d := hex.EncodeToString(sum[:])
-	kernelDigest.Store(k, d)
-	return d
-}
-
 // Key returns the content address of one model evaluation: a hash over
 // the device fingerprint (arch parameters plus any estimate-shaping
 // knobs — callers must include everything Estimate reads), a digest of
@@ -61,7 +43,10 @@ func Key(deviceFP string, k *ir.Kernel, args *ir.Args, nd ir.NDRange) string {
 	b.Grow(1 << 10)
 	b.WriteString(deviceFP)
 	b.WriteByte('\n')
-	b.WriteString(digestKernel(k))
+	// ir.Digest is the same pointer-memoized canonical-print digest the
+	// execution engine keys its compiled-program cache on, so a tuner
+	// sweep shares one digest computation per kernel across both layers.
+	b.WriteString(ir.Digest(k))
 	b.WriteByte('\n')
 	if args != nil {
 		names := make([]string, 0, len(args.Buffers))
