@@ -19,20 +19,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs/
 
-# One pass over the search-layer benchmarks (internal/search sessions:
-# cached+parallel vs the uncached serial seed path) as a CI smoke —
-# -benchtime=1x just proves they run and agree, it does not time them.
+# One pass over the search-layer and cache-simulator benchmarks
+# (cached+parallel vs the uncached serial seed path; sharded vs serial
+# cache sim) as a CI smoke — -benchtime=1x just proves they run and
+# agree, it does not time them.
 bench-smoke:
-	$(GO) test -bench='Tune|Partition' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='Tune|Partition|CacheSim' -benchtime=1x -run=^$$ .
 
-# Regenerate the committed perf baseline (BENCH_pr4.json).
+# Regenerate the committed perf baseline (BENCH_pr5.json).
 baseline:
 	$(GO) run ./cmd/perfbaseline -reps 9
 
 # Gate on perf regressions: fail if suite_ns or the exec_*_ns engine
 # times in the newest baseline regressed >20% vs the previous BENCH_pr*.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -new BENCH_pr4.json -old auto
+	$(GO) run ./cmd/benchcompare -new BENCH_pr5.json -old auto
 
 # Exercise the concurrent suite path end to end: every artifact on 4
 # workers, with a per-experiment timeout as a hang backstop.

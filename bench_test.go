@@ -316,3 +316,63 @@ func BenchmarkProfile(b *testing.B) {
 		}
 	}
 }
+
+// cacheSimBenchTrace mirrors cmd/perfbaseline's synthetic traced stream:
+// per-core sequential sweeps over a private 32 KiB window, the regime the
+// sharded simulator's phase-1 parallelism targets.
+func cacheSimBenchTrace() (coreOf func(int) int, batches [][]ir.Access) {
+	const (
+		groups   = 512
+		perGroup = 2048
+		window   = 32 << 10
+	)
+	cores := arch.XeonE5645().PhysicalCores()
+	batches = make([][]ir.Access, groups)
+	for g := range batches {
+		core := g % cores
+		base := int64(core+1) << 20
+		recs := make([]ir.Access, perGroup)
+		for i := range recs {
+			recs[i] = ir.Access{
+				Addr:  base + int64((g*perGroup+i*4)%window),
+				Size:  4,
+				Write: i%4 == 0,
+			}
+		}
+		batches[g] = recs
+	}
+	return func(g int) int { return g % cores }, batches
+}
+
+func benchCacheSim(b *testing.B, mk func(*cache.Hierarchy) cache.Sim) {
+	_, batches := cacheSimBenchTrace()
+	h := cache.NewHierarchy(arch.XeonE5645())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		sim := mk(h)
+		for g, recs := range batches {
+			sim.BeginGroup(g)
+			sim.AccessBatch(g, recs)
+		}
+		sim.Finish()
+	}
+}
+
+// BenchmarkCacheSimSharded measures the two-phase sharded simulator on
+// the synthetic stream; BenchmarkCacheSimSerial is the serial reference
+// on the identical stream (their outputs are bit-identical — see the
+// internal/cache property tests).
+func BenchmarkCacheSimSharded(b *testing.B) {
+	coreOf, _ := cacheSimBenchTrace()
+	benchCacheSim(b, func(h *cache.Hierarchy) cache.Sim {
+		return cache.NewSharded(h, coreOf, cache.StoreWriteFactor)
+	})
+}
+
+func BenchmarkCacheSimSerial(b *testing.B) {
+	coreOf, _ := cacheSimBenchTrace()
+	benchCacheSim(b, func(h *cache.Hierarchy) cache.Sim {
+		return cache.NewSerial(h, coreOf, cache.StoreWriteFactor)
+	})
+}

@@ -3,10 +3,12 @@
 // metrics of a new baseline against an older one and exits non-zero
 // when any gated metric regressed by more than the tolerance.
 //
-// Gated metrics: suite_ns and the exec_*_ns engine times (when both
-// files carry them — older schemas predate the execution engine).
-// Cache-speedup ratios and hit rates are reported but not gated: they
-// compare two measured arms and are noisy in both directions.
+// Gated metrics: suite_ns, the exec_*_ns engine times, and
+// cachesim_sharded_ns (when both files carry them — older schemas
+// predate the execution engine and the sharded cache simulator).
+// Speedup ratios (exec, cachesim) and hit rates are reported but not
+// gated: they compare two measured arms and are noisy in both
+// directions.
 //
 // Usage:
 //
@@ -34,6 +36,8 @@ type metrics struct {
 	SuiteNs          int64  `json:"suite_ns"`
 	ExecMatmulNs     int64  `json:"exec_matmul_ns"`
 	ExecBinomialNs   int64  `json:"exec_binomial_ns"`
+	CachesimShardNs  int64  `json:"cachesim_sharded_ns"`
+	CachesimSerialNs int64  `json:"cachesim_serial_ns"`
 	TuneCachedNs     int64  `json:"tune_cached_ns"`
 	PartCachedNs     int64  `json:"partition_cached_ns"`
 	SuiteExperiments int    `json:"suite_experiments"`
@@ -88,6 +92,15 @@ func main() {
 	check("suite_ns", oldM.SuiteNs, newM.SuiteNs)
 	check("exec_matmul_ns", oldM.ExecMatmulNs, newM.ExecMatmulNs)
 	check("exec_binomial_ns", oldM.ExecBinomialNs, newM.ExecBinomialNs)
+	check("cachesim_sharded_ns", oldM.CachesimShardNs, newM.CachesimShardNs)
+	// The serial reference arm is informational only: it is the oracle the
+	// sharded engine is differentially tested against, not a code path the
+	// suite spends time in.
+	if oldM.CachesimSerialNs != 0 && newM.CachesimSerialNs != 0 {
+		fmt.Printf("  %-18s %12v -> %12v  (reference arm, not gated)\n", "cachesim_serial_ns",
+			time.Duration(oldM.CachesimSerialNs).Round(time.Microsecond),
+			time.Duration(newM.CachesimSerialNs).Round(time.Microsecond))
+	}
 
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchcompare: %d metric(s) regressed more than %.0f%%\n", failed, 100**tol)

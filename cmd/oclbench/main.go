@@ -14,6 +14,9 @@
 //	                            # chrome://tracing): queue commands plus
 //	                            # one track per simulated worker
 //	oclbench -e fig6 -metrics   # print the metrics snapshot after the run
+//	oclbench -e fig9 -cachestats
+//	                            # print the simulated cache hierarchy's
+//	                            # per-core hit-rate table after the run
 //	oclbench -e all -nocache    # disable the memoized estimate layer
 //	                            # (internal/search) for an A/B baseline;
 //	                            # reports are identical with it on or off
@@ -55,6 +58,7 @@ func run() int {
 		verbose  = flag.Bool("v", false, "verbose reports")
 		traceOut = flag.String("trace", "", "replay the quickstart workload and write Chrome trace-event JSON to this file")
 		metrics  = flag.Bool("metrics", false, "print a metrics snapshot table after the run")
+		cacheTab = flag.Bool("cachestats", false, "print the per-core cache hit-rate table after the run (implies observability)")
 		par      = flag.Int("par", 1, "run experiments on N concurrent workers (output stays in paper order)")
 		timeout  = flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 		nocache  = flag.Bool("nocache", false, "disable the memoized model-evaluation layer (A/B baseline; results are identical either way)")
@@ -124,7 +128,7 @@ func run() int {
 	runner := harness.NewRunner(harness.RunnerOptions{
 		Parallel: *par,
 		Timeout:  *timeout,
-		Observe:  *metrics,
+		Observe:  *metrics || *cacheTab,
 		Base:     harness.Options{Verbose: *verbose, NoCache: *nocache},
 	})
 	sum := runner.Run(context.Background(), exps)
@@ -145,12 +149,21 @@ func run() int {
 		}
 		r.Report.Render(os.Stdout)
 	}
-	if *metrics {
-		tbl := harness.MetricsTable(sum.Rec.Registry().Snapshot())
-		if *csv {
-			tbl.RenderCSV(os.Stdout)
-		} else {
-			tbl.Render(os.Stdout)
+	if *metrics || *cacheTab {
+		snap := sum.Rec.Registry().Snapshot()
+		var tables []*harness.Table
+		if *metrics {
+			tables = append(tables, harness.MetricsTable(snap))
+		}
+		if *cacheTab {
+			tables = append(tables, harness.CacheStatsTable(snap))
+		}
+		for _, tbl := range tables {
+			if *csv {
+				tbl.RenderCSV(os.Stdout)
+			} else {
+				tbl.Render(os.Stdout)
+			}
 		}
 	}
 	if failed := sum.Failed(); len(failed) > 0 {

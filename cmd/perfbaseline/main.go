@@ -1,14 +1,16 @@
 // Command perfbaseline times the repo's hot paths and writes a JSON
-// baseline for cross-PR comparison (committed as BENCH_pr4.json). It
+// baseline for cross-PR comparison (committed as BENCH_pr5.json). It
 // measures the same session workloads as the root Tune/Partition
 // benchmarks — cached versus the uncached serial seed behavior — one
-// full experiment-suite run, and the compiled execution engine against
-// the tree-walk oracle on the BenchmarkExecRange kernels, recording the
-// search-cache hit rates and engine speedups alongside the wall times.
+// full experiment-suite run, the compiled execution engine against the
+// tree-walk oracle on the BenchmarkExecRange kernels, and the sharded
+// cache simulator against the serial reference on a synthetic traced
+// stream, recording the cache hit rates and speedups alongside the wall
+// times.
 //
 // Usage:
 //
-//	perfbaseline              # write BENCH_pr4.json
+//	perfbaseline              # write BENCH_pr5.json
 //	perfbaseline -o out.json  # write elsewhere
 //	perfbaseline -reps 5      # median of 5 repetitions per workload
 package main
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"clperf/internal/arch"
+	"clperf/internal/cache"
 	"clperf/internal/core"
 	"clperf/internal/cpu"
 	"clperf/internal/experiments"
@@ -65,15 +68,22 @@ type Baseline struct {
 	ExecBinomialNs       int64   `json:"exec_binomial_ns"`
 	ExecBinomialOracleNs int64   `json:"exec_binomial_oracle_ns"`
 	ExecBinomialSpeedup  float64 `json:"exec_binomial_speedup"`
+
+	// Cache-simulator medians: the two-phase sharded engine versus the
+	// serial reference on the same synthetic traced stream (the
+	// BenchmarkCacheSim workloads).
+	CachesimShardedNs int64   `json:"cachesim_sharded_ns"`
+	CachesimSerialNs  int64   `json:"cachesim_serial_ns"`
+	CachesimSpeedup   float64 `json:"cachesim_speedup"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr4.json", "output path")
+	out := flag.String("o", "BENCH_pr5.json", "output path")
 	reps := flag.Int("reps", 3, "repetitions per workload (median is reported)")
 	flag.Parse()
 
 	b := Baseline{
-		Schema:     "clperf/perfbaseline/v2",
+		Schema:     "clperf/perfbaseline/v3",
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -103,6 +113,9 @@ func main() {
 	b.ExecBinomialNs, b.ExecBinomialOracleNs = execPair(*reps, execBinomial)
 	b.ExecBinomialSpeedup = ratio(b.ExecBinomialOracleNs, b.ExecBinomialNs)
 
+	b.CachesimShardedNs, b.CachesimSerialNs = cachesimPair(*reps)
+	b.CachesimSpeedup = ratio(b.CachesimSerialNs, b.CachesimShardedNs)
+
 	exps := experiments.All()
 	b.SuiteExperiments = len(exps)
 	b.SuiteNs = median(1, func() {
@@ -126,10 +139,10 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), exec matmul %.2fx binomial %.2fx, suite %v\n",
+	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), exec matmul %.2fx binomial %.2fx, cachesim %.2fx, suite %v\n",
 		*out, b.TuneSpeedup, 100*b.TuneCacheHitRate,
 		b.PartSpeedup, 100*b.PartCPUCacheHitRate,
-		b.ExecMatmulSpeedup, b.ExecBinomialSpeedup,
+		b.ExecMatmulSpeedup, b.ExecBinomialSpeedup, b.CachesimSpeedup,
 		time.Duration(b.SuiteNs).Round(time.Millisecond))
 }
 
@@ -251,4 +264,61 @@ func ratio(base, now int64) float64 {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "perfbaseline:", err)
 	os.Exit(1)
+}
+
+// cachesimTrace is the synthetic traced stream for the cache-simulator
+// benchmark (the same stream as BenchmarkCacheSim* in the root package):
+// per-core sequential sweeps over a private 32 KiB window, so phase-1
+// private-level probes dominate and the shared-L3 replay stays short —
+// the regime the sharded engine is built for. Deterministic, so the two
+// arms and repeated baseline runs replay byte-identical streams.
+func cachesimTrace() (coreOf func(int) int, batches [][]ir.Access) {
+	const (
+		groups   = 512
+		perGroup = 2048
+		window   = 32 << 10 // bytes per core
+	)
+	cores := arch.XeonE5645().PhysicalCores()
+	batches = make([][]ir.Access, groups)
+	for g := range batches {
+		core := g % cores
+		base := int64(core+1) << 20
+		recs := make([]ir.Access, perGroup)
+		for i := range recs {
+			recs[i] = ir.Access{
+				Addr:  base + int64((g*perGroup+i*4)%window),
+				Size:  4,
+				Write: i%4 == 0,
+			}
+		}
+		batches[g] = recs
+	}
+	return func(g int) int { return g % cores }, batches
+}
+
+// cachesimPair returns the median wall time of the sharded engine and of
+// the serial reference replaying the same stream. The hierarchy is built
+// once per arm and Reset between reps so only simulation is timed, not
+// the ~3 MB line-array allocation both arms share.
+func cachesimPair(reps int) (shardedNs, serialNs int64) {
+	coreOf, batches := cachesimTrace()
+	run := func(mk func(*cache.Hierarchy) cache.Sim) int64 {
+		h := cache.NewHierarchy(arch.XeonE5645())
+		return median(reps, func() {
+			h.Reset()
+			sim := mk(h)
+			for g, recs := range batches {
+				sim.BeginGroup(g)
+				sim.AccessBatch(g, recs)
+			}
+			sim.Finish()
+		})
+	}
+	shardedNs = run(func(h *cache.Hierarchy) cache.Sim {
+		return cache.NewSharded(h, coreOf, cache.StoreWriteFactor)
+	})
+	serialNs = run(func(h *cache.Hierarchy) cache.Sim {
+		return cache.NewSerial(h, coreOf, cache.StoreWriteFactor)
+	})
+	return shardedNs, serialNs
 }

@@ -3,13 +3,21 @@
 //
 // The locality experiments (the paper's affinity study, Figure 9, and the
 // Matrixmul workgroup-size study) feed real kernel access streams through a
-// Hierarchy and convert hit levels into access latencies.
+// Hierarchy and convert hit levels into access latencies. Two simulators
+// share the Hierarchy state: the serial reference (Access/AccessRange and
+// the Serial tracer) and the two-phase sharded engine (Sharded), which
+// exploits that L1/L2 are private per core to simulate them concurrently
+// while replaying the merged miss stream through the shared L3 in
+// deterministic group order. The serial simulator is the differential
+// oracle for the sharded one, the same way ir.ExecRangeOracle anchors the
+// compiled execution engine.
 package cache
 
 import (
 	"fmt"
 
 	"clperf/internal/arch"
+	"clperf/internal/ir"
 	"clperf/internal/obs"
 )
 
@@ -35,83 +43,166 @@ func (s Stats) String() string {
 	return fmt.Sprintf("%d accesses, %.1f%% hits", s.Accesses, 100*s.HitRate())
 }
 
+// line is one cache line: a tag (the line address) and the LRU
+// timestamp. tag < 0 marks an invalid way — simulated addresses are
+// non-negative, so no real line can collide with the sentinel, and the
+// hit scan needs a single compare per way.
 type line struct {
-	tag   int64
-	valid bool
-	used  uint64 // LRU timestamp
+	tag  int64
+	used uint64 // LRU timestamp
 }
 
 // Cache is one set-associative, LRU, write-allocate cache level.
+//
+// The lines live in one flat array with the ways of a set contiguous
+// (lines[set*assoc : (set+1)*assoc]), so a probe touches one region of
+// memory. Line addresses come from a shift (line sizes are validated to be
+// powers of two) and the set index from a mask when the set count is also
+// a power of two; geometries with a non-power-of-two set count (the Xeon
+// E5645's 12 MiB L3 has 12288 sets) keep the exact modulo mapping so the
+// simulated contents stay identical to the historical slice-of-slices
+// implementation.
 type Cache struct {
-	sets     [][]line
-	nsets    int64
-	lineSize int64
-	latency  float64
-	tick     uint64
-	stats    Stats
+	lines []line
+	// mru indexes the way of the last hit or fill. Tags are full line
+	// addresses (globally unique — a line maps to exactly one set), so a
+	// tag match on the hinted way is always the right way; a stale hint
+	// simply misses the compare and falls through to the set scan. Purely
+	// a shortcut: LRU order and statistics are unchanged.
+	mru       int64
+	assoc     int64
+	nsets     int64
+	setMask   int64 // nsets-1 when nsets is a power of two, else -1
+	lineShift uint8 // log2(lineSize)
+	lineSize  int64
+	latency   float64
+	tick      uint64
+	stats     Stats
 }
 
 // New builds a cache from its geometry. Geometries with zero size return a
-// nil cache, which Lookup treats as a permanent miss.
+// nil cache, which Lookup treats as a permanent miss. Line sizes must be
+// powers of two (every real cache's is); anything else is a configuration
+// bug and panics.
 func New(g arch.CacheGeom) *Cache {
 	nsets := g.Sets()
 	if nsets <= 0 {
 		return nil
 	}
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*int64(g.Assoc))
-	for i := range sets {
-		sets[i], backing = backing[:g.Assoc], backing[g.Assoc:]
+	if g.LineSize&(g.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d is not a power of two", g.LineSize))
 	}
-	return &Cache{sets: sets, nsets: nsets, lineSize: g.LineSize, latency: g.Latency}
+	c := &Cache{
+		lines:    make([]line, nsets*int64(g.Assoc)),
+		assoc:    int64(g.Assoc),
+		nsets:    nsets,
+		setMask:  -1,
+		lineSize: g.LineSize,
+		latency:  g.Latency,
+	}
+	for i := range c.lines {
+		c.lines[i].tag = -1
+	}
+	for ls := g.LineSize; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	if nsets&(nsets-1) == 0 {
+		c.setMask = nsets - 1
+	}
+	return c
 }
 
-// Latency returns the hit latency in cycles.
-func (c *Cache) Latency() float64 { return c.latency }
+// Latency returns the hit latency in cycles (0 for a nil cache, which
+// never hits).
+func (c *Cache) Latency() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.latency
+}
 
 // Stats returns access statistics.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return c.stats
+}
 
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
+	if c == nil {
+		return
 	}
+	for i := range c.lines {
+		c.lines[i] = line{tag: -1}
+	}
+	c.mru = 0
 	c.tick = 0
 	c.stats = Stats{}
 }
 
-// Lookup probes the cache for the line containing addr, filling it on a
-// miss (the victim is the LRU way). It reports whether the probe hit.
+// set returns the set index of a (non-negative) line address.
+func (c *Cache) set(lineAddr int64) int64 {
+	if c.setMask >= 0 {
+		return lineAddr & c.setMask
+	}
+	return lineAddr % c.nsets
+}
+
+// Lookup probes the cache for the line containing addr (addr must be
+// non-negative), filling it on a miss. The victim is an invalid way when
+// one exists (lowest index first), otherwise the LRU way (lowest index on
+// timestamp ties). It reports whether the probe hit.
 func (c *Cache) Lookup(addr int64) bool {
+	if c == nil {
+		return false
+	}
+	return c.lookupLine(addr >> c.lineShift)
+}
+
+// lookupLine is Lookup on a line number (addr >> lineShift) — the
+// internal entry point for callers that already work in line units
+// (AccessRange, the shard workers, the L3 replay) and would otherwise
+// multiply back to a byte address only for Lookup to shift it away.
+func (c *Cache) lookupLine(lineAddr int64) bool {
 	if c == nil {
 		return false
 	}
 	c.tick++
 	c.stats.Accesses++
-	lineAddr := addr / c.lineSize
-	set := c.sets[lineAddr%c.nsets]
-	victim := 0
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].used = c.tick
+	if w := &c.lines[c.mru]; w.tag == lineAddr {
+		w.used = c.tick
+		c.stats.Hits++
+		return true
+	}
+	base := c.set(lineAddr) * c.assoc
+	ways := c.lines[base : base+c.assoc]
+	// Hit scan first: the common case pays one compare per way and no
+	// victim bookkeeping.
+	for i := range ways {
+		if ways[i].tag == lineAddr {
+			c.mru = base + int64(i)
+			ways[i].used = c.tick
 			c.stats.Hits++
 			return true
 		}
-		if set[i].used < set[victim].used || !set[i].valid && set[victim].valid {
-			victim = i
-		}
 	}
-	// Prefer an invalid way over the LRU victim.
-	for i := range set {
-		if !set[i].valid {
+	// Miss: the victim is the first invalid way if any (tag < 0; nothing
+	// before it was invalid, so breaking keeps "lowest index first"),
+	// otherwise the LRU way (strict < keeps the lowest index on ties).
+	victim := 0
+	for i := range ways {
+		if ways[i].tag < 0 {
 			victim = i
 			break
 		}
+		if ways[i].used < ways[victim].used {
+			victim = i
+		}
 	}
-	set[victim] = line{tag: lineAddr, valid: true, used: c.tick}
+	c.mru = base + int64(victim)
+	ways[victim] = line{tag: lineAddr, used: c.tick}
 	return false
 }
 
@@ -120,10 +211,11 @@ func (c *Cache) Contains(addr int64) bool {
 	if c == nil {
 		return false
 	}
-	lineAddr := addr / c.lineSize
-	set := c.sets[lineAddr%c.nsets]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
+	lineAddr := addr >> c.lineShift
+	base := c.set(lineAddr) * c.assoc
+	ways := c.lines[base : base+c.assoc]
+	for i := range ways {
+		if ways[i].tag == lineAddr {
 			return true
 		}
 	}
@@ -133,10 +225,11 @@ func (c *Cache) Contains(addr int64) bool {
 // Hierarchy models per-core private L1D and L2 caches in front of a shared
 // L3 and DRAM, as on the Xeon E5645.
 type Hierarchy struct {
-	l1, l2 []*Cache
-	l3     *Cache
-	memLat float64
-	line   int64
+	l1, l2    []*Cache
+	l3        *Cache
+	memLat    float64
+	line      int64
+	lineShift uint8
 }
 
 // NewHierarchy builds the hierarchy for the given CPU description.
@@ -149,6 +242,9 @@ func NewHierarchy(c *arch.CPU) *Hierarchy {
 		memLat: c.MemLatency,
 		line:   c.L1D.LineSize,
 	}
+	for ls := h.line; ls > 1; ls >>= 1 {
+		h.lineShift++
+	}
 	for i := 0; i < n; i++ {
 		h.l1[i] = New(c.L1D)
 		h.l2[i] = New(c.L2)
@@ -159,15 +255,21 @@ func NewHierarchy(c *arch.CPU) *Hierarchy {
 // Cores returns the number of private cache slices.
 func (h *Hierarchy) Cores() int { return len(h.l1) }
 
-// Access simulates one access of size bytes at addr by the given physical
-// core, returning the latency in cycles. Accesses spanning multiple lines
-// cost the slowest line plus one cycle per extra line.
-func (h *Hierarchy) Access(core int, addr, size int64, write bool) float64 {
+// clampCore maps out-of-range cores to 0, as Access always has.
+func (h *Hierarchy) clampCore(core int) int {
 	if core < 0 || core >= len(h.l1) {
-		core = 0
+		return 0
 	}
-	first := addr / h.line
-	last := (addr + size - 1) / h.line
+	return core
+}
+
+// Access simulates one access of size bytes at addr (non-negative) by the
+// given physical core, returning the latency in cycles. Accesses spanning
+// multiple lines cost the slowest line plus one cycle per extra line.
+func (h *Hierarchy) Access(core int, addr, size int64, write bool) float64 {
+	core = h.clampCore(core)
+	first := addr >> h.lineShift
+	last := (addr + size - 1) >> h.lineShift
 	worst := 0.0
 	for la := first; la <= last; la++ {
 		lat := h.accessLine(core, la*h.line)
@@ -176,6 +278,65 @@ func (h *Hierarchy) Access(core int, addr, size int64, write bool) float64 {
 		}
 	}
 	return worst + float64(last-first)
+}
+
+// AccessRange simulates every access in recs by the given core and
+// returns acc with each record's latency added in order, writes scaled by
+// writeFactor (the store buffer hides part of a store miss). One call per
+// workgroup batch amortizes the per-access call overhead of the fused
+// affine gathers the execution engine emits; the accumulation sequence is
+// bit-identical to calling Access per record and adding each scaled
+// latency into acc.
+func (h *Hierarchy) AccessRange(core int, recs []ir.Access, writeFactor, acc float64) float64 {
+	core = h.clampCore(core)
+	l1, l2, l3 := h.l1[core], h.l2[core], h.l3
+	l1lat, l2lat, l3lat := l1.Latency(), l2.Latency(), l3.Latency()
+	memLat := l3lat + h.memLat
+	for _, a := range recs {
+		first := a.Addr >> h.lineShift
+		last := (a.Addr + a.Size - 1) >> h.lineShift
+		var lat float64
+		if first == last {
+			// Single-line fast path: the dominant case skips the
+			// worst-of-lines loop. Bit-identical: with one line, worst is
+			// that line's latency and the extra-line term is +0.0, which
+			// preserves every non-negative float.
+			switch {
+			case l1.lookupLine(first):
+				lat = l1lat
+			case l2.lookupLine(first):
+				lat = l2lat
+			case l3.lookupLine(first):
+				lat = l3lat
+			default:
+				lat = memLat
+			}
+		} else {
+			worst := 0.0
+			for la := first; la <= last; la++ {
+				var ll float64
+				switch {
+				case l1.lookupLine(la):
+					ll = l1lat
+				case l2.lookupLine(la):
+					ll = l2lat
+				case l3.lookupLine(la):
+					ll = l3lat
+				default:
+					ll = memLat
+				}
+				if ll > worst {
+					worst = ll
+				}
+			}
+			lat = worst + float64(last-first)
+		}
+		if a.Write {
+			lat *= writeFactor
+		}
+		acc += lat
+	}
+	return acc
 }
 
 func (h *Hierarchy) accessLine(core int, addr int64) float64 {
@@ -223,12 +384,26 @@ func (h *Hierarchy) CoreStats(core int) (Stats, Stats) {
 // L3Stats returns the shared L3 statistics.
 func (h *Hierarchy) L3Stats() Stats { return h.l3.Stats() }
 
-// PublishMetrics writes the hierarchy's aggregate hit/miss statistics
-// into the registry as gauges: per-level accesses, hits and hit rate
-// (L1/L2 summed across cores). Safe on a nil registry.
+// PublishMetrics writes the hierarchy's hit/miss statistics into the
+// registry under the "cache" prefix. Safe on a nil registry.
 func (h *Hierarchy) PublishMetrics(reg *obs.Registry) {
+	h.PublishMetricsPrefix(reg, "cache")
+}
+
+// PublishMetricsPrefix writes the hierarchy's hit/miss statistics into the
+// registry as gauges under the given prefix: per-level accesses, hits and
+// hit rate (L1/L2 summed across cores), plus per-core L1/L2 accesses and
+// hit rates (<prefix>.l1.core<N>.hitrate), which expose the affinity
+// experiment's locality skew. Idle cores (zero accesses) are omitted from
+// the per-core gauges. Safe on a nil registry.
+func (h *Hierarchy) PublishMetricsPrefix(reg *obs.Registry, prefix string) {
 	if reg == nil {
 		return
+	}
+	publish := func(level string, s Stats) {
+		reg.Set(prefix+"."+level+".accesses", float64(s.Accesses))
+		reg.Set(prefix+"."+level+".hits", float64(s.Hits))
+		reg.Set(prefix+"."+level+".hitrate", s.HitRate())
 	}
 	var l1, l2 Stats
 	for i := range h.l1 {
@@ -237,11 +412,12 @@ func (h *Hierarchy) PublishMetrics(reg *obs.Registry) {
 		l1.Hits += s1.Hits
 		l2.Accesses += s2.Accesses
 		l2.Hits += s2.Hits
-	}
-	publish := func(level string, s Stats) {
-		reg.Set("cache."+level+".accesses", float64(s.Accesses))
-		reg.Set("cache."+level+".hits", float64(s.Hits))
-		reg.Set("cache."+level+".hitrate", s.HitRate())
+		if s1.Accesses > 0 {
+			publish(fmt.Sprintf("l1.core%d", i), s1)
+		}
+		if s2.Accesses > 0 {
+			publish(fmt.Sprintf("l2.core%d", i), s2)
+		}
 	}
 	publish("l1", l1)
 	publish("l2", l2)

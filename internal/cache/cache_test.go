@@ -1,10 +1,13 @@
 package cache
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"clperf/internal/arch"
+	"clperf/internal/ir"
 	"clperf/internal/units"
 )
 
@@ -180,5 +183,127 @@ func TestStatsHitRate(t *testing.T) {
 	}
 	if (Stats{}).HitRate() != 1 {
 		t.Error("idle cache hit rate must be 1")
+	}
+}
+
+// TestCacheEvictionOrderGolden pins the single-pass victim-selection
+// semantics: invalid ways fill first (lowest index), then the
+// least-recently-used way goes, lowest index winning ties. The golden
+// sequence documents exactly which resident set each access leaves behind.
+func TestCacheEvictionOrderGolden(t *testing.T) {
+	g := smallGeom() // 16 sets x 4 ways
+	c := New(g)
+	stride := g.Sets() * g.LineSize // all addresses below land in set 0
+	addr := func(i int64) int64 { return i * stride }
+
+	steps := []struct {
+		addr    int64
+		hit     bool
+		present []int64 // resident lines (by index) after the access
+	}{
+		{addr(0), false, []int64{0}},          // fill way 0
+		{addr(1), false, []int64{0, 1}},       // fill way 1
+		{addr(2), false, []int64{0, 1, 2}},    // fill way 2
+		{addr(3), false, []int64{0, 1, 2, 3}}, // fill way 3 (set full)
+		{addr(0), true, []int64{0, 1, 2, 3}},  // refresh 0: LRU is now 1
+		{addr(4), false, []int64{0, 2, 3, 4}}, // evicts 1 (LRU)
+		{addr(2), true, []int64{0, 2, 3, 4}},  // refresh 2: LRU is now 3
+		{addr(5), false, []int64{0, 2, 4, 5}}, // evicts 3
+		{addr(6), false, []int64{2, 4, 5, 6}}, // evicts 0 (oldest touch)
+		{addr(1), false, []int64{1, 2, 5, 6}}, // 1 misses (was evicted), evicts 4
+	}
+	for step, s := range steps {
+		if hit := c.Lookup(s.addr); hit != s.hit {
+			t.Fatalf("step %d: Lookup(%#x) hit=%v, want %v", step, s.addr, hit, s.hit)
+		}
+		for i := int64(0); i < 8; i++ {
+			want := false
+			for _, p := range s.present {
+				if p == i {
+					want = true
+				}
+			}
+			if got := c.Contains(addr(i)); got != want {
+				t.Fatalf("step %d: Contains(line %d) = %v, want %v (after %#x)",
+					step, i, got, want, s.addr)
+			}
+		}
+	}
+}
+
+// TestNewValidatesGeometry: line sizes must be powers of two (the shift
+// fast path depends on it); set counts need not be (the Xeon E5645 L3 has
+// 12288 sets and takes the modulo path).
+func TestNewValidatesGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must panic on a non-power-of-two line size")
+		}
+	}()
+	New(arch.CacheGeom{Size: 4 * units.Kibibyte, LineSize: 48, Assoc: 4, Latency: 4})
+}
+
+// TestNonPow2SetCount exercises the modulo set-index fallback with the
+// real Xeon L3 geometry (12 MiB / 64 B / 16-way = 12288 sets).
+func TestNonPow2SetCount(t *testing.T) {
+	l3 := arch.XeonE5645().L3
+	if s := l3.Sets(); s&(s-1) == 0 {
+		t.Fatalf("test premise broken: L3 sets %d is a power of two", s)
+	}
+	c := New(l3)
+	// Distinct sets stay distinct; refills hit.
+	for i := int64(0); i < 1000; i++ {
+		if c.Lookup(i * 64) {
+			t.Fatalf("cold line %d hit", i)
+		}
+	}
+	for i := int64(0); i < 1000; i++ {
+		if !c.Lookup(i * 64) {
+			t.Fatalf("warm line %d missed", i)
+		}
+	}
+}
+
+// TestAccessRangeMatchesAccess: the batched fast path must be bit-identical
+// to the per-access loop it replaces, including the store scaling and the
+// float accumulation order.
+func TestAccessRangeMatchesAccess(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ha := NewHierarchy(arch.XeonE5645())
+		hb := NewHierarchy(arch.XeonE5645())
+		const wf = StoreWriteFactor
+		recs := make([]ir.Access, 300)
+		for i := range recs {
+			size := int64(4 << rng.Intn(2))
+			if rng.Intn(8) == 0 {
+				size = 60 + rng.Int63n(70)
+			}
+			recs[i] = ir.Access{
+				Addr:  rng.Int63n(1 << 22),
+				Size:  size,
+				Write: rng.Intn(3) == 0,
+			}
+		}
+		core := rng.Intn(ha.Cores())
+		want := 0.0
+		for _, a := range recs {
+			lat := ha.Access(core, a.Addr, a.Size, a.Write)
+			if a.Write {
+				lat *= wf
+			}
+			want += lat
+		}
+		got := hb.AccessRange(core, recs, wf, 0)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Logf("seed %d: AccessRange %v, Access-loop %v", seed, got, want)
+			return false
+		}
+		a1, a2 := ha.CoreStats(core)
+		b1, b2 := hb.CoreStats(core)
+		return a1 == b1 && a2 == b2 && ha.L3Stats() == hb.L3Stats()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
 	}
 }

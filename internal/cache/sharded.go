@@ -1,0 +1,355 @@
+package cache
+
+// Two-phase sharded simulation of a Hierarchy.
+//
+// The execution engine (ir.ExecRange) runs workgroups concurrently and
+// flushes each group's buffered accesses to the tracer in ascending group
+// order, so a serial simulator forces the whole access stream through one
+// goroutine. But the hierarchy's L1 and L2 are private per physical core:
+// a core's private caches observe only the accesses of the groups mapped
+// to that core, and their contents never depend on the shared L3 (levels
+// fill on every miss regardless of where the line came from). That makes
+// the private levels embarrassingly parallel:
+//
+//   - Phase 1 routes each group's access batch to its core's shard worker,
+//     which simulates L1/L2 immediately (overlapping kernel execution) and
+//     emits a compact per-access record: the worst privately-resolved line
+//     latency, the extra-line count, and the line addresses that missed L2.
+//   - Phase 2 (Finish) replays the merged per-core miss streams through
+//     the shared L3 serially, in the exact group order the batches arrived
+//     in, accumulating per-core stall cycles.
+//
+// Because L1/L2 probes happen in per-core stream order, L3 probes happen
+// in global group order, and stall cycles accumulate access by access in
+// the same sequence, every Stats counter, the final cache contents
+// (Level/Contains probes), and the floating-point stall totals are
+// bit-identical to the serial simulator's. Serial is the differential
+// oracle; see the property tests.
+
+import (
+	"runtime"
+
+	"clperf/internal/ir"
+)
+
+// Sim is a cache simulation session: an ir.Tracer/ir.BatchTracer that
+// drives a Hierarchy from a traced kernel execution, plus Finish, which
+// completes the simulation and returns the accumulated memory-stall
+// cycles per physical core. Both the serial reference (NewSerial) and the
+// sharded engine (NewSharded) implement it.
+type Sim interface {
+	ir.BatchTracer
+	// Finish completes the simulation and returns per-core stall cycles.
+	// It must be called exactly once after the traced execution ends (it
+	// is idempotent; later calls return the same map).
+	Finish() map[int]float64
+}
+
+// StoreWriteFactor is the fraction of a store's miss latency that the
+// store buffer fails to hide: stores charge half their latency, loads all
+// of it.
+const StoreWriteFactor = 0.5
+
+// Serial is the reference simulator: it feeds the hierarchy one access at
+// a time from the tracer goroutine, exactly as the historical per-core
+// tracers did — the straightforward, obviously-correct implementation. It
+// anchors the sharded engine's differential tests the way the tree-walk
+// ExecRangeOracle anchors the compiled execution engine, and like that
+// oracle it skips the fast paths (batched AccessRange, sharding) so the
+// two implementations stay independent.
+type Serial struct {
+	h           *Hierarchy
+	coreOf      func(group int) int
+	writeFactor float64
+	core        int
+	stalls      map[int]float64
+}
+
+// NewSerial returns a serial simulation session on h. coreOf maps a
+// linear workgroup index to the physical core executing it; writeFactor
+// scales store latencies (use StoreWriteFactor).
+func NewSerial(h *Hierarchy, coreOf func(group int) int, writeFactor float64) *Serial {
+	return &Serial{h: h, coreOf: coreOf, writeFactor: writeFactor, stalls: map[int]float64{}}
+}
+
+// BeginGroup implements ir.Tracer.
+func (t *Serial) BeginGroup(g int) { t.core = t.h.clampCore(t.coreOf(g)) }
+
+// Access implements ir.Tracer.
+func (t *Serial) Access(addr, size int64, write bool) {
+	lat := t.h.Access(t.core, addr, size, write)
+	if write {
+		lat *= t.writeFactor
+	}
+	t.stalls[t.core] += lat
+}
+
+// AccessBatch implements ir.BatchTracer as the plain per-access loop (no
+// AccessRange batching — the oracle stays independent of the fast path it
+// verifies).
+func (t *Serial) AccessBatch(_ int, recs []ir.Access) {
+	for _, a := range recs {
+		t.Access(a.Addr, a.Size, a.Write)
+	}
+}
+
+// Finish implements Sim.
+func (t *Serial) Finish() map[int]float64 { return t.stalls }
+
+// accRec is the phase-1 result for one access: everything phase 2 needs
+// to finish the latency without re-touching the private levels.
+type accRec struct {
+	// resolved is the worst latency among the access's lines that hit L1
+	// or L2 (0 when every line missed both).
+	resolved float64
+	// extra is the number of lines beyond the first (each costs one extra
+	// cycle).
+	extra int32
+	// npend is how many of the access's lines missed L2 and await the
+	// shared-L3 replay; their line numbers sit consecutively in the
+	// shard's pend stream.
+	npend int32
+	write bool
+}
+
+// span marks a batch boundary in a shard's output streams: cumulative
+// end offsets into accs and pend after the batch.
+type span struct {
+	acc, pend int
+}
+
+// batch is one copied workgroup access batch in flight to a shard worker.
+type batch struct {
+	recs []ir.Access
+}
+
+// shardBufs bounds how many batches may be in flight to one shard worker:
+// the feeder blocks once a worker falls this far behind, capping memory.
+const shardBufs = 3
+
+// shard is one physical core's private-level simulator.
+type shard struct {
+	l1, l2 *Cache
+	in     chan batch
+	free   chan []ir.Access
+
+	// Written by the worker goroutine, read by Finish after done closes.
+	accs  []accRec
+	pend  []int64
+	spans []span
+	done  chan struct{}
+}
+
+// Sharded is the two-phase parallel simulation session. Feed it as the
+// Tracer of an ir.ExecRange launch (batches arrive in ascending group
+// order), then call Finish. One session may be active per Hierarchy at a
+// time; the hierarchy's caches carry state across sessions as usual.
+type Sharded struct {
+	h           *Hierarchy
+	coreOf      func(group int) int
+	writeFactor float64
+
+	shards []*shard
+	// order records the routed core of every non-empty batch, in arrival
+	// (== group) order: the phase-2 merge key.
+	order []int32
+
+	// inline short-circuits the worker pipeline when the process has a
+	// single schedulable CPU (GOMAXPROCS=1): goroutine handoff can only
+	// lose there, so batches run through the amortized AccessRange fast
+	// path directly. Output is bit-identical either way — the property
+	// tests pin both modes against the serial oracle.
+	inline bool
+
+	// Streaming-tracer fallback state (ir.Tracer without batching, e.g.
+	// the oracle executor): accesses buffer in scratch until the group
+	// ends, then flush as a batch.
+	group   int
+	scratch []ir.Access
+
+	finished bool
+	stalls   map[int]float64
+}
+
+// NewSharded returns a sharded simulation session on h. coreOf maps a
+// linear workgroup index to the physical core executing it (out-of-range
+// cores clamp to 0, as in Hierarchy.Access); writeFactor scales store
+// latencies. With more than one schedulable CPU it starts one phase-1
+// worker per physical core; on a single CPU it degrades to the inline
+// AccessRange fast path (same results, no handoff overhead).
+func NewSharded(h *Hierarchy, coreOf func(group int) int, writeFactor float64) *Sharded {
+	return newSharded(h, coreOf, writeFactor, runtime.GOMAXPROCS(0) == 1)
+}
+
+// newSharded is the test seam: the property tests force both modes
+// regardless of the host's CPU count.
+func newSharded(h *Hierarchy, coreOf func(group int) int, writeFactor float64, inline bool) *Sharded {
+	s := &Sharded{
+		h:           h,
+		coreOf:      coreOf,
+		writeFactor: writeFactor,
+		inline:      inline,
+	}
+	if inline {
+		s.stalls = map[int]float64{}
+		return s
+	}
+	s.shards = make([]*shard, h.Cores())
+	for i := range s.shards {
+		sh := &shard{
+			l1:   h.l1[i],
+			l2:   h.l2[i],
+			in:   make(chan batch, shardBufs),
+			free: make(chan []ir.Access, shardBufs),
+			done: make(chan struct{}),
+		}
+		for b := 0; b < shardBufs; b++ {
+			sh.free <- nil
+		}
+		s.shards[i] = sh
+		go sh.run(h.lineShift)
+	}
+	return s
+}
+
+// run is the phase-1 worker: it owns the shard's private L1/L2 and output
+// streams until the input channel closes.
+func (sh *shard) run(lineShift uint8) {
+	defer close(sh.done)
+	l1, l2 := sh.l1, sh.l2
+	l1lat, l2lat := l1.Latency(), l2.Latency()
+	for b := range sh.in {
+		for _, a := range b.recs {
+			first := a.Addr >> lineShift
+			last := (a.Addr + a.Size - 1) >> lineShift
+			resolved := 0.0
+			npend := int32(0)
+			for la := first; la <= last; la++ {
+				var lat float64
+				switch {
+				case l1.lookupLine(la):
+					lat = l1lat
+				case l2.lookupLine(la):
+					lat = l2lat
+				default:
+					sh.pend = append(sh.pend, la)
+					npend++
+					continue
+				}
+				if lat > resolved {
+					resolved = lat
+				}
+			}
+			sh.accs = append(sh.accs, accRec{
+				resolved: resolved,
+				extra:    int32(last - first),
+				npend:    npend,
+				write:    a.Write,
+			})
+		}
+		sh.spans = append(sh.spans, span{acc: len(sh.accs), pend: len(sh.pend)})
+		sh.free <- b.recs
+	}
+}
+
+// BeginGroup implements ir.Tracer.
+func (s *Sharded) BeginGroup(g int) {
+	s.flushScratch()
+	s.group = g
+}
+
+// Access implements ir.Tracer (the streaming fallback): records buffer
+// until the group ends.
+func (s *Sharded) Access(addr, size int64, write bool) {
+	s.scratch = append(s.scratch, ir.Access{Addr: addr, Size: size, Write: write})
+}
+
+// AccessBatch implements ir.BatchTracer: one workgroup's accesses, routed
+// to the executing core's shard. The slice is copied (the engine recycles
+// it after the call returns).
+func (s *Sharded) AccessBatch(g int, recs []ir.Access) {
+	if len(recs) == 0 {
+		return
+	}
+	core := s.h.clampCore(s.coreOf(g))
+	if s.inline {
+		s.stalls[core] = s.h.AccessRange(core, recs, s.writeFactor, s.stalls[core])
+		return
+	}
+	sh := s.shards[core]
+	buf := <-sh.free
+	buf = append(buf[:0], recs...)
+	sh.in <- batch{recs: buf}
+	s.order = append(s.order, int32(core))
+}
+
+func (s *Sharded) flushScratch() {
+	if len(s.scratch) == 0 {
+		return
+	}
+	s.AccessBatch(s.group, s.scratch)
+	s.scratch = s.scratch[:0]
+}
+
+// Finish implements Sim: it joins the phase-1 workers, replays the merged
+// per-core miss streams through the shared L3 in group order (phase 2),
+// and returns the per-core stall cycles. Idempotent.
+func (s *Sharded) Finish() map[int]float64 {
+	if s.finished {
+		return s.stalls
+	}
+	s.finished = true
+	s.flushScratch()
+	if s.inline {
+		return s.stalls
+	}
+	for _, sh := range s.shards {
+		close(sh.in)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+
+	type cursor struct{ span, acc, pend int }
+	cur := make([]cursor, len(s.shards))
+	l3 := s.h.l3
+	l3lat := l3.Latency()
+	memLat := l3lat + s.h.memLat
+	stalls := make(map[int]float64, len(s.shards))
+	for _, core := range s.order {
+		sh := s.shards[core]
+		c := &cur[core]
+		end := sh.spans[c.span].acc
+		c.span++
+		acc := stalls[int(core)]
+		for ; c.acc < end; c.acc++ {
+			r := &sh.accs[c.acc]
+			worst := r.resolved
+			for n := int32(0); n < r.npend; n++ {
+				la := sh.pend[c.pend]
+				c.pend++
+				lat := memLat
+				if l3.lookupLine(la) {
+					lat = l3lat
+				}
+				if lat > worst {
+					worst = lat
+				}
+			}
+			lat := worst + float64(r.extra)
+			if r.write {
+				lat *= s.writeFactor
+			}
+			acc += lat
+		}
+		stalls[int(core)] = acc
+	}
+	s.stalls = stalls
+	return stalls
+}
+
+// interface conformance
+var (
+	_ Sim = (*Serial)(nil)
+	_ Sim = (*Sharded)(nil)
+)

@@ -1,0 +1,296 @@
+package cache
+
+// Differential testing of the two-phase sharded cache simulator against
+// the serial reference (the oracle, as ir.ExecRangeOracle is for the
+// execution engine): on randomized access streams and on every registered
+// kernels application the two must agree bitwise — per-level Stats,
+// per-core stall cycles (float bit patterns), and Level probes — with the
+// traced execution serial and parallel. CI runs this package under -race,
+// so the phase-1 worker handoff is also exercised by the race detector.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+// diffHierarchies fails unless a and b are in bitwise-identical states:
+// same per-core L1/L2 stats, same L3 stats, and same Level classification
+// for every probe address.
+func diffHierarchies(t *testing.T, label string, a, b *Hierarchy, probes []int64) {
+	t.Helper()
+	if a.Cores() != b.Cores() {
+		t.Fatalf("%s: core counts differ: %d vs %d", label, a.Cores(), b.Cores())
+	}
+	for c := 0; c < a.Cores(); c++ {
+		a1, a2 := a.CoreStats(c)
+		b1, b2 := b.CoreStats(c)
+		if a1 != b1 || a2 != b2 {
+			t.Fatalf("%s: core %d stats differ: L1 %+v vs %+v, L2 %+v vs %+v",
+				label, c, a1, b1, a2, b2)
+		}
+	}
+	if a.L3Stats() != b.L3Stats() {
+		t.Fatalf("%s: L3 stats differ: %+v vs %+v", label, a.L3Stats(), b.L3Stats())
+	}
+	for _, addr := range probes {
+		for c := 0; c < a.Cores(); c++ {
+			if la, lb := a.Level(c, addr), b.Level(c, addr); la != lb {
+				t.Fatalf("%s: Level(core %d, %#x) = %d vs %d", label, c, addr, la, lb)
+			}
+		}
+	}
+}
+
+// diffStalls fails unless the two per-core stall maps carry identical
+// float64 bit patterns.
+func diffStalls(t *testing.T, label string, got, want map[int]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: stalls for %d cores, oracle %d (%v vs %v)",
+			label, len(got), len(want), got, want)
+	}
+	for c, w := range want {
+		g, ok := got[c]
+		if !ok {
+			t.Fatalf("%s: core %d missing from stalls", label, c)
+		}
+		if math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("%s: core %d stall %v (%#x), oracle %v (%#x)",
+				label, c, g, math.Float64bits(g), w, math.Float64bits(w))
+		}
+	}
+}
+
+// TestShardedMatchesSerialRandomStreams is the stream-level fuzz
+// property: random batched access streams with random group->core
+// mappings replayed into both simulators must leave bitwise-identical
+// hierarchies and stall totals. Address ranges are sized so all four
+// outcomes (L1/L2/L3/DRAM) occur.
+func TestShardedMatchesSerialRandomStreams(t *testing.T) {
+	cpu := arch.XeonE5645()
+	for _, mode := range []struct {
+		name   string
+		inline bool
+	}{{"workers", false}, {"inline", true}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 25; trial++ {
+				groups := 1 + rng.Intn(64)
+				phys := cpu.PhysicalCores()
+				coreMap := make([]int, groups)
+				for g := range coreMap {
+					coreMap[g] = rng.Intn(phys + 2) // includes out-of-range cores (clamped)
+				}
+				coreOf := func(g int) int { return coreMap[g] }
+
+				hs := NewHierarchy(cpu)
+				hp := NewHierarchy(cpu)
+				serial := NewSerial(hs, coreOf, StoreWriteFactor)
+				sharded := newSharded(hp, coreOf, StoreWriteFactor, mode.inline)
+
+				var probes []int64
+				span := int64(1 << (14 + rng.Intn(10))) // 16 KiB .. 8 MiB working sets
+				for g := 0; g < groups; g++ {
+					n := rng.Intn(200)
+					recs := make([]ir.Access, n)
+					for i := range recs {
+						addr := rng.Int63n(span)
+						size := int64(4 << rng.Intn(2))
+						if rng.Intn(16) == 0 {
+							size = 60 + rng.Int63n(16) // spans cache lines
+						}
+						recs[i] = ir.Access{Addr: addr, Size: size, Write: rng.Intn(3) == 0}
+						if len(probes) < 64 {
+							probes = append(probes, addr)
+						}
+					}
+					serial.BeginGroup(g)
+					serial.AccessBatch(g, recs)
+					sharded.BeginGroup(g)
+					sharded.AccessBatch(g, recs)
+				}
+				diffStalls(t, "random stream", sharded.Finish(), serial.Finish())
+				diffHierarchies(t, "random stream", hp, hs, probes)
+			}
+		})
+	}
+}
+
+// kernelTestConfig mirrors the kernels package's shrunken geometries so
+// every registered app traces in test time.
+func kernelTestConfig(app *kernels.App) ir.NDRange {
+	switch app.Name {
+	case "Square", "Vectoraddition":
+		return ir.Range1D(4096, 64)
+	case "Matrixmul", "MatrixmulNaive":
+		return ir.Range2D(48, 32, 8, 8)
+	case "Reduction":
+		return ir.Range1D(8192, 256)
+	case "Histogram":
+		return ir.Range1D(16384, 128)
+	case "Prefixsum":
+		return ir.Range1D(1024, 1024)
+	case "Blackscholes":
+		return ir.Range2D(64, 48, 8, 8)
+	case "Binomialoption":
+		return ir.Range1D(255*4, 255)
+	}
+	return app.DefaultConfig()
+}
+
+func cloneArgsDeep(a *ir.Args) *ir.Args {
+	c := ir.NewArgs()
+	for name, b := range a.Buffers {
+		c.Buffers[name] = &ir.Buffer{
+			Name: b.Name,
+			Elem: b.Elem,
+			Base: b.Base,
+			Data: append([]float64(nil), b.Data...),
+		}
+	}
+	for k, v := range a.Scalars {
+		c.Scalars[k] = v
+	}
+	return c
+}
+
+// TestShardedMatchesSerialOnApps traces every registered application
+// through both simulators — the serial oracle under serial execution, the
+// sharded engine under serial AND parallel execution — and requires
+// bitwise-identical outcomes.
+func TestShardedMatchesSerialOnApps(t *testing.T) {
+	cpu := arch.XeonE5645()
+	for _, app := range kernels.Registry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			nd := kernelTestConfig(app)
+			proto := app.Make(nd)
+			// Distinct simulated address ranges per buffer, as real launches
+			// have.
+			base := int64(1 << 21)
+			for _, b := range proto.Buffers {
+				b.Base = base
+				base += b.Bytes() + 4096
+			}
+			coreOf := func(g int) int { return g % cpu.PhysicalCores() }
+			var probes []int64
+			for _, b := range proto.Buffers {
+				probes = append(probes, b.Base, b.Base+b.Bytes()/2)
+			}
+
+			hs := NewHierarchy(cpu)
+			serial := NewSerial(hs, coreOf, StoreWriteFactor)
+			if err := ir.ExecRange(app.Kernel, cloneArgsDeep(proto), nd,
+				ir.ExecOptions{Tracer: serial}); err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			want := serial.Finish()
+
+			for _, par := range []int{0, 8} {
+				for _, inline := range []bool{false, true} {
+					hp := NewHierarchy(cpu)
+					sharded := newSharded(hp, coreOf, StoreWriteFactor, inline)
+					if err := ir.ExecRange(app.Kernel, cloneArgsDeep(proto), nd,
+						ir.ExecOptions{Tracer: sharded, Parallel: par}); err != nil {
+						t.Fatalf("sharded par=%d inline=%v: %v", par, inline, err)
+					}
+					label := fmt.Sprintf("sharded par=%d inline=%v", par, inline)
+					diffStalls(t, label, sharded.Finish(), want)
+					diffHierarchies(t, label, hp, hs, probes)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedStreamingFallback drives the sharded session through the
+// per-access Tracer path (as the tree-walk oracle executor does) and
+// checks it against the serial reference.
+func TestShardedStreamingFallback(t *testing.T) {
+	cpu := arch.XeonE5645()
+	app := kernels.VectorAdd()
+	nd := ir.Range1D(4096, 64)
+	proto := app.Make(nd)
+	coreOf := func(g int) int { return g % cpu.PhysicalCores() }
+
+	hs := NewHierarchy(cpu)
+	serial := NewSerial(hs, coreOf, StoreWriteFactor)
+	if err := ir.ExecRangeOracle(app.Kernel, cloneArgsDeep(proto), nd,
+		ir.ExecOptions{Tracer: serial}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := serial.Finish()
+	for _, inline := range []bool{false, true} {
+		hp := NewHierarchy(cpu)
+		sharded := newSharded(hp, coreOf, StoreWriteFactor, inline)
+		if err := ir.ExecRangeOracle(app.Kernel, cloneArgsDeep(proto), nd,
+			ir.ExecOptions{Tracer: sharded}); err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("oracle-exec stream inline=%v", inline)
+		diffStalls(t, label, sharded.Finish(), want)
+		diffHierarchies(t, label, hp, hs, nil)
+	}
+}
+
+// TestShardedFinishIdempotent: an empty session finishes cleanly (no
+// stalls, no hung workers), and repeated Finish calls return the same map.
+func TestShardedFinishIdempotent(t *testing.T) {
+	for _, inline := range []bool{false, true} {
+		h := NewHierarchy(arch.XeonE5645())
+		s := newSharded(h, func(int) int { return 0 }, StoreWriteFactor, inline)
+		first := s.Finish()
+		if len(first) != 0 {
+			t.Fatalf("inline=%v: empty session produced stalls: %v", inline, first)
+		}
+		second := s.Finish()
+		if len(second) != 0 {
+			t.Fatalf("inline=%v: second Finish differs: %v", inline, second)
+		}
+
+		// A non-empty session: Finish twice returns identical totals.
+		s2 := newSharded(h, func(int) int { return 0 }, StoreWriteFactor, inline)
+		s2.BeginGroup(0)
+		s2.AccessBatch(0, []ir.Access{{Addr: 64, Size: 4}, {Addr: 128, Size: 4, Write: true}})
+		a := s2.Finish()
+		b := s2.Finish()
+		if len(a) != 1 || len(b) != 1 ||
+			math.Float64bits(a[0]) != math.Float64bits(b[0]) {
+			t.Fatalf("inline=%v: Finish not idempotent: %v vs %v", inline, a, b)
+		}
+	}
+}
+
+// TestShardedSessionsPersistState: consecutive sessions on one hierarchy
+// see each other's cache residency, exactly like consecutive serial
+// launches — the producer/consumer mechanism of the affinity experiment.
+func TestShardedSessionsPersistState(t *testing.T) {
+	cpu := arch.XeonE5645()
+	hs := NewHierarchy(cpu)
+	hp := NewHierarchy(cpu)
+	coreOf := func(g int) int { return g }
+	recs := make([]ir.Access, 256)
+	for i := range recs {
+		recs[i] = ir.Access{Addr: int64(i * 64), Size: 4}
+	}
+	for session := 0; session < 3; session++ {
+		serial := NewSerial(hs, coreOf, StoreWriteFactor)
+		sharded := newSharded(hp, coreOf, StoreWriteFactor, session%2 == 1)
+		for g := 0; g < 4; g++ {
+			serial.BeginGroup(g)
+			serial.AccessBatch(g, recs)
+			sharded.BeginGroup(g)
+			sharded.AccessBatch(g, recs)
+		}
+		diffStalls(t, "persistent session", sharded.Finish(), serial.Finish())
+	}
+	diffHierarchies(t, "persistent session", hp, hs, []int64{0, 64, 4096})
+}

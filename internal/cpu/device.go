@@ -23,6 +23,11 @@ type Device struct {
 	// ForceScalar disables the implicit vectorizer (an ablation knob: the
 	// runtime compiles every kernel at width 1).
 	ForceScalar bool
+	// CacheSimOracle makes LaunchPinned simulate the cache hierarchy with
+	// the serial reference simulator instead of the sharded engine — the
+	// differential oracle for determinism tests. Results are bit-identical
+	// either way; serial is just slower.
+	CacheSimOracle bool
 	// Obs, when set, records every priced launch as a span tree (launch ->
 	// dispatch/compute/mem_floor phases) plus per-kernel time histograms.
 	// Nil (the default) costs nothing. Spans are laid end to end on the

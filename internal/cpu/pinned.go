@@ -31,47 +31,17 @@ type PinnedResult struct {
 	Hierarchy *cache.Hierarchy
 }
 
-// pinnedTracer routes the access stream to the mapped core.
-type pinnedTracer struct {
-	hier   *cache.Hierarchy
-	aff    AffinityFunc
-	phys   int
-	core   int
-	stalls map[int]float64
-}
-
-func (t *pinnedTracer) BeginGroup(g int) {
-	t.core = t.aff(g) % t.phys
-	if t.core < 0 {
-		t.core += t.phys
-	}
-}
-
-func (t *pinnedTracer) Access(addr, size int64, write bool) {
-	lat := t.hier.Access(t.core, addr, size, write)
-	if write {
-		lat *= 0.5 // store buffer hides half of store-miss latency
-	}
-	t.stalls[t.core] += lat
-}
-
-// AccessBatch implements ir.BatchTracer: one call per workgroup instead
-// of one interface call per access. The records arrive in program order,
-// so the hierarchy sees exactly the serial stream.
-func (t *pinnedTracer) AccessBatch(_ int, recs []ir.Access) {
-	for _, a := range recs {
-		lat := t.hier.Access(t.core, a.Addr, a.Size, a.Write)
-		if a.Write {
-			lat *= 0.5
-		}
-		t.stalls[t.core] += lat
-	}
-}
-
 // LaunchPinned functionally executes the kernel with the given
 // workgroup->core affinity, charging memory time from the (persistent)
 // cache hierarchy instead of the bandwidth floor. Use one hierarchy across
 // launches to model producer/consumer cache reuse.
+//
+// The cache simulation is the two-phase sharded engine (cache.NewSharded):
+// each core's private L1/L2 simulate concurrently with the traced
+// execution, and the merged miss stream replays through the shared L3 in
+// deterministic group order, so the result is bit-identical to the serial
+// simulator (cache.NewSerial), which CacheSimOracle selects for
+// differential testing.
 func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 	aff AffinityFunc, hier *cache.Hierarchy) (*PinnedResult, error) {
 	if aff == nil {
@@ -89,18 +59,30 @@ func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 		return nil, err
 	}
 
-	tracer := &pinnedTracer{
-		hier:   hier,
-		aff:    aff,
-		phys:   d.A.PhysicalCores(),
-		stalls: map[int]float64{},
+	// The affinity function may return any int; normalize to a physical
+	// core by wrapping (negative values wrap upward).
+	phys := d.A.PhysicalCores()
+	coreOf := func(g int) int {
+		c := aff(g) % phys
+		if c < 0 {
+			c += phys
+		}
+		return c
+	}
+	var sim cache.Sim
+	if d.CacheSimOracle {
+		sim = cache.NewSerial(hier, coreOf, cache.StoreWriteFactor)
+	} else {
+		sim = cache.NewSharded(hier, coreOf, cache.StoreWriteFactor)
 	}
 	// Workgroups execute concurrently; the engine buffers each group's
-	// accesses and replays them to the tracer in group order from one
-	// goroutine, so the cache hierarchy observes the serial stream.
-	opts := ir.ExecOptions{Tracer: tracer, Parallel: runtime.GOMAXPROCS(0)}
-	if err := ir.ExecRange(k, args, nd, opts); err != nil {
-		return nil, fmt.Errorf("cpu: pinned execution of %s: %w", k.Name, err)
+	// accesses and flushes them to the simulator in group order, so the
+	// cache hierarchy observes the serial stream.
+	opts := ir.ExecOptions{Tracer: sim, Parallel: runtime.GOMAXPROCS(0)}
+	execErr := ir.ExecRange(k, args, nd, opts)
+	stalls := sim.Finish() // always join the shard workers
+	if execErr != nil {
+		return nil, fmt.Errorf("cpu: pinned execution of %s: %w", k.Name, execErr)
 	}
 
 	// Per-core busy time: the groups it was assigned plus its cache stalls.
@@ -108,11 +90,7 @@ func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 	items := nd.GroupItems()
 	groupsPerCore := map[int]int{}
 	for g := 0; g < groups; g++ {
-		c := tracer.aff(g) % tracer.phys
-		if c < 0 {
-			c += tracer.phys
-		}
-		groupsPerCore[c]++
+		groupsPerCore[coreOf(g)]++
 	}
 	activeCores := len(groupsPerCore)
 	issueShare := 1.0 // one pinned thread per core: no SMT contention
@@ -120,7 +98,7 @@ func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 
 	var worst float64
 	for c, n := range groupsPerCore {
-		busy := float64(n)*groupCycles + tracer.stalls[c] +
+		busy := float64(n)*groupCycles + stalls[c] +
 			float64(n)*float64(d.A.GroupDispatch)/float64(d.A.Clock.Period())
 		if busy > worst {
 			worst = busy
@@ -138,7 +116,7 @@ func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 			Groups:  groups,
 			Workers: activeCores,
 		},
-		StallCycles: tracer.stalls,
+		StallCycles: stalls,
 		Hierarchy:   hier,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"math"
 	"testing"
 
 	"clperf/internal/arch"
@@ -95,5 +96,61 @@ func TestLaunchPinnedValidation(t *testing.T) {
 	if _, err := d.LaunchPinned(squareKernel(), args, ir.Range1D(64, 8),
 		func(g int) int { return -g }, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLaunchPinnedOracleBitIdentical: LaunchPinned through the sharded
+// engine must match the serial oracle (CacheSimOracle) bitwise — Time,
+// per-core StallCycles, and the resulting hierarchy stats.
+func TestLaunchPinnedOracleBitIdentical(t *testing.T) {
+	const (
+		n     = 8192
+		local = 512
+	)
+	run := func(oracle bool) (*PinnedResult, *cache.Hierarchy) {
+		d := New(arch.XeonE5645())
+		d.CacheSimOracle = oracle
+		args := squareArgs(n)
+		for i := 0; i < n; i++ {
+			args.Buffers["in"].Set(i, float64(i%97))
+		}
+		hier := cache.NewHierarchy(d.A)
+		// Two launches on one hierarchy: the second sees warm caches.
+		for pass := 0; pass < 2; pass++ {
+			res, err := d.LaunchPinned(squareKernel(), args, ir.Range1D(n, local),
+				func(g int) int { return (g * 3) % 8 }, hier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pass == 1 {
+				return res, hier
+			}
+		}
+		panic("unreachable")
+	}
+	want, hs := run(true)
+	got, hp := run(false)
+
+	if got.Time != want.Time {
+		t.Fatalf("Time %v, oracle %v", got.Time, want.Time)
+	}
+	if len(got.StallCycles) != len(want.StallCycles) {
+		t.Fatalf("stall map sizes %d vs %d", len(got.StallCycles), len(want.StallCycles))
+	}
+	for c, w := range want.StallCycles {
+		if g := got.StallCycles[c]; math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("core %d stalls %v, oracle %v", c, g, w)
+		}
+	}
+	for c := 0; c < hs.Cores(); c++ {
+		w1, w2 := hs.CoreStats(c)
+		g1, g2 := hp.CoreStats(c)
+		if g1 != w1 || g2 != w2 {
+			t.Fatalf("core %d cache stats diverge: L1 %+v vs %+v, L2 %+v vs %+v",
+				c, g1, w1, g2, w2)
+		}
+	}
+	if hp.L3Stats() != hs.L3Stats() {
+		t.Fatalf("L3 stats %+v, oracle %+v", hp.L3Stats(), hs.L3Stats())
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"clperf/internal/harness"
 	"clperf/internal/ir"
 	"clperf/internal/kernels"
+	"clperf/internal/obs"
 	"clperf/internal/omp"
 	"clperf/internal/units"
 )
@@ -21,8 +22,10 @@ const (
 // runAffinity executes the paper's two dependent computations
 // (Vector Addition producing c, then Vector Multiplication consuming c)
 // with the given mapping of second-computation threads to cores, returning
-// the second region's time.
-func runAffinity(secondAffinity []int) (units.Duration, error) {
+// the second region's time. When rec is observing, the final cache
+// hierarchy publishes per-core hit rates under cache.fig9.<label> (the
+// misaligned mapping shows up as a collapsed per-core L1/L2 hit rate).
+func runAffinity(secondAffinity []int, rec *obs.Recorder, label string) (units.Duration, error) {
 	rt := omp.New(arch.XeonE5645())
 	rt.NumThreads = affinityThreads
 	rt.ProcBind = true
@@ -55,6 +58,7 @@ func runAffinity(secondAffinity []int) (units.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	rt.Hierarchy().PublishMetricsPrefix(rec.Registry(), "cache.fig9."+label)
 	return res.Time, nil
 }
 
@@ -66,11 +70,11 @@ func Fig9() harness.Experiment {
 		ID:    "fig9",
 		Title: "CPU affinity: aligned vs misaligned dependent kernels",
 		Run: func(opts harness.Options) (*harness.Report, error) {
-			aligned, err := runAffinity([]int{0, 1, 2, 3, 4, 5, 6, 7})
+			aligned, err := runAffinity([]int{0, 1, 2, 3, 4, 5, 6, 7}, opts.Obs, "aligned")
 			if err != nil {
 				return nil, err
 			}
-			misaligned, err := runAffinity([]int{1, 2, 3, 4, 5, 6, 7, 0})
+			misaligned, err := runAffinity([]int{1, 2, 3, 4, 5, 6, 7, 0}, opts.Obs, "misaligned")
 			if err != nil {
 				return nil, err
 			}

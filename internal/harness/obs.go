@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"clperf/internal/obs"
 	"clperf/internal/units"
@@ -28,6 +29,76 @@ func MetricsTable(s obs.Snapshot) *Table {
 			fmtMetric(h.Name, h.P95), fmtMetric(h.Name, h.Max))
 	}
 	return t
+}
+
+// CacheStatsTable filters the cache-hierarchy gauges out of a metrics
+// snapshot (cache.<scope...>.l1.core3.hitrate and the per-level
+// aggregates published by cache.Hierarchy.PublishMetricsPrefix) and
+// renders them as one row per (scope, level, core). Returns a table with
+// no rows when the snapshot carries no cache gauges (cache simulation
+// off).
+func CacheStatsTable(s obs.Snapshot) *Table {
+	t := &Table{
+		Title:   "cache hierarchy",
+		Columns: []string{"scope", "level", "core", "accesses", "hits", "hitrate"},
+	}
+	type key struct{ scope, level, core string }
+	rows := map[key]map[string]float64{}
+	var order []key
+	for _, m := range s.Gauges {
+		scope, level, core, field, ok := parseCacheGauge(m.Name)
+		if !ok {
+			continue
+		}
+		k := key{scope, level, core}
+		if rows[k] == nil {
+			rows[k] = map[string]float64{}
+			order = append(order, k)
+		}
+		rows[k][field] = m.Value
+	}
+	// Gauges arrive name-sorted, so "all" aggregates (no core suffix)
+	// precede the per-core rows of the same level.
+	for _, k := range order {
+		r := rows[k]
+		t.AddRow(k.scope, k.level, k.core,
+			fmt.Sprintf("%.0f", r["accesses"]),
+			fmt.Sprintf("%.0f", r["hits"]),
+			fmt.Sprintf("%.3f", r["hitrate"]))
+	}
+	return t
+}
+
+// parseCacheGauge decomposes a hierarchy gauge name of the form
+// <scope>.l<N>[.core<M>].<field> where scope starts with "cache". core is
+// "all" for the per-level aggregates.
+func parseCacheGauge(name string) (scope, level, core, field string, ok bool) {
+	if name != "cache" && !strings.HasPrefix(name, "cache.") {
+		return "", "", "", "", false
+	}
+	parts := strings.Split(name, ".")
+	if len(parts) < 3 {
+		return "", "", "", "", false
+	}
+	field = parts[len(parts)-1]
+	if field != "accesses" && field != "hits" && field != "hitrate" {
+		return "", "", "", "", false
+	}
+	rest := parts[1 : len(parts)-1]
+	core = "all"
+	if last := rest[len(rest)-1]; strings.HasPrefix(last, "core") {
+		core = last[len("core"):]
+		rest = rest[:len(rest)-1]
+	}
+	if len(rest) == 0 {
+		return "", "", "", "", false
+	}
+	level = rest[len(rest)-1]
+	if len(level) != 2 || level[0] != 'l' || level[1] < '1' || level[1] > '3' {
+		return "", "", "", "", false
+	}
+	scope = strings.Join(append([]string{"cache"}, rest[:len(rest)-1]...), ".")
+	return scope, level, core, field, true
 }
 
 // durationMetric reports whether the metric name carries nanoseconds by

@@ -133,3 +133,41 @@ func TestRunQuickstartTrace(t *testing.T) {
 		t.Fatal("no spans recorded")
 	}
 }
+
+func TestCacheStatsTable(t *testing.T) {
+	reg := obs.NewRegistry()
+	// The shape cache.Hierarchy.PublishMetricsPrefix produces.
+	for _, pre := range []string{"cache.l1", "cache.l1.core0", "cache.l1.core3", "cache.l3"} {
+		reg.Set(pre+".accesses", 100)
+		reg.Set(pre+".hits", 75)
+		reg.Set(pre+".hitrate", 0.75)
+	}
+	reg.Set("cache.fig9.aligned.l2.core1.hitrate", 0.5)
+	reg.Set("cache.fig9.aligned.l2.core1.accesses", 8)
+	reg.Set("cache.fig9.aligned.l2.core1.hits", 4)
+	// Non-cache gauges and malformed names are ignored.
+	reg.Set("sched.util.mean", 0.9)
+	reg.Set("cachesomethingelse.l1.hitrate", 1)
+	reg.Set("cache.l1.core0.unknownfield", 1)
+
+	tbl := CacheStatsTable(reg.Snapshot())
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5: %v", len(tbl.Rows), tbl.Rows)
+	}
+	// Name-sorted gauges put the scoped fig9 row first, then the "all"
+	// aggregate of cache.l1 before its per-core rows.
+	want := [][]string{
+		{"cache.fig9.aligned", "l2", "1", "8", "4", "0.500"},
+		{"cache", "l1", "all", "100", "75", "0.750"},
+		{"cache", "l1", "0", "100", "75", "0.750"},
+		{"cache", "l1", "3", "100", "75", "0.750"},
+		{"cache", "l3", "all", "100", "75", "0.750"},
+	}
+	for i, w := range want {
+		for j, cell := range w {
+			if tbl.Rows[i][j] != cell {
+				t.Fatalf("row %d = %v, want %v", i, tbl.Rows[i], w)
+			}
+		}
+	}
+}

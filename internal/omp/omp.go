@@ -60,6 +60,10 @@ type Runtime struct {
 
 	// hier persists across parallel regions when cache simulation is on.
 	hier *cache.Hierarchy
+	// CacheSimOracle simulates the caches with the serial reference
+	// simulator instead of the sharded engine (the differential oracle;
+	// results are bit-identical either way).
+	CacheSimOracle bool
 	// LoopOverhead is the per-iteration bookkeeping of the compiled loop
 	// (far below the OpenCL runtime's per-workitem overhead).
 	LoopOverhead float64
@@ -181,30 +185,44 @@ func (r *Runtime) parallelFor(k *ir.Kernel, args *ir.Args, n int, sched Schedule
 	// Functional execution, optionally through the persistent caches. The
 	// execution geometry needs a local size that divides n; iteration g of
 	// the resulting group range belongs to the thread owning that chunk.
-	var tracer *coreTracer
+	var coreCycles map[int]float64
 	if functional {
 		chunk := chunkOf(n, threads)
 		execLocal := largestDivisorLE(n, chunk)
 		execND := ir.Range1D(n, execLocal)
+		var sim cache.Sim
 		if r.hier != nil {
-			tracer = &coreTracer{hier: r.hier, groupCore: func(g int) int {
+			groupCore := func(g int) int {
 				thread := g * execLocal / chunk
 				if thread >= threads {
 					thread = threads - 1
 				}
 				return r.threadCore(thread, r.regions)
-			}}
+			}
+			// The sharded engine simulates each core's private L1/L2
+			// concurrently with execution and replays the merged miss
+			// stream through the shared L3 in group order; the serial
+			// reference is the differential oracle (CacheSimOracle).
+			if r.CacheSimOracle {
+				sim = cache.NewSerial(r.hier, groupCore, cache.StoreWriteFactor)
+			} else {
+				sim = cache.NewSharded(r.hier, groupCore, cache.StoreWriteFactor)
+			}
 		}
 		// Tracing no longer costs the parallelism: the engine buffers each
 		// group's accesses and flushes them in group order, so the cache
 		// hierarchy sees the serial stream while groups execute on all
 		// threads.
 		execOpts := ir.ExecOptions{Parallel: threads}
-		if tracer != nil {
-			execOpts.Tracer = tracer
+		if sim != nil {
+			execOpts.Tracer = sim
 		}
-		if err := ir.ExecRange(k, args, execND, execOpts); err != nil {
-			return nil, fmt.Errorf("omp: %s: %w", k.Name, err)
+		execErr := ir.ExecRange(k, args, execND, execOpts)
+		if sim != nil {
+			coreCycles = sim.Finish() // always join the shard workers
+		}
+		if execErr != nil {
+			return nil, fmt.Errorf("omp: %s: %w", k.Name, execErr)
 		}
 	}
 
@@ -223,10 +241,10 @@ func (r *Runtime) parallelFor(k *ir.Kernel, args *ir.Args, n int, sched Schedule
 			iters = n - chunk*(threads-1)
 		}
 		cycles := float64(iters) * perIter
-		if tracer != nil {
+		if coreCycles != nil {
 			core := r.threadCore(t, r.regions)
-			cycles += tracer.coreCycles[core]
-			memStall += tracer.coreCycles[core]
+			cycles += coreCycles[core]
+			memStall += coreCycles[core]
 		}
 		perThread[t] = r.A.Clock.Cycles(cycles)
 		switch sched {
@@ -302,45 +320,6 @@ func totalBytes(args *ir.Args) int64 {
 		}
 	}
 	return b
-}
-
-// coreTracer routes the functional execution's memory accesses into the
-// persistent cache hierarchy and accumulates stall cycles per core.
-type coreTracer struct {
-	hier       *cache.Hierarchy
-	groupCore  func(g int) int
-	core       int
-	coreCycles map[int]float64
-}
-
-// BeginGroup implements ir.Tracer.
-func (t *coreTracer) BeginGroup(g int) {
-	if t.coreCycles == nil {
-		t.coreCycles = map[int]float64{}
-	}
-	t.core = t.groupCore(g)
-}
-
-// Access implements ir.Tracer. Store misses are half-hidden by the store
-// buffer; load latency is exposed in full.
-func (t *coreTracer) Access(addr, size int64, write bool) {
-	lat := t.hier.Access(t.core, addr, size, write)
-	if write {
-		lat *= 0.5
-	}
-	t.coreCycles[t.core] += lat
-}
-
-// AccessBatch implements ir.BatchTracer: the whole workgroup's access
-// stream in one call, in program order.
-func (t *coreTracer) AccessBatch(_ int, recs []ir.Access) {
-	for _, a := range recs {
-		lat := t.hier.Access(t.core, a.Addr, a.Size, a.Write)
-		if a.Write {
-			lat *= 0.5
-		}
-		t.coreCycles[t.core] += lat
-	}
 }
 
 // Collapse2D ports a 2-dimensional kernel to a single collapsed loop, as

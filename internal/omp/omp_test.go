@@ -1,9 +1,11 @@
 package omp
 
 import (
+	"math"
 	"testing"
 
 	"clperf/internal/arch"
+	"clperf/internal/cache"
 	"clperf/internal/ir"
 	"clperf/internal/kernels"
 )
@@ -215,5 +217,65 @@ func TestCollapse2D(t *testing.T) {
 	}
 	if err := app.Check(args, nd); err != nil {
 		t.Fatalf("collapsed port computed wrong results: %v", err)
+	}
+}
+
+// TestParallelForOracleBitIdentical: a cache-simulated parallel-for
+// through the sharded engine must match the serial oracle bitwise —
+// region Time, PerThread, MemStallCycles, and hierarchy stats.
+func TestParallelForOracleBitIdentical(t *testing.T) {
+	run := func(oracle bool) (*ForResult, *cache.Hierarchy) {
+		rt := New(arch.XeonE5645())
+		rt.NumThreads = 8
+		rt.ProcBind = true
+		rt.CacheSimOracle = oracle
+		rt.EnableCacheSim()
+		const n = 8 * 8192
+		a := ir.NewBufferF32("a", n)
+		b := ir.NewBufferF32("b", n)
+		c := ir.NewBufferF32("c", n)
+		base := int64(1 << 22)
+		for _, buf := range []*ir.Buffer{a, b, c} {
+			buf.Base = base
+			base += buf.Bytes() + 4096
+		}
+		args := ir.NewArgs().Bind("a", a).Bind("b", b).Bind("c", c)
+		var res *ForResult
+		for pass := 0; pass < 2; pass++ { // second region sees warm caches
+			var err error
+			res, err = rt.ParallelFor(kernels.VectorAddKernel(), args, n, Static)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return res, rt.Hierarchy()
+	}
+	want, hs := run(true)
+	got, hp := run(false)
+
+	if got.Time != want.Time {
+		t.Fatalf("Time %v, oracle %v", got.Time, want.Time)
+	}
+	if math.Float64bits(got.MemStallCycles) != math.Float64bits(want.MemStallCycles) {
+		t.Fatalf("MemStallCycles %v, oracle %v", got.MemStallCycles, want.MemStallCycles)
+	}
+	if len(got.PerThread) != len(want.PerThread) {
+		t.Fatalf("PerThread sizes differ: %d vs %d", len(got.PerThread), len(want.PerThread))
+	}
+	for i := range want.PerThread {
+		if got.PerThread[i] != want.PerThread[i] {
+			t.Fatalf("PerThread[%d] = %v, oracle %v", i, got.PerThread[i], want.PerThread[i])
+		}
+	}
+	for c := 0; c < hs.Cores(); c++ {
+		w1, w2 := hs.CoreStats(c)
+		g1, g2 := hp.CoreStats(c)
+		if g1 != w1 || g2 != w2 {
+			t.Fatalf("core %d cache stats diverge: L1 %+v vs %+v, L2 %+v vs %+v",
+				c, g1, w1, g2, w2)
+		}
+	}
+	if hp.L3Stats() != hs.L3Stats() {
+		t.Fatalf("L3 stats %+v, oracle %+v", hp.L3Stats(), hs.L3Stats())
 	}
 }
