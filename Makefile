@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke baseline bench-compare smoke ci clean
+.PHONY: all build vet test race bench bench-smoke baseline bench-compare smoke obs-smoke ci clean
 
 all: build
 
@@ -26,21 +26,31 @@ bench:
 bench-smoke:
 	$(GO) test -bench='Tune|Partition|CacheSim' -benchtime=1x -run=^$$ .
 
-# Regenerate the committed perf baseline (BENCH_pr5.json).
+# Regenerate the committed perf baseline (BENCH_pr6.json).
 baseline:
 	$(GO) run ./cmd/perfbaseline -reps 9
 
 # Gate on perf regressions: fail if suite_ns or the exec_*_ns engine
-# times in the newest baseline regressed >20% vs the previous BENCH_pr*.
+# times in the newest baseline regressed >20% vs the previous BENCH_pr*,
+# or if observability overhead exceeds its absolute 5% budget.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -new BENCH_pr5.json -old auto
+	$(GO) run ./cmd/benchcompare -new BENCH_pr6.json -old auto
 
 # Exercise the concurrent suite path end to end: every artifact on 4
 # workers, with a per-experiment timeout as a hang backstop.
 smoke:
 	$(GO) run ./cmd/oclbench -e all -par 4 -timeout 5m > /dev/null
 
+# End-to-end observability smoke: unit-test the exposition parser and
+# endpoints, then run the suite with -serve, curl /metrics + /healthz,
+# validate the scrape as OpenMetrics, and gate two back-to-back runs
+# with `cldiff -gate 20` (host wall-clock runner.* keys excluded).
+obs-smoke:
+	$(GO) test -count=1 ./internal/obs/...
+	sh scripts/obs_smoke.sh
+
 # The gate CI runs: everything must build, vet clean, pass under the
-# race detector, survive a concurrent full-suite run, and execute the
-# search-layer benchmarks once.
-ci: build vet race smoke bench-smoke
+# race detector, survive a concurrent full-suite run, execute the
+# search-layer benchmarks once, and keep the live observability plane
+# scrapeable and diffable end to end.
+ci: build vet race smoke bench-smoke obs-smoke

@@ -8,6 +8,10 @@
 //	advisor -list
 //	advisor -app Square -global 100000
 //	advisor -app Matrixmul -local 4x4 -tune
+//	advisor -app Matrixmul -tune -serve :9189 -linger 30s
+//	                       # expose the run's observability plane over
+//	                       # HTTP (/metrics /snapshot /trace /healthz)
+//	                       # and keep serving 30s after the analysis
 package main
 
 import (
@@ -16,11 +20,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"clperf/internal/core"
 	"clperf/internal/harness"
 	"clperf/internal/kernels"
 	"clperf/internal/obs"
+	"clperf/internal/obs/serve"
 	"clperf/internal/trace"
 )
 
@@ -34,6 +40,8 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmark names and exit")
 		nocache  = flag.Bool("nocache", false, "disable the memoized estimate cache (A/B baseline; results are identical either way)")
 		metrics  = flag.Bool("metrics", false, "print the observability metrics snapshot (incl. search cache counters) after the run")
+		srvAddr  = flag.String("serve", "", "serve the live observability endpoints (/metrics /snapshot /trace /healthz) on this address during the run")
+		linger   = flag.Duration("linger", 0, "with -serve, keep serving this long after the analysis completes")
 	)
 	flag.Parse()
 
@@ -70,12 +78,26 @@ func main() {
 		ad.Eval.Cache = nil
 	}
 	var rec *obs.Recorder
-	if *metrics {
+	if *metrics || *srvAddr != "" {
 		rec = obs.NewRecorder()
 		ad.Dev.Obs = rec
 		// The device now records span streams whose order must match the
 		// evaluation order; keep the search serial.
 		ad.Eval.Workers = 1
+	}
+	if *srvAddr != "" {
+		srv, err := serve.Start(*srvAddr, func() *obs.Recorder { return rec })
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "advisor: serving /metrics /snapshot /trace /healthz on %s\n", srv.URL())
+		if *linger > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "advisor: analysis done; serving %s for another %v\n", srv.URL(), *linger)
+				time.Sleep(*linger)
+			}()
+		}
 	}
 	rep, err := ad.Analyze(app.Kernel, args, nd)
 	if err != nil {

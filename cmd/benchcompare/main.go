@@ -5,16 +5,24 @@
 //
 // Gated metrics: suite_ns, the exec_*_ns engine times, and
 // cachesim_sharded_ns (when both files carry them — older schemas
-// predate the execution engine and the sharded cache simulator).
-// Speedup ratios (exec, cachesim) and hit rates are reported but not
-// gated: they compare two measured arms and are noisy in both
-// directions.
+// predate the execution engine and the sharded cache simulator), plus
+// obs_overhead_pct against its own absolute 5% budget (observability
+// must stay nearly free). Speedup ratios (exec, cachesim) and hit
+// rates are reported but not gated: they compare two measured arms and
+// are noisy in both directions.
+//
+// With -explain, a suite_ns regression is attributed instead of just
+// reported: the flag takes two observability artifacts (snapshot or
+// trace JSON recorded with oclbench -snapshot-json/-trace-json) and
+// runs the internal/obs/diff span/metric alignment on them, printing
+// which kernels or experiments the regression actually lives in.
 //
 // Usage:
 //
-//	benchcompare -old BENCH_pr3.json -new BENCH_pr4.json
-//	benchcompare -new BENCH_pr4.json -old auto   # latest other BENCH_pr*.json
+//	benchcompare -old BENCH_pr5.json -new BENCH_pr6.json
+//	benchcompare -new BENCH_pr6.json -old auto   # latest other BENCH_pr*.json
 //	benchcompare -tolerance 0.2                  # fail above +20% (default)
+//	benchcompare -new BENCH_pr6.json -explain old_snap.json,new_snap.json
 package main
 
 import (
@@ -25,7 +33,10 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 	"time"
+
+	"clperf/internal/obs/diff"
 )
 
 // metrics is the schema-tolerant view of a perfbaseline file: only the
@@ -41,12 +52,24 @@ type metrics struct {
 	TuneCachedNs     int64  `json:"tune_cached_ns"`
 	PartCachedNs     int64  `json:"partition_cached_ns"`
 	SuiteExperiments int    `json:"suite_experiments"`
+
+	// v4 observability-cost fields: the suite timed with the merged
+	// recorder on, and the recording overhead as a percentage of the
+	// recorder-off wall time.
+	SuiteObsNs     int64   `json:"suite_obs_ns"`
+	ObsOverheadPct float64 `json:"obs_overhead_pct"`
 }
+
+// obsOverheadBudgetPct is the absolute ceiling on recording overhead:
+// observability that costs more than this fraction of suite wall time
+// fails the gate regardless of the previous baseline.
+const obsOverheadBudgetPct = 5.0
 
 func main() {
 	oldPath := flag.String("old", "auto", "old baseline JSON, or 'auto' to pick the latest other BENCH_pr*.json")
-	newPath := flag.String("new", "BENCH_pr4.json", "new baseline JSON")
+	newPath := flag.String("new", "BENCH_pr6.json", "new baseline JSON")
 	tol := flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing (0.20 = +20%)")
+	explain := flag.String("explain", "", "on regression, attribute it: OLD,NEW observability artifacts (snapshot or trace JSON) for internal/obs/diff")
 	flag.Parse()
 
 	if *oldPath == "auto" {
@@ -101,12 +124,47 @@ func main() {
 			time.Duration(oldM.CachesimSerialNs).Round(time.Microsecond),
 			time.Duration(newM.CachesimSerialNs).Round(time.Microsecond))
 	}
+	// Observability cost gates against an absolute budget, not the old
+	// baseline: recording must stay nearly free however it trends.
+	if newM.SuiteObsNs != 0 {
+		status := "ok"
+		if newM.ObsOverheadPct > obsOverheadBudgetPct {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-18s %12v (recorder on)  overhead %+5.1f%% (budget %.0f%%)  %s\n",
+			"suite_obs_ns", time.Duration(newM.SuiteObsNs).Round(time.Microsecond),
+			newM.ObsOverheadPct, obsOverheadBudgetPct, status)
+	}
 
 	if failed > 0 {
+		if *explain != "" {
+			if err := explainRegression(*explain); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcompare: -explain: %v\n", err)
+			}
+		}
 		fmt.Fprintf(os.Stderr, "benchcompare: %d metric(s) regressed more than %.0f%%\n", failed, 100**tol)
 		os.Exit(1)
 	}
 	fmt.Println("no gated regressions")
+}
+
+// explainRegression attributes a failed gate across the spans/metrics
+// of two recorded runs via internal/obs/diff — the same alignment
+// cmd/cldiff performs, triggered only when a BENCH key actually
+// regressed.
+func explainRegression(spec string) error {
+	oldObs, newObs, ok := strings.Cut(spec, ",")
+	if !ok || oldObs == "" || newObs == "" {
+		return fmt.Errorf("want OLD.json,NEW.json, got %q", spec)
+	}
+	res, err := diff.AttributeFiles(oldObs, newObs, regexp.MustCompile(`^runner\.`))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nregression attribution (%s -> %s, basis: %s):\n", oldObs, newObs, res.Basis)
+	res.WriteText(os.Stdout, 15)
+	return nil
 }
 
 // latestOther returns the BENCH_pr<N>.json (in newPath's directory) with

@@ -1,0 +1,109 @@
+// Command cldiff attributes performance changes between two recorded
+// runs. It loads two observability artifacts — metrics snapshot JSON
+// (oclbench -snapshot-json, or GET /snapshot from a -serve endpoint)
+// or Chrome trace JSON (oclbench -trace-json, or GET /trace) — aligns
+// spans by track/name path and metrics by key, and prints a sorted
+// attribution table: per-key old/new time, Δns, Δ%, and each key's
+// share of the total regression.
+//
+// Usage:
+//
+//	cldiff old.json new.json               # full attribution table
+//	cldiff -top 10 old.json new.json       # largest 10 regressions
+//	cldiff -gate 20 old.json new.json      # CI gate: exit 1 when the
+//	                                       # total regressed > 20%
+//	cldiff -ignore '^runner\.' a.json b.json
+//	                                       # drop host-wall-clock keys
+//	                                       # that vary run to run
+//	cldiff -validate metrics.txt           # validate an OpenMetrics
+//	                                       # exposition (e.g. a curl of
+//	                                       # /metrics) and exit
+//
+// Exit status: 0 on success (gate not exceeded), 1 when -gate trips,
+// 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"clperf/internal/obs"
+	"clperf/internal/obs/diff"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		gate     = flag.Float64("gate", 0, "fail (exit 1) when the total regression exceeds this percent (0 = report only)")
+		top      = flag.Int("top", 0, "print only the N largest regressions (0 = all)")
+		ignore   = flag.String("ignore", "", "drop keys matching this regexp before alignment")
+		validate = flag.String("validate", "", "validate an OpenMetrics exposition file and exit (use '-' for stdin)")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		return validateExpo(*validate)
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: cldiff [flags] OLD.json NEW.json (see -h)")
+		return 2
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+
+	var ignoreRE *regexp.Regexp
+	if *ignore != "" {
+		re, err := regexp.Compile(*ignore)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cldiff: -ignore: %v\n", err)
+			return 2
+		}
+		ignoreRE = re
+	}
+
+	res, err := diff.AttributeFiles(oldPath, newPath, ignoreRE)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cldiff: %v\n", err)
+		return 2
+	}
+
+	fmt.Printf("cldiff: %s -> %s (%d aligned keys, basis: %s)\n\n",
+		oldPath, newPath, len(res.Rows), res.Basis)
+	res.WriteText(os.Stdout, *top)
+
+	if *gate > 0 {
+		if res.Exceeds(*gate) {
+			fmt.Fprintf(os.Stderr, "\ncldiff: total regression %+.1f%% exceeds gate %.1f%%\n",
+				res.DeltaPct, *gate)
+			return 1
+		}
+		fmt.Printf("\ngate ok: total %+.1f%% within %.1f%%\n", res.DeltaPct, *gate)
+	}
+	return 0
+}
+
+// validateExpo checks an OpenMetrics exposition document (a /metrics
+// scrape) against the obs parser's invariants.
+func validateExpo(path string) int {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cldiff: -validate: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+	}
+	if err := obs.ValidateExposition(f); err != nil {
+		fmt.Fprintf(os.Stderr, "cldiff: %s: invalid exposition: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("%s: valid OpenMetrics exposition\n", path)
+	return 0
+}

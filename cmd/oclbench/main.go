@@ -23,6 +23,17 @@
 //	oclbench -e all -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                            # write pprof profiles of the run; inspect
 //	                            # with `go tool pprof -top cpu.pprof`
+//	oclbench -e all -par 4 -serve :9188
+//	                            # expose the live observability plane
+//	                            # while the suite runs: GET /metrics
+//	                            # (OpenMetrics), /snapshot (JSON),
+//	                            # /trace (Chrome JSON), /healthz —
+//	                            # scrape-safe mid-suite; add -linger 30s
+//	                            # to keep serving after the suite ends
+//	oclbench -e all -snapshot-json run.json -trace-json run.trace.json
+//	                            # record the merged metrics snapshot and
+//	                            # Chrome trace to files for cmd/cldiff
+//	                            # run-to-run attribution
 //
 // Failures are isolated: a failing experiment is reported on stderr and
 // the remaining artifacts still run; the exit status is 1 only after
@@ -31,6 +42,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +54,7 @@ import (
 	"clperf/internal/experiments"
 	"clperf/internal/harness"
 	"clperf/internal/obs"
+	"clperf/internal/obs/serve"
 )
 
 // main defers to run so profile flushing (deferred there) survives
@@ -64,6 +77,10 @@ func run() int {
 		nocache  = flag.Bool("nocache", false, "disable the memoized model-evaluation layer (A/B baseline; results are identical either way)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		srvAddr  = flag.String("serve", "", "serve the live observability endpoints (/metrics /snapshot /trace /healthz) on this address while the suite runs")
+		linger   = flag.Duration("linger", 0, "with -serve, keep serving this long after the suite completes")
+		snapOut  = flag.String("snapshot-json", "", "write the merged metrics snapshot JSON to this file after the run (cldiff input)")
+		traceSte = flag.String("trace-json", "", "write the merged suite Chrome trace JSON to this file after the run (cldiff input)")
 	)
 	flag.Parse()
 
@@ -125,12 +142,26 @@ func run() int {
 		exps = []harness.Experiment{e}
 	}
 
+	observe := *metrics || *cacheTab || *srvAddr != "" || *snapOut != "" || *traceSte != ""
 	runner := harness.NewRunner(harness.RunnerOptions{
 		Parallel: *par,
 		Timeout:  *timeout,
-		Observe:  *metrics || *cacheTab,
+		Observe:  observe,
 		Base:     harness.Options{Verbose: *verbose, NoCache: *nocache},
 	})
+
+	var srv *serve.Server
+	if *srvAddr != "" {
+		var err error
+		srv, err = serve.Start(*srvAddr, runner.Live)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oclbench: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "oclbench: serving /metrics /snapshot /trace /healthz on %s\n", srv.URL())
+	}
+
 	sum := runner.Run(context.Background(), exps)
 
 	for _, r := range sum.Results {
@@ -166,6 +197,24 @@ func run() int {
 			}
 		}
 	}
+	if *snapOut != "" {
+		if err := writeSnapshotJSON(*snapOut, sum.Rec); err != nil {
+			fmt.Fprintf(os.Stderr, "oclbench: -snapshot-json: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "oclbench: wrote metrics snapshot %s\n", *snapOut)
+	}
+	if *traceSte != "" {
+		if err := writeTraceJSON(*traceSte, sum.Rec); err != nil {
+			fmt.Fprintf(os.Stderr, "oclbench: -trace-json: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "oclbench: wrote suite trace %s\n", *traceSte)
+	}
+	if srv != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "oclbench: suite done; serving %s for another %v\n", srv.URL(), *linger)
+		time.Sleep(*linger)
+	}
 	if failed := sum.Failed(); len(failed) > 0 {
 		ids := make([]string, len(failed))
 		for i, r := range failed {
@@ -176,6 +225,36 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// writeSnapshotJSON records the merged registry snapshot as the JSON
+// artifact cmd/cldiff aligns metrics from.
+func writeSnapshotJSON(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rec.Registry().Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTraceJSON records the merged recorder's spans as Chrome trace
+// JSON — loadable in Perfetto and alignable by cmd/cldiff.
+func writeTraceJSON(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.Chrome(1, "clperf suite").WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeQuickstartTrace replays the quickstart vector-add workload under

@@ -9,24 +9,27 @@ import (
 )
 
 // MetricsTable renders a metrics snapshot as a harness table: counters
-// and gauges one row each, histograms with their distribution summary.
-// Duration-valued metrics (names ending in ".ns" or containing ".ns:")
-// format through units.Duration.
+// and gauges one row each, histograms with their distribution summary
+// and quantile columns (p50/p99 derived deterministically from the
+// log2 buckets — never a raw bucket dump). Rows arrive name-sorted
+// from the snapshot, so the table is stable across runs. Duration-
+// valued metrics (names ending in ".ns" or containing ".ns:") format
+// through units.Duration.
 func MetricsTable(s obs.Snapshot) *Table {
 	t := &Table{
 		Title:   "metrics",
-		Columns: []string{"metric", "kind", "count", "value/sum", "min", "mean", "p95", "max"},
+		Columns: []string{"metric", "kind", "count", "value/sum", "min", "mean", "p50", "p99", "max"},
 	}
 	for _, m := range s.Counters {
-		t.AddRow(m.Name, "counter", "", fmtMetric(m.Name, m.Value), "", "", "", "")
+		t.AddRow(m.Name, "counter", "", fmtMetric(m.Name, m.Value), "", "", "", "", "")
 	}
 	for _, m := range s.Gauges {
-		t.AddRow(m.Name, "gauge", "", fmtMetric(m.Name, m.Value), "", "", "", "")
+		t.AddRow(m.Name, "gauge", "", fmtMetric(m.Name, m.Value), "", "", "", "", "")
 	}
 	for _, h := range s.Hists {
 		t.AddRow(h.Name, "hist", fmt.Sprint(h.Count), fmtMetric(h.Name, h.Sum),
 			fmtMetric(h.Name, h.Min), fmtMetric(h.Name, h.Mean),
-			fmtMetric(h.Name, h.P95), fmtMetric(h.Name, h.Max))
+			fmtMetric(h.Name, h.P50), fmtMetric(h.Name, h.P99), fmtMetric(h.Name, h.Max))
 	}
 	return t
 }

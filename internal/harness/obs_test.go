@@ -14,12 +14,24 @@ import (
 
 func TestMetricsTable(t *testing.T) {
 	reg := obs.NewRegistry()
-	reg.Add("cl.bytes.total", 1 << 20)
+	reg.Add("cl.bytes.total", 1<<20)
 	reg.Set("sched.util.mean", 0.875)
 	reg.Observe("cl.kernel.ns:vadd", 1500)
 	tbl := MetricsTable(reg.Snapshot())
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	// Histograms render the quantile ladder, not raw bucket dumps.
+	for _, col := range []string{"p50", "p99"} {
+		found := false
+		for _, c := range tbl.Columns {
+			if c == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("columns %v missing %q", tbl.Columns, col)
+		}
 	}
 	var b strings.Builder
 	tbl.Render(&b)
@@ -28,6 +40,12 @@ func TestMetricsTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("metrics table missing %q:\n%s", want, out)
 		}
+	}
+	// Rendering the same snapshot twice is byte-identical (determinism).
+	var b2 strings.Builder
+	MetricsTable(reg.Snapshot()).Render(&b2)
+	if b2.String() != out {
+		t.Fatal("metrics table not deterministic")
 	}
 }
 

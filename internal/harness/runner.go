@@ -98,6 +98,14 @@ func (s *Summary) FailureTable() *Table {
 // Runner runs experiment suites on a bounded worker pool.
 type Runner struct {
 	opts RunnerOptions
+
+	// liveMu guards the live-scrape state of the most recent Run: the
+	// per-experiment private recorders in paper order. The recorders
+	// themselves are internally locked, so Live can merge them while
+	// workers are still writing.
+	liveMu   sync.Mutex
+	liveIDs  []string
+	liveRecs []*obs.Recorder
 }
 
 // NewRunner returns a runner with the given options.
@@ -119,8 +127,21 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) *Summary {
 		ctx = context.Background()
 	}
 	sum := &Summary{Results: make([]ExpResult, len(exps))}
+	var recs []*obs.Recorder
 	if r.opts.Observe {
 		sum.Rec = obs.NewRecorder()
+		// Private recorders are created up front and published for Live
+		// before any experiment starts, so a mid-suite scrape sees every
+		// experiment's recorder (possibly still empty) in paper order.
+		recs = make([]*obs.Recorder, len(exps))
+		ids := make([]string, len(exps))
+		for i, e := range exps {
+			recs[i] = obs.NewRecorder()
+			ids[i] = e.ID
+		}
+		r.liveMu.Lock()
+		r.liveIDs, r.liveRecs = ids, recs
+		r.liveMu.Unlock()
 	}
 
 	start := time.Now()
@@ -138,7 +159,11 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) *Summary {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				sum.Results[i] = r.runOne(ctx, exps[i], start)
+				var rec *obs.Recorder
+				if recs != nil {
+					rec = recs[i]
+				}
+				sum.Results[i] = r.runOne(ctx, exps[i], start, rec)
 			}
 		}()
 	}
@@ -167,12 +192,10 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) *Summary {
 }
 
 // runOne executes a single experiment with panic isolation and the
-// configured timeout.
-func (r *Runner) runOne(ctx context.Context, e Experiment, submitted time.Time) ExpResult {
-	res := ExpResult{ID: e.ID, Title: e.Title, Wait: time.Since(submitted)}
-	if r.opts.Observe {
-		res.Rec = obs.NewRecorder()
-	}
+// configured timeout. rec is the experiment's pre-published private
+// recorder (nil when observability is off).
+func (r *Runner) runOne(ctx context.Context, e Experiment, submitted time.Time, rec *obs.Recorder) ExpResult {
+	res := ExpResult{ID: e.ID, Title: e.Title, Wait: time.Since(submitted), Rec: rec}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
@@ -214,4 +237,25 @@ func (r *Runner) runOne(ctx context.Context, e Experiment, submitted time.Time) 
 	}
 	res.Wall = time.Since(began)
 	return res
+}
+
+// Live returns a point-in-time merge of the most recent Run's
+// per-experiment recorders, in paper order on the same id/track
+// namespaces as the final Summary.Rec. It is safe to call while the
+// suite is still running — each private recorder is internally locked
+// and copied under that lock — which is what backs the obs/serve
+// scrape endpoints mid-suite. Before any observed Run (or with
+// Observe off) it returns an empty recorder. Unlike Summary.Rec the
+// live view carries no runner.* wall/wait metrics (those exist only
+// once experiments finish) and includes recorders of experiments that
+// later time out.
+func (r *Runner) Live() *obs.Recorder {
+	out := obs.NewRecorder()
+	r.liveMu.Lock()
+	ids, recs := r.liveIDs, r.liveRecs
+	r.liveMu.Unlock()
+	for i, rec := range recs {
+		out.Merge(rec, ids[i])
+	}
+	return out
 }

@@ -192,3 +192,54 @@ func TestRunnerMetrics(t *testing.T) {
 		t.Errorf("per-experiment wall/wait histograms missing or short: %+v", snap.Hists)
 	}
 }
+
+// TestRunnerLive exercises the scrape view: Live is empty before any
+// run, safe to call concurrently while experiments execute (the serve
+// endpoints scrape mid-suite), and converges to the final merged
+// recorder minus the runner.* self-metrics once the run completes.
+func TestRunnerLive(t *testing.T) {
+	r := NewRunner(RunnerOptions{Parallel: 4, Observe: true})
+	if got := len(r.Live().Spans()); got != 0 {
+		t.Fatalf("Live before any run has %d spans, want 0", got)
+	}
+
+	release := make(chan struct{})
+	exps := []Experiment{okExp("a", 3), okExp("b", 2),
+		fakeExp("hold", func(opts Options) (*Report, error) {
+			<-release
+			return &Report{ID: "hold", Title: "hold"}, nil
+		})}
+
+	done := make(chan *Summary, 1)
+	go func() { done <- r.Run(context.Background(), exps) }()
+
+	// Scrape while the suite is provably mid-run ("hold" blocks it).
+	deadline := time.After(5 * time.Second)
+	for {
+		live := r.Live()
+		if len(live.Spans()) >= 5 { // a(3) + b(2) recorded, hold still going
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("live view never showed the completed experiments' spans")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	sum := <-done
+
+	// After completion the live merge matches the summary recorder:
+	// identical spans (same paper-order merge) and identical metrics
+	// apart from the runner.* host wall-clock self-metrics, which only
+	// the final merge adds.
+	live := r.Live()
+	if !reflect.DeepEqual(live.Spans(), sum.Rec.Spans()) {
+		t.Errorf("post-run Live spans differ from summary recorder")
+	}
+	got := filterRunner(live.Registry().Snapshot())
+	want := filterRunner(sum.Rec.Registry().Snapshot())
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-run Live metrics differ:\n%+v\nvs\n%+v", got, want)
+	}
+}

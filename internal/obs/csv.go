@@ -7,21 +7,22 @@ import (
 )
 
 // WriteCSV writes the snapshot as one flat CSV: histograms contribute
-// their summary statistics, counters and gauges a single value. The
+// their summary statistics (count, sum, min, mean and the p50/p90/
+// p95/p99 quantile ladder), counters and gauges a single value. The
 // schema is stable for EXPERIMENTS.md figure pipelines:
 //
-//	kind,name,count,value,min,mean,p50,p95,max
+//	kind,name,count,value,min,mean,p50,p90,p95,p99,max
 func (s Snapshot) WriteCSV(w io.Writer) {
-	fmt.Fprintln(w, "kind,name,count,value,min,mean,p50,p95,max")
+	fmt.Fprintln(w, "kind,name,count,value,min,mean,p50,p90,p95,p99,max")
 	for _, m := range s.Counters {
-		fmt.Fprintf(w, "counter,%s,,%g,,,,,\n", csvEscape(m.Name), m.Value)
+		fmt.Fprintf(w, "counter,%s,,%g,,,,,,,\n", csvEscape(m.Name), m.Value)
 	}
 	for _, m := range s.Gauges {
-		fmt.Fprintf(w, "gauge,%s,,%g,,,,,\n", csvEscape(m.Name), m.Value)
+		fmt.Fprintf(w, "gauge,%s,,%g,,,,,,,\n", csvEscape(m.Name), m.Value)
 	}
 	for _, h := range s.Hists {
-		fmt.Fprintf(w, "hist,%s,%d,%g,%g,%g,%g,%g,%g\n",
-			csvEscape(h.Name), h.Count, h.Sum, h.Min, h.Mean, h.P50, h.P95, h.Max)
+		fmt.Fprintf(w, "hist,%s,%d,%g,%g,%g,%g,%g,%g,%g,%g\n",
+			csvEscape(h.Name), h.Count, h.Sum, h.Min, h.Mean, h.P50, h.P90, h.P95, h.P99, h.Max)
 	}
 }
 

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteCSVGolden pins the full CSV schema byte-for-byte: counters
+// and gauges one value each, histograms their summary row including the
+// p50/p90/p95/p99 quantile ladder, names with delimiters escaped.
+func TestWriteCSVGolden(t *testing.T) {
+	g := NewRegistry()
+	g.Add("bytes.total", 4096)
+	g.Add("weird,name", 2)
+	g.Set("workers", 8)
+	for _, v := range []float64{1, 2, 4, 8, 1024} {
+		g.Observe("kernel.ns", v)
+	}
+
+	var b strings.Builder
+	g.Snapshot().WriteCSV(&b)
+
+	want := strings.Join([]string{
+		"kind,name,count,value,min,mean,p50,p90,p95,p99,max",
+		"counter,bytes.total,,4096,,,,,,,",
+		`counter,"weird,name",,2,,,,,,,`,
+		"gauge,workers,,8,,,,,,,",
+		"hist,kernel.ns,5,1039,1,207.8,8,1024,1024,1024,1024",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("CSV mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteCSVEmptyHistogram: a histogram that was created but never
+// observed must still render a well-formed row, not NaN/Inf cells.
+func TestWriteCSVEmptyHistogram(t *testing.T) {
+	var s Snapshot
+	s.Hists = append(s.Hists, HistStat{Name: "empty"})
+	var b strings.Builder
+	s.WriteCSV(&b)
+	if !strings.Contains(b.String(), "hist,empty,0,0,0,0,0,0,0,0,0") {
+		t.Fatalf("empty histogram row malformed:\n%s", b.String())
+	}
+}

@@ -1,0 +1,323 @@
+// Package diff implements run-to-run regression attribution over
+// recorded observability artifacts: it loads two runs (metrics
+// snapshot JSON from /snapshot or `-snapshot-json`, or Chrome
+// trace-event JSON from /trace or `-trace-json`), aligns spans by
+// track/name path and metrics by key, and ranks where the time went.
+// The paper's contribution is attributing performance to causes
+// (vectorization, workgroup sizing, cache behavior); diff gives every
+// future perf PR the same discipline — a regression is attributed to
+// the spans or histograms that slowed down, not eyeballed from suite
+// wall time. cmd/cldiff and `benchcompare -explain` are the CLI
+// surfaces.
+package diff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+// Run is one recorded run loaded from an observability artifact.
+type Run struct {
+	Path string
+	// Kind is "snapshot" (obs.Snapshot JSON) or "trace" (Chrome
+	// trace-event JSON).
+	Kind string
+	// Spans aggregates completed trace slices by "track/name" key:
+	// total nanoseconds and slice count (trace runs only).
+	Spans map[string]SpanAgg
+	// Hists, Counters and Gauges index the snapshot by metric name
+	// (snapshot runs only).
+	Hists    map[string]obs.HistStat
+	Counters map[string]float64
+	Gauges   map[string]float64
+}
+
+// SpanAgg is the per-key span aggregate of a trace run.
+type SpanAgg struct {
+	Ns    float64
+	Count int
+}
+
+// LoadFile reads an observability artifact, sniffing the format from
+// its top-level JSON keys.
+func LoadFile(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: not a JSON object: %w", path, err)
+	}
+	if _, ok := probe["traceEvents"]; ok {
+		return loadTrace(path, data)
+	}
+	return loadSnapshot(path, data)
+}
+
+func loadSnapshot(path string, data []byte) (*Run, error) {
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: bad snapshot JSON: %w", path, err)
+	}
+	r := &Run{
+		Path: path, Kind: "snapshot",
+		Hists:    make(map[string]obs.HistStat, len(snap.Hists)),
+		Counters: make(map[string]float64, len(snap.Counters)),
+		Gauges:   make(map[string]float64, len(snap.Gauges)),
+	}
+	for _, h := range snap.Hists {
+		r.Hists[h.Name] = h
+	}
+	for _, m := range snap.Counters {
+		r.Counters[m.Name] = m.Value
+	}
+	for _, m := range snap.Gauges {
+		r.Gauges[m.Name] = m.Value
+	}
+	if len(r.Hists)+len(r.Counters)+len(r.Gauges) == 0 {
+		return nil, fmt.Errorf("%s: snapshot carries no metrics", path)
+	}
+	return r, nil
+}
+
+// loadTrace aggregates the trace's complete ("X") events by track/name
+// path. Track resolution mirrors the Chrome format: thread_name
+// metadata events label each (pid, tid) row.
+func loadTrace(path string, data []byte) (*Run, error) {
+	var ct obs.ChromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		return nil, fmt.Errorf("%s: bad Chrome trace JSON: %w", path, err)
+	}
+	type tidKey struct{ pid, tid int }
+	tracks := map[tidKey]string{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			tracks[tidKey{ev.PID, ev.TID}] = ev.Args["name"]
+		}
+	}
+	r := &Run{Path: path, Kind: "trace", Spans: map[string]SpanAgg{}}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		track := tracks[tidKey{ev.PID, ev.TID}]
+		if track == "" {
+			track = fmt.Sprintf("pid%d.tid%d", ev.PID, ev.TID)
+		}
+		key := track + "/" + ev.Name
+		agg := r.Spans[key]
+		agg.Ns += ev.Dur * 1e3 // trace durations are microseconds
+		agg.Count++
+		r.Spans[key] = agg
+	}
+	if len(r.Spans) == 0 {
+		return nil, fmt.Errorf("%s: trace carries no complete spans", path)
+	}
+	return r, nil
+}
+
+// Row is one aligned key in an attribution result, with its
+// contribution to the total regression.
+type Row struct {
+	Key          string
+	OldNs, NewNs float64
+	DeltaNs      float64
+	// DeltaPct is the per-key relative change (+Inf for keys absent
+	// from the old run).
+	DeltaPct float64
+	// Share is this key's fraction of the summed positive regression
+	// (0 for keys that improved).
+	Share float64
+}
+
+// Result is a full attribution: per-key rows sorted by regression
+// (largest Δns first, key as tiebreak) plus run-level totals.
+type Result struct {
+	// Basis names what was aligned: "spans" (trace runs) or
+	// "histogram sums" (snapshot runs).
+	Basis string
+	Rows  []Row
+	// Totals over every aligned key.
+	OldTotalNs, NewTotalNs float64
+	DeltaNs                float64
+	// DeltaPct is the total relative change (what -gate checks).
+	DeltaPct float64
+	// RegressionNs is the sum of positive per-key deltas — the
+	// denominator of each row's Share.
+	RegressionNs float64
+}
+
+// Exceeds reports whether the total regression crossed gatePct percent
+// — the CI gate cldiff exits non-zero on.
+func (r *Result) Exceeds(gatePct float64) bool {
+	return r.DeltaPct > gatePct
+}
+
+// entries flattens a run onto its attribution basis.
+func entries(r *Run) (basis string, vals map[string]float64, err error) {
+	switch r.Kind {
+	case "trace":
+		vals = make(map[string]float64, len(r.Spans))
+		for k, a := range r.Spans {
+			vals[k] = a.Ns
+		}
+		return "spans", vals, nil
+	case "snapshot":
+		vals = make(map[string]float64, len(r.Hists))
+		for k, h := range r.Hists {
+			vals[k] = h.Sum
+		}
+		return "histogram sums", vals, nil
+	}
+	return "", nil, fmt.Errorf("%s: unknown run kind %q", r.Path, r.Kind)
+}
+
+// Attribute aligns two runs and attributes the total change across
+// keys. Both runs must be the same kind (span paths and metric keys
+// are not comparable across formats). Keys present in only one run
+// participate with the other side at 0, so added or removed work is
+// attributed too. ignore, when non-nil, drops matching keys before
+// alignment — e.g. `^runner\.` to exclude host-wall-clock metrics that
+// vary run to run. The result is deterministic for given inputs.
+func Attribute(old, new *Run, ignore *regexp.Regexp) (*Result, error) {
+	oldBasis, oldVals, err := entries(old)
+	if err != nil {
+		return nil, err
+	}
+	newBasis, newVals, err := entries(new)
+	if err != nil {
+		return nil, err
+	}
+	if oldBasis != newBasis {
+		return nil, fmt.Errorf("cannot align %s (%s) with %s (%s): record both runs with the same artifact type",
+			old.Path, old.Kind, new.Path, new.Kind)
+	}
+	keys := map[string]bool{}
+	for k := range oldVals {
+		keys[k] = true
+	}
+	for k := range newVals {
+		keys[k] = true
+	}
+	res := &Result{Basis: oldBasis}
+	for k := range keys {
+		if ignore != nil && ignore.MatchString(k) {
+			continue
+		}
+		o, n := oldVals[k], newVals[k]
+		row := Row{Key: k, OldNs: o, NewNs: n, DeltaNs: n - o}
+		switch {
+		case o != 0:
+			row.DeltaPct = 100 * (n - o) / o
+		case n != 0:
+			row.DeltaPct = math.Inf(1)
+		}
+		res.OldTotalNs += o
+		res.NewTotalNs += n
+		res.DeltaNs += row.DeltaNs
+		if row.DeltaNs > 0 {
+			res.RegressionNs += row.DeltaNs
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("no aligned keys between %s and %s", old.Path, new.Path)
+	}
+	if res.OldTotalNs != 0 {
+		res.DeltaPct = 100 * res.DeltaNs / res.OldTotalNs
+	} else if res.NewTotalNs != 0 {
+		res.DeltaPct = math.Inf(1)
+	}
+	if res.RegressionNs > 0 {
+		for i := range res.Rows {
+			if d := res.Rows[i].DeltaNs; d > 0 {
+				res.Rows[i].Share = d / res.RegressionNs
+			}
+		}
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		if res.Rows[i].DeltaNs != res.Rows[j].DeltaNs {
+			return res.Rows[i].DeltaNs > res.Rows[j].DeltaNs
+		}
+		return res.Rows[i].Key < res.Rows[j].Key
+	})
+	return res, nil
+}
+
+// WriteText renders the attribution as an aligned, deterministic
+// table: the top rows by regression, one total line, and — when rows
+// were elided — an explicit count of what was dropped. top <= 0 prints
+// every row.
+func (r *Result) WriteText(w io.Writer, top int) {
+	rows := r.Rows
+	elided := 0
+	if top > 0 && len(rows) > top {
+		elided = len(rows) - top
+		rows = rows[:top]
+	}
+	width := len("total")
+	for _, row := range rows {
+		if len(row.Key) > width {
+			width = len(row.Key)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %14s  %8s  %6s\n",
+		width, "key ("+r.Basis+")", "old", "new", "delta", "delta%", "share")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-*s  %14s  %14s  %14s  %8s  %6s\n",
+			width, row.Key,
+			fmtNs(row.OldNs), fmtNs(row.NewNs), fmtDeltaNs(row.DeltaNs),
+			fmtPct(row.DeltaPct), fmtShare(row.Share))
+	}
+	if elided > 0 {
+		fmt.Fprintf(w, "%-*s  (%d more keys elided; rerun with -top 0 for all)\n", width, "...", elided)
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %14s  %8s\n",
+		width, "total", fmtNs(r.OldTotalNs), fmtNs(r.NewTotalNs),
+		fmtDeltaNs(r.DeltaNs), fmtPct(r.DeltaPct))
+}
+
+func fmtNs(ns float64) string { return units.Duration(ns).String() }
+
+func fmtDeltaNs(ns float64) string {
+	if ns >= 0 {
+		return "+" + units.Duration(ns).String()
+	}
+	return "-" + units.Duration(-ns).String()
+}
+
+func fmtPct(p float64) string {
+	if math.IsInf(p, 1) {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", p)
+}
+
+func fmtShare(s float64) string {
+	if s == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*s)
+}
+
+// AttributeFiles is the one-call form: load both paths and attribute.
+func AttributeFiles(oldPath, newPath string, ignore *regexp.Regexp) (*Result, error) {
+	old, err := LoadFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	new, err := LoadFile(newPath)
+	if err != nil {
+		return nil, err
+	}
+	return Attribute(old, new, ignore)
+}

@@ -1,0 +1,199 @@
+package diff
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+// writeSnapshot records the given histogram samples and writes the
+// registry snapshot JSON to a temp file.
+func writeSnapshot(t *testing.T, name string, hists map[string][]float64) string {
+	t.Helper()
+	g := obs.NewRegistry()
+	for h, vals := range hists {
+		for _, v := range vals {
+			g.Observe(h, v)
+		}
+	}
+	g.Add("runner.experiments", 2)
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(f).Encode(g.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeTrace records spans on named tracks and writes the Chrome trace
+// JSON to a temp file.
+func writeTrace(t *testing.T, name string, spans map[string]units.Duration) string {
+	t.Helper()
+	rec := obs.NewRecorder()
+	for key, dur := range spans {
+		track, spanName, _ := strings.Cut(key, "/")
+		id := rec.Record(obs.NoParent, obs.KindKernel, spanName, 0, dur)
+		rec.SetTrack(id, track)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Chrome(1, "clperf").WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAttributeSnapshots(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", map[string][]float64{
+		"kernel.ns:matmul": {1000, 1000}, // sum 2000
+		"kernel.ns:vadd":   {500},        // sum 500
+		"kernel.ns:gone":   {100},        // disappears in new
+		"runner.exp.ns":    {999999},     // excluded via -ignore
+	})
+	newPath := writeSnapshot(t, "new.json", map[string][]float64{
+		"kernel.ns:matmul": {2000, 2000}, // +2000 (the regression)
+		"kernel.ns:vadd":   {400},        // -100 (improved)
+		"kernel.ns:fresh":  {300},        // appears
+		"runner.exp.ns":    {1},
+	})
+
+	res, err := AttributeFiles(oldPath, newPath, regexp.MustCompile(`^runner\.`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Basis != "histogram sums" {
+		t.Fatalf("basis = %q", res.Basis)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d (%+v), want 4", len(res.Rows), res.Rows)
+	}
+	// Sorted by DeltaNs descending: matmul +2000, fresh +300, gone -100, vadd -100.
+	if res.Rows[0].Key != "kernel.ns:matmul" || res.Rows[0].DeltaNs != 2000 {
+		t.Fatalf("top row = %+v", res.Rows[0])
+	}
+	if res.Rows[1].Key != "kernel.ns:fresh" || !math.IsInf(res.Rows[1].DeltaPct, 1) {
+		t.Fatalf("appeared row = %+v", res.Rows[1])
+	}
+	// gone and vadd tie at -100; key order breaks the tie.
+	if res.Rows[2].Key != "kernel.ns:gone" || res.Rows[3].Key != "kernel.ns:vadd" {
+		t.Fatalf("tie-break order = %q, %q", res.Rows[2].Key, res.Rows[3].Key)
+	}
+	// Shares: matmul 2000/2300, fresh 300/2300, improvements 0.
+	if got := res.Rows[0].Share; math.Abs(got-2000.0/2300) > 1e-12 {
+		t.Fatalf("matmul share = %g", got)
+	}
+	if res.Rows[2].Share != 0 || res.Rows[3].Share != 0 {
+		t.Fatal("improved rows must carry zero share")
+	}
+	// Totals: old 2600, new 4700, delta +2100.
+	if res.OldTotalNs != 2600 || res.NewTotalNs != 4700 || res.DeltaNs != 2100 {
+		t.Fatalf("totals = %+v", res)
+	}
+	if !res.Exceeds(20) {
+		t.Fatalf("gate must trip at +%.1f%% > 20%%", res.DeltaPct)
+	}
+	if res.Exceeds(100) {
+		t.Fatalf("gate must hold at +%.1f%% <= 100%%", res.DeltaPct)
+	}
+
+	var b strings.Builder
+	res.WriteText(&b, 2)
+	out := b.String()
+	for _, want := range []string{"kernel.ns:matmul", "total", "2 more keys elided"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "kernel.ns:vadd") {
+		t.Fatalf("-top 2 must elide the tail:\n%s", out)
+	}
+
+	// Deterministic: attributing the same files twice renders identically.
+	res2, err := AttributeFiles(oldPath, newPath, regexp.MustCompile(`^runner\.`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 strings.Builder
+	res2.WriteText(&b2, 2)
+	if b2.String() != out {
+		t.Fatal("attribution not deterministic")
+	}
+}
+
+func TestAttributeTraces(t *testing.T) {
+	oldPath := writeTrace(t, "old.json", map[string]units.Duration{
+		"fig7/matmul": 4 * units.Millisecond,
+		"fig7/vadd":   1 * units.Millisecond,
+	})
+	newPath := writeTrace(t, "new.json", map[string]units.Duration{
+		"fig7/matmul": 6 * units.Millisecond,
+		"fig7/vadd":   1 * units.Millisecond,
+	})
+	res, err := AttributeFiles(oldPath, newPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Basis != "spans" {
+		t.Fatalf("basis = %q", res.Basis)
+	}
+	if res.Rows[0].Key != "fig7/matmul" {
+		t.Fatalf("top row = %+v", res.Rows[0])
+	}
+	// 4ms -> 6ms on a 5ms total: +40% total, all of it matmul's.
+	if math.Abs(res.DeltaPct-40) > 1e-9 || math.Abs(res.Rows[0].Share-1) > 1e-12 {
+		t.Fatalf("delta%%=%g share=%g", res.DeltaPct, res.Rows[0].Share)
+	}
+}
+
+func TestAttributeRejectsMixedKinds(t *testing.T) {
+	snap := writeSnapshot(t, "s.json", map[string][]float64{"h": {1}})
+	tr := writeTrace(t, "t.json", map[string]units.Duration{"a/b": units.Microsecond})
+	if _, err := AttributeFiles(snap, tr, nil); err == nil {
+		t.Fatal("mixed snapshot/trace attribution must error")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadFileSniffsKinds(t *testing.T) {
+	snap := writeSnapshot(t, "s.json", map[string][]float64{"h": {1, 2}})
+	r, err := LoadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != "snapshot" || r.Hists["h"].Count != 2 || r.Counters["runner.experiments"] != 2 {
+		t.Fatalf("snapshot run = %+v", r)
+	}
+	tr := writeTrace(t, "t.json", map[string]units.Duration{"trk/sp": 3 * units.Microsecond})
+	r, err = LoadFile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != "trace" {
+		t.Fatalf("kind = %q", r.Kind)
+	}
+	agg := r.Spans["trk/sp"]
+	if agg.Count != 1 || math.Abs(agg.Ns-3000) > 1e-9 {
+		t.Fatalf("span agg = %+v", agg)
+	}
+}

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements OpenMetrics/Prometheus text exposition for the
+// registry, so any scrape-based collector can pull the same quantities
+// the in-process reports print. Counters expose as `<name>_total`,
+// gauges as `<name>`, and histograms as cumulative `<name>_bucket{le=…}`
+// series plus `_sum`/`_count` — p50/p99 are derivable by any backend
+// that understands classic histogram buckets (e.g. PromQL's
+// histogram_quantile). The encoder is deterministic: snapshots are
+// name-sorted and the bucket `le` bounds are the fixed log2 grid.
+
+// ContentType is the HTTP Content-Type of the exposition written by
+// WriteOpenMetrics.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// ExpoName sanitizes a registry metric name into a valid exposition
+// metric name: characters outside [a-zA-Z0-9_:] become '_' and a
+// leading digit gains a '_' prefix. The original name is preserved in
+// the HELP line.
+func ExpoName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func expoFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteOpenMetrics writes the snapshot as an OpenMetrics text
+// exposition, terminated by the mandatory "# EOF" line. Distinct
+// registry names that sanitize to the same exposition name are
+// disambiguated with a numeric suffix so the output never carries
+// duplicate metric families.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	used := map[string]int{}
+	unique := func(name string) string {
+		en := ExpoName(name)
+		used[en]++
+		if n := used[en]; n > 1 {
+			en = fmt.Sprintf("%s_dup%d", en, n-1)
+		}
+		return en
+	}
+	for _, m := range s.Counters {
+		en := unique(m.Name)
+		fmt.Fprintf(bw, "# HELP %s clperf counter %q\n", en, m.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", en)
+		fmt.Fprintf(bw, "%s_total %s\n", en, expoFloat(m.Value))
+	}
+	for _, m := range s.Gauges {
+		en := unique(m.Name)
+		fmt.Fprintf(bw, "# HELP %s clperf gauge %q\n", en, m.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", en)
+		fmt.Fprintf(bw, "%s %s\n", en, expoFloat(m.Value))
+	}
+	for _, h := range s.Hists {
+		en := unique(h.Name)
+		fmt.Fprintf(bw, "# HELP %s clperf histogram %q\n", en, h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", en)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", en, expoFloat(b.LE), b.Count)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", en, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", en, expoFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", en, h.Count)
+	}
+	fmt.Fprintln(bw, "# EOF")
+	return bw.Flush()
+}
+
+// ExpoFamily is one parsed metric family from an exposition.
+type ExpoFamily struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram"
+	Samples int
+}
+
+// ParseExposition parses and validates an OpenMetrics text exposition
+// of the subset WriteOpenMetrics emits, returning the metric families
+// in document order. It enforces the invariants a scraper relies on:
+// every sample belongs to a declared family, family names are unique,
+// histogram buckets are cumulative (monotonically non-decreasing in le
+// order) and end with a +Inf bucket equal to the _count sample, and the
+// document terminates with "# EOF".
+func ParseExposition(r io.Reader) ([]ExpoFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var fams []ExpoFamily
+	types := map[string]string{}
+	type histState struct {
+		haveBucket bool
+		lastLE     float64
+		lastCount  uint64
+		haveInf    bool
+		infCount   uint64
+		count      uint64
+		haveCount  bool
+	}
+	hists := map[string]*histState{}
+	cur := -1 // index into fams of the family being filled
+	eof := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if eof {
+			return nil, fmt.Errorf("exposition line %d: content after # EOF", lineNo)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "EOF" {
+				eof = true
+				continue
+			}
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if _, dup := types[name]; dup {
+					return nil, fmt.Errorf("exposition line %d: duplicate family %s", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram":
+				default:
+					return nil, fmt.Errorf("exposition line %d: unknown type %q", lineNo, typ)
+				}
+				types[name] = typ
+				fams = append(fams, ExpoFamily{Name: name, Type: typ})
+				cur = len(fams) - 1
+				if typ == "histogram" {
+					hists[name] = &histState{}
+				}
+			}
+			continue // HELP and other comments
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("exposition line %d: malformed sample %q", lineNo, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		name, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return nil, fmt.Errorf("exposition line %d: unterminated labels in %q", lineNo, series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("exposition line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		fam, suffix := familyOf(name, types)
+		if fam == "" {
+			return nil, fmt.Errorf("exposition line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if cur < 0 || fams[cur].Name != fam {
+			return nil, fmt.Errorf("exposition line %d: sample %q outside its family block", lineNo, name)
+		}
+		fams[cur].Samples++
+		typ := types[fam]
+		switch typ {
+		case "counter":
+			if suffix != "_total" {
+				return nil, fmt.Errorf("exposition line %d: counter sample %q lacks _total", lineNo, name)
+			}
+			if val < 0 {
+				return nil, fmt.Errorf("exposition line %d: negative counter %q", lineNo, name)
+			}
+		case "histogram":
+			hs := hists[fam]
+			switch suffix {
+			case "_bucket":
+				le, err := labelValue(labels, "le")
+				if err != nil {
+					return nil, fmt.Errorf("exposition line %d: %v", lineNo, err)
+				}
+				c := uint64(val)
+				if le == "+Inf" {
+					hs.haveInf, hs.infCount = true, c
+					break
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, fmt.Errorf("exposition line %d: bad le %q", lineNo, le)
+				}
+				if hs.haveInf {
+					return nil, fmt.Errorf("exposition line %d: bucket after +Inf in %s", lineNo, fam)
+				}
+				if hs.haveBucket && bound <= hs.lastLE {
+					return nil, fmt.Errorf("exposition line %d: bucket bounds not increasing in %s", lineNo, fam)
+				}
+				if c < hs.lastCount {
+					return nil, fmt.Errorf("exposition line %d: bucket counts not cumulative in %s", lineNo, fam)
+				}
+				hs.haveBucket, hs.lastLE, hs.lastCount = true, bound, c
+			case "_sum":
+			case "_count":
+				hs.haveCount, hs.count = true, uint64(val)
+			default:
+				return nil, fmt.Errorf("exposition line %d: unexpected histogram sample %q", lineNo, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !eof {
+		return nil, fmt.Errorf("exposition missing # EOF terminator")
+	}
+	for name, hs := range hists {
+		if !hs.haveInf || !hs.haveCount {
+			return nil, fmt.Errorf("histogram %s missing +Inf bucket or _count", name)
+		}
+		if hs.infCount != hs.count {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", name, hs.infCount, hs.count)
+		}
+		if hs.lastCount > hs.infCount {
+			return nil, fmt.Errorf("histogram %s: finite bucket exceeds +Inf", name)
+		}
+	}
+	return fams, nil
+}
+
+// ValidateExposition checks r against the invariants ParseExposition
+// enforces and additionally requires at least one metric family.
+func ValidateExposition(r io.Reader) error {
+	fams, err := ParseExposition(r)
+	if err != nil {
+		return err
+	}
+	if len(fams) == 0 {
+		return fmt.Errorf("exposition carries no metric families")
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family: exact match
+// first (gauges), then the histogram/counter suffixes.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_total", "_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, declared := types[base]; declared {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+// labelValue extracts the named label from a label body like
+// `le="128",job="x"`. Only the quoted-value form WriteOpenMetrics emits
+// is supported.
+func labelValue(labels, key string) (string, error) {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k != key {
+			continue
+		}
+		unq, err := strconv.Unquote(v)
+		if err != nil {
+			return "", fmt.Errorf("label %s has unquotable value %s", key, v)
+		}
+		return unq, nil
+	}
+	return "", fmt.Errorf("label %q missing in {%s}", key, labels)
+}

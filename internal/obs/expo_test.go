@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func expoRegistry() *Registry {
+	g := NewRegistry()
+	g.Add("cl.bytes.total", 4096)
+	g.Add("runner.experiments", 22)
+	g.Set("sched.workers", 8)
+	for _, v := range []float64{1, 2, 4, 8, 1024, 1024, 4096} {
+		g.Observe("kernel.ns:square", v)
+	}
+	return g
+}
+
+// TestWriteOpenMetricsRoundTrip: the encoder's output must satisfy its
+// own validating parser, carry every family, and expose cumulative
+// buckets ending in +Inf == count.
+func TestWriteOpenMetricsRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := expoRegistry().Snapshot().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	fams, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("self-parse failed: %v\n%s", err, out)
+	}
+	byName := map[string]ExpoFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["cl_bytes_total"]; f.Type != "counter" || f.Samples != 1 {
+		t.Fatalf("counter family = %+v\n%s", f, out)
+	}
+	if f := byName["sched_workers"]; f.Type != "gauge" || f.Samples != 1 {
+		t.Fatalf("gauge family = %+v\n%s", f, out)
+	}
+	h, ok := byName["kernel_ns:square"]
+	if !ok || h.Type != "histogram" {
+		t.Fatalf("histogram family missing: %v\n%s", fams, out)
+	}
+	// 6 distinct non-empty buckets + the +Inf bucket + _sum + _count.
+	if h.Samples != 9 {
+		t.Fatalf("histogram samples = %d, want 9\n%s", h.Samples, out)
+	}
+	for _, want := range []string{
+		"cl_bytes_total_total 4096",
+		"sched_workers 8",
+		`kernel_ns:square_bucket{le="+Inf"} 7`,
+		"kernel_ns:square_count 7",
+		"kernel_ns:square_sum 6159",
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("ValidateExposition: %v", err)
+	}
+}
+
+func TestExpoName(t *testing.T) {
+	cases := map[string]string{
+		"kernel.ns:square":   "kernel_ns:square",
+		"cache.l1.core3.hit": "cache_l1_core3_hit",
+		"9lives":             "_9lives",
+		"ok_name":            "ok_name",
+		"":                   "_",
+	}
+	for in, want := range cases {
+		if got := ExpoName(in); got != want {
+			t.Fatalf("ExpoName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestExpoNameCollision: two registry names that sanitize identically
+// must not produce duplicate families.
+func TestExpoNameCollision(t *testing.T) {
+	g := NewRegistry()
+	g.Add("a.b", 1)
+	g.Add("a/b", 2) // both sanitize to a_b; the encoder must disambiguate
+	var b strings.Builder
+	if err := g.Snapshot().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("collided names produced invalid exposition: %v\n%s", err, b.String())
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"missing EOF":       "# TYPE x counter\nx_total 1\n",
+		"undeclared sample": "# TYPE x counter\nx_total 1\ny 2\n# EOF\n",
+		"duplicate family":  "# TYPE x counter\n# TYPE x counter\nx_total 1\n# EOF\n",
+		"negative counter":  "# TYPE x counter\nx_total -1\n# EOF\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 5` + "\n" + `h_bucket{le="4"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n# EOF\n",
+		"inf mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 5` + "\n" + `h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 6\n# EOF\n",
+		"unordered bounds": "# TYPE h histogram\n" +
+			`h_bucket{le="4"} 1` + "\n" + `h_bucket{le="2"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n# EOF\n",
+		"content after EOF": "# TYPE x counter\nx_total 1\n# EOF\nx_total 2\n",
+		"empty":             "",
+	}
+	for name, doc := range cases {
+		if _, err := ParseExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parser accepted malformed document:\n%s", name, doc)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader("# EOF\n")); err == nil {
+		t.Error("ValidateExposition accepted a family-free document")
+	}
+}

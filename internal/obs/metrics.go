@@ -196,12 +196,32 @@ func (h *histogram) merge(other *histogram) {
 	}
 }
 
-// quantile returns the upper bound of the bucket where the cumulative
-// count first reaches q*count — an upper estimate quantized to powers
-// of two, clamped to the exact max.
+// bucketBounds returns bucket i's value range. Bucket 0 holds [0, 2)
+// (sub-1 values are clamped in), bucket i>0 holds [2^i, 2^(i+1)).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 2
+	}
+	return math.Exp2(float64(i)), math.Exp2(float64(i + 1))
+}
+
+// quantile estimates the q-quantile from the log2 buckets: it finds the
+// bucket where the cumulative count reaches ceil(q*count) and linearly
+// interpolates the rank position inside that bucket's value range,
+// clamping to the exact recorded min/max. The estimate depends only on
+// (buckets, count, min, max), all of which merge losslessly, so the
+// quantile of a merged histogram equals the quantile of the
+// concatenated sample stream — deterministic regardless of merge or
+// observation order.
 func (h *histogram) quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := uint64(math.Ceil(q * float64(h.count)))
 	if target < 1 {
@@ -209,37 +229,73 @@ func (h *histogram) quantile(q float64) float64 {
 	}
 	var cum uint64
 	for i, n := range h.buckets {
-		cum += n
-		if cum >= target {
-			return math.Min(math.Exp2(float64(i+1)), h.max)
+		if n == 0 {
+			continue
 		}
+		if cum+n >= target {
+			lo, hi := bucketBounds(i)
+			// Rank position inside the bucket, in (0, 1].
+			pos := float64(target-cum) / float64(n)
+			est := lo + pos*(hi-lo)
+			return math.Min(math.Max(est, h.min), h.max)
+		}
+		cum += n
 	}
 	return h.max
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the named
+// histogram from its log2 buckets; see histogram.quantile for the
+// estimator's determinism contract. Returns 0 for an absent histogram
+// or a nil registry.
+func (g *Registry) Quantile(name string, q float64) float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h := g.hists[name]
+	if h == nil {
+		return 0
+	}
+	return h.quantile(q)
+}
+
 // Metric is one named scalar in a snapshot.
 type Metric struct {
-	Name  string
-	Value float64
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot: Count
+// samples were <= LE (exposition-style "le" upper bound).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
 }
 
 // HistStat summarizes one histogram in a snapshot.
 type HistStat struct {
-	Name  string
-	Count uint64
-	Sum   float64
-	Min   float64
-	Max   float64
-	Mean  float64
-	P50   float64
-	P95   float64
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Buckets are the cumulative non-empty log2 buckets in increasing LE
+	// order; the final implicit +Inf bucket equals Count.
+	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of the registry, sorted by name.
 type Snapshot struct {
-	Counters []Metric
-	Gauges   []Metric
-	Hists    []HistStat
+	Counters []Metric   `json:"counters,omitempty"`
+	Gauges   []Metric   `json:"gauges,omitempty"`
+	Hists    []HistStat `json:"hists,omitempty"`
 }
 
 // Snapshot captures the registry. Safe on a nil registry (empty
@@ -262,7 +318,18 @@ func (g *Registry) Snapshot() Snapshot {
 		if h.count > 0 {
 			hs.Mean = h.sum / float64(h.count)
 			hs.P50 = h.quantile(0.50)
+			hs.P90 = h.quantile(0.90)
 			hs.P95 = h.quantile(0.95)
+			hs.P99 = h.quantile(0.99)
+			var cum uint64
+			for i, n := range h.buckets {
+				if n == 0 {
+					continue
+				}
+				cum += n
+				_, hi := bucketBounds(i)
+				hs.Buckets = append(hs.Buckets, Bucket{LE: hi, Count: cum})
+			}
 		} else {
 			hs.Min, hs.Max = 0, 0
 		}

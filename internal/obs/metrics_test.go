@@ -71,7 +71,7 @@ func TestSnapshotCSV(t *testing.T) {
 	var b strings.Builder
 	g.Snapshot().WriteCSV(&b)
 	out := b.String()
-	if !strings.HasPrefix(out, "kind,name,count,value,min,mean,p50,p95,max\n") {
+	if !strings.HasPrefix(out, "kind,name,count,value,min,mean,p50,p90,p95,p99,max\n") {
 		t.Fatalf("header missing:\n%s", out)
 	}
 	if !strings.Contains(out, "counter,bytes,,64") {

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// quantileQs is the ladder every quantile test checks.
+var quantileQs = []float64{0, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1}
+
+// TestQuantileMergeEqualsConcatenated is the merge/quantile contract:
+// Quantile over a merge of shard registries is bit-identical to
+// Quantile over one registry fed the concatenated sample stream,
+// because the estimator depends only on (buckets, count, min, max),
+// all of which merge losslessly. Shards observe concurrently so the
+// property also holds under -race.
+func TestQuantileMergeEqualsConcatenated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		shardCount := 1 + rng.Intn(6)
+		streams := make([][]float64, shardCount)
+		for i := range streams {
+			n := rng.Intn(200)
+			streams[i] = make([]float64, n)
+			for j := range streams[i] {
+				// Mix tiny, mid and huge values across many buckets.
+				streams[i][j] = math.Exp2(rng.Float64()*40 - 2)
+			}
+		}
+
+		// Reference: one registry over the concatenated stream.
+		ref := NewRegistry()
+		for _, st := range streams {
+			for _, v := range st {
+				ref.Observe("lat.ns", v)
+			}
+		}
+
+		// Shards observed concurrently, then merged in fixed order.
+		shards := make([]*Registry, shardCount)
+		var wg sync.WaitGroup
+		for i, st := range streams {
+			shards[i] = NewRegistry()
+			wg.Add(1)
+			go func(r *Registry, vals []float64) {
+				defer wg.Done()
+				for _, v := range vals {
+					r.Observe("lat.ns", v)
+				}
+			}(shards[i], st)
+		}
+		wg.Wait()
+		merged := NewRegistry()
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+
+		for _, q := range quantileQs {
+			got, want := merged.Quantile("lat.ns", q), ref.Quantile("lat.ns", q)
+			if got != want {
+				t.Fatalf("trial %d: Quantile(%g) merged=%g concatenated=%g", trial, q, got, want)
+			}
+		}
+		// And the Snapshot quantile fields agree the same way.
+		ms, rs := merged.Snapshot(), ref.Snapshot()
+		if len(ms.Hists) != len(rs.Hists) {
+			t.Fatalf("trial %d: hist counts differ", trial)
+		}
+		for i := range ms.Hists {
+			m, r := ms.Hists[i], rs.Hists[i]
+			if m.P50 != r.P50 || m.P90 != r.P90 || m.P95 != r.P95 || m.P99 != r.P99 {
+				t.Fatalf("trial %d: snapshot quantiles diverge: %+v vs %+v", trial, m, r)
+			}
+		}
+	}
+}
+
+// TestQuantileBounds: quantiles stay inside [min, max], are monotone in
+// q, and q=1 returns the exact max.
+func TestQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewRegistry()
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 1e9
+		g.Observe("h", v)
+		min, max = math.Min(min, v), math.Max(max, v)
+	}
+	prev := math.Inf(-1)
+	for _, q := range quantileQs {
+		v := g.Quantile("h", q)
+		if v < min || v > max {
+			t.Fatalf("Quantile(%g)=%g outside [%g,%g]", q, v, min, max)
+		}
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+	if got := g.Quantile("h", 1); got != max {
+		t.Fatalf("Quantile(1)=%g, want exact max %g", got, max)
+	}
+	if got := g.Quantile("absent", 0.5); got != 0 {
+		t.Fatalf("absent histogram quantile = %g, want 0", got)
+	}
+	var nilReg *Registry
+	if got := nilReg.Quantile("h", 0.5); got != 0 {
+		t.Fatalf("nil registry quantile = %g, want 0", got)
+	}
+}

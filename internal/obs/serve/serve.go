@@ -1,0 +1,119 @@
+// Package serve exposes a live observability plane over HTTP: an
+// embeddable handler set that renders a recorder's current state as
+// OpenMetrics text, a JSON metrics snapshot, or a Chrome trace — the
+// scrape surface the ROADMAP's clperfd daemon requires, usable today
+// from `oclbench -serve` and `advisor -serve`.
+//
+// The handlers are backed by a Source callback returning a recorder
+// view (e.g. harness.Runner.Live): every request takes a fresh
+// mutex-snapshotted copy, so scraping is safe while a suite is still
+// running and never blocks the workers beyond the recorder's own
+// short critical sections.
+//
+// Endpoints:
+//
+//	/metrics   OpenMetrics/Prometheus text exposition (counters,
+//	           gauges, histograms with cumulative log2 buckets)
+//	/snapshot  JSON obs.Snapshot (counters, gauges, histogram stats
+//	           incl. p50/p90/p95/p99 and cumulative buckets)
+//	/trace     Chrome trace-event JSON of the recorded spans
+//	           (Perfetto / chrome://tracing / cldiff input)
+//	/healthz   liveness probe, "ok"
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"clperf/internal/obs"
+)
+
+// Source yields the recorder view a request should render. It is
+// called once per request; returning nil renders an empty (but valid)
+// document. Implementations must be safe for concurrent use.
+type Source func() *obs.Recorder
+
+// NewMux returns the handler set mounted on a fresh mux.
+func NewMux(src Source) *http.ServeMux {
+	mux := http.NewServeMux()
+	rec := func() *obs.Recorder {
+		if src == nil {
+			return nil
+		}
+		return src()
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		rec().Registry().Snapshot().WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(rec().Registry().Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rec().Chrome(1, "clperf").WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	// Addr is the bound listen address (resolved, so ":0" requests
+	// report the picked port).
+	Addr string
+
+	srv  *http.Server
+	ln   net.Listener
+	err  chan error
+	once sync.Once
+}
+
+// Start listens on addr and serves the handler set in a background
+// goroutine until Close. addr follows net.Listen's "host:port" form;
+// port 0 picks a free port (see Server.Addr).
+func Start(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs/serve: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv: &http.Server{
+			Handler:           NewMux(src),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		ln:  ln,
+		err: make(chan error, 1),
+	}
+	go func() { s.err <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// URL returns the endpoint base URL (http://host:port).
+func (s *Server) URL() string { return "http://" + s.Addr }
+
+// Close stops the listener and waits for the serve loop to exit.
+// In-flight requests are cut off; the observability plane has no
+// state to flush. Close is idempotent.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	var err error
+	s.once.Do(func() {
+		err = s.srv.Close()
+		<-s.err // Serve always returns after Close (http.ErrServerClosed)
+	})
+	return err
+}

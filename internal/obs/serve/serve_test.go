@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+func testRecorder() *obs.Recorder {
+	rec := obs.NewRecorder()
+	id := rec.Record(obs.NoParent, obs.KindKernel, "square", 0, 100*units.Microsecond)
+	rec.SetTrack(id, "dev0")
+	rec.Registry().Add("cl.commands", 3)
+	rec.Registry().Set("sched.workers", 4)
+	for _, v := range []float64{10, 20, 40, 80000} {
+		rec.Registry().Observe("kernel.ns:square", v)
+	}
+	return rec
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, *http.Response) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d:\n%s", path, resp.StatusCode, body)
+	}
+	return string(body), resp
+}
+
+func TestEndpoints(t *testing.T) {
+	rec := testRecorder()
+	srv := httptest.NewServer(NewMux(func() *obs.Recorder { return rec }))
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %q", body)
+	}
+
+	body, resp := get(t, srv, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"cl_commands_total 3",
+		"sched_workers 4",
+		`kernel_ns:square_bucket{le="+Inf"} 4`,
+		"kernel_ns:square_count 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, _ = get(t, srv, "/snapshot")
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v\n%s", err, body)
+	}
+	if len(snap.Counters) != 1 || len(snap.Gauges) != 1 || len(snap.Hists) != 1 {
+		t.Fatalf("/snapshot shape = %+v", snap)
+	}
+	h := snap.Hists[0]
+	if h.Name != "kernel.ns:square" || h.Count != 4 || h.P50 == 0 || h.P99 == 0 || len(h.Buckets) == 0 {
+		t.Fatalf("/snapshot histogram = %+v", h)
+	}
+
+	body, _ = get(t, srv, "/trace")
+	var ct obs.ChromeTrace
+	if err := json.Unmarshal([]byte(body), &ct); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, body)
+	}
+	var slices int
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+			if ev.Name != "square" {
+				t.Fatalf("/trace slice = %+v", ev)
+			}
+		}
+	}
+	if slices != 1 {
+		t.Fatalf("/trace slices = %d, want 1", slices)
+	}
+}
+
+// TestNilSource: a nil source (or a source returning nil) must serve
+// valid, empty documents rather than crash — scraping before the suite
+// starts is legal.
+func TestNilSource(t *testing.T) {
+	for name, src := range map[string]Source{
+		"nil source":   nil,
+		"nil recorder": func() *obs.Recorder { return nil },
+		"empty":        func() *obs.Recorder { return obs.NewRecorder() },
+	} {
+		srv := httptest.NewServer(NewMux(src))
+		body, _ := get(t, srv, "/metrics")
+		if !strings.Contains(body, "# EOF") {
+			t.Errorf("%s: /metrics missing EOF:\n%s", name, body)
+		}
+		body, _ = get(t, srv, "/snapshot")
+		var snap obs.Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Errorf("%s: /snapshot: %v", name, err)
+		}
+		get(t, srv, "/healthz")
+		get(t, srv, "/trace")
+		srv.Close()
+	}
+}
+
+// TestStartClose exercises the background server lifecycle on a
+// kernel-picked port, including concurrent scrapes against a recorder
+// that is being written at the same time.
+func TestStartClose(t *testing.T) {
+	rec := obs.NewRecorder()
+	s, err := Start("127.0.0.1:0", func() *obs.Recorder { return rec })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // concurrent writer: the mid-suite scrape scenario
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec.Registry().Observe("w.ns", float64(i+1))
+			rec.Record(obs.NoParent, obs.KindRegion, "w", units.Duration(i), units.Duration(i+1))
+		}
+	}()
+
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(s.URL() + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		// ParseExposition, not ValidateExposition: the very first scrape
+		// may legitimately race ahead of the writer's first sample.
+		if _, err := obs.ParseExposition(strings.NewReader(string(body))); err != nil {
+			t.Fatalf("scrape %d: invalid exposition: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if err := s.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get(s.URL() + "/healthz"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}

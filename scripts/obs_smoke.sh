@@ -1,0 +1,73 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end check of the live observability plane.
+#
+# Runs the full suite with -serve on a kernel-picked port, scrapes
+# /healthz and /metrics while the suite lingers, validates the scrape
+# as OpenMetrics (cldiff -validate runs the strict parser), requires a
+# histogram with cumulative buckets, then records a second run and
+# gates the pair with `cldiff -gate 20`. The simulated metrics are
+# deterministic, so only the runner.* host wall-clock keys differ run
+# to run — they are excluded via -ignore, and the gate must pass.
+#
+# Invoked by `make obs-smoke`; expects to run from the repo root.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"; [ -n "${SUITE_PID:-}" ] && kill "$SUITE_PID" 2>/dev/null || true' EXIT
+
+"$GO" build -o "$TMP/oclbench" ./cmd/oclbench
+"$GO" build -o "$TMP/cldiff" ./cmd/cldiff
+
+# First run: serve the observability plane, linger after the suite so
+# the scrape below never races suite completion.
+"$TMP/oclbench" -e all -par 4 -timeout 5m \
+    -serve 127.0.0.1:0 -linger 30s \
+    -snapshot-json "$TMP/run_a.json" \
+    >/dev/null 2>"$TMP/serve.log" &
+SUITE_PID=$!
+
+# The bound port is announced on stderr as http://127.0.0.1:PORT.
+BASE=
+for _ in $(seq 1 100); do
+    BASE=$(sed -n 's/.*\(http:\/\/[0-9.]*:[0-9]*\).*/\1/p' "$TMP/serve.log" | head -n 1)
+    [ -n "$BASE" ] && break
+    sleep 0.1
+done
+[ -n "$BASE" ] || { echo "obs-smoke: server never announced its URL" >&2; cat "$TMP/serve.log" >&2; exit 1; }
+
+# Health must come up, then stay up for the whole scrape.
+for _ in $(seq 1 100); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -qx ok
+
+# Wait for the snapshot artifact, proving the suite itself completed
+# (scrapes during the run were already exercised by the poll above).
+for _ in $(seq 1 300); do
+    [ -s "$TMP/run_a.json" ] && break
+    sleep 0.1
+done
+[ -s "$TMP/run_a.json" ] || { echo "obs-smoke: suite never wrote its snapshot" >&2; exit 1; }
+
+# Scrape /metrics and validate it with the strict OpenMetrics parser.
+curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+"$TMP/cldiff" -validate "$TMP/metrics.txt"
+grep -q '_bucket{le="+Inf"}' "$TMP/metrics.txt" || {
+    echo "obs-smoke: no cumulative histogram in /metrics" >&2; exit 1; }
+grep -q '^# EOF' "$TMP/metrics.txt"
+curl -fsS "$BASE/snapshot" | grep -q '"hists"'
+
+kill "$SUITE_PID" 2>/dev/null || true
+wait "$SUITE_PID" 2>/dev/null || true
+SUITE_PID=
+
+# Second run, no server needed: just the snapshot artifact.
+"$TMP/oclbench" -e all -par 4 -timeout 5m -snapshot-json "$TMP/run_b.json" >/dev/null 2>&1
+
+# Back-to-back runs must attribute to ~zero once the host wall-clock
+# runner.* keys are excluded; gate at +20%.
+"$TMP/cldiff" -gate 20 -ignore '^runner\.' "$TMP/run_a.json" "$TMP/run_b.json"
+
+echo "obs-smoke: ok"
