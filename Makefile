@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke baseline bench-compare smoke obs-smoke ci clean
+.PHONY: all build vet test race bench bench-smoke baseline bench-compare smoke obs-smoke san-smoke ci clean
 
 all: build
 
@@ -49,8 +49,16 @@ obs-smoke:
 	$(GO) test -count=1 ./internal/obs/...
 	sh scripts/obs_smoke.sh
 
+# End-to-end hazard-analyzer smoke: the registered suite must analyze
+# clean under `oclbench -san`, and the seeded-bug corpus (`clsan
+# -inject`) must trip all three hazard classes with exit 1.
+san-smoke:
+	$(GO) test -count=1 ./internal/san/...
+	sh scripts/san_smoke.sh
+
 # The gate CI runs: everything must build, vet clean, pass under the
 # race detector, survive a concurrent full-suite run, execute the
-# search-layer benchmarks once, and keep the live observability plane
-# scrapeable and diffable end to end.
-ci: build vet race smoke bench-smoke obs-smoke
+# search-layer benchmarks once, keep the live observability plane
+# scrapeable and diffable end to end, and hold the hazard analyzer's
+# zero-false-positive / full-detection contract.
+ci: build vet race smoke bench-smoke obs-smoke san-smoke

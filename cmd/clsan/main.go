@@ -1,0 +1,92 @@
+// Command clsan is the happens-before hazard analyzer: it replays the
+// benchmark suite's kernels through the lane-attributed trace oracle and
+// a double-buffered out-of-order pipeline through the event-graph
+// checker, and reports intra-workgroup data races, barrier divergence,
+// and async commands whose conflicts carry no declared wait-list edge.
+//
+// Usage:
+//
+//	clsan                  # analyze the full registered suite
+//	clsan -json            # machine-readable report on stdout
+//	clsan -inject          # analyze the seeded-bug corpus instead —
+//	                       # the self-test CI runs to prove detection
+//	clsan -snapshot-json F # also write the analyzer's obs metrics
+//
+// Exit status: 0 when the analysis is clean, 1 when findings were
+// reported, 2 on analysis errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"clperf/internal/obs"
+	"clperf/internal/san"
+)
+
+// writeSnapshotJSON dumps the recorder's metrics snapshot, the same
+// artifact oclbench -snapshot-json emits (cldiff input).
+func writeSnapshotJSON(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rec.Registry().Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report instead of the table")
+		inject   = flag.Bool("inject", false, "analyze the seeded-bug corpus (expects findings; exit 1 proves detection)")
+		snapshot = flag.String("snapshot-json", "", "write the analyzer's metrics snapshot to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: clsan [-json] [-inject] [-snapshot-json FILE] (see -h)")
+		return 2
+	}
+
+	analyze := san.AnalyzeSuite
+	if *inject {
+		analyze = san.AnalyzeCorpus
+	}
+	rep, err := analyze()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clsan: %v\n", err)
+		return 2
+	}
+
+	rec := obs.NewRecorder()
+	rep.Record(rec)
+	if *snapshot != "" {
+		if err := writeSnapshotJSON(*snapshot, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "clsan: write snapshot: %v\n", err)
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "clsan: %v\n", err)
+			return 2
+		}
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	if !rep.Clean {
+		return 1
+	}
+	return 0
+}

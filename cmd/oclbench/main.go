@@ -34,6 +34,13 @@
 //	                            # record the merged metrics snapshot and
 //	                            # Chrome trace to files for cmd/cldiff
 //	                            # run-to-run attribution
+//	oclbench -e all -san        # after the suite, replay every kernel
+//	                            # under the happens-before hazard
+//	                            # analyzer (races, barrier divergence,
+//	                            # undeclared async edges); findings are
+//	                            # printed and fail the run; add
+//	                            # -san-json report.json for the
+//	                            # machine-readable report
 //
 // Failures are isolated: a failing experiment is reported on stderr and
 // the remaining artifacts still run; the exit status is 1 only after
@@ -55,6 +62,7 @@ import (
 	"clperf/internal/harness"
 	"clperf/internal/obs"
 	"clperf/internal/obs/serve"
+	"clperf/internal/san"
 )
 
 // main defers to run so profile flushing (deferred there) survives
@@ -81,6 +89,8 @@ func run() int {
 		linger   = flag.Duration("linger", 0, "with -serve, keep serving this long after the suite completes")
 		snapOut  = flag.String("snapshot-json", "", "write the merged metrics snapshot JSON to this file after the run (cldiff input)")
 		traceSte = flag.String("trace-json", "", "write the merged suite Chrome trace JSON to this file after the run (cldiff input)")
+		sanMode  = flag.Bool("san", false, "after the suite, replay every registered kernel and the async pipeline under the happens-before hazard analyzer; findings fail the run")
+		sanJSON  = flag.String("san-json", "", "with -san, also write the machine-readable analyzer report to this file")
 	)
 	flag.Parse()
 
@@ -211,6 +221,33 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "oclbench: wrote suite trace %s\n", *traceSte)
 	}
+	sanFindings := 0
+	if *sanMode || *sanJSON != "" {
+		rep, err := san.AnalyzeSuite()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oclbench: -san: %v\n", err)
+			return 2
+		}
+		rep.Record(sum.Rec) // counters + spans land in the merged plane
+		if *sanJSON != "" {
+			f, err := os.Create(*sanJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oclbench: -san-json: %v\n", err)
+				return 2
+			}
+			werr := rep.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "oclbench: -san-json: %v\n", werr)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "oclbench: wrote hazard report %s\n", *sanJSON)
+		}
+		rep.WriteText(os.Stdout)
+		sanFindings = len(rep.Findings())
+	}
 	if srv != nil && *linger > 0 {
 		fmt.Fprintf(os.Stderr, "oclbench: suite done; serving %s for another %v\n", srv.URL(), *linger)
 		time.Sleep(*linger)
@@ -222,6 +259,10 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "oclbench: %d/%d experiments failed: %s (wall %v)\n",
 			len(failed), len(sum.Results), strings.Join(ids, ", "), sum.Wall.Round(time.Millisecond))
+		return 1
+	}
+	if sanFindings > 0 {
+		fmt.Fprintf(os.Stderr, "oclbench: -san: %d hazard finding(s)\n", sanFindings)
 		return 1
 	}
 	return 0

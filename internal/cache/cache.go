@@ -293,6 +293,10 @@ func (h *Hierarchy) AccessRange(core int, recs []ir.Access, writeFactor, acc flo
 	l1lat, l2lat, l3lat := l1.Latency(), l2.Latency(), l3.Latency()
 	memLat := l3lat + h.memLat
 	for _, a := range recs {
+		if a.Kind != ir.KindGlobal {
+			// Barrier markers carry no memory traffic.
+			continue
+		}
 		first := a.Addr >> h.lineShift
 		last := (a.Addr + a.Size - 1) >> h.lineShift
 		var lat float64

@@ -86,9 +86,13 @@ func (t *Serial) Access(addr, size int64, write bool) {
 
 // AccessBatch implements ir.BatchTracer as the plain per-access loop (no
 // AccessRange batching — the oracle stays independent of the fast path it
-// verifies).
+// verifies). Non-global marker records (barriers) are not memory traffic
+// and are skipped.
 func (t *Serial) AccessBatch(_ int, recs []ir.Access) {
 	for _, a := range recs {
+		if a.Kind != ir.KindGlobal {
+			continue
+		}
 		t.Access(a.Addr, a.Size, a.Write)
 	}
 }
@@ -220,6 +224,10 @@ func (sh *shard) run(lineShift uint8) {
 	l1lat, l2lat := l1.Latency(), l2.Latency()
 	for b := range sh.in {
 		for _, a := range b.recs {
+			if a.Kind != ir.KindGlobal {
+				// Barrier markers carry no memory traffic.
+				continue
+			}
 			first := a.Addr >> lineShift
 			last := (a.Addr + a.Size - 1) >> lineShift
 			resolved := 0.0

@@ -1,6 +1,8 @@
 package cl
 
 import (
+	"sync/atomic"
+
 	"clperf/internal/ir"
 	"clperf/internal/units"
 )
@@ -24,15 +26,63 @@ type OOOQueue struct {
 	computeFree  units.Duration
 	transferFree units.Duration
 	events       []*Event
+
+	// seq numbers every event in enqueue order and records maps each
+	// command's buffer read/write sets plus its declared wait-list edges —
+	// the event-graph export internal/san builds its happens-before
+	// relation from.
+	seq     map[*Event]int
+	records []CommandRecord
+}
+
+// CommandRecord is the analyzable shadow of one enqueued command: what it
+// touched and which events it declared it waits on. Reads and Writes name
+// context buffers (unique per context); Waits holds the Seq of every
+// wait-list event enqueued on this queue. Because functional effects
+// apply in enqueue order while wait lists alone govern simulated timing,
+// a conflicting pair of commands with no declared happens-before path is
+// a silent hazard — exactly what internal/san flags.
+type CommandRecord struct {
+	Seq     int      `json:"seq"`
+	Command string   `json:"command"`
+	Engine  string   `json:"engine"` // "compute" or "transfer"
+	Reads   []string `json:"reads,omitempty"`
+	Writes  []string `json:"writes,omitempty"`
+	Waits   []int    `json:"waits,omitempty"`
 }
 
 // NewOOOQueue creates an out-of-order queue on the context's device.
 func NewOOOQueue(ctx *Context) *OOOQueue {
-	return &OOOQueue{ctx: ctx, costs: &CommandQueue{ctx: ctx, functional: false}}
+	return &OOOQueue{
+		ctx:   ctx,
+		costs: &CommandQueue{ctx: ctx, functional: false},
+		seq:   map[*Event]int{},
+	}
 }
 
 // Events returns every recorded event in enqueue order.
 func (q *OOOQueue) Events() []*Event { return q.events }
+
+// Commands returns the analyzable record of every enqueued command, in
+// enqueue order.
+func (q *OOOQueue) Commands() []CommandRecord { return q.records }
+
+// note records the just-scheduled event's analyzable shadow.
+func (q *OOOQueue) note(ev *Event, engine string, reads, writes []string, waitList []*Event) {
+	n := len(q.events) - 1
+	q.seq[ev] = n
+	rec := CommandRecord{Seq: n, Command: ev.Command, Engine: engine,
+		Reads: reads, Writes: writes}
+	for _, w := range waitList {
+		if w == nil {
+			continue
+		}
+		if s, ok := q.seq[w]; ok {
+			rec.Waits = append(rec.Waits, s)
+		}
+	}
+	q.records = append(q.records, rec)
+}
 
 // Finish returns the makespan: the time all enqueued commands complete.
 func (q *OOOQueue) Finish() units.Duration {
@@ -79,7 +129,9 @@ func (q *OOOQueue) EnqueueWriteBuffer(b *Buffer, src []float64, waitList ...*Eve
 	}
 	b.data.CopyFrom(src)
 	cost := q.costs.copyCost(b, int64(len(src))*b.data.Elem.Size())
-	return q.schedule("clEnqueueWriteBuffer", &q.transferFree, cost, waitList), nil
+	ev := q.schedule("clEnqueueWriteBuffer", &q.transferFree, cost, waitList)
+	q.note(ev, "transfer", nil, []string{b.data.Name}, waitList)
+	return ev, nil
 }
 
 // EnqueueReadBuffer copies the buffer into dst after waitList completes
@@ -93,7 +145,9 @@ func (q *OOOQueue) EnqueueReadBuffer(b *Buffer, dst []float64, waitList ...*Even
 	}
 	copy(dst, b.data.Data[:len(dst)])
 	cost := q.costs.copyCost(b, int64(len(dst))*b.data.Elem.Size())
-	return q.schedule("clEnqueueReadBuffer", &q.transferFree, cost, waitList), nil
+	ev := q.schedule("clEnqueueReadBuffer", &q.transferFree, cost, waitList)
+	q.note(ev, "transfer", []string{b.data.Name}, nil, waitList)
+	return ev, nil
 }
 
 // EnqueueNDRangeKernel launches the kernel after waitList completes
@@ -118,5 +172,84 @@ func (q *OOOQueue) EnqueueNDRangeKernel(k *Kernel, nd ir.NDRange, waitList ...*E
 		return nil, err
 	}
 	cost := ke.Event.Duration()
-	return q.schedule("clEnqueueNDRangeKernel:"+k.k.Name, &q.computeFree, cost, waitList), nil
+	ev := q.schedule("clEnqueueNDRangeKernel:"+k.k.Name, &q.computeFree, cost, waitList)
+	q.note(ev, "compute", k.bufferNames(false), k.bufferNames(true), waitList)
+	return ev, nil
+}
+
+// bufferNames maps the kernel's IR-level read or write set (parameter
+// names) through its argument bindings to context buffer names.
+func (k *Kernel) bufferNames(writes bool) []string {
+	rd, wr := ir.BufferAccess(k.k)
+	set := rd
+	if writes {
+		set = wr
+	}
+	names := make([]string, 0, len(set))
+	for _, param := range set {
+		if b, ok := k.bufs[param]; ok && b != nil {
+			names = append(names, b.data.Name)
+		}
+	}
+	return names
+}
+
+// EnqueueMapBuffer maps the buffer after waitList completes (DMA engine)
+// and returns a live view of its contents, as CommandQueue.EnqueueMapBuffer
+// does. For hazard analysis the map event is where host access begins: it
+// reads the buffer under MapRead and claims it for writing under MapWrite,
+// so kernels and transfers touching the buffer must be ordered against it
+// by wait-list edges.
+func (q *OOOQueue) EnqueueMapBuffer(b *Buffer, flags MapFlags, waitList ...*Event) ([]float64, *Event, error) {
+	if b == nil || b.ctx != q.ctx {
+		return nil, nil, wrap(ErrInvalidMemObject, "map buffer")
+	}
+	if flags&(MapRead|MapWrite) == 0 {
+		return nil, nil, wrap(ErrInvalidValue, "map flags %v", flags)
+	}
+	if !atomic.CompareAndSwapInt32(&b.mapped, 0, 1) {
+		return nil, nil, wrap(ErrMapFailure, "buffer already mapped")
+	}
+	atomic.StoreUint32(&b.mapFlags, uint32(flags))
+	cost := q.costs.mapCost(b, b.Bytes())
+	ev := q.schedule("clEnqueueMapBuffer", &q.transferFree, cost, waitList)
+	var reads, writes []string
+	if flags&MapRead != 0 {
+		reads = []string{b.data.Name}
+	}
+	if flags&MapWrite != 0 {
+		writes = []string{b.data.Name}
+	}
+	q.note(ev, "transfer", reads, writes, waitList)
+	return b.data.Data, ev, nil
+}
+
+// EnqueueUnmapBuffer releases a mapping after waitList completes (DMA
+// engine). A MapWrite mapping's unmap publishes the host's writes (the
+// write-back flush), so it carries the buffer in its write set; a
+// MapRead-only unmap is flush-free and touches nothing.
+func (q *OOOQueue) EnqueueUnmapBuffer(b *Buffer, waitList ...*Event) (*Event, error) {
+	if b == nil || b.ctx != q.ctx {
+		return nil, wrap(ErrInvalidMemObject, "unmap buffer")
+	}
+	flags := MapFlags(atomic.LoadUint32(&b.mapFlags))
+	if !atomic.CompareAndSwapInt32(&b.mapped, 1, 0) {
+		return nil, wrap(ErrInvalidValue, "buffer not mapped")
+	}
+	cost := units.Duration(0)
+	if q.ctx.Device.Type == DeviceGPU && flags&MapWrite != 0 {
+		a := q.ctx.Device.GPU.A
+		bw := a.PCIeBandwidth
+		if b.HostResident() {
+			bw = a.PinnedBandwidth
+		}
+		cost = bw.Transfer(units.ByteSize(b.Bytes()))
+	}
+	ev := q.schedule("clEnqueueUnmapBuffer", &q.transferFree, cost, waitList)
+	var writes []string
+	if flags&MapWrite != 0 {
+		writes = []string{b.data.Name}
+	}
+	q.note(ev, "transfer", nil, writes, waitList)
+	return ev, nil
 }

@@ -443,9 +443,34 @@ func (c *compiler) compileStmt(s Stmt) (stmtFn, error) {
 		return c.compileFor(s)
 	case Barrier:
 		// Lockstep execution keeps all workitems aligned, so a barrier under
-		// (validated) uniform control flow is a no-op functionally: it
-		// compiles to nothing.
-		return nil, nil
+		// (validated) uniform control flow is a no-op functionally. Traced
+		// runs still need it in the stream: downstream analyzers (internal/
+		// san) segment a group's accesses into barrier-separated epochs, so
+		// the closure emits a KindBarrier marker carrying the barrier's
+		// dynamic ordinal and the number of lanes that reached it. The
+		// compiled program is shared between traced and untraced launches
+		// (cached by digest), so the tracing check is at run time; untraced
+		// runs pay one predictable branch per barrier per group.
+		return func(ex *engineExec, mask []bool) {
+			if !ex.tracing {
+				return
+			}
+			active := ex.n
+			if !ex.isFull(mask) {
+				active = 0
+				for _, m := range mask {
+					if m {
+						active++
+					}
+				}
+			}
+			ex.tb = append(ex.tb, Access{
+				Kind: KindBarrier,
+				Addr: ex.barSeq,
+				Size: int64(active),
+			})
+			ex.barSeq++
+		}, nil
 	default:
 		return nil, c.errf("unknown statement %T", s)
 	}

@@ -33,9 +33,11 @@ type engineExec struct {
 	bpoolNxt int
 
 	// tracing enables access buffering: closures append to tb, the caller
-	// flushes tb to the Tracer in group order (see exec.go).
+	// flushes tb to the Tracer in group order (see exec.go). barSeq is the
+	// running group's barrier ordinal, recorded in KindBarrier markers.
 	tracing bool
 	tb      []Access
+	barSeq  int64
 }
 
 func newEngineExec(prog *program, args *Args, nd NDRange, tracing bool) *engineExec {
@@ -154,8 +156,10 @@ func (ex *engineExec) runGroup(g int) (err error) {
 	}()
 	// A panic mid-statement leaves the scratch stacks partially claimed;
 	// reset here so a worker that continues past a failed group (parallel
-	// tracing drains every group) starts clean.
+	// tracing drains every group) starts clean. Barrier ordinals restart
+	// per group.
 	ex.poolNext, ex.bpoolNxt = 0, 0
+	ex.barSeq = 0
 
 	coord := ex.nd.GroupCoord(g)
 	for d := 0; d < 3; d++ {

@@ -33,6 +33,14 @@ func (r *recTracer) Access(addr, size int64, write bool) {
 	r.log = append(r.log, traceEvent{acc: Access{Addr: addr, Size: size, Write: write}})
 }
 
+// Mark records non-global marker records (barriers), so the streaming
+// comparison covers them too: the oracle emits markers inline while the
+// engine buffers and flushes them, and the merged streams must still be
+// identical event for event.
+func (r *recTracer) Mark(rec Access) {
+	r.log = append(r.log, traceEvent{acc: rec})
+}
+
 // recBatchTracer records the same stream through the BatchTracer fast path.
 type recBatchTracer struct {
 	recTracer

@@ -25,12 +25,37 @@ type Tracer interface {
 	Access(addr int64, size int64, write bool)
 }
 
-// Access is one buffered global-memory access record. The engine collects
-// these per workgroup and flushes them to the Tracer in group order.
+// AccessKind classifies a trace record. The zero value is a plain
+// global-memory access, so code that fills only Addr/Size/Write keeps its
+// historical meaning.
+type AccessKind uint8
+
+const (
+	// KindGlobal is a global-memory (__global buffer) access.
+	KindGlobal AccessKind = iota
+	// KindLocal is a __local array access (hazard mode only).
+	KindLocal
+	// KindLocalAtomic is an atomic __local update (hazard mode only).
+	// Same-cell atomic/atomic pairs are race-free by definition.
+	KindLocalAtomic
+	// KindBarrier marks a workgroup barrier in the stream: Addr is the
+	// barrier's dynamic ordinal within the group (0-based) and Size the
+	// number of lanes that reached it. It is not a memory access.
+	KindBarrier
+)
+
+// Access is one buffered trace record. The engine collects these per
+// workgroup and flushes them to the Tracer in group order. Kind
+// distinguishes memory accesses from barrier markers; Lane is the
+// workitem's linear index within its group and is only populated in
+// hazard mode (ExecOptions.Hazards), where the analyzer needs to tell
+// workitems apart.
 type Access struct {
 	Addr  int64
 	Size  int64
 	Write bool
+	Kind  AccessKind
+	Lane  int32
 }
 
 // BatchTracer is an optional Tracer extension: tracers that implement it
@@ -41,7 +66,22 @@ type Access struct {
 type BatchTracer interface {
 	Tracer
 	// AccessBatch reports all accesses of workgroup group, in program order.
+	// The slice may contain non-KindGlobal marker records (barriers);
+	// implementations that only model memory must skip them.
 	AccessBatch(group int, recs []Access)
+}
+
+// MarkTracer is an optional Tracer extension for non-global records.
+// Tracers that implement it receive barrier markers — and, in hazard
+// mode, __local and lane-annotated records — via Mark, interleaved in
+// program order with the Access stream. Tracers without it see only the
+// plain global-memory stream through Access (batch delivery is
+// unaffected: AccessBatch always carries every record).
+type MarkTracer interface {
+	Tracer
+	// Mark reports one non-global record (rec.Kind != KindGlobal), or, in
+	// hazard mode, any record with hazard annotations.
+	Mark(rec Access)
 }
 
 // ExecOptions controls functional execution of an NDRange.
@@ -57,6 +97,13 @@ type ExecOptions struct {
 	// Groups, when non-nil, selects which linear workgroup indices to
 	// execute (sampled tracing). nil executes all groups.
 	Groups func(g int) bool
+	// Hazards enables hazard-analysis tracing (internal/san): every
+	// record — global, __local, atomic, barrier — is delivered through the
+	// tracer's MarkTracer extension with Kind and Lane populated, and
+	// global loads record all in-bounds lanes. Only ExecRangeOracle
+	// supports it (the compiled engine fuses accesses and cannot attribute
+	// lanes); ExecRange rejects it.
+	Hazards bool
 }
 
 // GroupCounts returns the number of workgroups in each dimension.
@@ -102,6 +149,9 @@ func ExecRange(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
 	}
 	if nd.LocalNull() {
 		return fmt.Errorf("ir: ExecRange %s: local size must be resolved", k.Name)
+	}
+	if opts.Hazards {
+		return fmt.Errorf("ir: ExecRange %s: hazard tracing requires ExecRangeOracle", k.Name)
 	}
 	prog, err := compiledProgram(k)
 	if err != nil {
@@ -175,16 +225,23 @@ func ExecRange(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
 
 // flushGroup delivers one workgroup's buffered access records to the
 // tracer: BeginGroup, then the records (as one batch when supported).
-// asBatch is the result of a single up-front type assertion so the
-// per-group cost is one branch, not one assertion.
-func flushGroup(tr Tracer, bt BatchTracer, g int, recs []Access) {
+// bt and mt are the results of single up-front type assertions so the
+// per-group cost is one branch, not one assertion. On the streaming path
+// non-global marker records (barriers) go through Mark when the tracer
+// supports it and are dropped otherwise, so memory-only tracers keep
+// seeing exactly the access stream they always did.
+func flushGroup(tr Tracer, bt BatchTracer, mt MarkTracer, g int, recs []Access) {
 	tr.BeginGroup(g)
 	if bt != nil {
 		bt.AccessBatch(g, recs)
 		return
 	}
 	for _, a := range recs {
-		tr.Access(a.Addr, a.Size, a.Write)
+		if a.Kind == KindGlobal {
+			tr.Access(a.Addr, a.Size, a.Write)
+		} else if mt != nil {
+			mt.Mark(a)
+		}
 	}
 }
 
@@ -193,6 +250,7 @@ func flushGroup(tr Tracer, bt BatchTracer, g int, recs []Access) {
 // fails flushes nothing (the launch is aborted anyway).
 func runTracedSerial(prog *program, args *Args, nd NDRange, opts ExecOptions, ngroups int) error {
 	bt, _ := opts.Tracer.(BatchTracer)
+	mt, _ := opts.Tracer.(MarkTracer)
 	ex := newEngineExec(prog, args, nd, true)
 	for g := 0; g < ngroups; g++ {
 		if opts.Groups != nil && !opts.Groups(g) {
@@ -202,7 +260,7 @@ func runTracedSerial(prog *program, args *Args, nd NDRange, opts ExecOptions, ng
 		if err := ex.runGroup(g); err != nil {
 			return err
 		}
-		flushGroup(opts.Tracer, bt, g, ex.tb)
+		flushGroup(opts.Tracer, bt, mt, g, ex.tb)
 	}
 	return nil
 }
@@ -242,6 +300,7 @@ func runTracedParallel(prog *program, args *Args, nd NDRange, opts ExecOptions, 
 	}
 
 	bt, _ := opts.Tracer.(BatchTracer)
+	mt, _ := opts.Tracer.(MarkTracer)
 	nbuf := workers * 2
 	free := make(chan []Access, nbuf)
 	for i := 0; i < nbuf; i++ {
@@ -290,7 +349,7 @@ func runTracedParallel(prog *program, args *Args, nd NDRange, opts ExecOptions, 
 				if p.err != nil {
 					firstErr = p.err
 				} else {
-					flushGroup(opts.Tracer, bt, p.g, p.recs)
+					flushGroup(opts.Tracer, bt, mt, p.g, p.recs)
 				}
 			}
 			free <- p.recs

@@ -34,6 +34,11 @@ func ExecRangeOracle(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error 
 	if err := checkArgs(k, args); err != nil {
 		return err
 	}
+	if opts.Hazards {
+		if _, ok := opts.Tracer.(MarkTracer); !ok {
+			return fmt.Errorf("ir: ExecRangeOracle %s: hazard tracing requires a MarkTracer", k.Name)
+		}
+	}
 	prog, err := compileOracle(k)
 	if err != nil {
 		return err
@@ -41,6 +46,7 @@ func ExecRangeOracle(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error 
 	ngroups := nd.NumGroups()
 	run := func(lo, hi int, tr Tracer) error {
 		ex := newOracleExec(prog, k, args, nd, tr)
+		ex.hazards = opts.Hazards && tr != nil
 		for g := lo; g < hi; g++ {
 			if opts.Groups != nil && !opts.Groups(g) {
 				continue
@@ -139,6 +145,16 @@ type oracleExec struct {
 	args   *Args
 	nd     NDRange
 	tracer Tracer
+	// mark is the tracer's MarkTracer extension, when implemented: barrier
+	// markers (always) and hazard-annotated records (hazard mode) go
+	// through it. hazards switches every memory record to Mark delivery
+	// with Kind/Lane populated. barSeq numbers the running group's
+	// barriers; localIdx maps a __local array name to its index in
+	// k.Locals order (the high half of a KindLocal record's address).
+	mark     MarkTracer
+	hazards  bool
+	barSeq   int64
+	localIdx map[string]int32
 
 	n    int // workitems per group
 	gid  [3][]float64
@@ -166,7 +182,19 @@ func newOracleExec(prog *oracleProgram, k *Kernel, args *Args, nd NDRange, tr Tr
 		ex.vals[i] = make([]float64, n)
 	}
 	ex.locals = map[string][]float64{}
+	ex.mark, _ = tr.(MarkTracer)
+	ex.localIdx = make(map[string]int32, len(k.Locals))
+	for i, la := range k.Locals {
+		ex.localIdx[la.Name] = int32(i)
+	}
 	return ex
+}
+
+// localAddr encodes a __local cell as a synthetic address: array index in
+// the high half, element index in the low half. Local records carry their
+// own Kind, so this space never collides with global buffer addresses.
+func (ex *oracleExec) localAddr(arr string, j int) int64 {
+	return int64(ex.localIdx[arr])<<32 | int64(j)
 }
 
 func (ex *oracleExec) getF() []float64 {
@@ -264,6 +292,7 @@ func (ex *oracleExec) runGroup(g int) (err error) {
 	if ex.tracer != nil {
 		ex.tracer.BeginGroup(g)
 	}
+	ex.barSeq = 0
 
 	mask := ex.getB()
 	for i := range mask {
@@ -339,7 +368,10 @@ func (ex *oracleExec) execStmt(s Stmt, mask []bool) {
 				ex.fail("store %s[%d] out of bounds (len %d)", s.Buf, j, len(buf.Data))
 			}
 			buf.Set(j, val[i])
-			if ex.tracer != nil {
+			if ex.hazards {
+				ex.mark.Mark(Access{Addr: buf.Addr(j), Size: buf.Elem.Size(),
+					Write: true, Lane: int32(i)})
+			} else if ex.tracer != nil {
 				ex.tracer.Access(buf.Addr(j), buf.Elem.Size(), true)
 			}
 		}
@@ -360,6 +392,10 @@ func (ex *oracleExec) execStmt(s Stmt, mask []bool) {
 				ex.fail("local store %s[%d] out of bounds (len %d)", s.Arr, j, len(arr))
 			}
 			arr[j] = float64(float32(val[i]))
+			if ex.hazards {
+				ex.mark.Mark(Access{Kind: KindLocal, Addr: ex.localAddr(s.Arr, j),
+					Size: 8, Write: true, Lane: int32(i)})
+			}
 		}
 		ex.putF(2)
 
@@ -378,6 +414,10 @@ func (ex *oracleExec) execStmt(s Stmt, mask []bool) {
 				ex.fail("atomic add %s[%d] out of bounds (len %d)", s.Arr, j, len(arr))
 			}
 			arr[j] += val[i]
+			if ex.hazards {
+				ex.mark.Mark(Access{Kind: KindLocalAtomic, Addr: ex.localAddr(s.Arr, j),
+					Size: 8, Write: true, Lane: int32(i)})
+			}
 		}
 		ex.putF(2)
 
@@ -445,7 +485,21 @@ func (ex *oracleExec) execStmt(s Stmt, mask []bool) {
 
 	case Barrier:
 		// Lockstep execution keeps all workitems aligned, so a barrier under
-		// (validated) uniform control flow is a no-op functionally.
+		// (validated) uniform control flow is a no-op functionally. Tracers
+		// with the MarkTracer extension still see it as a stream marker
+		// (ordinal + lanes arrived), mirroring the engine's buffered record;
+		// in hazard mode a count below the group size is exactly what the
+		// analyzer reports as barrier divergence.
+		if ex.mark != nil {
+			active := 0
+			for _, m := range mask {
+				if m {
+					active++
+				}
+			}
+			ex.mark.Mark(Access{Kind: KindBarrier, Addr: ex.barSeq, Size: int64(active)})
+			ex.barSeq++
+		}
 
 	default:
 		ex.fail("unknown statement %T", s)
@@ -507,7 +561,10 @@ func (ex *oracleExec) eval(e Expr, out []float64) {
 				continue
 			}
 			out[i] = buf.Data[j]
-			if ex.tracer != nil {
+			if ex.hazards {
+				ex.mark.Mark(Access{Addr: buf.Addr(j), Size: buf.Elem.Size(),
+					Lane: int32(i)})
+			} else if ex.tracer != nil {
 				ex.tracer.Access(buf.Addr(j), buf.Elem.Size(), false)
 			}
 		}
@@ -525,6 +582,10 @@ func (ex *oracleExec) eval(e Expr, out []float64) {
 				continue
 			}
 			out[i] = arr[j]
+			if ex.hazards {
+				ex.mark.Mark(Access{Kind: KindLocal, Addr: ex.localAddr(e.Arr, j),
+					Size: 8, Lane: int32(i)})
+			}
 		}
 		ex.putF(1)
 	case Select:

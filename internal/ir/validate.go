@@ -1,6 +1,9 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Validate checks a kernel for structural errors: duplicate declarations,
 // references to unknown parameters or local arrays, reads of variables that
@@ -227,4 +230,55 @@ func walkStmts(stmts []Stmt, fn func(Stmt)) {
 			walkStmts(s.Else, fn)
 		}
 	}
+}
+
+// BufferAccess returns the names of the global buffers the kernel reads
+// (Load) and writes (Store), each de-duplicated and sorted. Command-queue
+// layers use it to derive a launch's read/write sets for event-graph
+// hazard analysis (internal/san).
+func BufferAccess(k *Kernel) (reads, writes []string) {
+	rd, wr := map[string]bool{}, map[string]bool{}
+	collect := func(e Expr) {
+		walkExpr(e, func(e Expr) {
+			if l, ok := e.(Load); ok {
+				rd[l.Buf] = true
+			}
+		})
+	}
+	walkStmts(k.Body, func(s Stmt) {
+		switch s := s.(type) {
+		case Assign:
+			collect(s.Val)
+		case Store:
+			wr[s.Buf] = true
+			collect(s.Index)
+			collect(s.Val)
+		case LocalStore:
+			collect(s.Index)
+			collect(s.Val)
+		case AtomicAdd:
+			collect(s.Index)
+			collect(s.Val)
+		case If:
+			collect(s.Cond)
+		case For:
+			collect(s.Start)
+			collect(s.End)
+			collect(s.Step)
+		}
+	})
+	for _, la := range k.Locals {
+		collect(la.Size)
+	}
+	reads = make([]string, 0, len(rd))
+	for n := range rd {
+		reads = append(reads, n)
+	}
+	writes = make([]string, 0, len(wr))
+	for n := range wr {
+		writes = append(writes, n)
+	}
+	sort.Strings(reads)
+	sort.Strings(writes)
+	return reads, writes
 }

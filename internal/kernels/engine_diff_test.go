@@ -30,6 +30,12 @@ func (r *recTracer) Access(addr, size int64, write bool) {
 	r.log = append(r.log, traceEvent{acc: ir.Access{Addr: addr, Size: size, Write: write}})
 }
 
+// Mark records barrier markers so the engine/oracle comparison covers the
+// full stream, not just global accesses — the real kernels are barrier-heavy.
+func (r *recTracer) Mark(rec ir.Access) {
+	r.log = append(r.log, traceEvent{acc: rec})
+}
+
 func cloneArgsDeep(a *ir.Args) *ir.Args {
 	c := ir.NewArgs()
 	for name, b := range a.Buffers {

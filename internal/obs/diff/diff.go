@@ -215,10 +215,14 @@ func Attribute(old, new *Run, ignore *regexp.Regexp) (*Result, error) {
 		}
 		o, n := oldVals[k], newVals[k]
 		row := Row{Key: k, OldNs: o, NewNs: n, DeltaNs: n - o}
+		// Positive-only denominators: a zero or (pathological) negative
+		// baseline would flip the sign of the percentage or divide to
+		// ±Inf/NaN, so those rows report 0% (or "new" when the key only
+		// exists in the new run) and let DeltaNs carry the story.
 		switch {
-		case o != 0:
+		case o > 0:
 			row.DeltaPct = 100 * (n - o) / o
-		case n != 0:
+		case o == 0 && n > 0:
 			row.DeltaPct = math.Inf(1)
 		}
 		res.OldTotalNs += o
@@ -232,11 +236,15 @@ func Attribute(old, new *Run, ignore *regexp.Regexp) (*Result, error) {
 	if len(res.Rows) == 0 {
 		return nil, fmt.Errorf("no aligned keys between %s and %s", old.Path, new.Path)
 	}
-	if res.OldTotalNs != 0 {
+	if res.OldTotalNs > 0 {
 		res.DeltaPct = 100 * res.DeltaNs / res.OldTotalNs
-	} else if res.NewTotalNs != 0 {
+	} else if res.NewTotalNs > 0 {
 		res.DeltaPct = math.Inf(1)
 	}
+	// Share is only attributed when there is a positive regression to
+	// apportion: with a zero or negative total delta (old == new, or an
+	// improvement) every Share stays exactly 0 and the table renders
+	// deterministically with no NaN from a 0/0 division.
 	if res.RegressionNs > 0 {
 		for i := range res.Rows {
 			if d := res.Rows[i].DeltaNs; d > 0 {

@@ -197,3 +197,76 @@ func TestLoadFileSniffsKinds(t *testing.T) {
 		t.Fatalf("span agg = %+v", agg)
 	}
 }
+
+// TestAttributeIdenticalRuns pins the old == new degenerate case the
+// share-of-regression guard exists for: a zero total delta must yield an
+// all-zero, NaN-free table that renders identically on every call —
+// cldiff and benchcompare -explain lean on this when two runs agree.
+func TestAttributeIdenticalRuns(t *testing.T) {
+	hists := map[string][]float64{
+		"kernel.ns:matmul": {1000, 2500},
+		"kernel.ns:vadd":   {500},
+	}
+	oldPath := writeSnapshot(t, "old.json", hists)
+	newPath := writeSnapshot(t, "new.json", hists)
+
+	res, err := AttributeFiles(oldPath, newPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaNs != 0 || res.DeltaPct != 0 || res.RegressionNs != 0 {
+		t.Fatalf("identical runs: delta=%g pct=%g regression=%g, want all 0",
+			res.DeltaNs, res.DeltaPct, res.RegressionNs)
+	}
+	for _, row := range res.Rows {
+		if row.DeltaNs != 0 || row.Share != 0 {
+			t.Fatalf("row %s: delta=%g share=%g, want 0", row.Key, row.DeltaNs, row.Share)
+		}
+		if math.IsNaN(row.DeltaPct) || math.IsInf(row.DeltaPct, 0) {
+			t.Fatalf("row %s: DeltaPct = %g", row.Key, row.DeltaPct)
+		}
+	}
+	var a, b strings.Builder
+	res.WriteText(&a, 0)
+	res.WriteText(&b, 0)
+	if a.String() != b.String() {
+		t.Fatal("identical-run table not deterministic across renders")
+	}
+	if strings.Contains(a.String(), "NaN") {
+		t.Fatalf("table contains NaN:\n%s", a.String())
+	}
+	if res.Exceeds(0) {
+		t.Fatal("zero delta must not exceed a 0%% gate")
+	}
+}
+
+// TestAttributeZeroBaseline pins the other degenerate denominators: keys
+// (and a whole run) whose old sums are zero must not divide to NaN or
+// flip signs — only a genuinely positive baseline yields a percentage.
+func TestAttributeZeroBaseline(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", map[string][]float64{
+		"kernel.ns:a": {0},
+		"kernel.ns:b": {0},
+	})
+	newPath := writeSnapshot(t, "new.json", map[string][]float64{
+		"kernel.ns:a": {0},
+		"kernel.ns:b": {100},
+	})
+	res, err := AttributeFiles(oldPath, newPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if math.IsNaN(row.DeltaPct) {
+			t.Fatalf("row %s: DeltaPct NaN", row.Key)
+		}
+	}
+	if !math.IsInf(res.DeltaPct, 1) {
+		t.Fatalf("zero->positive total should report +Inf (rendered 'new'), got %g", res.DeltaPct)
+	}
+	var sb strings.Builder
+	res.WriteText(&sb, 0)
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatalf("table contains NaN:\n%s", sb.String())
+	}
+}

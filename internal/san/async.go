@@ -1,0 +1,89 @@
+package san
+
+import (
+	"fmt"
+	"sort"
+
+	"clperf/internal/cl"
+)
+
+// conflict classifies the (i, j) command pair's strongest buffer
+// conflict, i enqueued before j. Returns "" when the pair is
+// independent. RAW is checked first, then WAW, then WAR — the order a
+// reader of the report cares about.
+func conflict(i, j cl.CommandRecord) (kind, buffer string) {
+	in := func(set []string, name string) bool {
+		for _, s := range set {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+	first := func(a, b []string) string {
+		var hits []string
+		for _, n := range a {
+			if in(b, n) {
+				hits = append(hits, n)
+			}
+		}
+		if len(hits) == 0 {
+			return ""
+		}
+		sort.Strings(hits)
+		return hits[0]
+	}
+	if b := first(j.Reads, i.Writes); b != "" {
+		return "read-after-write", b
+	}
+	if b := first(j.Writes, i.Writes); b != "" {
+		return "write-after-write", b
+	}
+	if b := first(j.Writes, i.Reads); b != "" {
+		return "write-after-read", b
+	}
+	return "", ""
+}
+
+// AnalyzeCommands checks an out-of-order queue's command log for
+// conflicting pairs with no declared happens-before path. The relation
+// is the transitive closure of the wait-list edges exported in each
+// cl.CommandRecord; on an OOOQueue a conflicting pair outside it runs
+// correctly (functional effects apply in enqueue order) but overlaps in
+// simulated time — the timeline silently stops meaning anything, which
+// is why the analyzer flags it rather than the queue failing.
+func AnalyzeCommands(workload string, recs []cl.CommandRecord) WorkloadReport {
+	rep := WorkloadReport{Name: workload, Records: int64(len(recs))}
+	// reach[j] = set of earlier seqs ordered before j by declared edges.
+	reach := make([]map[int]bool, len(recs))
+	for j, r := range recs {
+		set := map[int]bool{}
+		for _, w := range r.Waits {
+			if w < 0 || w >= j {
+				continue
+			}
+			set[w] = true
+			for s := range reach[w] {
+				set[s] = true
+			}
+		}
+		reach[j] = set
+		for i := 0; i < j; i++ {
+			kind, buffer := conflict(recs[i], r)
+			if kind == "" || set[i] {
+				continue
+			}
+			if len(rep.Findings) >= maxFindings {
+				rep.Suppressed++
+				continue
+			}
+			rep.Findings = append(rep.Findings, Finding{
+				Class:    ClassAsync,
+				Workload: workload,
+				Detail: fmt.Sprintf("%s hazard on %s: command #%d (%s) and #%d (%s) have no declared event edge",
+					kind, buffer, i, recs[i].Command, j, r.Command),
+			})
+		}
+	}
+	return rep
+}

@@ -1,0 +1,85 @@
+package san
+
+import (
+	"fmt"
+
+	"clperf/internal/ir"
+)
+
+// This file is the injected-bug regression corpus: one seeded workload
+// per hazard class, each passing static validation and producing correct
+// enough output that nothing else in the stack objects — only the
+// analyzer sees the bug. The corpus pins clsan's detection behaviour;
+// the clean suite pins its false-positive rate.
+
+// InjectedRaceKernel returns a kernel where workitems 2k and 2k+1 both
+// store to out[k] with no barrier between them — an intra-workgroup
+// write/write race. The stores happen to agree on the value, which is
+// exactly why only a happens-before check catches it: results are
+// deterministic, the schedule is not.
+func InjectedRaceKernel() (*ir.Kernel, *ir.Args, ir.NDRange) {
+	k := &ir.Kernel{
+		Name:    "san_injected_race",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.StoreF("out", ir.Divi(ir.Gid(0), ir.I(2)), ir.F(1)),
+		},
+	}
+	const n = 16
+	args := ir.NewArgs().Bind("out", ir.NewBufferF32("out", n/2))
+	return k, args, ir.Range1D(n, 8)
+}
+
+// InjectedDivergenceKernel returns a kernel whose barrier sits behind a
+// loop-carried condition: uniform on iteration 0 (so static validation,
+// which checks the loop body once, accepts it), divergent from iteration
+// 1 on — workitems with gid < 5 reach the barrier, the rest never do.
+// On a real runtime this hangs the workgroup.
+func InjectedDivergenceKernel() (*ir.Kernel, *ir.Args, ir.NDRange) {
+	k := &ir.Kernel{
+		Name:    "san_injected_divergence",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.Set("x", ir.I(0)),
+			ir.Loop("i", ir.I(0), ir.I(2),
+				ir.When(ir.Bin{Op: ir.NeI, X: ir.Vi("x"), Y: ir.I(0)},
+					ir.Barrier{}),
+				ir.When(ir.Bin{Op: ir.LtI, X: ir.Gid(0), Y: ir.I(5)},
+					ir.Set("x", ir.I(1))),
+			),
+			ir.StoreF("out", ir.Gid(0), ir.F(1)),
+		},
+	}
+	const n = 16
+	args := ir.NewArgs().Bind("out", ir.NewBufferF32("out", n))
+	return k, args, ir.Range1D(n, 8)
+}
+
+// AnalyzeCorpus runs the analyzer over the three seeded-bug workloads —
+// intra-group race, divergent barrier, missing wait-list edge — and
+// returns the report. A healthy analyzer finds at least one hazard of
+// each class; `clsan -inject` and the san-smoke CI target assert that.
+func AnalyzeCorpus() (*Report, error) {
+	rep := &Report{}
+	rk, rargs, rnd := InjectedRaceKernel()
+	wr, err := AnalyzeKernel(rk.Name, rk, rargs, rnd)
+	if err != nil {
+		return nil, fmt.Errorf("san: corpus race: %w", err)
+	}
+	rep.Workloads = append(rep.Workloads, wr)
+	dk, dargs, dnd := InjectedDivergenceKernel()
+	wr, err = AnalyzeKernel(dk.Name, dk, dargs, dnd)
+	if err != nil {
+		return nil, fmt.Errorf("san: corpus divergence: %w", err)
+	}
+	rep.Workloads = append(rep.Workloads, wr)
+	recs, err := PipelineCommands(true)
+	if err != nil {
+		return nil, fmt.Errorf("san: corpus pipeline: %w", err)
+	}
+	rep.Workloads = append(rep.Workloads, AnalyzeCommands("san_injected_pipeline", recs))
+	rep.Finalize()
+	return rep, nil
+}

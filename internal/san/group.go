@@ -1,0 +1,267 @@
+package san
+
+import (
+	"fmt"
+	"sort"
+
+	"clperf/internal/ir"
+)
+
+// maxFindings caps the findings kept per workload; the rest are counted
+// in WorkloadReport.Suppressed so a pathological kernel cannot flood the
+// report.
+const maxFindings = 16
+
+// cellKey identifies one memory cell: the __local address space is
+// disjoint from __global, so the two never alias.
+type cellKey struct {
+	local bool
+	addr  int64
+}
+
+// cellState summarizes one cell's accesses within the current
+// barrier-delimited epoch. Lanes are workitem indices within the group;
+// -1 means "none yet". Two distinct lanes per side are enough to decide
+// every conflict exactly: any further lane either matches a stored one
+// or pairs with it.
+type cellState struct {
+	firstW, secondW int32
+	firstR, secondR int32
+	// atomicOnly stays true while every write so far was atomic;
+	// same-cell atomic/atomic pairs are not races.
+	atomicOnly bool
+}
+
+// groupAnalyzer consumes the oracle's hazard-mode trace stream
+// (ir.MarkTracer) and detects intra-workgroup races and barrier
+// divergence. Within an epoch — the records between two barriers of one
+// workgroup — lockstep order carries no synchronization guarantee, so
+// any same-cell cross-lane conflict with at least one non-atomic write
+// is a race.
+type groupAnalyzer struct {
+	workload string
+	// groupItems is the full workgroup size; a barrier record with a
+	// smaller active count is divergence.
+	groupItems int
+	// resolve renders a cell address for diagnostics ("out[3]").
+	resolve func(local bool, addr int64) string
+
+	group   int
+	started bool
+	epoch   int
+	cells   map[cellKey]*cellState
+
+	records    int64
+	findings   []Finding
+	seen       map[string]bool
+	suppressed int
+}
+
+func newGroupAnalyzer(workload string, groupItems int,
+	resolve func(local bool, addr int64) string) *groupAnalyzer {
+	return &groupAnalyzer{
+		workload:   workload,
+		groupItems: groupItems,
+		resolve:    resolve,
+		cells:      map[cellKey]*cellState{},
+		seen:       map[string]bool{},
+	}
+}
+
+// BeginGroup implements ir.Tracer: a new workgroup closes the previous
+// group's final epoch.
+func (a *groupAnalyzer) BeginGroup(g int) {
+	a.flushEpoch()
+	a.group = g
+	a.started = true
+	a.epoch = 0
+}
+
+// Access implements ir.Tracer. In hazard mode the oracle routes every
+// record through Mark (Access carries no lane), so nothing to do here.
+func (a *groupAnalyzer) Access(addr, size int64, write bool) {}
+
+// Mark implements ir.MarkTracer: one lane-attributed trace record.
+func (a *groupAnalyzer) Mark(rec ir.Access) {
+	a.records++
+	if rec.Kind == ir.KindBarrier {
+		a.flushEpoch()
+		a.epoch++
+		if int(rec.Size) < a.groupItems {
+			a.emit(Finding{
+				Class:    ClassDivergence,
+				Workload: a.workload,
+				Group:    a.group,
+				Detail: fmt.Sprintf("group %d: barrier %d reached by %d of %d workitems",
+					a.group, rec.Addr, rec.Size, a.groupItems),
+			})
+		}
+		return
+	}
+	key := cellKey{local: rec.Kind != ir.KindGlobal, addr: rec.Addr}
+	c := a.cells[key]
+	if c == nil {
+		c = &cellState{firstW: -1, secondW: -1, firstR: -1, secondR: -1, atomicOnly: true}
+		a.cells[key] = c
+	}
+	if rec.Write {
+		if rec.Kind != ir.KindLocalAtomic {
+			c.atomicOnly = false
+		}
+		switch {
+		case c.firstW == -1:
+			c.firstW = rec.Lane
+		case c.firstW != rec.Lane && c.secondW == -1:
+			c.secondW = rec.Lane
+		}
+		return
+	}
+	switch {
+	case c.firstR == -1:
+		c.firstR = rec.Lane
+	case c.firstR != rec.Lane && c.secondR == -1:
+		c.secondR = rec.Lane
+	}
+}
+
+// finish closes the last epoch; call after the oracle run returns.
+func (a *groupAnalyzer) finish() { a.flushEpoch() }
+
+// flushEpoch scans the epoch's cells for conflicts and resets them.
+// Racy cells are reported in (address-space, address) order so output is
+// deterministic despite map iteration.
+func (a *groupAnalyzer) flushEpoch() {
+	if len(a.cells) == 0 {
+		return
+	}
+	var racy []cellKey
+	for k, c := range a.cells {
+		if a.raceKind(c) != "" {
+			racy = append(racy, k)
+		}
+	}
+	sort.Slice(racy, func(i, j int) bool {
+		if racy[i].local != racy[j].local {
+			return !racy[i].local // global cells first
+		}
+		return racy[i].addr < racy[j].addr
+	})
+	for _, k := range racy {
+		c := a.cells[k]
+		kind, l1, l2 := a.racePair(c)
+		a.emit(Finding{
+			Class:    ClassRace,
+			Workload: a.workload,
+			Group:    a.group,
+			Detail: fmt.Sprintf("group %d epoch %d: %s race on %s between workitems %d and %d",
+				a.group, a.epoch, kind, a.resolve(k.local, k.addr), l1, l2),
+		})
+	}
+	a.cells = map[cellKey]*cellState{}
+}
+
+// raceKind classifies the cell's conflict, "" if none.
+func (a *groupAnalyzer) raceKind(c *cellState) string {
+	k, _, _ := a.racePair(c)
+	return k
+}
+
+// racePair returns the conflict kind and a witness pair of lanes.
+// write/write wins over read/write when both apply (it is the stronger
+// diagnosis).
+func (a *groupAnalyzer) racePair(c *cellState) (kind string, l1, l2 int32) {
+	if c.secondW != -1 && !c.atomicOnly {
+		return "write/write", c.firstW, c.secondW
+	}
+	if c.firstW == -1 {
+		return "", -1, -1
+	}
+	// A read/write conflict needs a reader lane distinct from a writer
+	// lane; with up to two distinct lanes stored per side the check is
+	// exact.
+	for _, r := range []int32{c.firstR, c.secondR} {
+		if r == -1 {
+			continue
+		}
+		for _, w := range []int32{c.firstW, c.secondW} {
+			if w != -1 && w != r {
+				return "read/write", r, w
+			}
+		}
+	}
+	return "", -1, -1
+}
+
+// emit records a finding, de-duplicating identical details and honoring
+// the per-workload cap.
+func (a *groupAnalyzer) emit(f Finding) {
+	if a.seen[f.Detail] {
+		return
+	}
+	a.seen[f.Detail] = true
+	if len(a.findings) >= maxFindings {
+		a.suppressed++
+		return
+	}
+	a.findings = append(a.findings, f)
+}
+
+// AnalyzeKernel replays one kernel launch through the hazard-tracing
+// oracle and returns its workgroup-level findings. The args buffers are
+// assigned distinct non-overlapping base addresses first (apps allocate
+// at Base 0, which would alias every buffer onto every other); callers
+// passing buffers they reuse afterwards should pass a fresh Make.
+func AnalyzeKernel(workload string, k *ir.Kernel, args *ir.Args, nd ir.NDRange) (WorkloadReport, error) {
+	type bufRange struct {
+		name      string
+		base, end int64
+		elem      int64
+	}
+	names := make([]string, 0, len(args.Buffers))
+	for n := range args.Buffers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var ranges []bufRange
+	var cur int64
+	for _, n := range names {
+		b := args.Buffers[n]
+		b.Base = cur
+		end := cur + b.Bytes()
+		ranges = append(ranges, bufRange{name: n, base: cur, end: end, elem: b.Elem.Size()})
+		cur = (end + 63) &^ 63 // keep buffers cache-line separated
+	}
+	resolve := func(local bool, addr int64) string {
+		if local {
+			idx := int(addr >> 32)
+			j := addr & 0xffffffff
+			if idx >= 0 && idx < len(k.Locals) {
+				return fmt.Sprintf("__local %s[%d]", k.Locals[idx].Name, j)
+			}
+			return fmt.Sprintf("__local cell %#x", addr)
+		}
+		for _, r := range ranges {
+			if addr >= r.base && addr < r.end {
+				return fmt.Sprintf("%s[%d]", r.name, (addr-r.base)/r.elem)
+			}
+		}
+		return fmt.Sprintf("global cell %#x", addr)
+	}
+	items := 1
+	for d := 0; d < 3; d++ {
+		if nd.Local[d] > 0 {
+			items *= nd.Local[d]
+		}
+	}
+	ga := newGroupAnalyzer(workload, items, resolve)
+	if err := ir.ExecRangeOracle(k, args, nd, ir.ExecOptions{Tracer: ga, Hazards: true}); err != nil {
+		return WorkloadReport{Name: workload}, err
+	}
+	ga.finish()
+	return WorkloadReport{
+		Name:       workload,
+		Records:    ga.records,
+		Findings:   ga.findings,
+		Suppressed: ga.suppressed,
+	}, nil
+}

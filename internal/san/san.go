@@ -1,0 +1,166 @@
+// Package san is clperf's dynamic hazard analyzer ("clsan"): it replays
+// workloads through the deterministic trace streams the execution engine
+// already emits and checks the synchronization properties the simulator
+// otherwise trusts silently.
+//
+// Three hazard classes are detected:
+//
+//   - Intra-workgroup data races: two workitems of one group touch the
+//     same __global or __local cell, at least one writes, and no barrier
+//     separates the accesses. The per-group stream is segmented into
+//     barrier-delimited epochs (the KindBarrier markers of PR 7); within
+//     an epoch lockstep order is not a synchronization guarantee, so any
+//     cross-lane conflict is a race. Same-cell atomic/atomic pairs are
+//     exempt.
+//   - Barrier divergence: a barrier reached by fewer lanes than the
+//     workgroup holds — non-uniform control flow around a barrier, which
+//     is undefined behaviour in OpenCL and a classic CPU-runtime hang.
+//   - Async command hazards: conflicting commands (kernel launches,
+//     Read/Write/Map transfers) on an out-of-order queue whose ordering
+//     is not covered by a declared event wait-list edge. The OOOQueue
+//     applies functional effects in enqueue order while wait lists alone
+//     govern simulated timing, so a missing edge yields correct buffers
+//     and a wrong timeline — the silent kind of bug. The analyzer builds
+//     the happens-before relation from the queue's CommandRecord export
+//     and flags RAW/WAR/WAW pairs with no transitive declared path.
+//
+// Workgroup analysis runs on the tree-walk oracle in hazard mode
+// (ir.ExecOptions.Hazards), which attributes every record to its lane;
+// the analyzer itself is execution-agnostic and consumes only the trace
+// stream. Everything is deterministic: same workload, same findings, in
+// the same order.
+package san
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"clperf/internal/obs"
+	"clperf/internal/units"
+)
+
+// Class is a hazard category.
+type Class string
+
+// Hazard classes.
+const (
+	ClassRace       Class = "data-race"
+	ClassDivergence Class = "barrier-divergence"
+	ClassAsync      Class = "async-hazard"
+)
+
+// Finding is one detected hazard.
+type Finding struct {
+	// Class is the hazard category.
+	Class Class `json:"class"`
+	// Workload names the analyzed kernel or queue.
+	Workload string `json:"workload"`
+	// Group is the linear workgroup index (workgroup classes only).
+	Group int `json:"group"`
+	// Detail is the human-readable one-line diagnosis.
+	Detail string `json:"detail"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Class, f.Workload, f.Detail)
+}
+
+// WorkloadReport is the analysis result of one workload.
+type WorkloadReport struct {
+	// Name identifies the workload (kernel app or queue).
+	Name string `json:"name"`
+	// Records is the number of trace records analyzed.
+	Records int64 `json:"records"`
+	// Findings holds the de-duplicated findings, in detection order.
+	Findings []Finding `json:"findings,omitempty"`
+	// Suppressed counts duplicate findings beyond the per-workload cap.
+	Suppressed int `json:"suppressed,omitempty"`
+}
+
+// Report is a full analysis run.
+type Report struct {
+	// Schema versions the JSON layout.
+	Schema int `json:"schema"`
+	// Workloads holds one entry per analyzed workload, in analysis order.
+	Workloads []WorkloadReport `json:"workloads"`
+	// Records is the total number of trace records analyzed.
+	Records int64 `json:"records"`
+	// Clean reports whether no workload produced any finding.
+	Clean bool `json:"clean"`
+}
+
+// Schema is the current Report JSON schema version.
+const Schema = 1
+
+// Finalize recomputes the roll-up fields from the per-workload results.
+func (r *Report) Finalize() {
+	r.Schema = Schema
+	r.Records = 0
+	r.Clean = true
+	for _, w := range r.Workloads {
+		r.Records += w.Records
+		if len(w.Findings) > 0 {
+			r.Clean = false
+		}
+	}
+}
+
+// Findings returns every finding across all workloads, in analysis order.
+func (r *Report) Findings() []Finding {
+	var out []Finding
+	for _, w := range r.Workloads {
+		out = append(out, w.Findings...)
+	}
+	return out
+}
+
+// WriteJSON emits the machine-readable report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the findings table: one row per finding, then a
+// one-line verdict. Deterministic (analysis order).
+func (r *Report) WriteText(w io.Writer) {
+	for _, f := range r.Findings() {
+		fmt.Fprintf(w, "%-19s %-16s %s\n", f.Class, f.Workload, f.Detail)
+	}
+	n := len(r.Findings())
+	verdict := "clean"
+	if n > 0 {
+		verdict = fmt.Sprintf("%d finding(s)", n)
+	}
+	fmt.Fprintf(w, "clsan: %d workloads, %d trace records: %s\n",
+		len(r.Workloads), r.Records, verdict)
+}
+
+// Record wires the report into the observability plane: per-class finding
+// counters, a records-analyzed counter, and one logical-clock span per
+// workload (1 trace record = 1ns) on the "san" track, annotated with its
+// finding count — so -serve scrapes and cldiff attribution see the
+// analyzer like any other subsystem. Safe on a nil recorder.
+func (r *Report) Record(rec *obs.Recorder) {
+	reg := rec.Registry()
+	byClass := map[Class]float64{ClassRace: 0, ClassDivergence: 0, ClassAsync: 0}
+	for _, f := range r.Findings() {
+		byClass[f.Class]++
+	}
+	reg.Add("san.findings.race", byClass[ClassRace])
+	reg.Add("san.findings.barrier_divergence", byClass[ClassDivergence])
+	reg.Add("san.findings.async_hazard", byClass[ClassAsync])
+	reg.Add("san.records.analyzed", float64(r.Records))
+	var clock units.Duration
+	for _, w := range r.Workloads {
+		d := units.Duration(w.Records)
+		if d == 0 {
+			d = 1 // zero-record workloads still get a visible span
+		}
+		id := rec.Record(obs.NoParent, obs.KindRegion, "san."+w.Name, clock, clock+d)
+		rec.SetTrack(id, "san")
+		rec.Annotate(id, "findings", fmt.Sprint(len(w.Findings)))
+		clock += d
+	}
+}

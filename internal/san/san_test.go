@@ -1,0 +1,234 @@
+package san
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"clperf/internal/cl"
+	"clperf/internal/ir"
+	"clperf/internal/obs"
+)
+
+// The full registered suite must analyze clean: every finding here is a
+// false positive. Runs under -race in CI via the race target.
+func TestSuiteIsClean(t *testing.T) {
+	rep, err := AnalyzeSuite()
+	if err != nil {
+		t.Fatalf("AnalyzeSuite: %v", err)
+	}
+	for _, f := range rep.Findings() {
+		t.Errorf("false positive: %s", f)
+	}
+	if !rep.Clean {
+		t.Errorf("Clean = false on the clean suite")
+	}
+	if rep.Records == 0 {
+		t.Fatalf("suite analysis consumed no trace records")
+	}
+	if len(rep.Workloads) != 14 { // 9 + 4 apps + the async pipeline
+		t.Errorf("analyzed %d workloads, want 14", len(rep.Workloads))
+	}
+}
+
+// The seeded-bug corpus must trip all three hazard classes.
+func TestCorpusDetectsAllClasses(t *testing.T) {
+	rep, err := AnalyzeCorpus()
+	if err != nil {
+		t.Fatalf("AnalyzeCorpus: %v", err)
+	}
+	got := map[Class]int{}
+	for _, f := range rep.Findings() {
+		got[f.Class]++
+	}
+	for _, c := range []Class{ClassRace, ClassDivergence, ClassAsync} {
+		if got[c] == 0 {
+			t.Errorf("corpus produced no %s finding; findings: %v", c, rep.Findings())
+		}
+	}
+	if rep.Clean {
+		t.Errorf("Clean = true on the injected corpus")
+	}
+}
+
+// The race kernel's diagnosis names the racing cell and a lane pair.
+func TestInjectedRaceDiagnosis(t *testing.T) {
+	k, args, nd := InjectedRaceKernel()
+	wr, err := AnalyzeKernel(k.Name, k, args, nd)
+	if err != nil {
+		t.Fatalf("AnalyzeKernel: %v", err)
+	}
+	if len(wr.Findings) == 0 {
+		t.Fatalf("no findings on the injected race kernel")
+	}
+	f := wr.Findings[0]
+	if f.Class != ClassRace {
+		t.Errorf("class = %s, want %s", f.Class, ClassRace)
+	}
+	if !strings.Contains(f.Detail, "write/write race on out[") {
+		t.Errorf("detail %q does not name the racing cell", f.Detail)
+	}
+}
+
+// The divergence kernel diverges only in the workgroup whose lanes
+// straddle the gid < 5 split: exactly one group, exactly once per epoch.
+func TestInjectedDivergenceDiagnosis(t *testing.T) {
+	k, args, nd := InjectedDivergenceKernel()
+	wr, err := AnalyzeKernel(k.Name, k, args, nd)
+	if err != nil {
+		t.Fatalf("AnalyzeKernel: %v", err)
+	}
+	if len(wr.Findings) != 1 {
+		t.Fatalf("findings = %v, want exactly one divergence", wr.Findings)
+	}
+	f := wr.Findings[0]
+	if f.Class != ClassDivergence || f.Group != 0 {
+		t.Errorf("finding = %+v, want divergence in group 0", f)
+	}
+	if !strings.Contains(f.Detail, "reached by 5 of 8 workitems") {
+		t.Errorf("detail %q does not report the 5-of-8 active count", f.Detail)
+	}
+}
+
+// Atomic/atomic same-cell traffic is synchronization, not a race.
+func TestAtomicsAreNotRaces(t *testing.T) {
+	k := &ir.Kernel{
+		Name:    "san_atomic_ok",
+		WorkDim: 1,
+		Params:  []ir.Param{ir.Buf("out")},
+		Locals:  []ir.LocalArray{{Name: "acc", Elem: ir.F32, Size: ir.I(1)}},
+		Body: []ir.Stmt{
+			ir.When(ir.Bin{Op: ir.EqI, X: ir.Lid(0), Y: ir.I(0)},
+				ir.LStoreF("acc", ir.I(0), ir.F(0))),
+			ir.Barrier{},
+			ir.AtomicAdd{Arr: "acc", Index: ir.I(0), Val: ir.F(1)},
+			ir.Barrier{},
+			ir.StoreF("out", ir.Gid(0), ir.LLoadF("acc", ir.I(0))),
+		},
+	}
+	args := ir.NewArgs().Bind("out", ir.NewBufferF32("out", 8))
+	wr, err := AnalyzeKernel(k.Name, k, args, ir.Range1D(8, 8))
+	if err != nil {
+		t.Fatalf("AnalyzeKernel: %v", err)
+	}
+	for _, f := range wr.Findings {
+		t.Errorf("false positive on atomic accumulation: %s", f)
+	}
+}
+
+// A cross-lane conflict separated by a barrier is not a race; the same
+// conflict without the barrier is. The pair pins the epoch semantics.
+func TestBarrierSeparatesEpochs(t *testing.T) {
+	makeKernel := func(name string, withBarrier bool) *ir.Kernel {
+		// Lane l writes cell l, then reads cell (l+1) mod n — a classic
+		// neighbor exchange, racy iff the barrier is missing.
+		read := ir.StoreF("out", ir.Lid(0),
+			ir.LLoadF("buf", ir.Modi(ir.Addi(ir.Lid(0), ir.I(1)), ir.Lsz(0))))
+		body := []ir.Stmt{
+			ir.LStoreF("buf", ir.Lid(0), ir.F(2)),
+		}
+		if withBarrier {
+			body = append(body, ir.Barrier{})
+		}
+		body = append(body, read)
+		return &ir.Kernel{
+			Name:    name,
+			WorkDim: 1,
+			Params:  []ir.Param{ir.Buf("out")},
+			Locals:  []ir.LocalArray{{Name: "buf", Elem: ir.F32, Size: ir.Lsz(0)}},
+			Body:    body,
+		}
+	}
+	nd := ir.Range1D(8, 8)
+	ok, err := AnalyzeKernel("sync", makeKernel("san_sync", true),
+		ir.NewArgs().Bind("out", ir.NewBufferF32("out", 8)), nd)
+	if err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if len(ok.Findings) != 0 {
+		t.Errorf("barrier-separated exchange flagged: %v", ok.Findings)
+	}
+	bad, err := AnalyzeKernel("racy", makeKernel("san_racy", false),
+		ir.NewArgs().Bind("out", ir.NewBufferF32("out", 8)), nd)
+	if err != nil {
+		t.Fatalf("racy: %v", err)
+	}
+	if len(bad.Findings) == 0 {
+		t.Errorf("unsynchronized neighbor exchange not flagged")
+	}
+	for _, f := range bad.Findings {
+		if f.Class != ClassRace {
+			t.Errorf("unexpected class %s: %s", f.Class, f)
+		}
+	}
+}
+
+// Async analysis honors transitive happens-before: an a→b→c chain
+// covers an a→c conflict with no direct edge.
+func TestAsyncTransitiveEdges(t *testing.T) {
+	recs := []cl.CommandRecord{
+		{Seq: 0, Command: "write", Writes: []string{"m"}},
+		{Seq: 1, Command: "kernel", Reads: []string{"m"}, Writes: []string{"o"}, Waits: []int{0}},
+		{Seq: 2, Command: "read", Reads: []string{"m", "o"}, Waits: []int{1}},
+	}
+	wr := AnalyzeCommands("chain", recs)
+	if len(wr.Findings) != 0 {
+		t.Errorf("transitively ordered chain flagged: %v", wr.Findings)
+	}
+	// Drop the middle edge: #2's read of o now overlaps #1's write.
+	recs[2].Waits = nil
+	wr = AnalyzeCommands("broken", recs)
+	if len(wr.Findings) == 0 {
+		t.Fatalf("undeclared read-after-write not flagged")
+	}
+	if !strings.Contains(wr.Findings[0].Detail, "read-after-write") {
+		t.Errorf("detail %q, want a read-after-write diagnosis", wr.Findings[0].Detail)
+	}
+}
+
+// Report serialization: JSON round-trips, text is deterministic, obs
+// wiring exposes the counters.
+func TestReportOutputs(t *testing.T) {
+	rep, err := AnalyzeCorpus()
+	if err != nil {
+		t.Fatalf("AnalyzeCorpus: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Schema != Schema || back.Clean || back.Records != rep.Records {
+		t.Errorf("round-tripped report = %+v, want schema %d, dirty, %d records",
+			back, Schema, rep.Records)
+	}
+	var t1, t2 bytes.Buffer
+	rep.WriteText(&t1)
+	rep.WriteText(&t2)
+	if t1.String() != t2.String() {
+		t.Errorf("WriteText is not deterministic")
+	}
+	if !strings.Contains(t1.String(), "finding(s)") {
+		t.Errorf("text verdict missing finding count:\n%s", t1.String())
+	}
+
+	rec := obs.NewRecorder()
+	rep.Record(rec)
+	snap := rec.Registry().Snapshot()
+	counters := map[string]float64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	for _, name := range []string{
+		"san.findings.race", "san.findings.barrier_divergence",
+		"san.findings.async_hazard", "san.records.analyzed",
+	} {
+		if counters[name] == 0 {
+			t.Errorf("counter %s = 0 after recording the corpus report", name)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package san
+
+import (
+	"fmt"
+
+	"clperf/internal/cl"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+// analysisConfig returns the geometry a registered app is analyzed at.
+// These mirror the differential-test geometries (apps_test.go): small
+// enough that the lane-attributed oracle replay stays fast, while still
+// covering every barrier phase, __local tile and atomic the kernel has.
+// Apps not listed analyze at their smallest paper configuration.
+func analysisConfig(app *kernels.App) ir.NDRange {
+	switch app.Name {
+	case "Square", "Vectoraddition":
+		return ir.Range1D(4096, 64)
+	case "Matrixmul", "MatrixmulNaive":
+		return ir.Range2D(48, 32, 8, 8)
+	case "Reduction", "DotProduct":
+		return ir.Range1D(8192, 256)
+	case "Histogram":
+		return ir.Range1D(16384, 128)
+	case "Prefixsum":
+		return ir.Range1D(1024, 1024)
+	case "Blackscholes":
+		return ir.Range2D(64, 48, 8, 8)
+	case "Binomialoption":
+		return ir.Range1D(255*4, 255)
+	case "Transpose":
+		return ir.Range2D(64, 32, 8, 8)
+	case "Convolution":
+		return ir.Range2D(64, 16, 16, 1)
+	case "NBody":
+		return ir.Range1D(512, 64)
+	}
+	return app.DefaultConfig()
+}
+
+// AnalyzeSuite replays every registered application (Table II plus the
+// extra set) through the workgroup hazard analyzer and a double-buffered
+// out-of-order transfer/compute pipeline through the async analyzer —
+// the full surface oclbench measures, under analysis instead of timing.
+func AnalyzeSuite() (*Report, error) {
+	rep := &Report{}
+	apps := append(kernels.Registry(), kernels.ExtraRegistry()...)
+	for _, app := range apps {
+		nd := analysisConfig(app)
+		wr, err := AnalyzeKernel(app.Name, app.Kernel, app.Make(nd), nd)
+		if err != nil {
+			return nil, fmt.Errorf("san: %s: %w", app.Name, err)
+		}
+		rep.Workloads = append(rep.Workloads, wr)
+	}
+	recs, err := PipelineCommands(false)
+	if err != nil {
+		return nil, fmt.Errorf("san: ooo pipeline: %w", err)
+	}
+	rep.Workloads = append(rep.Workloads, AnalyzeCommands("OOOPipeline", recs))
+	rep.Finalize()
+	return rep, nil
+}
+
+// PipelineCommands builds the double-buffered out-of-order pipeline —
+// two independent write→square→read chains overlapping transfer with
+// compute, plus a MapRead round-trip on the first result — and returns
+// its command log for analysis. With every true dependency declared the
+// log is hazard-free; injectBug drops the second chain's write→kernel
+// edge, the classic missing-wait-list bug: results stay correct
+// (functional effects apply in enqueue order) while the simulated
+// timeline silently overlaps a kernel with the transfer feeding it.
+func PipelineCommands(injectBug bool) ([]cl.CommandRecord, error) {
+	const n = 4096
+	ctx := cl.NewContext(cl.CPUDevice())
+	q := cl.NewOOOQueue(ctx)
+	k, err := ctx.CreateKernel(kernels.SquareKernel())
+	if err != nil {
+		return nil, err
+	}
+	mkBuf := func() (*cl.Buffer, error) {
+		return ctx.CreateBuffer(cl.MemReadWrite, ir.F32, n)
+	}
+	a, err := mkBuf()
+	if err != nil {
+		return nil, err
+	}
+	outA, err := mkBuf()
+	if err != nil {
+		return nil, err
+	}
+	b, err := mkBuf()
+	if err != nil {
+		return nil, err
+	}
+	outB, err := mkBuf()
+	if err != nil {
+		return nil, err
+	}
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i % 17)
+	}
+	wa, err := q.EnqueueWriteBuffer(a, src)
+	if err != nil {
+		return nil, err
+	}
+	wb, err := q.EnqueueWriteBuffer(b, src)
+	if err != nil {
+		return nil, err
+	}
+	nd := ir.Range1D(n, 64)
+	if err := k.SetBufferArg("in", a); err != nil {
+		return nil, err
+	}
+	if err := k.SetBufferArg("out", outA); err != nil {
+		return nil, err
+	}
+	ka, err := q.EnqueueNDRangeKernel(k, nd, wa)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.SetBufferArg("in", b); err != nil {
+		return nil, err
+	}
+	if err := k.SetBufferArg("out", outB); err != nil {
+		return nil, err
+	}
+	kbWaits := []*cl.Event{wb}
+	if injectBug {
+		kbWaits = nil // the seeded bug: launch without waiting for b's upload
+	}
+	kb, err := q.EnqueueNDRangeKernel(k, nd, kbWaits...)
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]float64, n)
+	ra, err := q.EnqueueReadBuffer(outA, dst, ka)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := q.EnqueueReadBuffer(outB, dst, kb); err != nil {
+		return nil, err
+	}
+	_, ma, err := q.EnqueueMapBuffer(outA, cl.MapRead, ka, ra)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := q.EnqueueUnmapBuffer(outA, ma); err != nil {
+		return nil, err
+	}
+	return q.Commands(), nil
+}

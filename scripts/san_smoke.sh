@@ -1,0 +1,60 @@
+#!/bin/sh
+# san_smoke.sh — end-to-end check of the hazard analyzer (clsan).
+#
+# Three gates:
+#   1. The full suite under `oclbench -e all -san` must be clean (exit
+#      0, "clean" verdict) — every finding on registered kernels is a
+#      false positive by definition.
+#   2. `clsan -inject` must exit 1 and report all three hazard classes
+#      (data race, barrier divergence, async hazard) on the seeded-bug
+#      corpus — proving the analyzer actually detects, not just stays
+#      quiet.
+#   3. The machine-readable report must parse and carry the schema
+#      marker, so downstream tooling can rely on it.
+#
+# Invoked by `make san-smoke`; expects to run from the repo root.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$GO" build -o "$TMP/oclbench" ./cmd/oclbench
+"$GO" build -o "$TMP/clsan" ./cmd/clsan
+
+# Gate 1: the registered suite analyzes clean, and the hazard report
+# artifact is written alongside the ordinary suite output.
+"$TMP/oclbench" -e all -par 4 -timeout 5m -san -san-json "$TMP/clean.json" \
+    >"$TMP/suite.out" 2>"$TMP/suite.err"
+grep -q 'clsan: .* clean$' "$TMP/suite.out" || {
+    echo "san-smoke: suite -san did not report clean" >&2
+    tail -n 5 "$TMP/suite.out" >&2
+    exit 1
+}
+grep -q '"clean": true' "$TMP/clean.json"
+
+# Gate 2: the seeded-bug corpus trips every class and fails the exit
+# status. (|| true captures the expected non-zero exit under set -e.)
+STATUS=0
+"$TMP/clsan" -inject >"$TMP/inject.out" 2>&1 || STATUS=$?
+[ "$STATUS" -eq 1 ] || {
+    echo "san-smoke: clsan -inject exited $STATUS, want 1" >&2
+    cat "$TMP/inject.out" >&2
+    exit 1
+}
+for class in data-race barrier-divergence async-hazard; do
+    grep -q "$class" "$TMP/inject.out" || {
+        echo "san-smoke: corpus run missing a $class finding" >&2
+        cat "$TMP/inject.out" >&2
+        exit 1
+    }
+done
+
+# Gate 3: the JSON report round-trips with the expected schema.
+STATUS=0
+"$TMP/clsan" -inject -json >"$TMP/inject.json" 2>/dev/null || STATUS=$?
+[ "$STATUS" -eq 1 ]
+grep -q '"schema": 1' "$TMP/inject.json"
+grep -q '"clean": false' "$TMP/inject.json"
+
+echo "san-smoke: ok"
