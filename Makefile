@@ -19,22 +19,24 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs/
 
-# One pass over the search-layer and cache-simulator benchmarks
-# (cached+parallel vs the uncached serial seed path; sharded vs serial
-# cache sim) as a CI smoke — -benchtime=1x just proves they run and
-# agree, it does not time them.
+# One pass over the search-layer, cache-simulator, and execution-engine
+# benchmarks (cached+parallel vs the uncached serial seed path; sharded
+# vs serial cache sim; lane-batched v2 vs per-item v1) as a CI smoke —
+# -benchtime=1x just proves they run and agree, it does not time them.
 bench-smoke:
-	$(GO) test -bench='Tune|Partition|CacheSim' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='Tune|Partition|CacheSim|ExecRange' -benchtime=1x -run=^$$ .
 
-# Regenerate the committed perf baseline (BENCH_pr6.json).
+# Regenerate the committed perf baseline (BENCH_pr8.json).
 baseline:
 	$(GO) run ./cmd/perfbaseline -reps 9
 
-# Gate on perf regressions: fail if suite_ns or the exec_*_ns engine
-# times in the newest baseline regressed >20% vs the previous BENCH_pr*,
-# or if observability overhead exceeds its absolute 5% budget.
+# Gate on perf regressions: fail if suite_ns or the exec_*_ns /
+# exec2_*_ns engine times in the newest baseline regressed >20% vs the
+# previous BENCH_pr*, if observability overhead exceeds its absolute 5%
+# budget, or if the lane-batched engine's v2-over-v1 speedup drops
+# below its absolute 2x floor on matmul or binomial.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -new BENCH_pr6.json -old auto
+	$(GO) run ./cmd/benchcompare -new BENCH_pr8.json -old auto
 
 # Exercise the concurrent suite path end to end: every artifact on 4
 # workers, with a per-experiment timeout as a hang backstop.
@@ -58,7 +60,8 @@ san-smoke:
 
 # The gate CI runs: everything must build, vet clean, pass under the
 # race detector, survive a concurrent full-suite run, execute the
-# search-layer benchmarks once, keep the live observability plane
-# scrapeable and diffable end to end, and hold the hazard analyzer's
+# search-layer benchmarks once, hold the committed perf baseline (incl.
+# the engine-v2 2x floor), keep the live observability plane scrapeable
+# and diffable end to end, and hold the hazard analyzer's
 # zero-false-positive / full-detection contract.
-ci: build vet race smoke bench-smoke obs-smoke san-smoke
+ci: build vet race smoke bench-smoke bench-compare obs-smoke san-smoke

@@ -254,15 +254,16 @@ func BenchmarkInterpreterBarriers(b *testing.B) {
 	}
 }
 
-// BenchmarkExecRange compares the closure-compiled execution engine
-// (ir.ExecRange) against the retained tree-walking oracle
-// (ir.ExecRangeOracle) on the two most interpreter-bound apps: the
-// local-memory blocked Matrixmul and the loop-heavy Binomialoption.
+// BenchmarkExecRange compares the execution engines — the lane-batched
+// SIMD-style v2 (engine2, the ExecRange default), the PR-4 closure
+// engine v1, and the retained tree-walking oracle — on the two most
+// interpreter-bound apps: the local-memory blocked Matrixmul and the
+// loop-heavy Binomialoption.
 //
 //	go test -bench=ExecRange -benchtime=1x
 //
-// The engine/oracle ratio is the tentpole speedup; cmd/perfbaseline
-// records it as exec_* in BENCH_pr4.json.
+// The v2/v1 ratio is the PR-8 tentpole speedup; cmd/perfbaseline
+// records it as exec2_* in BENCH_pr8.json (v1/oracle remains exec_*).
 func BenchmarkExecRange(b *testing.B) {
 	cases := []struct {
 		name string
@@ -272,24 +273,32 @@ func BenchmarkExecRange(b *testing.B) {
 		{"Matrixmul", kernels.MatrixMul(), ir.Range2D(96, 64, 16, 16)},
 		{"Binomialoption", kernels.BinomialOption(), ir.Range1D(255*16, 255)},
 	}
+	engines := []struct {
+		name string
+		run  func(*kernels.App, *ir.Args, ir.NDRange) error
+	}{
+		{"v2", func(app *kernels.App, args *ir.Args, nd ir.NDRange) error {
+			return ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{Engine: ir.EngineV2})
+		}},
+		{"v1", func(app *kernels.App, args *ir.Args, nd ir.NDRange) error {
+			return ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{Engine: ir.EngineV1})
+		}},
+		{"oracle", func(app *kernels.App, args *ir.Args, nd ir.NDRange) error {
+			return ir.ExecRangeOracle(app.Kernel, args, nd, ir.ExecOptions{})
+		}},
+	}
 	for _, c := range cases {
 		args := c.app.Make(c.nd)
-		b.Run(c.name+"/compiled", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := ir.ExecRange(c.app.Kernel, args, c.nd, ir.ExecOptions{}); err != nil {
-					b.Fatal(err)
+		for _, e := range engines {
+			b.Run(c.name+"/"+e.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := e.run(c.app, args, c.nd); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
-		b.Run(c.name+"/oracle", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := ir.ExecRangeOracle(c.app.Kernel, args, c.nd, ir.ExecOptions{}); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

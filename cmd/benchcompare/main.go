@@ -3,13 +3,16 @@
 // metrics of a new baseline against an older one and exits non-zero
 // when any gated metric regressed by more than the tolerance.
 //
-// Gated metrics: suite_ns, the exec_*_ns engine times, and
+// Gated metrics: suite_ns, the exec_*_ns / exec2_*_ns engine times, and
 // cachesim_sharded_ns (when both files carry them — older schemas
 // predate the execution engine and the sharded cache simulator), plus
 // obs_overhead_pct against its own absolute 5% budget (observability
-// must stay nearly free). Speedup ratios (exec, cachesim) and hit
-// rates are reported but not gated: they compare two measured arms and
-// are noisy in both directions.
+// must stay nearly free), plus the exec2_*_speedup ratios against an
+// absolute 2x floor: the lane-batched engine must stay at least twice
+// as fast as v1 on the matmul and binomial workloads, the vectorization
+// payoff the paper's Figures 10-11 report. Other speedup ratios (exec,
+// cachesim) and hit rates are reported but not gated: they compare two
+// measured arms and are noisy in both directions.
 //
 // With -explain, a suite_ns regression is attributed instead of just
 // reported: the flag takes two observability artifacts (snapshot or
@@ -58,6 +61,13 @@ type metrics struct {
 	// recorder-off wall time.
 	SuiteObsNs     int64   `json:"suite_obs_ns"`
 	ObsOverheadPct float64 `json:"obs_overhead_pct"`
+
+	// v5 engine-v2 fields: lane-batched engine times and the v2-over-v1
+	// speedups gated against the absolute 2x floor.
+	Exec2MatmulNs        int64   `json:"exec2_matmul_ns"`
+	Exec2MatmulSpeedup   float64 `json:"exec2_matmul_speedup"`
+	Exec2BinomialNs      int64   `json:"exec2_binomial_ns"`
+	Exec2BinomialSpeedup float64 `json:"exec2_binomial_speedup"`
 }
 
 // obsOverheadBudgetPct is the absolute ceiling on recording overhead:
@@ -65,9 +75,14 @@ type metrics struct {
 // fails the gate regardless of the previous baseline.
 const obsOverheadBudgetPct = 5.0
 
+// exec2SpeedupFloor is the absolute floor on the lane-batched engine's
+// v2-over-v1 speedup: below 2x, the SIMD-style restructuring has lost
+// its reason to exist and the gate fails regardless of the old baseline.
+const exec2SpeedupFloor = 2.0
+
 func main() {
 	oldPath := flag.String("old", "auto", "old baseline JSON, or 'auto' to pick the latest other BENCH_pr*.json")
-	newPath := flag.String("new", "BENCH_pr6.json", "new baseline JSON")
+	newPath := flag.String("new", "BENCH_pr8.json", "new baseline JSON")
 	tol := flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing (0.20 = +20%)")
 	explain := flag.String("explain", "", "on regression, attribute it: OLD,NEW observability artifacts (snapshot or trace JSON) for internal/obs/diff")
 	flag.Parse()
@@ -115,7 +130,26 @@ func main() {
 	check("suite_ns", oldM.SuiteNs, newM.SuiteNs)
 	check("exec_matmul_ns", oldM.ExecMatmulNs, newM.ExecMatmulNs)
 	check("exec_binomial_ns", oldM.ExecBinomialNs, newM.ExecBinomialNs)
+	check("exec2_matmul_ns", oldM.Exec2MatmulNs, newM.Exec2MatmulNs)
+	check("exec2_binomial_ns", oldM.Exec2BinomialNs, newM.Exec2BinomialNs)
 	check("cachesim_sharded_ns", oldM.CachesimShardNs, newM.CachesimShardNs)
+	// The lane-batched engine's speedup over v1 gates against an absolute
+	// floor, not the old baseline: below 2x the vectorized engine has
+	// regressed to parity and the restructuring is broken.
+	checkFloor := func(name string, speedup float64) {
+		if speedup == 0 {
+			fmt.Printf("  %-18s skipped (absent from new)\n", name)
+			return
+		}
+		status := "ok"
+		if speedup < exec2SpeedupFloor {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-18s %27.2fx (floor %.1fx)  %s\n", name, speedup, exec2SpeedupFloor, status)
+	}
+	checkFloor("exec2_matmul_speedup", newM.Exec2MatmulSpeedup)
+	checkFloor("exec2_binomial_speedup", newM.Exec2BinomialSpeedup)
 	// The serial reference arm is informational only: it is the oracle the
 	// sharded engine is differentially tested against, not a code path the
 	// suite spends time in.

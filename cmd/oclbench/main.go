@@ -50,8 +50,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -68,40 +70,53 @@ import (
 // main defers to run so profile flushing (deferred there) survives
 // non-zero exits: os.Exit would skip deferred writes.
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run parses argv against its own FlagSet and executes the suite,
+// writing to the supplied streams — the shape the CLI tests drive
+// directly. Dependent flags are validated up front: an unusable
+// combination is a usage error (exit 2) before any experiment runs.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("oclbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		id       = flag.String("e", "all", "experiment id (table1..table5, fig1..fig11, all)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		csv      = flag.Bool("csv", false, "emit CSV tables")
-		verbose  = flag.Bool("v", false, "verbose reports")
-		traceOut = flag.String("trace", "", "replay the quickstart workload and write Chrome trace-event JSON to this file")
-		metrics  = flag.Bool("metrics", false, "print a metrics snapshot table after the run")
-		cacheTab = flag.Bool("cachestats", false, "print the per-core cache hit-rate table after the run (implies observability)")
-		par      = flag.Int("par", 1, "run experiments on N concurrent workers (output stays in paper order)")
-		timeout  = flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
-		nocache  = flag.Bool("nocache", false, "disable the memoized model-evaluation layer (A/B baseline; results are identical either way)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
-		srvAddr  = flag.String("serve", "", "serve the live observability endpoints (/metrics /snapshot /trace /healthz) on this address while the suite runs")
-		linger   = flag.Duration("linger", 0, "with -serve, keep serving this long after the suite completes")
-		snapOut  = flag.String("snapshot-json", "", "write the merged metrics snapshot JSON to this file after the run (cldiff input)")
-		traceSte = flag.String("trace-json", "", "write the merged suite Chrome trace JSON to this file after the run (cldiff input)")
-		sanMode  = flag.Bool("san", false, "after the suite, replay every registered kernel and the async pipeline under the happens-before hazard analyzer; findings fail the run")
-		sanJSON  = flag.String("san-json", "", "with -san, also write the machine-readable analyzer report to this file")
+		id       = fs.String("e", "all", "experiment id (table1..table5, fig1..fig11, all)")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		csv      = fs.Bool("csv", false, "emit CSV tables")
+		verbose  = fs.Bool("v", false, "verbose reports")
+		traceOut = fs.String("trace", "", "replay the quickstart workload and write Chrome trace-event JSON to this file")
+		metrics  = fs.Bool("metrics", false, "print a metrics snapshot table after the run")
+		cacheTab = fs.Bool("cachestats", false, "print the per-core cache hit-rate table after the run (implies observability)")
+		par      = fs.Int("par", 1, "run experiments on N concurrent workers (output stays in paper order)")
+		timeout  = fs.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
+		nocache  = fs.Bool("nocache", false, "disable the memoized model-evaluation layer (A/B baseline; results are identical either way)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile at exit to this file")
+		srvAddr  = fs.String("serve", "", "serve the live observability endpoints (/metrics /snapshot /trace /healthz) on this address while the suite runs")
+		linger   = fs.Duration("linger", 0, "with -serve, keep serving this long after the suite completes")
+		snapOut  = fs.String("snapshot-json", "", "write the merged metrics snapshot JSON to this file after the run (cldiff input)")
+		traceSte = fs.String("trace-json", "", "write the merged suite Chrome trace JSON to this file after the run (cldiff input)")
+		sanMode  = fs.Bool("san", false, "after the suite, replay every registered kernel and the async pipeline under the happens-before hazard analyzer; findings fail the run")
+		sanJSON  = fs.String("san-json", "", "with -san, also write the machine-readable analyzer report to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if err := checkFlagDeps(*sanMode, *sanJSON, *srvAddr, *linger); err != nil {
+		fmt.Fprintf(stderr, "oclbench: %v\n", err)
+		fs.Usage()
+		return 2
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "oclbench: -cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "oclbench: -cpuprofile: %v\n", err)
 			return 2
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "oclbench: -cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "oclbench: -cpuprofile: %v\n", err)
 			f.Close()
 			return 2
 		}
@@ -114,12 +129,12 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProf)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "oclbench: -memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "oclbench: -memprofile: %v\n", err)
 				return
 			}
 			runtime.GC() // flush pending frees so the profile shows live heap
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "oclbench: -memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "oclbench: -memprofile: %v\n", err)
 			}
 			f.Close()
 		}()
@@ -127,14 +142,14 @@ func run() int {
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
 		return 0
 	}
 
 	if *traceOut != "" {
-		if err := writeQuickstartTrace(*traceOut, *metrics); err != nil {
-			fmt.Fprintf(os.Stderr, "oclbench: %v\n", err)
+		if err := writeQuickstartTrace(*traceOut, *metrics, stdout); err != nil {
+			fmt.Fprintf(stderr, "oclbench: %v\n", err)
 			return 1
 		}
 		return 0
@@ -146,7 +161,7 @@ func run() int {
 	} else {
 		e, err := experiments.ByID(*id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		exps = []harness.Experiment{e}
@@ -165,30 +180,30 @@ func run() int {
 		var err error
 		srv, err = serve.Start(*srvAddr, runner.Live)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "oclbench: %v\n", err)
+			fmt.Fprintf(stderr, "oclbench: %v\n", err)
 			return 2
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "oclbench: serving /metrics /snapshot /trace /healthz on %s\n", srv.URL())
+		fmt.Fprintf(stderr, "oclbench: serving /metrics /snapshot /trace /healthz on %s\n", srv.URL())
 	}
 
 	sum := runner.Run(context.Background(), exps)
 
 	for _, r := range sum.Results {
 		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "oclbench: %s: %v\n", r.ID, r.Err)
+			fmt.Fprintf(stderr, "oclbench: %s: %v\n", r.ID, r.Err)
 			continue
 		}
 		if *csv {
 			for _, t := range r.Report.Tables {
-				t.RenderCSV(os.Stdout)
+				t.RenderCSV(stdout)
 			}
 			for _, f := range r.Report.Figures {
-				f.Table().RenderCSV(os.Stdout)
+				f.Table().RenderCSV(stdout)
 			}
 			continue
 		}
-		r.Report.Render(os.Stdout)
+		r.Report.Render(stdout)
 	}
 	if *metrics || *cacheTab {
 		snap := sum.Rec.Registry().Snapshot()
@@ -201,38 +216,38 @@ func run() int {
 		}
 		for _, tbl := range tables {
 			if *csv {
-				tbl.RenderCSV(os.Stdout)
+				tbl.RenderCSV(stdout)
 			} else {
-				tbl.Render(os.Stdout)
+				tbl.Render(stdout)
 			}
 		}
 	}
 	if *snapOut != "" {
 		if err := writeSnapshotJSON(*snapOut, sum.Rec); err != nil {
-			fmt.Fprintf(os.Stderr, "oclbench: -snapshot-json: %v\n", err)
+			fmt.Fprintf(stderr, "oclbench: -snapshot-json: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "oclbench: wrote metrics snapshot %s\n", *snapOut)
+		fmt.Fprintf(stderr, "oclbench: wrote metrics snapshot %s\n", *snapOut)
 	}
 	if *traceSte != "" {
 		if err := writeTraceJSON(*traceSte, sum.Rec); err != nil {
-			fmt.Fprintf(os.Stderr, "oclbench: -trace-json: %v\n", err)
+			fmt.Fprintf(stderr, "oclbench: -trace-json: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "oclbench: wrote suite trace %s\n", *traceSte)
+		fmt.Fprintf(stderr, "oclbench: wrote suite trace %s\n", *traceSte)
 	}
 	sanFindings := 0
-	if *sanMode || *sanJSON != "" {
+	if *sanMode {
 		rep, err := san.AnalyzeSuite()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "oclbench: -san: %v\n", err)
+			fmt.Fprintf(stderr, "oclbench: -san: %v\n", err)
 			return 2
 		}
 		rep.Record(sum.Rec) // counters + spans land in the merged plane
 		if *sanJSON != "" {
 			f, err := os.Create(*sanJSON)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "oclbench: -san-json: %v\n", err)
+				fmt.Fprintf(stderr, "oclbench: -san-json: %v\n", err)
 				return 2
 			}
 			werr := rep.WriteJSON(f)
@@ -240,16 +255,16 @@ func run() int {
 				werr = cerr
 			}
 			if werr != nil {
-				fmt.Fprintf(os.Stderr, "oclbench: -san-json: %v\n", werr)
+				fmt.Fprintf(stderr, "oclbench: -san-json: %v\n", werr)
 				return 2
 			}
-			fmt.Fprintf(os.Stderr, "oclbench: wrote hazard report %s\n", *sanJSON)
+			fmt.Fprintf(stderr, "oclbench: wrote hazard report %s\n", *sanJSON)
 		}
-		rep.WriteText(os.Stdout)
+		rep.WriteText(stdout)
 		sanFindings = len(rep.Findings())
 	}
 	if srv != nil && *linger > 0 {
-		fmt.Fprintf(os.Stderr, "oclbench: suite done; serving %s for another %v\n", srv.URL(), *linger)
+		fmt.Fprintf(stderr, "oclbench: suite done; serving %s for another %v\n", srv.URL(), *linger)
 		time.Sleep(*linger)
 	}
 	if failed := sum.Failed(); len(failed) > 0 {
@@ -257,15 +272,28 @@ func run() int {
 		for i, r := range failed {
 			ids[i] = r.ID
 		}
-		fmt.Fprintf(os.Stderr, "oclbench: %d/%d experiments failed: %s (wall %v)\n",
+		fmt.Fprintf(stderr, "oclbench: %d/%d experiments failed: %s (wall %v)\n",
 			len(failed), len(sum.Results), strings.Join(ids, ", "), sum.Wall.Round(time.Millisecond))
 		return 1
 	}
 	if sanFindings > 0 {
-		fmt.Fprintf(os.Stderr, "oclbench: -san: %d hazard finding(s)\n", sanFindings)
+		fmt.Fprintf(stderr, "oclbench: -san: %d hazard finding(s)\n", sanFindings)
 		return 1
 	}
 	return 0
+}
+
+// checkFlagDeps rejects flag combinations where a dependent flag was
+// given without the flag that activates it: the alternative is silently
+// ignoring (or, worse, half-honoring) the request.
+func checkFlagDeps(san bool, sanJSON, srvAddr string, linger time.Duration) error {
+	if sanJSON != "" && !san {
+		return errors.New("-san-json requires -san")
+	}
+	if linger != 0 && srvAddr == "" {
+		return errors.New("-linger requires -serve")
+	}
+	return nil
 }
 
 // writeSnapshotJSON records the merged registry snapshot as the JSON
@@ -302,7 +330,7 @@ func writeTraceJSON(path string, rec *obs.Recorder) error {
 // full observability and writes the merged Chrome trace: pid 1 is the
 // runtime (queue commands with kernel phase children, device launches),
 // pid 2 the reconstructed schedule with one track per worker.
-func writeQuickstartTrace(path string, metrics bool) error {
+func writeQuickstartTrace(path string, metrics bool, stdout io.Writer) error {
 	rec := obs.NewRecorder()
 	tl, err := harness.RunQuickstart(rec, 0)
 	if err != nil {
@@ -318,11 +346,11 @@ func writeQuickstartTrace(path string, metrics bool) error {
 		f.Close()
 		return err
 	}
-	fmt.Printf("wrote %s: quickstart vectoradd over %d items, %d workers, makespan %v\n",
+	fmt.Fprintf(stdout, "wrote %s: quickstart vectoradd over %d items, %d workers, makespan %v\n",
 		path, harness.QuickstartN, tl.Workers, tl.Makespan)
-	fmt.Println("load it in https://ui.perfetto.dev or chrome://tracing")
+	fmt.Fprintln(stdout, "load it in https://ui.perfetto.dev or chrome://tracing")
 	if metrics {
-		harness.MetricsTable(rec.Registry().Snapshot()).Render(os.Stdout)
+		harness.MetricsTable(rec.Registry().Snapshot()).Render(stdout)
 	}
 	return f.Close()
 }

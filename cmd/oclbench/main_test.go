@@ -1,0 +1,70 @@
+package main
+
+// CLI-level tests: run() is driven exactly as main drives it, with
+// argv and output streams injected. Dependent flags given without the
+// flag that activates them are usage errors — exit 2, message on
+// stderr, and nothing executed.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDependentFlagUsageErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		argv    []string
+		wantMsg string
+	}{
+		{"san-json without san", []string{"-san-json", "report.json"}, "-san-json requires -san"},
+		{"linger without serve", []string{"-linger", "30s"}, "-linger requires -serve"},
+		{"both missing prerequisites", []string{"-san-json", "r.json", "-linger", "1s"}, "-san-json requires -san"},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.argv, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantMsg) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.wantMsg)
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("usage error produced stdout output: %q", stdout.String())
+			}
+		})
+	}
+}
+
+func TestCheckFlagDeps(t *testing.T) {
+	if err := checkFlagDeps(true, "r.json", "", 0); err != nil {
+		t.Errorf("-san -san-json: unexpected error %v", err)
+	}
+	if err := checkFlagDeps(false, "", ":9188", 30*time.Second); err != nil {
+		t.Errorf("-serve -linger: unexpected error %v", err)
+	}
+	if err := checkFlagDeps(false, "", "", 0); err != nil {
+		t.Errorf("no flags: unexpected error %v", err)
+	}
+	if err := checkFlagDeps(false, "r.json", "", 0); err == nil {
+		t.Error("-san-json without -san: expected error")
+	}
+	if err := checkFlagDeps(false, "", "", time.Second); err == nil {
+		t.Error("-linger without -serve: expected error")
+	}
+}
+
+func TestListFlagStillWorks(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fig1") {
+		t.Fatalf("-list output lacks experiment ids: %q", stdout.String())
+	}
+}

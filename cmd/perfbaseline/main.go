@@ -1,17 +1,19 @@
 // Command perfbaseline times the repo's hot paths and writes a JSON
-// baseline for cross-PR comparison (committed as BENCH_pr6.json). It
+// baseline for cross-PR comparison (committed as BENCH_pr8.json). It
 // measures the same session workloads as the root Tune/Partition
 // benchmarks — cached versus the uncached serial seed behavior — one
 // full experiment-suite run (with and without the observability
 // recorder, so recording overhead is itself a tracked, gated metric),
-// the compiled execution engine against the tree-walk oracle on the
-// BenchmarkExecRange kernels, and the sharded cache simulator against
-// the serial reference on a synthetic traced stream, recording the
-// cache hit rates and speedups alongside the wall times.
+// both compiled execution engines (v1 closure, v2 lane-batched) against
+// the tree-walk oracle on the BenchmarkExecRange kernels, and the
+// sharded cache simulator against the serial reference on a synthetic
+// traced stream, recording the cache hit rates and speedups alongside
+// the wall times. The exec2_* speedups (v2 over v1) are the vectorizer
+// gate: benchcompare fails when they drop below 2x.
 //
 // Usage:
 //
-//	perfbaseline              # write BENCH_pr6.json
+//	perfbaseline              # write BENCH_pr8.json
 //	perfbaseline -o out.json  # write elsewhere
 //	perfbaseline -reps 5      # median of 5 repetitions per workload
 package main
@@ -61,7 +63,7 @@ type Baseline struct {
 	SuiteNs              int64   `json:"suite_ns"`
 	SuiteExperiments     int     `json:"suite_experiments"`
 
-	// Execution-engine medians: the compiled closure engine versus the
+	// Execution-engine medians: the v1 closure engine versus the
 	// retained tree-walk oracle on the BenchmarkExecRange workloads.
 	ExecMatmulNs         int64   `json:"exec_matmul_ns"`
 	ExecMatmulOracleNs   int64   `json:"exec_matmul_oracle_ns"`
@@ -69,6 +71,15 @@ type Baseline struct {
 	ExecBinomialNs       int64   `json:"exec_binomial_ns"`
 	ExecBinomialOracleNs int64   `json:"exec_binomial_oracle_ns"`
 	ExecBinomialSpeedup  float64 `json:"exec_binomial_speedup"`
+
+	// v5: lane-batched engine-v2 medians on the same launches, with the
+	// v2-over-v1 speedups — the SIMD-style vectorization payoff the
+	// paper's Figures 10-11 describe. benchcompare gates these speedups
+	// against an absolute 2x floor.
+	Exec2MatmulNs        int64   `json:"exec2_matmul_ns"`
+	Exec2MatmulSpeedup   float64 `json:"exec2_matmul_speedup"`
+	Exec2BinomialNs      int64   `json:"exec2_binomial_ns"`
+	Exec2BinomialSpeedup float64 `json:"exec2_binomial_speedup"`
 
 	// Cache-simulator medians: the two-phase sharded engine versus the
 	// serial reference on the same synthetic traced stream (the
@@ -87,12 +98,12 @@ type Baseline struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr6.json", "output path")
+	out := flag.String("o", "BENCH_pr8.json", "output path")
 	reps := flag.Int("reps", 3, "repetitions per workload (median is reported)")
 	flag.Parse()
 
 	b := Baseline{
-		Schema:     "clperf/perfbaseline/v4",
+		Schema:     "clperf/perfbaseline/v5",
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -117,10 +128,12 @@ func main() {
 	b.PartUncachedSerialNs = median(*reps, func() { partitionSession(false) })
 	b.PartSpeedup = ratio(b.PartUncachedSerialNs, b.PartCachedNs)
 
-	b.ExecMatmulNs, b.ExecMatmulOracleNs = execPair(*reps, execMatmul)
+	b.ExecMatmulNs, b.Exec2MatmulNs, b.ExecMatmulOracleNs = execTriple(*reps, execMatmul)
 	b.ExecMatmulSpeedup = ratio(b.ExecMatmulOracleNs, b.ExecMatmulNs)
-	b.ExecBinomialNs, b.ExecBinomialOracleNs = execPair(*reps, execBinomial)
+	b.Exec2MatmulSpeedup = ratio(b.ExecMatmulNs, b.Exec2MatmulNs)
+	b.ExecBinomialNs, b.Exec2BinomialNs, b.ExecBinomialOracleNs = execTriple(*reps, execBinomial)
 	b.ExecBinomialSpeedup = ratio(b.ExecBinomialOracleNs, b.ExecBinomialNs)
+	b.Exec2BinomialSpeedup = ratio(b.ExecBinomialNs, b.Exec2BinomialNs)
 
 	b.CachesimShardedNs, b.CachesimSerialNs = cachesimPair(*reps)
 	b.CachesimSpeedup = ratio(b.CachesimSerialNs, b.CachesimShardedNs)
@@ -182,10 +195,11 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), exec matmul %.2fx binomial %.2fx, cachesim %.2fx, suite %v (obs %v, %+.1f%% overhead)\n",
+	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), exec matmul %.2fx binomial %.2fx, v2/v1 matmul %.2fx binomial %.2fx, cachesim %.2fx, suite %v (obs %v, %+.1f%% overhead)\n",
 		*out, b.TuneSpeedup, 100*b.TuneCacheHitRate,
 		b.PartSpeedup, 100*b.PartCPUCacheHitRate,
-		b.ExecMatmulSpeedup, b.ExecBinomialSpeedup, b.CachesimSpeedup,
+		b.ExecMatmulSpeedup, b.ExecBinomialSpeedup,
+		b.Exec2MatmulSpeedup, b.Exec2BinomialSpeedup, b.CachesimSpeedup,
 		time.Duration(b.SuiteNs).Round(time.Millisecond),
 		time.Duration(b.SuiteObsNs).Round(time.Millisecond), b.ObsOverheadPct)
 }
@@ -210,25 +224,27 @@ type execCase struct {
 	nd  ir.NDRange
 }
 
-// execPair returns the median wall time of the compiled engine and of
-// the tree-walk oracle on the same launch. Arguments are built once per
-// arm (setup, not measured) and reused: the kernels overwrite their
-// outputs, so repetitions do identical work.
-func execPair(reps int, c execCase) (engineNs, oracleNs int64) {
+// execTriple returns the median wall times of the v1 closure engine,
+// the v2 lane-batched engine, and the tree-walk oracle on the same
+// launch. Arguments are built once per case (setup, not measured) and
+// reused: the kernels overwrite their outputs, so repetitions do
+// identical work.
+func execTriple(reps int, c execCase) (v1Ns, v2Ns, oracleNs int64) {
 	args := c.app.Make(c.nd)
-	run := func(exec func(*ir.Kernel, *ir.Args, ir.NDRange, ir.ExecOptions) error) int64 {
-		if err := exec(c.app.Kernel, args, c.nd, ir.ExecOptions{}); err != nil {
+	run := func(exec func(*ir.Kernel, *ir.Args, ir.NDRange, ir.ExecOptions) error, opts ir.ExecOptions) int64 {
+		if err := exec(c.app.Kernel, args, c.nd, opts); err != nil {
 			fatal(err) // warm pass: compile once so the engine arm times execution
 		}
 		return median(reps, func() {
-			if err := exec(c.app.Kernel, args, c.nd, ir.ExecOptions{}); err != nil {
+			if err := exec(c.app.Kernel, args, c.nd, opts); err != nil {
 				fatal(err)
 			}
 		})
 	}
-	engineNs = run(ir.ExecRange)
-	oracleNs = run(ir.ExecRangeOracle)
-	return engineNs, oracleNs
+	v1Ns = run(ir.ExecRange, ir.ExecOptions{Engine: ir.EngineV1})
+	v2Ns = run(ir.ExecRange, ir.ExecOptions{Engine: ir.EngineV2})
+	oracleNs = run(ir.ExecRangeOracle, ir.ExecOptions{})
+	return v1Ns, v2Ns, oracleNs
 }
 
 // tuneApp and partApp are built once: argument allocation (large

@@ -179,8 +179,12 @@ func (c *compiler) errf(format string, args ...any) error {
 	return fmt.Errorf("ir: kernel %s: "+format, append([]any{c.k.Name}, args...)...)
 }
 
-func compileKernel(k *Kernel, digest string) (*program, error) {
-	c := &compiler{
+// newCompiler runs the engine-independent front end — name resolution,
+// uniformity inference, slot assignment — shared by the v1 and v2 (see
+// compile2.go) lowerings. The returned buffer/scalar name lists are in
+// parameter order, matching the index maps.
+func newCompiler(k *Kernel) (c *compiler, buffers, scalars []string) {
+	c = &compiler{
 		k:       k,
 		vslot:   map[string]int{},
 		uslot:   map[string]int{},
@@ -189,24 +193,28 @@ func compileKernel(k *Kernel, digest string) (*program, error) {
 		scalIdx: map[string]int{},
 		locIdx:  map[string]int{},
 	}
-	p := &program{digest: digest, name: k.Name}
 	for _, prm := range k.Params {
 		switch prm.Kind {
 		case BufferParam:
-			c.bufIdx[prm.Name] = len(p.buffers)
+			c.bufIdx[prm.Name] = len(buffers)
 			c.bufElem[prm.Name] = prm.Elem
-			p.buffers = append(p.buffers, prm.Name)
+			buffers = append(buffers, prm.Name)
 		case ScalarParam:
-			c.scalIdx[prm.Name] = len(p.scalars)
-			p.scalars = append(p.scalars, prm.Name)
+			c.scalIdx[prm.Name] = len(scalars)
+			scalars = append(scalars, prm.Name)
 		}
 	}
 	for i, la := range k.Locals {
 		c.locIdx[la.Name] = i
 	}
-
 	c.inferUniform()
 	c.assignSlots(k.Body)
+	return c, buffers, scalars
+}
+
+func compileKernel(k *Kernel, digest string) (*program, error) {
+	c, buffers, scalars := newCompiler(k)
+	p := &program{digest: digest, name: k.Name, buffers: buffers, scalars: scalars}
 
 	for _, la := range k.Locals {
 		size, err := c.compileExpr(la.Size)
@@ -1271,6 +1279,11 @@ func (c *compiler) compileID(e ID) (cexpr, error) {
 }
 
 func (c *compiler) compileBin(e Bin) (cexpr, error) {
+	if !e.Op.Valid() {
+		// Normally caught by Validate; kept as a defense for direct
+		// compile paths so a corrupted op can never reach binScalarOp.
+		return cexpr{}, c.errf("unknown binary operator %s in %s", e.Op, FormatExpr(e))
+	}
 	x, err := c.compileExpr(e.X)
 	if err != nil {
 		return cexpr{}, err
@@ -1696,8 +1709,9 @@ func binScalarOp(op BinOp) func(x, y float64) float64 {
 	case NeI:
 		return func(x, y float64) float64 { return b2f(x != y) }
 	}
-	// Unknown operators evaluate to 0, matching evalBin's silent default.
-	return func(x, y float64) float64 { return 0 }
+	// Unreachable for IR that passed Validate: unknown operators are
+	// rejected at compile time (BinOp.Valid), never evaluated to 0.
+	panic(fmt.Sprintf("ir: binScalarOp: unknown operator %s", op))
 }
 
 // builtinScalarOp returns the scalar form of the unary builtin, or nil if

@@ -1,0 +1,2541 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// This file lowers a kernel for engine v2 (engine2.go). The front-end
+// analyses (name resolution, uniformity inference, slot assignment,
+// liveness) are shared with the v1 lowering via newCompiler; the
+// differences are all in the back end:
+//
+//   - expressions compile to grpGet closures that evaluate the whole
+//     group per call into flat padded slabs (a depth-allocated register
+//     file), so each op is one closure invocation running unconditional
+//     flat loops — no per-lane mask branches, no scratch pools;
+//   - divergence is byte-per-block bitmasks with branchless masked-select
+//     assignment over 8-lane block views;
+//   - a fused multiply-add peephole rewrites AddF/SubF-over-MulF into a
+//     single pass (the explicit float64(a*b) conversion keeps the product
+//     rounding, so the value is bit-identical to the two-op form and the
+//     Go compiler may not contract it into a hardware FMA), and fused
+//     local-gather loops collapse gather + multiply chains;
+//   - affine gather plans with uniform scales over gid/lid hoist to
+//     per-group base slabs (loop-invariant address precomputation).
+//
+// Because every op evaluates the whole group in one call and ops are
+// invoked in source traversal order, trace records append to ex.tb
+// directly in the oracle's op-major order: index loads before value
+// loads before a store's own writes, left operands before right.
+//
+// Bit-exactness against oracle.go is load-bearing everywhere below;
+// comments flag each place a reordering or refactoring is only legal
+// because some part is trace-free or value-preserving.
+
+// uni2Fn evaluates a lane-invariant expression to its per-group scalar.
+type uni2Fn func(ex *exec2) float64
+
+// grpGet evaluates an expression for the whole group: the result is
+// either a direct view into SoA storage (source leaves) or ex.regs[d]
+// filled by the call, always ex.np long. Pad lanes may hold garbage;
+// consumers only use lanes the oracle semantics make observable.
+type grpGet func(ex *exec2) []float64
+
+// setup2Fn runs once per root evaluation, staging uniform values (gather
+// offsets/scales, scalar operands) into ex.ustash so hot loops read a
+// float instead of re-walking a uniform expression tree. Uniform
+// expressions are side-effect- and trace-free, so hoisting them to the
+// root preamble is unobservable.
+type setup2Fn func(ex *exec2)
+
+// stmt2Fn executes one lowered statement under the given block bitmasks.
+// Callers guarantee at least one active lane (statement-level control
+// flow skips fully-inactive branches and loops, exactly like v1 and the
+// oracle).
+type stmt2Fn func(ex *exec2, mask []uint8)
+
+// cexpr2 is a compiled expression: exactly one of uni or get is set.
+type cexpr2 struct {
+	ty      Type
+	isConst bool
+	cval    float64
+	uni     uni2Fn
+	get     grpGet
+	isSrc   bool // get returns a storage view; never write through it
+
+	// intoF, when non-nil, evaluates the whole group straight into dst
+	// with the assignment's float32 store rounding fused in: each lane
+	// holds float64(float32(v)) of the value get would produce, with the
+	// identical loads in the identical order (same trace records).
+	// Populated only for hot fused shapes; compileAssign2's full-mask
+	// path uses it to skip the intermediate register slab and the
+	// separate rounding pass.
+	intoF func(ex *exec2, dst []float64)
+}
+
+func (ce *cexpr2) uniform() bool { return ce.uni != nil }
+
+func const2(ty Type, v float64) cexpr2 {
+	return cexpr2{ty: ty, isConst: true, cval: v, uni: func(*exec2) float64 { return v }}
+}
+
+// root2 is a statement operand with its staging thunks.
+type root2 struct {
+	ce     cexpr2
+	setups []setup2Fn
+}
+
+func (r *root2) prep(ex *exec2) {
+	for _, s := range r.setups {
+		s(ex)
+	}
+}
+
+// progLocal2 is a compiled __local declaration for engine v2.
+type progLocal2 struct {
+	name string
+	size root2
+}
+
+// basePlan2 is a loop-invariant gather base: per group, engine v2
+// precomputes bases[p][i] = src[i]*Trunc(scale) where src is a gid/lid
+// table and scale is built only from constants, scalar params and launch
+// geometry (bakeSafe). Ids are integral, so the unfused formula's
+// Trunc(src) is the identity and the baked product is bit-identical.
+type basePlan2 struct {
+	fn    IDFunc
+	dim   int
+	scale uni2Fn
+}
+
+// program2 is the compiled, immutable engine-v2 form of a kernel.
+type program2 struct {
+	name      string
+	nvslots   int
+	nuslots   int
+	nregs     int // expression register file size
+	nstash    int // uniform staging slots
+	zeroSlots []int
+	buffers   []string
+	scalars   []string
+	locals    []progLocal2
+	bases     []basePlan2
+	body      []stmt2Fn
+}
+
+// ---- program cache (single-flight, digest-keyed, mirrors progCache) ----
+
+var prog2Cache = struct {
+	sync.Mutex
+	m map[string]*prog2Entry
+}{m: map[string]*prog2Entry{}}
+
+type prog2Entry struct {
+	done chan struct{}
+	prog *program2
+	err  error
+}
+
+func compiledProgram2(k *Kernel) (*program2, error) {
+	d := Digest(k)
+	prog2Cache.Lock()
+	if e, ok := prog2Cache.m[d]; ok {
+		prog2Cache.Unlock()
+		<-e.done
+		return e.prog, e.err
+	}
+	if len(prog2Cache.m) >= progCacheCap {
+		prog2Cache.m = make(map[string]*prog2Entry)
+	}
+	e := &prog2Entry{done: make(chan struct{})}
+	prog2Cache.m[d] = e
+	prog2Cache.Unlock()
+
+	if err := Validate(k); err != nil {
+		e.err = err
+	} else {
+		e.prog, e.err = compileKernel2(k)
+	}
+	close(e.done)
+	return e.prog, e.err
+}
+
+// ---- compiler ----
+
+type compiler2 struct {
+	*compiler
+	p        *program2
+	setups   []setup2Fn // staging thunks of the root being compiled
+	nregs    int
+	nstash   int
+	baseKeys map[string]int // dedup key -> index into p.bases
+}
+
+func compileKernel2(k *Kernel) (*program2, error) {
+	c, buffers, scalars := newCompiler(k)
+	p := &program2{name: k.Name, buffers: buffers, scalars: scalars}
+	c2 := &compiler2{compiler: c, p: p, baseKeys: map[string]int{}}
+
+	for _, la := range k.Locals {
+		size, err := c2.compileRoot(la.Size)
+		if err != nil {
+			return nil, err
+		}
+		p.locals = append(p.locals, progLocal2{name: la.Name, size: size})
+	}
+
+	body, err := c2.compileStmts2(k.Body)
+	if err != nil {
+		return nil, err
+	}
+	p.body = body
+	p.nvslots = c.nvslots
+	p.nuslots = c.nuslots
+	p.zeroSlots = c.liveZeroSlots(k.Body)
+	p.nregs = c2.nregs
+	p.nstash = c2.nstash
+	return p, nil
+}
+
+func (c2 *compiler2) touchReg(d int) {
+	if d+1 > c2.nregs {
+		c2.nregs = d + 1
+	}
+}
+
+func (c2 *compiler2) allocStash() int {
+	s := c2.nstash
+	c2.nstash++
+	return s
+}
+
+// beginRoot/endRoot bracket the compilation of one statement's operand
+// set: setups accumulated in between belong to that statement.
+func (c2 *compiler2) beginRoot() (saved []setup2Fn) {
+	saved = c2.setups
+	c2.setups = nil
+	return
+}
+
+func (c2 *compiler2) endRoot(saved []setup2Fn) []setup2Fn {
+	setups := c2.setups
+	c2.setups = saved
+	return setups
+}
+
+func (c2 *compiler2) compileRoot(e Expr) (root2, error) {
+	saved := c2.beginRoot()
+	ce, err := c2.compileExpr2(e, 0)
+	setups := c2.endRoot(saved)
+	return root2{ce: ce, setups: setups}, err
+}
+
+// uniVal stages a uniform operand: constants become captured values,
+// everything else is written to a stash slot once per root evaluation.
+func (c2 *compiler2) uniVal(ce cexpr2) func(*exec2) float64 {
+	if ce.isConst {
+		v := ce.cval
+		return func(*exec2) float64 { return v }
+	}
+	u := ce.uni
+	os := c2.allocStash()
+	c2.setups = append(c2.setups, func(ex *exec2) { ex.ustash[os] = u(ex) })
+	return func(ex *exec2) float64 { return ex.ustash[os] }
+}
+
+// asGet adapts any compiled expression to a grpGet, splatting uniforms.
+// Splatting reproduces the oracle exactly: uniform subtrees evaluate to
+// the same value in every lane.
+func (c2 *compiler2) asGet(ce cexpr2, d int) grpGet {
+	if ce.uni == nil {
+		return ce.get
+	}
+	f := c2.uniVal(ce)
+	c2.touchReg(d)
+	return func(ex *exec2) []float64 {
+		v := f(ex)
+		out := ex.regs[d][:ex.hi]
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	}
+}
+
+// blk returns the 8-lane block view at block b of a flat slab.
+func blk(s []float64, b int) *vreg { return (*vreg)(s[b*laneW:]) }
+
+// ---- branchless masked writes ----
+
+// Lane selection is a bitwise blend: keep is all-ones for active lanes.
+// Inactive lanes are rewritten with their own value, which is observably
+// identical to v1's skip (one goroutine owns a group's state).
+
+func selSplat(d *vreg, v float64, m uint8) {
+	nv := math.Float64bits(v)
+	for i := 0; i < laneW; i++ {
+		keep := -uint64(m >> uint(i) & 1)
+		d[i] = math.Float64frombits(nv&keep | math.Float64bits(d[i])&^keep)
+	}
+}
+
+func selWriteF(d, v *vreg, m uint8) {
+	for i := 0; i < laneW; i++ {
+		keep := -uint64(m >> uint(i) & 1)
+		nv := math.Float64bits(float64(float32(v[i])))
+		d[i] = math.Float64frombits(nv&keep | math.Float64bits(d[i])&^keep)
+	}
+}
+
+func selWriteI(d, v *vreg, m uint8) {
+	for i := 0; i < laneW; i++ {
+		keep := -uint64(m >> uint(i) & 1)
+		nv := math.Float64bits(math.Trunc(v[i]))
+		d[i] = math.Float64frombits(nv&keep | math.Float64bits(d[i])&^keep)
+	}
+}
+
+// selStepU applies the For-step update v = Trunc(v+t) to active lanes.
+func selStepU(d *vreg, t float64, m uint8) {
+	for i := 0; i < laneW; i++ {
+		keep := -uint64(m >> uint(i) & 1)
+		nv := math.Float64bits(math.Trunc(d[i] + t))
+		d[i] = math.Float64frombits(nv&keep | math.Float64bits(d[i])&^keep)
+	}
+}
+
+func selStepV(d, s *vreg, m uint8) {
+	for i := 0; i < laneW; i++ {
+		keep := -uint64(m >> uint(i) & 1)
+		nv := math.Float64bits(math.Trunc(d[i] + s[i]))
+		d[i] = math.Float64frombits(nv&keep | math.Float64bits(d[i])&^keep)
+	}
+}
+
+// nzMask returns the bitmask of lanes where c is nonzero.
+func nzMask(c *vreg) uint8 {
+	var m uint8
+	for i := 0; i < laneW; i++ {
+		if c[i] != 0 {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// ---- statement lowering ----
+
+func (c2 *compiler2) compileStmts2(stmts []Stmt) ([]stmt2Fn, error) {
+	var fns []stmt2Fn
+	for _, s := range stmts {
+		f, err := c2.compileStmt2(s)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			fns = append(fns, f)
+		}
+	}
+	return fns, nil
+}
+
+func (c2 *compiler2) compileStmt2(s Stmt) (stmt2Fn, error) {
+	switch s := s.(type) {
+	case Assign:
+		return c2.compileAssign2(s)
+	case Store:
+		return c2.compileStore2(s)
+	case LocalStore:
+		return c2.compileLocalStore2(s)
+	case AtomicAdd:
+		return c2.compileAtomicAdd2(s)
+	case If:
+		return c2.compileIf2(s)
+	case For:
+		return c2.compileFor2(s)
+	case Barrier:
+		// Same contract as v1: a no-op functionally, a KindBarrier marker
+		// carrying the dynamic ordinal and active-lane count when traced.
+		return func(ex *exec2, mask []uint8) {
+			if !ex.tracing {
+				return
+			}
+			ex.tb = append(ex.tb, Access{
+				Kind: KindBarrier,
+				Addr: ex.barSeq,
+				Size: int64(ex.activeCount(mask)),
+			})
+			ex.barSeq++
+		}, nil
+	default:
+		return nil, c2.errf("unknown statement %T", s)
+	}
+}
+
+func (c2 *compiler2) compileAssign2(s Assign) (stmt2Fn, error) {
+	val, err := c2.compileRoot(s.Val)
+	if err != nil {
+		return nil, err
+	}
+	isF := s.Val.Type() == F32
+	if c2.uniformVar[s.Dst] {
+		slot := c2.uslot[s.Dst]
+		u := val.ce.uni
+		if isF {
+			return func(ex *exec2, mask []uint8) {
+				ex.uvals[slot] = float64(float32(u(ex)))
+			}, nil
+		}
+		return func(ex *exec2, mask []uint8) {
+			ex.uvals[slot] = math.Trunc(u(ex))
+		}, nil
+	}
+	slot := c2.vslot[s.Dst]
+	if val.ce.uniform() {
+		// Uniform value: no loads possible, so no traces; splat with the
+		// branchless select (full blocks write all lanes, pads included —
+		// pad values are never observable).
+		u := val.ce.uni
+		return func(ex *exec2, mask []uint8) {
+			v := u(ex)
+			if isF {
+				v = float64(float32(v))
+			} else {
+				v = math.Trunc(v)
+			}
+			dst := ex.vals[slot]
+			if ex.isFull(mask) {
+				for i := range dst {
+					dst[i] = v
+				}
+				return
+			}
+			hb := ex.hi / laneW
+			for b := 0; b < hb; b++ {
+				if m := mask[b]; m != 0 {
+					selSplat(blk(dst, b), v, m)
+				}
+			}
+		}, nil
+	}
+	get := val.ce.get
+	// Fused hot path: a value shape that can evaluate straight into the
+	// destination slot with the f32 store rounding folded into its own
+	// lane loop (same loads, same trace records) skips the register slab
+	// round-trip entirely when every lane is active.
+	if intoF := val.ce.intoF; intoF != nil && isF {
+		return func(ex *exec2, mask []uint8) {
+			val.prep(ex)
+			if ex.isFull(mask) {
+				intoF(ex, ex.vals[slot])
+				return
+			}
+			v := get(ex)
+			dst := ex.vals[slot]
+			hb := ex.hi / laneW
+			for b := 0; b < hb; b++ {
+				m := mask[b]
+				if m == 0 {
+					continue
+				}
+				d, sv := blk(dst, b), blk(v, b)
+				if m == 0xff {
+					for i := 0; i < laneW; i++ {
+						d[i] = float64(float32(sv[i]))
+					}
+				} else {
+					selWriteF(d, sv, m)
+				}
+			}
+		}, nil
+	}
+	return func(ex *exec2, mask []uint8) {
+		val.prep(ex)
+		v := get(ex) // whole group, like the oracle (inactive lanes too)
+		dst := ex.vals[slot]
+		if ex.isFull(mask) {
+			v = v[:len(dst)]
+			if isF {
+				for i := range dst {
+					dst[i] = float64(float32(v[i]))
+				}
+			} else {
+				for i := range dst {
+					dst[i] = math.Trunc(v[i])
+				}
+			}
+			return
+		}
+		hb := ex.hi / laneW
+		for b := 0; b < hb; b++ {
+			m := mask[b]
+			if m == 0 {
+				continue
+			}
+			d, sv := blk(dst, b), blk(v, b)
+			if m == 0xff {
+				if isF {
+					for i := 0; i < laneW; i++ {
+						d[i] = float64(float32(sv[i]))
+					}
+				} else {
+					for i := 0; i < laneW; i++ {
+						d[i] = math.Trunc(sv[i])
+					}
+				}
+			} else if isF {
+				selWriteF(d, sv, m)
+			} else {
+				selWriteI(d, sv, m)
+			}
+		}
+	}, nil
+}
+
+// scatterKind abstracts the three scatter statements' targets so one
+// lowering covers Store/LocalStore/AtomicAdd. Global stores trace and
+// round via Buffer.Set; local stores round to float32; atomic adds
+// accumulate raw.
+type scatterKind int
+
+const (
+	scatGlobal scatterKind = iota
+	scatLocal
+	scatAtomic
+)
+
+// compileScatter2 lowers a masked scatter. Group-wide evaluation gives
+// the oracle's phase order for free: the index expression evaluates
+// fully (tracing its loads), then the value expression (tracing its
+// loads), then the writes happen block-ascending, lane-ascending with
+// their own trace records — so value expressions that read the written
+// buffer or local array see the pre-store state, exactly like v1.
+func (c2 *compiler2) compileScatter2(kind scatterKind, target int, name string, elemSize int64, index, valE Expr) (stmt2Fn, error) {
+	saved := c2.beginRoot()
+
+	var idxU uni2Fn
+	var p *plan2
+	var idxGet grpGet
+	if c2.exprUniform(index) {
+		ce, err := c2.compileExpr2(index, 0)
+		if err != nil {
+			return nil, err
+		}
+		idxU = ce.uni
+	} else if p = c2.plan2Of(index); p == nil {
+		ce, err := c2.compileExpr2(index, 0)
+		if err != nil {
+			return nil, err
+		}
+		idxGet = ce.get
+	}
+
+	valBase := c2.nregs // disjoint from every index register
+	vce, err := c2.compileExpr2(valE, valBase)
+	if err != nil {
+		return nil, err
+	}
+	var valU func(*exec2) float64
+	var valGet grpGet
+	if vce.uniform() {
+		valU = c2.uniVal(vce)
+	} else {
+		valGet = vce.get
+	}
+	setups := c2.endRoot(saved)
+
+	failFmt := map[scatterKind]string{
+		scatGlobal: "store %s[%d] out of bounds (len %d)",
+		scatLocal:  "local store %s[%d] out of bounds (len %d)",
+		scatAtomic: "atomic add %s[%d] out of bounds (len %d)",
+	}[kind]
+	global := kind == scatGlobal
+
+	// The hot scatter shape — planned index, vector value — gets
+	// specialized write loops with the index plan unpacked inline, so the
+	// per-lane body carries no closure-variant switches. Same phase
+	// order, write order, bounds message and rounding as the generic
+	// path below.
+	if p != nil && valGet != nil && kind != scatAtomic {
+		return func(ex *exec2, mask []uint8) {
+			for _, f := range setups {
+				f(ex)
+			}
+			ps, bkd, pa, po, ps2 := p.setup(ex)
+			vs := valGet(ex)
+			var buf *Buffer
+			var arr []float64
+			var bound int
+			if global {
+				buf = ex.bufs[target]
+				bound = len(buf.Data)
+			} else {
+				arr = ex.locals[target]
+				bound = len(arr)
+			}
+			hb := ex.hi / laneW
+			for b := 0; b < hb; b++ {
+				m := mask[b]
+				if m == 0 {
+					continue
+				}
+				base := b * laneW
+				if m == 0xff {
+					for i := base; i < base+laneW; i++ {
+						v := po
+						if ps2 != nil {
+							v += math.Trunc(ps2[i])
+						}
+						var j int
+						if bkd {
+							j = int(ps[i] + v)
+						} else {
+							j = int(math.Trunc(ps[i])*pa + v)
+						}
+						if uint(j) >= uint(bound) {
+							ex.fail(failFmt, name, j, bound)
+						}
+						if global {
+							buf.Set(j, vs[i])
+							if ex.tracing {
+								ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: elemSize, Write: true})
+							}
+						} else {
+							arr[j] = float64(float32(vs[i]))
+						}
+					}
+					continue
+				}
+				for bm := m; bm != 0; bm &= bm - 1 {
+					i := base + bits.TrailingZeros8(bm)
+					v := po
+					if ps2 != nil {
+						v += math.Trunc(ps2[i])
+					}
+					var j int
+					if bkd {
+						j = int(ps[i] + v)
+					} else {
+						j = int(math.Trunc(ps[i])*pa + v)
+					}
+					if uint(j) >= uint(bound) {
+						ex.fail(failFmt, name, j, bound)
+					}
+					if global {
+						buf.Set(j, vs[i])
+						if ex.tracing {
+							ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: elemSize, Write: true})
+						}
+					} else {
+						arr[j] = float64(float32(vs[i]))
+					}
+				}
+			}
+		}, nil
+	}
+
+	return func(ex *exec2, mask []uint8) {
+		for _, f := range setups {
+			f(ex)
+		}
+
+		// Evaluation phase, oracle order: index loads, then value loads.
+		var is, vs []float64
+		if idxGet != nil {
+			is = idxGet(ex)
+		}
+		var ps, ps2 []float64
+		var bkd bool
+		var pa, po float64
+		if p != nil {
+			ps, bkd, pa, po, ps2 = p.setup(ex)
+		}
+		if valGet != nil {
+			vs = valGet(ex)
+		}
+
+		var ju int
+		if idxU != nil {
+			ju = int(idxU(ex))
+		}
+		var vu float64
+		if valU != nil {
+			vu = valU(ex)
+		}
+
+		var buf *Buffer
+		var arr []float64
+		var bound int
+		if global {
+			buf = ex.bufs[target]
+			bound = len(buf.Data)
+		} else {
+			arr = ex.locals[target]
+			bound = len(arr)
+		}
+
+		// Write phase: block-ascending, lane-ascending — v1's order,
+		// including the partial writes preserved before a bounds panic.
+		// Full blocks skip the bit iteration.
+		hb := ex.hi / laneW
+		for b := 0; b < hb; b++ {
+			m := mask[b]
+			if m == 0 {
+				continue
+			}
+			base := b * laneW
+			if m == 0xff {
+				for i := 0; i < laneW; i++ {
+					var j int
+					switch {
+					case idxU != nil:
+						j = ju
+					case p != nil:
+						j = planJ(ps, ps2, base+i, bkd, pa, po)
+					default:
+						j = int(is[base+i])
+					}
+					if j < 0 || j >= bound {
+						ex.fail(failFmt, name, j, bound)
+					}
+					v := vu
+					if vs != nil {
+						v = vs[base+i]
+					}
+					switch kind {
+					case scatGlobal:
+						buf.Set(j, v)
+						if ex.tracing {
+							ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: elemSize, Write: true})
+						}
+					case scatLocal:
+						arr[j] = float64(float32(v))
+					case scatAtomic:
+						arr[j] += v
+					}
+				}
+				continue
+			}
+			for bm := m; bm != 0; bm &= bm - 1 {
+				i := bits.TrailingZeros8(bm)
+				var j int
+				switch {
+				case idxU != nil:
+					j = ju
+				case p != nil:
+					j = planJ(ps, ps2, base+i, bkd, pa, po)
+				default:
+					j = int(is[base+i])
+				}
+				if j < 0 || j >= bound {
+					ex.fail(failFmt, name, j, bound)
+				}
+				v := vu
+				if vs != nil {
+					v = vs[base+i]
+				}
+				switch kind {
+				case scatGlobal:
+					buf.Set(j, v)
+					if ex.tracing {
+						ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: elemSize, Write: true})
+					}
+				case scatLocal:
+					arr[j] = float64(float32(v))
+				case scatAtomic:
+					arr[j] += v
+				}
+			}
+		}
+	}, nil
+}
+
+func (c2 *compiler2) compileStore2(s Store) (stmt2Fn, error) {
+	bi, ok := c2.bufIdx[s.Buf]
+	if !ok {
+		return nil, c2.errf("store to unknown buffer %q", s.Buf)
+	}
+	return c2.compileScatter2(scatGlobal, bi, s.Buf, c2.bufElem[s.Buf].Size(), s.Index, s.Val)
+}
+
+func (c2 *compiler2) compileLocalStore2(s LocalStore) (stmt2Fn, error) {
+	li, ok := c2.locIdx[s.Arr]
+	if !ok {
+		return nil, c2.errf("store to undeclared local array %q", s.Arr)
+	}
+	// v1 collapses uniform-index/uniform-value local stores to one write
+	// (all active lanes write the same value to the same element); the
+	// scatter path would write once per active lane — same final state,
+	// but collapse anyway to keep the common broadcast-store cheap.
+	if c2.exprUniform(s.Index) && c2.exprUniform(s.Val) {
+		saved := c2.beginRoot()
+		ice, err := c2.compileExpr2(s.Index, 0)
+		if err != nil {
+			return nil, err
+		}
+		vce, err := c2.compileExpr2(s.Val, 0)
+		if err != nil {
+			return nil, err
+		}
+		c2.endRoot(saved) // uniform exprs stage nothing
+		iu, vu := ice.uni, vce.uni
+		name := s.Arr
+		return func(ex *exec2, mask []uint8) {
+			arr := ex.locals[li]
+			j := int(iu(ex))
+			if j < 0 || j >= len(arr) {
+				ex.fail("local store %s[%d] out of bounds (len %d)", name, j, len(arr))
+			}
+			arr[j] = float64(float32(vu(ex)))
+		}, nil
+	}
+	return c2.compileScatter2(scatLocal, li, s.Arr, 0, s.Index, s.Val)
+}
+
+func (c2 *compiler2) compileAtomicAdd2(s AtomicAdd) (stmt2Fn, error) {
+	li, ok := c2.locIdx[s.Arr]
+	if !ok {
+		return nil, c2.errf("atomic add to undeclared local array %q", s.Arr)
+	}
+	// No collapsed fast path: repeated adds to one element must apply in
+	// lane order for bit-identical float rounding.
+	return c2.compileScatter2(scatAtomic, li, s.Arr, 0, s.Index, s.Val)
+}
+
+// cmpMask2 is a divergent If condition fused to direct mask bits: the
+// comparison's 0/1 slab is never materialized. bitsAll is one of the
+// cmpAll* kernels below, selected at compile time for the comparison
+// kind and operand shapes: <, <= and == cover everything, with the
+// remaining comparisons reduced by operand swap (bools only, so
+// NaN-safe) and complement (NeI under the branch mask ≡ !EqI).
+type cmpMask2 struct {
+	setups   []setup2Fn
+	xu, yu   func(*exec2) float64 // uniform operand (nil when vector)
+	xg, yg   grpGet
+	bitsAll  cmpAllFn
+	neg      bool
+	swap     bool
+	hasLoads bool // vector operands may trace; uniform sides never do
+
+	// prefixKind is set (1: <, 2: <=) when the effective comparison is
+	// get_local_id(0) against the uniform prefixU. In groups where lid0
+	// is ascending (exec2.lid0Asc) the mask is then a lane prefix whose
+	// length comes from one threshold computation instead of a whole-
+	// group scan — the shape of a shrinking-triangle reduction loop.
+	prefixKind uint8
+	prefixU    func(*exec2) float64
+}
+
+// cmpAllFn fills nz[b] with the comparison bits of block b (lane i ->
+// bit i, matching nzMask). Unused operand parameters depend on the
+// variant: a uniform side reads the scalar, a vector side the slab.
+type cmpAllFn func(xs, ys []float64, xu, yu float64, nz []uint8)
+
+func cmpAllLtVV(xs, ys []float64, _, _ float64, nz []uint8) {
+	for b := range nz {
+		xb, yb := (*vreg)(xs[b*laneW:]), (*vreg)(ys[b*laneW:])
+		var r uint8
+		for i := 0; i < laneW; i++ {
+			if xb[i] < yb[i] {
+				r |= 1 << uint(i)
+			}
+		}
+		nz[b] = r
+	}
+}
+
+func cmpAllLeVV(xs, ys []float64, _, _ float64, nz []uint8) {
+	for b := range nz {
+		xb, yb := (*vreg)(xs[b*laneW:]), (*vreg)(ys[b*laneW:])
+		var r uint8
+		for i := 0; i < laneW; i++ {
+			if xb[i] <= yb[i] {
+				r |= 1 << uint(i)
+			}
+		}
+		nz[b] = r
+	}
+}
+
+func cmpAllEqVV(xs, ys []float64, _, _ float64, nz []uint8) {
+	for b := range nz {
+		xb, yb := (*vreg)(xs[b*laneW:]), (*vreg)(ys[b*laneW:])
+		var r uint8
+		for i := 0; i < laneW; i++ {
+			if xb[i] == yb[i] {
+				r |= 1 << uint(i)
+			}
+		}
+		nz[b] = r
+	}
+}
+
+func cmpAllLtVS(xs, _ []float64, _, yu float64, nz []uint8) {
+	for b := range nz {
+		xb := (*vreg)(xs[b*laneW:])
+		var r uint8
+		for i := 0; i < laneW; i++ {
+			if xb[i] < yu {
+				r |= 1 << uint(i)
+			}
+		}
+		nz[b] = r
+	}
+}
+
+func cmpAllLeVS(xs, _ []float64, _, yu float64, nz []uint8) {
+	for b := range nz {
+		xb := (*vreg)(xs[b*laneW:])
+		var r uint8
+		for i := 0; i < laneW; i++ {
+			if xb[i] <= yu {
+				r |= 1 << uint(i)
+			}
+		}
+		nz[b] = r
+	}
+}
+
+func cmpAllEqVS(xs, _ []float64, _, yu float64, nz []uint8) {
+	for b := range nz {
+		xb := (*vreg)(xs[b*laneW:])
+		var r uint8
+		for i := 0; i < laneW; i++ {
+			if xb[i] == yu {
+				r |= 1 << uint(i)
+			}
+		}
+		nz[b] = r
+	}
+}
+
+func cmpAllLtSV(_, ys []float64, xu, _ float64, nz []uint8) {
+	for b := range nz {
+		yb := (*vreg)(ys[b*laneW:])
+		var r uint8
+		for i := 0; i < laneW; i++ {
+			if xu < yb[i] {
+				r |= 1 << uint(i)
+			}
+		}
+		nz[b] = r
+	}
+}
+
+func cmpAllLeSV(_, ys []float64, xu, _ float64, nz []uint8) {
+	for b := range nz {
+		yb := (*vreg)(ys[b*laneW:])
+		var r uint8
+		for i := 0; i < laneW; i++ {
+			if xu <= yb[i] {
+				r |= 1 << uint(i)
+			}
+		}
+		nz[b] = r
+	}
+}
+
+func cmpAllEqSV(_, ys []float64, xu, _ float64, nz []uint8) {
+	for b := range nz {
+		yb := (*vreg)(ys[b*laneW:])
+		var r uint8
+		for i := 0; i < laneW; i++ {
+			if xu == yb[i] {
+				r |= 1 << uint(i)
+			}
+		}
+		nz[b] = r
+	}
+}
+
+func (c2 *compiler2) compileCmpMask(b Bin) (*cmpMask2, error) {
+	saved := c2.beginRoot()
+	x, err := c2.compileExpr2(b.X, 1)
+	if err != nil {
+		return nil, err
+	}
+	y, err := c2.compileExpr2(b.Y, 2)
+	if err != nil {
+		return nil, err
+	}
+	cm := &cmpMask2{}
+	var kind uint8
+	switch b.Op {
+	case LtF, LtI:
+		kind = 0
+	case LeF, LeI:
+		kind = 1
+	case GtF, GtI:
+		kind, cm.swap = 0, true
+	case GeF, GeI:
+		kind, cm.swap = 1, true
+	case EqF, EqI:
+		kind = 2
+	case NeI:
+		kind, cm.neg = 2, true
+	}
+	if x.uniform() {
+		cm.xu = c2.uniVal(x)
+	} else {
+		cm.xg = x.get
+	}
+	if y.uniform() {
+		cm.yu = c2.uniVal(y)
+	} else {
+		cm.yg = y.get
+	}
+	// The effective left side after the compile-time swap determines the
+	// operand-shape variant (both uniform would make the whole condition
+	// uniform, which the caller handles on the scalar path).
+	lhsUni, rhsUni := x.uniform(), y.uniform()
+	if cm.swap {
+		lhsUni, rhsUni = rhsUni, lhsUni
+	}
+	table := [3][3]cmpAllFn{
+		{cmpAllLtVV, cmpAllLtVS, cmpAllLtSV},
+		{cmpAllLeVV, cmpAllLeVS, cmpAllLeSV},
+		{cmpAllEqVV, cmpAllEqVS, cmpAllEqSV},
+	}
+	shape := 0
+	if rhsUni {
+		shape = 1
+	} else if lhsUni {
+		shape = 2
+	}
+	cm.bitsAll = table[kind][shape]
+	lhsE, rhsU := b.X, cm.yu
+	if cm.swap {
+		lhsE, rhsU = b.Y, cm.xu
+	}
+	if id, ok := lhsE.(ID); ok && id.Fn == LocalID && id.Dim == 0 &&
+		kind <= 1 && !cm.neg && rhsU != nil {
+		cm.prefixKind = kind + 1
+		cm.prefixU = rhsU
+	}
+	hasLoads := false
+	walkExpr(b, func(e Expr) {
+		switch e.(type) {
+		case Load:
+			hasLoads = true
+		}
+	})
+	cm.hasLoads = hasLoads
+	cm.setups = c2.endRoot(saved)
+	return cm, nil
+}
+
+func (c2 *compiler2) compileIf2(s If) (stmt2Fn, error) {
+	// Divergent comparison conditions fuse to direct mask bits; anything
+	// else (uniform, or a non-comparison truth value) goes through the
+	// generic nonzero-slab path.
+	var cond root2
+	var cm *cmpMask2
+	var err error
+	if b, ok := s.Cond.(Bin); ok && b.Op.IsCompare() && !c2.exprUniform(s.Cond) {
+		cm, err = c2.compileCmpMask(b)
+	} else {
+		cond, err = c2.compileRoot(s.Cond)
+	}
+	if err != nil {
+		return nil, err
+	}
+	thenFns, err := c2.compileStmts2(s.Then)
+	if err != nil {
+		return nil, err
+	}
+	elseFns, err := c2.compileStmts2(s.Else)
+	if err != nil {
+		return nil, err
+	}
+	if cm == nil && cond.ce.uniform() {
+		u := cond.ce.uni
+		return func(ex *exec2, mask []uint8) {
+			if u(ex) != 0 {
+				for _, f := range thenFns {
+					f(ex, mask)
+				}
+			} else {
+				for _, f := range elseFns {
+					f(ex, mask)
+				}
+			}
+		}, nil
+	}
+	hasThen, hasElse := len(thenFns) > 0, len(elseFns) > 0
+	if !hasThen && !hasElse {
+		// Branchless either way; the condition only matters for the trace
+		// records of any loads it contains.
+		if cm != nil {
+			if !cm.hasLoads {
+				return func(ex *exec2, mask []uint8) {}, nil
+			}
+			xg, yg := cm.xg, cm.yg
+			setups := cm.setups
+			return func(ex *exec2, mask []uint8) {
+				if !ex.tracing {
+					return
+				}
+				for _, f := range setups {
+					f(ex)
+				}
+				if xg != nil {
+					xg(ex)
+				}
+				if yg != nil {
+					yg(ex)
+				}
+			}, nil
+		}
+		get := cond.ce.get
+		return func(ex *exec2, mask []uint8) {
+			if !ex.tracing {
+				return
+			}
+			cond.prep(ex)
+			get(ex)
+		}, nil
+	}
+	if cm != nil {
+		bitsAll := cm.bitsAll
+		usePrefix := cm.prefixKind != 0 && !cm.hasLoads
+		return func(ex *exec2, mask []uint8) {
+			if usePrefix && ex.lid0Asc {
+				// lid0[i] == i, so the comparison holds on exactly the
+				// first cnt lanes; the threshold replaces the group scan.
+				// Operand evaluation is skipped: neither side can trace
+				// (no loads) and neither has side effects.
+				for _, f := range cm.setups {
+					f(ex)
+				}
+				t := cm.prefixU(ex)
+				var c float64
+				if cm.prefixKind == 1 {
+					c = math.Ceil(t) // #{i : i < t}
+				} else {
+					c = math.Floor(t) + 1 // #{i : i <= t}
+				}
+				cnt := 0
+				if c >= float64(ex.n) {
+					cnt = ex.n
+				} else if c > 0 { // NaN and negatives fall to 0
+					cnt = int(c)
+				}
+				var tm, em []uint8
+				nmasks := 0
+				if hasThen {
+					tm = ex.getM()
+					nmasks++
+				}
+				if hasElse {
+					em = ex.getM()
+					nmasks++
+				}
+				hb := ex.hi / laneW
+				fb := cnt / laneW
+				pr := tailMask(cnt % laneW)
+				// Without an else branch only prefix blocks matter; the
+				// unwritten tail of tm is never read (branch statements
+				// bound their scans by the shrunken hi). Tracing pins hi,
+				// so the branch then scans every block — write them all.
+				bt := hb
+				if !hasElse && !ex.tracing && fb+1 < bt {
+					bt = fb + 1
+				}
+				anyT, anyE := false, false
+				lastT, lastE := 0, 0
+				for b := 0; b < bt; b++ {
+					m := mask[b]
+					var nz uint8
+					if b < fb {
+						nz = 0xff
+					} else if b == fb {
+						nz = pr
+					}
+					if hasThen {
+						t := m & nz
+						tm[b] = t
+						if t != 0 {
+							anyT = true
+							lastT = b
+						}
+					}
+					if hasElse {
+						e := m &^ nz
+						em[b] = e
+						if e != 0 {
+							anyE = true
+							lastE = b
+						}
+					}
+				}
+				runBranches(ex, thenFns, elseFns, tm, em, anyT, anyE, lastT, lastE)
+				ex.putM(nmasks)
+				return
+			}
+			for _, f := range cm.setups {
+				f(ex)
+			}
+			// Operands evaluate whole-group in source order (x then y),
+			// exactly like the unfused comparison — same trace records.
+			var xs, ys []float64
+			var xu, yu float64
+			if cm.xg != nil {
+				xs = cm.xg(ex)
+			} else {
+				xu = cm.xu(ex)
+			}
+			if cm.yg != nil {
+				ys = cm.yg(ex)
+			} else {
+				yu = cm.yu(ex)
+			}
+			if cm.swap {
+				xs, ys = ys, xs
+				xu, yu = yu, xu
+			}
+			var tm, em []uint8
+			nmasks := 0
+			if hasThen {
+				tm = ex.getM()
+				nmasks++
+			}
+			if hasElse {
+				em = ex.getM()
+				nmasks++
+			}
+			// All active bits of mask sit below ex.hi, so blocks past hb
+			// contribute nothing; tm/em are only defined up to hb, which
+			// covers every consumer (child branches bound hi lower still).
+			hb := ex.hi / laneW
+			nzb := ex.nzbuf[:hb]
+			bitsAll(xs, ys, xu, yu, nzb)
+			anyT, anyE := false, false
+			lastT, lastE := 0, 0
+			neg := cm.neg
+			for b := 0; b < hb; b++ {
+				m := mask[b]
+				nz := nzb[b]
+				if neg {
+					nz = ^nz
+				}
+				if hasThen {
+					t := m & nz
+					tm[b] = t
+					if t != 0 {
+						anyT = true
+						lastT = b
+					}
+				}
+				if hasElse {
+					e := m &^ nz
+					em[b] = e
+					if e != 0 {
+						anyE = true
+						lastE = b
+					}
+				}
+			}
+			runBranches(ex, thenFns, elseFns, tm, em, anyT, anyE, lastT, lastE)
+			ex.putM(nmasks)
+		}, nil
+	}
+	get := cond.ce.get
+	return func(ex *exec2, mask []uint8) {
+		cond.prep(ex)
+		cs := get(ex)
+		var tm, em []uint8
+		nmasks := 0
+		if hasThen {
+			tm = ex.getM()
+			nmasks++
+		}
+		if hasElse {
+			em = ex.getM()
+			nmasks++
+		}
+		anyT, anyE := false, false
+		lastT, lastE := 0, 0
+		hb := ex.hi / laneW
+		for b := 0; b < hb; b++ {
+			m := mask[b]
+			var nz uint8
+			if m != 0 {
+				nz = nzMask(blk(cs, b))
+			}
+			if hasThen {
+				t := m & nz
+				tm[b] = t
+				if t != 0 {
+					anyT = true
+					lastT = b
+				}
+			}
+			if hasElse {
+				e := m &^ nz
+				em[b] = e
+				if e != 0 {
+					anyE = true
+					lastE = b
+				}
+			}
+		}
+		runBranches(ex, thenFns, elseFns, tm, em, anyT, anyE, lastT, lastE)
+		ex.putM(nmasks)
+	}, nil
+}
+
+// runBranches executes the taken branches of a divergent If, bounding
+// expression evaluation to each branch's active lane prefix (traced runs
+// keep hi pinned: traced loads record all real lanes).
+func runBranches(ex *exec2, thenFns, elseFns []stmt2Fn, tm, em []uint8, anyT, anyE bool, lastT, lastE int) {
+	savedHi := ex.hi
+	if anyT {
+		if !ex.tracing {
+			ex.hi = (lastT + 1) * laneW
+		}
+		for _, f := range thenFns {
+			f(ex, tm)
+		}
+		ex.hi = savedHi
+	}
+	if anyE {
+		if !ex.tracing {
+			ex.hi = (lastE + 1) * laneW
+		}
+		for _, f := range elseFns {
+			f(ex, em)
+		}
+		ex.hi = savedHi
+	}
+}
+
+func (c2 *compiler2) compileFor2(s For) (stmt2Fn, error) {
+	start, err := c2.compileRoot(s.Start)
+	if err != nil {
+		return nil, err
+	}
+	end, err := c2.compileRoot(s.End)
+	if err != nil {
+		return nil, err
+	}
+	step, err := c2.compileRoot(s.Step)
+	if err != nil {
+		return nil, err
+	}
+	bodyFns, err := c2.compileStmts2(s.Body)
+	if err != nil {
+		return nil, err
+	}
+	name := s.Var
+	if c2.uniformVar[s.Var] {
+		// Uniform loop: scalar control flow, identical to v1.
+		uslot := c2.uslot[s.Var]
+		su, eu, tu := start.ce.uni, end.ce.uni, step.ce.uni
+		return func(ex *exec2, mask []uint8) {
+			v := math.Trunc(su(ex))
+			ex.uvals[uslot] = v
+			for iter := 0; ; iter++ {
+				if iter >= maxLoopIter {
+					ex.fail("loop over %s exceeded %d iterations", name, maxLoopIter)
+				}
+				if !(v < eu(ex)) {
+					break
+				}
+				for _, f := range bodyFns {
+					f(ex, mask)
+				}
+				v = math.Trunc(v + tu(ex))
+				ex.uvals[uslot] = v
+			}
+		}, nil
+	}
+	// Divergent loop: per-lane trip counts under a narrowing bitmask.
+	slot := c2.vslot[s.Var]
+	return func(ex *exec2, mask []uint8) {
+		v := ex.vals[slot]
+
+		// Start: masked truncating write.
+		start.prep(ex)
+		hb := ex.hi / laneW
+		if su := start.ce.uni; su != nil {
+			x := math.Trunc(su(ex))
+			if ex.isFull(mask) {
+				for i := range v {
+					v[i] = x
+				}
+			} else {
+				for b := 0; b < hb; b++ {
+					if m := mask[b]; m != 0 {
+						selSplat(blk(v, b), x, m)
+					}
+				}
+			}
+		} else {
+			sv := start.ce.get(ex)
+			for b := 0; b < hb; b++ {
+				if m := mask[b]; m != 0 {
+					selWriteI(blk(v, b), blk(sv, b), m)
+				}
+			}
+		}
+
+		lm := ex.getM()
+		copy(lm, mask)
+		savedHi := ex.hi
+		for iter := 0; ; iter++ {
+			if iter >= maxLoopIter {
+				ex.fail("loop over %s exceeded %d iterations", name, maxLoopIter)
+			}
+			// Condition: evaluate End for the whole group (tracing its
+			// loads), narrow the mask to lanes still below the bound.
+			end.prep(ex)
+			live := false
+			lastL := 0
+			// lm's live blocks all sit below the current bound: at entry it
+			// copies mask (live bits < hi), and each narrowing pass only
+			// keeps bits it visited.
+			hb = ex.hi / laneW
+			if eu := end.ce.uni; eu != nil {
+				e := eu(ex)
+				for b := 0; b < hb; b++ {
+					m := lm[b]
+					if m == 0 {
+						continue
+					}
+					vb := blk(v, b)
+					var lt uint8
+					for i := 0; i < laneW; i++ {
+						if vb[i] < e {
+							lt |= 1 << uint(i)
+						}
+					}
+					nm := m & lt
+					lm[b] = nm
+					if nm != 0 {
+						live = true
+						lastL = b
+					}
+				}
+			} else {
+				es := end.ce.get(ex)
+				for b := 0; b < hb; b++ {
+					m := lm[b]
+					if m == 0 {
+						continue
+					}
+					eb, vb := blk(es, b), blk(v, b)
+					var lt uint8
+					for i := 0; i < laneW; i++ {
+						if vb[i] < eb[i] {
+							lt |= 1 << uint(i)
+						}
+					}
+					nm := m & lt
+					lm[b] = nm
+					if nm != 0 {
+						live = true
+						lastL = b
+					}
+				}
+			}
+			if !live {
+				break
+			}
+			// Bound evaluation to the live lane prefix for the body and
+			// step; the next condition only tests still-live lanes, so the
+			// shrunken bound carries over soundly.
+			if !ex.tracing {
+				ex.hi = (lastL + 1) * laneW
+			}
+			for _, f := range bodyFns {
+				f(ex, lm)
+			}
+			// Step: masked v = Trunc(v + step).
+			step.prep(ex)
+			sb := ex.hi / laneW
+			if tu := step.ce.uni; tu != nil {
+				t := tu(ex)
+				for b := 0; b < sb; b++ {
+					if m := lm[b]; m != 0 {
+						selStepU(blk(v, b), t, m)
+					}
+				}
+			} else {
+				ts := step.ce.get(ex)
+				for b := 0; b < sb; b++ {
+					if m := lm[b]; m != 0 {
+						selStepV(blk(v, b), blk(ts, b), m)
+					}
+				}
+			}
+		}
+		ex.hi = savedHi
+		ex.putM(1)
+	}, nil
+}
+
+// ---- fused index plans ----
+
+// plan2 is the engine-v2 form of idxPlan (see compile.go for the
+// bit-exactness argument). When bkd is set the base is already scaled —
+// either a per-group baked slab (basePlan2) or a raw gid/lid view whose
+// Trunc and *1 are identities — so j = int(base[i] + off); otherwise
+// j = int(Trunc(src[i])*scale + off). off2, when present, replaces off
+// and is always truncated, exactly like v1.
+type plan2 struct {
+	base  func(*exec2) []float64
+	bkd   bool
+	scale func(*exec2) float64 // nil: 1 (only meaningful when !bkd)
+	off   func(*exec2) float64 // nil: 0
+	off2  func(*exec2) []float64
+}
+
+func (p *plan2) setup(ex *exec2) (s []float64, bkd bool, a, o float64, s2 []float64) {
+	s = p.base(ex)
+	bkd = p.bkd
+	a, o = 1, 0
+	if p.scale != nil {
+		a = p.scale(ex)
+	}
+	if p.off != nil {
+		o = p.off(ex)
+	}
+	if p.off2 != nil {
+		s2 = p.off2(ex)
+	}
+	return
+}
+
+// planJ computes one lane's index; formulas are v1's, with the Trunc/*1
+// dropped only where they are identities (pre-scaled or integral bases).
+// The uniform offset and second source may now coexist: every term is
+// integral (Trunc'd leaves; sums and products of integral floats stay
+// integral), so the regrouped sum is exact wherever the nested AddI/MulI
+// chain is — the shared 2^53 caveat of all index plans.
+func planJ(s, s2 []float64, i int, bkd bool, a, o float64) int {
+	v := o
+	if s2 != nil {
+		v += math.Trunc(s2[i])
+	}
+	if bkd {
+		return int(s[i] + v)
+	}
+	return int(math.Trunc(s[i])*a + v)
+}
+
+// planSrc2Of returns a per-lane slab view for source-leaf expressions.
+func (c2 *compiler2) planSrc2Of(e Expr) (view func(*exec2) []float64, isID bool, fn IDFunc, dim int) {
+	switch v := e.(type) {
+	case VarRef:
+		if !c2.uniformVar[v.Name] {
+			if slot, ok := c2.vslot[v.Name]; ok {
+				return func(ex *exec2) []float64 { return ex.vals[slot] }, false, 0, 0
+			}
+		}
+	case ID:
+		if v.Dim >= 0 && v.Dim <= 2 {
+			d := v.Dim
+			switch v.Fn {
+			case GlobalID:
+				return func(ex *exec2) []float64 { return ex.gid[d] }, true, GlobalID, d
+			case LocalID:
+				return func(ex *exec2) []float64 { return ex.lid[d] }, true, LocalID, d
+			}
+		}
+	}
+	return nil, false, 0, 0
+}
+
+// bakeSafe reports whether a uniform scale expression can move to group
+// start: it must read only constants, scalar params and launch geometry —
+// uniform variables (ex.uvals) and loads change during the group body.
+func bakeSafe(e Expr) bool {
+	safe := true
+	walkExpr(e, func(e Expr) {
+		switch e.(type) {
+		case VarRef, Load, LocalLoad:
+			safe = false
+		}
+	})
+	return safe
+}
+
+// planScalar stages a plan scale/offset: Trunc'd once per root evaluation
+// (v1 Truncs in idxPlan.setup, same frequency and values).
+func (c2 *compiler2) planScalar(ce cexpr2) func(*exec2) float64 {
+	if ce.isConst {
+		v := math.Trunc(ce.cval)
+		return func(*exec2) float64 { return v }
+	}
+	u := ce.uni
+	os := c2.allocStash()
+	c2.setups = append(c2.setups, func(ex *exec2) { ex.ustash[os] = math.Trunc(u(ex)) })
+	return func(ex *exec2) float64 { return ex.ustash[os] }
+}
+
+// registerBase dedups baked gather bases by id source + scale print.
+func (c2 *compiler2) registerBase(fn IDFunc, dim int, scaleE Expr, scale uni2Fn) int {
+	key := fmt.Sprintf("%v.%d|%s", fn, dim, FormatExpr(scaleE))
+	if pi, ok := c2.baseKeys[key]; ok {
+		return pi
+	}
+	pi := len(c2.p.bases)
+	c2.p.bases = append(c2.p.bases, basePlan2{fn: fn, dim: dim, scale: scale})
+	c2.baseKeys[key] = pi
+	return pi
+}
+
+// plan2Of matches e against fusable affine index shapes. It flattens a
+// nested AddI tree into at most one scaled source (Trunc(src)*scale,
+// distributing the scale over one inner uniform+source AddI), one
+// unscaled second source, and any number of uniform addends, then emits
+// the plan2 formula. Every regrouping step is over integral terms
+// (AddI/MulI Trunc their operands, and sums/products of integral floats
+// stay integral), so the flattened sum matches the nested chain exactly
+// wherever that chain itself is exact (below 2^53 — the shared caveat of
+// all index plans, v1's included).
+func (c2 *compiler2) plan2Of(e Expr) *plan2 {
+	uniOf := func(e Expr) (cexpr2, bool) {
+		if !c2.exprUniform(e) {
+			return cexpr2{}, false
+		}
+		ce, err := c2.compileExpr2(e, 0)
+		if err != nil || ce.uni == nil {
+			return cexpr2{}, false
+		}
+		return ce, true
+	}
+	// srcPart carries a matched source with its optional scale.
+	type srcPart struct {
+		view  func(*exec2) []float64
+		isID  bool
+		fn    IDFunc
+		dim   int
+		scale *cexpr2
+		scalE Expr
+	}
+	// mulOf matches src*uniform products. A (uniform + src)*uniform
+	// product distributes: Trunc((u+s)*k) = Trunc(u)*Trunc(k) +
+	// Trunc(s)*Trunc(k) exactly (all integral), returning the u*k part as
+	// an extra uniform addend.
+	mulOf := func(e Expr) (*srcPart, *cexpr2) {
+		b, ok := e.(Bin)
+		if !ok || b.Op != MulI {
+			return nil, nil
+		}
+		match := func(x, y Expr) (*srcPart, *cexpr2) {
+			u, ok := uniOf(y)
+			if !ok {
+				return nil, nil
+			}
+			if view, isID, fn, dim := c2.planSrc2Of(x); view != nil {
+				return &srcPart{view: view, isID: isID, fn: fn, dim: dim, scale: &u, scalE: y}, nil
+			}
+			if ab, ok := x.(Bin); ok && ab.Op == AddI {
+				dist := func(ue, se Expr) (*srcPart, *cexpr2) {
+					u2, ok := uniOf(ue)
+					if !ok {
+						return nil, nil
+					}
+					view, isID, fn, dim := c2.planSrc2Of(se)
+					if view == nil {
+						return nil, nil
+					}
+					return &srcPart{view: view, isID: isID, fn: fn, dim: dim, scale: &u, scalE: y}, &u2
+				}
+				if sp, ex := dist(ab.X, ab.Y); sp != nil {
+					return sp, ex
+				}
+				return dist(ab.Y, ab.X)
+			}
+			return nil, nil
+		}
+		if sp, ex := match(b.X, b.Y); sp != nil {
+			return sp, ex
+		}
+		return match(b.Y, b.X)
+	}
+
+	// Flatten the AddI tree into the affine accumulator.
+	var sp *srcPart
+	var spExtra *cexpr2 // distributed uniform addend, still to be scaled
+	var s2 func(*exec2) []float64
+	var uterms []cexpr2
+	ok := true
+	var add func(Expr)
+	add = func(e Expr) {
+		if !ok {
+			return
+		}
+		if u, isU := uniOf(e); isU {
+			uterms = append(uterms, u)
+			return
+		}
+		if b, isB := e.(Bin); isB && b.Op == AddI {
+			add(b.X)
+			add(b.Y)
+			return
+		}
+		if m, extra := mulOf(e); m != nil {
+			if sp != nil {
+				if sp.scale != nil || s2 != nil {
+					ok = false // at most one scaled and one unscaled source
+					return
+				}
+				s2 = sp.view // demote the earlier unscaled source
+			}
+			sp, spExtra = m, extra
+			return
+		}
+		if view, isID, fn, dim := c2.planSrc2Of(e); view != nil {
+			switch {
+			case sp == nil:
+				sp = &srcPart{view: view, isID: isID, fn: fn, dim: dim}
+			case s2 == nil:
+				s2 = view
+			default:
+				ok = false
+			}
+			return
+		}
+		ok = false
+	}
+	add(e)
+	if !ok || sp == nil {
+		return nil
+	}
+
+	p := &plan2{off2: s2}
+	switch {
+	case sp.scale == nil:
+		// Unscaled: raw view. Ids are integral and v1's *1 is exact for
+		// every float64, so the pre-scaled fast path applies to id
+		// sources; VarRef slots can hold non-integral F32 values, so
+		// they stay on the trunc path with scale 1.
+		if sp.isID {
+			p.base, p.bkd = sp.view, true
+		} else {
+			p.base = sp.view
+		}
+	case sp.isID && bakeSafe(sp.scalE):
+		pi := c2.registerBase(sp.fn, sp.dim, sp.scalE, sp.scale.uni)
+		p.base = func(ex *exec2) []float64 { return ex.bases[pi] }
+		p.bkd = true
+	default:
+		p.base = sp.view
+		p.scale = c2.planScalar(*sp.scale)
+	}
+	var offFns []func(*exec2) float64
+	for _, u := range uterms {
+		offFns = append(offFns, c2.planScalar(u))
+	}
+	if spExtra != nil {
+		uf := c2.planScalar(*spExtra)
+		sf := c2.planScalar(*sp.scale)
+		offFns = append(offFns, func(ex *exec2) float64 { return uf(ex) * sf(ex) })
+	}
+	switch len(offFns) {
+	case 0:
+	case 1:
+		p.off = offFns[0]
+	default:
+		fns := offFns
+		p.off = func(ex *exec2) float64 {
+			v := 0.0
+			for _, f := range fns {
+				v += f(ex)
+			}
+			return v
+		}
+	}
+	return p
+}
+
+// simpleLocalGather recognizes the hot fusable shape: a LocalLoad whose
+// index is pre-scaled-base + scalar-offset (or a bare source view, which
+// is the same with offset 0 — identical through int()). Local loads are
+// trace-free, so fusing them into arithmetic loops cannot perturb the
+// trace stream.
+func (c2 *compiler2) simpleLocalGather(e Expr) (li int, base func(*exec2) []float64, off func(*exec2) float64, ok bool) {
+	ll, isLL := e.(LocalLoad)
+	if !isLL {
+		return 0, nil, nil, false
+	}
+	li, found := c2.locIdx[ll.Arr]
+	if !found {
+		return 0, nil, nil, false
+	}
+	if c2.exprUniform(ll.Index) {
+		return 0, nil, nil, false
+	}
+	if p := c2.plan2Of(ll.Index); p != nil {
+		if p.bkd && p.off2 == nil {
+			off = p.off
+			if off == nil {
+				off = func(*exec2) float64 { return 0 }
+			}
+			return li, p.base, off, true
+		}
+		return 0, nil, nil, false
+	}
+	if view, _, _, _ := c2.planSrc2Of(ll.Index); view != nil {
+		return li, view, func(*exec2) float64 { return 0 }, true
+	}
+	return 0, nil, nil, false
+}
+
+// ---- expression lowering ----
+
+func (c2 *compiler2) compileExpr2(e Expr, d int) (cexpr2, error) {
+	switch e := e.(type) {
+	case ConstFloat:
+		return const2(F32, e.V), nil
+	case ConstInt:
+		return const2(I32, float64(e.V)), nil
+	case VarRef:
+		if c2.uniformVar[e.Name] {
+			slot, ok := c2.uslot[e.Name]
+			if !ok {
+				return cexpr2{}, c2.errf("read of undefined variable %q", e.Name)
+			}
+			return cexpr2{ty: e.Ty, uni: func(ex *exec2) float64 { return ex.uvals[slot] }}, nil
+		}
+		slot, ok := c2.vslot[e.Name]
+		if !ok {
+			return cexpr2{}, c2.errf("read of undefined variable %q", e.Name)
+		}
+		return cexpr2{
+			ty:    e.Ty,
+			isSrc: true,
+			get:   func(ex *exec2) []float64 { return ex.vals[slot] },
+		}, nil
+	case ParamRef:
+		idx, ok := c2.scalIdx[e.Name]
+		if !ok {
+			return cexpr2{}, c2.errf("read of unbound scalar parameter %q", e.Name)
+		}
+		return cexpr2{ty: e.Ty, uni: func(ex *exec2) float64 { return ex.scalars[idx] }}, nil
+	case ID:
+		return c2.compileID2(e)
+	case Bin:
+		return c2.compileBin2(e, d)
+	case Call:
+		return c2.compileCall2(e, d)
+	case Load:
+		return c2.compileLoad2(e, d)
+	case LocalLoad:
+		return c2.compileLocalLoad2(e, d)
+	case Select:
+		return c2.compileSelect2(e, d)
+	case ToFloat:
+		x, err := c2.compileExpr2(e.X, d)
+		if err != nil {
+			return cexpr2{}, err
+		}
+		x.ty = F32
+		return x, nil
+	case ToInt:
+		x, err := c2.compileExpr2(e.X, d+1)
+		if err != nil {
+			return cexpr2{}, err
+		}
+		if x.isConst {
+			return const2(I32, math.Trunc(x.cval)), nil
+		}
+		if x.uniform() {
+			u := x.uni
+			return cexpr2{ty: I32, uni: func(ex *exec2) float64 { return math.Trunc(u(ex)) }}, nil
+		}
+		xg := x.get
+		c2.touchReg(d)
+		return cexpr2{ty: I32, get: func(ex *exec2) []float64 {
+			xs := xg(ex)
+			out := ex.regs[d][:ex.hi]
+			xs = xs[:len(out)]
+			for i := range out {
+				out[i] = math.Trunc(xs[i])
+			}
+			return out
+		}}, nil
+	default:
+		return cexpr2{}, c2.errf("unknown expression %T", e)
+	}
+}
+
+func (c2 *compiler2) compileID2(e ID) (cexpr2, error) {
+	d := e.Dim
+	if d < 0 || d > 2 {
+		return cexpr2{}, c2.errf("%s dimension %d out of range", e.Fn, d)
+	}
+	switch e.Fn {
+	case GlobalID:
+		return cexpr2{ty: I32, isSrc: true,
+			get: func(ex *exec2) []float64 { return ex.gid[d] }}, nil
+	case LocalID:
+		return cexpr2{ty: I32, isSrc: true,
+			get: func(ex *exec2) []float64 { return ex.lid[d] }}, nil
+	case GroupID:
+		return cexpr2{ty: I32, uni: func(ex *exec2) float64 { return ex.grp[d] }}, nil
+	case GlobalSize:
+		return cexpr2{ty: I32, uni: func(ex *exec2) float64 { return ex.gsz[d] }}, nil
+	case LocalSize:
+		return cexpr2{ty: I32, uni: func(ex *exec2) float64 { return ex.lsz[d] }}, nil
+	case NumGroups:
+		return cexpr2{ty: I32, uni: func(ex *exec2) float64 { return ex.ngr[d] }}, nil
+	}
+	return cexpr2{}, c2.errf("unknown id function %v", e.Fn)
+}
+
+func (c2 *compiler2) compileBin2(e Bin, d int) (cexpr2, error) {
+	if !e.Op.Valid() {
+		return cexpr2{}, c2.errf("unknown binary operator %v in %s", e.Op, FormatExpr(e))
+	}
+	// FMA peephole: AddF/SubF over a MulF child fuses into one pass. Only
+	// the four non-commuted shapes are rewritten — float add is not
+	// NaN-payload-commutative, so operand sides are preserved exactly.
+	if e.Op == AddF || e.Op == SubF {
+		if m, ok := e.X.(Bin); ok && m.Op == MulF {
+			return c2.compileFMA2(m.X, m.Y, e.Y, true, e.Op == SubF, d)
+		}
+		if m, ok := e.Y.(Bin); ok && m.Op == MulF {
+			return c2.compileFMA2(m.X, m.Y, e.X, false, e.Op == SubF, d)
+		}
+	}
+	// Fused uniform×local-gather multiply (the binomial hot shape): one
+	// pass instead of gather + scalar-operand multiply.
+	if e.Op == MulF {
+		if c2.exprUniform(e.X) {
+			if li, base, off, ok := c2.simpleLocalGather(e.Y); ok {
+				xce, err := c2.compileExpr2(e.X, 0)
+				if err != nil {
+					return cexpr2{}, err
+				}
+				xf := c2.uniVal(xce)
+				c2.touchReg(d)
+				return cexpr2{ty: F32, get: func(ex *exec2) []float64 {
+					arr := ex.locals[li]
+					sb := base(ex)
+					o := off(ex)
+					xv := xf(ex)
+					out := ex.regs[d][:ex.hi]
+					sb = sb[:len(out)]
+					for i := range out {
+						var g float64
+						if j := int(sb[i] + o); uint(j) < uint(len(arr)) {
+							g = arr[j]
+						}
+						out[i] = xv * g
+					}
+					return out
+				}}, nil
+			}
+		} else if c2.exprUniform(e.Y) {
+			if li, base, off, ok := c2.simpleLocalGather(e.X); ok {
+				yce, err := c2.compileExpr2(e.Y, 0)
+				if err != nil {
+					return cexpr2{}, err
+				}
+				yf := c2.uniVal(yce)
+				c2.touchReg(d)
+				return cexpr2{ty: F32, get: func(ex *exec2) []float64 {
+					arr := ex.locals[li]
+					sb := base(ex)
+					o := off(ex)
+					yv := yf(ex)
+					out := ex.regs[d][:ex.hi]
+					sb = sb[:len(out)]
+					for i := range out {
+						var g float64
+						if j := int(sb[i] + o); uint(j) < uint(len(arr)) {
+							g = arr[j]
+						}
+						out[i] = g * yv
+					}
+					return out
+				}}, nil
+			}
+		}
+	}
+	x, err := c2.compileExpr2(e.X, d+1)
+	if err != nil {
+		return cexpr2{}, err
+	}
+	y, err := c2.compileExpr2(e.Y, d+2)
+	if err != nil {
+		return cexpr2{}, err
+	}
+	ty := e.Type()
+	op := e.Op
+	if x.isConst && y.isConst {
+		return const2(ty, binScalarOp(op)(x.cval, y.cval)), nil
+	}
+	if x.uniform() && y.uniform() {
+		f := binScalarOp(op)
+		xu, yu := x.uni, y.uni
+		return cexpr2{ty: ty, uni: func(ex *exec2) float64 {
+			return f(xu(ex), yu(ex))
+		}}, nil
+	}
+	c2.touchReg(d)
+	switch {
+	case x.uniform():
+		// The uniform side is trace-free, so evaluating it after the
+		// vector side is unobservable.
+		xf := c2.uniVal(x)
+		yg := y.get
+		return cexpr2{ty: ty, get: func(ex *exec2) []float64 {
+			ys := yg(ex)
+			out := ex.regs[d][:ex.hi]
+			evalBinSV(op, xf(ex), ys[:len(out)], out)
+			return out
+		}}, nil
+	case y.uniform():
+		yf := c2.uniVal(y)
+		xg := x.get
+		return cexpr2{ty: ty, get: func(ex *exec2) []float64 {
+			xs := xg(ex)
+			out := ex.regs[d][:ex.hi]
+			evalBinVS(op, xs[:len(out)], yf(ex), out)
+			return out
+		}}, nil
+	default:
+		xg, yg := x.get, y.get
+		return cexpr2{ty: ty, get: func(ex *exec2) []float64 {
+			xs := xg(ex)
+			ys := yg(ex)
+			out := ex.regs[d][:ex.hi]
+			evalBin(op, xs[:len(out)], ys[:len(out)], out)
+			return out
+		}}, nil
+	}
+}
+
+// compileFMA2 lowers AddF/SubF over MulF as a single pass. mulLeft tells
+// which side of the add/sub the product sat on; operand order inside the
+// product and around the add/sub is preserved exactly. The explicit
+// float64(a*b) conversion forces the product rounding the two-op form
+// performs, so the result is bit-identical to v1/oracle and the Go
+// compiler is forbidden from contracting it into a hardware FMA.
+//
+// Sub-expressions compile AND evaluate in source traversal order (c
+// first when the product is on the right) so trace records append in
+// the oracle's left-to-right load order. Register depths follow the
+// SAME order: an operand evaluated earlier gets a shallower register,
+// because later operands' subtrees use every depth below their own and
+// would clobber a deeper already-computed result.
+func (c2 *compiler2) compileFMA2(aE, bE, cE Expr, mulLeft, sub bool, d int) (cexpr2, error) {
+	// Probe the fused-gather shapes first: local gathers are trace-free,
+	// so fusing them away cannot perturb the trace stream.
+	liA, baseA, offA, gaOK := c2.simpleLocalGather(aE)
+	liB, baseB, offB, gbOK := c2.simpleLocalGather(bE)
+	aUni, bUni := c2.exprUniform(aE), c2.exprUniform(bE)
+
+	// Depths in evaluation order: a,b,c for mulLeft; c,a,b otherwise.
+	da, db, dc := d+1, d+2, d+3
+	if !mulLeft {
+		dc, da, db = d+1, d+2, d+3
+	}
+	var a, b, cc cexpr2
+	var err error
+	compileC := func() bool {
+		cc, err = c2.compileExpr2(cE, dc)
+		return err == nil
+	}
+	compileA := func() bool {
+		a, err = c2.compileExpr2(aE, da)
+		return err == nil
+	}
+	compileB := func() bool {
+		b, err = c2.compileExpr2(bE, db)
+		return err == nil
+	}
+
+	// Hot fused forms: gather×gather (matmul accumulate) and
+	// uniform×gather (binomial lattice step), all local and trace-free.
+	// Out-of-bounds gather lanes read 0 — such lanes are never observable
+	// (see the don't-care invariant in compile.go's plan comment).
+	if gaOK && gbOK {
+		if !compileC() {
+			return cexpr2{}, err
+		}
+		cg := c2.asGet(cc, dc)
+		c2.touchReg(d)
+		return cexpr2{ty: F32, get: func(ex *exec2) []float64 {
+			la, lb := ex.locals[liA], ex.locals[liB]
+			sa, sb := baseA(ex), baseB(ex)
+			oa, ob := offA(ex), offB(ex)
+			cs := cg(ex)
+			out := ex.regs[d][:ex.hi]
+			sa, sb, cs = sa[:len(out)], sb[:len(out)], cs[:len(out)]
+			for i := range out {
+				var va, vb float64
+				if j := int(sa[i] + oa); uint(j) < uint(len(la)) {
+					va = la[j]
+				}
+				if j := int(sb[i] + ob); uint(j) < uint(len(lb)) {
+					vb = lb[j]
+				}
+				out[i] = fmaCombine(va, vb, cs[i], mulLeft, sub)
+			}
+			return out
+		}, intoF: func(ex *exec2, dst []float64) {
+			// cs may alias dst (acc = gather*gather + acc): lane i reads
+			// cs[i] before writing dst[i], so the aliasing is harmless.
+			la, lb := ex.locals[liA], ex.locals[liB]
+			sa, sb := baseA(ex), baseB(ex)
+			oa, ob := offA(ex), offB(ex)
+			cs := cg(ex)
+			sa, sb, cs = sa[:len(dst)], sb[:len(dst)], cs[:len(dst)]
+			for i := range dst {
+				var va, vb float64
+				if j := int(sa[i] + oa); uint(j) < uint(len(la)) {
+					va = la[j]
+				}
+				if j := int(sb[i] + ob); uint(j) < uint(len(lb)) {
+					vb = lb[j]
+				}
+				dst[i] = float64(float32(fmaCombine(va, vb, cs[i], mulLeft, sub)))
+			}
+		}}, nil
+	}
+	if aUni && gbOK {
+		if mulLeft {
+			if !compileA() || !compileC() {
+				return cexpr2{}, err
+			}
+		} else if !compileC() || !compileA() {
+			return cexpr2{}, err
+		}
+		af := c2.uniVal(a)
+		cg := c2.asGet(cc, dc)
+		c2.touchReg(d)
+		return cexpr2{ty: F32, get: func(ex *exec2) []float64 {
+			lb := ex.locals[liB]
+			sb := baseB(ex)
+			ob := offB(ex)
+			av := af(ex)
+			cs := cg(ex)
+			out := ex.regs[d][:ex.hi]
+			sb, cs = sb[:len(out)], cs[:len(out)]
+			for i := range out {
+				var vb float64
+				if j := int(sb[i] + ob); uint(j) < uint(len(lb)) {
+					vb = lb[j]
+				}
+				out[i] = fmaCombine(av, vb, cs[i], mulLeft, sub)
+			}
+			return out
+		}, intoF: func(ex *exec2, dst []float64) {
+			lb := ex.locals[liB]
+			sb := baseB(ex)
+			ob := offB(ex)
+			av := af(ex)
+			cs := cg(ex)
+			sb, cs = sb[:len(dst)], cs[:len(dst)]
+			for i := range dst {
+				var vb float64
+				if j := int(sb[i] + ob); uint(j) < uint(len(lb)) {
+					vb = lb[j]
+				}
+				dst[i] = float64(float32(fmaCombine(av, vb, cs[i], mulLeft, sub)))
+			}
+		}}, nil
+	}
+	if gaOK && bUni {
+		if mulLeft {
+			if !compileB() || !compileC() {
+				return cexpr2{}, err
+			}
+		} else if !compileC() || !compileB() {
+			return cexpr2{}, err
+		}
+		bf := c2.uniVal(b)
+		cg := c2.asGet(cc, dc)
+		c2.touchReg(d)
+		return cexpr2{ty: F32, get: func(ex *exec2) []float64 {
+			la := ex.locals[liA]
+			sa := baseA(ex)
+			oa := offA(ex)
+			bv := bf(ex)
+			cs := cg(ex)
+			out := ex.regs[d][:ex.hi]
+			sa, cs = sa[:len(out)], cs[:len(out)]
+			for i := range out {
+				var va float64
+				if j := int(sa[i] + oa); uint(j) < uint(len(la)) {
+					va = la[j]
+				}
+				out[i] = fmaCombine(va, bv, cs[i], mulLeft, sub)
+			}
+			return out
+		}, intoF: func(ex *exec2, dst []float64) {
+			la := ex.locals[liA]
+			sa := baseA(ex)
+			oa := offA(ex)
+			bv := bf(ex)
+			cs := cg(ex)
+			sa, cs = sa[:len(dst)], cs[:len(dst)]
+			for i := range dst {
+				var va float64
+				if j := int(sa[i] + oa); uint(j) < uint(len(la)) {
+					va = la[j]
+				}
+				dst[i] = float64(float32(fmaCombine(va, bv, cs[i], mulLeft, sub)))
+			}
+		}}, nil
+	}
+
+	// Generic single pass: compile in traversal order.
+	if mulLeft {
+		if !compileA() || !compileB() || !compileC() {
+			return cexpr2{}, err
+		}
+	} else if !compileC() || !compileA() || !compileB() {
+		return cexpr2{}, err
+	}
+	addOp := AddF
+	if sub {
+		addOp = SubF
+	}
+	if a.isConst && b.isConst && cc.isConst {
+		m := binScalarOp(MulF)(a.cval, b.cval)
+		f := binScalarOp(addOp)
+		if mulLeft {
+			return const2(F32, f(m, cc.cval)), nil
+		}
+		return const2(F32, f(cc.cval, m)), nil
+	}
+	if a.uniform() && b.uniform() && cc.uniform() {
+		au, bu, cu := a.uni, b.uni, cc.uni
+		switch {
+		case mulLeft && !sub:
+			return cexpr2{ty: F32, uni: func(ex *exec2) float64 { return float64(au(ex)*bu(ex)) + cu(ex) }}, nil
+		case mulLeft:
+			return cexpr2{ty: F32, uni: func(ex *exec2) float64 { return float64(au(ex)*bu(ex)) - cu(ex) }}, nil
+		case !sub:
+			return cexpr2{ty: F32, uni: func(ex *exec2) float64 { return cu(ex) + float64(au(ex)*bu(ex)) }}, nil
+		default:
+			return cexpr2{ty: F32, uni: func(ex *exec2) float64 { return cu(ex) - float64(au(ex)*bu(ex)) }}, nil
+		}
+	}
+	ag := c2.asGet(a, da)
+	bg := c2.asGet(b, db)
+	cg := c2.asGet(cc, dc)
+	c2.touchReg(d)
+	return cexpr2{ty: F32, get: func(ex *exec2) []float64 {
+		var as, bs, cs []float64
+		if mulLeft {
+			as, bs, cs = ag(ex), bg(ex), cg(ex)
+		} else {
+			cs = cg(ex)
+			as, bs = ag(ex), bg(ex)
+		}
+		out := ex.regs[d][:ex.hi]
+		as, bs, cs = as[:len(out)], bs[:len(out)], cs[:len(out)]
+		for i := range out {
+			out[i] = fmaCombine(as[i], bs[i], cs[i], mulLeft, sub)
+		}
+		return out
+	}}, nil
+}
+
+// fmaCombine is the peephole's lane body; mulLeft/sub are compile-time
+// constants at every call site, so the branches predict perfectly.
+func fmaCombine(a, b, c float64, mulLeft, sub bool) float64 {
+	m := float64(a * b) // explicit conversion: rounds the product, never contracted
+	if mulLeft {
+		if sub {
+			return m - c
+		}
+		return m + c
+	}
+	if sub {
+		return c - m
+	}
+	return c + m
+}
+
+func (c2 *compiler2) compileCall2(e Call, d int) (cexpr2, error) {
+	if len(e.Args) != e.Fn.NumArgs() {
+		return cexpr2{}, c2.errf("%s expects %d args, got %d", e.Fn, e.Fn.NumArgs(), len(e.Args))
+	}
+	if e.Fn == FMA {
+		a, err := c2.compileExpr2(e.Args[0], d+1)
+		if err != nil {
+			return cexpr2{}, err
+		}
+		b, err := c2.compileExpr2(e.Args[1], d+2)
+		if err != nil {
+			return cexpr2{}, err
+		}
+		cc, err := c2.compileExpr2(e.Args[2], d+3)
+		if err != nil {
+			return cexpr2{}, err
+		}
+		if a.isConst && b.isConst && cc.isConst {
+			return const2(F32, a.cval*b.cval+cc.cval), nil
+		}
+		if a.uniform() && b.uniform() && cc.uniform() {
+			au, bu, cu := a.uni, b.uni, cc.uni
+			return cexpr2{ty: F32, uni: func(ex *exec2) float64 {
+				return au(ex)*bu(ex) + cu(ex)
+			}}, nil
+		}
+		// The FMA builtin keeps the oracle's exact expression shape
+		// (a*b + c, no conversion) for bit-identity on every platform.
+		ag := c2.asGet(a, d+1)
+		bg := c2.asGet(b, d+2)
+		cg := c2.asGet(cc, d+3)
+		c2.touchReg(d)
+		return cexpr2{ty: F32, get: func(ex *exec2) []float64 {
+			as := ag(ex)
+			bs := bg(ex)
+			cs := cg(ex)
+			out := ex.regs[d][:ex.hi]
+			as, bs, cs = as[:len(out)], bs[:len(out)], cs[:len(out)]
+			for i := range out {
+				out[i] = as[i]*bs[i] + cs[i]
+			}
+			return out
+		}}, nil
+	}
+	f := builtinScalarOp(e.Fn)
+	if f == nil {
+		return cexpr2{}, c2.errf("unknown builtin %v", e.Fn)
+	}
+	x, err := c2.compileExpr2(e.Args[0], d+1)
+	if err != nil {
+		return cexpr2{}, err
+	}
+	if x.isConst {
+		return const2(F32, f(x.cval)), nil
+	}
+	if x.uniform() {
+		u := x.uni
+		return cexpr2{ty: F32, uni: func(ex *exec2) float64 { return f(u(ex)) }}, nil
+	}
+	fn := e.Fn
+	xg := x.get
+	c2.touchReg(d)
+	return cexpr2{ty: F32, get: func(ex *exec2) []float64 {
+		xs := xg(ex)
+		out := ex.regs[d][:ex.hi]
+		builtinVec(fn, xs[:len(out)], out)
+		return out
+	}}, nil
+}
+
+func (c2 *compiler2) compileLoad2(e Load, d int) (cexpr2, error) {
+	bi, ok := c2.bufIdx[e.Buf]
+	if !ok {
+		return cexpr2{}, c2.errf("load from unbound buffer %q", e.Buf)
+	}
+	size := c2.bufElem[e.Buf].Size()
+	c2.touchReg(d)
+	if c2.exprUniform(e.Index) {
+		ice, err := c2.compileExpr2(e.Index, 0)
+		if err != nil {
+			return cexpr2{}, err
+		}
+		jf := c2.uniVal(ice)
+		// Uniform index: one read, splat; the oracle traces the identical
+		// record once per (real) lane — and returns before tracing when
+		// the index is out of range, leaving lanes untouched.
+		return cexpr2{ty: e.Elem, get: func(ex *exec2) []float64 {
+			buf := ex.bufs[bi]
+			out := ex.regs[d][:ex.hi]
+			j := int(jf(ex))
+			if j < 0 || j >= len(buf.Data) {
+				return out
+			}
+			v := buf.Data[j]
+			for i := range out {
+				out[i] = v
+			}
+			if ex.tracing {
+				a := Access{Addr: buf.Addr(j), Size: size}
+				for n := ex.n; n > 0; n-- {
+					ex.tb = append(ex.tb, a)
+				}
+			}
+			return out
+		}}, nil
+	}
+	if p := c2.plan2Of(e.Index); p != nil {
+		return cexpr2{ty: e.Elem, get: func(ex *exec2) []float64 {
+			buf := ex.bufs[bi]
+			data := buf.Data
+			s, bkd, a, o, s2 := p.setup(ex)
+			out := ex.regs[d][:ex.hi]
+			if ex.tracing {
+				for i := 0; i < ex.n; i++ {
+					j := planJ(s, s2, i, bkd, a, o)
+					if j < 0 || j >= len(data) {
+						continue
+					}
+					out[i] = data[j]
+					ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: size})
+				}
+			} else {
+				s = s[:len(out)]
+				for i := range out {
+					j := planJ(s, s2, i, bkd, a, o)
+					if uint(j) < uint(len(data)) {
+						out[i] = data[j]
+					}
+				}
+			}
+			return out
+		}}, nil
+	}
+	ice, err := c2.compileExpr2(e.Index, d+1)
+	if err != nil {
+		return cexpr2{}, err
+	}
+	ig := ice.get
+	return cexpr2{ty: e.Elem, get: func(ex *exec2) []float64 {
+		buf := ex.bufs[bi]
+		data := buf.Data
+		is := ig(ex)
+		out := ex.regs[d][:ex.hi]
+		if ex.tracing {
+			for i := 0; i < ex.n; i++ {
+				j := int(is[i])
+				if j < 0 || j >= len(data) {
+					continue
+				}
+				out[i] = data[j]
+				ex.tb = append(ex.tb, Access{Addr: buf.Addr(j), Size: size})
+			}
+		} else {
+			is = is[:len(out)]
+			for i := range out {
+				j := int(is[i])
+				if uint(j) < uint(len(data)) {
+					out[i] = data[j]
+				}
+			}
+		}
+		return out
+	}}, nil
+}
+
+func (c2 *compiler2) compileLocalLoad2(e LocalLoad, d int) (cexpr2, error) {
+	li, ok := c2.locIdx[e.Arr]
+	if !ok {
+		return cexpr2{}, c2.errf("load from undeclared local array %q", e.Arr)
+	}
+	c2.touchReg(d)
+	// Local loads never trace (hazard mode is oracle-only), so every path
+	// here is a plain gather over all padded lanes.
+	if c2.exprUniform(e.Index) {
+		ice, err := c2.compileExpr2(e.Index, 0)
+		if err != nil {
+			return cexpr2{}, err
+		}
+		jf := c2.uniVal(ice)
+		return cexpr2{ty: e.Elem, get: func(ex *exec2) []float64 {
+			arr := ex.locals[li]
+			out := ex.regs[d][:ex.hi]
+			j := int(jf(ex))
+			if j < 0 || j >= len(arr) {
+				return out
+			}
+			v := arr[j]
+			for i := range out {
+				out[i] = v
+			}
+			return out
+		}}, nil
+	}
+	if p := c2.plan2Of(e.Index); p != nil {
+		return cexpr2{ty: e.Elem, get: func(ex *exec2) []float64 {
+			arr := ex.locals[li]
+			s, bkd, a, o, s2 := p.setup(ex)
+			out := ex.regs[d][:ex.hi]
+			s = s[:len(out)]
+			for i := range out {
+				j := planJ(s, s2, i, bkd, a, o)
+				if uint(j) < uint(len(arr)) {
+					out[i] = arr[j]
+				}
+			}
+			return out
+		}}, nil
+	}
+	ice, err := c2.compileExpr2(e.Index, d+1)
+	if err != nil {
+		return cexpr2{}, err
+	}
+	ig := ice.get
+	return cexpr2{ty: e.Elem, get: func(ex *exec2) []float64 {
+		arr := ex.locals[li]
+		is := ig(ex)
+		out := ex.regs[d][:ex.hi]
+		is = is[:len(out)]
+		for i := range out {
+			j := int(is[i])
+			if uint(j) < uint(len(arr)) {
+				out[i] = arr[j]
+			}
+		}
+		return out
+	}}, nil
+}
+
+func (c2 *compiler2) compileSelect2(e Select, d int) (cexpr2, error) {
+	cnd, err := c2.compileExpr2(e.Cond, d+1)
+	if err != nil {
+		return cexpr2{}, err
+	}
+	thn, err := c2.compileExpr2(e.Then, d+2)
+	if err != nil {
+		return cexpr2{}, err
+	}
+	els, err := c2.compileExpr2(e.Else, d+3)
+	if err != nil {
+		return cexpr2{}, err
+	}
+	ty := e.Then.Type()
+	if cnd.isConst && thn.isConst && els.isConst {
+		if cnd.cval != 0 {
+			return const2(ty, thn.cval), nil
+		}
+		return const2(ty, els.cval), nil
+	}
+	if cnd.uniform() && thn.uniform() && els.uniform() {
+		cu, tu, eu := cnd.uni, thn.uni, els.uni
+		// All three arms evaluate, like the oracle (Select is branchless).
+		return cexpr2{ty: ty, uni: func(ex *exec2) float64 {
+			cv := cu(ex)
+			tv := tu(ex)
+			ev := eu(ex)
+			if cv != 0 {
+				return tv
+			}
+			return ev
+		}}, nil
+	}
+	cg := c2.asGet(cnd, d+1)
+	tg := c2.asGet(thn, d+2)
+	eg := c2.asGet(els, d+3)
+	c2.touchReg(d)
+	return cexpr2{ty: ty, get: func(ex *exec2) []float64 {
+		cs := cg(ex)
+		ts := tg(ex)
+		fs := eg(ex)
+		out := ex.regs[d][:ex.hi]
+		cs, ts, fs = cs[:len(out)], ts[:len(out)], fs[:len(out)]
+		for i := range out {
+			if cs[i] != 0 {
+				out[i] = ts[i]
+			} else {
+				out[i] = fs[i]
+			}
+		}
+		return out
+	}}, nil
+}

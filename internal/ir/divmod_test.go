@@ -1,0 +1,102 @@
+package ir
+
+// Pinned DivI/ModI semantics (see the BinOp docs in ir.go): zero
+// divisors yield 0, negative quotients truncate toward zero, remainders
+// take the dividend's sign, and a fractional divisor that truncates to
+// zero divides anyway (±Inf / NaN). The corpus kernel below hits every
+// case — including zero divisors on lanes that are masked OFF, which
+// both engines still evaluate group-wide and must not trap on — and all
+// three executors must agree bit-for-bit.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDivModIntSemantics(t *testing.T) {
+	const n = 8
+	num := []float64{7, -7, 7, -7, 5, 0, -5, 3}
+	den := []float64{2, 2, -2, -2, 0, 0, 0.5, 0.5}
+
+	// The expected values, lane by lane (f32 rounding is exact here).
+	wantQ := []float64{3, -3, -3, 3, 0, 0, math.Inf(-1), math.Inf(1)}
+	wantR := []float64{1, -1, 1, -1, 0, 0, math.NaN(), math.NaN()}
+
+	k := &Kernel{
+		Name:    "divmod",
+		WorkDim: 1,
+		Params:  []Param{Buf("num"), Buf("den"), Buf("q"), Buf("r"), Buf("m")},
+		Body: []Stmt{
+			StoreF("q", Gid(0), Divi(LoadF("num", Gid(0)), LoadF("den", Gid(0)))),
+			StoreF("r", Gid(0), Modi(LoadF("num", Gid(0)), LoadF("den", Gid(0)))),
+			// Divergent branch: only lanes 0..3 store, but the division is
+			// evaluated for the whole group — the zero divisors on the
+			// inactive lanes 4..5 must quietly produce 0, not a trap.
+			If{
+				Cond: Bin{Op: LtI, X: Lid(0), Y: I(4)},
+				Then: []Stmt{
+					StoreF("m", Gid(0), Divi(LoadF("num", Gid(0)), LoadF("den", Gid(0)))),
+				},
+			},
+		},
+	}
+
+	mk := func() *Args {
+		a := NewArgs()
+		nb := NewBufferF32("num", n)
+		db := NewBufferF32("den", n)
+		for i := 0; i < n; i++ {
+			nb.Set(i, num[i])
+			db.Set(i, den[i])
+		}
+		return a.Bind("num", nb).Bind("den", db).
+			Bind("q", NewBufferF32("q", n)).
+			Bind("r", NewBufferF32("r", n)).
+			Bind("m", NewBufferF32("m", n))
+	}
+	nd := Range1D(n, n)
+
+	oracle := mk()
+	if err := ExecRangeOracle(k, oracle, nd, ExecOptions{}); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	eq := func(a, b float64) bool {
+		return a == b || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	for i := 0; i < n; i++ {
+		if got := oracle.Buffers["q"].Get(i); !eq(got, wantQ[i]) {
+			t.Errorf("q[%d] = %v, want %v", i, got, wantQ[i])
+		}
+		if got := oracle.Buffers["r"].Get(i); !eq(got, wantR[i]) {
+			t.Errorf("r[%d] = %v, want %v", i, got, wantR[i])
+		}
+		wm := 0.0
+		if i < 4 {
+			wm = wantQ[i]
+		}
+		if got := oracle.Buffers["m"].Get(i); !eq(got, wm) {
+			t.Errorf("m[%d] = %v, want %v", i, got, wm)
+		}
+	}
+
+	for _, eng := range []struct {
+		name string
+		sel  EngineSel
+	}{{"v1", EngineV1}, {"v2", EngineV2}} {
+		for _, par := range []int{0, 4} {
+			args := mk()
+			if err := ExecRange(k, args, nd, ExecOptions{Engine: eng.sel, Parallel: par}); err != nil {
+				t.Fatalf("%s parallel=%d: %v", eng.name, par, err)
+			}
+			for _, buf := range []string{"q", "r", "m"} {
+				for i := 0; i < n; i++ {
+					g, w := args.Buffers[buf].Get(i), oracle.Buffers[buf].Get(i)
+					if !eq(g, w) {
+						t.Errorf("%s parallel=%d: %s[%d] = %v, oracle %v",
+							eng.name, par, buf, i, g, w)
+					}
+				}
+			}
+		}
+	}
+}

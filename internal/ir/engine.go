@@ -211,3 +211,11 @@ func (ex *engineExec) runGroup(g int) (err error) {
 	}
 	return nil
 }
+
+// runTraced implements the traced-runner contract used by exec.go's
+// serial and parallel trace drivers.
+func (ex *engineExec) runTraced(g int, buf []Access) ([]Access, error) {
+	ex.tb = buf[:0]
+	err := ex.runGroup(g)
+	return ex.tb, err
+}

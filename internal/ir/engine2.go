@@ -1,0 +1,343 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Engine v2: lane-batched SIMD-style execution.
+//
+// The v1 closure engine (compile.go/engine.go) evaluates one lane-vector
+// op per closure call with per-element loops over group-sized scratch
+// slices, testing a bool mask per lane. Engine v2 restructures execution
+// the way the paper's Figures 10-11 describe the Intel OpenCL compiler
+// vectorizing across workitems:
+//
+//   - structure-of-arrays storage: every per-lane value (variable slots,
+//     gid/lid tables, expression registers) is a flat float64 slab padded
+//     to a whole number of fixed-width lane blocks (laneW = 8), so every
+//     op is one closure call running unconditional flat loops — no
+//     per-lane mask branches and no scratch-pool bookkeeping;
+//   - lane masks are one bit per lane ([]uint8, one byte per 8-lane
+//     block) with tail bits permanently zero, so divergent If/For masking
+//     is bit arithmetic and masked assignment is a branchless bitwise
+//     select over (*vreg) block views;
+//   - expressions evaluate into a compile-time depth-allocated register
+//     file (exec2.regs), with a fused multiply-add peephole and fused
+//     local-gather loops collapsing the hot accumulate shapes into a
+//     single pass;
+//   - affine gather plans precompute Trunc(src)*scale once per group into
+//     base slabs (exec2.bases), hoisting the per-lane address arithmetic
+//     out of For bodies.
+//
+// Execution remains statement-level lockstep: all lanes of a group move
+// through the same statement together, so barriers, __local semantics
+// and the oracle's trace order are preserved exactly. Because each op
+// evaluates the whole group in one call, trace records append to ex.tb
+// in op-major order directly — the oracle's stream shape — with no
+// reordering buffers. Differential tests assert byte-identical buffers
+// and identical trace streams against ExecRangeOracle.
+
+// laneW is the fixed lane-block width. Eight float64 lanes fill a cache
+// line and match one AVX-512 register / two AVX registers, the shape the
+// paper's CPU vectorizer targets.
+const laneW = 8
+
+// vreg is one lane block: the unit of masked writes. Flat slabs convert
+// to block views via (*vreg)(slab[b*laneW:]).
+type vreg [laneW]float64
+
+// exec2 is the per-worker runtime state of engine v2. One exec2 executes
+// workgroups sequentially; a parallel launch creates one per worker. All
+// kernel-shape data lives in the shared immutable program2.
+type exec2 struct {
+	prog *program2
+	nd   NDRange
+	n    int // workitems per group
+	nb   int // lane blocks per group (ceil(n/laneW))
+	np   int // padded lanes (nb*laneW); slab length
+	tail int // valid lanes in the last block (1..laneW)
+
+	// lid0Asc reports lid0[i] == i (1D local shape), which makes
+	// get_local_id(0) monotone ascending within the group: comparisons
+	// against a uniform bound then collapse to prefix masks.
+	lid0Asc bool
+
+	// hi is the active lane bound: expression evaluation runs over
+	// lanes [0, hi). Divergent If/For shrink it to the last active
+	// block of their branch mask (untraced runs only — traced loads
+	// record all real lanes, so tracing pins hi at np). Lanes in
+	// [hi, np) keep stale register values, which is safe because
+	// registers are transient per statement and persistent slots only
+	// change under mask bits, all of which are below hi.
+	hi int
+
+	gid [3][]float64 // per-lane global ids, rewritten per group (pads: group base)
+	lid [3][]float64 // per-lane local ids, launch-invariant (pads: 0)
+	grp [3]float64
+	gsz [3]float64
+	lsz [3]float64
+	ngr [3]float64
+
+	vals  [][]float64 // per-lane variable slots [slot][padded lane]
+	uvals []float64   // per-group (uniform) variable slots
+
+	// regs is the expression register file: compile-time depth-allocated
+	// slabs that expression nodes evaluate into. regs[d] holds the value
+	// of the node at depth d; operands of one node use strictly deeper
+	// registers, so sibling subtrees never collide.
+	regs [][]float64
+	// ustash holds per-evaluation uniform values (gather offsets, scalar
+	// operands): root setup thunks write it once per statement execution
+	// so hot loops read a float instead of re-walking a uniform tree.
+	ustash []float64
+	// bases holds the per-group precomputed gather bases, one slab per
+	// program2.bases plan: bases[p][i] = src[i] * Trunc(scale).
+	bases [][]float64
+
+	bufs    []*Buffer
+	scalars []float64
+	locals  [][]float64
+
+	// nzbuf is scratch for fused comparison masks: one cmpAll* call per
+	// divergent If fills it before the combine loop reads it.
+	nzbuf []uint8
+
+	// rootMask is the group's full mask: 0xff per block, tail bits zero.
+	// Derived masks come from mpool and always AND with their parent, so
+	// pad-lane bits can never become active.
+	rootMask []uint8
+	mpool    [][]uint8
+	mpoolNxt int
+
+	// tracing enables access buffering: ops append to tb as they
+	// evaluate, which is already the oracle's op-major order because each
+	// op processes the whole group per call. barSeq is the running
+	// group's barrier ordinal, recorded in KindBarrier markers.
+	tracing bool
+	tb      []Access
+	barSeq  int64
+}
+
+func newExec2(prog *program2, args *Args, nd NDRange, tracing bool) *exec2 {
+	n := nd.GroupItems()
+	nb := (n + laneW - 1) / laneW
+	np := nb * laneW
+	ex := &exec2{prog: prog, nd: nd, n: n, nb: nb, np: np, tail: n - (nb-1)*laneW, hi: np, tracing: tracing}
+	lx, ly := nd.Local[0], nd.Local[1]
+	if lx == 0 {
+		lx = 1
+	}
+	if ly == 0 {
+		ly = 1
+	}
+	for d := 0; d < 3; d++ {
+		ex.gid[d] = make([]float64, np)
+		ex.lid[d] = make([]float64, np)
+	}
+	for i := 0; i < n; i++ {
+		ex.lid[0][i] = float64(i % lx)
+		ex.lid[1][i] = float64((i / lx) % ly)
+		ex.lid[2][i] = float64(i / (lx * ly))
+	}
+	ex.lid0Asc = n <= lx
+	counts := nd.GroupCounts()
+	for d := 0; d < 3; d++ {
+		ex.gsz[d] = float64(max(nd.Global[d], 1))
+		ex.lsz[d] = float64(max(nd.Local[d], 1))
+		ex.ngr[d] = float64(counts[d])
+	}
+
+	ex.vals = make([][]float64, prog.nvslots)
+	for i := range ex.vals {
+		ex.vals[i] = make([]float64, np)
+	}
+	ex.uvals = make([]float64, prog.nuslots)
+	ex.regs = make([][]float64, prog.nregs)
+	for i := range ex.regs {
+		ex.regs[i] = make([]float64, np)
+	}
+	ex.ustash = make([]float64, prog.nstash)
+	ex.bases = make([][]float64, len(prog.bases))
+	for i := range ex.bases {
+		ex.bases[i] = make([]float64, np)
+	}
+
+	ex.bufs = make([]*Buffer, len(prog.buffers))
+	for i, name := range prog.buffers {
+		ex.bufs[i] = args.Buffers[name]
+	}
+	ex.scalars = make([]float64, len(prog.scalars))
+	for i, name := range prog.scalars {
+		ex.scalars[i] = args.Scalars[name]
+	}
+	ex.locals = make([][]float64, len(prog.locals))
+
+	ex.nzbuf = make([]uint8, nb)
+	ex.rootMask = make([]uint8, nb)
+	for b := range ex.rootMask {
+		ex.rootMask[b] = 0xff
+	}
+	ex.rootMask[nb-1] = tailMask(ex.tail)
+	return ex
+}
+
+// tailMask returns the mask byte with the low `lanes` bits set.
+func tailMask(lanes int) uint8 { return uint8(1<<uint(lanes)) - 1 }
+
+func (ex *exec2) getM() []uint8 {
+	if ex.mpoolNxt < len(ex.mpool) {
+		m := ex.mpool[ex.mpoolNxt]
+		ex.mpoolNxt++
+		return m
+	}
+	m := make([]uint8, ex.nb)
+	ex.mpool = append(ex.mpool, m)
+	ex.mpoolNxt++
+	return m
+}
+
+func (ex *exec2) putM(n int) { ex.mpoolNxt -= n }
+
+// isFull reports whether mask is the shared root mask (identity check,
+// like engineExec.isFull: divergent constructs always allocate fresh
+// masks and nb >= 1).
+func (ex *exec2) isFull(mask []uint8) bool {
+	return &mask[0] == &ex.rootMask[0]
+}
+
+func (ex *exec2) fail(format string, args ...any) {
+	panic(execError{fmt.Errorf("ir: kernel %s: "+format, append([]any{ex.prog.name}, args...)...)})
+}
+
+// activeCount counts the active lanes of a mask.
+func (ex *exec2) activeCount(mask []uint8) int {
+	if ex.isFull(mask) {
+		return ex.n
+	}
+	n := 0
+	for _, m := range mask {
+		n += bits.OnesCount8(m)
+	}
+	return n
+}
+
+func anyMask(mask []uint8) bool {
+	for _, m := range mask {
+		if m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// localSize evaluates a __local array size with lane-0 semantics,
+// matching the oracle's uniformInt (which evaluates all lanes and reads
+// lane 0, tracing any loads).
+func (ex *exec2) localSize(pl *progLocal2) int64 {
+	r := &pl.size
+	if r.ce.uni != nil {
+		return int64(r.ce.uni(ex))
+	}
+	r.prep(ex)
+	return int64(r.ce.get(ex)[0])
+}
+
+// runGroup executes workgroup g. When tracing, accesses accumulate in
+// ex.tb (the caller resets and flushes it); a failed group's buffer is
+// never flushed.
+func (ex *exec2) runGroup(g int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ee, ok := r.(execError); ok {
+				err = ee.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	// A panic mid-statement leaves mask claims partially made; reset so a
+	// worker that continues past a failed group (parallel tracing drains
+	// every group) starts clean. Barrier ordinals restart per group.
+	ex.mpoolNxt = 0
+	ex.barSeq = 0
+	ex.hi = ex.np
+
+	coord := ex.nd.GroupCoord(g)
+	for d := 0; d < 3; d++ {
+		base := float64(coord[d] * max(ex.nd.Local[d], 1))
+		lids := ex.lid[d]
+		gids := ex.gid[d]
+		for i := range gids {
+			gids[i] = base + lids[i]
+		}
+		ex.grp[d] = float64(coord[d])
+	}
+
+	// Precompute the per-group gather bases: src * Trunc(scale). Sources
+	// are gid/lid tables (integral), so the Trunc(src) of the unfused
+	// formula is the identity and the product is bit-identical.
+	for pi := range ex.prog.bases {
+		bp := &ex.prog.bases[pi]
+		a := math.Trunc(bp.scale(ex))
+		src := ex.idTable(bp.fn, bp.dim)
+		dst := ex.bases[pi]
+		for i := range dst {
+			dst[i] = src[i] * a
+		}
+	}
+
+	// Zero the per-group uniform slots unconditionally (tiny), and only
+	// the per-lane slots liveness could not prove write-before-read.
+	for i := range ex.uvals {
+		ex.uvals[i] = 0
+	}
+	for _, s := range ex.prog.zeroSlots {
+		v := ex.vals[s]
+		for i := range v {
+			v[i] = 0
+		}
+	}
+
+	// (Re)initialize local arrays: fresh per group, like OpenCL __local.
+	for li := range ex.prog.locals {
+		pl := &ex.prog.locals[li]
+		size := ex.localSize(pl)
+		if size < 0 || size > 1<<28 {
+			ex.fail("local array %s has invalid size %d", pl.name, size)
+		}
+		arr := ex.locals[li]
+		if int64(len(arr)) != size {
+			arr = make([]float64, size)
+			ex.locals[li] = arr
+		}
+		for i := range arr {
+			arr[i] = 0
+		}
+	}
+
+	// The root mask is always full: NDRange.Validate requires the local
+	// size to divide the global size (see engineExec.runGroup).
+	mask := ex.rootMask
+	for _, f := range ex.prog.body {
+		f(ex, mask)
+	}
+	return nil
+}
+
+// idTable returns the gid or lid table for a base plan source.
+func (ex *exec2) idTable(fn IDFunc, dim int) []float64 {
+	if fn == GlobalID {
+		return ex.gid[dim]
+	}
+	return ex.lid[dim]
+}
+
+// runTraced implements the traced-runner contract used by exec.go's
+// serial and parallel trace drivers.
+func (ex *exec2) runTraced(g int, buf []Access) ([]Access, error) {
+	ex.tb = buf[:0]
+	err := ex.runGroup(g)
+	return ex.tb, err
+}

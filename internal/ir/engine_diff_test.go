@@ -1,12 +1,16 @@
 package ir
 
-// Differential testing of the closure-compiled engine against the retained
-// tree-walking oracle (ExecRangeOracle): on the randomized fuzz corpus the
-// two must produce byte-identical buffers AND identical traced access
-// streams — serially and in parallel, with and without batch delivery. The
-// parallel variants exercise the buffered in-order flush under -race.
+// Differential testing of both execution engines (v1 closure-compiled,
+// v2 lane-batched) against the retained tree-walking oracle
+// (ExecRangeOracle): on the randomized fuzz corpus each engine must
+// produce byte-identical buffers AND identical traced access streams —
+// serially and in parallel, with and without batch delivery, at a local
+// size that is a multiple of the v2 lane width and one that leaves a
+// partial tail block. The parallel variants exercise the buffered
+// in-order flush under -race.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -106,7 +110,6 @@ func TestEngineMatchesOracle(t *testing.T) {
 	const (
 		kernelsToTry = 40
 		n            = 96
-		local        = 16
 	)
 	rng := rand.New(rand.NewSource(4205))
 	gen := &kernelGen{rng: rng, inBufs: []string{"in0", "in1"}, n: n}
@@ -128,41 +131,52 @@ func TestEngineMatchesOracle(t *testing.T) {
 			}
 			proto.Bind(name, buf)
 		}
-		nd := Range1D(n, local)
 
-		oracleArgs := cloneArgsDeep(proto)
-		oracleTr := &recTracer{}
-		if err := ExecRangeOracle(k, oracleArgs, nd, ExecOptions{Tracer: oracleTr}); err != nil {
-			t.Fatalf("trial %d: oracle: %v\n%s", trial, err, Format(k))
-		}
+		// local 16 fills whole lane blocks; local 12 leaves a 4-lane tail
+		// block, exercising v2's tail masking on every statement.
+		for _, local := range []int{16, 12} {
+			nd := Range1D(n, local)
 
-		runs := []struct {
-			label string
-			opts  func(Tracer) ExecOptions
-			tr    interface {
-				Tracer
-				events() []traceEvent
+			oracleArgs := cloneArgsDeep(proto)
+			oracleTr := &recTracer{}
+			if err := ExecRangeOracle(k, oracleArgs, nd, ExecOptions{Tracer: oracleTr}); err != nil {
+				t.Fatalf("trial %d: oracle: %v\n%s", trial, err, Format(k))
 			}
-		}{
-			{"engine serial", func(tr Tracer) ExecOptions { return ExecOptions{Tracer: tr} }, &evTracer{}},
-			{"engine parallel", func(tr Tracer) ExecOptions { return ExecOptions{Tracer: tr, Parallel: 8} }, &evTracer{}},
-			{"engine parallel batch", func(tr Tracer) ExecOptions { return ExecOptions{Tracer: tr, Parallel: 8} }, &evBatchTracer{}},
-		}
-		for _, run := range runs {
-			args := cloneArgsDeep(proto)
-			if err := ExecRange(k, args, nd, run.opts(run.tr)); err != nil {
-				t.Fatalf("trial %d: %s: %v\n%s", trial, run.label, err, Format(k))
-			}
-			diffArgs(t, run.label, args, oracleArgs, k)
-			diffTrace(t, run.label, run.tr.events(), oracleTr.log, k)
-		}
 
-		// Untraced parallel run must also match buffers.
-		args := cloneArgsDeep(proto)
-		if err := ExecRange(k, args, nd, ExecOptions{Parallel: 8}); err != nil {
-			t.Fatalf("trial %d: engine untraced: %v\n%s", trial, err, Format(k))
+			for _, eng := range []struct {
+				name string
+				sel  EngineSel
+			}{{"v1", EngineV1}, {"v2", EngineV2}} {
+				runs := []struct {
+					label string
+					opts  func(Tracer) ExecOptions
+					tr    interface {
+						Tracer
+						events() []traceEvent
+					}
+				}{
+					{"serial", func(tr Tracer) ExecOptions { return ExecOptions{Tracer: tr, Engine: eng.sel} }, &evTracer{}},
+					{"parallel", func(tr Tracer) ExecOptions { return ExecOptions{Tracer: tr, Parallel: 8, Engine: eng.sel} }, &evTracer{}},
+					{"parallel batch", func(tr Tracer) ExecOptions { return ExecOptions{Tracer: tr, Parallel: 8, Engine: eng.sel} }, &evBatchTracer{}},
+				}
+				for _, run := range runs {
+					label := fmt.Sprintf("%s local%d %s", eng.name, local, run.label)
+					args := cloneArgsDeep(proto)
+					if err := ExecRange(k, args, nd, run.opts(run.tr)); err != nil {
+						t.Fatalf("trial %d: %s: %v\n%s", trial, label, err, Format(k))
+					}
+					diffArgs(t, label, args, oracleArgs, k)
+					diffTrace(t, label, run.tr.events(), oracleTr.log, k)
+				}
+
+				// Untraced parallel run must also match buffers.
+				args := cloneArgsDeep(proto)
+				if err := ExecRange(k, args, nd, ExecOptions{Parallel: 8, Engine: eng.sel}); err != nil {
+					t.Fatalf("trial %d: %s untraced: %v\n%s", trial, eng.name, err, Format(k))
+				}
+				diffArgs(t, eng.name+" untraced parallel", args, oracleArgs, k)
+			}
 		}
-		diffArgs(t, "engine untraced parallel", args, oracleArgs, k)
 	}
 }
 
@@ -203,14 +217,17 @@ func TestEngineTraceSampledGroups(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	args := cloneArgsDeep(proto)
-	tr := &recTracer{}
-	if err := ExecRange(k, args, Range1D(n, local),
-		ExecOptions{Tracer: tr, Groups: sel, Parallel: 4}); err != nil {
-		t.Fatal(err)
+	for _, eng := range []EngineSel{EngineV1, EngineV2} {
+		args := cloneArgsDeep(proto)
+		tr := &recTracer{}
+		if err := ExecRange(k, args, Range1D(n, local),
+			ExecOptions{Tracer: tr, Groups: sel, Parallel: 4, Engine: eng}); err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("sampled engine=%d", eng)
+		diffArgs(t, label, args, oracleArgs, k)
+		diffTrace(t, label, tr.log, oracleTr.log, k)
 	}
-	diffArgs(t, "sampled", args, oracleArgs, k)
-	diffTrace(t, "sampled", tr.log, oracleTr.log, k)
 }
 
 // TestEngineErrorMatchesOracle: a kernel that fails in a late group must
@@ -249,12 +266,14 @@ func TestEngineErrorMatchesOracle(t *testing.T) {
 		}
 	}
 
-	for _, par := range []int{0, 8} {
-		tr := &recTracer{}
-		err := ExecRange(k, mk(), Range1D(n, local), ExecOptions{Tracer: tr, Parallel: par})
-		if err == nil || err.Error() != oracleErr.Error() {
-			t.Fatalf("parallel=%d: error %v, oracle %v", par, err, oracleErr)
+	for _, eng := range []EngineSel{EngineV1, EngineV2} {
+		for _, par := range []int{0, 8} {
+			tr := &recTracer{}
+			err := ExecRange(k, mk(), Range1D(n, local), ExecOptions{Tracer: tr, Parallel: par, Engine: eng})
+			if err == nil || err.Error() != oracleErr.Error() {
+				t.Fatalf("engine=%d parallel=%d: error %v, oracle %v", eng, par, err, oracleErr)
+			}
+			diffTrace(t, fmt.Sprintf("failing engine=%d", eng), tr.log, prefix, k)
 		}
-		diffTrace(t, "failing", tr.log, prefix, k)
 	}
 }

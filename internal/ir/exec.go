@@ -84,6 +84,21 @@ type MarkTracer interface {
 	Mark(rec Access)
 }
 
+// EngineSel selects which compiled execution engine ExecRange uses.
+type EngineSel uint8
+
+const (
+	// EngineAuto picks the default engine (currently v2, the lane-batched
+	// SIMD-style engine).
+	EngineAuto EngineSel = iota
+	// EngineV1 forces the PR-4 closure engine (one lane-vector op per
+	// closure call). Kept selectable for differential testing and A/B
+	// benchmarking.
+	EngineV1
+	// EngineV2 forces the lane-batched engine (engine2.go/compile2.go).
+	EngineV2
+)
+
 // ExecOptions controls functional execution of an NDRange.
 type ExecOptions struct {
 	// Parallel is the number of concurrent workers executing workgroups.
@@ -104,6 +119,10 @@ type ExecOptions struct {
 	// supports it (the compiled engine fuses accesses and cannot attribute
 	// lanes); ExecRange rejects it.
 	Hazards bool
+	// Engine selects the execution engine. Both engines are bitwise
+	// identical (buffers and trace streams) to ExecRangeOracle; they
+	// differ only in speed.
+	Engine EngineSel
 }
 
 // GroupCounts returns the number of workgroups in each dimension.
@@ -153,9 +172,21 @@ func ExecRange(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
 	if opts.Hazards {
 		return fmt.Errorf("ir: ExecRange %s: hazard tracing requires ExecRangeOracle", k.Name)
 	}
-	prog, err := compiledProgram(k)
-	if err != nil {
-		return err
+	// Compile for the selected engine; both caches are digest-keyed and
+	// single-flight. newEngine constructs one per-worker runner.
+	var newEngine func(tracing bool) engineRunner
+	if opts.Engine == EngineV1 {
+		prog, err := compiledProgram(k)
+		if err != nil {
+			return err
+		}
+		newEngine = func(tracing bool) engineRunner { return newEngineExec(prog, args, nd, tracing) }
+	} else {
+		prog, err := compiledProgram2(k)
+		if err != nil {
+			return err
+		}
+		newEngine = func(tracing bool) engineRunner { return newExec2(prog, args, nd, tracing) }
 	}
 	if err := checkArgs(k, args); err != nil {
 		return err
@@ -172,13 +203,13 @@ func ExecRange(k *Kernel, args *Args, nd NDRange, opts ExecOptions) error {
 
 	if opts.Tracer != nil {
 		if workers <= 1 || ngroups == 1 {
-			return runTracedSerial(prog, args, nd, opts, ngroups)
+			return runTracedSerial(newEngine, opts, ngroups)
 		}
-		return runTracedParallel(prog, args, nd, opts, ngroups, workers)
+		return runTracedParallel(newEngine, opts, ngroups, workers)
 	}
 
 	run := func(lo, hi int) error {
-		ex := newEngineExec(prog, args, nd, false)
+		ex := newEngine(false)
 		for g := lo; g < hi; g++ {
 			if opts.Groups != nil && !opts.Groups(g) {
 				continue
@@ -245,22 +276,37 @@ func flushGroup(tr Tracer, bt BatchTracer, mt MarkTracer, g int, recs []Access) 
 	}
 }
 
+// engineRunner is the per-worker execution surface shared by both
+// compiled engines: untraced group execution, and traced execution into
+// a caller-recycled record buffer. The trace drivers below are engine-
+// agnostic; only construction (and compilation) differs.
+type engineRunner interface {
+	// runGroup executes workgroup g without touching the trace buffer.
+	runGroup(g int) error
+	// runTraced executes workgroup g, buffering its accesses into buf
+	// (reset to length 0 first) and returning the filled buffer. A failed
+	// group returns its partial buffer, which the caller must not flush.
+	runTraced(g int, buf []Access) ([]Access, error)
+}
+
 // runTracedSerial executes groups in order on one engine, flushing each
 // group's access buffer as soon as the group completes. A group that
 // fails flushes nothing (the launch is aborted anyway).
-func runTracedSerial(prog *program, args *Args, nd NDRange, opts ExecOptions, ngroups int) error {
+func runTracedSerial(newEngine func(tracing bool) engineRunner, opts ExecOptions, ngroups int) error {
 	bt, _ := opts.Tracer.(BatchTracer)
 	mt, _ := opts.Tracer.(MarkTracer)
-	ex := newEngineExec(prog, args, nd, true)
+	ex := newEngine(true)
+	var buf []Access
 	for g := 0; g < ngroups; g++ {
 		if opts.Groups != nil && !opts.Groups(g) {
 			continue
 		}
-		ex.tb = ex.tb[:0]
-		if err := ex.runGroup(g); err != nil {
+		recs, err := ex.runTraced(g, buf)
+		if err != nil {
 			return err
 		}
-		flushGroup(opts.Tracer, bt, mt, g, ex.tb)
+		flushGroup(opts.Tracer, bt, mt, g, recs)
+		buf = recs
 	}
 	return nil
 }
@@ -283,7 +329,7 @@ type tracedResult struct {
 // flushing stops — the tracer sees exactly the groups a serial run would
 // have completed before the failure — while remaining results are still
 // drained so no worker blocks.
-func runTracedParallel(prog *program, args *Args, nd NDRange, opts ExecOptions, ngroups, workers int) error {
+func runTracedParallel(newEngine func(tracing bool) engineRunner, opts ExecOptions, ngroups, workers int) error {
 	// Materialize the selected groups so workers and flusher agree on the
 	// dense sequence even under a sparse opts.Groups filter.
 	selected := make([]int, 0, ngroups)
@@ -314,16 +360,15 @@ func runTracedParallel(prog *program, args *Args, nd NDRange, opts ExecOptions, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ex := newEngineExec(prog, args, nd, true)
+			ex := newEngine(true)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(selected) {
 					return
 				}
 				buf := <-free
-				ex.tb = buf[:0]
-				err := ex.runGroup(selected[i])
-				results <- tracedResult{idx: i, g: selected[i], recs: ex.tb, err: err}
+				recs, err := ex.runTraced(selected[i], buf)
+				results <- tracedResult{idx: i, g: selected[i], recs: recs, err: err}
 			}
 		}()
 	}

@@ -151,11 +151,17 @@ func (g *kernelGen) intExpr(depth int) Expr {
 		}
 	}
 	x, y := g.intExpr(depth-1), g.intExpr(depth-1)
-	switch g.rng.Intn(3) {
+	switch g.rng.Intn(5) {
 	case 0:
 		return Addi(x, y)
 	case 1:
 		return Muli(x, Modi(y, I(4)))
+	case 2:
+		// Divisor may evaluate to zero: pins the engines to the defined
+		// DivI zero-divisor result (0) rather than a crash.
+		return Divi(x, Modi(y, I(3)))
+	case 3:
+		return Modi(x, Modi(Addi(y, I(1)), I(5)))
 	default:
 		return Modi(Addi(x, y), I(int64(3+g.rng.Intn(5))))
 	}
@@ -171,7 +177,7 @@ func (g *kernelGen) index() Expr {
 
 func (g *kernelGen) floatExpr(depth int) Expr {
 	if depth <= 0 || g.rng.Intn(4) == 0 {
-		switch g.rng.Intn(4) {
+		switch g.rng.Intn(8) {
 		case 0:
 			return F(float64(g.rng.Intn(64))/8 - 4)
 		case 1:
@@ -181,12 +187,19 @@ func (g *kernelGen) floatExpr(depth int) Expr {
 			return F(1.5)
 		case 2:
 			return LoadF(g.inBufs[g.rng.Intn(len(g.inBufs))], g.index())
+		case 3:
+			// Non-finite literals flow through inactive lanes, masked
+			// selects and Min/compare chains; both engines must agree
+			// bit-for-bit on where they propagate.
+			return F(math.NaN())
+		case 4:
+			return F(math.Inf(1 - 2*g.rng.Intn(2)))
 		default:
 			return ToFloat{X: g.intExpr(1)}
 		}
 	}
 	x, y := g.floatExpr(depth-1), g.floatExpr(depth-1)
-	switch g.rng.Intn(6) {
+	switch g.rng.Intn(7) {
 	case 0:
 		return Add(x, y)
 	case 1:
@@ -197,6 +210,10 @@ func (g *kernelGen) floatExpr(depth int) Expr {
 		return Bin{Op: MinF, X: x, Y: y}
 	case 4:
 		return Call1(Sqrt, Call1(Fabs, x))
+	case 5:
+		// Division by arbitrary values: zero denominators yield ±Inf/NaN
+		// and must round identically through f32 stores everywhere.
+		return Div(x, y)
 	default:
 		return Select{
 			Cond: Bin{Op: LtF, X: x, Y: y},
@@ -259,7 +276,9 @@ func (g *kernelGen) generate() *Kernel {
 	g.vars = nil
 	body := []Stmt{Set("v0", LoadF("in0", Gid(0)))}
 	g.addVar("v0")
-	body = append(body, g.stmts(2, 3+g.rng.Intn(4))...)
+	// Depth 3 nests divergence inside divergence (If within If/For within
+	// If), stressing mask-stack narrowing and v2's active-prefix bounds.
+	body = append(body, g.stmts(3, 3+g.rng.Intn(4))...)
 	body = append(body, StoreF("out", Gid(0), g.floatExpr(3)))
 	return &Kernel{
 		Name:    "fuzz",

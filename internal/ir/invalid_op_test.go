@@ -1,0 +1,83 @@
+package ir
+
+// Regression tests for corrupted-IR rejection. Out-of-range BinOp and
+// Builtin codes (possible only in hand-built or corrupted trees — the
+// parser can't produce them) used to slip through validation and reach
+// binScalarOp/evalBin, which evaluated every unknown operator to 0:
+// deterministic but silently wrong. They must now fail compilation in
+// both engines AND in the tree-walking oracle, with the offending
+// expression printed in the error for position.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvalidOpRejectedEverywhere(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    []Stmt
+		wantSub string
+	}{
+		{
+			name: "bad binop",
+			body: []Stmt{
+				StoreF("out", Gid(0), Bin{Op: BinOp(250), X: F(1), Y: F(2)}),
+			},
+			wantSub: "unknown binary operator",
+		},
+		{
+			name: "bad binop nested in branch",
+			body: []Stmt{
+				If{
+					Cond: Bin{Op: LtF, X: ToFloat{X: Gid(0)}, Y: F(4)},
+					Then: []Stmt{Set("v", Bin{Op: BinOp(99), X: F(1), Y: F(1)})},
+				},
+			},
+			wantSub: "unknown binary operator",
+		},
+		{
+			name: "bad builtin",
+			body: []Stmt{
+				StoreF("out", Gid(0), Call{Fn: Builtin(250), Args: []Expr{F(1)}}),
+			},
+			wantSub: "unknown builtin",
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			k := &Kernel{
+				Name:    "corrupt",
+				WorkDim: 1,
+				Params:  []Param{Buf("out")},
+				Body:    tc.body,
+			}
+			mk := func() *Args { return NewArgs().Bind("out", NewBufferF32("out", 8)) }
+			nd := Range1D(8, 8)
+
+			check := func(label string, err error) {
+				t.Helper()
+				if err == nil {
+					t.Fatalf("%s: corrupted kernel executed without error", label)
+				}
+				if !strings.Contains(err.Error(), tc.wantSub) {
+					t.Fatalf("%s: error %q does not mention %q", label, err, tc.wantSub)
+				}
+				// Positioned: the offending expression is printed.
+				if !strings.Contains(err.Error(), " in ") {
+					t.Fatalf("%s: error %q lacks the offending expression", label, err)
+				}
+				if !strings.Contains(err.Error(), "corrupt") {
+					t.Fatalf("%s: error %q lacks the kernel name", label, err)
+				}
+			}
+
+			check("engine v1", ExecRange(k, mk(), nd, ExecOptions{Engine: EngineV1}))
+			check("engine v2", ExecRange(k, mk(), nd, ExecOptions{Engine: EngineV2}))
+			check("oracle", ExecRangeOracle(k, mk(), nd, ExecOptions{}))
+			check("validate", Validate(k))
+		})
+	}
+}

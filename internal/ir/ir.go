@@ -47,6 +47,18 @@ type BinOp uint8
 
 // Binary operators. Integer and float variants are distinguished so the
 // analyzers can count flops separately from address arithmetic.
+//
+// DivI and ModI semantics are pinned (and differentially enforced across
+// both engines and the oracle):
+//
+//   - A divisor that is exactly 0 yields 0 — no trap, matching OpenCL C
+//     6.3(j), where integer division by zero is undefined and we choose
+//     the deterministic all-zeros result. The guard tests the raw
+//     operand: a fractional divisor in (-1, 1) truncates to zero and
+//     divides anyway, giving ±Inf (DivI) / NaN (ModI) like the float ops.
+//   - Negative operands truncate toward zero (C99/OpenCL `/`), and the
+//     remainder takes the sign of the dividend (C99 `%`): -7/2 == -3,
+//     -7%2 == -1, 7%-2 == 1.
 const (
 	AddF BinOp = iota // x + y (float)
 	SubF              // x - y (float)
@@ -88,6 +100,12 @@ func (op BinOp) IsFloat() bool {
 
 // IsCompare reports whether the operator is a comparison.
 func (op BinOp) IsCompare() bool { return op >= LtF }
+
+// Valid reports whether op is a defined operator. Corrupted or
+// hand-built IR can carry out-of-range op codes; Validate (and,
+// defensively, both compilers) rejects them up front so an unknown
+// operator can never silently evaluate to 0.
+func (op BinOp) Valid() bool { return op <= NeI }
 
 var binOpNames = [...]string{
 	AddF: "+.", SubF: "-.", MulF: "*.", DivF: "/.", MinF: "min", MaxF: "max",
@@ -154,6 +172,9 @@ func (b Builtin) NumArgs() int {
 	}
 	return 1
 }
+
+// Valid reports whether b is a defined builtin (see BinOp.Valid).
+func (b Builtin) Valid() bool { return b <= FMA }
 
 // IDFunc identifies a workitem identity function (get_global_id and
 // friends in OpenCL C).

@@ -153,8 +153,18 @@ func (v *validator) checkExpr(e Expr) error {
 				err = v.errf("%s(%d): dimension out of range", e.Fn, e.Dim)
 			}
 		case Call:
-			if len(e.Args) != e.Fn.NumArgs() {
+			if !e.Fn.Valid() {
+				err = v.errf("unknown builtin %s in %s", e.Fn, FormatExpr(e))
+			} else if len(e.Args) != e.Fn.NumArgs() {
 				err = v.errf("%s expects %d args, got %d", e.Fn, e.Fn.NumArgs(), len(e.Args))
+			}
+		case Bin:
+			// Out-of-range op codes (corrupted or hand-built IR) used to
+			// slip through to binScalarOp/evalBin, which evaluated them to
+			// 0 — deterministic but silently wrong. Reject them here, with
+			// the offending expression printed for position.
+			if !e.Op.Valid() {
+				err = v.errf("unknown binary operator %s in %s", e.Op, FormatExpr(e))
 			}
 		}
 	})

@@ -1,11 +1,11 @@
 package kernels
 
-// Differential test of the closure-compiled execution engine against the
-// retained tree-walking oracle on every registered application — the real
-// kernels exercise barriers, __local arrays, atomics and 2D geometry that
-// the ir fuzz corpus cannot reach. Buffers must match bit-for-bit and the
-// traced global-access streams must be identical, serially and in
-// parallel.
+// Differential test of both execution engines (v1 closure-compiled, v2
+// lane-batched) against the retained tree-walking oracle on every
+// registered application — the real kernels exercise barriers, __local
+// arrays, atomics and 2D geometry that the ir fuzz corpus cannot reach.
+// Buffers must match bit-for-bit and the traced global-access streams
+// must be identical, serially and in parallel.
 
 import (
 	"math"
@@ -81,16 +81,19 @@ func TestEngineMatchesOracleOnApps(t *testing.T) {
 			}
 
 			for _, run := range []struct {
-				label string
-				par   int
+				label  string
+				par    int
+				engine ir.EngineSel
 			}{
-				{"serial", 0},
-				{"parallel", 8},
+				{"v1 serial", 0, ir.EngineV1},
+				{"v1 parallel", 8, ir.EngineV1},
+				{"v2 serial", 0, ir.EngineV2},
+				{"v2 parallel", 8, ir.EngineV2},
 			} {
 				args := cloneArgsDeep(proto)
 				tr := &recTracer{}
 				err := ir.ExecRange(c.app.Kernel, args, c.nd,
-					ir.ExecOptions{Tracer: tr, Parallel: run.par})
+					ir.ExecOptions{Tracer: tr, Parallel: run.par, Engine: run.engine})
 				if err != nil {
 					t.Fatalf("engine %s: %v", run.label, err)
 				}
