@@ -26,17 +26,19 @@ bench:
 bench-smoke:
 	$(GO) test -bench='Tune|Partition|CacheSim|ExecRange' -benchtime=1x -run=^$$ .
 
-# Regenerate the committed perf baseline (BENCH_pr8.json).
+# Regenerate the committed perf baseline (BENCH_pr9.json).
 baseline:
 	$(GO) run ./cmd/perfbaseline -reps 9
 
 # Gate on perf regressions: fail if suite_ns or the exec_*_ns /
 # exec2_*_ns engine times in the newest baseline regressed >20% vs the
 # previous BENCH_pr*, if observability overhead exceeds its absolute 5%
-# budget, or if the lane-batched engine's v2-over-v1 speedup drops
-# below its absolute 2x floor on matmul or binomial.
+# budget, if the lane-batched engine's v2-over-v1 speedup drops below
+# its absolute 2x floor on matmul or binomial, or if the learned cost
+# predictor's pruned tune falls under its 5x speedup floor or over its
+# 5% worst-case quality budget.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -new BENCH_pr8.json -old auto
+	$(GO) run ./cmd/benchcompare -new BENCH_pr9.json -old auto
 
 # Exercise the concurrent suite path end to end: every artifact on 4
 # workers, with a per-experiment timeout as a hang backstop.

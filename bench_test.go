@@ -128,6 +128,10 @@ func benchTuneSession(b *testing.B, cached bool) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ad := core.NewAdvisor(nil)
+		// Predictor off: these benchmarks isolate the memoization layer
+		// against the uncached serial seed and stay comparable across
+		// baselines; BenchmarkTunePredict* measures the pruning.
+		ad.Pred = nil
 		if !cached {
 			ad.Eval.Cache = nil
 			ad.Eval.Workers = 1
@@ -163,6 +167,7 @@ func benchPartitionSession(b *testing.B, cached bool) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := hetero.NewPartitioner(cpu.New(arch.XeonE5645()), gpu.New(arch.GTX580()))
+		p.Pred = nil // isolate the memoization layer, as in benchTuneSession
 		if !cached {
 			p.CPUEval.Cache, p.GPUEval.Cache = nil, nil
 			p.CPUEval.Workers, p.GPUEval.Workers = 1, 1
@@ -189,6 +194,39 @@ func BenchmarkPartitionCached(b *testing.B) { benchPartitionSession(b, true) }
 
 // BenchmarkPartitionUncachedSerial is the seed-equivalent baseline.
 func BenchmarkPartitionUncachedSerial(b *testing.B) { benchPartitionSession(b, false) }
+
+// benchTunePredict runs one cold divisor-rich tune per iteration —
+// Square at global 720720, whose 121 divisors up to the 1024 workgroup
+// cap make the exhaustive search price >600 candidates across the
+// coarsening factors — with the learned cost predictor on or off. The
+// same workload backs perfbaseline's tune_full_ns / tune_topk_ns pair,
+// gated by benchcompare at a 5x speedup floor; the pruned search's
+// result quality is pinned by TestPrunedTuneWithin5PctAcrossZoo and the
+// tune_quality_pct gate.
+func benchTunePredict(b *testing.B, predicted bool) {
+	app := kernels.Square()
+	nd := ir.Range1D(720720, 0)
+	args := app.Make(nd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ad := core.NewAdvisor(nil)
+		if !predicted {
+			ad.Pred = nil
+		}
+		if _, err := ad.Tune(app.Kernel, args, nd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTunePredictTopK is the predictor-pruned search: every
+// candidate scored by the linear model, only the top-k survivors (plus
+// the requested configuration) priced exactly.
+func BenchmarkTunePredictTopK(b *testing.B) { benchTunePredict(b, true) }
+
+// BenchmarkTunePredictFull is the exhaustive baseline (-nopredict).
+func BenchmarkTunePredictFull(b *testing.B) { benchTunePredict(b, false) }
 
 // Substrate microbenchmarks: how fast the simulator itself is.
 

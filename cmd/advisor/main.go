@@ -39,6 +39,8 @@ func main() {
 		timeline = flag.Bool("timeline", false, "render the workgroup schedule as an ASCII Gantt chart")
 		list     = flag.Bool("list", false, "list benchmark names and exit")
 		nocache  = flag.Bool("nocache", false, "disable the memoized estimate cache (A/B baseline; results are identical either way)")
+		nopred   = flag.Bool("nopredict", false, "disable the learned cost predictor: tuning searches every candidate exhaustively (A/B baseline)")
+		topk     = flag.Int("topk", 0, "predictor-pruned search keeps this many candidates per search (0 = default 8)")
 		metrics  = flag.Bool("metrics", false, "print the observability metrics snapshot (incl. search cache counters) after the run")
 		srvAddr  = flag.String("serve", "", "serve the live observability endpoints (/metrics /snapshot /trace /healthz) on this address during the run")
 		linger   = flag.Duration("linger", 0, "with -serve, keep serving this long after the analysis completes")
@@ -77,6 +79,10 @@ func main() {
 	if *nocache {
 		ad.Eval.Cache = nil
 	}
+	if *nopred {
+		ad.Pred = nil
+	}
+	ad.TopK = *topk
 	var rec *obs.Recorder
 	if *metrics || *srvAddr != "" {
 		rec = obs.NewRecorder()

@@ -10,9 +10,14 @@
 // must stay nearly free), plus the exec2_*_speedup ratios against an
 // absolute 2x floor: the lane-batched engine must stay at least twice
 // as fast as v1 on the matmul and binomial workloads, the vectorization
-// payoff the paper's Figures 10-11 report. Other speedup ratios (exec,
-// cachesim) and hit rates are reported but not gated: they compare two
-// measured arms and are noisy in both directions.
+// payoff the paper's Figures 10-11 report. The learned-cost-predictor
+// gates are absolute too: tune_predict_speedup must stay above its 5x
+// floor (the pruned search's payoff over the exhaustive one) and
+// tune_quality_pct under its 5% budget (the pruned tune's worst-case
+// drift above the full search's optimum across the registry). Other
+// speedup ratios (exec, cachesim) and hit rates are reported but not
+// gated: they compare two measured arms and are noisy in both
+// directions.
 //
 // With -explain, a suite_ns regression is attributed instead of just
 // reported: the flag takes two observability artifacts (snapshot or
@@ -68,6 +73,16 @@ type metrics struct {
 	Exec2MatmulSpeedup   float64 `json:"exec2_matmul_speedup"`
 	Exec2BinomialNs      int64   `json:"exec2_binomial_ns"`
 	Exec2BinomialSpeedup float64 `json:"exec2_binomial_speedup"`
+
+	// v6 learned-cost-predictor fields: the divisor-rich tune with the
+	// full exhaustive search versus the predictor-pruned search, their
+	// speedup (gated against the absolute 5x floor), and the worst-case
+	// tuned-result drift across the registry (gated against the absolute
+	// 5% budget).
+	TuneFullNs         int64   `json:"tune_full_ns"`
+	TuneTopkNs         int64   `json:"tune_topk_ns"`
+	TunePredictSpeedup float64 `json:"tune_predict_speedup"`
+	TuneQualityPct     float64 `json:"tune_quality_pct"`
 }
 
 // obsOverheadBudgetPct is the absolute ceiling on recording overhead:
@@ -80,9 +95,20 @@ const obsOverheadBudgetPct = 5.0
 // its reason to exist and the gate fails regardless of the old baseline.
 const exec2SpeedupFloor = 2.0
 
+// tunePredictSpeedupFloor is the absolute floor on the predictor-pruned
+// tune's speedup over the full exhaustive search on the divisor-rich
+// workload; below 5x the pruning has stopped paying for itself.
+const tunePredictSpeedupFloor = 5.0
+
+// tuneQualityBudgetPct is the absolute ceiling on the pruned tune's
+// worst-case drift above the full search's optimum across the kernel
+// registry: pruning that costs more than 5% of tuned performance fails
+// regardless of the old baseline.
+const tuneQualityBudgetPct = 5.0
+
 func main() {
 	oldPath := flag.String("old", "auto", "old baseline JSON, or 'auto' to pick the latest other BENCH_pr*.json")
-	newPath := flag.String("new", "BENCH_pr8.json", "new baseline JSON")
+	newPath := flag.String("new", "BENCH_pr9.json", "new baseline JSON")
 	tol := flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing (0.20 = +20%)")
 	explain := flag.String("explain", "", "on regression, attribute it: OLD,NEW observability artifacts (snapshot or trace JSON) for internal/obs/diff")
 	flag.Parse()
@@ -136,20 +162,35 @@ func main() {
 	// The lane-batched engine's speedup over v1 gates against an absolute
 	// floor, not the old baseline: below 2x the vectorized engine has
 	// regressed to parity and the restructuring is broken.
-	checkFloor := func(name string, speedup float64) {
+	checkFloor := func(name string, speedup, floor float64) {
 		if speedup == 0 {
 			fmt.Printf("  %-18s skipped (absent from new)\n", name)
 			return
 		}
 		status := "ok"
-		if speedup < exec2SpeedupFloor {
+		if speedup < floor {
 			status = "FAIL"
 			failed++
 		}
-		fmt.Printf("  %-18s %27.2fx (floor %.1fx)  %s\n", name, speedup, exec2SpeedupFloor, status)
+		fmt.Printf("  %-18s %27.2fx (floor %.1fx)  %s\n", name, speedup, floor, status)
 	}
-	checkFloor("exec2_matmul_speedup", newM.Exec2MatmulSpeedup)
-	checkFloor("exec2_binomial_speedup", newM.Exec2BinomialSpeedup)
+	checkFloor("exec2_matmul_speedup", newM.Exec2MatmulSpeedup, exec2SpeedupFloor)
+	checkFloor("exec2_binomial_speedup", newM.Exec2BinomialSpeedup, exec2SpeedupFloor)
+	// The learned-cost-predictor gates: the pruned tune must stay 5x
+	// faster than the exhaustive search on the divisor-rich workload and
+	// within 5% of its optimum across the registry — both absolute, so a
+	// baseline that slowly degrades cannot grandfather a broken predictor.
+	check("tune_topk_ns", oldM.TuneTopkNs, newM.TuneTopkNs)
+	checkFloor("tune_predict_speedup", newM.TunePredictSpeedup, tunePredictSpeedupFloor)
+	if newM.TuneFullNs != 0 {
+		status := "ok"
+		if newM.TuneQualityPct > tuneQualityBudgetPct {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-18s %26.2f%% (budget %.0f%%)  %s\n",
+			"tune_quality_pct", newM.TuneQualityPct, tuneQualityBudgetPct, status)
+	}
 	// The serial reference arm is informational only: it is the oracle the
 	// sharded engine is differentially tested against, not a code path the
 	// suite spends time in.

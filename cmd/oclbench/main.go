@@ -91,6 +91,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		par      = fs.Int("par", 1, "run experiments on N concurrent workers (output stays in paper order)")
 		timeout  = fs.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 		nocache  = fs.Bool("nocache", false, "disable the memoized model-evaluation layer (A/B baseline; results are identical either way)")
+		nopred   = fs.Bool("nopredict", false, "disable the learned cost predictor's search pruning (A/B baseline; results are identical either way)")
+		topk     = fs.Int("topk", 0, "predictor-pruned search keeps this many candidates per search (0 = default 8)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile at exit to this file")
 		srvAddr  = fs.String("serve", "", "serve the live observability endpoints (/metrics /snapshot /trace /healthz) on this address while the suite runs")
@@ -172,7 +174,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Parallel: *par,
 		Timeout:  *timeout,
 		Observe:  observe,
-		Base:     harness.Options{Verbose: *verbose, NoCache: *nocache},
+		Base:     harness.Options{Verbose: *verbose, NoCache: *nocache, NoPredict: *nopred, TopK: *topk},
 	})
 
 	var srv *serve.Server

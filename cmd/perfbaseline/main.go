@@ -1,19 +1,29 @@
 // Command perfbaseline times the repo's hot paths and writes a JSON
-// baseline for cross-PR comparison (committed as BENCH_pr8.json). It
+// baseline for cross-PR comparison (committed as BENCH_pr9.json). It
 // measures the same session workloads as the root Tune/Partition
 // benchmarks — cached versus the uncached serial seed behavior — one
 // full experiment-suite run (with and without the observability
 // recorder, so recording overhead is itself a tracked, gated metric),
 // both compiled execution engines (v1 closure, v2 lane-batched) against
-// the tree-walk oracle on the BenchmarkExecRange kernels, and the
-// sharded cache simulator against the serial reference on a synthetic
-// traced stream, recording the cache hit rates and speedups alongside
-// the wall times. The exec2_* speedups (v2 over v1) are the vectorizer
-// gate: benchcompare fails when they drop below 2x.
+// the tree-walk oracle on the BenchmarkExecRange kernels, the sharded
+// cache simulator against the serial reference on a synthetic traced
+// stream, and the learned-cost-predictor tune pruning against the full
+// exhaustive search (the BenchmarkTunePredict* workload, plus a
+// worst-case tuned-quality check across the whole kernel registry),
+// recording the cache hit rates and speedups alongside the wall times.
+// The exec2_* speedups (v2 over v1) are the vectorizer gate and
+// tune_predict_speedup / tune_quality_pct are the predictor gates:
+// benchcompare fails when exec2 drops below 2x, the pruned tune stops
+// being 5x faster than the full search, or the pruned tune's result
+// drifts more than 5% above the full search's optimum.
+//
+// The legacy tune_*/partition_* session metrics keep the predictor
+// disabled so they stay comparable with pre-predictor baselines: they
+// isolate the memoization layer, not the pruning.
 //
 // Usage:
 //
-//	perfbaseline              # write BENCH_pr8.json
+//	perfbaseline              # write BENCH_pr9.json
 //	perfbaseline -o out.json  # write elsewhere
 //	perfbaseline -reps 5      # median of 5 repetitions per workload
 package main
@@ -88,6 +98,18 @@ type Baseline struct {
 	CachesimSerialNs  int64   `json:"cachesim_serial_ns"`
 	CachesimSpeedup   float64 `json:"cachesim_speedup"`
 
+	// v6: learned-cost-predictor medians — one cold divisor-rich tune
+	// (Square at global 720720, 121 workgroup candidates per coarsening
+	// factor) with the full exhaustive search versus the predictor-pruned
+	// top-k search, the speedup between them (gated at an absolute 5x
+	// floor), and the worst-case tuned-result drift of the pruned search
+	// versus the full search across every registered kernel at its
+	// default configuration (gated at an absolute 5% budget).
+	TuneFullNs         int64   `json:"tune_full_ns"`
+	TuneTopkNs         int64   `json:"tune_topk_ns"`
+	TunePredictSpeedup float64 `json:"tune_predict_speedup"`
+	TuneQualityPct     float64 `json:"tune_quality_pct"`
+
 	// Observability cost: the same suite run with every experiment on a
 	// private recorder merged into the suite view (oclbench -metrics /
 	// -serve path), and the overhead relative to the recorder-off run.
@@ -98,12 +120,12 @@ type Baseline struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr8.json", "output path")
+	out := flag.String("o", "BENCH_pr9.json", "output path")
 	reps := flag.Int("reps", 3, "repetitions per workload (median is reported)")
 	flag.Parse()
 
 	b := Baseline{
-		Schema:     "clperf/perfbaseline/v5",
+		Schema:     "clperf/perfbaseline/v6",
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -137,6 +159,17 @@ func main() {
 
 	b.CachesimShardedNs, b.CachesimSerialNs = cachesimPair(*reps)
 	b.CachesimSpeedup = ratio(b.CachesimSerialNs, b.CachesimShardedNs)
+
+	// Predictor workload: warm both arms once (feature memo, digest
+	// memo), then take medians. Warming the pruned arm first charges the
+	// one-off feature extraction to neither timed arm, matching how a
+	// session amortizes it.
+	tunePredict(true)
+	tunePredict(false)
+	b.TuneTopkNs = median(*reps, func() { tunePredict(true) })
+	b.TuneFullNs = median(*reps, func() { tunePredict(false) })
+	b.TunePredictSpeedup = ratio(b.TuneFullNs, b.TuneTopkNs)
+	b.TuneQualityPct = tuneQualityPct()
 
 	exps := experiments.All()
 	b.SuiteExperiments = len(exps)
@@ -195,11 +228,12 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), exec matmul %.2fx binomial %.2fx, v2/v1 matmul %.2fx binomial %.2fx, cachesim %.2fx, suite %v (obs %v, %+.1f%% overhead)\n",
+	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), exec matmul %.2fx binomial %.2fx, v2/v1 matmul %.2fx binomial %.2fx, cachesim %.2fx, predictor %.2fx (quality %+.2f%%), suite %v (obs %v, %+.1f%% overhead)\n",
 		*out, b.TuneSpeedup, 100*b.TuneCacheHitRate,
 		b.PartSpeedup, 100*b.PartCPUCacheHitRate,
 		b.ExecMatmulSpeedup, b.ExecBinomialSpeedup,
 		b.Exec2MatmulSpeedup, b.Exec2BinomialSpeedup, b.CachesimSpeedup,
+		b.TunePredictSpeedup, b.TuneQualityPct,
 		time.Duration(b.SuiteNs).Round(time.Millisecond),
 		time.Duration(b.SuiteObsNs).Round(time.Millisecond), b.ObsOverheadPct)
 }
@@ -260,10 +294,13 @@ var (
 )
 
 // tuneSession runs the Binomialoption tuning session and returns the
-// evaluator's final hit rate (zero when uncached).
+// evaluator's final hit rate (zero when uncached). The predictor stays
+// off: this metric isolates the memoization layer against the uncached
+// serial seed, and must stay comparable with pre-predictor baselines.
 func tuneSession(cached bool) float64 {
 	app, nd, args := tuneApp, tuneND, tuneArgs
 	ad := core.NewAdvisor(nil)
+	ad.Pred = nil
 	if !cached {
 		ad.Eval.Cache = nil
 		ad.Eval.Workers = 1
@@ -281,6 +318,7 @@ func tuneSession(cached bool) float64 {
 func partitionSession(cached bool) float64 {
 	app, nd, args := partApp, partND, partArgs
 	p := hetero.NewPartitioner(cpu.New(arch.XeonE5645()), gpu.New(arch.GTX580()))
+	p.Pred = nil // isolate the memoization layer, as in tuneSession
 	if !cached {
 		p.CPUEval.Cache, p.GPUEval.Cache = nil, nil
 		p.CPUEval.Workers, p.GPUEval.Workers = 1, 1
@@ -297,6 +335,59 @@ func partitionSession(cached bool) float64 {
 		}
 	}
 	return p.CPUEval.Stats().HitRate()
+}
+
+// predictApp is the predictor benchmark workload, shared with the root
+// BenchmarkTunePredict*: a divisor-rich 1-D launch (720720 has 121
+// divisors up to the 1024 workgroup cap) where the exhaustive search
+// prices every divisor per coarsening factor and the pruned search
+// prices only the top-k survivors.
+var (
+	predictApp  = kernels.Square()
+	predictND   = ir.Range1D(720720, 0)
+	predictArgs = predictApp.Make(predictND)
+)
+
+// tunePredict runs one cold divisor-rich tune (fresh advisor, fresh
+// estimate cache) with the predictor on or off.
+func tunePredict(predicted bool) {
+	ad := core.NewAdvisor(nil)
+	if !predicted {
+		ad.Pred = nil
+	}
+	if _, err := ad.Tune(predictApp.Kernel, predictArgs, predictND); err != nil {
+		fatal(err)
+	}
+}
+
+// tuneQualityPct returns the worst-case tuned-time drift of the pruned
+// search versus the full search across every registered kernel at its
+// default configuration on the paper's CPU — the predictor's quality
+// metric, gated by benchcompare at an absolute 5% budget (the same
+// bound TestPrunedTuneWithin5PctAcrossZoo enforces across the device
+// zoo).
+func tuneQualityPct() float64 {
+	worst := 0.0
+	for _, app := range kernels.Registry() {
+		nd := app.DefaultConfig()
+		args := app.Make(nd)
+
+		full := core.NewAdvisor(nil)
+		full.Pred = nil
+		ftr, err := full.Tune(app.Kernel, args, nd)
+		if err != nil {
+			fatal(fmt.Errorf("%s: full tune: %w", app.Name, err))
+		}
+		pruned := core.NewAdvisor(nil)
+		ptr, err := pruned.Tune(app.Kernel, args, nd)
+		if err != nil {
+			fatal(fmt.Errorf("%s: pruned tune: %w", app.Name, err))
+		}
+		if drift := 100 * (float64(ptr.Time)/float64(ftr.Time) - 1); drift > worst {
+			worst = drift
+		}
+	}
+	return worst
 }
 
 // median times fn reps times and returns the median wall clock in ns.

@@ -1,0 +1,63 @@
+package arch
+
+import "clperf/internal/units"
+
+// CPUZoo returns the deterministic CPU device zoo: the two paper-era
+// presets plus synthetic variants spanning the axes the cost model is
+// sensitive to — core count, SIMD width, cache geometry, and memory
+// bandwidth. The zoo is the training and property-test population of
+// the learned cost predictor (internal/predict): coefficients are fit
+// over every (kernel, device) pair, and the pruned-search quality bound
+// is asserted on each zoo member. Order and parameters are fixed; a new
+// variant appended here automatically joins both.
+func CPUZoo() []*CPU {
+	return []*CPU{
+		XeonE5645(),
+		SandyBridge(),
+		wideServer(),
+		narrowClient(),
+	}
+}
+
+// wideServer is a synthetic many-core AVX-512-class part: it stresses
+// the scheduling terms (many workers, deep SMT) and the widest SIMD
+// packing the model supports.
+func wideServer() *CPU {
+	c := XeonE5645()
+	c.Name = "Synthetic 2S x 16C AVX-512 server"
+	c.Sockets = 2
+	c.CoresPerSocket = 16
+	c.Clock = 2.0 * units.Gigahertz
+	c.IssueWidth = 5
+	c.SIMDWidth = 16
+	c.SIMDName = "AVX-512"
+	c.OoOWindow = 224
+	c.L1D = CacheGeom{Size: 48 * units.Kibibyte, LineSize: 64, Assoc: 12, Latency: 5}
+	c.L2 = CacheGeom{Size: 1 * units.Mebibyte, LineSize: 64, Assoc: 16, Latency: 14}
+	c.L3 = CacheGeom{Size: 44 * units.Mebibyte, LineSize: 64, Assoc: 11, Latency: 50}
+	c.MemBandwidth = 180 * units.GBPerSecond
+	c.L3Bandwidth = 400 * units.GBPerSecond
+	return c
+}
+
+// narrowClient is a synthetic small laptop-class part with no SMT and a
+// scalar-leaning core: it stresses the few-worker, dispatch-dominated
+// corner where large workgroups win on overhead alone.
+func narrowClient() *CPU {
+	c := XeonE5645()
+	c.Name = "Synthetic 1S x 2C SSE client"
+	c.Sockets = 1
+	c.CoresPerSocket = 2
+	c.SMTWays = 1
+	c.Clock = 1.6 * units.Gigahertz
+	c.IssueWidth = 3
+	c.SIMDWidth = 4
+	c.SIMDName = "SSE"
+	c.OoOWindow = 32
+	c.MaxWorkgroup = 256
+	c.L2 = CacheGeom{Size: 512 * units.Kibibyte, LineSize: 64, Assoc: 8, Latency: 12}
+	c.L3 = CacheGeom{Size: 2 * units.Mebibyte, LineSize: 64, Assoc: 16, Latency: 30}
+	c.MemBandwidth = 12 * units.GBPerSecond
+	c.L3Bandwidth = 40 * units.GBPerSecond
+	return c
+}

@@ -27,6 +27,7 @@ import (
 	"clperf/internal/cpu"
 	"clperf/internal/ir"
 	"clperf/internal/obs"
+	"clperf/internal/predict"
 	"clperf/internal/search"
 	"clperf/internal/units"
 )
@@ -163,15 +164,24 @@ type Advisor struct {
 	// path), or Eval.Workers = 1 to force serial evaluation when the
 	// device records onto an order-sensitive recorder.
 	Eval *search.Evaluator[*cpu.Result]
+	// Pred, when set, prunes workgroup searches: every candidate is
+	// scored by the learned cost predictor and only the TopK survivors
+	// (plus the requested configuration, which is never dropped) go
+	// through the exact model. Nil runs the full exhaustive search — the
+	// -nopredict A/B path, byte-identical to the pre-predictor tuner.
+	Pred *predict.Predictor
+	// TopK is the surviving candidate count (predict.DefaultK when 0).
+	TopK int
 }
 
 // NewAdvisor returns an advisor for the paper's CPU (or any other arch),
-// with a memoized parallel evaluator attached.
+// with a memoized parallel evaluator and the default learned cost
+// predictor attached.
 func NewAdvisor(a *arch.CPU) *Advisor {
 	if a == nil {
 		a = arch.XeonE5645()
 	}
-	ad := &Advisor{Dev: cpu.New(a)}
+	ad := &Advisor{Dev: cpu.New(a), Pred: predict.Default()}
 	ad.Eval = search.NewEvaluator(ad.Dev.Fingerprint, ad.Dev.Estimate,
 		search.NewCache(0), func() *obs.Recorder { return ad.Dev.Obs })
 	return ad

@@ -7,6 +7,7 @@ import (
 	"clperf/internal/cpu"
 	"clperf/internal/ir"
 	"clperf/internal/kernels"
+	"clperf/internal/predict"
 	"clperf/internal/search"
 	"clperf/internal/units"
 )
@@ -28,6 +29,7 @@ func (ad *Advisor) BestWorkgroup(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (ir
 	// settle in its favor.
 	requested := ad.Dev.ResolveLocal(nd)
 	candidates := append([]ir.NDRange{requested}, workgroupCandidates(nd, ad.Dev.MaxWorkgroup())...)
+	candidates = ad.pruneCandidates(k, args, requested, candidates)
 
 	launches := make([]search.Launch, len(candidates))
 	for i, c := range candidates {
@@ -54,6 +56,87 @@ func (ad *Advisor) BestWorkgroup(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (ir
 	return best, bestTime, nil
 }
 
+// pruneCandidates applies the learned cost predictor: one feature
+// extraction at the requested geometry (memoized across the tune's
+// candidate loop), pure-arithmetic scoring of every candidate, and a
+// top-k cut that always keeps the requested configuration (index 0) so
+// tuning can never regress the caller's own geometry. Multi-dimensional
+// searches additionally keep a per-edge cover (dimCover) as insurance
+// against the frozen-geometry features mis-ranking a whole row of the
+// candidate grid. The survivors are
+// returned in their original order, preserving the exact search's
+// first-wins tie-breaking over the surviving subset. Full search is the
+// fallback whenever the predictor is absent, the candidate set is
+// already within budget, or feature extraction fails.
+func (ad *Advisor) pruneCandidates(k *ir.Kernel, args *ir.Args, requested ir.NDRange, candidates []ir.NDRange) []ir.NDRange {
+	if ad.Pred == nil {
+		return candidates
+	}
+	topk := ad.TopK
+	if topk <= 0 {
+		topk = predict.DefaultK
+	}
+	if len(candidates) <= topk+1 {
+		return candidates
+	}
+	f, err := ir.ExtractFeatures(k, args, requested)
+	if err != nil {
+		return candidates
+	}
+	footprint := predict.ArgBytes(args)
+	scores := make([]float64, len(candidates))
+	for i, c := range candidates {
+		scores[i] = ad.Pred.Score(predict.Input{
+			F: f, Arch: ad.Dev.A, ND: c,
+			Footprint: footprint, ForceScalar: ad.Dev.ForceScalar,
+		})
+	}
+	keep := predict.TopK(scores, topk, dimCover(candidates, scores)...)
+	out := make([]ir.NDRange, len(keep))
+	for i, idx := range keep {
+		out[i] = candidates[idx]
+	}
+	if ad.Eval != nil {
+		ad.Eval.NotePruned(len(candidates), len(out))
+	}
+	return out
+}
+
+// dimCover returns the always-keep indices for a pruned multi-dimensional
+// search: index 0 (the requested configuration) plus, for 2-D ranges, the
+// best-scored candidate along each distinct local edge (every local[0]
+// row and local[1] column). Features are extracted once at the requested
+// geometry, so a kernel whose loop bounds follow get_local_size — the
+// blocked matrixMul's tile loops — can mis-rank entire rows of the 2-D
+// candidate grid; covering every edge with its own cheapest member keeps
+// at least one exact evaluation in each, bounding the damage to the
+// model's within-row error. 1-D searches need no cover (each candidate
+// is its own row, and the cover would defeat the cut).
+func dimCover(candidates []ir.NDRange, scores []float64) []int {
+	keep := []int{0}
+	if len(candidates) == 0 || candidates[0].Dims() < 2 {
+		return keep
+	}
+	bestRow := map[int]int{}
+	bestCol := map[int]int{}
+	for i, c := range candidates {
+		r, cl := c.Local[0], c.Local[1]
+		if j, ok := bestRow[r]; !ok || scores[i] < scores[j] {
+			bestRow[r] = i
+		}
+		if j, ok := bestCol[cl]; !ok || scores[i] < scores[j] {
+			bestCol[cl] = i
+		}
+	}
+	for _, i := range bestRow {
+		keep = append(keep, i)
+	}
+	for _, i := range bestCol {
+		keep = append(keep, i)
+	}
+	return keep
+}
+
 // workgroupCandidates enumerates the legal workgroup geometries for nd:
 // every divisor of each searched dimension's global size, capped at
 // min(maxEnumLocal, maxWG) workitems per group. OpenCL 1.x requires the
@@ -69,23 +152,47 @@ func workgroupCandidates(nd ir.NDRange, maxWG int) []ir.NDRange {
 	if g0 == 0 {
 		g0 = 1
 	}
-	var out []ir.NDRange
 	if nd.Dims() >= 2 {
 		g1 := nd.Global[1]
 		if g1 == 0 {
 			g1 = 1
 		}
-		for _, e := range divisorsLE(g0, limit) {
-			for _, f := range divisorsLE(g1, limit) {
-				if e*f <= limit {
-					out = append(out, nd.WithLocal([3]int{e, f, 1}))
+		d0 := divisorsLE(g0, limit)
+		d1 := divisorsLE(g1, limit)
+		// Count the surviving pairs first so the slice is allocated once;
+		// d1 is ascending, so each row's cut-off is a prefix length.
+		n := 0
+		for _, e := range d0 {
+			for _, f := range d1 {
+				if e*f > limit {
+					break
 				}
+				n++
+			}
+		}
+		out := make([]ir.NDRange, 0, n)
+		seen := make(map[[3]int]struct{}, n)
+		for _, e := range d0 {
+			for _, f := range d1 {
+				if e*f > limit {
+					break
+				}
+				local := [3]int{e, f, 1}
+				if _, dup := seen[local]; dup {
+					continue
+				}
+				seen[local] = struct{}{}
+				out = append(out, nd.WithLocal(local))
 			}
 		}
 		return out
 	}
-	for _, l := range divisorsLE(g0, limit) {
-		out = append(out, nd.WithLocal([3]int{l, 1, 1}))
+	// 1-D: divisorsLE is ascending and duplicate-free, so the divisor
+	// list maps straight onto the candidate list.
+	d0 := divisorsLE(g0, limit)
+	out := make([]ir.NDRange, len(d0))
+	for i, l := range d0 {
+		out[i] = nd.WithLocal([3]int{l, 1, 1})
 	}
 	return out
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+)
+
+// The enumeration feeds every Tune call (11 coarsening factors x one
+// candidate set each), so its allocation behavior is on the tuner's hot
+// path. 255000 is the paper's Binomialoption global size — the largest
+// 1-D divisor set in the suite — and 1024x768 the densest 2-D grid.
+func BenchmarkWorkgroupCandidates(b *testing.B) {
+	b.Run("1d-binomial", func(b *testing.B) {
+		nd := ir.Range1D(255000, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(workgroupCandidates(nd, 1024)) == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	})
+	b.Run("2d-matmul", func(b *testing.B) {
+		nd := ir.Range2D(1024, 768, 0, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(workgroupCandidates(nd, 1024)) == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	})
+}
+
+// The candidate list must stay duplicate-free in 2-D too (the 1-D case
+// is pinned by TestWorkgroupCandidatesCoverAllDivisors).
+func TestWorkgroupCandidates2DNoDuplicates(t *testing.T) {
+	nd := ir.Range2D(1024, 768, 0, 0)
+	seen := map[[3]int]bool{}
+	for _, c := range workgroupCandidates(nd, 1024) {
+		if seen[c.Local] {
+			t.Fatalf("duplicate candidate %v", c.Local)
+		}
+		seen[c.Local] = true
+	}
+}

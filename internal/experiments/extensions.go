@@ -124,6 +124,10 @@ func ExtHetero() harness.Experiment {
 			if opts.NoCache {
 				p.CPUEval.Cache, p.GPUEval.Cache = nil, nil
 			}
+			if opts.NoPredict {
+				p.Pred = nil
+			}
+			p.TopK = opts.TopK
 			t := &harness.Table{
 				Title: "Best CPU/GPU split per application (first configuration)",
 				Columns: []string{"Benchmark", "CPU share", "CPU time", "GPU time",

@@ -20,6 +20,10 @@ func ExtRoofline() harness.Experiment {
 		Title: "Roofline placement of every application (CPU)",
 		Run: func(opts harness.Options) (*harness.Report, error) {
 			ad := core.NewAdvisor(nil)
+			if opts.NoPredict {
+				ad.Pred = nil
+			}
+			ad.TopK = opts.TopK
 			t := &harness.Table{
 				Title: "Roofline (DRAM bandwidth x FP peak)",
 				Columns: []string{"Benchmark", "flops/byte", "attainable GFlop/s",

@@ -236,6 +236,14 @@ type Options struct {
 	// (internal/search) for the experiment's devices, re-pricing every
 	// launch from scratch — the A/B baseline for the cached path.
 	NoCache bool
+	// NoPredict disables the learned cost predictor (internal/predict):
+	// every launch-parameter search evaluates its full candidate set
+	// exhaustively — the A/B baseline for the pruned path, byte-identical
+	// to the pre-predictor behavior.
+	NoPredict bool
+	// TopK overrides the predictor-pruned search's surviving candidate
+	// count (0 keeps the default, predict.DefaultK).
+	TopK int
 }
 
 // Experiment regenerates one paper artifact.

@@ -17,6 +17,7 @@ import (
 	"clperf/internal/gpu"
 	"clperf/internal/ir"
 	"clperf/internal/obs"
+	"clperf/internal/predict"
 	"clperf/internal/search"
 	"clperf/internal/units"
 )
@@ -56,10 +57,20 @@ type Partitioner struct {
 	// recorder.
 	CPUEval *search.Evaluator[*cpu.Result]
 	GPUEval *search.Evaluator[*gpu.Result]
+	// Pred, when set, prunes the split search: CPU shares are scored by
+	// the learned cost predictor, GPU shares by scaling one exact
+	// full-range estimate with the share's item fraction (plus the exact
+	// PCIe term), and only the TopK splits with the best predicted
+	// makespan — plus both endpoints — are priced exactly. Nil prices
+	// every split (the -nopredict A/B path).
+	Pred *predict.Predictor
+	// TopK is the surviving split count (predict.DefaultK when 0).
+	TopK int
 }
 
 // NewPartitioner returns a partitioner over the two devices, with
-// memoized parallel evaluators attached.
+// memoized parallel evaluators and the default learned cost predictor
+// attached.
 func NewPartitioner(c *cpu.Device, g *gpu.Device) *Partitioner {
 	shared := search.NewCache(0)
 	return &Partitioner{
@@ -68,6 +79,7 @@ func NewPartitioner(c *cpu.Device, g *gpu.Device) *Partitioner {
 			func() *obs.Recorder { return c.Obs }),
 		GPUEval: search.NewEvaluator(g.Fingerprint, g.Estimate, shared,
 			func() *obs.Recorder { return g.Obs }),
+		Pred: predict.Default(),
 	}
 }
 
@@ -119,6 +131,79 @@ func gpuShareBytes(args *ir.Args, frac float64) int64 {
 	return int64(float64(total) * frac)
 }
 
+// point is one candidate split: the two device sub-ranges plus each
+// side's index into the batched launch lists (-1 for an empty share).
+type point struct {
+	cpuND, gpuND ir.NDRange
+	cpuIdx       int
+	gpuIdx       int
+}
+
+// pruneSplits applies the learned cost predictor to the split search.
+// CPU shares are scored through the regression model (one feature
+// extraction for the whole search); GPU shares are predicted by scaling
+// one exact full-range GPU estimate with the share's item fraction and
+// adding the exact PCIe term — the GPU model is near-linear in items at
+// fixed geometry, and the transfer term is exact either way. The TopK
+// splits by predicted makespan survive, plus both endpoints (the
+// all-GPU and all-CPU baselines), in index order. Any failure falls
+// back to the full search.
+func (p *Partitioner) pruneSplits(k *ir.Kernel, args *ir.Args, nd ir.NDRange, points []point) []point {
+	if p.Pred == nil {
+		return points
+	}
+	topk := p.TopK
+	if topk <= 0 {
+		topk = predict.DefaultK
+	}
+	// Endpoints always survive, so pruning only pays past topk+2.
+	if len(points) <= topk+2 {
+		return points
+	}
+	f, err := ir.ExtractFeatures(k, args, nd)
+	if err != nil {
+		return points
+	}
+	// One exact anchor: the GPU pricing the whole range. Its cache entry
+	// is reused when the surviving i=0 endpoint is priced for real.
+	fullGPU, err := p.gpuEstimate(k, args, nd)
+	if err != nil {
+		return points
+	}
+	totalItems := float64(nd.GlobalItems())
+	footprint := predict.ArgBytes(args)
+
+	scores := make([]float64, len(points))
+	for i, pt := range points {
+		var cpuT, gpuT float64
+		if pt.cpuND.Global[0] > 0 {
+			cpuT = p.Pred.Score(predict.Input{
+				F: f, Arch: p.CPU.A, ND: pt.cpuND,
+				Footprint: footprint, ForceScalar: p.CPU.ForceScalar,
+			})
+		}
+		if pt.gpuND.Global[0] > 0 {
+			frac := float64(pt.gpuND.Global[0]*maxi(nd.Global[1], 1)) / totalItems
+			pcie := p.GPU.A.PCIeLatency +
+				p.GPU.A.PCIeBandwidth.Transfer(units.ByteSize(gpuShareBytes(args, frac)))
+			gpuT = float64(fullGPU.Time)*frac + float64(pcie)
+		}
+		scores[i] = cpuT
+		if gpuT > scores[i] {
+			scores[i] = gpuT
+		}
+	}
+	keep := predict.TopK(scores, topk, 0, len(points)-1)
+	out := make([]point, len(keep))
+	for i, idx := range keep {
+		out[i] = points[idx]
+	}
+	if p.CPUEval != nil {
+		p.CPUEval.NotePruned(len(points), len(out))
+	}
+	return out
+}
+
 // Partition prices every split at the configured granularity and returns
 // the best one. The local size must be explicit (it defines the cut
 // points).
@@ -146,28 +231,27 @@ func (p *Partitioner) Partition(k *ir.Kernel, args *ir.Args, nd ir.NDRange) (*Sp
 	// them over their worker pools (and dedupe repeats via the cache).
 	// The assembly below is pure arithmetic in index order, so the chosen
 	// split is independent of evaluation scheduling.
-	type point struct {
-		cpuND, gpuND ir.NDRange
-		cpuIdx       int // index into cpuLaunches, -1 when the CPU share is empty
-		gpuIdx       int
-	}
 	points := make([]point, 0, steps+1)
-	var cpuLaunches, gpuLaunches []search.Launch
 	for i := 0; i <= steps; i++ {
 		cpuND, gpuND, ok := splitRange(nd, totalGroups*i/steps)
 		if !ok {
 			return nil, fmt.Errorf("hetero: unresolved local size in %v", nd)
 		}
-		pt := point{cpuND: cpuND, gpuND: gpuND, cpuIdx: -1, gpuIdx: -1}
-		if cpuND.Global[0] > 0 {
+		points = append(points, point{cpuND: cpuND, gpuND: gpuND, cpuIdx: -1, gpuIdx: -1})
+	}
+	points = p.pruneSplits(k, args, nd, points)
+
+	var cpuLaunches, gpuLaunches []search.Launch
+	for pi := range points {
+		pt := &points[pi]
+		if pt.cpuND.Global[0] > 0 {
 			pt.cpuIdx = len(cpuLaunches)
-			cpuLaunches = append(cpuLaunches, search.Launch{Kernel: k, Args: args, ND: cpuND})
+			cpuLaunches = append(cpuLaunches, search.Launch{Kernel: k, Args: args, ND: pt.cpuND})
 		}
-		if gpuND.Global[0] > 0 {
+		if pt.gpuND.Global[0] > 0 {
 			pt.gpuIdx = len(gpuLaunches)
-			gpuLaunches = append(gpuLaunches, search.Launch{Kernel: k, Args: args, ND: gpuND})
+			gpuLaunches = append(gpuLaunches, search.Launch{Kernel: k, Args: args, ND: pt.gpuND})
 		}
-		points = append(points, pt)
 	}
 	cpuRes, cpuErrs := p.estimateCPUAll("partition-cpu:"+k.Name, cpuLaunches)
 	gpuRes, gpuErrs := p.estimateGPUAll("partition-gpu:"+k.Name, gpuLaunches)

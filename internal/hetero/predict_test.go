@@ -1,0 +1,82 @@
+package hetero
+
+import (
+	"testing"
+
+	"clperf/internal/kernels"
+)
+
+// TestPrunedPartitionWithin5PctOfFullSearch checks the predictor-pruned
+// split search against the exhaustive one (Pred == nil, the -nopredict
+// path) on every 1-D app the extension experiment partitions: the pruned
+// makespan must stay within 5% of the full search's.
+func TestPrunedPartitionWithin5PctOfFullSearch(t *testing.T) {
+	apps := []*kernels.App{
+		kernels.Square(), kernels.VectorAdd(),
+		kernels.BlackScholes(), kernels.MatrixMulNaive(),
+	}
+	for _, app := range apps {
+		nd := app.DefaultConfig()
+		args := app.Make(nd)
+
+		full := newPartitioner()
+		full.Pred = nil
+		fs, err := full.Partition(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: full partition: %v", app.Name, err)
+		}
+
+		pruned := newPartitioner()
+		ps, err := pruned.Partition(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: pruned partition: %v", app.Name, err)
+		}
+
+		if float64(ps.Time) > 1.05*float64(fs.Time) {
+			t.Errorf("%s: pruned split %v (cpu %.0f%%) is %.1f%% above full-search makespan %v (cpu %.0f%%)",
+				app.Name, ps.Time, 100*ps.CPUFrac,
+				100*(float64(ps.Time)/float64(fs.Time)-1),
+				fs.Time, 100*fs.CPUFrac)
+		}
+	}
+}
+
+// TestPrunedPartitionKeepsEndpoints pins that the all-CPU and all-GPU
+// splits survive every cut: a wide-open k reproduces the full search
+// exactly, and the default pruned search still prices both endpoints (so
+// a device that dominates outright is never pruned away).
+func TestPrunedPartitionKeepsEndpoints(t *testing.T) {
+	app := kernels.BlackScholes()
+	nd := app.DefaultConfig()
+	args := app.Make(nd)
+
+	full := newPartitioner()
+	full.Pred = nil
+	fs, err := full.Partition(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wide := newPartitioner()
+	wide.TopK = 1 << 20
+	ws, err := wide.Partition(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Time != fs.Time || ws.CPUFrac != fs.CPUFrac {
+		t.Errorf("k-covers-all partition diverged: got (%v, cpu %.3f), want (%v, cpu %.3f)",
+			ws.Time, ws.CPUFrac, fs.Time, fs.CPUFrac)
+	}
+
+	// Degenerate k: even TopK = 1 must keep both endpoints alongside the
+	// single cheapest interior split and return a valid result.
+	tiny := newPartitioner()
+	tiny.TopK = 1
+	ts, err := tiny.Partition(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Time <= 0 {
+		t.Fatalf("tiny-k partition returned non-positive makespan %v", ts.Time)
+	}
+}

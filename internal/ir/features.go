@@ -1,0 +1,274 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file exports an AIWC-style architecture-independent feature
+// vector per kernel launch (Johnston et al.'s workload characterization,
+// see PAPERS.md): the opcode mix by class, global/local load-store
+// counts with their stride classes from the fused index plans, branch
+// and barrier structure, and a per-workitem traffic proxy. The vector is
+// the input to the learned cost predictor (internal/predict), which
+// combines it with arch parameters to rank candidate workgroup
+// geometries without running the exact device model on each.
+
+// Features is the architecture-independent characterization of one
+// kernel at one launch configuration. Every field is derived from a
+// static profile under a unit latency table, so two extractions of the
+// same (kernel, args, NDRange) are bitwise identical regardless of
+// device, goroutine, or iteration order.
+type Features struct {
+	// Ops are dynamic operation counts for one workitem, by class.
+	Ops OpCounts
+	// SerialDepth is the unit-latency dependence critical path of one
+	// workitem: every op costs 1, so the value counts chained ops, not
+	// cycles — an ILP proxy no architecture leaks into.
+	SerialDepth float64
+	// LoopTrips is the total loop iterations one workitem executes.
+	LoopTrips float64
+	// TripApprox reports that a loop bound was not statically resolvable
+	// and a default estimate entered the counts.
+	TripApprox bool
+	// Branches is the static count of If sites (divergence potential).
+	Branches float64
+	// Barriers is the dynamic barrier count per workitem.
+	Barriers float64
+
+	// Global-memory access structure, weighted by executions per
+	// workitem, classified by inter-workitem stride.
+	UnitSites    float64 // contiguous (|stride| == 1 element)
+	UniformSites float64 // workitem-invariant address
+	StridedSites float64 // known non-unit stride
+	GatherSites  float64 // data-dependent / unknown stride
+	Loads        float64 // dynamic global loads per workitem
+	Stores       float64 // dynamic global stores per workitem
+
+	// TrafficPerItem is the per-workitem bytes-moved proxy under the
+	// standard 64-byte-line utilization model: unit strides stream whole
+	// lines usefully, large or unknown strides waste most of each line,
+	// uniform accesses stay resident. Loop-invariant sites count once
+	// per buffer (they touch one location however often they execute).
+	TrafficPerItem float64
+	// LocalBytes is the __local footprint per workgroup.
+	LocalBytes int64
+
+	// Vectorizable reports whether the OpenCL implicit (cross-workitem)
+	// vectorizer accepts the kernel: atomics and scalar math-library
+	// calls force scalar code (the paper's section III-F legality rule).
+	Vectorizable bool
+}
+
+// ArithmeticIntensity returns flops per byte of the traffic proxy — the
+// roofline x-coordinate of the workload.
+func (f *Features) ArithmeticIntensity() float64 {
+	if f.TrafficPerItem <= 0 {
+		return f.Ops.Flops()
+	}
+	return f.Ops.Flops() / f.TrafficPerItem
+}
+
+// Vector flattens the features into a fixed-order []float64 (booleans as
+// 0/1). The order is part of the predictor's model contract: coefficient
+// files record against these positions.
+func (f *Features) Vector() []float64 {
+	v := make([]float64, 0, int(NumOpClasses)+14)
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		v = append(v, f.Ops[c])
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return append(v,
+		f.SerialDepth, f.LoopTrips, b2f(f.TripApprox), f.Branches,
+		f.Barriers, f.UnitSites, f.UniformSites, f.StridedSites,
+		f.GatherSites, f.Loads, f.Stores, f.TrafficPerItem,
+		float64(f.LocalBytes), b2f(f.Vectorizable))
+}
+
+// unitLat is the all-ones latency table the extractor profiles under:
+// SerialDepth then counts chained operations, free of any device's
+// latency choices.
+var unitLat = func() LatencyTable {
+	var t LatencyTable
+	for i := range t {
+		t[i] = 1
+	}
+	return t
+}()
+
+// ExtractFeatures characterizes one representative workitem of k
+// launched over nd with args. The local size must be resolved (it can
+// enter loop bounds via get_local_size). Results are memoized per
+// (kernel digest, args shape, nd), so tuners extracting features for
+// every candidate pay the profiling cost once per distinct geometry.
+func ExtractFeatures(k *Kernel, args *Args, nd NDRange) (*Features, error) {
+	ck := featureKey(k, args, nd)
+	if f, ok := featureCache.Load(ck); ok {
+		return f.(*Features), nil
+	}
+	f, err := extractFeatures(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+	featureCache.Store(ck, f)
+	return f, nil
+}
+
+// featureCache memoizes ExtractFeatures. Entries are small (a few
+// hundred bytes) and the key space is bounded by distinct (kernel,
+// shape, geometry) triples in a process, so no eviction is needed.
+var featureCache sync.Map // string -> *Features
+
+// featureKey builds the memo key: the kernel's content digest (shared
+// with the compile and search caches, so digest reuse keeps the feature
+// cache warm across kernel pointer identities), the argument shapes and
+// scalar values, and the launch geometry.
+func featureKey(k *Kernel, args *Args, nd NDRange) string {
+	return Digest(k) + "|" + argsShape(args) + "|" + nd.String()
+}
+
+// argsShape canonically encodes the profile-relevant view of args:
+// buffer element types and lengths (addresses and contents don't enter
+// the static profile) plus scalar values, in sorted name order.
+func argsShape(args *Args) string {
+	if args == nil {
+		return ""
+	}
+	names := make([]string, 0, len(args.Buffers))
+	for name := range args.Buffers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, name := range names {
+		b := args.Buffers[name]
+		if b == nil {
+			continue
+		}
+		s += fmt.Sprintf("b:%s=%s:%d;", name, b.Elem, b.Len())
+	}
+	scalars := make([]string, 0, len(args.Scalars))
+	for name := range args.Scalars {
+		scalars = append(scalars, name)
+	}
+	sort.Strings(scalars)
+	for _, name := range scalars {
+		s += fmt.Sprintf("s:%s=%g;", name, args.Scalars[name])
+	}
+	return s
+}
+
+func extractFeatures(k *Kernel, args *Args, nd NDRange) (*Features, error) {
+	prof, err := ProfileKernel(k, args, nd, unitLat, MaxBranch)
+	if err != nil {
+		return nil, err
+	}
+	f := &Features{
+		Ops:         prof.Counts,
+		SerialDepth: prof.SerialCycles,
+		LoopTrips:   prof.LoopTrips,
+		TripApprox:  prof.TripApprox,
+		Barriers:    prof.Counts[OpBarrier],
+		Loads:       prof.Counts[OpLoad],
+		Stores:      prof.Counts[OpStore],
+	}
+
+	// Stride-classified access structure and the line-utilization
+	// traffic proxy. Loop-variant sites generate traffic per execution;
+	// invariant sites touch one location per workitem however often they
+	// run, and repeated invariant sites on one buffer share lines, so
+	// their contribution is the per-buffer maximum.
+	perBuf := map[string]float64{}
+	for _, s := range prof.Accesses {
+		switch {
+		case s.Stride.Uniform():
+			f.UniformSites += s.PerItem
+		case s.Stride.Unit():
+			f.UnitSites += s.PerItem
+		case s.Stride.Known:
+			f.StridedSites += s.PerItem
+		default:
+			f.GatherSites += s.PerItem
+		}
+		t := featureTraffic(s.Stride)
+		if s.LoopVariant {
+			f.TrafficPerItem += s.PerItem * t
+		} else if t > perBuf[s.Buf] {
+			perBuf[s.Buf] = t
+		}
+	}
+	// Per-buffer invariant traffic, in name order for float determinism.
+	bufs := make([]string, 0, len(perBuf))
+	for b := range perBuf {
+		bufs = append(bufs, b)
+	}
+	sort.Strings(bufs)
+	for _, b := range bufs {
+		f.TrafficPerItem += perBuf[b]
+	}
+
+	// Static branch-site count (divergence potential).
+	walkStmts(k.Body, func(s Stmt) {
+		if _, ok := s.(If); ok {
+			f.Branches++
+		}
+	})
+
+	// __local footprint per workgroup.
+	se := NewStaticEnv(nd, args)
+	for _, l := range k.Locals {
+		if n, ok := EvalStatic(l.Size, se); ok {
+			f.LocalBytes += int64(n) * l.Elem.Size()
+		}
+	}
+
+	// Implicit-vectorizer legality, matching VectorizeOpenCL's
+	// structural rules exactly: atomics and scalar math-library calls
+	// force scalar code wherever they appear, even in branches or loops
+	// the dynamic counts miss.
+	f.Vectorizable = true
+	walkStmts(k.Body, func(s Stmt) {
+		if _, ok := s.(AtomicAdd); ok {
+			f.Vectorizable = false
+		}
+	})
+	if _, scalar := callsScalarLibm(k.Body); scalar {
+		f.Vectorizable = false
+	}
+
+	return f, nil
+}
+
+// featureTraffic estimates bytes of traffic per dynamic access for a
+// site with the given inter-workitem stride, under the 64-byte-line /
+// 4-byte-element utilization model (architecture-independent: every
+// cache the suite models shares the line size).
+func featureTraffic(s Stride) float64 {
+	const (
+		line = 64
+		elem = 4
+	)
+	switch {
+	case s.Uniform():
+		return 0
+	case s.Unit():
+		return elem
+	case !s.Known:
+		return line
+	default:
+		b := float64(s.Elems) * elem
+		if b < 0 {
+			b = -b
+		}
+		if b > line {
+			return line
+		}
+		return b
+	}
+}

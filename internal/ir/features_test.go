@@ -1,0 +1,177 @@
+package ir_test
+
+import (
+	"reflect"
+	"testing"
+
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+// Property: feature extraction is deterministic — two extractions of the
+// same launch are bitwise equal, both through the memo cache and when
+// the kernel is re-parsed into a fresh pointer (digest reuse keeps the
+// key stable, and a cold extraction must reproduce the cached value).
+func TestFeaturesDeterministic(t *testing.T) {
+	for _, app := range kernels.Registry() {
+		nd := app.DefaultConfig()
+		args := app.Make(nd)
+
+		f1, err := ir.ExtractFeatures(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		f2, err := ir.ExtractFeatures(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if !reflect.DeepEqual(f1, f2) {
+			t.Errorf("%s: repeated extraction differs:\n%+v\n%+v", app.Name, f1, f2)
+		}
+		if !reflect.DeepEqual(f1.Vector(), f2.Vector()) {
+			t.Errorf("%s: vectors differ between extractions", app.Name)
+		}
+
+		// A fresh App carries a structurally identical kernel behind a new
+		// pointer: the digest-keyed memo must treat it as the same kernel,
+		// and its features must be bitwise equal.
+		fresh := findApp(t, app.Name)
+		if ir.Digest(fresh.Kernel) != ir.Digest(app.Kernel) {
+			t.Fatalf("%s: fresh registry kernel digests differently", app.Name)
+		}
+		f3, err := ir.ExtractFeatures(fresh.Kernel, fresh.Make(nd), nd)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if !reflect.DeepEqual(f1, f3) {
+			t.Errorf("%s: extraction differs across kernel instances:\n%+v\n%+v",
+				app.Name, f1, f3)
+		}
+	}
+}
+
+func findApp(t *testing.T, name string) *kernels.App {
+	t.Helper()
+	for _, app := range kernels.Registry() {
+		if app.Name == name {
+			return app
+		}
+	}
+	t.Fatalf("app %s not in registry", name)
+	return nil
+}
+
+// The memo returns the identical *Features for repeated extractions of
+// one launch — candidate loops in the tuner pay profiling once.
+func TestFeaturesMemoized(t *testing.T) {
+	app := kernels.MatrixMul()
+	nd := app.DefaultConfig()
+	args := app.Make(nd)
+	f1, err := ir.ExtractFeatures(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ir.ExtractFeatures(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("repeated extraction did not return the memoized *Features")
+	}
+	// A different geometry is a different key.
+	nd2 := nd.WithLocal([3]int{1, 1, 1})
+	f3, err := ir.ExtractFeatures(app.Kernel, args, nd2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == f3 {
+		t.Error("distinct geometries shared one memo entry")
+	}
+}
+
+// Spot-check the extracted structure on kernels whose shape is known by
+// construction: Square is a pure streaming kernel, Histogram carries
+// atomics (unvectorizable), BlackScholes leans on libm, Reduction uses
+// local memory and barriers.
+func TestFeaturesStructure(t *testing.T) {
+	get := func(app *kernels.App) *ir.Features {
+		t.Helper()
+		nd := app.DefaultConfig()
+		f, err := ir.ExtractFeatures(app.Kernel, app.Make(nd), nd)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		return f
+	}
+
+	sq := get(kernels.Square())
+	if !sq.Vectorizable {
+		t.Error("Square should vectorize")
+	}
+	if sq.UnitSites == 0 || sq.GatherSites != 0 {
+		t.Errorf("Square wants unit-stride streaming, got unit=%v gather=%v",
+			sq.UnitSites, sq.GatherSites)
+	}
+	if sq.Barriers != 0 {
+		t.Errorf("Square has no barriers, got %v", sq.Barriers)
+	}
+
+	hist := get(kernels.Histogram())
+	if hist.Vectorizable {
+		t.Error("Histogram performs atomics and must not vectorize")
+	}
+	if hist.Ops[ir.OpAtomic] == 0 {
+		t.Error("Histogram atomic count is zero")
+	}
+
+	bs := get(kernels.BlackScholes())
+	if bs.Ops[ir.OpLibm] == 0 {
+		t.Error("BlackScholes libm count is zero")
+	}
+	if bs.Vectorizable {
+		t.Error("BlackScholes calls scalar libm and must not vectorize")
+	}
+
+	red := get(kernels.Reduction())
+	if red.Barriers == 0 {
+		t.Error("Reduction barrier count is zero")
+	}
+	if red.LocalBytes == 0 {
+		t.Error("Reduction local footprint is zero")
+	}
+
+	mm := get(kernels.MatrixMul())
+	if mm.LoopTrips == 0 {
+		t.Error("MatrixMul loop trips is zero")
+	}
+	if mm.ArithmeticIntensity() <= 0 {
+		t.Error("MatrixMul arithmetic intensity not positive")
+	}
+}
+
+// The flattened vector must carry every field: changing any feature
+// changes the vector (guards against a field being forgotten when the
+// model contract evolves).
+func TestFeaturesVectorCoversFields(t *testing.T) {
+	f := &ir.Features{}
+	base := f.Vector()
+	want := int(ir.NumOpClasses) + 14
+	if len(base) != want {
+		t.Fatalf("vector length %d, want %d", len(base), want)
+	}
+	g := &ir.Features{
+		SerialDepth: 1, LoopTrips: 2, TripApprox: true, Branches: 3,
+		Barriers: 4, UnitSites: 5, UniformSites: 6, StridedSites: 7,
+		GatherSites: 8, Loads: 9, Stores: 10, TrafficPerItem: 11,
+		LocalBytes: 12, Vectorizable: true,
+	}
+	for i := ir.OpClass(0); i < ir.NumOpClasses; i++ {
+		g.Ops[i] = float64(i) + 1
+	}
+	v := g.Vector()
+	for i := range v {
+		if v[i] == base[i] && v[i] == 0 {
+			t.Errorf("vector position %d unchanged by a fully-populated Features", i)
+		}
+	}
+}

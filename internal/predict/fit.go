@@ -1,0 +1,268 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+// This file builds the training set and fits the model: weighted least
+// squares over every (registered kernel, zoo device, sampled workgroup
+// geometry, coarsening factor) combination, labeled by the exact
+// Device.Estimate. Everything is deterministic — fixed registry and zoo
+// order, sorted candidate enumeration, pivoted Gaussian elimination with
+// no randomness — so a refit reproduces the checked-in coefficients bit
+// for bit (cmd/clfit -check gates exactly that).
+
+// Sample is one training row.
+type Sample struct {
+	Kernel string
+	Device string
+	ND     ir.NDRange
+	Basis  [NumTerms]float64
+	// LabelNs is the exact model's time for the launch.
+	LabelNs float64
+}
+
+// maxGeomPerSearch caps how many workgroup geometries one (kernel,
+// factor, device) contributes, sampled evenly across the sorted
+// candidate list so both tiny and maximal groups are represented.
+const maxGeomPerSearch = 12
+
+// coarsenFactors are the workitem-coarsening variants included in
+// training: the tuner prices coarsened kernels too, and their op mixes
+// differ from the originals'.
+var coarsenFactors = []int{1, 4, 16}
+
+// TrainingSet builds the full deterministic training population over
+// the registered kernels and the CPU zoo.
+func TrainingSet() ([]Sample, error) {
+	var out []Sample
+	for _, app := range kernels.Registry() {
+		nd := app.DefaultConfig()
+		args := app.Make(nd)
+		for _, factor := range coarsenFactors {
+			k, cnd := app.Kernel, nd
+			if factor > 1 {
+				var err error
+				if k, err = kernels.Coarsen(app.Kernel, factor); err != nil {
+					continue
+				}
+				if cnd, err = kernels.CoarsenRange(nd, factor); err != nil {
+					continue
+				}
+			}
+			for _, a := range arch.CPUZoo() {
+				dev := cpu.New(a)
+				for _, cand := range sampleGeometries(dev.ResolveLocal(cnd), a.MaxWorkgroup) {
+					f, err := ir.ExtractFeatures(k, args, cand)
+					if err != nil {
+						return nil, fmt.Errorf("features %s: %w", app.Name, err)
+					}
+					res, err := dev.Estimate(k, args, cand)
+					if err != nil {
+						continue // illegal geometry on this device
+					}
+					out = append(out, Sample{
+						Kernel:  app.Name,
+						Device:  a.Name,
+						ND:      cand,
+						Basis:   Basis(Input{F: f, Arch: a, ND: cand, Footprint: ArgBytes(args)}),
+						LabelNs: float64(res.Time),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// sampleGeometries enumerates the candidate workgroup geometries for nd
+// the way the tuner does (every divisor up to min(1024, maxWG)), then
+// samples maxGeomPerSearch of them evenly across the sorted list.
+func sampleGeometries(nd ir.NDRange, maxWG int) []ir.NDRange {
+	limit := 1024
+	if maxWG > 0 && maxWG < limit {
+		limit = maxWG
+	}
+	g0 := nd.Global[0]
+	if g0 == 0 {
+		g0 = 1
+	}
+	var cands []ir.NDRange
+	if nd.Dims() >= 2 {
+		g1 := nd.Global[1]
+		if g1 == 0 {
+			g1 = 1
+		}
+		for _, e := range divisorsUpTo(g0, limit) {
+			for _, f := range divisorsUpTo(g1, limit) {
+				if e*f <= limit {
+					cands = append(cands, nd.WithLocal([3]int{e, f, 1}))
+				}
+			}
+		}
+	} else {
+		for _, l := range divisorsUpTo(g0, limit) {
+			cands = append(cands, nd.WithLocal([3]int{l, 1, 1}))
+		}
+	}
+	if len(cands) <= maxGeomPerSearch {
+		return cands
+	}
+	out := make([]ir.NDRange, 0, maxGeomPerSearch)
+	for i := 0; i < maxGeomPerSearch; i++ {
+		out = append(out, cands[i*(len(cands)-1)/(maxGeomPerSearch-1)])
+	}
+	return out
+}
+
+func divisorsUpTo(n, limit int) []int {
+	if n < 1 {
+		return []int{1}
+	}
+	var ds []int
+	for i := 1; i*i <= n; i++ {
+		if n%i != 0 {
+			continue
+		}
+		if i <= limit {
+			ds = append(ds, i)
+		}
+		if j := n / i; j != i && j <= limit {
+			ds = append(ds, j)
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// Diag summarizes a fit for provenance records.
+type Diag struct {
+	Rows int
+	// R2 is the coefficient of determination in relative-error space
+	// (the space the fit weights, since labels span microseconds to
+	// milliseconds across the zoo).
+	R2 float64
+	// MaxRelErr and MeanRelErr measure |pred-label|/label over the set.
+	MaxRelErr  float64
+	MeanRelErr float64
+}
+
+// Fit solves the weighted least-squares problem over the samples: rows
+// are weighted 1/label so the fit minimizes relative error across label
+// magnitudes, with a tiny scale-adaptive ridge for numerical stability
+// on collinear terms. Deterministic: same samples, same weights.
+func Fit(samples []Sample) ([NumTerms]float64, Diag, error) {
+	var w [NumTerms]float64
+	if len(samples) < NumTerms {
+		return w, Diag{}, fmt.Errorf("predict: %d samples for %d terms", len(samples), NumTerms)
+	}
+
+	// Normal equations A w = b with A = X'WX, b = X'Wy.
+	var A [NumTerms][NumTerms]float64
+	var b [NumTerms]float64
+	for _, s := range samples {
+		if s.LabelNs <= 0 {
+			continue
+		}
+		wt := 1 / s.LabelNs
+		for i := 0; i < NumTerms; i++ {
+			for j := 0; j < NumTerms; j++ {
+				A[i][j] += wt * s.Basis[i] * s.Basis[j]
+			}
+			b[i] += wt * s.Basis[i] * s.LabelNs
+		}
+	}
+	for i := 0; i < NumTerms; i++ {
+		A[i][i] += 1e-9 * (A[i][i] + 1)
+	}
+
+	sol, err := solve(A, b)
+	if err != nil {
+		return w, Diag{}, err
+	}
+	w = sol
+
+	d := Diag{Rows: len(samples)}
+	var ssRes, ssTot, mean float64
+	n := 0.0
+	for _, s := range samples {
+		if s.LabelNs <= 0 {
+			continue
+		}
+		mean += math.Log(s.LabelNs)
+		n++
+	}
+	if n > 0 {
+		mean /= n
+	}
+	for _, s := range samples {
+		if s.LabelNs <= 0 {
+			continue
+		}
+		pred := 0.0
+		for i, wi := range w {
+			pred += wi * s.Basis[i]
+		}
+		rel := math.Abs(pred-s.LabelNs) / s.LabelNs
+		if rel > d.MaxRelErr {
+			d.MaxRelErr = rel
+		}
+		d.MeanRelErr += rel
+		ssRes += rel * rel
+		lt := math.Log(s.LabelNs) - mean
+		ssTot += lt * lt
+	}
+	if n > 0 {
+		d.MeanRelErr /= n
+	}
+	if ssTot > 0 {
+		d.R2 = 1 - ssRes/ssTot
+	}
+	return w, d, nil
+}
+
+// solve runs Gaussian elimination with partial pivoting on the
+// NumTerms x NumTerms system.
+func solve(A [NumTerms][NumTerms]float64, b [NumTerms]float64) ([NumTerms]float64, error) {
+	var x [NumTerms]float64
+	n := NumTerms
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-300 {
+			return x, fmt.Errorf("predict: singular normal matrix at column %d", col)
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= A[r][c] * x[c]
+		}
+		x[r] = s / A[r][r]
+	}
+	return x, nil
+}

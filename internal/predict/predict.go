@@ -1,0 +1,243 @@
+// Package predict implements the learned cost predictor that prunes the
+// tuner's exhaustive workgroup search: a stdlib-only linear regression
+// over architecture-independent kernel features (ir.ExtractFeatures,
+// per Johnston et al.'s AIWC characterization) crossed with the arch
+// parameters of the target CPU (per Chilukuri & Milthorpe's
+// regression-based OpenCL performance prediction, PAPERS.md).
+//
+// The model form is a weighted sum of physically-motivated basis terms
+// that mirror the exact cost model's arithmetic — per-worker dispatch,
+// issue-bound packet cycles, dependence-bound cycles, barrier crossings
+// with cache-spill indicators, a bandwidth floor — so the fitted weights
+// land near 1 and the predictor ranks candidates the way Device.Estimate
+// does, at a fraction of the cost: one feature extraction per kernel,
+// then pure arithmetic per candidate geometry.
+//
+// Tuners score every candidate with Score, keep the TopK survivors
+// (always retaining the requested configuration, so tuning never
+// regresses), and re-rank only those through the exact model. The
+// checked-in coefficients (coeffs.go) are fit offline over the device
+// zoo (arch.CPUZoo) and the registered kernels by cmd/clfit; Fit is
+// deterministic, so refits reproduce the file bit for bit.
+package predict
+
+import (
+	"math"
+	"sort"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+	"clperf/internal/units"
+)
+
+// NumTerms is the length of the basis vector; coefficient files record
+// against these positions (see Basis for the order).
+const NumTerms = 10
+
+// DefaultK is the number of candidates the predictor keeps for exact
+// re-ranking when the caller does not choose one.
+const DefaultK = 8
+
+// Input is one (kernel, device, geometry) scoring query. The NDRange
+// must have its local size resolved.
+type Input struct {
+	F    *ir.Features
+	Arch *arch.CPU
+	ND   ir.NDRange
+	// Footprint is the total bytes of bound buffers: it selects the
+	// bandwidth-floor tier exactly as the device model does.
+	Footprint int64
+	// ForceScalar mirrors the device's vectorizer-off ablation knob.
+	ForceScalar bool
+}
+
+// Basis maps one query to the model's basis terms, every one in
+// nanoseconds (so fitted weights are dimensionless and near 1):
+//
+//	0: constant
+//	1: per-worker workgroup dispatch
+//	2: issue-bound packet cycles (port pressure by op class)
+//	3: dependence-bound cycles (unit-latency serial depth after OoO overlap)
+//	4: per-packet runtime bookkeeping
+//	5: scalar math-library serialization
+//	6: atomic serialization
+//	7: barrier crossings with the cache-spill multiplier
+//	8: bandwidth floor (L3 or DRAM by footprint)
+//	9: fixed launch overhead
+func Basis(in Input) [NumTerms]float64 {
+	f, a, nd := in.F, in.Arch, in.ND
+
+	groups := nd.NumGroups()
+	items := nd.GroupItems()
+	logical, phys := a.LogicalCores(), a.PhysicalCores()
+	workers := groups
+	if workers > logical {
+		workers = logical
+	}
+	issueShare := 1.0
+	if workers > phys {
+		issueShare = a.SMTYield
+	}
+	perWorker := float64(groups) / float64(workers)
+	if perWorker < 1 {
+		perWorker = 1
+	}
+
+	// Packet width under the implicit vectorizer: workitems pack along
+	// dimension 0 unless the kernel is structurally scalar.
+	width := 1
+	if f.Vectorizable && !in.ForceScalar {
+		width = a.SIMDWidth
+		if l0 := nd.Local[0]; l0 > 0 && l0 < width {
+			width = l0
+		}
+	}
+	w := float64(width)
+	packets := math.Ceil(float64(items) / w)
+
+	// Issue-port pressure per packet, in the exact model's vocabulary:
+	// divides and specials occupy the multiply port for several slots,
+	// packed memory sites issue one vector access, the rest gather one
+	// lane at a time.
+	cnt := f.Ops
+	mulOps := cnt[ir.OpFMul] + cnt[ir.OpFMA] + cnt[ir.OpFDiv]*10 + cnt[ir.OpSpecial]*12
+	addOps := cnt[ir.OpFAdd] + cnt[ir.OpFMA]
+	intOps := cnt[ir.OpInt] + cnt[ir.OpCmp] + cnt[ir.OpSelect]
+	memOps := (f.UnitSites + f.UniformSites) + (f.StridedSites+f.GatherSites)*w
+	localOps := cnt[ir.OpLocalLoad] + cnt[ir.OpLocalStore]
+	totalOps := mulOps + addOps + intOps + memOps + localOps
+	issue := math.Max(mulOps, addOps)
+	issue = math.Max(issue, (memOps+localOps)/a.MemPipes)
+	issue = math.Max(issue, totalOps/a.IssueWidth)
+
+	// Out-of-order overlap of the (unit-latency) dependence chain.
+	overlap := 1.0
+	if totalOps > 0 {
+		overlap = a.OoOWindow / totalOps
+	}
+	overlap = math.Min(math.Max(overlap, 1), 8)
+
+	cyc := func(n float64) float64 { return float64(a.Clock.Cycles(n)) }
+	packet := perWorker * packets
+
+	var t [NumTerms]float64
+	t[0] = 1
+	t[1] = perWorker * float64(a.GroupDispatch)
+	t[2] = packet * cyc(issue/issueShare)
+	t[3] = packet * cyc(f.SerialDepth/overlap)
+	t[4] = packet * cyc(a.ItemOverhead/issueShare)
+	t[5] = packet * cyc(cnt[ir.OpLibm]*140*w/issueShare)
+	t[6] = packet * cyc(cnt[ir.OpAtomic]*a.Lat[ir.OpAtomic]*w/issueShare)
+
+	if f.Barriers > 0 {
+		state := int64(items)*a.BarrierContext + f.LocalBytes
+		mult := 1.0
+		switch {
+		case state > int64(a.L2.Size):
+			mult = 10
+		case state > int64(a.L1D.Size):
+			mult = 4
+		}
+		t[7] = perWorker * cyc(f.Barriers*(a.BarrierCost+float64(items)*a.BarrierItemCost*mult))
+	}
+
+	traffic := f.TrafficPerItem * float64(nd.GlobalItems())
+	bw := a.MemBandwidth
+	if in.Footprint > 0 && in.Footprint <= int64(a.L3.Size) {
+		bw = a.L3Bandwidth
+	}
+	t[8] = float64(bw.Transfer(units.ByteSize(traffic)))
+
+	t[9] = float64(a.LaunchOverhead)
+	return t
+}
+
+// Predictor scores launch candidates with a fitted weight vector.
+type Predictor struct {
+	W [NumTerms]float64
+}
+
+// New returns a predictor over explicit weights (len must be NumTerms).
+func New(w []float64) *Predictor {
+	p := &Predictor{}
+	copy(p.W[:], w)
+	return p
+}
+
+// Default returns the predictor with the checked-in coefficients
+// (coeffs.go, fit by cmd/clfit over the zoo and the registry).
+func Default() *Predictor {
+	return New(defaultWeights[:])
+}
+
+// Score predicts the launch cost in nanoseconds. Only the ordering of
+// scores matters to the tuner; negative predictions (possible for an
+// affine model far outside its training range) are clamped to zero.
+func (p *Predictor) Score(in Input) float64 {
+	b := Basis(in)
+	s := 0.0
+	for i, w := range p.W {
+		s += w * b[i]
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// TopK returns the indices of the k lowest scores plus every index in
+// keep, ascending — the order the candidates arrived in, so downstream
+// first-wins tie-breaking over the surviving subset matches a full
+// search whenever the optimum survives. Ties on score break toward the
+// lower index. k <= 0 means keep everything.
+func TopK(scores []float64, k int, keep ...int) []int {
+	n := len(scores)
+	if k <= 0 || k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] < scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	chosen := make(map[int]bool, k+len(keep))
+	for _, i := range order[:k] {
+		chosen[i] = true
+	}
+	for _, i := range keep {
+		if i >= 0 && i < n {
+			chosen[i] = true
+		}
+	}
+	out := make([]int, 0, len(chosen))
+	for i := 0; i < n; i++ {
+		if chosen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ArgBytes returns the total bytes of bound buffers — the footprint the
+// bandwidth-floor tier keys on, identical to the device model's view.
+func ArgBytes(args *ir.Args) int64 {
+	if args == nil {
+		return 0
+	}
+	var n int64
+	for _, b := range args.Buffers {
+		if b != nil {
+			n += b.Bytes()
+		}
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package predict
+
+import (
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+)
+
+func TestTopKKeepsAllWhenKCoversSet(t *testing.T) {
+	scores := []float64{5, 3, 4, 1, 2}
+	for _, k := range []int{0, -1, 5, 6, 100} {
+		got := TopK(scores, k)
+		if len(got) != len(scores) {
+			t.Fatalf("TopK(k=%d) kept %d of %d", k, len(got), len(scores))
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("TopK(k=%d) = %v; want identity order", k, got)
+			}
+		}
+	}
+}
+
+func TestTopKSelectsCheapestAscending(t *testing.T) {
+	scores := []float64{50, 10, 40, 20, 30}
+	got := TopK(scores, 2)
+	// Cheapest two are indices 1 (10) and 3 (20); output must be ascending
+	// by index, not by score.
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("TopK = %v; want [1 3]", got)
+	}
+}
+
+func TestTopKTieBreaksToLowerIndex(t *testing.T) {
+	scores := []float64{7, 7, 7, 7}
+	got := TopK(scores, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("TopK on ties = %v; want [0 1]", got)
+	}
+}
+
+func TestTopKAlwaysRetainsKeepIndices(t *testing.T) {
+	// Index 0 is by far the most expensive candidate; the keep list must
+	// force it through anyway (the requested-config guarantee).
+	scores := []float64{1e12, 1, 2, 3, 4, 5}
+	got := TopK(scores, 2, 0)
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(got) != 3 {
+		t.Fatalf("TopK with keep = %v; want 3 survivors", got)
+	}
+	prev := -1
+	for _, idx := range got {
+		if !want[idx] {
+			t.Fatalf("TopK with keep = %v; unexpected index %d", got, idx)
+		}
+		if idx <= prev {
+			t.Fatalf("TopK with keep = %v; not ascending", got)
+		}
+		prev = idx
+	}
+}
+
+func TestScoreDeterministicAndNonNegative(t *testing.T) {
+	app := kernels.BlackScholes()
+	nd := app.DefaultConfig()
+	args := app.Make(nd)
+	f, err := ir.ExtractFeatures(app.Kernel, args, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Default()
+	in := Input{F: f, Arch: arch.XeonE5645(), ND: nd, Footprint: ArgBytes(args)}
+	first := p.Score(in)
+	if first < 0 {
+		t.Fatalf("Score = %v; want >= 0", first)
+	}
+	for i := 0; i < 10; i++ {
+		if got := p.Score(in); got != first {
+			t.Fatalf("Score drifted: %v then %v", first, got)
+		}
+	}
+}
+
+// TestFitReproducesCheckedInCoefficients is the in-tree twin of
+// `clfit -check`: the training population and the normal-equations solve
+// are fully deterministic, so refitting must reproduce coeffs.go bit for
+// bit. Any drift means the model, zoo or kernel registry changed without
+// regenerating the file.
+func TestFitReproducesCheckedInCoefficients(t *testing.T) {
+	samples, err := TrainingSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, d, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Default().W; got != w {
+		t.Fatalf("checked-in coefficients do not reproduce:\n  checked in: %v\n  refit:      %v\nregenerate with: go run ./cmd/clfit > internal/predict/coeffs.go", got, w)
+	}
+	if d.R2 < 0.9 {
+		t.Fatalf("fit quality collapsed: R2 = %v", d.R2)
+	}
+}

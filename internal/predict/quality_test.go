@@ -1,0 +1,127 @@
+// Package predict_test holds the pruning-quality property tests: they
+// drive core.Advisor (which imports predict), so they live outside the
+// predict package to keep the import graph acyclic.
+package predict_test
+
+import (
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/core"
+	"clperf/internal/kernels"
+	"clperf/internal/obs"
+)
+
+// TestPrunedTuneWithin5PctAcrossZoo is the acceptance property for the
+// learned cost predictor: on every registered kernel and every zoo
+// device, the predictor-pruned tune must land on a configuration whose
+// exact modeled cost is within 5% of the full exhaustive search's
+// optimum. The full search is the Pred == nil path (-nopredict).
+func TestPrunedTuneWithin5PctAcrossZoo(t *testing.T) {
+	for _, a := range arch.CPUZoo() {
+		for _, app := range kernels.Registry() {
+			nd := app.DefaultConfig()
+			args := app.Make(nd)
+
+			full := core.NewAdvisor(a)
+			full.Pred = nil
+			ftr, err := full.Tune(app.Kernel, args, nd)
+			if err != nil {
+				t.Fatalf("%s on %s: full tune: %v", app.Name, a.Name, err)
+			}
+
+			pruned := core.NewAdvisor(a)
+			ptr, err := pruned.Tune(app.Kernel, args, nd)
+			if err != nil {
+				t.Fatalf("%s on %s: pruned tune: %v", app.Name, a.Name, err)
+			}
+
+			if ptr.Time > ptr.Baseline {
+				t.Errorf("%s on %s: pruned tune regressed the requested config: %v > %v",
+					app.Name, a.Name, ptr.Time, ptr.Baseline)
+			}
+			if float64(ptr.Time) > 1.05*float64(ftr.Time) {
+				t.Errorf("%s on %s: pruned tune %v (%s coarsen %d) is %.1f%% above full-search optimum %v (%s coarsen %d)",
+					app.Name, a.Name,
+					ptr.Time, ptr.ND, ptr.Coarsen,
+					100*(float64(ptr.Time)/float64(ftr.Time)-1),
+					ftr.Time, ftr.ND, ftr.Coarsen)
+			}
+		}
+	}
+}
+
+// TestPrunedTuneMatchesFullWhenKCoversAll pins the pass-through
+// invariant: a top-k cut wide enough to admit every candidate must
+// reproduce the full search exactly, not merely within tolerance.
+func TestPrunedTuneMatchesFullWhenKCoversAll(t *testing.T) {
+	for _, app := range kernels.Registry() {
+		nd := app.DefaultConfig()
+		args := app.Make(nd)
+
+		full := core.NewAdvisor(nil)
+		full.Pred = nil
+		ftr, err := full.Tune(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: full tune: %v", app.Name, err)
+		}
+
+		wide := core.NewAdvisor(nil)
+		wide.TopK = 1 << 20
+		wtr, err := wide.Tune(app.Kernel, args, nd)
+		if err != nil {
+			t.Fatalf("%s: wide tune: %v", app.Name, err)
+		}
+
+		if wtr.Time != ftr.Time || wtr.ND != ftr.ND || wtr.Coarsen != ftr.Coarsen {
+			t.Errorf("%s: k-covers-all tune diverged from full search: got (%v, %s, coarsen %d), want (%v, %s, coarsen %d)",
+				app.Name, wtr.Time, wtr.ND, wtr.Coarsen, ftr.Time, ftr.ND, ftr.Coarsen)
+		}
+	}
+}
+
+// TestPrunedSearchRecordsCounters checks that every predictor cut is
+// accounted on the evaluator's recorder: scored - kept == pruned, and a
+// default tune over a large candidate set actually prunes.
+func TestPrunedSearchRecordsCounters(t *testing.T) {
+	app := kernels.BinomialOption() // global 255000: 32 divisor candidates
+	nd := app.DefaultConfig()
+	args := app.Make(nd)
+
+	ad := core.NewAdvisor(nil)
+	rec := obs.NewRecorder()
+	ad.Dev.Obs = rec
+	if _, err := ad.Tune(app.Kernel, args, nd); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := rec.Registry()
+	scored := reg.Counter("search.predictor.scored")
+	kept := reg.Counter("search.predictor.kept")
+	pruned := reg.Counter("search.pruned")
+	if scored <= 0 || kept <= 0 {
+		t.Fatalf("predictor counters missing: scored=%v kept=%v", scored, kept)
+	}
+	if pruned != scored-kept {
+		t.Fatalf("search.pruned=%v; want scored-kept=%v", pruned, scored-kept)
+	}
+	if pruned <= 0 {
+		t.Fatalf("default tune over %s pruned nothing (scored=%v kept=%v)", app.Name, scored, kept)
+	}
+
+	// The -nopredict path must not touch the predictor counters.
+	off := core.NewAdvisor(nil)
+	off.Pred = nil
+	offRec := obs.NewRecorder()
+	off.Dev.Obs = offRec
+	if _, err := off.Tune(app.Kernel, args, nd); err != nil {
+		t.Fatal(err)
+	}
+	if got := offRec.Registry().Counter("search.predictor.scored"); got != 0 {
+		t.Fatalf("full search recorded predictor counters: scored=%v", got)
+	}
+
+	if kept > scored {
+		t.Fatalf("kept %v exceeds scored %v", kept, scored)
+	}
+}

@@ -11,6 +11,18 @@ import (
 // candidates) with room for a whole experiment sweep.
 const DefaultCap = 4096
 
+// Sharding: keys are spread over shardCount independently locked
+// segments so concurrent tunes (the clperfd regime: many goroutines
+// pricing candidate sets against one shared cache) stop serializing on a
+// single mutex. Caches smaller than minShardedCap entries stay
+// single-shard: striping a tiny capacity would change which entries an
+// eviction targets, and the exact-LRU semantics of small caches are
+// pinned by tests and by callers that size the cache to a known search.
+const (
+	shardCount    = 8 // power of two (shard index is a hash mask)
+	minShardedCap = 64
+)
+
 // Stats counts cache outcomes. Hits include calls that joined an
 // in-flight evaluation of the same key (the work ran once either way).
 type Stats struct {
@@ -46,12 +58,21 @@ type entry struct {
 }
 
 // Cache is a bounded, concurrency-safe memo table from content-addressed
-// launch keys (see Key) to model-evaluation results. Lookups of a key
-// being computed by another goroutine block until that evaluation
-// finishes; completed entries are evicted least-recently-used once the
-// bound is reached. A nil *Cache is a valid pass-through: Do simply
-// calls fn.
+// launch keys (see Key) to model-evaluation results, striped over
+// mutex-sharded LRU segments (key-hash -> shard). Lookups of a key being
+// computed by another goroutine block until that evaluation finishes;
+// completed entries are evicted least-recently-used within their shard
+// once the shard's bound is reached. Counters are kept per shard and
+// summed on read, so totals are merge-exact: every lookup lands in
+// exactly one shard's counters. A nil *Cache is a valid pass-through: Do
+// simply calls fn.
 type Cache struct {
+	shards []*cacheShard
+	mask   uint32
+}
+
+// cacheShard is one independently locked LRU segment.
+type cacheShard struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*list.Element // of *entry
@@ -59,27 +80,69 @@ type Cache struct {
 	stats   Stats
 }
 
-// NewCache returns a cache bounded to capacity entries (DefaultCap when
-// capacity <= 0).
+// NewCache returns a cache bounded to capacity entries in total
+// (DefaultCap when capacity <= 0), striped over shardCount segments;
+// capacities below minShardedCap stay single-shard with exact global
+// LRU order.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCap
 	}
-	return &Cache{
-		cap:     capacity,
-		entries: map[string]*list.Element{},
-		lru:     list.New(),
+	n := shardCount
+	if capacity < minShardedCap {
+		n = 1
 	}
+	c := &Cache{shards: make([]*cacheShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		// Distribute the bound across shards; earlier shards absorb the
+		// remainder so the total stays exactly capacity.
+		per := capacity / n
+		if i < capacity%n {
+			per++
+		}
+		if per < 1 {
+			per = 1
+		}
+		c.shards[i] = &cacheShard{
+			cap:     per,
+			entries: map[string]*list.Element{},
+			lru:     list.New(),
+		}
+	}
+	return c
 }
 
-// Stats returns a snapshot of the cache counters.
+// shard routes a key to its segment (FNV-1a over the key bytes).
+func (c *Cache) shard(key string) *cacheShard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return c.shards[h&c.mask]
+}
+
+// Stats returns a snapshot of the summed per-shard counters.
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var total Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total.Hits += s.stats.Hits
+		total.Misses += s.stats.Misses
+		total.Evictions += s.stats.Evictions
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Len returns the number of resident entries (including in-flight ones).
@@ -87,9 +150,22 @@ func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Shards returns the number of segments the cache is striped over
+// (exposed for tests and capacity planning).
+func (c *Cache) Shards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
 }
 
 // Do returns the memoized result for key, evaluating fn exactly once per
@@ -102,20 +178,24 @@ func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit bool, evict
 		v, err := fn()
 		return v, false, 0, err
 	}
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
+	return c.shard(key).do(key, fn)
+}
+
+func (s *cacheShard) do(key string, fn func() (any, error)) (val any, hit bool, evicted int, err error) {
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
 		e := el.Value.(*entry)
-		c.stats.Hits++
-		c.mu.Unlock()
+		s.stats.Hits++
+		s.mu.Unlock()
 		<-e.done
 		return e.val, true, 0, e.err
 	}
 	e := &entry{key: key, done: make(chan struct{})}
-	c.entries[key] = c.lru.PushFront(e)
-	c.stats.Misses++
-	evicted = c.evictLocked()
-	c.mu.Unlock()
+	s.entries[key] = s.lru.PushFront(e)
+	s.stats.Misses++
+	evicted = s.evictLocked()
+	s.mu.Unlock()
 
 	defer func() {
 		// Publish even if fn panics, so waiters never deadlock; the panic
@@ -138,18 +218,18 @@ type errPanic struct{ v any }
 func (e errPanic) Error() string { return "search: evaluation panicked" }
 
 // evictLocked drops completed least-recently-used entries until the
-// cache is within bound. In-flight entries are skipped: their callers
+// shard is within bound. In-flight entries are skipped: their callers
 // hold references and will publish into them.
-func (c *Cache) evictLocked() int {
+func (s *cacheShard) evictLocked() int {
 	evicted := 0
-	for el := c.lru.Back(); el != nil && len(c.entries) > c.cap; {
+	for el := s.lru.Back(); el != nil && len(s.entries) > s.cap; {
 		prev := el.Prev()
 		e := el.Value.(*entry)
 		select {
 		case <-e.done:
-			c.lru.Remove(el)
-			delete(c.entries, e.key)
-			c.stats.Evictions++
+			s.lru.Remove(el)
+			delete(s.entries, e.key)
+			s.stats.Evictions++
 			evicted++
 		default:
 			// still being computed

@@ -194,6 +194,19 @@ func (e *Evaluator[R]) EstimateAll(label string, launches []Launch) ([]R, []erro
 	return res, errs
 }
 
+// NotePruned records one predictor-pruned candidate cut against the
+// evaluator's recorder: scored is the full candidate-set size, kept the
+// surviving count that went on to exact evaluation. The counters make
+// the pruned search's miss-rate legible next to the cache counters —
+// search.pruned over search.predictor.scored is the fraction of exact
+// evaluations the predictor saved.
+func (e *Evaluator[R]) NotePruned(scored, kept int) {
+	reg := e.recorder().Registry()
+	reg.Add("search.predictor.scored", float64(scored))
+	reg.Add("search.predictor.kept", float64(kept))
+	reg.Add("search.pruned", float64(scored-kept))
+}
+
 // noteSearch emits the per-search span and counters. The span occupies
 // one logical tick per candidate so consecutive searches tile the
 // "search" track end to end regardless of wall time.

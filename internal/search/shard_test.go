@@ -1,0 +1,182 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheShardCount pins the striping policy: small capacities keep
+// the exact single-LRU semantics (TestCacheEvictsLRU depends on it),
+// larger ones stripe over shardCount segments.
+func TestCacheShardCount(t *testing.T) {
+	cases := []struct {
+		cap, want int
+	}{
+		{2, 1},
+		{minShardedCap - 1, 1},
+		{minShardedCap, shardCount},
+		{0, shardCount}, // DefaultCap
+		{DefaultCap, shardCount},
+	}
+	for _, tc := range cases {
+		if got := NewCache(tc.cap).Shards(); got != tc.want {
+			t.Errorf("NewCache(%d).Shards() = %d, want %d", tc.cap, got, tc.want)
+		}
+	}
+	if got := (*Cache)(nil).Shards(); got != 0 {
+		t.Errorf("nil cache Shards() = %d, want 0", got)
+	}
+}
+
+// TestCacheShardCapacitySum pins that striping preserves the total
+// entry bound exactly, including capacities that do not divide evenly.
+func TestCacheShardCapacitySum(t *testing.T) {
+	for _, capacity := range []int{64, 100, 4096, 4099} {
+		c := NewCache(capacity)
+		sum := 0
+		for _, s := range c.shards {
+			sum += s.cap
+		}
+		if sum != capacity {
+			t.Errorf("NewCache(%d): shard capacities sum to %d", capacity, sum)
+		}
+	}
+}
+
+// TestCacheShardedCountersMergeExact hammers a sharded cache from many
+// goroutines and checks the summed counters account for every lookup
+// exactly: hits+misses == lookups, and misses == distinct keys actually
+// evaluated (no evictions occur below the bound, so every re-lookup of a
+// key is a hit).
+func TestCacheShardedCountersMergeExact(t *testing.T) {
+	c := NewCache(1024)
+	if c.Shards() < 2 {
+		t.Fatalf("want a sharded cache, got %d shard(s)", c.Shards())
+	}
+	const (
+		workers = 16
+		keys    = 256
+		rounds  = 8
+	)
+	var evals atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keys; i++ {
+					key := fmt.Sprintf("k%03d", (i+w)%keys)
+					v, _, _, err := c.Do(key, func() (any, error) {
+						evals.Add(1)
+						return key, nil
+					})
+					if err != nil || v.(string) != key {
+						t.Errorf("Do(%q) = %v, %v", key, v, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	lookups := uint64(workers * keys * rounds)
+	if st.Hits+st.Misses != lookups {
+		t.Errorf("hits(%d)+misses(%d) = %d, want %d lookups",
+			st.Hits, st.Misses, st.Hits+st.Misses, lookups)
+	}
+	if st.Misses != evals.Load() {
+		t.Errorf("misses = %d but fn ran %d times", st.Misses, evals.Load())
+	}
+	if st.Misses != keys {
+		t.Errorf("misses = %d, want %d (one per distinct key)", st.Misses, keys)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0 (working set below bound)", st.Evictions)
+	}
+	if c.Len() != keys {
+		t.Errorf("Len = %d, want %d", c.Len(), keys)
+	}
+}
+
+// TestCacheShardedEvictionBound pins that a sharded cache stays within
+// its total bound under a churn workload that overflows every shard.
+func TestCacheShardedEvictionBound(t *testing.T) {
+	const capacity = 128
+	c := NewCache(capacity)
+	const keys = capacity * 4
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("churn%04d", i)
+		if _, _, _, err := c.Do(key, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > capacity {
+		t.Errorf("Len = %d exceeds bound %d after churn", c.Len(), capacity)
+	}
+	st := c.Stats()
+	if st.Misses != keys {
+		t.Errorf("misses = %d, want %d", st.Misses, keys)
+	}
+	if want := uint64(keys - c.Len()); st.Evictions != want {
+		t.Errorf("evictions = %d, want misses-resident = %d", st.Evictions, want)
+	}
+}
+
+// TestCacheShardRoutingStable pins that a key always routes to the same
+// shard, so repeated lookups hit.
+func TestCacheShardRoutingStable(t *testing.T) {
+	c := NewCache(DefaultCap)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("route%02d", i)
+		if c.shard(key) != c.shard(key) {
+			t.Fatalf("key %q routed to different shards", key)
+		}
+		c.Do(key, func() (any, error) { return i, nil })
+		_, hit, _, _ := c.Do(key, func() (any, error) { return nil, nil })
+		if !hit {
+			t.Fatalf("second lookup of %q missed", key)
+		}
+	}
+}
+
+// BenchmarkCacheContention measures parallel hit-path throughput on a
+// warm cache — the clperfd regime where many tunes price overlapping
+// candidate sets. Compare the sharded default against a single-shard
+// cache of the same total capacity to see the striping payoff.
+func BenchmarkCacheContention(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		shards bool
+	}{
+		{"sharded", true},
+		{"single", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			capacity := DefaultCap
+			if !bc.shards {
+				capacity = minShardedCap - 1 // forces one shard
+			}
+			c := NewCache(capacity)
+			const keys = 48 // one Binomialoption candidate set
+			for i := 0; i < keys; i++ {
+				c.Do(fmt.Sprintf("wg%02d", i), func() (any, error) { return i, nil })
+			}
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					key := fmt.Sprintf("wg%02d", i%keys)
+					i++
+					if _, hit, _, _ := c.Do(key, func() (any, error) { return nil, nil }); !hit {
+						b.Fatal("unexpected miss on warm cache")
+					}
+				}
+			})
+		})
+	}
+}
