@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke baseline bench-compare smoke obs-smoke san-smoke ci clean
+.PHONY: all build vet test race bench bench-smoke baseline bench-compare smoke obs-smoke san-smoke matrix-smoke ci clean
 
 all: build
 
@@ -26,7 +26,7 @@ bench:
 bench-smoke:
 	$(GO) test -bench='Tune|Partition|CacheSim|ExecRange' -benchtime=1x -run=^$$ .
 
-# Regenerate the committed perf baseline (BENCH_pr9.json).
+# Regenerate the committed perf baseline (BENCH_pr10.json).
 baseline:
 	$(GO) run ./cmd/perfbaseline -reps 9
 
@@ -34,11 +34,13 @@ baseline:
 # exec2_*_ns engine times in the newest baseline regressed >20% vs the
 # previous BENCH_pr*, if observability overhead exceeds its absolute 5%
 # budget, if the lane-batched engine's v2-over-v1 speedup drops below
-# its absolute 2x floor on matmul or binomial, or if the learned cost
+# its absolute 2x floor on matmul or binomial, if the learned cost
 # predictor's pruned tune falls under its 5x speedup floor or over its
-# 5% worst-case quality budget.
+# 5% worst-case quality budget, or if the trace-once / replay-many
+# matrix pipeline falls under its 5x speedup floor over the
+# execute-per-device baseline.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -new BENCH_pr9.json -old auto
+	$(GO) run ./cmd/benchcompare -new BENCH_pr10.json -old auto
 
 # Exercise the concurrent suite path end to end: every artifact on 4
 # workers, with a per-experiment timeout as a hang backstop.
@@ -60,10 +62,19 @@ san-smoke:
 	$(GO) test -count=1 ./internal/san/...
 	sh scripts/san_smoke.sh
 
+# End-to-end portability-matrix smoke: the 3x3 grid priced through the
+# trace-once / replay-many pipeline must render byte-identical to the
+# -noreplay execute-per-device baseline.
+matrix-smoke:
+	$(GO) test -count=1 ./internal/replay/...
+	sh scripts/matrix_smoke.sh
+
 # The gate CI runs: everything must build, vet clean, pass under the
 # race detector, survive a concurrent full-suite run, execute the
 # search-layer benchmarks once, hold the committed perf baseline (incl.
-# the engine-v2 2x floor), keep the live observability plane scrapeable
-# and diffable end to end, and hold the hazard analyzer's
-# zero-false-positive / full-detection contract.
-ci: build vet race smoke bench-smoke bench-compare obs-smoke san-smoke
+# the engine-v2 2x floor and the replay 5x floor), keep the live
+# observability plane scrapeable and diffable end to end, hold the
+# hazard analyzer's zero-false-positive / full-detection contract, and
+# keep the replayed portability matrix byte-identical to per-device
+# execution.
+ci: build vet race smoke bench-smoke bench-compare obs-smoke san-smoke matrix-smoke

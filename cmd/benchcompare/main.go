@@ -14,7 +14,12 @@
 // gates are absolute too: tune_predict_speedup must stay above its 5x
 // floor (the pruned search's payoff over the exhaustive one) and
 // tune_quality_pct under its 5% budget (the pruned tune's worst-case
-// drift above the full search's optimum across the registry). Other
+// drift above the full search's optimum across the registry). The
+// trace-once / replay-many gate is absolute as well:
+// matrix_replay_speedup must stay above its 5x floor (replaying one
+// captured trace on the 8-device zoo versus executing per device), and
+// matrix_replay_ns is gated against the old baseline like the other
+// wall times. Other
 // speedup ratios (exec, cachesim) and hit rates are reported but not
 // gated: they compare two measured arms and are noisy in both
 // directions.
@@ -83,6 +88,13 @@ type metrics struct {
 	TuneTopkNs         int64   `json:"tune_topk_ns"`
 	TunePredictSpeedup float64 `json:"tune_predict_speedup"`
 	TuneQualityPct     float64 `json:"tune_quality_pct"`
+
+	// v7 trace-once / replay-many fields: the matrix workload executed
+	// once per zoo device versus one captured trace replayed on every
+	// device, and their speedup (gated against the absolute 5x floor).
+	MatrixNaiveNs       int64   `json:"matrix_naive_ns"`
+	MatrixReplayNs      int64   `json:"matrix_replay_ns"`
+	MatrixReplaySpeedup float64 `json:"matrix_replay_speedup"`
 }
 
 // obsOverheadBudgetPct is the absolute ceiling on recording overhead:
@@ -106,9 +118,15 @@ const tunePredictSpeedupFloor = 5.0
 // regardless of the old baseline.
 const tuneQualityBudgetPct = 5.0
 
+// matrixReplaySpeedupFloor is the absolute floor on the trace-once /
+// replay-many pipeline's payoff over executing the matrix workload once
+// per zoo device; below 5x at 8 devices the replay path has stopped
+// earning its complexity.
+const matrixReplaySpeedupFloor = 5.0
+
 func main() {
 	oldPath := flag.String("old", "auto", "old baseline JSON, or 'auto' to pick the latest other BENCH_pr*.json")
-	newPath := flag.String("new", "BENCH_pr9.json", "new baseline JSON")
+	newPath := flag.String("new", "BENCH_pr10.json", "new baseline JSON")
 	tol := flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing (0.20 = +20%)")
 	explain := flag.String("explain", "", "on regression, attribute it: OLD,NEW observability artifacts (snapshot or trace JSON) for internal/obs/diff")
 	flag.Parse()
@@ -182,6 +200,11 @@ func main() {
 	// baseline that slowly degrades cannot grandfather a broken predictor.
 	check("tune_topk_ns", oldM.TuneTopkNs, newM.TuneTopkNs)
 	checkFloor("tune_predict_speedup", newM.TunePredictSpeedup, tunePredictSpeedupFloor)
+	// The trace-once / replay-many gates: replaying one captured trace on
+	// the 8-device zoo must stay at least 5x faster than executing per
+	// device, and the replay arm itself must not creep up.
+	check("matrix_replay_ns", oldM.MatrixReplayNs, newM.MatrixReplayNs)
+	checkFloor("matrix_replay_speedup", newM.MatrixReplaySpeedup, matrixReplaySpeedupFloor)
 	if newM.TuneFullNs != 0 {
 		status := "ok"
 		if newM.TuneQualityPct > tuneQualityBudgetPct {

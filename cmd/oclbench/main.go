@@ -34,6 +34,17 @@
 //	                            # record the merged metrics snapshot and
 //	                            # Chrome trace to files for cmd/cldiff
 //	                            # run-to-run attribution
+//	oclbench -e matrix          # kernels x devices portability matrix
+//	                            # over the extended CPU zoo, priced
+//	                            # through the trace-once / replay-many
+//	                            # pipeline (internal/replay); standalone,
+//	                            # not part of -e all
+//	oclbench -e matrix -noreplay
+//	                            # same matrix, executing once per device
+//	                            # instead of replaying one trace — the
+//	                            # A/B baseline; output is byte-identical
+//	oclbench -e matrix -matrixn 3
+//	                            # truncate the grid to 3x3 (CI smoke)
 //	oclbench -e all -san        # after the suite, replay every kernel
 //	                            # under the happens-before hazard
 //	                            # analyzer (races, barrier divergence,
@@ -93,6 +104,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		nocache  = fs.Bool("nocache", false, "disable the memoized model-evaluation layer (A/B baseline; results are identical either way)")
 		nopred   = fs.Bool("nopredict", false, "disable the learned cost predictor's search pruning (A/B baseline; results are identical either way)")
 		topk     = fs.Int("topk", 0, "predictor-pruned search keeps this many candidates per search (0 = default 8)")
+		noreplay = fs.Bool("noreplay", false, "disable the trace-once / replay-many pipeline: matrix-style sweeps execute per device (A/B baseline; results are identical either way)")
+		matrixn  = fs.Int("matrixn", 0, "truncate the portability matrix to its first N kernels and N devices (0 = full grid)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile at exit to this file")
 		srvAddr  = fs.String("serve", "", "serve the live observability endpoints (/metrics /snapshot /trace /healthz) on this address while the suite runs")
@@ -146,6 +159,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		for _, e := range experiments.All() {
 			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
+		for _, e := range experiments.Standalone() {
+			fmt.Fprintf(stdout, "%-8s %s (standalone: not part of -e all)\n", e.ID, e.Title)
+		}
 		return 0
 	}
 
@@ -174,7 +190,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Parallel: *par,
 		Timeout:  *timeout,
 		Observe:  observe,
-		Base:     harness.Options{Verbose: *verbose, NoCache: *nocache, NoPredict: *nopred, TopK: *topk},
+		Base: harness.Options{Verbose: *verbose, NoCache: *nocache, NoPredict: *nopred,
+			TopK: *topk, NoReplay: *noreplay, MatrixN: *matrixn},
 	})
 
 	var srv *serve.Server

@@ -1,5 +1,5 @@
 // Command perfbaseline times the repo's hot paths and writes a JSON
-// baseline for cross-PR comparison (committed as BENCH_pr9.json). It
+// baseline for cross-PR comparison (committed as BENCH_pr10.json). It
 // measures the same session workloads as the root Tune/Partition
 // benchmarks — cached versus the uncached serial seed behavior — one
 // full experiment-suite run (with and without the observability
@@ -17,13 +17,20 @@
 // being 5x faster than the full search, or the pruned tune's result
 // drifts more than 5% above the full search's optimum.
 //
+// v7 adds the trace-once / replay-many matrix workload
+// (internal/replay): one compute-dense launch priced on the full
+// 8-device arch.MatrixZoo, executing once per device (the -noreplay
+// baseline) versus capturing one trace and replaying it on every
+// device's cache simulator. matrix_replay_speedup is gated by
+// benchcompare at an absolute 5x floor.
+//
 // The legacy tune_*/partition_* session metrics keep the predictor
 // disabled so they stay comparable with pre-predictor baselines: they
 // isolate the memoization layer, not the pruning.
 //
 // Usage:
 //
-//	perfbaseline              # write BENCH_pr9.json
+//	perfbaseline              # write BENCH_pr10.json
 //	perfbaseline -o out.json  # write elsewhere
 //	perfbaseline -reps 5      # median of 5 repetitions per workload
 package main
@@ -48,6 +55,7 @@ import (
 	"clperf/internal/hetero"
 	"clperf/internal/ir"
 	"clperf/internal/kernels"
+	"clperf/internal/replay"
 )
 
 // sessionPasses mirrors the root benchmarks: one cold search plus two
@@ -110,6 +118,16 @@ type Baseline struct {
 	TunePredictSpeedup float64 `json:"tune_predict_speedup"`
 	TuneQualityPct     float64 `json:"tune_quality_pct"`
 
+	// v7: trace-once / replay-many matrix medians — the portability
+	// matrix's inner loop (one compute-dense launch priced on all 8
+	// arch.MatrixZoo devices), naive execute-per-device versus one
+	// captured trace replayed on every device's cache simulator
+	// (bitwise-identical results, property-tested in internal/replay).
+	// The speedup is gated at an absolute 5x floor.
+	MatrixNaiveNs       int64   `json:"matrix_naive_ns"`
+	MatrixReplayNs      int64   `json:"matrix_replay_ns"`
+	MatrixReplaySpeedup float64 `json:"matrix_replay_speedup"`
+
 	// Observability cost: the same suite run with every experiment on a
 	// private recorder merged into the suite view (oclbench -metrics /
 	// -serve path), and the overhead relative to the recorder-off run.
@@ -120,12 +138,12 @@ type Baseline struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr9.json", "output path")
+	out := flag.String("o", "BENCH_pr10.json", "output path")
 	reps := flag.Int("reps", 3, "repetitions per workload (median is reported)")
 	flag.Parse()
 
 	b := Baseline{
-		Schema:     "clperf/perfbaseline/v6",
+		Schema:     "clperf/perfbaseline/v7",
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -170,6 +188,13 @@ func main() {
 	b.TuneFullNs = median(*reps, func() { tunePredict(false) })
 	b.TunePredictSpeedup = ratio(b.TuneFullNs, b.TuneTopkNs)
 	b.TuneQualityPct = tuneQualityPct()
+
+	// Matrix workload: warm once (compiles the kernel, grows the trace
+	// buffers), then alternate the arms.
+	matrixRun(false)
+	b.MatrixNaiveNs = median(*reps, func() { matrixRun(true) })
+	b.MatrixReplayNs = median(*reps, func() { matrixRun(false) })
+	b.MatrixReplaySpeedup = ratio(b.MatrixNaiveNs, b.MatrixReplayNs)
 
 	exps := experiments.All()
 	b.SuiteExperiments = len(exps)
@@ -228,12 +253,12 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), exec matmul %.2fx binomial %.2fx, v2/v1 matmul %.2fx binomial %.2fx, cachesim %.2fx, predictor %.2fx (quality %+.2f%%), suite %v (obs %v, %+.1f%% overhead)\n",
+	fmt.Printf("wrote %s: tune %.2fx (hit rate %.0f%%), partition %.2fx (hit rate %.0f%%), exec matmul %.2fx binomial %.2fx, v2/v1 matmul %.2fx binomial %.2fx, cachesim %.2fx, predictor %.2fx (quality %+.2f%%), matrix replay %.2fx, suite %v (obs %v, %+.1f%% overhead)\n",
 		*out, b.TuneSpeedup, 100*b.TuneCacheHitRate,
 		b.PartSpeedup, 100*b.PartCPUCacheHitRate,
 		b.ExecMatmulSpeedup, b.ExecBinomialSpeedup,
 		b.Exec2MatmulSpeedup, b.Exec2BinomialSpeedup, b.CachesimSpeedup,
-		b.TunePredictSpeedup, b.TuneQualityPct,
+		b.TunePredictSpeedup, b.TuneQualityPct, b.MatrixReplaySpeedup,
 		time.Duration(b.SuiteNs).Round(time.Millisecond),
 		time.Duration(b.SuiteObsNs).Round(time.Millisecond), b.ObsOverheadPct)
 }
@@ -335,6 +360,40 @@ func partitionSession(cached bool) float64 {
 		}
 	}
 	return p.CPUEval.Stats().HitRate()
+}
+
+// matrixDevs/matrixApp are the trace-once / replay-many workload: the
+// full 8-device zoo the portability matrix sweeps, priced for one
+// compute-dense launch. Binomialoption is the representative kernel on
+// purpose — its 255-step local-memory tree makes execution dwarf cache
+// simulation, which is the regime the replay pipeline exists for (the
+// access-heavy kernels bound the win at the sim/exec ratio instead).
+// Arguments are built once: the kernel overwrites its outputs, so
+// repetitions do identical work on both arms.
+var (
+	matrixDevs = func() []*cpu.Device {
+		zoo := arch.MatrixZoo()
+		devs := make([]*cpu.Device, len(zoo))
+		for i, a := range zoo {
+			devs[i] = cpu.New(a)
+		}
+		return devs
+	}()
+	matrixApp  = kernels.BinomialOption()
+	matrixND   = ir.Range1D(255*256, 255)
+	matrixArgs = matrixApp.Make(matrixND)
+)
+
+// matrixRun prices the matrix workload on every zoo device: naive
+// executes once per device (the pre-replay behavior), otherwise one
+// capture plus per-device replays. No memo cache: repetitions must pay
+// the full pipeline, not a lookup.
+func matrixRun(naive bool) {
+	_, _, err := replay.PinnedAll(matrixDevs, matrixApp.Kernel, matrixArgs, matrixND,
+		replay.Options{NoReplay: naive})
+	if err != nil {
+		fatal(err)
+	}
 }
 
 // predictApp is the predictor benchmark workload, shared with the root

@@ -40,6 +40,110 @@ func wideServer() *CPU {
 	return c
 }
 
+// MatrixZoo returns the 8-device CPU zoo of the portability-matrix
+// experiment: the four CPUZoo members plus four further synthetic
+// variants stretching the same axes (mid-range AVX2 server, manycore
+// throughput part, L3-heavy cache machine, bandwidth-starved embedded
+// client). It is a strict superset of CPUZoo but a separate population:
+// the learned cost predictor's frozen fit (internal/predict) trains on
+// CPUZoo only, so appending devices here never perturbs the checked-in
+// coefficients. Order and parameters are fixed — the matrix experiment's
+// columns, the replay differential tests and the perfbaseline matrix
+// workload all iterate this list.
+func MatrixZoo() []*CPU {
+	return append(CPUZoo(),
+		midServerAVX2(),
+		manycoreThroughput(),
+		cacheHeavyDesktop(),
+		embeddedClient(),
+	)
+}
+
+// midServerAVX2 is a contemporary mid-range two-socket AVX2 server: the
+// common ground between the paper-era Xeon and the AVX-512 extreme.
+func midServerAVX2() *CPU {
+	c := XeonE5645()
+	c.Name = "Synthetic 2S x 8C AVX2 server"
+	c.Sockets = 2
+	c.CoresPerSocket = 8
+	c.Clock = 2.6 * units.Gigahertz
+	c.IssueWidth = 4
+	c.SIMDWidth = 8
+	c.SIMDName = "AVX2"
+	c.OoOWindow = 192
+	c.L2 = CacheGeom{Size: 256 * units.Kibibyte, LineSize: 64, Assoc: 8, Latency: 12}
+	c.L3 = CacheGeom{Size: 20 * units.Mebibyte, LineSize: 64, Assoc: 20, Latency: 40}
+	c.MemBandwidth = 68 * units.GBPerSecond
+	c.L3Bandwidth = 250 * units.GBPerSecond
+	return c
+}
+
+// manycoreThroughput is a single-socket manycore throughput part: many
+// modestly clocked SMT cores behind small private caches, the
+// GPU-adjacent corner of the CPU spectrum.
+func manycoreThroughput() *CPU {
+	c := XeonE5645()
+	c.Name = "Synthetic 1S x 24C throughput"
+	c.Sockets = 1
+	c.CoresPerSocket = 24
+	c.SMTWays = 4
+	c.SMTYield = 0.4
+	c.Clock = 1.4 * units.Gigahertz
+	c.IssueWidth = 2
+	c.SIMDWidth = 8
+	c.SIMDName = "AVX2"
+	c.OoOWindow = 72
+	c.L1D = CacheGeom{Size: 16 * units.Kibibyte, LineSize: 64, Assoc: 4, Latency: 3}
+	c.L2 = CacheGeom{Size: 256 * units.Kibibyte, LineSize: 64, Assoc: 8, Latency: 15}
+	c.L3 = CacheGeom{Size: 16 * units.Mebibyte, LineSize: 64, Assoc: 16, Latency: 60}
+	c.MemBandwidth = 100 * units.GBPerSecond
+	c.L3Bandwidth = 220 * units.GBPerSecond
+	return c
+}
+
+// cacheHeavyDesktop is an eight-core desktop with an outsized victim-
+// style L3: working sets that stream from DRAM everywhere else turn
+// L3-resident here, isolating the cache-capacity axis.
+func cacheHeavyDesktop() *CPU {
+	c := XeonE5645()
+	c.Name = "Synthetic 1S x 8C big-L3 desktop"
+	c.Sockets = 1
+	c.CoresPerSocket = 8
+	c.Clock = 3.4 * units.Gigahertz
+	c.IssueWidth = 4
+	c.SIMDWidth = 8
+	c.SIMDName = "AVX2"
+	c.OoOWindow = 160
+	c.L2 = CacheGeom{Size: 512 * units.Kibibyte, LineSize: 64, Assoc: 8, Latency: 13}
+	c.L3 = CacheGeom{Size: 96 * units.Mebibyte, LineSize: 64, Assoc: 16, Latency: 46}
+	c.MemBandwidth = 50 * units.GBPerSecond
+	c.L3Bandwidth = 300 * units.GBPerSecond
+	return c
+}
+
+// embeddedClient is a bandwidth-starved quad-core embedded part: narrow
+// SIMD, tiny caches, single-channel memory — the floor of the zoo's
+// memory system axis.
+func embeddedClient() *CPU {
+	c := XeonE5645()
+	c.Name = "Synthetic 1S x 4C embedded"
+	c.Sockets = 1
+	c.CoresPerSocket = 4
+	c.SMTWays = 1
+	c.Clock = 1.8 * units.Gigahertz
+	c.IssueWidth = 2
+	c.SIMDWidth = 4
+	c.SIMDName = "SIMD128"
+	c.OoOWindow = 40
+	c.MaxWorkgroup = 256
+	c.L1D = CacheGeom{Size: 32 * units.Kibibyte, LineSize: 64, Assoc: 4, Latency: 3}
+	c.L2 = CacheGeom{Size: 256 * units.Kibibyte, LineSize: 64, Assoc: 8, Latency: 11}
+	c.L3 = CacheGeom{Size: 1 * units.Mebibyte, LineSize: 64, Assoc: 8, Latency: 25}
+	c.MemBandwidth = 6 * units.GBPerSecond
+	c.L3Bandwidth = 25 * units.GBPerSecond
+	return c
+}
+
 // narrowClient is a synthetic small laptop-class part with no SMT and a
 // scalar-leaning core: it stresses the few-worker, dispatch-dominated
 // corner where large workgroups win on overhead alone.

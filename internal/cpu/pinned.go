@@ -31,6 +31,23 @@ type PinnedResult struct {
 	Hierarchy *cache.Hierarchy
 }
 
+// CoreMap normalizes an affinity function to the device's physical
+// cores: the affinity may return any int, and the mapping wraps it
+// (negative values wrap upward). Both the executed path (LaunchPinned)
+// and the trace-replay path (internal/replay) must route workgroup g
+// through the same physical core for their stall maps to agree, so the
+// normalization lives here, once.
+func (d *Device) CoreMap(aff AffinityFunc) func(int) int {
+	phys := d.A.PhysicalCores()
+	return func(g int) int {
+		c := aff(g) % phys
+		if c < 0 {
+			c += phys
+		}
+		return c
+	}
+}
+
 // LaunchPinned functionally executes the kernel with the given
 // workgroup->core affinity, charging memory time from the (persistent)
 // cache hierarchy instead of the bandwidth floor. Use one hierarchy across
@@ -59,16 +76,7 @@ func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 		return nil, err
 	}
 
-	// The affinity function may return any int; normalize to a physical
-	// core by wrapping (negative values wrap upward).
-	phys := d.A.PhysicalCores()
-	coreOf := func(g int) int {
-		c := aff(g) % phys
-		if c < 0 {
-			c += phys
-		}
-		return c
-	}
+	coreOf := d.CoreMap(aff)
 	var sim cache.Sim
 	if d.CacheSimOracle {
 		sim = cache.NewSerial(hier, coreOf, cache.StoreWriteFactor)
@@ -84,8 +92,38 @@ func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 	if execErr != nil {
 		return nil, fmt.Errorf("cpu: pinned execution of %s: %w", k.Name, execErr)
 	}
+	return d.pricePinned(k.Name, cost, nd, coreOf, stalls, hier), nil
+}
 
-	// Per-core busy time: the groups it was assigned plus its cache stalls.
+// PriceTraced prices a pinned launch whose access stream was simulated
+// elsewhere: the trace-once / replay-many path (internal/replay) feeds a
+// captured device-independent trace through a fresh hierarchy and hands
+// the resulting per-core stall map here. Everything after the simulation
+// — local-size resolution, static analysis, the per-core busy-time math —
+// is the code LaunchPinned runs, so a replayed PinnedResult is bitwise
+// identical to an executed one given equal stalls (which the replay
+// package property-tests).
+func (d *Device) PriceTraced(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
+	aff AffinityFunc, stalls map[int]float64, hier *cache.Hierarchy) (*PinnedResult, error) {
+	if aff == nil {
+		return nil, fmt.Errorf("cpu: PriceTraced needs an affinity function")
+	}
+	nd = d.ResolveLocal(nd)
+	if err := nd.Validate(); err != nil {
+		return nil, err
+	}
+	cost, err := d.Analyze(k, args, nd)
+	if err != nil {
+		return nil, err
+	}
+	return d.pricePinned(k.Name, cost, nd, d.CoreMap(aff), stalls, hier), nil
+}
+
+// pricePinned is the shared post-simulation pricing: per-core busy time
+// is the groups the core was assigned plus its cache stalls plus its
+// share of dispatch, and the launch takes as long as its worst core.
+func (d *Device) pricePinned(kname string, cost *Cost, nd ir.NDRange,
+	coreOf func(int) int, stalls map[int]float64, hier *cache.Hierarchy) *PinnedResult {
 	groups := nd.NumGroups()
 	items := nd.GroupItems()
 	groupsPerCore := map[int]int{}
@@ -108,7 +146,7 @@ func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 
 	return &PinnedResult{
 		Result: Result{
-			Kernel:  k.Name,
+			Kernel:  kname,
 			ND:      nd,
 			Cost:    cost,
 			Time:    time,
@@ -118,5 +156,5 @@ func (d *Device) LaunchPinned(k *ir.Kernel, args *ir.Args, nd ir.NDRange,
 		},
 		StallCycles: stalls,
 		Hierarchy:   hier,
-	}, nil
+	}
 }

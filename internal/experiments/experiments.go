@@ -109,15 +109,27 @@ func All() []harness.Experiment {
 	}
 }
 
-// ByID returns the experiment with the given id.
+// Standalone returns experiments that run only when addressed by id.
+// They stay out of All() because results.txt — the checked-in render of
+// the full suite — must not change as new studies land; ByID and the
+// oclbench -list output cover both sets.
+func Standalone() []harness.Experiment {
+	return []harness.Experiment{
+		Matrix(),
+	}
+}
+
+// ByID returns the experiment with the given id, searching the suite
+// (All) and the standalone set.
 func ByID(id string) (harness.Experiment, error) {
-	for _, e := range All() {
+	all := append(All(), Standalone()...)
+	for _, e := range all {
 		if e.ID == id {
 			return e, nil
 		}
 	}
 	var ids []string
-	for _, e := range All() {
+	for _, e := range all {
 		ids = append(ids, e.ID)
 	}
 	sort.Strings(ids)

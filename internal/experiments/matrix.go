@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clperf/internal/arch"
+	"clperf/internal/core"
+	"clperf/internal/cpu"
+	"clperf/internal/gpu"
+	"clperf/internal/harness"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/obs"
+	"clperf/internal/replay"
+	"clperf/internal/search"
+)
+
+// The portability matrix: every matrix kernel priced on every device of
+// the extended CPU zoo (arch.MatrixZoo), through the trace-once /
+// replay-many pipeline (internal/replay). The experiment is standalone —
+// `oclbench -e matrix` — and deliberately not part of All(): results.txt
+// is the checked-in render of the full suite and must not change as the
+// matrix grows.
+
+// matrixEntry is one row of the grid: an application and the reference
+// geometry its cells are priced at. The geometry has an explicit local
+// size (replay capture requires it: devices resolve NULL locals
+// differently) and is small enough that the full grid stays interactive.
+type matrixEntry struct {
+	app *kernels.App
+	nd  ir.NDRange
+}
+
+// matrixEntries returns the grid's kernel axis. Every member is
+// idempotent (pure out = f(in)), because the -noreplay baseline
+// re-executes each kernel once per device on the same buffers;
+// Histogram's atomic accumulation is excluded for exactly that reason.
+// Every member also performs counted flops (the portability score is a
+// flop-efficiency measure), which excludes the pure-copy Transpose.
+func matrixEntries() []matrixEntry {
+	return []matrixEntry{
+		{kernels.Square(), ir.Range1D(1 << 18, 256)},
+		{kernels.VectorAdd(), ir.Range1D(1 << 18, 256)},
+		{kernels.MatrixMul(), ir.Range2D(160, 320, 16, 16)},
+		{kernels.MatrixMulNaive(), ir.Range2D(160, 320, 16, 16)},
+		{kernels.BlackScholes(), ir.Range2D(640, 640, 16, 16)},
+		{kernels.Convolution(), ir.Range2D(1024, 256, 64, 1)},
+		{kernels.Stencil5(), ir.Range2D(512, 512, 16, 16)},
+		{kernels.Stencil9(), ir.Range2D(512, 512, 16, 16)},
+	}
+}
+
+// matrixLabels returns short column labels for arch.MatrixZoo, in zoo
+// order (full device names would blow the table width).
+func matrixLabels(archs []*arch.CPU) []string {
+	short := []string{"Xeon", "SNB", "wide", "narrow", "avx2", "many", "bigL3", "embed"}
+	out := make([]string, len(archs))
+	for i, a := range archs {
+		if i < len(short) {
+			out[i] = short[i]
+		} else {
+			out[i] = a.Name
+		}
+	}
+	return out
+}
+
+// harmonicEff reduces a row of per-device architectural efficiencies
+// (achieved / peak GFlop/s per device) to one portability score: their
+// harmonic mean. Normalizing by each device's own peak removes the zoo's
+// raw capability spread (wide server vs embedded part is ~100x), so the
+// score measures how uniformly the kernel exploits whatever hardware it
+// lands on — the Pennycook-style efficiency mean. The harmonic mean
+// punishes a single pathological device harder than the arithmetic mean,
+// matching how a portability failure is experienced.
+func harmonicEff(eff []float64) float64 {
+	sum := 0.0
+	for _, v := range eff {
+		if v <= 0 {
+			return 0
+		}
+		sum += 1 / v
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(len(eff)) / sum
+}
+
+// Matrix returns the kernels x devices portability-matrix experiment.
+func Matrix() harness.Experiment {
+	return harness.Experiment{
+		ID:    "matrix",
+		Title: "Performance portability matrix over the extended CPU zoo",
+		Run: func(opts harness.Options) (*harness.Report, error) {
+			entries := matrixEntries()
+			archs := arch.MatrixZoo()
+			if n := opts.MatrixN; n > 0 {
+				if n < len(entries) {
+					entries = entries[:n]
+				}
+				if n < len(archs) {
+					archs = archs[:n]
+				}
+			}
+			labels := matrixLabels(archs)
+
+			rec := func() *obs.Recorder { return opts.Obs }
+			var replayCache *search.Cache
+			if !opts.NoCache {
+				replayCache = search.NewCache(0)
+			}
+			ads := make([]*core.Advisor, len(archs))
+			devs := make([]*cpu.Device, len(archs))
+			for j, a := range archs {
+				ad := core.NewAdvisor(a)
+				ad.Dev.Obs = opts.Obs
+				if opts.NoPredict {
+					ad.Pred = nil
+				}
+				ad.TopK = opts.TopK
+				// Serial evaluation: the devices record onto the shared
+				// recorder, whose stream must not depend on goroutine
+				// interleaving.
+				ad.Eval.Workers = 1
+				if opts.NoCache {
+					ad.Eval.Cache = nil
+				}
+				ads[j] = ad
+				devs[j] = ad.Dev
+			}
+			gpuDev := gpu.New(arch.GTX580())
+			gpuDev.Obs = opts.Obs
+
+			tuned := &harness.Table{
+				Title:   "Tuned throughput (GFlop/s, best workgroup per device)",
+				Columns: append(append([]string{"Benchmark"}, labels...), "portability"),
+			}
+			times := &harness.Table{
+				Title:   "Replayed runtime at the reference geometry",
+				Columns: append(append([]string{"Benchmark"}, labels...), "GTX580 (est)"),
+			}
+
+			for _, e := range entries {
+				if opts.Ctx != nil && opts.Ctx.Err() != nil {
+					return nil, opts.Ctx.Err()
+				}
+				k := e.app.Kernel
+				args := e.app.Make(e.nd)
+
+				// Tuned row: per-device best workgroup through the static
+				// model (search-memoized, predictor-pruned unless
+				// -nopredict). GFlop/s compare across devices because the
+				// application flop count is geometry-determined.
+				eff := make([]float64, len(ads))
+				row := []any{e.app.Name}
+				for j, ad := range ads {
+					best, _, err := ad.BestWorkgroup(k, args, e.nd)
+					if err != nil {
+						return nil, fmt.Errorf("matrix: tune %s on %s: %w", e.app.Name, archs[j].Name, err)
+					}
+					res, err := ad.Eval.Estimate(k, args, best)
+					if err != nil {
+						return nil, fmt.Errorf("matrix: estimate %s on %s: %w", e.app.Name, archs[j].Name, err)
+					}
+					gf := res.Throughput().GFlops()
+					eff[j] = gf / archs[j].PeakFlops().GFlops()
+					row = append(row, gf)
+				}
+				tuned.AddRow(append(row, harmonicEff(eff))...)
+
+				// Runtime row: one traced execution replayed on every
+				// device's cache simulator (or M naive executions under
+				// -noreplay — bitwise the same cells).
+				results, tr, err := replay.PinnedAll(devs, k, args, e.nd, replay.Options{
+					NoReplay: opts.NoReplay,
+					Cache:    replayCache,
+					Rec:      rec,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("matrix: %s: %w", e.app.Name, err)
+				}
+				if opts.Functional {
+					if err := e.app.Check(args, e.nd); err != nil {
+						return nil, fmt.Errorf("matrix: %s failed validation: %w", e.app.Name, err)
+					}
+				}
+				row = []any{e.app.Name}
+				for _, r := range results {
+					row = append(row, r.Time)
+				}
+				// GPU column: the same trace priced on the GTX 580's static
+				// model (estimate-only — no CPU cache simulation applies).
+				// Excluded from the portability score, which ranks CPU
+				// devices only.
+				var g *gpu.Result
+				if tr != nil {
+					g, err = replay.EstimateOn(tr, gpuDev.Fingerprint(), gpuDev.Estimate, replayCache, rec)
+				} else {
+					g, err = gpuDev.Estimate(k, args, e.nd)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("matrix: %s on GTX580: %w", e.app.Name, err)
+				}
+				times.AddRow(append(row, g.Time)...)
+			}
+
+			rep := &harness.Report{
+				ID:     "matrix",
+				Title:  "Portability matrix",
+				Tables: []*harness.Table{tuned, times},
+			}
+			rep.AddNote("grid: %d kernels x %d CPU devices (arch.MatrixZoo), tuned per cell", len(entries), len(archs))
+			rep.AddNote("portability = harmonic mean over devices of achieved/peak flop efficiency (1.0 = full peak everywhere)")
+			rep.AddNote("runtime cells share one execution trace per kernel (internal/replay); -noreplay re-executes per device, byte-identical output")
+			return rep, nil
+		},
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clperf/internal/harness"
+)
+
+// render runs the matrix experiment with the given options and returns
+// the rendered report.
+func renderMatrix(t *testing.T, opts harness.Options) string {
+	t.Helper()
+	rep, err := Matrix().Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	return buf.String()
+}
+
+// TestMatrixReplayModesIdentical is the experiment-level A/B contract:
+// -noreplay must restore the execute-per-device behavior with
+// byte-identical output.
+func TestMatrixReplayModesIdentical(t *testing.T) {
+	replayed := renderMatrix(t, harness.Options{MatrixN: 3})
+	naive := renderMatrix(t, harness.Options{MatrixN: 3, NoReplay: true})
+	if replayed != naive {
+		t.Fatalf("matrix output differs between replay and -noreplay:\n--- replay ---\n%s\n--- noreplay ---\n%s", replayed, naive)
+	}
+	if !strings.Contains(replayed, "portability") {
+		t.Fatal("matrix report lost its portability column")
+	}
+}
+
+// TestMatrixGridShape checks MatrixN truncation and the full grid's
+// dimensions against the zoo.
+func TestMatrixGridShape(t *testing.T) {
+	rep, err := Matrix().Run(harness.Options{MatrixN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("%d tables, want 2", len(rep.Tables))
+	}
+	tuned, times := rep.Tables[0], rep.Tables[1]
+	if len(tuned.Rows) != 2 || len(times.Rows) != 2 {
+		t.Fatalf("rows = %d/%d, want 2/2", len(tuned.Rows), len(times.Rows))
+	}
+	// Benchmark + 2 devices + portability / + GTX column.
+	if len(tuned.Columns) != 4 || len(times.Columns) != 4 {
+		t.Fatalf("columns = %d/%d, want 4/4", len(tuned.Columns), len(times.Columns))
+	}
+}
+
+// TestMatrixIsStandalone pins the suite contract: the matrix experiment
+// is reachable by id but must not join All() — results.txt is the
+// checked-in render of All() and may not change.
+func TestMatrixIsStandalone(t *testing.T) {
+	if _, err := ByID("matrix"); err != nil {
+		t.Fatalf("ByID(matrix): %v", err)
+	}
+	for _, e := range All() {
+		if e.ID == "matrix" {
+			t.Fatal("matrix leaked into All(); results.txt would change")
+		}
+	}
+	found := false
+	for _, e := range Standalone() {
+		if e.ID == "matrix" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("matrix missing from Standalone()")
+	}
+}

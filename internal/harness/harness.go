@@ -244,6 +244,15 @@ type Options struct {
 	// TopK overrides the predictor-pruned search's surviving candidate
 	// count (0 keeps the default, predict.DefaultK).
 	TopK int
+	// NoReplay disables the trace-once / replay-many pipeline
+	// (internal/replay): matrix-style sweeps execute every kernel once
+	// per device again — the A/B baseline for the replay path,
+	// byte-identical output by construction.
+	NoReplay bool
+	// MatrixN, when positive, truncates the portability-matrix grid to
+	// its first N kernels and N devices (the CI smoke size); 0 runs the
+	// full grid.
+	MatrixN int
 }
 
 // Experiment regenerates one paper artifact.

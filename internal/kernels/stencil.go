@@ -1,0 +1,139 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"clperf/internal/ir"
+)
+
+// StencilRegistry returns the stencil family used by the portability
+// matrix experiment. It is deliberately a separate registry: Registry is
+// frozen as the paper's Table II suite and ExtraRegistry feeds the
+// ext-roofline table in results.txt, so neither can grow without
+// perturbing published output. The matrix experiment draws from all
+// three.
+func StencilRegistry() []*App {
+	return []*App{
+		Stencil5(),
+		Stencil9(),
+	}
+}
+
+// stencilCenterWeight is the self-coefficient of the stencil update; the
+// 4r neighbour points share the remaining weight equally, so the update
+// is a convex average (bounded, easy to validate).
+const stencilCenterWeight = 0.5
+
+// StencilKernel returns one Jacobi-style sweep of a 2-D von Neumann
+// stencil of the given radius with clamped borders:
+//
+//	out[y,x] = wc*in[y,x] + wn * sum_{d=1..r} (in[y,x-d] + in[y,x+d] +
+//	                                           in[y-d,x] + in[y+d,x])
+//
+// with wc = stencilCenterWeight and wn = (1-wc)/(4r). Radius 1 is the
+// classic 5-point stencil, radius 2 the 9-point. Border cells clamp their
+// neighbour coordinates into the grid (same idiom as ConvolutionKernel),
+// so every workitem performs the identical 4r+1 loads — the access stream
+// is uniform, only its locality varies with geometry.
+func StencilKernel(radius int) *ir.Kernel {
+	if radius < 1 {
+		panic(fmt.Sprintf("kernels: stencil radius %d < 1", radius))
+	}
+	// clamp(gid(dim)+d, 0, gsz(dim)-1) via float min/max (exact for the
+	// small integers involved).
+	clamped := func(dim int, d int64) ir.Expr {
+		x := ir.Addi(ir.Gid(dim), ir.I(d))
+		return ir.ToInt{X: ir.Bin{Op: ir.MaxF, X: ir.F(0),
+			Y: ir.Bin{Op: ir.MinF,
+				X: ir.ToFloat{X: x},
+				Y: ir.ToFloat{X: ir.Subi(ir.Gsz(dim), ir.I(1))}}}}
+	}
+	// idx(xe, ye) = ye*w + xe
+	idx := func(xe, ye ir.Expr) ir.Expr {
+		return ir.Addi(ir.Muli(ye, ir.Gsz(0)), xe)
+	}
+	wn := (1 - stencilCenterWeight) / float64(4*radius)
+	sum := ir.Expr(ir.Mul(ir.F(stencilCenterWeight),
+		ir.LoadF("in", idx(ir.Gid(0), ir.Gid(1)))))
+	for d := int64(1); d <= int64(radius); d++ {
+		cross := ir.Add(
+			ir.Add(
+				ir.LoadF("in", idx(clamped(0, -d), ir.Gid(1))),
+				ir.LoadF("in", idx(clamped(0, d), ir.Gid(1)))),
+			ir.Add(
+				ir.LoadF("in", idx(ir.Gid(0), clamped(1, -d))),
+				ir.LoadF("in", idx(ir.Gid(0), clamped(1, d)))))
+		sum = ir.Add(sum, ir.Mul(ir.F(wn), cross))
+	}
+	return &ir.Kernel{
+		Name:    fmt.Sprintf("stencil%d", 4*radius+1),
+		WorkDim: 2,
+		Params:  []ir.Param{ir.Buf("in"), ir.Buf("out")},
+		Body: []ir.Stmt{
+			ir.StoreF("out", idx(ir.Gid(0), ir.Gid(1)), sum),
+		},
+	}
+}
+
+// stencilApp builds the App shared by the stencil family members.
+func stencilApp(radius int, seed uint64, configs []ir.NDRange) *App {
+	points := 4*radius + 1
+	wn := (1 - stencilCenterWeight) / float64(4*radius)
+	return &App{
+		Name:    fmt.Sprintf("Stencil%d", points),
+		Kernel:  StencilKernel(radius),
+		Configs: configs,
+		Make: func(nd ir.NDRange) *ir.Args {
+			w, h := nd.Global[0], nd.Global[1]
+			in := ir.NewBufferF32("in", w*h)
+			FillUniform(in, seed, -1, 1)
+			return ir.NewArgs().Bind("in", in).Bind("out", ir.NewBufferF32("out", w*h))
+		},
+		Check: func(args *ir.Args, nd ir.NDRange) error {
+			w, h := nd.Global[0], nd.Global[1]
+			in, out := args.Buffers["in"], args.Buffers["out"]
+			clamp := func(v, hi int) int {
+				if v < 0 {
+					return 0
+				}
+				if v > hi {
+					return hi
+				}
+				return v
+			}
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					want := float32(stencilCenterWeight) * float32(in.Get(y*w+x))
+					for d := 1; d <= radius; d++ {
+						cross := float32(in.Get(y*w+clamp(x-d, w-1))) +
+							float32(in.Get(y*w+clamp(x+d, w-1))) +
+							float32(in.Get(clamp(y-d, h-1)*w+x)) +
+							float32(in.Get(clamp(y+d, h-1)*w+x))
+						want += float32(wn) * cross
+					}
+					if got := out.Get(y*w + x); math.Abs(got-float64(want)) > 1e-4 {
+						return fmt.Errorf("out[%d,%d] = %v, want %v", x, y, got, want)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Stencil5 returns the radius-1 (5-point) stencil application.
+func Stencil5() *App {
+	return stencilApp(1, 341, []ir.NDRange{
+		ir.Range2D(512, 512, 16, 16),
+		ir.Range2D(2048, 2048, 16, 16),
+	})
+}
+
+// Stencil9 returns the radius-2 (9-point) stencil application.
+func Stencil9() *App {
+	return stencilApp(2, 342, []ir.NDRange{
+		ir.Range2D(512, 512, 16, 16),
+		ir.Range2D(2048, 2048, 16, 16),
+	})
+}

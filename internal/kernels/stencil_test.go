@@ -1,0 +1,59 @@
+package kernels
+
+import (
+	"testing"
+
+	"clperf/internal/ir"
+)
+
+// TestStencilFunctional executes both stencil family members at a small
+// geometry and validates against the host reference (clamped borders
+// included: the grid edge exercises every clamp direction).
+func TestStencilFunctional(t *testing.T) {
+	for _, app := range StencilRegistry() {
+		for _, nd := range []ir.NDRange{
+			ir.Range2D(64, 64, 16, 16),
+			ir.Range2D(128, 32, 32, 4),
+		} {
+			args := app.Make(nd)
+			if err := ir.ExecRange(app.Kernel, args, nd, ir.ExecOptions{Parallel: 4}); err != nil {
+				t.Fatalf("%s %v: exec: %v", app.Name, nd.Global, err)
+			}
+			if err := app.Check(args, nd); err != nil {
+				t.Fatalf("%s %v: %v", app.Name, nd.Global, err)
+			}
+		}
+	}
+}
+
+// TestStencilRegistrySeparate pins the registry contract: the stencil
+// family must not leak into Registry (the frozen Table II suite) or
+// ExtraRegistry (rendered into results.txt via ext-roofline).
+func TestStencilRegistrySeparate(t *testing.T) {
+	frozen := map[string]bool{}
+	for _, a := range append(Registry(), ExtraRegistry()...) {
+		frozen[a.Name] = true
+	}
+	for _, a := range StencilRegistry() {
+		if frozen[a.Name] {
+			t.Errorf("stencil app %s leaked into a frozen registry", a.Name)
+		}
+	}
+	if n := len(StencilRegistry()); n != 2 {
+		t.Errorf("StencilRegistry has %d apps, want 2", n)
+	}
+}
+
+// TestStencilPointCounts pins the kernel shape: radius r loads 4r+1
+// cells per workitem.
+func TestStencilPointCounts(t *testing.T) {
+	for _, tc := range []struct {
+		radius, points int
+	}{{1, 5}, {2, 9}} {
+		k := StencilKernel(tc.radius)
+		want := map[int]string{5: "stencil5", 9: "stencil9"}[tc.points]
+		if k.Name != want {
+			t.Errorf("radius %d: kernel name %s, want %s", tc.radius, k.Name, want)
+		}
+	}
+}

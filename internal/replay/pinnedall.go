@@ -1,0 +1,217 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clperf/internal/cache"
+	"clperf/internal/cpu"
+	"clperf/internal/ir"
+	"clperf/internal/obs"
+	"clperf/internal/search"
+)
+
+// Affinity is the replay layer's fixed workgroup->core policy: workgroup
+// g runs on core g (wrapped modulo the device's physical cores by
+// cpu.Device.CoreMap) — the round-robin every zoo device shares. The
+// policy is deliberately not a parameter: replayed results memoize under
+// search.ReplayKey(trace digest, device fingerprint), which has no slot
+// for an arbitrary affinity function, so one fixed policy keeps the
+// content address sound.
+func Affinity(g int) int { return g }
+
+// Options tunes PinnedAll.
+type Options struct {
+	// NoReplay restores the pre-replay behavior: execute and simulate
+	// the kernel once per device (the naive O(N x M) matrix), bitwise
+	// identical results, M times the execution work. The -noreplay A/B
+	// flag of oclbench lands here.
+	NoReplay bool
+	// Parallel bounds the execution workers of the single traced run
+	// (0 = GOMAXPROCS).
+	Parallel int
+	// Workers bounds the per-device replay fan-out (0 = GOMAXPROCS).
+	Workers int
+	// MaxTraceBytes bounds the resident trace (0 = DefaultMaxTraceBytes);
+	// larger launches stream through the Fanout ring instead.
+	MaxTraceBytes int64
+	// Cache, when non-nil, memoizes replayed results under
+	// search.ReplayKey(trace digest, device fingerprint).
+	Cache *search.Cache
+	// Rec, when non-nil, resolves the recorder receiving replay.*
+	// counters.
+	Rec func() *obs.Recorder
+}
+
+// PinnedAll prices one launch on every device: the portability matrix's
+// inner loop. The replay path executes the kernel once (Capture),
+// then replays the trace against each device's cache simulator and cost
+// model in parallel, sharing the trace read-only — O(1) executions plus
+// M cheap replays where the naive path (NoReplay) pays M full
+// execute-and-simulate launches. Either path returns results bitwise
+// identical to d.LaunchPinned(k, args, nd, Affinity, nil) per device.
+//
+// The captured trace is returned alongside the results so callers can
+// derive further estimates from it (EstimateOn) without re-executing; it
+// is nil on the NoReplay path and on the streaming fallback — a launch
+// whose trace exceeds the byte budget transparently degrades to the
+// bounded-memory path: one more execution fanned out to every device's
+// simulator through the pooled block ring.
+func PinnedAll(devs []*cpu.Device, k *ir.Kernel, args *ir.Args, nd ir.NDRange, o Options) ([]*cpu.PinnedResult, *Trace, error) {
+	if o.NoReplay {
+		out := make([]*cpu.PinnedResult, len(devs))
+		for i, d := range devs {
+			r, err := d.LaunchPinned(k, args, nd, Affinity, nil)
+			if err != nil {
+				return nil, nil, fmt.Errorf("replay: naive launch on %s: %w", d.Name(), err)
+			}
+			out[i] = r
+		}
+		return out, nil, nil
+	}
+
+	tr, err := Capture(k, args, nd, CaptureOptions{Parallel: o.Parallel, MaxBytes: o.MaxTraceBytes, Rec: o.Rec})
+	var tooLarge *TooLargeError
+	if errors.As(err, &tooLarge) {
+		out, err := fanoutPinned(devs, k, args, nd, o)
+		return out, nil, err
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := make([]*cpu.PinnedResult, len(devs))
+	errs := make([]error, len(devs))
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(devs) {
+		workers = len(devs)
+	}
+	if workers <= 1 {
+		for i, d := range devs {
+			out[i], errs[i] = ReplayPinned(d, tr, o.Cache, o.Rec)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					out[i], errs[i] = ReplayPinned(devs[i], tr, o.Cache, o.Rec)
+				}
+			}()
+		}
+		for i := range devs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("replay: replay on %s: %w", devs[i].Name(), err)
+		}
+	}
+	return out, tr, nil
+}
+
+// ReplayPinned prices a captured trace on one device: the trace streams
+// through a fresh cache hierarchy for the device (HierSink) and the
+// stall map prices through cpu.Device.PriceTraced — LaunchPinned minus
+// the execution. The result is memoized in c (may be nil) under
+// search.ReplayKey(tr.Digest, d.Fingerprint()); a Trace is immutable, so
+// concurrent replays of one trace on different devices share it safely.
+func ReplayPinned(d *cpu.Device, tr *Trace, c *search.Cache, rec func() *obs.Recorder) (*cpu.PinnedResult, error) {
+	// The "pinned|" salt keeps cache-simulated replays and static
+	// estimates (EstimateOn) of the same (trace, device) pair from
+	// colliding in a shared cache: they produce different result types.
+	key := search.ReplayKey(tr.Digest, "pinned|"+d.Fingerprint())
+	val, hit, _, err := c.Do(key, func() (any, error) {
+		h := cache.NewHierarchy(d.A)
+		sink := NewHierSink(h, d.CoreMap(Affinity))
+		tr.Replay(sink)
+		return d.PriceTraced(tr.Kernel, tr.Args, tr.ND, Affinity, sink.Stalls, h)
+	})
+	reg := recorder(rec).Registry()
+	if hit {
+		reg.Add("replay.cache.hits", 1)
+	} else {
+		reg.Add("replay.replays", 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r, ok := val.(*cpu.PinnedResult)
+	if !ok {
+		return nil, fmt.Errorf("replay: cached value for %s.. has wrong type %T", key[:12], val)
+	}
+	return r, nil
+}
+
+// fanoutPinned is PinnedAll's bounded-memory fallback: one streaming
+// execution fanned out to every device's simulator, then the shared
+// pricing per device. Over-budget launches are not memoized (there is no
+// resident trace to key replays against cheaply; the stream itself is
+// the cost).
+func fanoutPinned(devs []*cpu.Device, k *ir.Kernel, args *ir.Args, nd ir.NDRange, o Options) ([]*cpu.PinnedResult, error) {
+	hiers := make([]*cache.Hierarchy, len(devs))
+	sinks := make([]ir.BatchTracer, len(devs))
+	hsinks := make([]*HierSink, len(devs))
+	for i, d := range devs {
+		hiers[i] = cache.NewHierarchy(d.A)
+		hsinks[i] = NewHierSink(hiers[i], d.CoreMap(Affinity))
+		sinks[i] = hsinks[i]
+	}
+	bytes, err := Fanout(k, args, nd, o.Parallel, sinks)
+	reg := recorder(o.Rec).Registry()
+	reg.Add("replay.fanouts", 1)
+	reg.Add("replay.trace.bytes", float64(bytes))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*cpu.PinnedResult, len(devs))
+	for i, d := range devs {
+		r, err := d.PriceTraced(k, args, nd, Affinity, hsinks[i].Stalls, hiers[i])
+		if err != nil {
+			return nil, fmt.Errorf("replay: pricing on %s: %w", d.Name(), err)
+		}
+		out[i] = r
+		reg.Add("replay.replays", 1)
+	}
+	return out, nil
+}
+
+// EstimateOn prices a captured trace's launch on one device's static
+// cost model through the replay layer's content addressing: the result
+// memoizes under search.ReplayKey(tr.Digest, deviceFP) and is bitwise
+// the direct estimate's return (the model is a pure function of the
+// launch the trace records — property-tested against Device.Estimate).
+// R is the device's result type (*cpu.Result or *gpu.Result); estimate
+// is typically the device's Estimate method.
+func EstimateOn[R any](tr *Trace, deviceFP string, estimate func(*ir.Kernel, *ir.Args, ir.NDRange) (R, error), c *search.Cache, rec func() *obs.Recorder) (R, error) {
+	key := search.ReplayKey(tr.Digest, deviceFP)
+	val, hit, _, err := c.Do(key, func() (any, error) {
+		return estimate(tr.Kernel, tr.Args, tr.ND)
+	})
+	reg := recorder(rec).Registry()
+	if hit {
+		reg.Add("replay.cache.hits", 1)
+	} else {
+		reg.Add("replay.estimates", 1)
+	}
+	var zero R
+	if err != nil {
+		return zero, err
+	}
+	r, ok := val.(R)
+	if !ok {
+		return zero, fmt.Errorf("replay: cached value for %s.. has wrong type %T", key[:12], val)
+	}
+	return r, nil
+}

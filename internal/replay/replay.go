@@ -1,0 +1,277 @@
+// Package replay implements the trace-once / replay-many estimation
+// pipeline behind the kernels x devices portability matrix.
+//
+// Executing a kernel functionally is device-independent: the lane-level
+// access/op stream the v2 engine emits (internal/ir) depends only on the
+// kernel, its arguments and the launch geometry. What differs per device
+// is cheap by comparison — the cache-hierarchy simulation of that stream
+// and the static cost model. A naive NxM matrix sweep re-executes every
+// kernel once per device anyway, paying the expensive execution M times
+// for M identical streams.
+//
+// This package splits the two phases. Capture executes a kernel x NDRange
+// exactly once, storing the group-ordered access stream (global accesses
+// plus barrier markers, exactly the records ir.ExecRange flushes to a
+// tracer) as a compact Trace addressed by its content digest
+// (search.TraceKey). ReplayPinned then prices the trace on any CPU device
+// by streaming it through a fresh cache hierarchy and handing the stall
+// map to cpu.Device.PriceTraced — the same post-simulation pricing
+// LaunchPinned runs, so a replayed PinnedResult is bitwise identical to
+// an executed one (property-tested in this package). PinnedAll fans a
+// single trace out to a whole device zoo in parallel, sharing the trace
+// read-only; replays are memoized under search.ReplayKey(trace digest,
+// device fingerprint).
+//
+// Traces of large NDRanges are bounded: Capture enforces a byte budget,
+// and PinnedAll falls back to Fanout (ring.go) — a spill-free pooled
+// block ring that streams one execution's batches to every device's
+// simulator concurrently without ever holding the whole trace resident.
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"unsafe"
+
+	"clperf/internal/cache"
+	"clperf/internal/ir"
+	"clperf/internal/obs"
+	"clperf/internal/search"
+)
+
+// recBytes is the in-memory size of one trace record, the unit of the
+// capture byte budget and the replay.trace.bytes counter.
+const recBytes = int64(unsafe.Sizeof(ir.Access{}))
+
+// DefaultMaxTraceBytes is Capture's byte budget when CaptureOptions
+// leaves it zero: large enough for every matrix-experiment geometry,
+// small enough that a runaway NDRange spills to the streaming path
+// instead of holding gigabytes resident.
+const DefaultMaxTraceBytes = 256 << 20
+
+// Trace is one captured execution: the launch it came from and its
+// group-ordered access stream. The stream is exactly what ir.ExecRange
+// flushes to a tracer — per selected group, a BeginGroup marker followed
+// by the group's records (global accesses and barrier markers) — so
+// replaying it through a cache simulator observes the very stream a live
+// traced execution would. A Trace is immutable after Capture; replays
+// share it read-only.
+type Trace struct {
+	// Digest is the trace's content address (search.TraceKey): equal
+	// digests mean equal streams, so replayed results memoize under
+	// (Digest, device fingerprint).
+	Digest string
+	// Kernel, Args, ND are the captured launch. The local size is
+	// resolved (capture rejects NULL-local geometries: devices resolve
+	// those differently, which would make the stream device-dependent).
+	Kernel *ir.Kernel
+	Args   *ir.Args
+	ND     ir.NDRange
+
+	// Loads, Stores and Barriers summarize the stream's record mix.
+	Loads, Stores, Barriers int64
+
+	groups []int       // captured linear group ids, in flush order
+	starts []int       // starts[i] offsets groups[i]'s records in recs
+	recs   []ir.Access // all records, group-major
+}
+
+// NumGroups returns the number of captured workgroups.
+func (t *Trace) NumGroups() int { return len(t.groups) }
+
+// Records returns the total record count.
+func (t *Trace) Records() int { return len(t.recs) }
+
+// Bytes returns the resident size of the record stream.
+func (t *Trace) Bytes() int64 { return int64(len(t.recs)) * recBytes }
+
+// Replay delivers the captured stream to sink in the exact shape the
+// execution engine delivers a live trace: BeginGroup then AccessBatch
+// per captured group, in group order, including empty groups. The record
+// slices alias the trace and must not be retained or written.
+func (t *Trace) Replay(sink ir.BatchTracer) {
+	for i, g := range t.groups {
+		end := len(t.recs)
+		if i+1 < len(t.starts) {
+			end = t.starts[i+1]
+		}
+		sink.BeginGroup(g)
+		sink.AccessBatch(g, t.recs[t.starts[i]:end])
+	}
+}
+
+// TooLargeError reports a capture that exceeded its byte budget. The
+// execution itself completed (buffers hold the kernel's outputs); only
+// the trace was dropped. Callers stream instead (Fanout).
+type TooLargeError struct {
+	// Bytes is the full stream size the capture would have needed.
+	Bytes, Max int64
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("replay: trace of %d bytes exceeds the %d-byte budget", e.Bytes, e.Max)
+}
+
+// CaptureOptions tunes Capture.
+type CaptureOptions struct {
+	// Parallel is the execution worker count (0 = GOMAXPROCS). The
+	// captured stream is identical at any setting: the engine flushes
+	// group buffers in ascending group order regardless.
+	Parallel int
+	// MaxBytes bounds the resident record stream (0 = DefaultMaxTraceBytes).
+	MaxBytes int64
+	// Rec, when non-nil, resolves the recorder receiving the
+	// replay.trace.bytes / replay.traces counters.
+	Rec func() *obs.Recorder
+}
+
+// captureTracer buffers the flushed stream into a Trace. All methods run
+// on the engine's single flusher goroutine.
+type captureTracer struct {
+	t        *Trace
+	max      int64
+	bytes    int64 // bytes the full stream needs, kept counting past max
+	overflow bool
+}
+
+func (c *captureTracer) BeginGroup(g int) {
+	if c.overflow {
+		return
+	}
+	c.t.groups = append(c.t.groups, g)
+	c.t.starts = append(c.t.starts, len(c.t.recs))
+}
+
+// Access implements the streaming half of ir.Tracer. The engine always
+// batches (captureTracer implements ir.BatchTracer), so this path only
+// runs under a hypothetical non-batching driver; it must still capture
+// faithfully.
+func (c *captureTracer) Access(addr, size int64, write bool) {
+	c.append([]ir.Access{{Addr: addr, Size: size, Write: write}})
+}
+
+func (c *captureTracer) AccessBatch(_ int, recs []ir.Access) { c.append(recs) }
+
+func (c *captureTracer) append(recs []ir.Access) {
+	c.bytes += int64(len(recs)) * recBytes
+	if c.overflow {
+		return
+	}
+	if c.bytes > c.max {
+		// Past budget: drop the partial capture but keep counting bytes
+		// so the error reports the full stream size. The engine offers a
+		// tracer no way to abort the launch, and the execution is wanted
+		// anyway (the fallback path reuses its compiled program).
+		c.overflow = true
+		c.t.groups = c.t.groups[:0]
+		c.t.starts = c.t.starts[:0]
+		c.t.recs = c.t.recs[:0]
+		return
+	}
+	for _, a := range recs {
+		switch {
+		case a.Kind != ir.KindGlobal:
+			c.t.Barriers++
+		case a.Write:
+			c.t.Stores++
+		default:
+			c.t.Loads++
+		}
+	}
+	c.t.recs = append(c.t.recs, recs...)
+}
+
+// Capture executes the kernel over nd exactly once (through the default
+// v2 engine, writing real results into the bound buffers) and returns
+// the captured device-independent trace. The local size must be resolved
+// — a NULL local would be resolved per device, splitting the stream.
+// Exceeding the byte budget returns a *TooLargeError.
+func Capture(k *ir.Kernel, args *ir.Args, nd ir.NDRange, o CaptureOptions) (*Trace, error) {
+	if nd.LocalNull() {
+		return nil, fmt.Errorf("replay: Capture %s: local size must be resolved", k.Name)
+	}
+	max := o.MaxBytes
+	if max <= 0 {
+		max = DefaultMaxTraceBytes
+	}
+	par := o.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	t := &Trace{
+		Digest: search.TraceKey(k, args, nd),
+		Kernel: k,
+		Args:   args,
+		ND:     nd,
+	}
+	ct := &captureTracer{t: t, max: max}
+	if err := ir.ExecRange(k, args, nd, ir.ExecOptions{Tracer: ct, Parallel: par}); err != nil {
+		return nil, fmt.Errorf("replay: capture of %s: %w", k.Name, err)
+	}
+	if ct.overflow {
+		return nil, &TooLargeError{Bytes: ct.bytes, Max: max}
+	}
+	reg := recorder(o.Rec).Registry()
+	reg.Add("replay.traces", 1)
+	reg.Add("replay.trace.bytes", float64(t.Bytes()))
+	return t, nil
+}
+
+// recorder resolves an optional recorder source (nil-safe: a nil
+// *obs.Recorder's Registry drops writes).
+func recorder(rec func() *obs.Recorder) *obs.Recorder {
+	if rec == nil {
+		return nil
+	}
+	return rec()
+}
+
+// HierSink drives one device's cache hierarchy from a trace stream: the
+// replay-side counterpart of the simulator LaunchPinned attaches to a
+// live execution. It accumulates per-core stalls through the same
+// Hierarchy.AccessRange sequence as the sharded simulator's inline mode,
+// so the stall map is bit-identical to cache.NewSharded / cache.NewSerial
+// observing the same stream (their equivalence is property-tested in
+// internal/cache; the end-to-end equality to LaunchPinned is
+// property-tested here).
+type HierSink struct {
+	// Stalls is the accumulated per-core stall-cycle map, keyed by
+	// physical core exactly as cache.Sim.Finish returns it.
+	Stalls map[int]float64
+
+	h      *cache.Hierarchy
+	coreOf func(int) int
+	group  int
+}
+
+// NewHierSink returns a sink simulating h. coreOf maps a linear
+// workgroup index to a physical core (out-of-range cores clamp to 0, as
+// in every cache.Sim).
+func NewHierSink(h *cache.Hierarchy, coreOf func(int) int) *HierSink {
+	return &HierSink{Stalls: map[int]float64{}, h: h, coreOf: coreOf}
+}
+
+// BeginGroup implements ir.Tracer.
+func (s *HierSink) BeginGroup(g int) { s.group = g }
+
+// Access implements ir.Tracer (single-record fallback; batch delivery is
+// the operative path).
+func (s *HierSink) Access(addr, size int64, write bool) {
+	s.AccessBatch(s.group, []ir.Access{{Addr: addr, Size: size, Write: write}})
+}
+
+// AccessBatch implements ir.BatchTracer: one workgroup's records charged
+// to its core. Empty batches leave the stall map untouched, matching the
+// sharded simulator.
+func (s *HierSink) AccessBatch(g int, recs []ir.Access) {
+	if len(recs) == 0 {
+		return
+	}
+	core := s.coreOf(g)
+	if core < 0 || core >= s.h.Cores() {
+		core = 0
+	}
+	s.Stalls[core] = s.h.AccessRange(core, recs, cache.StoreWriteFactor, s.Stalls[core])
+}
+
+var _ ir.BatchTracer = (*HierSink)(nil)

@@ -1,0 +1,386 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"clperf/internal/arch"
+	"clperf/internal/cpu"
+	"clperf/internal/gpu"
+	"clperf/internal/ir"
+	"clperf/internal/kernels"
+	"clperf/internal/obs"
+	"clperf/internal/search"
+)
+
+// smallND maps every registered app (paper suite, extras, stencils) to a
+// test-sized geometry with an explicit local size (Capture rejects NULL
+// locals). The completeness check in testCases keeps this map honest: a
+// new app in any registry fails the differential suite until it gets an
+// entry here.
+var smallND = map[string]ir.NDRange{
+	"Square":         ir.Range1D(4096, 64),
+	"Vectoraddition": ir.Range1D(4096, 64),
+	"Matrixmul":      ir.Range2D(32, 64, 16, 16),
+	"MatrixmulNaive": ir.Range2D(32, 64, 16, 16),
+	"Reduction":      ir.Range1D(4096, 256),
+	"Histogram":      ir.Range1D(4096, 128),
+	"Prefixsum":      ir.Range1D(256, 256),
+	"Blackscholes":   ir.Range2D(64, 64, 16, 16),
+	"Binomialoption": ir.Range1D(2550, 255),
+	"Transpose":      ir.Range2D(64, 64, 16, 16),
+	"Convolution":    ir.Range2D(128, 32, 64, 1),
+	"NBody":          ir.Range1D(512, 64),
+	"DotProduct":     ir.Range1D(4096, 64),
+	"Stencil5":       ir.Range2D(64, 64, 16, 16),
+	"Stencil9":       ir.Range2D(64, 64, 16, 16),
+}
+
+type testCase struct {
+	app *kernels.App
+	nd  ir.NDRange
+}
+
+func testCases(t *testing.T) []testCase {
+	t.Helper()
+	apps := append(append(kernels.Registry(), kernels.ExtraRegistry()...),
+		kernels.StencilRegistry()...)
+	out := make([]testCase, 0, len(apps))
+	for _, app := range apps {
+		nd, ok := smallND[app.Name]
+		if !ok {
+			t.Fatalf("app %s has no small test geometry; add it to smallND", app.Name)
+		}
+		out = append(out, testCase{app, nd})
+	}
+	return out
+}
+
+// comparePinned asserts two PinnedResults are bitwise identical in the
+// fields the portability matrix consumes: the priced Result and the
+// per-core stall map. (The Hierarchy pointers differ by construction —
+// each path simulates into its own.)
+func comparePinned(t *testing.T, label string, direct, replayed *cpu.PinnedResult) {
+	t.Helper()
+	if !reflect.DeepEqual(direct.Result, replayed.Result) {
+		t.Errorf("%s: Result differs:\ndirect:   %+v\nreplayed: %+v", label, direct.Result, replayed.Result)
+	}
+	if !reflect.DeepEqual(direct.StallCycles, replayed.StallCycles) {
+		t.Errorf("%s: StallCycles differ:\ndirect:   %v\nreplayed: %v", label, direct.StallCycles, replayed.StallCycles)
+	}
+}
+
+// TestReplayMatchesLaunchPinnedEveryApp is the central differential
+// property: for every registered app on a spread of zoo devices, pricing
+// a captured trace (ReplayPinned) is bitwise identical to executing with
+// the live cache simulator (LaunchPinned). Each path executes on its own
+// deterministic args, so non-idempotent kernels (Histogram's atomics)
+// compare fairly.
+func TestReplayMatchesLaunchPinnedEveryApp(t *testing.T) {
+	zoo := arch.MatrixZoo()
+	devices := []*cpu.Device{cpu.New(zoo[0]), cpu.New(zoo[2]), cpu.New(zoo[7])}
+	for _, tc := range testCases(t) {
+		tr, err := Capture(tc.app.Kernel, tc.app.Make(tc.nd), tc.nd, CaptureOptions{})
+		if err != nil {
+			t.Fatalf("%s: capture: %v", tc.app.Name, err)
+		}
+		for _, d := range devices {
+			label := fmt.Sprintf("%s on %s", tc.app.Name, d.Name())
+			direct, err := d.LaunchPinned(tc.app.Kernel, tc.app.Make(tc.nd), tc.nd, Affinity, nil)
+			if err != nil {
+				t.Fatalf("%s: direct: %v", label, err)
+			}
+			replayed, err := ReplayPinned(d, tr, nil, nil)
+			if err != nil {
+				t.Fatalf("%s: replay: %v", label, err)
+			}
+			comparePinned(t, label, direct, replayed)
+		}
+	}
+}
+
+// TestPinnedAllModesAgree checks the orchestrated path end to end: the
+// replay pipeline, the -noreplay baseline and the forced streaming
+// fallback (tiny byte budget) all produce bitwise identical results
+// across the full zoo, serial and parallel. Run under -race this also
+// exercises the concurrent replay workers and the fan-out ring.
+func TestPinnedAllModesAgree(t *testing.T) {
+	zoo := arch.MatrixZoo()
+	devs := make([]*cpu.Device, len(zoo))
+	for i, a := range zoo {
+		devs[i] = cpu.New(a)
+	}
+	apps := []string{"Square", "Matrixmul", "DotProduct", "Stencil9"}
+	for _, name := range apps {
+		var tc testCase
+		for _, c := range testCases(t) {
+			if c.app.Name == name {
+				tc = c
+			}
+		}
+		naive, _, err := PinnedAll(devs, tc.app.Kernel, tc.app.Make(tc.nd), tc.nd,
+			Options{NoReplay: true})
+		if err != nil {
+			t.Fatalf("%s: naive: %v", name, err)
+		}
+		modes := []struct {
+			label string
+			o     Options
+		}{
+			{"replay-serial", Options{Parallel: 1, Workers: 1}},
+			{"replay-parallel", Options{Parallel: 4, Workers: 4, Cache: search.NewCache(0)}},
+			{"fanout", Options{MaxTraceBytes: 64, Parallel: 4}}, // force streaming
+		}
+		for _, m := range modes {
+			got, tr, err := PinnedAll(devs, tc.app.Kernel, tc.app.Make(tc.nd), tc.nd, m.o)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, m.label, err)
+			}
+			if m.label == "fanout" && tr != nil {
+				t.Errorf("%s/%s: expected nil trace from the streaming path", name, m.label)
+			}
+			if len(got) != len(naive) {
+				t.Fatalf("%s/%s: %d results, want %d", name, m.label, len(got), len(naive))
+			}
+			for i := range got {
+				comparePinned(t, fmt.Sprintf("%s/%s on %s", name, m.label, devs[i].Name()),
+					naive[i], got[i])
+			}
+		}
+	}
+}
+
+// TestEstimateOnMatchesDirect checks the static-model half of the
+// pipeline: a replayed estimate is bitwise the direct Device.Estimate
+// result, for both device types, and memoizes under the replay key.
+func TestEstimateOnMatchesDirect(t *testing.T) {
+	cdev := cpu.New(arch.XeonE5645())
+	gdev := gpu.New(arch.GTX580())
+	c := search.NewCache(0)
+	for _, tc := range testCases(t) {
+		args := tc.app.Make(tc.nd)
+		tr, err := Capture(tc.app.Kernel, args, tc.nd, CaptureOptions{})
+		if err != nil {
+			t.Fatalf("%s: capture: %v", tc.app.Name, err)
+		}
+
+		wantC, err := cdev.Estimate(tc.app.Kernel, args, tc.nd)
+		if err != nil {
+			t.Fatalf("%s: direct cpu estimate: %v", tc.app.Name, err)
+		}
+		gotC, err := EstimateOn(tr, cdev.Fingerprint(), cdev.Estimate, c, nil)
+		if err != nil {
+			t.Fatalf("%s: replayed cpu estimate: %v", tc.app.Name, err)
+		}
+		if !reflect.DeepEqual(wantC, gotC) {
+			t.Errorf("%s: cpu estimate differs:\ndirect:   %+v\nreplayed: %+v", tc.app.Name, wantC, gotC)
+		}
+
+		wantG, err := gdev.Estimate(tc.app.Kernel, args, tc.nd)
+		if err != nil {
+			t.Fatalf("%s: direct gpu estimate: %v", tc.app.Name, err)
+		}
+		gotG, err := EstimateOn(tr, gdev.Fingerprint(), gdev.Estimate, c, nil)
+		if err != nil {
+			t.Fatalf("%s: replayed gpu estimate: %v", tc.app.Name, err)
+		}
+		if !reflect.DeepEqual(wantG, gotG) {
+			t.Errorf("%s: gpu estimate differs:\ndirect:   %+v\nreplayed: %+v", tc.app.Name, wantG, gotG)
+		}
+
+		// Second call must hit the memo layer and return the same value.
+		again, err := EstimateOn(tr, cdev.Fingerprint(), cdev.Estimate, c, nil)
+		if err != nil {
+			t.Fatalf("%s: memoized estimate: %v", tc.app.Name, err)
+		}
+		if again != gotC {
+			t.Errorf("%s: memoized estimate returned a different value", tc.app.Name)
+		}
+	}
+}
+
+// collectSink records a delivered stream for comparison.
+type collectSink struct {
+	groups []int
+	recs   [][]ir.Access
+}
+
+func (s *collectSink) BeginGroup(g int) { s.groups = append(s.groups, g) }
+func (s *collectSink) Access(addr, size int64, write bool) {
+	s.AccessBatch(s.groups[len(s.groups)-1], []ir.Access{{Addr: addr, Size: size, Write: write}})
+}
+func (s *collectSink) AccessBatch(g int, recs []ir.Access) {
+	s.recs = append(s.recs, append([]ir.Access(nil), recs...))
+}
+
+// TestCaptureDeterministicAcrossParallelism: the captured stream (and so
+// the digest-addressed trace) is identical at any worker count — the
+// engine flushes group buffers in ascending group order regardless.
+func TestCaptureDeterministicAcrossParallelism(t *testing.T) {
+	app := kernels.Stencil5()
+	nd := smallND[app.Name]
+	var base *Trace
+	for _, par := range []int{1, 2, 8} {
+		tr, err := Capture(app.Kernel, app.Make(nd), nd, CaptureOptions{Parallel: par})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if base == nil {
+			base = tr
+			continue
+		}
+		if tr.Digest != base.Digest {
+			t.Fatalf("par=%d: digest %s, want %s", par, tr.Digest, base.Digest)
+		}
+		var a, b collectSink
+		base.Replay(&a)
+		tr.Replay(&b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("par=%d: replayed stream differs from serial capture", par)
+		}
+	}
+	if base.Records() == 0 || base.Loads == 0 || base.Stores == 0 {
+		t.Fatalf("trace empty: %d records, %d loads, %d stores", base.Records(), base.Loads, base.Stores)
+	}
+	if base.Bytes() != int64(base.Records())*recBytes {
+		t.Fatalf("Bytes() = %d, want %d", base.Bytes(), int64(base.Records())*recBytes)
+	}
+}
+
+// TestFanoutDeliversIdenticalStreams: every fan-out sink observes the
+// same per-group batches a resident capture replays, and the byte count
+// matches the trace size.
+func TestFanoutDeliversIdenticalStreams(t *testing.T) {
+	app := kernels.Convolution()
+	nd := smallND[app.Name]
+	tr, err := Capture(app.Kernel, app.Make(nd), nd, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want collectSink
+	tr.Replay(&want)
+	// Fanout skips empty batches (no records to simulate); mirror that.
+	wantNE := collectSink{}
+	for i, g := range want.groups {
+		if len(want.recs[i]) > 0 {
+			wantNE.groups = append(wantNE.groups, g)
+			wantNE.recs = append(wantNE.recs, want.recs[i])
+		}
+	}
+
+	sinks := make([]ir.BatchTracer, 3)
+	collected := make([]*collectSink, len(sinks))
+	for i := range sinks {
+		collected[i] = &collectSink{}
+		sinks[i] = collected[i]
+	}
+	bytes, err := Fanout(app.Kernel, app.Make(nd), nd, 4, sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != tr.Bytes() {
+		t.Errorf("fanout streamed %d bytes, trace holds %d", bytes, tr.Bytes())
+	}
+	for i, got := range collected {
+		if !reflect.DeepEqual(got.groups, wantNE.groups) || !reflect.DeepEqual(got.recs, wantNE.recs) {
+			t.Errorf("sink %d observed a different stream", i)
+		}
+	}
+
+	if _, err := Fanout(app.Kernel, app.Make(nd), nd, 1, nil); err == nil {
+		t.Error("Fanout with no sinks should error")
+	}
+}
+
+// TestCaptureByteBudget: an over-budget capture reports the full stream
+// size and PinnedAll degrades to streaming, while the budget counter
+// tracks resident traces.
+func TestCaptureByteBudget(t *testing.T) {
+	app := kernels.Square()
+	nd := smallND[app.Name]
+	_, err := Capture(app.Kernel, app.Make(nd), nd, CaptureOptions{MaxBytes: 128})
+	var tooLarge *TooLargeError
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("err = %v, want *TooLargeError", err)
+	}
+	if tooLarge.Max != 128 || tooLarge.Bytes <= 128 {
+		t.Fatalf("TooLargeError = %+v, want Max=128, Bytes>128", tooLarge)
+	}
+	full, err := Capture(app.Kernel, app.Make(nd), nd, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tooLarge.Bytes != full.Bytes() {
+		t.Errorf("overflow reported %d bytes, full trace holds %d", tooLarge.Bytes, full.Bytes())
+	}
+}
+
+// TestReplayCounters: the obs contract of satellite telemetry —
+// replay.traces / replay.trace.bytes on capture, replay.replays and
+// replay.cache.hits on (memoized) replays.
+func TestReplayCounters(t *testing.T) {
+	rec := obs.NewRecorder()
+	recFn := func() *obs.Recorder { return rec }
+	app := kernels.VectorAdd()
+	nd := smallND[app.Name]
+	args := app.Make(nd)
+	tr, err := Capture(app.Kernel, args, nd, CaptureOptions{Rec: recFn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cpu.New(arch.XeonE5645())
+	c := search.NewCache(0)
+	if _, err := ReplayPinned(d, tr, c, recFn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayPinned(d, tr, c, recFn); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"replay.traces":      1,
+		"replay.trace.bytes": float64(tr.Bytes()),
+		"replay.replays":     1,
+		"replay.cache.hits":  1,
+	}
+	snap := rec.Registry().Snapshot()
+	got := map[string]float64{}
+	for _, m := range snap.Counters {
+		got[m.Name] = m.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("counter %s = %g, want %g (all: %v)", name, got[name], v, got)
+		}
+	}
+}
+
+// TestCaptureRejectsNullLocal: a NULL local size would be resolved per
+// device, making the "device-independent" stream device-dependent.
+func TestCaptureRejectsNullLocal(t *testing.T) {
+	app := kernels.Square()
+	nd := ir.Range1D(4096, 0)
+	if _, err := Capture(app.Kernel, app.Make(nd), nd, CaptureOptions{}); err == nil {
+		t.Fatal("Capture accepted a NULL local size")
+	}
+}
+
+// TestTraceKeyDistinguishesLaunches: the digest separates kernels,
+// arguments and geometries, and ReplayKey separates devices.
+func TestTraceKeyDistinguishesLaunches(t *testing.T) {
+	sq, va := kernels.Square(), kernels.VectorAdd()
+	nd1, nd2 := ir.Range1D(4096, 64), ir.Range1D(4096, 128)
+	k1 := search.TraceKey(sq.Kernel, sq.Make(nd1), nd1)
+	k2 := search.TraceKey(va.Kernel, va.Make(nd1), nd1)
+	k3 := search.TraceKey(sq.Kernel, sq.Make(nd1), nd2)
+	if k1 == k2 || k1 == k3 || k2 == k3 {
+		t.Fatalf("trace keys collide: %s %s %s", k1, k2, k3)
+	}
+	if search.ReplayKey(k1, "devA") == search.ReplayKey(k1, "devB") {
+		t.Fatal("replay keys for different devices collide")
+	}
+	if search.ReplayKey(k1, "devA") != search.ReplayKey(k1, "devA") {
+		t.Fatal("replay key is not deterministic")
+	}
+}

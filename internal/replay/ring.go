@@ -1,0 +1,130 @@
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"clperf/internal/ir"
+)
+
+// Streaming fan-out: the spill-free path for launches whose trace would
+// blow Capture's byte budget. One execution's flushed batches stream
+// through a fixed ring of pooled record blocks to every sink
+// concurrently, so memory stays bounded at ringBlocks live batches no
+// matter how large the NDRange is — the same bounded free-list shape the
+// engine's own traced-parallel driver uses for its record buffers.
+
+// ringBlocks is the fan-out ring capacity: how many workgroup batches
+// may be in flight between the executing producer and the slowest sink.
+// Each per-sink channel holds ringBlocks slots, so with at most
+// ringBlocks blocks in existence a publish never blocks on a channel —
+// the producer only ever waits on the free list, and the slowest sink
+// paces the whole ring.
+const ringBlocks = 16
+
+// fanBlock is one workgroup batch in flight to len(sinks) consumers. The
+// last consumer to release it returns its buffer to the free pool.
+type fanBlock struct {
+	g    int
+	recs []ir.Access
+	refs int32
+}
+
+// fanTracer is the producer side: an ir.BatchTracer fed by the engine's
+// in-order flusher. Every non-empty batch is copied once into a pooled
+// block and published to all sinks; empty batches carry no records and
+// are skipped (sinks receive only non-empty batches, which every
+// cache-simulating sink ignores anyway).
+type fanTracer struct {
+	free  chan []ir.Access
+	outs  []chan *fanBlock
+	bytes int64
+
+	// Streaming-tracer fallback state (mirrors cache.Sharded): records
+	// buffer in scratch until the group ends, then flush as a batch.
+	group   int
+	scratch []ir.Access
+}
+
+func (f *fanTracer) BeginGroup(g int) {
+	f.flushScratch()
+	f.group = g
+}
+
+func (f *fanTracer) Access(addr, size int64, write bool) {
+	f.scratch = append(f.scratch, ir.Access{Addr: addr, Size: size, Write: write})
+}
+
+func (f *fanTracer) AccessBatch(g int, recs []ir.Access) {
+	if len(recs) == 0 {
+		return
+	}
+	buf := <-f.free
+	buf = append(buf[:0], recs...)
+	f.bytes += int64(len(recs)) * recBytes
+	blk := &fanBlock{g: g, recs: buf, refs: int32(len(f.outs))}
+	for _, ch := range f.outs {
+		ch <- blk
+	}
+}
+
+func (f *fanTracer) flushScratch() {
+	if len(f.scratch) == 0 {
+		return
+	}
+	f.AccessBatch(f.group, f.scratch)
+	f.scratch = f.scratch[:0]
+}
+
+// Fanout executes the kernel over nd exactly once, streaming each
+// workgroup's records (in group order, as one batch per group) to every
+// sink concurrently. Each sink observes the full stream on its own
+// goroutine; distinct sinks never share one, so sinks need no locking.
+// Returns the number of trace bytes streamed.
+//
+// par bounds the execution workers (0 = GOMAXPROCS). Peak trace memory
+// is ringBlocks batches regardless of the NDRange.
+func Fanout(k *ir.Kernel, args *ir.Args, nd ir.NDRange, par int, sinks []ir.BatchTracer) (int64, error) {
+	if len(sinks) == 0 {
+		return 0, fmt.Errorf("replay: Fanout %s: no sinks", k.Name)
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	ft := &fanTracer{
+		free: make(chan []ir.Access, ringBlocks),
+		outs: make([]chan *fanBlock, len(sinks)),
+	}
+	for i := 0; i < ringBlocks; i++ {
+		ft.free <- nil
+	}
+	var wg sync.WaitGroup
+	for i, sink := range sinks {
+		ch := make(chan *fanBlock, ringBlocks)
+		ft.outs[i] = ch
+		wg.Add(1)
+		go func(sink ir.BatchTracer, ch chan *fanBlock) {
+			defer wg.Done()
+			for blk := range ch {
+				sink.BeginGroup(blk.g)
+				sink.AccessBatch(blk.g, blk.recs)
+				if atomic.AddInt32(&blk.refs, -1) == 0 {
+					ft.free <- blk.recs
+				}
+			}
+		}(sink, ch)
+	}
+
+	execErr := ir.ExecRange(k, args, nd, ir.ExecOptions{Tracer: ft, Parallel: par})
+	ft.flushScratch()
+	for _, ch := range ft.outs {
+		close(ch)
+	}
+	wg.Wait() // every sink saw the full (possibly truncated-by-error) stream
+	if execErr != nil {
+		return ft.bytes, fmt.Errorf("replay: fanout of %s: %w", k.Name, execErr)
+	}
+	return ft.bytes, nil
+}

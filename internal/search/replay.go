@@ -1,0 +1,38 @@
+package search
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"clperf/internal/ir"
+)
+
+// Trace-once / replay-many content addressing (internal/replay).
+//
+// A captured execution trace is device-independent: the access/op stream
+// depends only on the kernel, its arguments and the launch geometry —
+// exactly the non-device part of Key. TraceKey is therefore Key with a
+// fixed pseudo-fingerprint in the device slot, so a trace and the model
+// evaluations derived from it share one canonicalization (buffer shapes,
+// scalar values, the pointer-memoized kernel digest).
+
+// traceFP occupies Key's device-fingerprint slot for device-independent
+// trace digests. No real device fingerprint collides with it: cpu and gpu
+// fingerprints embed their full parameter structs.
+const traceFP = "trace/v1"
+
+// TraceKey content-addresses one device-independent execution trace: the
+// digest under which internal/replay stores a captured access stream.
+// Two launches with equal TraceKeys execute identical access streams.
+func TraceKey(k *ir.Kernel, args *ir.Args, nd ir.NDRange) string {
+	return Key(traceFP, k, args, nd)
+}
+
+// ReplayKey content-addresses one replayed estimate: a captured trace
+// (by its TraceKey digest) priced on one device (by its fingerprint).
+// The replay layer memoizes per-device replay results under this key, so
+// a matrix sweep revisiting a (kernel, device) cell never re-simulates.
+func ReplayKey(traceDigest, deviceFP string) string {
+	sum := sha256.Sum256([]byte("replay/v1\n" + traceDigest + "\n" + deviceFP))
+	return hex.EncodeToString(sum[:])
+}

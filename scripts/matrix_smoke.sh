@@ -1,0 +1,27 @@
+#!/bin/sh
+# matrix_smoke.sh — end-to-end smoke of the trace-once / replay-many
+# portability matrix: run the 3x3 grid through the replay pipeline and
+# through the -noreplay execute-per-device baseline, and require the two
+# reports to be byte-identical (the pipeline's central promise). Sized
+# to finish well inside CI's patience (~seconds).
+set -eu
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/oclbench" ./cmd/oclbench
+
+"$OUT/oclbench" -e matrix -matrixn 3 > "$OUT/replay.txt"
+"$OUT/oclbench" -e matrix -matrixn 3 -noreplay > "$OUT/noreplay.txt"
+
+if ! cmp -s "$OUT/replay.txt" "$OUT/noreplay.txt"; then
+    echo "matrix_smoke: FAIL — replay and -noreplay reports differ" >&2
+    diff -u "$OUT/replay.txt" "$OUT/noreplay.txt" >&2 || true
+    exit 1
+fi
+
+# The report must actually contain the matrix (not an empty render).
+grep -q "portability" "$OUT/replay.txt"
+grep -q "Replayed runtime" "$OUT/replay.txt"
+
+echo "matrix_smoke: OK — 3x3 replay and -noreplay reports byte-identical"
